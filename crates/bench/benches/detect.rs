@@ -1,0 +1,76 @@
+//! Criterion bench: detector throughput over recorded traces.
+//!
+//! Measures the per-trace analysis cost of each detector family on the
+//! E-detect workload (failure witnesses plus training runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lfm_detect::{
+    AtomicityDetector, HappensBeforeDetector, LockOrderDetector, LocksetDetector, OrderDetector,
+};
+use lfm_kernels::registry;
+use lfm_sim::{explore::trace_of, Explorer, RandomWalker, Trace};
+
+fn witness_trace(kernel_id: &str) -> Trace {
+    let kernel = registry::by_id(kernel_id).expect("kernel exists");
+    let program = kernel.buggy();
+    let report = Explorer::new(&program).stop_on_first_failure().run();
+    let (schedule, _) = report.first_failure.expect("buggy kernel manifests");
+    trace_of(&program, &schedule, 5_000).0
+}
+
+fn training_traces(kernel_id: &str, n: u64) -> Vec<Trace> {
+    let kernel = registry::by_id(kernel_id).expect("kernel exists");
+    let program = kernel.buggy();
+    RandomWalker::new(&program, 7)
+        .collect_traces(n)
+        .into_iter()
+        .filter(|(_, o)| o.is_ok())
+        .map(|(t, _)| t)
+        .collect()
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let trace = witness_trace("counter_rmw");
+    let training = training_traces("counter_rmw", 12);
+
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(10);
+    group.bench_function("happens-before", |b| {
+        let d = HappensBeforeDetector::new();
+        b.iter(|| d.analyze(&trace).len())
+    });
+    group.bench_function("lockset", |b| {
+        let d = LocksetDetector::new();
+        b.iter(|| d.analyze(&trace).len())
+    });
+    group.bench_function("atomicity-train", |b| {
+        b.iter(|| AtomicityDetector::train(training.iter()))
+    });
+    group.bench_function("atomicity-analyze", |b| {
+        let d = AtomicityDetector::train(training.iter());
+        b.iter(|| d.analyze(&trace).len())
+    });
+    group.bench_function("order-train", |b| b.iter(|| OrderDetector::train(training.iter())));
+    group.bench_function("lock-order", |b| {
+        let abba = witness_trace("abba");
+        b.iter(|| LockOrderDetector::analyze([&abba]).len())
+    });
+    group.finish();
+}
+
+fn bench_trace_recording(c: &mut Criterion) {
+    let kernel = registry::by_id("cache_pair_invariant").expect("kernel exists");
+    let program = kernel.buggy();
+    let mut group = c.benchmark_group("detect/recording-overhead");
+    group.sample_size(10);
+    group.bench_function("random-walk-no-record", |b| {
+        b.iter(|| RandomWalker::new(&program, 1).run_trials(20).counts)
+    });
+    group.bench_function("random-walk-recorded", |b| {
+        b.iter(|| RandomWalker::new(&program, 1).collect_traces(20).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_trace_recording);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Criterion bench: model-checker throughput per kernel family.
+//!
+//! Regenerates the exploration-cost side of the E-scope experiment: how
+//! expensive exhaustive interleaving coverage is at the study's scopes
+//! (2–3 threads, ≤ 4 ordering points), and how preemption bounding and
+//! state deduplication change the cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfm_kernels::registry;
+use lfm_sim::{Explorer, RandomWalker};
+
+fn bench_exhaustive_by_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/exhaustive");
+    group.sample_size(10);
+    // One representative per family with a bounded exhaustive space
+    // (livelock_retry's space is schedule-capped and benched under the
+    // sleep-set group instead).
+    for id in [
+        "counter_rmw",
+        "use_before_init_mozilla",
+        "cache_pair_invariant",
+        "abba",
+    ] {
+        let kernel = registry::by_id(id).expect("kernel exists");
+        let program = kernel.buggy();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.id),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let report = Explorer::new(program).run();
+                    assert!(report.counts.total() > 0);
+                    report.schedules_run
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_preemption_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/preemption-bound");
+    group.sample_size(10);
+    let kernel = registry::by_id("counter_rmw").expect("kernel exists");
+    let program = kernel.buggy();
+    for bound in [0u32, 1, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| Explorer::new(&program).preemption_bound(bound).run().schedules_run)
+        });
+    }
+    group.bench_function("unbounded", |b| {
+        b.iter(|| Explorer::new(&program).run().schedules_run)
+    });
+    group.finish();
+}
+
+fn bench_dedup_states(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/dedup");
+    group.sample_size(10);
+    let kernel = registry::by_id("abba").expect("kernel exists");
+    let tx = kernel
+        .try_build(lfm_kernels::Variant::Fixed(lfm_kernels::FixKind::Transaction))
+        .expect("abba has a TM fix");
+    group.bench_function("tx-variant/no-dedup", |b| {
+        b.iter(|| Explorer::new(&tx).run().schedules_run)
+    });
+    group.bench_function("tx-variant/dedup", |b| {
+        b.iter(|| Explorer::new(&tx).dedup_states().run().schedules_run)
+    });
+    group.finish();
+}
+
+fn bench_sleep_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/sleep-sets");
+    group.sample_size(10);
+    for id in ["counter_rmw", "cache_pair_invariant", "lock_cycle_3"] {
+        let kernel = registry::by_id(id).expect("kernel exists");
+        let program = kernel.buggy();
+        group.bench_with_input(BenchmarkId::new("full", id), &program, |b, p| {
+            b.iter(|| Explorer::new(p).run().schedules_run)
+        });
+        group.bench_with_input(BenchmarkId::new("reduced", id), &program, |b, p| {
+            b.iter(|| Explorer::new(p).sleep_sets().run().schedules_run)
+        });
+    }
+    // livelock_retry's full space is schedule-capped (250k); only the
+    // reduced exploration (729 schedule classes) is tractable to bench.
+    let livelock = registry::by_id("livelock_retry").expect("kernel exists");
+    let program = livelock.buggy();
+    group.bench_with_input(
+        BenchmarkId::new("reduced", "livelock_retry"),
+        &program,
+        |b, p| b.iter(|| Explorer::new(p).sleep_sets().run().schedules_run),
+    );
+    group.finish();
+}
+
+fn bench_random_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/random-walk");
+    group.sample_size(10);
+    let kernel = registry::by_id("bank_withdraw").expect("kernel exists");
+    let program = kernel.buggy();
+    for trials in [10u64, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trials),
+            &trials,
+            |b, &trials| {
+                b.iter(|| RandomWalker::new(&program, 42).run_trials(trials).counts)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive_by_family,
+    bench_preemption_bounds,
+    bench_dedup_states,
+    bench_sleep_sets,
+    bench_random_walk
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion bench: TL2 STM vs. mutex under real parallelism.
+//!
+//! The executable counterpart of the study's Section-7 performance
+//! caveats: transactions make the *bug* impossible, at a contention-
+//! dependent cost. Measures single-word counters (worst case for TM) and
+//! disjoint-word workloads (best case) against a `parking_lot` mutex.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfm_stm::TSpace;
+use parking_lot::Mutex;
+
+const OPS_PER_THREAD: usize = 200;
+
+fn stm_contended(n_threads: usize) -> i64 {
+    let space = Arc::new(TSpace::new(1));
+    let handles: Vec<_> = (0..n_threads)
+        .map(|_| {
+            let space = Arc::clone(&space);
+            std::thread::spawn(move || {
+                for _ in 0..OPS_PER_THREAD {
+                    space.atomically(|tx| {
+                        let v = tx.read(0)?;
+                        tx.write(0, v + 1);
+                        Ok(())
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    space.read_now(0)
+}
+
+fn mutex_contended(n_threads: usize) -> i64 {
+    let counter = Arc::new(Mutex::new(0i64));
+    let handles: Vec<_> = (0..n_threads)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..OPS_PER_THREAD {
+                    *counter.lock() += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let total = *counter.lock();
+    total
+}
+
+fn stm_disjoint(n_threads: usize) -> i64 {
+    let space = Arc::new(TSpace::new(n_threads));
+    let handles: Vec<_> = (0..n_threads)
+        .map(|i| {
+            let space = Arc::clone(&space);
+            std::thread::spawn(move || {
+                for _ in 0..OPS_PER_THREAD {
+                    space.atomically(|tx| {
+                        let v = tx.read(i)?;
+                        tx.write(i, v + 1);
+                        Ok(())
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    (0..n_threads).map(|i| space.read_now(i)).sum()
+}
+
+fn bench_contended_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm/contended-counter");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("tl2", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let total = stm_contended(t);
+                assert_eq!(total, (t * OPS_PER_THREAD) as i64);
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mutex", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let total = mutex_contended(t);
+                assert_eq!(total, (t * OPS_PER_THREAD) as i64);
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_disjoint_words(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm/disjoint-words");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("tl2", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let total = stm_disjoint(t);
+                assert_eq!(total, (t * OPS_PER_THREAD) as i64);
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contended_counter, bench_disjoint_words);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: corpus queries and table generation — the analysis
+//! engine's own cost, regenerating the nine tables from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lfm_corpus::{App, BugClass, Corpus, Pattern};
+use lfm_study::{check_all, tables};
+
+fn bench_corpus_load(c: &mut Criterion) {
+    c.bench_function("tables/corpus-load", |b| {
+        b.iter(|| {
+            let corpus = Corpus::full();
+            assert_eq!(corpus.len(), 105);
+            corpus
+        })
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let corpus = Corpus::full();
+    c.bench_function("tables/query-composed", |b| {
+        b.iter(|| {
+            corpus
+                .query()
+                .app(App::Mozilla)
+                .class(BugClass::NonDeadlock)
+                .pattern(Pattern::Atomicity)
+                .count()
+        })
+    });
+}
+
+fn bench_all_tables(c: &mut Criterion) {
+    let corpus = Corpus::full();
+    c.bench_function("tables/generate-all-nine", |b| {
+        b.iter(|| tables::all_tables(&corpus).len())
+    });
+}
+
+fn bench_findings(c: &mut Criterion) {
+    let corpus = Corpus::full();
+    c.bench_function("tables/check-findings", |b| {
+        b.iter(|| {
+            let findings = check_all(&corpus);
+            assert!(findings.iter().all(|f| f.holds()));
+            findings.len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_corpus_load,
+    bench_queries,
+    bench_all_tables,
+    bench_findings
+);
+criterion_main!(benches);

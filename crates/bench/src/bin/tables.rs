@@ -1,0 +1,44 @@
+//! The table/figure regenerator.
+//!
+//! ```text
+//! cargo run -p lfm-bench --bin tables              # everything
+//! cargo run -p lfm-bench --bin tables -- --only t3 # one artifact
+//! cargo run -p lfm-bench --bin tables -- --markdown
+//! ```
+
+use lfm_bench::Artifact;
+use lfm_corpus::Corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1));
+
+    let corpus = Corpus::full();
+
+    let artifacts: Vec<Artifact> = match only {
+        Some(sel) => match Artifact::parse(sel) {
+            Some(a) => vec![a],
+            None => {
+                eprintln!(
+                    "unknown artifact `{sel}`; expected t1..t9, f1..f5, \
+                     escope, edetect, etm, or findings"
+                );
+                std::process::exit(2);
+            }
+        },
+        None => Artifact::all(),
+    };
+
+    println!("LEARNING FROM MISTAKES — table & figure regenerator");
+    println!(
+        "corpus: {} bugs (74 non-deadlock, 31 deadlock)\n",
+        corpus.len()
+    );
+    for artifact in artifacts {
+        println!("{}", artifact.render(&corpus, markdown));
+    }
+}

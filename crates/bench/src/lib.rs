@@ -1,0 +1,175 @@
+//! # lfm-bench — benchmark harness and table regenerator
+//!
+//! Two entry points:
+//!
+//! - the **`tables` binary** (`cargo run -p lfm-bench --bin tables`)
+//!   regenerates every table (T1–T9), figure demo (F1–F5) and implication
+//!   experiment (E-scope, E-detect, E-tm) of the study; pass
+//!   `--only <id>` to print one artifact, `--markdown` for Markdown;
+//! - the **criterion benches** (`cargo bench -p lfm-bench`) measure the
+//!   substrates: exploration throughput per kernel family, detector
+//!   throughput, TL2 STM vs. mutex scaling, and table generation.
+
+#![warn(missing_docs)]
+
+use lfm_corpus::Corpus;
+use lfm_study::experiments::{coverage_growth_table, coverage_table, scheduler_table, scope_table, tm_table};
+use lfm_study::figures;
+use lfm_study::tables;
+use lfm_study::Table;
+
+/// Everything the harness can regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Artifact {
+    /// One of the nine tables.
+    Table(u8),
+    /// One of the five figure demos.
+    Figure(u8),
+    /// E-scope.
+    Scope,
+    /// E-detect.
+    Detect,
+    /// E-test.
+    SchedTest,
+    /// E-cov.
+    CoverageGrowth,
+    /// E-tm.
+    Tm,
+    /// The findings checker.
+    Findings,
+}
+
+impl Artifact {
+    /// Parses an artifact selector like `t3`, `f1`, `escope`, `findings`.
+    pub fn parse(s: &str) -> Option<Artifact> {
+        let s = s.to_ascii_lowercase();
+        match s.as_str() {
+            "escope" | "e-scope" => Some(Artifact::Scope),
+            "edetect" | "e-detect" => Some(Artifact::Detect),
+            "etest" | "e-test" => Some(Artifact::SchedTest),
+            "ecov" | "e-cov" => Some(Artifact::CoverageGrowth),
+            "etm" | "e-tm" => Some(Artifact::Tm),
+            "findings" => Some(Artifact::Findings),
+            _ if s.len() >= 2 => {
+                let (kind, num) = s.split_at(1);
+                let n: u8 = num.parse().ok()?;
+                match kind {
+                    "t" if (1..=9).contains(&n) => Some(Artifact::Table(n)),
+                    "f" if (1..=5).contains(&n) => Some(Artifact::Figure(n)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// All artifacts in presentation order.
+    pub fn all() -> Vec<Artifact> {
+        let mut v = vec![Artifact::Findings];
+        v.extend((1..=9).map(Artifact::Table));
+        v.extend((1..=5).map(Artifact::Figure));
+        v.extend([
+            Artifact::Scope,
+            Artifact::Detect,
+            Artifact::SchedTest,
+            Artifact::CoverageGrowth,
+            Artifact::Tm,
+        ]);
+        v
+    }
+
+    /// Renders the artifact (plain text or Markdown).
+    pub fn render(&self, corpus: &Corpus, markdown: bool) -> String {
+        let table = |t: Table| {
+            if markdown {
+                t.to_markdown()
+            } else {
+                t.to_string()
+            }
+        };
+        match self {
+            Artifact::Table(n) => {
+                let t = match n {
+                    1 => tables::table1(corpus),
+                    2 => tables::table2(corpus),
+                    3 => tables::table3(corpus),
+                    4 => tables::table4(corpus),
+                    5 => tables::table5(corpus),
+                    6 => tables::table6(corpus),
+                    7 => tables::table7(corpus),
+                    8 => tables::table8(corpus),
+                    9 => tables::table9(corpus),
+                    _ => unreachable!("validated by parse"),
+                };
+                table(t)
+            }
+            Artifact::Figure(n) => {
+                let f = match n {
+                    1 => figures::figure1(),
+                    2 => figures::figure2(),
+                    3 => figures::figure3(),
+                    4 => figures::figure4(),
+                    5 => figures::figure5(),
+                    _ => unreachable!("validated by parse"),
+                };
+                f.to_string()
+            }
+            Artifact::Scope => table(scope_table()),
+            Artifact::Detect => table(coverage_table()),
+            Artifact::SchedTest => table(scheduler_table(100)),
+            Artifact::CoverageGrowth => table(coverage_growth_table()),
+            Artifact::Tm => table(tm_table(corpus)),
+            Artifact::Findings => {
+                let mut out = String::from("Findings (paper vs measured)\n");
+                for f in lfm_study::check_all(corpus) {
+                    out.push_str(&format!("{f}\n"));
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_selectors() {
+        assert_eq!(Artifact::parse("t1"), Some(Artifact::Table(1)));
+        assert_eq!(Artifact::parse("T9"), Some(Artifact::Table(9)));
+        assert_eq!(Artifact::parse("f5"), Some(Artifact::Figure(5)));
+        assert_eq!(Artifact::parse("escope"), Some(Artifact::Scope));
+        assert_eq!(Artifact::parse("e-tm"), Some(Artifact::Tm));
+        assert_eq!(Artifact::parse("etest"), Some(Artifact::SchedTest));
+        assert_eq!(Artifact::parse("findings"), Some(Artifact::Findings));
+        assert_eq!(Artifact::parse("t0"), None);
+        assert_eq!(Artifact::parse("t10"), None);
+        assert_eq!(Artifact::parse("x1"), None);
+        assert_eq!(Artifact::parse(""), None);
+    }
+
+    #[test]
+    fn all_lists_every_artifact() {
+        let all = Artifact::all();
+        assert_eq!(all.len(), 1 + 9 + 5 + 5);
+    }
+
+    #[test]
+    fn render_table_both_formats() {
+        let corpus = Corpus::full();
+        let plain = Artifact::Table(2).render(&corpus, false);
+        assert!(plain.contains("T2:"));
+        let md = Artifact::Table(2).render(&corpus, true);
+        assert!(md.contains("### T2"));
+        assert!(md.contains("|---|"));
+    }
+
+    #[test]
+    fn render_findings() {
+        let corpus = Corpus::full();
+        let s = Artifact::Findings.render(&corpus, false);
+        assert!(s.contains("F1-pattern"));
+        assert!(!s.contains("MISMATCH"));
+    }
+}

@@ -1,0 +1,13 @@
+//! The `lfm` binary: a thin shim over `lfm_cli::{parse, run}`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lfm_cli::parse(&args) {
+        Ok(command) => print!("{}", lfm_cli::run(command)),
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("{}", lfm_cli::HELP);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! # lfm-cli — the `lfm` command line
+//!
+//! A small, dependency-free CLI over the reproduction:
+//!
+//! ```text
+//! lfm list bugs [--app mysql] [--class deadlock]   # browse the corpus
+//! lfm list kernels [--family deadlock]             # browse the kernels
+//! lfm show <bug-id>                                # one record, full detail
+//! lfm kernel <id>                                  # explore a kernel
+//! lfm kernel <id> --source                         # paper-figure pseudo-code
+//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|etm|findings]
+//! ```
+//!
+//! The argument parser is hand-rolled (the offline dependency set has no
+//! CLI crate) and unit-tested here; `src/bin/lfm.rs` is a thin shim.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use lfm_bench::Artifact;
+use lfm_corpus::{App, BugClass, Corpus};
+use lfm_kernels::{registry, Family, Variant};
+use lfm_sim::{pseudocode, Explorer};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `lfm list bugs [--app X] [--class Y]`
+    ListBugs {
+        /// Application filter.
+        app: Option<App>,
+        /// Class filter.
+        class: Option<BugClass>,
+    },
+    /// `lfm list kernels [--family X]`
+    ListKernels {
+        /// Family filter.
+        family: Option<Family>,
+    },
+    /// `lfm show <bug-id>`
+    Show {
+        /// The record id.
+        id: String,
+    },
+    /// `lfm kernel <id> [--source] [--witness]`
+    Kernel {
+        /// The kernel id.
+        id: String,
+        /// Print pseudo-code instead of exploring.
+        source: bool,
+        /// Print the failure witness as an interleaving timeline.
+        witness: bool,
+    },
+    /// `lfm export`
+    Export,
+    /// `lfm tables [artifact]`
+    Tables {
+        /// Specific artifact, or everything.
+        only: Option<Artifact>,
+        /// Markdown output.
+        markdown: bool,
+    },
+    /// `lfm help`
+    Help,
+}
+
+/// A CLI usage error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn parse_app(s: &str) -> Result<App, UsageError> {
+    match s.to_ascii_lowercase().as_str() {
+        "mysql" => Ok(App::MySql),
+        "apache" => Ok(App::Apache),
+        "mozilla" => Ok(App::Mozilla),
+        "openoffice" => Ok(App::OpenOffice),
+        other => Err(UsageError(format!(
+            "unknown app `{other}` (mysql|apache|mozilla|openoffice)"
+        ))),
+    }
+}
+
+fn parse_class(s: &str) -> Result<BugClass, UsageError> {
+    match s.to_ascii_lowercase().as_str() {
+        "deadlock" | "d" => Ok(BugClass::Deadlock),
+        "non-deadlock" | "nondeadlock" | "nd" => Ok(BugClass::NonDeadlock),
+        other => Err(UsageError(format!(
+            "unknown class `{other}` (deadlock|non-deadlock)"
+        ))),
+    }
+}
+
+fn parse_family(s: &str) -> Result<Family, UsageError> {
+    match s.to_ascii_lowercase().as_str() {
+        "atomicity" => Ok(Family::AtomicitySingleVar),
+        "order" => Ok(Family::Order),
+        "multivar" | "multi-variable" => Ok(Family::MultiVariable),
+        "deadlock" => Ok(Family::Deadlock),
+        "other" => Ok(Family::OtherNonDeadlock),
+        other => Err(UsageError(format!(
+            "unknown family `{other}` (atomicity|order|multivar|deadlock|other)"
+        ))),
+    }
+}
+
+/// Parses the argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => match it.next() {
+            Some("bugs") => {
+                let mut app = None;
+                let mut class = None;
+                while let Some(flag) = it.next() {
+                    match flag {
+                        "--app" => {
+                            let v = it.next().ok_or_else(|| {
+                                UsageError("--app needs a value".into())
+                            })?;
+                            app = Some(parse_app(v)?);
+                        }
+                        "--class" => {
+                            let v = it.next().ok_or_else(|| {
+                                UsageError("--class needs a value".into())
+                            })?;
+                            class = Some(parse_class(v)?);
+                        }
+                        other => {
+                            return Err(UsageError(format!("unknown flag `{other}`")));
+                        }
+                    }
+                }
+                Ok(Command::ListBugs { app, class })
+            }
+            Some("kernels") => {
+                let mut family = None;
+                while let Some(flag) = it.next() {
+                    match flag {
+                        "--family" => {
+                            let v = it.next().ok_or_else(|| {
+                                UsageError("--family needs a value".into())
+                            })?;
+                            family = Some(parse_family(v)?);
+                        }
+                        other => {
+                            return Err(UsageError(format!("unknown flag `{other}`")));
+                        }
+                    }
+                }
+                Ok(Command::ListKernels { family })
+            }
+            other => Err(UsageError(format!(
+                "usage: lfm list bugs|kernels (got {other:?})"
+            ))),
+        },
+        Some("show") => {
+            let id = it
+                .next()
+                .ok_or_else(|| UsageError("usage: lfm show <bug-id>".into()))?;
+            Ok(Command::Show { id: id.to_owned() })
+        }
+        Some("kernel") => {
+            let id = it.next().ok_or_else(|| {
+                UsageError("usage: lfm kernel <id> [--source] [--witness]".into())
+            })?;
+            let mut source = false;
+            let mut witness = false;
+            for flag in it {
+                match flag {
+                    "--source" => source = true,
+                    "--witness" => witness = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Kernel {
+                id: id.to_owned(),
+                source,
+                witness,
+            })
+        }
+        Some("export") => Ok(Command::Export),
+        Some("tables") => {
+            let mut only = None;
+            let mut markdown = false;
+            for arg in it {
+                match arg {
+                    "--markdown" => markdown = true,
+                    sel => {
+                        only = Some(Artifact::parse(sel).ok_or_else(|| {
+                            UsageError(format!(
+                                "unknown artifact `{sel}` (t1..t9, f1..f5, escope, \
+                                 edetect, etest, etm, findings)"
+                            ))
+                        })?);
+                    }
+                }
+            }
+            Ok(Command::Tables { only, markdown })
+        }
+        Some(other) => Err(UsageError(format!(
+            "unknown command `{other}`; try `lfm help`"
+        ))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+lfm — Learning from Mistakes (ASPLOS 2008) reproduction CLI
+
+USAGE:
+  lfm list bugs [--app mysql|apache|mozilla|openoffice] [--class deadlock|non-deadlock]
+  lfm list kernels [--family atomicity|order|multivar|deadlock|other]
+  lfm show <bug-id>                 full detail of one corpus record
+  lfm kernel <id>                   model-check a kernel (buggy + fixes)
+  lfm kernel <id> --source          print the kernel as paper-figure pseudo-code
+  lfm kernel <id> --witness         show the failure witness as a timeline
+  lfm export                        dump the corpus as JSON to stdout
+  lfm tables [ARTIFACT] [--markdown]
+                                    regenerate tables/figures/experiments
+                                    (t1..t9, f1..f5, escope, edetect, etest,
+                                     etm, findings; default: everything)
+  lfm help
+";
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(command: Command) -> String {
+    match command {
+        Command::Help => HELP.to_owned(),
+        Command::ListBugs { app, class } => {
+            let corpus = Corpus::full();
+            let mut query = corpus.query();
+            if let Some(app) = app {
+                query = query.app(app);
+            }
+            if let Some(class) = class {
+                query = query.class(class);
+            }
+            let bugs = query.collect();
+            let mut out = format!("{} bugs\n", bugs.len());
+            for bug in bugs {
+                out.push_str(&format!(
+                    "  {:22} {:11} {:12} {}\n",
+                    bug.id.as_str(),
+                    bug.app.to_string(),
+                    bug.class().to_string(),
+                    bug.title
+                ));
+            }
+            out
+        }
+        Command::ListKernels { family } => {
+            let kernels = match family {
+                Some(f) => registry::by_family(f),
+                None => registry::all(),
+            };
+            let mut out = format!("{} kernels\n", kernels.len());
+            for k in kernels {
+                out.push_str(&format!("  {k}\n"));
+            }
+            out
+        }
+        Command::Show { id } => {
+            let corpus = Corpus::full();
+            match corpus.get_str(&id) {
+                None => format!("no bug `{id}` in the corpus (try `lfm list bugs`)\n"),
+                Some(bug) => {
+                    let mut out = format!("{bug}\n\n{}\n\n", bug.description);
+                    out.push_str(&format!("  class:    {}\n", bug.class()));
+                    if let Some(p) = bug.patterns() {
+                        out.push_str(&format!("  pattern:  {p}\n"));
+                    }
+                    out.push_str(&format!("  threads:  {}\n", bug.threads));
+                    if let Some(v) = bug.variables() {
+                        out.push_str(&format!("  vars:     {v}\n"));
+                    }
+                    if let Some(a) = bug.accesses() {
+                        out.push_str(&format!("  accesses: {a}\n"));
+                    }
+                    if let Some(r) = bug.resources() {
+                        out.push_str(&format!("  resources:{r}\n"));
+                    }
+                    out.push_str(&format!("  fix:      {}\n", bug.fix()));
+                    out.push_str(&format!("  TM:       {}\n", bug.tm));
+                    if let Some(k) = &bug.kernel {
+                        out.push_str(&format!(
+                            "  kernel:   {k}   (run `lfm kernel {k}`)\n"
+                        ));
+                    }
+                    out
+                }
+            }
+        }
+        Command::Kernel { id, source, witness } => {
+            let Some(kernel) = registry::by_id(&id) else {
+                return format!("no kernel `{id}` (try `lfm list kernels`)\n");
+            };
+            if witness {
+                let program = kernel.buggy();
+                let report = Explorer::new(&program).stop_on_first_failure().run();
+                let Some((schedule, outcome)) = report.first_failure else {
+                    return format!("kernel `{id}` produced no failure?!\n");
+                };
+                let (trace, _) = lfm_sim::explore::trace_of(&program, &schedule, 5_000);
+                let mut out = format!("{kernel}\nwitness outcome: {outcome}\n\n");
+                out.push_str(&lfm_sim::render_timeline(&trace, Some(&program)));
+                return out;
+            }
+            if source {
+                let mut out = format!("// {kernel}\n// {}\n\n", kernel.description);
+                out.push_str("// ---- buggy variant ----\n");
+                out.push_str(&pseudocode(&kernel.buggy()));
+                for &fix in kernel.fixes {
+                    out.push_str(&format!("\n// ---- fixed: {fix} ----\n"));
+                    out.push_str(&pseudocode(&kernel.build(Variant::Fixed(fix))));
+                }
+                out
+            } else {
+                let mut out = format!("{kernel}\n  {}\n\n", kernel.description);
+                let buggy = Explorer::new(&kernel.buggy()).run();
+                out.push_str(&format!(
+                    "buggy: {} interleavings, {} manifest ({} ok, {} assert, {} deadlock)\n",
+                    buggy.schedules_run,
+                    buggy.counts.failures(),
+                    buggy.counts.ok,
+                    buggy.counts.assert_failed,
+                    buggy.counts.deadlock
+                ));
+                if let Some((schedule, outcome)) = &buggy.first_failure {
+                    out.push_str(&format!("witness: [{schedule}] -> {outcome}\n"));
+                }
+                for &fix in kernel.fixes {
+                    let fixed = kernel.build(Variant::Fixed(fix));
+                    let report = Explorer::new(&fixed).dedup_states().run();
+                    out.push_str(&format!(
+                        "fix {:20} -> {} failures over {} schedules{}\n",
+                        fix.to_string(),
+                        report.counts.failures(),
+                        report.schedules_run,
+                        if report.counts.failures() == 0 {
+                            "  (proved)"
+                        } else {
+                            "  (BROKEN)"
+                        }
+                    ));
+                }
+                out
+            }
+        }
+        Command::Export => lfm_corpus::to_json(&Corpus::full()),
+        Command::Tables { only, markdown } => {
+            let corpus = Corpus::full();
+            let artifacts = match only {
+                Some(a) => vec![a],
+                None => Artifact::all(),
+            };
+            let mut out = String::new();
+            for artifact in artifacts {
+                out.push_str(&artifact.render(&corpus, markdown));
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_variants() {
+        assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_list_bugs_with_filters() {
+        assert_eq!(
+            parse(&args(&["list", "bugs"])).unwrap(),
+            Command::ListBugs {
+                app: None,
+                class: None
+            }
+        );
+        assert_eq!(
+            parse(&args(&["list", "bugs", "--app", "mysql", "--class", "deadlock"])).unwrap(),
+            Command::ListBugs {
+                app: Some(App::MySql),
+                class: Some(BugClass::Deadlock)
+            }
+        );
+        assert!(parse(&args(&["list", "bugs", "--app", "xyz"])).is_err());
+        assert!(parse(&args(&["list", "bugs", "--app"])).is_err());
+    }
+
+    #[test]
+    fn parses_list_kernels() {
+        assert_eq!(
+            parse(&args(&["list", "kernels", "--family", "deadlock"])).unwrap(),
+            Command::ListKernels {
+                family: Some(Family::Deadlock)
+            }
+        );
+        assert!(parse(&args(&["list", "widgets"])).is_err());
+    }
+
+    #[test]
+    fn parses_show_and_kernel() {
+        assert_eq!(
+            parse(&args(&["show", "mysql-791"])).unwrap(),
+            Command::Show {
+                id: "mysql-791".into()
+            }
+        );
+        assert_eq!(
+            parse(&args(&["kernel", "abba", "--source"])).unwrap(),
+            Command::Kernel {
+                id: "abba".into(),
+                source: true,
+                witness: false
+            }
+        );
+        assert_eq!(
+            parse(&args(&["kernel", "abba", "--witness"])).unwrap(),
+            Command::Kernel {
+                id: "abba".into(),
+                source: false,
+                witness: true
+            }
+        );
+        assert!(parse(&args(&["show"])).is_err());
+        assert!(parse(&args(&["kernel"])).is_err());
+        assert!(parse(&args(&["kernel", "abba", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_tables() {
+        assert_eq!(
+            parse(&args(&["tables"])).unwrap(),
+            Command::Tables {
+                only: None,
+                markdown: false
+            }
+        );
+        assert_eq!(
+            parse(&args(&["tables", "t3", "--markdown"])).unwrap(),
+            Command::Tables {
+                only: Some(Artifact::Table(3)),
+                markdown: true
+            }
+        );
+        assert!(parse(&args(&["tables", "t42"])).is_err());
+    }
+
+    #[test]
+    fn parses_and_runs_export() {
+        assert_eq!(parse(&args(&["export"])).unwrap(), Command::Export);
+        let out = run(Command::Export);
+        assert!(out.contains("\"count\": 105"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = parse(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn run_list_bugs_filters() {
+        let out = run(Command::ListBugs {
+            app: Some(App::Apache),
+            class: Some(BugClass::Deadlock),
+        });
+        assert!(out.starts_with("4 bugs"));
+        assert!(out.contains("apache-dl-"));
+    }
+
+    #[test]
+    fn run_show_known_and_unknown() {
+        let out = run(Command::Show {
+            id: "mozilla-61369".into(),
+        });
+        assert!(out.contains("nsThread"));
+        assert!(out.contains("kernel:   use_before_init_mozilla"));
+        let out = run(Command::Show {
+            id: "nope-1".into(),
+        });
+        assert!(out.contains("no bug"));
+    }
+
+    #[test]
+    fn run_kernel_source_prints_pseudocode() {
+        let out = run(Command::Kernel {
+            id: "counter_rmw".into(),
+            source: true,
+            witness: false,
+        });
+        assert!(out.contains("// ---- buggy variant ----"));
+        assert!(out.contains("tmp = counter;"));
+        assert!(out.contains("// ---- fixed: add/change lock ----"));
+        assert!(out.contains("lock(m0);"));
+    }
+
+    #[test]
+    fn run_kernel_explore_proves_fixes() {
+        let out = run(Command::Kernel {
+            id: "abba".into(),
+            source: false,
+            witness: false,
+        });
+        assert!(out.contains("deadlock"));
+        assert!(out.contains("(proved)"));
+        assert!(!out.contains("BROKEN"));
+    }
+
+    #[test]
+    fn run_kernel_witness_prints_timeline() {
+        let out = run(Command::Kernel {
+            id: "counter_rmw".into(),
+            source: false,
+            witness: true,
+        });
+        assert!(out.contains("witness outcome:"));
+        assert!(out.contains("seq | t1"));
+        assert!(out.contains("read counter -> 0"));
+    }
+
+    #[test]
+    fn run_list_kernels_counts() {
+        let out = run(Command::ListKernels { family: None });
+        assert!(out.starts_with("29 kernels"));
+    }
+
+    #[test]
+    fn run_tables_single_artifact() {
+        let out = run(Command::Tables {
+            only: Some(Artifact::Table(2)),
+            markdown: false,
+        });
+        assert!(out.contains("T2:"));
+        assert!(out.contains("105"));
+    }
+}

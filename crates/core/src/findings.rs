@@ -1,0 +1,238 @@
+//! The findings checker: every headline statistic of the paper, computed
+//! from the corpus and compared against the published value.
+
+use std::fmt;
+
+use lfm_corpus::{
+    AccessCount, Corpus, DeadlockFix, NonDeadlockFix, ResourceCount, ThreadCount,
+    TmApplicability, VariableCount,
+};
+
+/// One checked finding: a published fraction vs. the corpus-measured one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Short id, e.g. `"F1-pattern"`.
+    pub id: &'static str,
+    /// The paper's statement.
+    pub statement: &'static str,
+    /// Published (numerator, denominator).
+    pub paper: (usize, usize),
+    /// Measured (numerator, denominator).
+    pub measured: (usize, usize),
+}
+
+impl Finding {
+    /// `true` when measured matches published exactly.
+    pub fn holds(&self) -> bool {
+        self.paper == self.measured
+    }
+
+    /// The measured fraction as a percentage.
+    pub fn measured_pct(&self) -> f64 {
+        if self.measured.1 == 0 {
+            0.0
+        } else {
+            100.0 * self.measured.0 as f64 / self.measured.1 as f64
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} — paper {}/{}, measured {}/{} ({:.0}%){}",
+            self.id,
+            self.statement,
+            self.paper.0,
+            self.paper.1,
+            self.measured.0,
+            self.measured.1,
+            self.measured_pct(),
+            if self.holds() { "" } else { "  ** MISMATCH **" }
+        )
+    }
+}
+
+/// Computes and checks all findings over a corpus.
+pub fn check_all(corpus: &Corpus) -> Vec<Finding> {
+    let nd: Vec<_> = corpus.non_deadlock();
+    let d: Vec<_> = corpus.deadlock();
+    let n_nd = nd.len();
+    let n_d = d.len();
+    let n = corpus.len();
+
+    let a_or_o = nd
+        .iter()
+        .filter(|b| b.patterns().unwrap().is_atomicity_or_order())
+        .count();
+    let le2_threads = corpus
+        .iter()
+        .filter(|b| b.threads != ThreadCount::MoreThanTwo)
+        .count();
+    let one_var = nd
+        .iter()
+        .filter(|b| b.variables() == Some(VariableCount::One))
+        .count();
+    let le4_acc = nd
+        .iter()
+        .filter(|b| b.accesses() == Some(AccessCount::AtMostFour))
+        .count();
+    let le2_res = d
+        .iter()
+        .filter(|b| b.resources() != Some(ResourceCount::MoreThanTwo))
+        .count();
+    let one_res = d
+        .iter()
+        .filter(|b| b.resources() == Some(ResourceCount::One))
+        .count();
+    let lock_fixes = nd
+        .iter()
+        .filter(|b| {
+            matches!(
+                b.fix(),
+                lfm_corpus::FixStrategy::NonDeadlock(NonDeadlockFix::AddOrChangeLock)
+            )
+        })
+        .count();
+    let cond_fixes = nd
+        .iter()
+        .filter(|b| {
+            matches!(
+                b.fix(),
+                lfm_corpus::FixStrategy::NonDeadlock(NonDeadlockFix::ConditionCheck)
+            )
+        })
+        .count();
+    let give_up = d
+        .iter()
+        .filter(|b| {
+            matches!(
+                b.fix(),
+                lfm_corpus::FixStrategy::Deadlock(DeadlockFix::GiveUpResource)
+            )
+        })
+        .count();
+    let tm_helps = corpus
+        .iter()
+        .filter(|b| matches!(b.tm, TmApplicability::Helps))
+        .count();
+    let tm_cannot = corpus
+        .iter()
+        .filter(|b| matches!(b.tm, TmApplicability::CannotHelp(_)))
+        .count();
+
+    vec![
+        Finding {
+            id: "F1-pattern",
+            statement: "non-deadlock bugs are atomicity or order violations",
+            paper: (72, 74),
+            measured: (a_or_o, n_nd),
+        },
+        Finding {
+            id: "F2-threads",
+            statement: "bugs manifest with at most two threads",
+            paper: (101, 105),
+            measured: (le2_threads, n),
+        },
+        Finding {
+            id: "F3-variables",
+            statement: "non-deadlock bugs involve a single variable",
+            paper: (49, 74),
+            measured: (one_var, n_nd),
+        },
+        Finding {
+            id: "F4-accesses",
+            statement: "non-deadlock bugs manifest by ordering at most 4 accesses",
+            paper: (68, 74),
+            measured: (le4_acc, n_nd),
+        },
+        Finding {
+            id: "F5-resources",
+            statement: "deadlocks involve at most two resources",
+            paper: (30, 31),
+            measured: (le2_res, n_d),
+        },
+        Finding {
+            id: "F5b-self",
+            statement: "deadlocks involve a single resource (self-deadlock)",
+            paper: (7, 31),
+            measured: (one_res, n_d),
+        },
+        Finding {
+            id: "F6-lockfix",
+            statement: "non-deadlock fixes that add or change locks",
+            paper: (20, 74),
+            measured: (lock_fixes, n_nd),
+        },
+        Finding {
+            id: "F6b-condfix",
+            statement: "non-deadlock fixes that add condition checks",
+            paper: (19, 74),
+            measured: (cond_fixes, n_nd),
+        },
+        Finding {
+            id: "F7-giveup",
+            statement: "deadlock fixes that give up a resource",
+            paper: (19, 31),
+            measured: (give_up, n_d),
+        },
+        Finding {
+            id: "F8-tm-helps",
+            statement: "bugs TM could directly help",
+            paper: (42, 105),
+            measured: (tm_helps, n),
+        },
+        Finding {
+            id: "F8b-tm-cannot",
+            statement: "bugs TM cannot help",
+            paper: (26, 105),
+            measured: (tm_cannot, n),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_finding_holds_on_the_full_corpus() {
+        let findings = check_all(&Corpus::full());
+        assert_eq!(findings.len(), 11);
+        for finding in &findings {
+            assert!(finding.holds(), "{finding}");
+        }
+    }
+
+    #[test]
+    fn finding_percentages() {
+        let findings = check_all(&Corpus::full());
+        let f1 = findings.iter().find(|f| f.id == "F1-pattern").unwrap();
+        assert!((f1.measured_pct() - 97.3).abs() < 0.1);
+        let f2 = findings.iter().find(|f| f.id == "F2-threads").unwrap();
+        assert!((f2.measured_pct() - 96.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn mismatch_is_detected_and_displayed() {
+        // Remove one bug: several findings must now fail.
+        let full = Corpus::full();
+        let truncated: Corpus = full.iter().skip(1).cloned().collect();
+        let findings = check_all(&truncated);
+        assert!(findings.iter().any(|f| !f.holds()));
+        let broken = findings.iter().find(|f| !f.holds()).unwrap();
+        assert!(broken.to_string().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn class_filters_are_disjoint() {
+        let corpus = Corpus::full();
+        let nd = corpus
+            .query()
+            .class(lfm_corpus::BugClass::NonDeadlock)
+            .count();
+        let d = corpus.query().class(lfm_corpus::BugClass::Deadlock).count();
+        assert_eq!(nd + d, corpus.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! Full-study report rendering: every table, finding, figure and
+//! experiment in one document.
+
+use lfm_corpus::Corpus;
+
+use crate::experiments::{coverage_growth_table, coverage_table, scheduler_table, scope_table, tm_table};
+use crate::figures::all_figures;
+use crate::findings::check_all;
+use crate::tables::all_tables;
+
+/// Renders the complete study report as plain text. This is what the
+/// `tables` harness binary prints; `EXPERIMENTS.md` records a snapshot.
+pub fn render_full_report(corpus: &Corpus) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "LEARNING FROM MISTAKES — reproduction report\n\
+         =============================================\n\n",
+    );
+
+    out.push_str("## Findings (paper vs measured)\n\n");
+    for finding in check_all(corpus) {
+        out.push_str(&format!("{finding}\n"));
+    }
+    out.push('\n');
+
+    out.push_str("## Tables\n\n");
+    for table in all_tables(corpus) {
+        out.push_str(&table.to_string());
+        out.push('\n');
+    }
+
+    out.push_str("## Figures (kernel demos)\n\n");
+    for figure in all_figures() {
+        out.push_str(&figure.to_string());
+        out.push('\n');
+    }
+
+    out.push_str("## Implication experiments\n\n");
+    out.push_str(&scope_table().to_string());
+    out.push('\n');
+    out.push_str(&coverage_table().to_string());
+    out.push('\n');
+    out.push_str(&scheduler_table(100).to_string());
+    out.push('\n');
+    out.push_str(&coverage_growth_table().to_string());
+    out.push('\n');
+    out.push_str(&tm_table(corpus).to_string());
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let report = render_full_report(&Corpus::full());
+        for needle in [
+            "## Findings",
+            "## Tables",
+            "## Figures",
+            "## Implication experiments",
+            "T1:",
+            "T9:",
+            "F1:",
+            "F5:",
+            "E-scope",
+            "E-detect",
+            "E-test",
+            "E-cov",
+            "E-tm",
+        ] {
+            assert!(report.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn report_shows_no_mismatches() {
+        let report = render_full_report(&Corpus::full());
+        assert!(!report.contains("MISMATCH"));
+    }
+}

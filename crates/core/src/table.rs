@@ -1,0 +1,193 @@
+//! A lightweight typed table with aligned-ASCII and Markdown rendering —
+//! the output format of every regenerated paper table.
+
+use std::fmt;
+
+/// One regenerable table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Identifier, e.g. `"T3"`.
+    pub id: String,
+    /// Title as printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row must have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes (provenance, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: Vec<impl Into<String>>,
+    ) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<impl Into<String>>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Table {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}: {}\n\n", self.id, self.title);
+        out.push('|');
+        for h in &self.headers {
+            out.push_str(&format!(" {h} |"));
+        }
+        out.push_str("\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.id, self.title)?;
+        let widths = self.widths();
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        writeln!(f, "+{sep}+")?;
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!(" {cell:w$} |", w = w));
+            }
+            line
+        };
+        writeln!(f, "{}", render_row(&self.headers))?;
+        writeln!(f, "+{sep}+")?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        writeln!(f, "+{sep}+")?;
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats `part` of `whole` as `"part (pp%)"`.
+pub fn with_pct(part: usize, whole: usize) -> String {
+    if whole == 0 {
+        format!("{part} (–)")
+    } else {
+        format!("{part} ({:.0}%)", 100.0 * part as f64 / whole as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T0", "demo", vec!["app", "bugs"]);
+        t.row(vec!["MySQL", "23"]);
+        t.row(vec!["Apache", "17"]);
+        t.note("synthesized");
+        t
+    }
+
+    #[test]
+    fn display_is_aligned() {
+        let s = sample().to_string();
+        assert!(s.contains("T0: demo"));
+        assert!(s.contains("| app    | bugs |"));
+        assert!(s.contains("| MySQL  | 23   |"));
+        assert!(s.contains("note: synthesized"));
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| app | bugs |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("> synthesized"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T0", "demo", vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(with_pct(72, 74), "72 (97%)");
+        assert_eq!(with_pct(0, 74), "0 (0%)");
+        assert_eq!(with_pct(1, 0), "1 (–)");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+        assert!(Table::new("T", "t", vec!["h"]).is_empty());
+    }
+}

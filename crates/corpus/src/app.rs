@@ -1,0 +1,109 @@
+//! Per-application metadata backing the study's Table 1
+//! ("applications studied").
+
+use serde::Serialize;
+
+use crate::taxonomy::App;
+
+/// Metadata row for one studied application.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AppInfo {
+    /// The application.
+    pub app: App,
+    /// One-line description as in the paper's overview table.
+    pub description: &'static str,
+    /// Approximate size in millions of lines of code at study time
+    /// (reconstructed, order-of-magnitude).
+    pub approx_mloc: f64,
+    /// The public bug database the bugs were sampled from.
+    pub bug_database: &'static str,
+    /// Non-deadlock bugs sampled by the study.
+    pub sampled_non_deadlock: usize,
+    /// Deadlock bugs sampled by the study.
+    pub sampled_deadlock: usize,
+}
+
+impl AppInfo {
+    /// Total sampled bugs for this application.
+    pub fn sampled_total(&self) -> usize {
+        self.sampled_non_deadlock + self.sampled_deadlock
+    }
+}
+
+/// The four applications' metadata, in canonical order.
+pub fn all_apps() -> Vec<AppInfo> {
+    vec![
+        AppInfo {
+            app: App::MySql,
+            description: "database server",
+            approx_mloc: 1.9,
+            bug_database: "bugs.mysql.com",
+            sampled_non_deadlock: 14,
+            sampled_deadlock: 9,
+        },
+        AppInfo {
+            app: App::Apache,
+            description: "HTTP server and support libraries",
+            approx_mloc: 0.35,
+            bug_database: "issues.apache.org/bugzilla",
+            sampled_non_deadlock: 13,
+            sampled_deadlock: 4,
+        },
+        AppInfo {
+            app: App::Mozilla,
+            description: "browser suite",
+            approx_mloc: 3.4,
+            bug_database: "bugzilla.mozilla.org",
+            sampled_non_deadlock: 41,
+            sampled_deadlock: 16,
+        },
+        AppInfo {
+            app: App::OpenOffice,
+            description: "office suite",
+            approx_mloc: 4.4,
+            bug_database: "openoffice.org issue tracker",
+            sampled_non_deadlock: 6,
+            sampled_deadlock: 2,
+        },
+    ]
+}
+
+/// Metadata for one application.
+pub fn app_info(app: App) -> AppInfo {
+    all_apps()
+        .into_iter()
+        .find(|i| i.app == app)
+        .expect("all four apps have metadata")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_apps_in_order() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 4);
+        assert_eq!(
+            apps.iter().map(|a| a.app).collect::<Vec<_>>(),
+            App::ALL.to_vec()
+        );
+    }
+
+    #[test]
+    fn sampled_counts_sum_to_105() {
+        let total: usize = all_apps().iter().map(|a| a.sampled_total()).sum();
+        assert_eq!(total, 105);
+        let nd: usize = all_apps().iter().map(|a| a.sampled_non_deadlock).sum();
+        let d: usize = all_apps().iter().map(|a| a.sampled_deadlock).sum();
+        assert_eq!(nd, 74);
+        assert_eq!(d, 31);
+    }
+
+    #[test]
+    fn lookup_by_app() {
+        let info = app_info(App::Mozilla);
+        assert_eq!(info.sampled_total(), 57);
+        assert!(info.bug_database.contains("mozilla"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The [`Bug`] record: one row of the study's dataset.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::taxonomy::{
+    AccessCount, App, BugClass, DeadlockFix, FixStrategy, NonDeadlockFix, PatternSet,
+    ResourceCount, ThreadCount, TmApplicability, VariableCount,
+};
+
+/// Stable identifier of a corpus bug, e.g. `"mysql-644"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BugId(pub String);
+
+impl BugId {
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BugId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BugId {
+    fn from(s: &str) -> BugId {
+        BugId(s.to_owned())
+    }
+}
+
+/// Class-specific detail of a bug record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BugDetail {
+    /// Detail axes recorded for non-deadlock bugs.
+    NonDeadlock {
+        /// Root-cause pattern(s).
+        patterns: PatternSet,
+        /// Variables involved in the manifestation.
+        variables: VariableCount,
+        /// Accesses whose order guarantees manifestation.
+        accesses: AccessCount,
+        /// How developers fixed it.
+        fix: NonDeadlockFix,
+    },
+    /// Detail axes recorded for deadlock bugs.
+    Deadlock {
+        /// Resources involved in the cycle.
+        resources: ResourceCount,
+        /// How developers fixed it.
+        fix: DeadlockFix,
+    },
+}
+
+/// One bug of the 105-bug corpus.
+///
+/// Field meanings follow the study's methodology section; see the crate
+/// docs for the synthesized-vs-paper-exact caveat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bug {
+    /// Stable identifier, `"<app>-<number>"`.
+    pub id: BugId,
+    /// Application the bug was reported against.
+    pub app: App,
+    /// Short title in bug-tracker style.
+    pub title: String,
+    /// What goes wrong and under which interleaving.
+    pub description: String,
+    /// Number of threads in the minimal manifestation.
+    pub threads: ThreadCount,
+    /// Class-specific axes.
+    pub detail: BugDetail,
+    /// The study's TM-applicability verdict.
+    pub tm: TmApplicability,
+    /// Identifier of the `lfm-kernels` kernel modeling this bug's
+    /// pattern, when one exists.
+    pub kernel: Option<String>,
+}
+
+impl Bug {
+    /// The bug's class, derived from its detail.
+    pub fn class(&self) -> BugClass {
+        match self.detail {
+            BugDetail::NonDeadlock { .. } => BugClass::NonDeadlock,
+            BugDetail::Deadlock { .. } => BugClass::Deadlock,
+        }
+    }
+
+    /// `true` for non-deadlock bugs.
+    pub fn is_non_deadlock(&self) -> bool {
+        self.class() == BugClass::NonDeadlock
+    }
+
+    /// `true` for deadlock bugs.
+    pub fn is_deadlock(&self) -> bool {
+        self.class() == BugClass::Deadlock
+    }
+
+    /// The pattern set, for non-deadlock bugs.
+    pub fn patterns(&self) -> Option<PatternSet> {
+        match &self.detail {
+            BugDetail::NonDeadlock { patterns, .. } => Some(*patterns),
+            BugDetail::Deadlock { .. } => None,
+        }
+    }
+
+    /// Variables involved, for non-deadlock bugs.
+    pub fn variables(&self) -> Option<VariableCount> {
+        match &self.detail {
+            BugDetail::NonDeadlock { variables, .. } => Some(*variables),
+            BugDetail::Deadlock { .. } => None,
+        }
+    }
+
+    /// Accesses involved, for non-deadlock bugs.
+    pub fn accesses(&self) -> Option<AccessCount> {
+        match &self.detail {
+            BugDetail::NonDeadlock { accesses, .. } => Some(*accesses),
+            BugDetail::Deadlock { .. } => None,
+        }
+    }
+
+    /// Resources involved, for deadlock bugs.
+    pub fn resources(&self) -> Option<ResourceCount> {
+        match &self.detail {
+            BugDetail::Deadlock { resources, .. } => Some(*resources),
+            BugDetail::NonDeadlock { .. } => None,
+        }
+    }
+
+    /// The fix strategy in the uniform [`FixStrategy`] taxonomy.
+    pub fn fix(&self) -> FixStrategy {
+        match &self.detail {
+            BugDetail::NonDeadlock { fix, .. } => FixStrategy::NonDeadlock(*fix),
+            BugDetail::Deadlock { fix, .. } => FixStrategy::Deadlock(*fix),
+        }
+    }
+}
+
+impl fmt::Display for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} — {}", self.id, self.app, self.title)
+    }
+}
+
+/// Compact constructor for non-deadlock records (used by the dataset
+/// modules; keeps each record readable).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn nd(
+    id: &str,
+    app: App,
+    title: &str,
+    description: &str,
+    patterns: PatternSet,
+    variables: VariableCount,
+    accesses: AccessCount,
+    threads: ThreadCount,
+    fix: NonDeadlockFix,
+    tm: TmApplicability,
+    kernel: Option<&'static str>,
+) -> Bug {
+    Bug {
+        id: BugId::from(id),
+        app,
+        title: title.to_owned(),
+        description: description.to_owned(),
+        threads,
+        detail: BugDetail::NonDeadlock {
+            patterns,
+            variables,
+            accesses,
+            fix,
+        },
+        tm,
+        kernel: kernel.map(str::to_owned),
+    }
+}
+
+/// Compact constructor for deadlock records.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dl(
+    id: &str,
+    app: App,
+    title: &str,
+    description: &str,
+    resources: ResourceCount,
+    threads: ThreadCount,
+    fix: DeadlockFix,
+    tm: TmApplicability,
+    kernel: Option<&'static str>,
+) -> Bug {
+    Bug {
+        id: BugId::from(id),
+        app,
+        title: title.to_owned(),
+        description: description.to_owned(),
+        threads,
+        detail: BugDetail::Deadlock { resources, fix },
+        tm,
+        kernel: kernel.map(str::to_owned),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::TmObstacle;
+
+    fn sample_nd() -> Bug {
+        nd(
+            "test-1",
+            App::MySql,
+            "racy counter",
+            "two threads race on a counter",
+            PatternSet::ATOMICITY,
+            VariableCount::One,
+            AccessCount::AtMostFour,
+            ThreadCount::Two,
+            NonDeadlockFix::AddOrChangeLock,
+            TmApplicability::Helps,
+            Some("counter_rmw"),
+        )
+    }
+
+    fn sample_dl() -> Bug {
+        dl(
+            "test-2",
+            App::Apache,
+            "abba",
+            "two locks in opposite order",
+            ResourceCount::Two,
+            ThreadCount::Two,
+            DeadlockFix::GiveUpResource,
+            TmApplicability::CannotHelp(TmObstacle::NotAtomicityIntent),
+            Some("abba"),
+        )
+    }
+
+    #[test]
+    fn class_derivation() {
+        assert_eq!(sample_nd().class(), BugClass::NonDeadlock);
+        assert!(sample_nd().is_non_deadlock());
+        assert_eq!(sample_dl().class(), BugClass::Deadlock);
+        assert!(sample_dl().is_deadlock());
+    }
+
+    #[test]
+    fn axis_accessors_are_class_specific() {
+        let b = sample_nd();
+        assert_eq!(b.patterns(), Some(PatternSet::ATOMICITY));
+        assert_eq!(b.variables(), Some(VariableCount::One));
+        assert_eq!(b.accesses(), Some(AccessCount::AtMostFour));
+        assert_eq!(b.resources(), None);
+        assert!(matches!(b.fix(), FixStrategy::NonDeadlock(_)));
+
+        let d = sample_dl();
+        assert_eq!(d.patterns(), None);
+        assert_eq!(d.variables(), None);
+        assert_eq!(d.accesses(), None);
+        assert_eq!(d.resources(), Some(ResourceCount::Two));
+        assert!(matches!(d.fix(), FixStrategy::Deadlock(_)));
+    }
+
+    #[test]
+    fn display_shows_id_app_title() {
+        let s = sample_nd().to_string();
+        assert!(s.contains("test-1"));
+        assert!(s.contains("MySQL"));
+        assert!(s.contains("racy counter"));
+    }
+
+    #[test]
+    fn bug_id_conversions() {
+        let id = BugId::from("x-1");
+        assert_eq!(id.as_str(), "x-1");
+        assert_eq!(id.to_string(), "x-1");
+    }
+}

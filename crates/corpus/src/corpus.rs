@@ -1,0 +1,341 @@
+//! The [`Corpus`] collection and its query API.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bug::{Bug, BugId};
+use crate::data;
+use crate::taxonomy::{App, BugClass, Pattern, ThreadCount, TmApplicability, VariableCount};
+
+/// The bug corpus: an ordered collection of [`Bug`] records with query
+/// helpers. [`Corpus::full`] loads the study's 105 bugs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    bugs: Vec<Bug>,
+}
+
+impl Corpus {
+    /// The full 105-bug study corpus.
+    pub fn full() -> Corpus {
+        Corpus { bugs: data::all() }
+    }
+
+    /// A corpus from arbitrary records (for tests and subsets).
+    pub fn from_bugs(bugs: Vec<Bug>) -> Corpus {
+        Corpus { bugs }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.bugs.len()
+    }
+
+    /// `true` when the corpus has no records.
+    pub fn is_empty(&self) -> bool {
+        self.bugs.is_empty()
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> impl Iterator<Item = &Bug> {
+        self.bugs.iter()
+    }
+
+    /// All records as a slice.
+    pub fn bugs(&self) -> &[Bug] {
+        &self.bugs
+    }
+
+    /// Looks up a record by id.
+    pub fn get(&self, id: &BugId) -> Option<&Bug> {
+        self.bugs.iter().find(|b| &b.id == id)
+    }
+
+    /// Looks up a record by id string.
+    pub fn get_str(&self, id: &str) -> Option<&Bug> {
+        self.bugs.iter().find(|b| b.id.as_str() == id)
+    }
+
+    /// Starts a filtered query over the corpus.
+    pub fn query(&self) -> CorpusQuery<'_> {
+        CorpusQuery {
+            corpus: self,
+            app: None,
+            class: None,
+            pattern: None,
+            threads: None,
+            variables: None,
+            tm_helps: None,
+            with_kernel: None,
+        }
+    }
+
+    /// Records for one application.
+    pub fn by_app(&self, app: App) -> Vec<&Bug> {
+        self.query().app(app).collect()
+    }
+
+    /// The non-deadlock subset.
+    pub fn non_deadlock(&self) -> Vec<&Bug> {
+        self.query().class(BugClass::NonDeadlock).collect()
+    }
+
+    /// The deadlock subset.
+    pub fn deadlock(&self) -> Vec<&Bug> {
+        self.query().class(BugClass::Deadlock).collect()
+    }
+
+    /// Counts records per application, in canonical app order.
+    pub fn counts_by_app(&self) -> BTreeMap<App, usize> {
+        let mut m = BTreeMap::new();
+        for app in App::ALL {
+            m.insert(app, 0);
+        }
+        for b in &self.bugs {
+            *m.entry(b.app).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+impl<'a> IntoIterator for &'a Corpus {
+    type Item = &'a Bug;
+    type IntoIter = std::slice::Iter<'a, Bug>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.bugs.iter()
+    }
+}
+
+impl FromIterator<Bug> for Corpus {
+    fn from_iter<I: IntoIterator<Item = Bug>>(iter: I) -> Corpus {
+        Corpus {
+            bugs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Bug> for Corpus {
+    fn extend<I: IntoIterator<Item = Bug>>(&mut self, iter: I) {
+        self.bugs.extend(iter);
+    }
+}
+
+/// A builder-style filtered query over a [`Corpus`].
+///
+/// ```rust
+/// use lfm_corpus::{Corpus, App, BugClass};
+///
+/// let corpus = Corpus::full();
+/// let mozilla_deadlocks = corpus
+///     .query()
+///     .app(App::Mozilla)
+///     .class(BugClass::Deadlock)
+///     .count();
+/// assert_eq!(mozilla_deadlocks, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorpusQuery<'c> {
+    corpus: &'c Corpus,
+    app: Option<App>,
+    class: Option<BugClass>,
+    pattern: Option<Pattern>,
+    threads: Option<ThreadCount>,
+    variables: Option<VariableCount>,
+    tm_helps: Option<bool>,
+    with_kernel: Option<bool>,
+}
+
+impl<'c> CorpusQuery<'c> {
+    /// Restricts to one application.
+    pub fn app(mut self, app: App) -> Self {
+        self.app = Some(app);
+        self
+    }
+
+    /// Restricts to one bug class.
+    pub fn class(mut self, class: BugClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Restricts to non-deadlock bugs exhibiting the given pattern
+    /// (matches when the pattern is *present*, so a both-patterns bug
+    /// matches either).
+    pub fn pattern(mut self, pattern: Pattern) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+
+    /// Restricts by the number of threads involved.
+    pub fn threads(mut self, threads: ThreadCount) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Restricts by the number of variables involved (non-deadlock only;
+    /// deadlock bugs never match).
+    pub fn variables(mut self, variables: VariableCount) -> Self {
+        self.variables = Some(variables);
+        self
+    }
+
+    /// Restricts by whether the study judged TM to directly help.
+    pub fn tm_helps(mut self, helps: bool) -> Self {
+        self.tm_helps = Some(helps);
+        self
+    }
+
+    /// Restricts to bugs with (or without) a linked executable kernel.
+    pub fn with_kernel(mut self, has: bool) -> Self {
+        self.with_kernel = Some(has);
+        self
+    }
+
+    fn matches(&self, bug: &Bug) -> bool {
+        if let Some(app) = self.app {
+            if bug.app != app {
+                return false;
+            }
+        }
+        if let Some(class) = self.class {
+            if bug.class() != class {
+                return false;
+            }
+        }
+        if let Some(pattern) = self.pattern {
+            match bug.patterns() {
+                None => return false,
+                Some(ps) => {
+                    let has = match pattern {
+                        Pattern::Atomicity => ps.atomicity,
+                        Pattern::Order => ps.order,
+                        Pattern::Other => ps.other,
+                    };
+                    if !has {
+                        return false;
+                    }
+                }
+            }
+        }
+        if let Some(threads) = self.threads {
+            if bug.threads != threads {
+                return false;
+            }
+        }
+        if let Some(variables) = self.variables {
+            if bug.variables() != Some(variables) {
+                return false;
+            }
+        }
+        if let Some(helps) = self.tm_helps {
+            if matches!(bug.tm, TmApplicability::Helps) != helps {
+                return false;
+            }
+        }
+        if let Some(has) = self.with_kernel {
+            if bug.kernel.is_some() != has {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs the query, collecting matching records.
+    pub fn collect(self) -> Vec<&'c Bug> {
+        self.corpus
+            .bugs
+            .iter()
+            .filter(|b| self.matches(b))
+            .collect()
+    }
+
+    /// Runs the query, counting matches.
+    pub fn count(self) -> usize {
+        self.corpus.bugs.iter().filter(|b| self.matches(b)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_corpus_shape() {
+        let c = Corpus::full();
+        assert_eq!(c.len(), 105);
+        assert!(!c.is_empty());
+        assert_eq!(c.non_deadlock().len(), 74);
+        assert_eq!(c.deadlock().len(), 31);
+    }
+
+    #[test]
+    fn counts_by_app_match_study() {
+        let c = Corpus::full();
+        let counts = c.counts_by_app();
+        assert_eq!(counts[&App::MySql], 23);
+        assert_eq!(counts[&App::Apache], 17);
+        assert_eq!(counts[&App::Mozilla], 57);
+        assert_eq!(counts[&App::OpenOffice], 8);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let c = Corpus::full();
+        let b = c.get_str("apache-25520").expect("known bug id");
+        assert_eq!(b.app, App::Apache);
+        assert!(c.get(&b.id).is_some());
+        assert!(c.get_str("nonexistent-1").is_none());
+    }
+
+    #[test]
+    fn query_composition() {
+        let c = Corpus::full();
+        let n = c
+            .query()
+            .app(App::Mozilla)
+            .class(BugClass::NonDeadlock)
+            .pattern(Pattern::Order)
+            .count();
+        assert_eq!(n, 14); // 12 pure order + 2 both
+
+        let multi = c
+            .query()
+            .class(BugClass::NonDeadlock)
+            .variables(VariableCount::MoreThanOne)
+            .count();
+        assert_eq!(multi, 25);
+
+        let helps = c.query().tm_helps(true).count();
+        assert_eq!(helps, 42);
+    }
+
+    #[test]
+    fn variables_filter_excludes_deadlocks() {
+        let c = Corpus::full();
+        let n = c
+            .query()
+            .class(BugClass::Deadlock)
+            .variables(VariableCount::One)
+            .count();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn kernel_filter() {
+        let c = Corpus::full();
+        let with = c.query().with_kernel(true).count();
+        let without = c.query().with_kernel(false).count();
+        assert_eq!(with + without, 105);
+        assert!(with >= 30, "a good share of bugs link to kernels, got {with}");
+    }
+
+    #[test]
+    fn corpus_collects_from_iterator() {
+        let c = Corpus::full();
+        let sub: Corpus = c.iter().filter(|b| b.is_deadlock()).cloned().collect();
+        assert_eq!(sub.len(), 31);
+        let mut ext = Corpus::from_bugs(Vec::new());
+        ext.extend(sub.iter().cloned());
+        assert_eq!(ext.len(), 31);
+    }
+}

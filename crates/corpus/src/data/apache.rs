@@ -1,0 +1,371 @@
+//! Apache bug records: 13 non-deadlock + 4 deadlock.
+//!
+//! Modeled on httpd / APR subsystems: the worker MPM, mod_log_config's
+//! shared buffer, mod_mem_cache, APR pools, scoreboard, and mod_ssl
+//! session caching.
+
+use crate::bug::{dl, nd, Bug};
+use crate::taxonomy::{
+    AccessCount::{AtMostFour, MoreThanFour},
+    App::Apache,
+    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS,
+    ResourceCount as RC, ThreadCount as TC, TmApplicability as TM,
+    TmObstacle as OB,
+    VariableCount::{MoreThanOne, One},
+};
+
+/// All Apache records.
+pub fn bugs() -> Vec<Bug> {
+    let mut v = non_deadlock();
+    v.extend(deadlock());
+    v
+}
+
+fn non_deadlock() -> Vec<Bug> {
+    vec![
+        nd(
+            "apache-25520",
+            Apache,
+            "mod_log_config shared buffer pointer torn between workers",
+            "Two worker threads append to the shared access-log buffer: each \
+             reads the current write offset, copies its record, then stores the \
+             new offset. Interleaved read/copy/store pairs overwrite each \
+             other's records and corrupt the log.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::CannotHelp(OB::IoInRegion),
+            Some("log_buffer_apache"),
+        ),
+        nd(
+            "apache-21287",
+            Apache,
+            "mod_mem_cache object refcount decremented non-atomically",
+            "cache_object cleanup does `obj->refcount--; if (!obj->refcount) \
+             free(obj)` without atomicity; two threads finishing with the same \
+             object both see refcount reach zero or neither does, causing a \
+             double free or a leak.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("stat_counter"),
+        ),
+        nd(
+            "apache-31018",
+            Apache,
+            "scoreboard worker-slot status lost updates",
+            "Workers update their scoreboard slot state with plain \
+             load-modify-store; the parent's maintenance pass interleaves and \
+             resurrects a dead slot, skewing process management decisions.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            Some("counter_rmw"),
+        ),
+        nd(
+            "apache-36594",
+            Apache,
+            "mod_ssl session cache index and entry updated in two steps",
+            "Inserting an SSL session updates the hash index and the entry's \
+             expiry field separately; a concurrent lookup between the steps \
+             finds the index pointing at an entry with a stale expiry and \
+             resurrects an expired session (two variables).",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::MaybeHelps,
+            Some("state_data_pair"),
+        ),
+        nd(
+            "apache-42031",
+            Apache,
+            "worker queue info idle-count read before push is visible",
+            "The listener reads `queue_info->idlers` before a worker's push of \
+             itself becomes visible; reordering the push before the decrement \
+             (a code switch) removes the window that wedged the listener.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            None,
+        ),
+        nd(
+            "apache-44402",
+            Apache,
+            "piped log writer interleaves header and body writes",
+            "Error-log entries written through a piped logger perform two \
+             writes (prefix, message). Concurrent children interleave them, \
+             producing garbled lines. The region is I/O, so a transactional \
+             wrap is not applicable; a mutex serializes the writes instead.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::CannotHelp(OB::IoInRegion),
+            None,
+        ),
+        nd(
+            "apache-46215",
+            Apache,
+            "mod_cache revalidation races across header, body and meta updates",
+            "Revalidating a cached entity rewrites five fields (status, headers, \
+             body handle, expiry, etag) while readers stream the old entity; a \
+             reader observing a mix of old and new fields serves a hybrid \
+             response. Needs an ordering over more than four accesses to pin \
+             down.",
+            PS::ATOMICITY,
+            One,
+            MoreThanFour,
+            TC::Two,
+            NF::Other,
+            TM::MaybeHelps,
+            None,
+        ),
+        nd(
+            "apache-48790",
+            Apache,
+            "APR reslist count checked then grown without atomicity",
+            "apr_reslist_acquire checks `ntotal < max` and then creates a new \
+             resource; two acquirers both pass the check and the list exceeds \
+             its bound. Fixed by re-checking under the list mutex.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("bank_withdraw"),
+        ),
+        nd(
+            "apache-50026",
+            Apache,
+            "mpm event timeout queue length diverges from list under churn",
+            "The event MPM maintains a timeout queue and a separate length \
+             counter; pop and length-decrement interleave with push, and the \
+             divergence eventually makes maintenance skip live connections.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::MaybeHelps,
+            Some("len_data_desync"),
+        ),
+        nd(
+            "apache-52327",
+            Apache,
+            "child init publishes hook table before module init completes",
+            "A child process publishes its hook dispatch table before one \
+             module finishes registering; the first request dispatches into a \
+             half-registered table. Reordering registration before publication \
+             fixes it.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            Some("publish_before_init"),
+        ),
+        nd(
+            "apache-53919",
+            Apache,
+            "graceful restart signals workers before draining listeners",
+            "The restart path assumed listeners stop before workers are told to \
+             exit; the actual signal arrives first under load, and an accepting \
+             worker processes a connection with torn-down per-child state.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::MaybeHelps,
+            Some("shutdown_order"),
+        ),
+        nd(
+            "apache-55284",
+            Apache,
+            "mod_proxy balancer applies slot update before shm header version",
+            "The balancer manager writes a member's new weight and then the shm \
+             header's generation counter; readers poll generation first, so the \
+             intended 'bump then publish' order is inverted and a reader mixes \
+             generations across two variables over a long scan.",
+            PS::ORDER,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::Helps,
+            None,
+        ),
+        nd(
+            "apache-57179",
+            Apache,
+            "listener notifies cond before worker enters wait",
+            "The listener signals 'work available' before an idle worker has \
+             entered the condition wait; the wakeup is lost and the connection \
+             stalls until the next event. The mutex added by the fix exists to \
+             order wait and signal, not to protect data.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::CannotHelp(OB::NotAtomicityIntent),
+            Some("missed_signal"),
+        ),
+    ]
+}
+
+fn deadlock() -> Vec<Bug> {
+    vec![
+        dl(
+            "apache-dl-32147",
+            Apache,
+            "APR pool mutex re-acquired during cleanup callback (self-deadlock)",
+            "Destroying a pool runs registered cleanups while holding the pool \
+             mutex; one cleanup allocates from the same pool and re-acquires \
+             the mutex. Fixed by releasing the mutex around cleanup callbacks.",
+            RC::One,
+            TC::One,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("self_relock"),
+        ),
+        dl(
+            "apache-dl-37680",
+            Apache,
+            "mod_rewrite log mutex vs cache mutex ABBA",
+            "The rewrite map cache path locks cache-then-log; the logging path \
+             locks log-then-cache when flushing a map miss. Concurrent requests \
+             deadlock. Fixed by dropping the cache mutex before logging.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("abba"),
+        ),
+        dl(
+            "apache-dl-42942",
+            Apache,
+            "worker queue mutex vs pool mutex cycle during connection teardown",
+            "Teardown holds the connection queue mutex and destroys a pool \
+             (taking the allocator mutex); the allocator's low-memory path \
+             recycles into the queue, taking the queue mutex.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::MaybeHelps,
+            Some("abba"),
+        ),
+        dl(
+            "apache-dl-46990",
+            Apache,
+            "mod_ssl session cache lock held across OCSP network fetch",
+            "The OCSP revalidation path held the session-cache mutex across a \
+             blocking network call while the handshake path waited on it \
+             holding the SSL context lock the fetch needed. Fixed by ordering \
+             the two acquisitions; the region blocks on the network, far too \
+             long for a transaction.",
+            RC::Two,
+            TC::Two,
+            DF::AcquireInOrder,
+            TM::CannotHelp(OB::LongRegion),
+            Some("wait_holding_lock"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::BugClass;
+
+    #[test]
+    fn counts_match_quotas() {
+        let all = bugs();
+        assert_eq!(all.len(), 17);
+        assert_eq!(
+            all.iter().filter(|b| b.class() == BugClass::NonDeadlock).count(),
+            13
+        );
+        assert_eq!(
+            all.iter().filter(|b| b.class() == BugClass::Deadlock).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn pattern_quota() {
+        let nd: Vec<_> = bugs().into_iter().filter(|b| b.is_non_deadlock()).collect();
+        let a = nd.iter().filter(|b| b.patterns().unwrap().atomicity).count();
+        let o = nd.iter().filter(|b| b.patterns().unwrap().order).count();
+        let both = nd
+            .iter()
+            .filter(|b| {
+                let p = b.patterns().unwrap();
+                p.atomicity && p.order
+            })
+            .count();
+        assert_eq!(a, 9);
+        assert_eq!(o, 4);
+        assert_eq!(both, 0);
+    }
+
+    #[test]
+    fn fix_strategy_quotas() {
+        use crate::taxonomy::{FixStrategy, NonDeadlockFix};
+        let nd: Vec<_> = bugs().into_iter().filter(|b| b.is_non_deadlock()).collect();
+        let count = |f: NonDeadlockFix| {
+            nd.iter()
+                .filter(|b| matches!(b.fix(), FixStrategy::NonDeadlock(x) if x == f))
+                .count()
+        };
+        assert_eq!(count(NonDeadlockFix::ConditionCheck), 3);
+        assert_eq!(count(NonDeadlockFix::CodeSwitch), 2);
+        assert_eq!(count(NonDeadlockFix::DesignChange), 1);
+        assert_eq!(count(NonDeadlockFix::AddOrChangeLock), 4);
+        assert_eq!(count(NonDeadlockFix::Other), 3);
+    }
+
+    #[test]
+    fn tm_quotas() {
+        use crate::taxonomy::TmApplicability;
+        let all = bugs();
+        let helps = all
+            .iter()
+            .filter(|b| matches!(b.tm, TmApplicability::Helps))
+            .count();
+        let maybe = all
+            .iter()
+            .filter(|b| matches!(b.tm, TmApplicability::MaybeHelps))
+            .count();
+        let cannot = all
+            .iter()
+            .filter(|b| matches!(b.tm, TmApplicability::CannotHelp(_)))
+            .count();
+        assert_eq!((helps, maybe, cannot), (7, 6, 4));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let all = bugs();
+        let mut ids: Vec<_> = all.iter().map(|b| b.id.as_str().to_owned()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

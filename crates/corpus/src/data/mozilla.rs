@@ -1,0 +1,1041 @@
+//! Mozilla bug records: 41 non-deadlock + 16 deadlock — the largest slice
+//! of the corpus, as in the study.
+//!
+//! Modeled on the Mozilla suite's classic multithreaded subsystems:
+//! SpiderMonkey (JS engine), necko (networking + cache), XPCOM threads and
+//! event queues, imglib, NSS, the timer thread, mailnews, and layout.
+
+use crate::bug::{dl, nd, Bug};
+use crate::taxonomy::{
+    AccessCount::{AtMostFour, MoreThanFour},
+    App::Mozilla,
+    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS,
+    ResourceCount as RC, ThreadCount as TC, TmApplicability as TM,
+    TmObstacle as OB,
+    VariableCount::{MoreThanOne, One},
+};
+
+/// All Mozilla records.
+pub fn bugs() -> Vec<Bug> {
+    let mut v = non_deadlock_atomicity();
+    v.extend(non_deadlock_mixed_and_order());
+    v.extend(deadlock());
+    v
+}
+
+/// Rows 1–27: pure atomicity violations.
+fn non_deadlock_atomicity() -> Vec<Bug> {
+    vec![
+        // 1: A, 1 var, <=4, 2 thr, CondCheck, Helps
+        nd(
+            "mozilla-52111",
+            Mozilla,
+            "JS property cache fill counter lost updates",
+            "Two JS threads filling the shared property cache increment the \
+             fill counter with load-add-store; interleaved increments lose \
+             counts and the cache disables itself prematurely.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("counter_rmw"),
+        ),
+        // 2: A, 1, <=4, 2, CodeSwitch, Helps
+        nd(
+            "mozilla-57766",
+            Mozilla,
+            "necko cache entry doom flag read before writer clears in-use bit",
+            "The cache eviction thread reads the entry's doom flag before the \
+             writer clears its in-use bit; swapping the two statements in the \
+             writer closes the window where a doomed-but-in-use entry is freed.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            None,
+        ),
+        // 3: A, multi, <=4, 2, DesignChange, Maybe
+        nd(
+            "mozilla-73291",
+            Mozilla,
+            "JS GC thing count diverges from arena list",
+            "The garbage collector tracks the allocated-things counter and the \
+             arena free list as two separately updated variables; an allocation \
+             interleaving with a sweep leaves count and list inconsistent and a \
+             later GC over-collects. The pair invariant spans two variables.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::MaybeHelps,
+            Some("cache_pair_invariant"),
+        ),
+        // 4: A, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-79054",
+            Mozilla,
+            "nsSocketTransport checks mThread non-null then dereferences",
+            "The socket transport checks `if (mThread)` and then calls through \
+             the pointer; shutdown nulls mThread between check and call and the \
+             browser crashes. The canonical check-then-act single-variable \
+             atomicity violation.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("check_then_act_null"),
+        ),
+        // 5: A, 1, <=4, 2, CodeSwitch, Helps
+        nd(
+            "mozilla-84627",
+            Mozilla,
+            "imglib decoder reads frame count mid-update",
+            "The image decoder publishes the frame count before linking the \
+             last frame; moving the count store after the link (a code switch) \
+             prevents the animation thread from indexing past the list.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            None,
+        ),
+        // 6: A, multi, <=4, 2, Lock, Maybe
+        nd(
+            "mozilla-91343",
+            Mozilla,
+            "cookie service updates count and hashtable non-atomically",
+            "Adding a cookie bumps `mCookieCount` and inserts into the \
+             hashtable as two steps; the cookie-purge thread interleaves and \
+             either purges too much or skips purging. Fixed by extending the \
+             service mutex over both updates.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            None,
+        ),
+        // 7: A, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-99224",
+            Mozilla,
+            "double-checked initialization of the atom table",
+            "The XPCOM atom table uses `if (!gAtomTable) gAtomTable = Init()`; \
+             two threads both observe null and both initialize, leaking one \
+             table and dangling interned atoms from it.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("double_check_init"),
+        ),
+        // 8: A, 1, <=4, 2, CodeSwitch, Helps
+        nd(
+            "mozilla-103331",
+            Mozilla,
+            "timer thread reads deadline before arming flag is stored",
+            "nsTimerImpl stores the deadline after setting the armed flag; the \
+             timer thread reading flag-then-deadline can fire with a stale \
+             deadline. Swapping the stores removes the torn pair.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            None,
+        ),
+        // 9: A, multi, >4, 2, Lock, Cannot(io)
+        nd(
+            "mozilla-108725",
+            Mozilla,
+            "disk cache writes metadata, map and journal as separate steps",
+            "Evicting a disk-cache entry updates the in-memory map, the block \
+             file bitmap, and appends a journal record — more than four \
+             accesses across several variables, interleaved by a concurrent \
+             open. The journal append is file I/O, so a transaction cannot \
+             cover the region; a coarse lock does.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            MoreThanFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::CannotHelp(OB::IoInRegion),
+            None,
+        ),
+        // 10: A, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-112418",
+            Mozilla,
+            "plugin host tests instance busy flag then reenters",
+            "The plugin host checks the instance's busy flag and then calls \
+             into it; a NPAPI callback on another thread sets busy between the \
+             two, corrupting per-instance state. Re-checking under the monitor \
+             fixes it.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("toctou_flag"),
+        ),
+        // 11: A, 1, <=4, 2, CodeSwitch, Helps
+        nd(
+            "mozilla-118853",
+            Mozilla,
+            "mailnews folder cache reads dirty bit mid-flush",
+            "The folder cache flusher clears the dirty bit before writing out \
+             the summary; a concurrent setter's update is lost. Clearing the \
+             bit after the write (statement swap) preserves the update.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            None,
+        ),
+        // 12: A, multi, <=4, 2, DesignChange, Maybe
+        nd(
+            "mozilla-124922",
+            Mozilla,
+            "necko request queue length and head pointer desynchronize",
+            "nsHttpConnectionMgr maintains a pending-request count separate \
+             from the queue; interleaved enqueue/dispatch leaves count≠queue \
+             and the manager stops dispatching. Redesigned to derive the count \
+             from the queue.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::MaybeHelps,
+            Some("len_data_desync"),
+        ),
+        // 13: A, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-131447",
+            Mozilla,
+            "RDF resource refcount check-then-release",
+            "nsRDFResource::Release reads the refcount, decides to destroy, \
+             then decrements; two releasing threads both decide to destroy. \
+             Fixed with a re-check of the count under the service lock.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("bank_withdraw"),
+        ),
+        // 14: A, 1, <=4, 2, Lock, Helps
+        nd(
+            "mozilla-137069",
+            Mozilla,
+            "JS runtime GC-bytes counter races with allocation fast path",
+            "The allocation fast path bumps `rt->gcBytes` unlocked for speed; \
+             concurrent allocations lose updates and the GC trigger drifts. \
+             The fix moves the counter under the GC lock.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::Helps,
+            Some("counter_rmw"),
+        ),
+        // 15: A, multi, <=4, 2, Other, Maybe
+        nd(
+            "mozilla-142651",
+            Mozilla,
+            "docshell session history index and list updated separately",
+            "Navigations update mSessionHistory's entry list and the current \
+             index in two steps; a concurrent history prune between them makes \
+             the index point past the list. Fixed by privatizing the pair \
+             behind an accessor that updates both (bucketed 'other').",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::MaybeHelps,
+            Some("state_data_pair"),
+        ),
+        // 16: A, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-150355",
+            Mozilla,
+            "NSS token session flag tested then used across logout",
+            "PK11 code tests the token's logged-in flag then uses the session; \
+             a logout on another thread invalidates it in between, failing the \
+             operation with a crash rather than an error. Re-validate under \
+             the slot lock.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            None,
+        ),
+        // 17: A, 1, <=4, 2, Lock, Maybe
+        nd(
+            "mozilla-157394",
+            Mozilla,
+            "xpcom proxy event queue pending-count torn update",
+            "The proxy event queue's pending counter is updated outside the \
+             queue monitor on the fast path; lost updates park the consumer \
+             with events still queued.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            None,
+        ),
+        // 18: A, multi, >4, >2, Other, Cannot(long)
+        nd(
+            "mozilla-163595",
+            Mozilla,
+            "layout reflow coalescing tears across three updating threads",
+            "Reflow batching aggregates dirty-frame state from the parser \
+             thread, the image notification thread and the main thread; the \
+             coalescing window spans many accesses over several variables and \
+             needs all three threads to manifest. The batching region is far \
+             too long to wrap transactionally; the fix privatizes per-thread \
+             dirty sets.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            MoreThanFour,
+            TC::MoreThanTwo,
+            NF::Other,
+            TM::CannotHelp(OB::LongRegion),
+            None,
+        ),
+        // 19: A, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-170109",
+            Mozilla,
+            "necko DNS cache entry expiry checked then refreshed twice",
+            "Two resolver threads both observe an expired entry and both \
+             re-resolve and insert, leaking one entry and double-counting \
+             stats. A second check under the cache lock fixes it.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("double_check_init"),
+        ),
+        // 20: A, 1, <=4, 2, DesignChange, Maybe
+        nd(
+            "mozilla-176919",
+            Mozilla,
+            "editor transaction stack pointer torn during async spellcheck",
+            "The async spellchecker walks the transaction stack while edits \
+             push onto it; the top-pointer read/write pair tears. The fix \
+             redesigns the spellchecker to operate on a snapshot.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::MaybeHelps,
+            None,
+        ),
+        // 21: A, multi, <=4, 2, Lock, Maybe
+        nd(
+            "mozilla-183361",
+            Mozilla,
+            "image cache total-size and per-entry sizes drift apart",
+            "The image cache keeps a global total alongside per-entry sizes; \
+             eviction updates them in two unlocked steps and the invariant \
+             total==Σsizes breaks, wedging eviction. Both counters moved under \
+             one lock.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            Some("double_counter_invariant"),
+        ),
+        // 22: A, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-190631",
+            Mozilla,
+            "js_FlushPropertyCache races with lookup's emptiness test",
+            "The property-cache flush tests `cache->empty` then walks entries; \
+             a concurrent fill between test and walk leaves a new entry \
+             unflushed and later misdirects a lookup.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("toctou_flag"),
+        ),
+        // 23: A, 1, <=4, 2, Lock, Maybe
+        nd(
+            "mozilla-197341",
+            Mozilla,
+            "string bundle service caches bundle pointer unlocked",
+            "nsStringBundleService's one-element cache is read and replaced \
+             without the service lock on a hot path; a torn pointer/key pair \
+             returns the wrong localization bundle.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            Some("aba_problem"),
+        ),
+        // 24: A, multi, <=4, 2, Other, Cannot(io)
+        nd(
+            "mozilla-204340",
+            Mozilla,
+            "download manager progress record torn across file and UI state",
+            "Progress updates write the bytes-done field, then append to the \
+             downloads file, then flip the UI-dirty flag; a cancel interleaves \
+             and the file records a finished download that the UI shows as \
+             cancelled. The file append makes the region non-transactional; \
+             fixed by funneling updates through a single writer thread.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::CannotHelp(OB::IoInRegion),
+            None,
+        ),
+        // 25: A, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-211801",
+            Mozilla,
+            "nsPipe available-bytes check races with concurrent read",
+            "A pipe reader checks `mAvailable >= count` then consumes; two \
+             readers both pass and the second underflows the buffer. The fix \
+             re-checks availability inside the monitor.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("bank_withdraw"),
+        ),
+        // 26: A, 1, <=4, 2, Lock, Maybe
+        nd(
+            "mozilla-219470",
+            Mozilla,
+            "history service visit-count increment unprotected on hot path",
+            "Recording a page visit increments the in-memory visit count \
+             outside the history lock; concurrent loads lose counts and \
+             autocomplete ranking degrades.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            Some("stat_counter"),
+        ),
+        // 27: A, multi, <=4, 2, Other, Cannot(notAtomicity)
+        nd(
+            "mozilla-226581",
+            Mozilla,
+            "necko socket poll list and interest flags updated around poll()",
+            "The socket transport service mutates the poll list and per-socket \
+             interest flags around the blocking poll() call; the 'lock' being \
+             violated is really an ownership hand-off protocol, not an \
+             atomicity intent, so TM does not express it. Fixed by migrating \
+             mutations onto the socket thread ('other').",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::CannotHelp(OB::NotAtomicityIntent),
+            None,
+        ),
+    ]
+}
+
+/// Rows 28–29 (atomicity+order) and 30–41 (pure order violations).
+fn non_deadlock_mixed_and_order() -> Vec<Bug> {
+    vec![
+        // 28: AO, multi, <=4, 2, CodeSwitch, Maybe
+        nd(
+            "mozilla-233541",
+            Mozilla,
+            "necko cache stream both torn and reordered against doom",
+            "Closing a cache output stream must both happen-after the final \
+             write and be atomic with the entry's doom check; the code violated \
+             both intentions, corrupting entries two different ways depending \
+             on the interleaving (both atomicity and order violation, across \
+             the stream state and entry state).",
+            PS::BOTH,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::MaybeHelps,
+            None,
+        ),
+        // 29: AO, 1, <=4, 2, Other, Cannot(long)
+        nd(
+            "mozilla-241066",
+            Mozilla,
+            "plugin stream teardown races and reorders against NPP_Write",
+            "Stream teardown may both interleave inside an in-progress \
+             NPP_Write (atomicity) and run before the pending-data flush it \
+             was supposed to follow (order). The region spans a plugin call of \
+             unbounded length, so a transactional wrap is not viable; fixed by \
+             deferring teardown to the stream's own event ('other').",
+            PS::BOTH,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::CannotHelp(OB::LongRegion),
+            None,
+        ),
+        // 30: O, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-61369",
+            Mozilla,
+            "nsThread used before Init() stores mThread",
+            "The creator starts the underlying PR thread, which calls back \
+             into the nsThread object before the creator stores mThread; the \
+             callback reads null. The canonical use-before-init order \
+             violation; fixed by a condition wait for initialization.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("use_before_init_mozilla"),
+        ),
+        // 31: O, multi, >4, 2, DesignChange, Maybe
+        nd(
+            "mozilla-248032",
+            Mozilla,
+            "mailnews biff state machine observes steps out of order",
+            "The biff (new-mail check) state machine publishes state, server \
+             pointer, and folder list in an order the IMAP thread does not \
+             expect; manifestation requires a specific order over five \
+             accesses across three variables. Redesigned as a message-passing \
+             hand-off.",
+            PS::ORDER,
+            MoreThanOne,
+            MoreThanFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::MaybeHelps,
+            None,
+        ),
+        // 32: O, 1, <=4, 2, Lock, Maybe
+        nd(
+            "mozilla-254305",
+            Mozilla,
+            "observer service notified after component manager shutdown",
+            "Shutdown assumed the observer service drains before the component \
+             manager tears down; a worker's late notify arrives after teardown \
+             and dispatches into freed tables. A shutdown mutex now orders the \
+             two phases.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            Some("shutdown_order"),
+        ),
+        // 33: O, multi, <=4, 2, Other, Cannot(io)
+        nd(
+            "mozilla-260377",
+            Mozilla,
+            "profile lock file written after prefs flush begins",
+            "Profile teardown starts flushing prefs.js before writing the \
+             profile lock sentinel the flusher checks, so a second instance \
+             starts mid-flush and both write the file. The sentinel write is \
+             file I/O; fixed by funneling both steps into one shutdown task.",
+            PS::ORDER,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::CannotHelp(OB::IoInRegion),
+            None,
+        ),
+        // 34: O, 1, <=4, 2, CondCheck, Helps
+        nd(
+            "mozilla-267071",
+            Mozilla,
+            "timer thread signalled before it enters its monitor wait",
+            "Arming the first timer signals the timer thread's monitor before \
+             the thread has entered Wait(); the wakeup is lost and the timer \
+             fires late or never. Fixed by re-checking the queue under the \
+             monitor before waiting.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("missed_signal"),
+        ),
+        // 35: O, multi, <=4, 2, Lock, Maybe
+        nd(
+            "mozilla-273615",
+            Mozilla,
+            "imglib consumer reads frame before decoder publishes size",
+            "The display path expects image width/height to be published \
+             before the first frame notification; the decoder emits the \
+             notification first, and layout reads zero dimensions (two \
+             variables: the frame pointer and the size pair).",
+            PS::ORDER,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            Some("consume_before_produce"),
+        ),
+        // 36: O, 1, <=4, 2, CodeSwitch, Helps
+        nd(
+            "mozilla-279231",
+            Mozilla,
+            "worker exits before joiner records its completion",
+            "Thread shutdown posts the 'done' event before clearing the \
+             joinable flag, so the joiner can run between the two and miss the \
+             thread entirely, leaking it. The two statements were swapped.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            Some("join_less_exit"),
+        ),
+        // 37: O, multi, <=4, 2, Other, Cannot(notAtomicity)
+        nd(
+            "mozilla-285404",
+            Mozilla,
+            "NSS certificate store init ordered after first verification",
+            "A background prefetch can issue the first certificate \
+             verification before the store's root list finishes loading; the \
+             verification fails closed. The constraint is pure ordering — \
+             there is no atomicity intent for TM to restore; fixed by gating \
+             verification on an init event ('other').",
+            PS::ORDER,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::CannotHelp(OB::NotAtomicityIntent),
+            None,
+        ),
+        // 38: O, 1, <=4, 2, DesignChange, Maybe
+        nd(
+            "mozilla-291088",
+            Mozilla,
+            "necko publishes connection to pool before SSL handshake state",
+            "A connection is inserted into the reuse pool before its SSL \
+             handshake-complete flag is stored; a second request picks it up \
+             and writes plaintext. Redesigned so insertion happens in the \
+             handshake-complete callback.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::MaybeHelps,
+            Some("publish_before_init"),
+        ),
+        // 39: O, multi, >4, >2, Other, Cannot(long)
+        nd(
+            "mozilla-297060",
+            Mozilla,
+            "session restore aggregates window state from racing writers",
+            "Session-restore serialization reads per-window state while the \
+             main thread, the IO thread and a worker all append updates; a \
+             consistent snapshot requires ordering more than four accesses \
+             across three threads. The aggregation phase is too long for a \
+             transaction; fixed by double-buffering the state ('other').",
+            PS::ORDER,
+            MoreThanOne,
+            MoreThanFour,
+            TC::MoreThanTwo,
+            NF::Other,
+            TM::CannotHelp(OB::LongRegion),
+            None,
+        ),
+        // 40: O, 1, <=4, 2, Lock, Maybe
+        nd(
+            "mozilla-303727",
+            Mozilla,
+            "XPCOM shutdown proceeds before cycle collector thread parks",
+            "Shutdown assumed the cycle collector parks before module unload \
+             starts; without an enforced order the collector touches unloaded \
+             code. A shutdown lock now serializes the two.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            Some("shutdown_order"),
+        ),
+        // 41: O, multi, <=4, 2, Other, Cannot(notAtomicity)
+        nd(
+            "mozilla-310210",
+            Mozilla,
+            "mDNS responder answers before interface list is published",
+            "The responder thread can answer a query using the interface list \
+             before the enumeration thread publishes its tail entry and count; \
+             the answer omits interfaces. A pure ordering protocol (publish \
+             before answer) with no atomicity intent; fixed with an init \
+             barrier event ('other').",
+            PS::ORDER,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::CannotHelp(OB::NotAtomicityIntent),
+            None,
+        ),
+    ]
+}
+
+fn deadlock() -> Vec<Bug> {
+    vec![
+        // d1: 1 res, 1 thr, GiveUp, Helps
+        dl(
+            "mozilla-dl-54543",
+            Mozilla,
+            "nsCacheService lock re-entered from eviction callback",
+            "Evicting an entry invokes its listener while holding the cache \
+             service lock; the listener calls back into the service, which \
+             re-acquires the same lock. Fixed by releasing the lock around \
+             listener callbacks.",
+            RC::One,
+            TC::One,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("self_relock"),
+        ),
+        // d2: 1 res, 1 thr, GiveUp, Maybe
+        dl(
+            "mozilla-dl-62198",
+            Mozilla,
+            "JS GC lock re-acquired in finalizer (self-deadlock)",
+            "A finalizer running under the GC lock allocates, and the \
+             allocation slow path takes the GC lock again. Fixed by deferring \
+             finalizer allocation until after the lock is dropped.",
+            RC::One,
+            TC::One,
+            DF::GiveUpResource,
+            TM::MaybeHelps,
+            Some("self_relock"),
+        ),
+        // d3: 1 res, 1 thr, Other, Cannot(io)
+        dl(
+            "mozilla-dl-69012",
+            Mozilla,
+            "profile prefs writer re-enters the prefs monitor via flush",
+            "Writing prefs holds the prefs monitor and calls a flush helper \
+             that re-enters the monitor; the region writes prefs.js so a \
+             transactional restructure does not apply. Fixed by a recursion \
+             guard flag ('other').",
+            RC::One,
+            TC::One,
+            DF::Other,
+            TM::CannotHelp(OB::IoInRegion),
+            Some("self_relock"),
+        ),
+        // d4: 1 res, 1 thr, Other, Cannot(long)
+        dl(
+            "mozilla-dl-75390",
+            Mozilla,
+            "synchronous proxy call to same thread waits on itself",
+            "A synchronous XPCOM proxy posted to the caller's own event queue \
+             waits for a reply that only the caller could process. One thread, \
+             one resource (the reply monitor), blocked forever. Fixed by \
+             detecting same-thread dispatch and calling directly ('other').",
+            RC::One,
+            TC::One,
+            DF::Other,
+            TM::CannotHelp(OB::LongRegion),
+            None,
+        ),
+        // d5: 2 res, 2 thr, GiveUp, Helps
+        dl(
+            "mozilla-dl-81426",
+            Mozilla,
+            "cache service lock vs cache entry lock ABBA",
+            "The eviction path locks service-then-entry; the doom path locks \
+             entry-then-service. Concurrent eviction and doom deadlock. Fixed \
+             by dropping the entry lock before calling into the service.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("abba"),
+        ),
+        // d6: 2 res, 2 thr, GiveUp, Helps
+        dl(
+            "mozilla-dl-88332",
+            Mozilla,
+            "imglib cache lock vs decoder monitor cycle",
+            "The animation timer holds the image-cache lock and enters the \
+             decoder monitor; the decoder thread holds its monitor and \
+             re-enters the cache to update sizes. Fixed by releasing the cache \
+             lock before notifying the decoder.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("abba"),
+        ),
+        // d7: 2 res, 2 thr, GiveUp, Maybe
+        dl(
+            "mozilla-dl-94215",
+            Mozilla,
+            "necko DNS lock vs proxy service lock taken in opposite orders",
+            "Resolution with a PAC proxy holds the DNS lock and queries the \
+             proxy service; PAC reconfiguration holds the proxy lock and \
+             flushes DNS. Fixed by giving up the DNS lock before the proxy \
+             query.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::MaybeHelps,
+            Some("abba"),
+        ),
+        // d8: 2 res, 2 thr, GiveUp, Maybe
+        dl(
+            "mozilla-dl-101731",
+            Mozilla,
+            "mailnews folder lock held across blocking IMAP wait",
+            "The UI thread holds the folder lock and waits for the IMAP \
+             thread's completion monitor; the IMAP thread needs the folder \
+             lock to complete. Fixed by waiting without holding the folder \
+             lock.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::MaybeHelps,
+            Some("wait_holding_lock"),
+        ),
+        // d9: 2 res, 2 thr, GiveUp, Cannot(io)
+        dl(
+            "mozilla-dl-109482",
+            Mozilla,
+            "disk cache map lock held across block-file write that needs it",
+            "A writer holds the cache-map lock across a block-file write whose \
+             error path re-enters the map; meanwhile the eviction thread \
+             blocks on the map lock holding the block-file lock the write \
+             needs. File I/O in the region rules out a transactional fix; the \
+             write is now performed after dropping the map lock.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::CannotHelp(OB::IoInRegion),
+            Some("wait_holding_lock"),
+        ),
+        // d10: 2 res, 2 thr, GiveUp, Cannot(long)
+        dl(
+            "mozilla-dl-117265",
+            Mozilla,
+            "plugin host lock held across long NPAPI call that re-enters",
+            "The plugin host holds its instance-table lock across an NPAPI \
+             call of unbounded duration; the plugin calls back into the host \
+             from another thread, which waits on the table lock while the \
+             first thread waits on the plugin's own lock.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::CannotHelp(OB::LongRegion),
+            None,
+        ),
+        // d11: 2 res, 2 thr, GiveUp, Cannot(notAtomicity)
+        dl(
+            "mozilla-dl-123904",
+            Mozilla,
+            "nsEventQueue monitor vs DOM lock hand-off protocol cycle",
+            "The event queue monitor and the DOM mutation lock form a cycle \
+             between the UI and parser threads; the monitor implements a \
+             hand-off protocol rather than data atomicity, so TM does not \
+             apply. Fixed by releasing the DOM lock before dispatching.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::CannotHelp(OB::NotAtomicityIntent),
+            Some("bounded_buffer"),
+        ),
+        // d12: 2 res, 2 thr, AcquireInOrder, Helps
+        dl(
+            "mozilla-dl-130512",
+            Mozilla,
+            "rwlock read-to-write upgrade while a peer does the same",
+            "Two style-system threads holding read locks on the rule tree \
+             both try to upgrade to write; neither can proceed while the other \
+             holds its read lock. Fixed by acquiring the write lock up front \
+             (ordering the acquisition).",
+            RC::Two,
+            TC::Two,
+            DF::AcquireInOrder,
+            TM::Helps,
+            Some("rwlock_upgrade"),
+        ),
+        // d13: 2 res, 2 thr, AcquireInOrder, Maybe
+        dl(
+            "mozilla-dl-137748",
+            Mozilla,
+            "join of decoder thread while holding the lock it exits under",
+            "Image teardown joins the decoder thread while holding the decoder \
+             lock that the thread's exit path acquires. Fixed by documenting \
+             and enforcing join-before-lock ordering.",
+            RC::Two,
+            TC::Two,
+            DF::AcquireInOrder,
+            TM::MaybeHelps,
+            Some("join_under_lock"),
+        ),
+        // d14: 2 res, 2 thr, AcquireInOrder, Maybe
+        dl(
+            "mozilla-dl-144831",
+            Mozilla,
+            "NSS slot lock vs session lock order inverted in C_Login path",
+            "The login path takes slot-then-session; key generation takes \
+             session-then-slot. A global lock order (slot before session) was \
+             imposed across the module.",
+            RC::Two,
+            TC::Two,
+            DF::AcquireInOrder,
+            TM::MaybeHelps,
+            Some("abba"),
+        ),
+        // d15: 2 res, 2 thr, SplitResource, Helps
+        dl(
+            "mozilla-dl-151176",
+            Mozilla,
+            "single I/O semaphore shared by reader and writer rings",
+            "Reader and writer thread pools throttled through one counting \
+             semaphore; a full ring of writers waiting for readers (and vice \
+             versa) starves into a cycle. The semaphore was split into \
+             independent read and write semaphores.",
+            RC::Two,
+            TC::Two,
+            DF::SplitResource,
+            TM::Helps,
+            Some("semaphore_cycle"),
+        ),
+        // d16: >2 res, >2 thr, GiveUp, Helps
+        dl(
+            "mozilla-dl-158629",
+            Mozilla,
+            "three-lock cycle across necko, cache and timer threads",
+            "The socket thread holds the transport lock and wants the cache \
+             lock; the cache thread holds the cache lock and wants the timer \
+             lock; the timer thread holds the timer lock and wants the \
+             transport lock — a three-resource, three-thread cycle (the only \
+             >2-resource deadlock in the corpus). Fixed by dropping the \
+             transport lock before touching the cache.",
+            RC::MoreThanTwo,
+            TC::MoreThanTwo,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("lock_cycle_3"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::BugClass;
+
+    #[test]
+    fn counts_match_quotas() {
+        let all = bugs();
+        assert_eq!(all.len(), 57);
+        assert_eq!(
+            all.iter().filter(|b| b.class() == BugClass::NonDeadlock).count(),
+            41
+        );
+        assert_eq!(
+            all.iter().filter(|b| b.class() == BugClass::Deadlock).count(),
+            16
+        );
+    }
+
+    #[test]
+    fn pattern_quota() {
+        let nd: Vec<_> = bugs().into_iter().filter(|b| b.is_non_deadlock()).collect();
+        let a = nd.iter().filter(|b| b.patterns().unwrap().atomicity).count();
+        let o = nd.iter().filter(|b| b.patterns().unwrap().order).count();
+        let both = nd
+            .iter()
+            .filter(|b| {
+                let p = b.patterns().unwrap();
+                p.atomicity && p.order
+            })
+            .count();
+        assert_eq!(a, 29);
+        assert_eq!(o, 14);
+        assert_eq!(both, 2);
+    }
+
+    #[test]
+    fn multivariable_quota() {
+        let nd: Vec<_> = bugs().into_iter().filter(|b| b.is_non_deadlock()).collect();
+        use crate::taxonomy::VariableCount;
+        let multi = nd
+            .iter()
+            .filter(|b| b.variables() == Some(VariableCount::MoreThanOne))
+            .count();
+        assert_eq!(multi, 16);
+    }
+
+    #[test]
+    fn deadlock_resource_quota() {
+        use crate::taxonomy::ResourceCount;
+        let d: Vec<_> = bugs().into_iter().filter(|b| b.is_deadlock()).collect();
+        let one = d.iter().filter(|b| b.resources() == Some(ResourceCount::One)).count();
+        let more = d
+            .iter()
+            .filter(|b| b.resources() == Some(ResourceCount::MoreThanTwo))
+            .count();
+        assert_eq!(one, 4);
+        assert_eq!(more, 1);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let all = bugs();
+        let mut ids: Vec<_> = all.iter().map(|b| b.id.as_str().to_owned()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

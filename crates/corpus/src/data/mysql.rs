@@ -1,0 +1,438 @@
+//! MySQL bug records: 14 non-deadlock + 9 deadlock.
+//!
+//! Records are synthesized to the study's per-app quotas (see DESIGN.md
+//! §4.1); subsystems and failure modes are modeled on the kinds of MySQL
+//! server bugs the study sampled (binlog, InnoDB, query cache,
+//! replication, table cache, …).
+
+use crate::bug::{dl, nd, Bug};
+use crate::taxonomy::{
+    AccessCount::{AtMostFour, MoreThanFour},
+    App::MySql,
+    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS,
+    ResourceCount as RC, ThreadCount as TC, TmApplicability as TM,
+    TmObstacle as OB,
+    VariableCount::{MoreThanOne, One},
+};
+
+/// All MySQL records.
+pub fn bugs() -> Vec<Bug> {
+    let mut v = non_deadlock();
+    v.extend(deadlock());
+    v
+}
+
+fn non_deadlock() -> Vec<Bug> {
+    vec![
+        nd(
+            "mysql-791",
+            MySql,
+            "binlog entries interleave during log rotation",
+            "While one thread rotates the binary log (close old file, open new), \
+             another session appends its transaction record. The append's \
+             read-of-current-log and write are not atomic with respect to the \
+             rotation, so an entry lands in a closed log and replication breaks.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::CannotHelp(OB::IoInRegion),
+            Some("read_frag_write"),
+        ),
+        nd(
+            "mysql-2011",
+            MySql,
+            "query cache invalidation races with lookup",
+            "A SELECT checks `query_cache_size != 0` and then dereferences the \
+             cache structure; concurrently, RESET QUERY CACHE frees the structure \
+             between the check and the use, crashing the server.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("check_then_act_null"),
+        ),
+        nd(
+            "mysql-3596",
+            MySql,
+            "InnoDB buffer pool LRU statistic lost updates",
+            "Two purge workers increment `buf_pool->stat.n_pages_made_young` with \
+             a plain load-add-store. Concurrent increments lose counts, skewing \
+             the flushing heuristics under load.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::MaybeHelps,
+            Some("counter_rmw"),
+        ),
+        nd(
+            "mysql-5014",
+            MySql,
+            "HANDLER close races with table flush check",
+            "The HANDLER code checks `table->needs_reopen` and proceeds to read \
+             the table object while FLUSH TABLES concurrently marks and frees it. \
+             The check-then-act window yields reads of freed memory.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("bank_withdraw"),
+        ),
+        nd(
+            "mysql-6387",
+            MySql,
+            "table cache count diverges from cache list",
+            "Opening a table updates the `table_cache_count` counter and the \
+             cache's linked list in two steps. A concurrent close interleaves \
+             between them, leaving count and list inconsistent and later \
+             triggering an assertion in the cache eviction path.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::MaybeHelps,
+            Some("len_data_desync"),
+        ),
+        nd(
+            "mysql-7209",
+            MySql,
+            "slow query log header and body interleave",
+            "The slow-query logger writes the timestamp header and the statement \
+             body as two `write()` calls. Two sessions logging simultaneously \
+             interleave header/body pairs and corrupt the log file.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::CannotHelp(OB::IoInRegion),
+            None,
+        ),
+        nd(
+            "mysql-9560",
+            MySql,
+            "replication status aggregation tears across workers",
+            "SHOW SLAVE STATUS aggregates per-worker positions from several \
+             applier threads while they advance; the snapshot mixes positions \
+             from different group commits. Manifestation requires three or more \
+             workers advancing through a multi-field update window.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            MoreThanFour,
+            TC::MoreThanTwo,
+            NF::Other,
+            TM::MaybeHelps,
+            None,
+        ),
+        nd(
+            "mysql-10928",
+            MySql,
+            "key cache resize reads stale block count",
+            "MyISAM key cache resize reads `blocks_used` before waiting for \
+             in-flight reads to drain; moving the read after the drain (a \
+             two-line code switch) closes the window where a stale count \
+             under-allocates the new cache.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            None,
+        ),
+        nd(
+            "mysql-12848",
+            MySql,
+            "FLUSH TABLES both tears and reorders the reopen flag",
+            "The reopen path both assumes the flag-check and table-use are atomic \
+             and assumes the flusher publishes the new table version before \
+             setting the flag; the actual code does neither, so the bug manifests \
+             both as an atomicity violation and as an order violation.",
+            PS::BOTH,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::Helps,
+            Some("toctou_flag"),
+        ),
+        nd(
+            "mysql-14262",
+            MySql,
+            "slave SQL thread consumes relay event before IO thread completes it",
+            "The SQL applier thread assumes the IO thread has finished writing \
+             the relay-log event before it reads it; under a fast apply cycle the \
+             read happens first and the applier sees a truncated event.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::MaybeHelps,
+            Some("consume_before_produce"),
+        ),
+        nd(
+            "mysql-16593",
+            MySql,
+            "shutdown reads thread count before signal handler registers exit",
+            "Server shutdown expects every worker to have registered its exit \
+             before the count is read; a late worker registers after the read, \
+             and shutdown proceeds while the worker still touches global state.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::MaybeHelps,
+            Some("join_less_exit"),
+        ),
+        nd(
+            "mysql-19938",
+            MySql,
+            "DDL publishes partial table definition to concurrent readers",
+            "ALTER TABLE installs the new TABLE_SHARE pointer before finishing \
+             the index metadata it points to; a concurrent query follows the \
+             pointer and reads half-initialized metadata (two variables: the \
+             pointer and the init flag).",
+            PS::ORDER,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::Helps,
+            Some("publish_before_init"),
+        ),
+        nd(
+            "mysql-21587",
+            MySql,
+            "InnoDB purge starts before trx list initialization completes",
+            "At startup the purge coordinator may begin scanning the transaction \
+             list before the recovery thread finishes rebuilding it; the scan \
+             observes an uninitialized tail pointer.",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::Helps,
+            Some("use_before_init_mozilla"),
+        ),
+        nd(
+            "mysql-24988",
+            MySql,
+            "metadata lock retry storm starves DDL",
+            "Two sessions repeatedly back off and retry conflicting metadata \
+             lock requests in lockstep; neither makes progress for seconds. Not \
+             an atomicity or order violation — the 'other' pattern bucket.",
+            PS::OTHER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::CannotHelp(OB::NotAtomicityIntent),
+            Some("livelock_retry"),
+        ),
+    ]
+}
+
+fn deadlock() -> Vec<Bug> {
+    vec![
+        dl(
+            "mysql-dl-3791",
+            MySql,
+            "LOCK_open re-acquired in error path (self-deadlock)",
+            "An error path inside close_thread_tables() re-acquires LOCK_open, \
+             which the caller already holds. The thread blocks on itself; the \
+             fix gives up the resource by releasing before the error path.",
+            RC::One,
+            TC::One,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("self_relock"),
+        ),
+        dl(
+            "mysql-dl-5229",
+            MySql,
+            "binlog mutex re-entered from within the dump thread callback",
+            "A callback invoked under LOCK_log calls back into a helper that \
+             takes LOCK_log again. The lock is not used to protect a memory \
+             invariant but to serialize an I/O ordering protocol, so wrapping \
+             in a transaction would not express the intent.",
+            RC::One,
+            TC::One,
+            DF::Other,
+            TM::CannotHelp(OB::NotAtomicityIntent),
+            Some("self_relock"),
+        ),
+        dl(
+            "mysql-dl-6634",
+            MySql,
+            "LOCK_open vs LOCK_thd_data taken in opposite orders",
+            "The kill path takes LOCK_thd_data then LOCK_open; the table-open \
+             path takes them in the opposite order. Under concurrent KILL and \
+             table open, the classic ABBA cycle forms.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("abba"),
+        ),
+        dl(
+            "mysql-dl-8731",
+            MySql,
+            "event scheduler lock vs table cache lock cycle",
+            "The event scheduler holds its queue mutex while opening a table \
+             (which takes the table-cache mutex); DROP EVENT holds the \
+             table-cache mutex while cancelling events (which takes the queue \
+             mutex).",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::MaybeHelps,
+            Some("abba"),
+        ),
+        dl(
+            "mysql-dl-10249",
+            MySql,
+            "InnoDB dict lock vs MySQL table lock in DDL vs background stats",
+            "Background statistics collection acquires dict_sys->mutex then the \
+             MDL; ALTER TABLE acquires the MDL then dict_sys->mutex. The fix \
+             releases dict_sys->mutex before upgrading.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::MaybeHelps,
+            Some("abba"),
+        ),
+        dl(
+            "mysql-dl-12004",
+            MySql,
+            "replication relay log lock ordered after applier lock",
+            "The IO thread and SQL thread acquired the relay-log mutex and the \
+             applier-state mutex in opposite orders; the fix imposes a global \
+             acquisition order documented in the locking hierarchy.",
+            RC::Two,
+            TC::Two,
+            DF::AcquireInOrder,
+            TM::Helps,
+            Some("abba"),
+        ),
+        dl(
+            "mysql-dl-15667",
+            MySql,
+            "FLUSH TABLES WITH READ LOCK vs purge thread ordering",
+            "The global read lock and the purge queue mutex are acquired in \
+             opposite orders by the FTWRL path and the purge coordinator; fixed \
+             by ordering purge acquisition first.",
+            RC::Two,
+            TC::Two,
+            DF::AcquireInOrder,
+            TM::MaybeHelps,
+            None,
+        ),
+        dl(
+            "mysql-dl-18345",
+            MySql,
+            "log flush waits under the commit mutex that the flusher needs",
+            "Group commit held the commit mutex while fsync-ing; the flusher \
+             needed the same mutex to advance. The region performs file I/O, so \
+             a transactional rewrite is not applicable; the fix splits the \
+             commit mutex into queue and flush stages.",
+            RC::Two,
+            TC::Two,
+            DF::SplitResource,
+            TM::CannotHelp(OB::IoInRegion),
+            Some("wait_holding_lock"),
+        ),
+        dl(
+            "mysql-dl-22113",
+            MySql,
+            "DROP DATABASE holds dict lock across a long file-removal loop",
+            "DROP DATABASE holds the dictionary mutex while unlinking every \
+             table file; a checkpoint thread waiting on the mutex in turn blocks \
+             the redo flush DROP needs to finish. Fixed by releasing the \
+             dictionary mutex between files (give up the resource).",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::CannotHelp(OB::LongRegion),
+            Some("wait_holding_lock"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::BugClass;
+
+    #[test]
+    fn counts_match_quotas() {
+        let all = bugs();
+        assert_eq!(all.len(), 23);
+        assert_eq!(
+            all.iter().filter(|b| b.class() == BugClass::NonDeadlock).count(),
+            14
+        );
+        assert_eq!(
+            all.iter().filter(|b| b.class() == BugClass::Deadlock).count(),
+            9
+        );
+    }
+
+    #[test]
+    fn ids_are_unique_and_prefixed() {
+        let all = bugs();
+        let mut ids: Vec<_> = all.iter().map(|b| b.id.as_str().to_owned()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        assert!(all.iter().all(|b| b.id.as_str().starts_with("mysql-")));
+    }
+
+    #[test]
+    fn deadlock_fix_quotas() {
+        use crate::taxonomy::{DeadlockFix, FixStrategy};
+        let d: Vec<_> = bugs().into_iter().filter(|b| b.is_deadlock()).collect();
+        let count = |f: DeadlockFix| {
+            d.iter()
+                .filter(|b| matches!(b.fix(), FixStrategy::Deadlock(x) if x == f))
+                .count()
+        };
+        assert_eq!(count(DeadlockFix::GiveUpResource), 5);
+        assert_eq!(count(DeadlockFix::AcquireInOrder), 2);
+        assert_eq!(count(DeadlockFix::SplitResource), 1);
+        assert_eq!(count(DeadlockFix::Other), 1);
+    }
+
+    #[test]
+    fn pattern_quota() {
+        let all = bugs();
+        let nd: Vec<_> = all.iter().filter(|b| b.is_non_deadlock()).collect();
+        let atomicity = nd
+            .iter()
+            .filter(|b| b.patterns().unwrap().atomicity)
+            .count();
+        let order = nd.iter().filter(|b| b.patterns().unwrap().order).count();
+        let both = nd
+            .iter()
+            .filter(|b| {
+                let p = b.patterns().unwrap();
+                p.atomicity && p.order
+            })
+            .count();
+        let other = nd.iter().filter(|b| b.patterns().unwrap().other).count();
+        assert_eq!(atomicity, 9);
+        assert_eq!(order, 5);
+        assert_eq!(both, 1);
+        assert_eq!(other, 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! OpenOffice bug records: 6 non-deadlock + 2 deadlock.
+//!
+//! Modeled on the office suite's threaded subsystems: VCL's solar mutex
+//! world, Writer autosave, Calc's recalculation, and the UNO dispatch
+//! bridge.
+
+use crate::bug::{dl, nd, Bug};
+use crate::taxonomy::{
+    AccessCount::AtMostFour,
+    App::OpenOffice,
+    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS,
+    ResourceCount as RC, ThreadCount as TC, TmApplicability as TM,
+    TmObstacle as OB,
+    VariableCount::{MoreThanOne, One},
+};
+
+/// All OpenOffice records.
+pub fn bugs() -> Vec<Bug> {
+    vec![
+        // nd1: A, 1, <=4, 2, Lock, Helps
+        nd(
+            "openoffice-38275",
+            OpenOffice,
+            "Calc recalculation counter lost updates across sheet threads",
+            "Parallel sheet recalculation bumps the dirty-cell counter with \
+             plain load-add-store; lost updates end recalculation early and \
+             leave stale cells. The counter was moved under the document \
+             mutex.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::Helps,
+            Some("counter_rmw"),
+        ),
+        // nd2: A, 1, <=4, 2, CondCheck, Maybe
+        nd(
+            "openoffice-44126",
+            OpenOffice,
+            "Writer autosave checks modified flag then saves stale document",
+            "Autosave tests the document-modified flag and then serializes; an \
+             edit between test and serialize is silently dropped from the \
+             autosave file. A re-check inside the save loop fixes it.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::ConditionCheck,
+            TM::MaybeHelps,
+            Some("toctou_flag"),
+        ),
+        // nd3: A, multi, <=4, 2, Design, Maybe
+        nd(
+            "openoffice-51833",
+            OpenOffice,
+            "UNO dispatch cache entry and generation updated in two steps",
+            "The dispatch cache stores the handler pointer and a generation \
+             stamp separately; an invalidation between the two writes lets a \
+             reader pair a new handler with an old generation and dispatch \
+             into a disposed object. Redesigned to pack both into one slot.",
+            PS::ATOMICITY,
+            MoreThanOne,
+            AtMostFour,
+            TC::Two,
+            NF::DesignChange,
+            TM::MaybeHelps,
+            Some("state_data_pair"),
+        ),
+        // nd4: A, 1, <=4, 2, Switch, Helps
+        nd(
+            "openoffice-59410",
+            OpenOffice,
+            "VCL idle handler reads paint-pending flag before queue drain",
+            "The idle painter reads the paint-pending flag before the event \
+             thread finishes draining the invalidation queue; swapping the \
+             drain and the flag store closes the lost-paint window.",
+            PS::ATOMICITY,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::CodeSwitch,
+            TM::Helps,
+            None,
+        ),
+        // nd5: O, 1, <=4, 2, Other, Maybe
+        nd(
+            "openoffice-66092",
+            OpenOffice,
+            "print job started before spooler thread publishes device handle",
+            "Printing expects the spooler thread to publish the device handle \
+             before the job body runs; under load the body runs first and \
+             aborts. Fixed by handing the job to the spooler thread itself \
+             ('other').",
+            PS::ORDER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::Other,
+            TM::MaybeHelps,
+            Some("publish_before_init"),
+        ),
+        // nd6: Other, 1, <=4, 2, Lock, Cannot(notAtomicity)
+        nd(
+            "openoffice-72451",
+            OpenOffice,
+            "solar mutex yield loop starves the event thread",
+            "Two threads repeatedly yield and re-acquire the solar mutex in \
+             lockstep, starving the event thread for seconds — neither an \
+             atomicity nor an order violation (the 'other' bucket). The yield \
+             protocol is not an atomicity intent, so TM does not apply; the \
+             fix reworks the yield into a prioritized lock.",
+            PS::OTHER,
+            One,
+            AtMostFour,
+            TC::Two,
+            NF::AddOrChangeLock,
+            TM::CannotHelp(OB::NotAtomicityIntent),
+            Some("livelock_retry"),
+        ),
+        // d1: 2 res, 2 thr, GiveUp, Helps
+        dl(
+            "openoffice-dl-47239",
+            OpenOffice,
+            "solar mutex vs document mutex ABBA between UI and autosave",
+            "The UI thread holds the solar mutex and takes the document mutex \
+             on edit; autosave holds the document mutex and needs the solar \
+             mutex to update the status bar. Fixed by having autosave give up \
+             the document mutex before touching the UI.",
+            RC::Two,
+            TC::Two,
+            DF::GiveUpResource,
+            TM::Helps,
+            Some("abba"),
+        ),
+        // d2: 2 res, 2 thr, Other, Cannot(long)
+        dl(
+            "openoffice-dl-63514",
+            OpenOffice,
+            "UNO remote bridge waits for reply under the request mutex",
+            "A synchronous UNO call holds the bridge request mutex while \
+             waiting for the remote reply; the reply dispatcher needs the same \
+             mutex to deliver it. The wait spans a remote round-trip, far \
+             beyond transactional scope; fixed with a dedicated reply queue \
+             ('other').",
+            RC::Two,
+            TC::Two,
+            DF::Other,
+            TM::CannotHelp(OB::LongRegion),
+            Some("wait_holding_lock"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::BugClass;
+
+    #[test]
+    fn counts_match_quotas() {
+        let all = bugs();
+        assert_eq!(all.len(), 8);
+        assert_eq!(
+            all.iter().filter(|b| b.class() == BugClass::NonDeadlock).count(),
+            6
+        );
+        assert_eq!(
+            all.iter().filter(|b| b.class() == BugClass::Deadlock).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn pattern_and_fix_quotas() {
+        use crate::taxonomy::{FixStrategy, NonDeadlockFix};
+        let nd: Vec<_> = bugs().into_iter().filter(|b| b.is_non_deadlock()).collect();
+        let atomicity = nd
+            .iter()
+            .filter(|b| b.patterns().unwrap().atomicity)
+            .count();
+        let other = nd.iter().filter(|b| b.patterns().unwrap().other).count();
+        assert_eq!(atomicity, 4);
+        assert_eq!(other, 1);
+        let lock = nd
+            .iter()
+            .filter(|b| {
+                matches!(
+                    b.fix(),
+                    FixStrategy::NonDeadlock(NonDeadlockFix::AddOrChangeLock)
+                )
+            })
+            .count();
+        assert_eq!(lock, 2);
+    }
+
+    #[test]
+    fn tm_quotas() {
+        use crate::taxonomy::TmApplicability;
+        let all = bugs();
+        let helps = all
+            .iter()
+            .filter(|b| matches!(b.tm, TmApplicability::Helps))
+            .count();
+        assert_eq!(helps, 3);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let all = bugs();
+        let mut ids: Vec<_> = all.iter().map(|b| b.id.as_str().to_owned()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

@@ -1,0 +1,204 @@
+//! Hand-rolled JSON export of the corpus.
+//!
+//! The offline dependency set has no `serde_json`, so this module writes
+//! the JSON by hand: a small escaper plus per-type emitters. The schema
+//! is stable and documented here so downstream tools (spreadsheets,
+//! pandas, other studies) can consume the dataset:
+//!
+//! ```json
+//! {
+//!   "source": "Lu et al., ASPLOS 2008 (reconstructed)",
+//!   "bugs": [
+//!     {
+//!       "id": "apache-25520",
+//!       "app": "Apache",
+//!       "title": "...",
+//!       "description": "...",
+//!       "class": "non-deadlock",
+//!       "threads": "2",
+//!       "patterns": ["atomicity"],        // non-deadlock only
+//!       "variables": "1",                  // non-deadlock only
+//!       "accesses": "<=4",                 // non-deadlock only
+//!       "resources": "2",                  // deadlock only
+//!       "fix": "add/change lock",
+//!       "tm": "cannot help (I/O in critical region)",
+//!       "kernel": "log_buffer_apache"      // optional
+//!     }, ...
+//!   ]
+//! }
+//! ```
+
+use crate::bug::{Bug, BugDetail};
+use crate::corpus::Corpus;
+use crate::taxonomy::BugClass;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn field(out: &mut String, indent: &str, key: &str, value: &str, trailing_comma: bool) {
+    out.push_str(indent);
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": \"");
+    out.push_str(&escape(value));
+    out.push('"');
+    if trailing_comma {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn bug_to_json(bug: &Bug, indent: &str) -> String {
+    let pad = format!("{indent}  ");
+    let mut out = format!("{indent}{{\n");
+    field(&mut out, &pad, "id", bug.id.as_str(), true);
+    field(&mut out, &pad, "app", bug.app.name(), true);
+    field(&mut out, &pad, "title", &bug.title, true);
+    field(&mut out, &pad, "description", &bug.description, true);
+    let class = match bug.class() {
+        BugClass::NonDeadlock => "non-deadlock",
+        BugClass::Deadlock => "deadlock",
+    };
+    field(&mut out, &pad, "class", class, true);
+    field(&mut out, &pad, "threads", &bug.threads.to_string(), true);
+    match &bug.detail {
+        BugDetail::NonDeadlock {
+            patterns,
+            variables,
+            accesses,
+            ..
+        } => {
+            let mut names = Vec::new();
+            if patterns.atomicity {
+                names.push("\"atomicity\"");
+            }
+            if patterns.order {
+                names.push("\"order\"");
+            }
+            if patterns.other {
+                names.push("\"other\"");
+            }
+            out.push_str(&format!("{pad}\"patterns\": [{}],\n", names.join(", ")));
+            field(&mut out, &pad, "variables", &variables.to_string(), true);
+            field(&mut out, &pad, "accesses", &accesses.to_string(), true);
+        }
+        BugDetail::Deadlock { resources, .. } => {
+            field(&mut out, &pad, "resources", &resources.to_string(), true);
+        }
+    }
+    field(&mut out, &pad, "fix", &bug.fix().to_string(), true);
+    let has_kernel = bug.kernel.is_some();
+    field(&mut out, &pad, "tm", &bug.tm.to_string(), has_kernel);
+    if let Some(kernel) = &bug.kernel {
+        field(&mut out, &pad, "kernel", kernel, false);
+    }
+    out.push_str(&format!("{indent}}}"));
+    out
+}
+
+/// Serializes the corpus to pretty-printed JSON.
+pub fn to_json(corpus: &Corpus) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"source\": \"Lu, Park, Seo, Zhou — Learning from Mistakes (ASPLOS 2008); \
+         synthesized reconstruction, see EXPERIMENTS.md\",\n",
+    );
+    out.push_str(&format!("  \"count\": {},\n", corpus.len()));
+    out.push_str("  \"bugs\": [\n");
+    let n = corpus.len();
+    for (i, bug) in corpus.iter().enumerate() {
+        out.push_str(&bug_to_json(bug, "    "));
+        if i + 1 < n {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn full_corpus_exports() {
+        let corpus = Corpus::full();
+        let json = to_json(&corpus);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"count\": 105"));
+        assert!(json.contains("\"id\": \"apache-25520\""));
+        assert!(json.contains("\"patterns\": [\"atomicity\"]"));
+        assert!(json.contains("\"resources\": \"2\""));
+        assert!(json.contains("\"kernel\": \"log_buffer_apache\""));
+        // 105 bug objects.
+        assert_eq!(json.matches("\"id\":").count(), 105);
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = to_json(&Corpus::full());
+        // Quick structural sanity without a parser: balanced braces and
+        // brackets outside string literals.
+        let mut depth_braces = 0i64;
+        let mut depth_brackets = 0i64;
+        let mut in_string = false;
+        let mut escape_next = false;
+        for c in json.chars() {
+            if in_string {
+                if escape_next {
+                    escape_next = false;
+                } else if c == '\\' {
+                    escape_next = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' => depth_braces += 1,
+                '}' => depth_braces -= 1,
+                '[' => depth_brackets += 1,
+                ']' => depth_brackets -= 1,
+                _ => {}
+            }
+            assert!(depth_braces >= 0 && depth_brackets >= 0);
+        }
+        assert_eq!(depth_braces, 0);
+        assert_eq!(depth_brackets, 0);
+        assert!(!in_string);
+    }
+
+    #[test]
+    fn no_trailing_commas() {
+        let json = to_json(&Corpus::full());
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n    }"));
+        assert!(!json.contains(",\n}"));
+    }
+}

@@ -1,0 +1,409 @@
+//! The study's classification taxonomy.
+//!
+//! Every axis mirrors a dimension of the ASPLOS'08 characterization:
+//! bug pattern, manifestation scope (threads / variables / accesses /
+//! resources), fix strategy, and transactional-memory applicability.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The four applications whose bug databases the study examined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum App {
+    /// MySQL database server.
+    MySql,
+    /// Apache HTTP server (httpd and support libraries).
+    Apache,
+    /// Mozilla browser suite.
+    Mozilla,
+    /// OpenOffice office suite.
+    OpenOffice,
+}
+
+impl App {
+    /// All four applications, in the study's canonical order.
+    pub const ALL: [App; 4] = [App::MySql, App::Apache, App::Mozilla, App::OpenOffice];
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::MySql => "MySQL",
+            App::Apache => "Apache",
+            App::Mozilla => "Mozilla",
+            App::OpenOffice => "OpenOffice",
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Top-level bug class: the study splits its 105 bugs into 74 non-deadlock
+/// and 31 deadlock bugs and analyses them separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugClass {
+    /// Wrong results/crashes from unexpected interleavings.
+    NonDeadlock,
+    /// Threads permanently blocked on each other.
+    Deadlock,
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BugClass::NonDeadlock => "non-deadlock",
+            BugClass::Deadlock => "deadlock",
+        })
+    }
+}
+
+/// Root-cause pattern of a non-deadlock bug. A bug can exhibit both
+/// atomicity and order violations, hence [`PatternSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// The intended atomicity of a code region is violated by a remote
+    /// access slipping in between.
+    Atomicity,
+    /// The intended order between two operations is flipped.
+    Order,
+    /// Neither (e.g. livelock-style retry storms).
+    Other,
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pattern::Atomicity => "atomicity violation",
+            Pattern::Order => "order violation",
+            Pattern::Other => "other",
+        })
+    }
+}
+
+/// The (non-empty) set of patterns a non-deadlock bug exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatternSet {
+    /// Exhibits an atomicity violation.
+    pub atomicity: bool,
+    /// Exhibits an order violation.
+    pub order: bool,
+    /// Falls outside both categories.
+    pub other: bool,
+}
+
+impl PatternSet {
+    /// Pure atomicity violation.
+    pub const ATOMICITY: PatternSet = PatternSet {
+        atomicity: true,
+        order: false,
+        other: false,
+    };
+    /// Pure order violation.
+    pub const ORDER: PatternSet = PatternSet {
+        atomicity: false,
+        order: true,
+        other: false,
+    };
+    /// Both atomicity and order violation.
+    pub const BOTH: PatternSet = PatternSet {
+        atomicity: true,
+        order: true,
+        other: false,
+    };
+    /// Neither.
+    pub const OTHER: PatternSet = PatternSet {
+        atomicity: false,
+        order: false,
+        other: true,
+    };
+
+    /// `true` when the bug is an atomicity or order violation — the 97%
+    /// bucket of the study's first finding.
+    pub fn is_atomicity_or_order(&self) -> bool {
+        self.atomicity || self.order
+    }
+}
+
+impl fmt::Display for PatternSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.atomicity, self.order, self.other) {
+            (true, true, _) => f.write_str("atomicity+order"),
+            (true, false, _) => f.write_str("atomicity"),
+            (false, true, _) => f.write_str("order"),
+            (false, false, _) => f.write_str("other"),
+        }
+    }
+}
+
+/// Number of threads involved in the minimal buggy interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ThreadCount {
+    /// One thread (self-deadlocks).
+    One,
+    /// Exactly two threads — 96% of all studied bugs need at most this.
+    Two,
+    /// Three or more threads.
+    MoreThanTwo,
+}
+
+impl fmt::Display for ThreadCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ThreadCount::One => "1",
+            ThreadCount::Two => "2",
+            ThreadCount::MoreThanTwo => ">2",
+        })
+    }
+}
+
+/// Number of shared variables whose accesses are involved in a
+/// non-deadlock bug's manifestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VariableCount {
+    /// A single variable — 66% of non-deadlock bugs.
+    One,
+    /// More than one variable (multi-variable bugs, invisible to
+    /// single-variable detectors).
+    MoreThanOne,
+}
+
+impl fmt::Display for VariableCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VariableCount::One => "1",
+            VariableCount::MoreThanOne => ">1",
+        })
+    }
+}
+
+/// Number of memory accesses whose partial order guarantees manifestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessCount {
+    /// At most four accesses — 92% of non-deadlock bugs, the study's
+    /// "small scope" testing implication.
+    AtMostFour,
+    /// More than four accesses.
+    MoreThanFour,
+}
+
+impl fmt::Display for AccessCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessCount::AtMostFour => "<=4",
+            AccessCount::MoreThanFour => ">4",
+        })
+    }
+}
+
+/// Number of resources (locks, etc.) involved in a deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceCount {
+    /// One resource: self-deadlocks (22% of deadlock bugs).
+    One,
+    /// Two resources — together with `One`, 97% of deadlock bugs.
+    Two,
+    /// Three or more resources.
+    MoreThanTwo,
+}
+
+impl fmt::Display for ResourceCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResourceCount::One => "1",
+            ResourceCount::Two => "2",
+            ResourceCount::MoreThanTwo => ">2",
+        })
+    }
+}
+
+/// How developers fixed a non-deadlock bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NonDeadlockFix {
+    /// Added a condition check (often a `while` re-check) — not a lock.
+    ConditionCheck,
+    /// Switched/reordered code so the window disappears.
+    CodeSwitch,
+    /// Changed the algorithm or data structure.
+    DesignChange,
+    /// Added or changed locks — only 27% of non-deadlock fixes.
+    AddOrChangeLock,
+    /// Other strategies (data privatization, retries, …).
+    Other,
+}
+
+impl fmt::Display for NonDeadlockFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NonDeadlockFix::ConditionCheck => "condition check",
+            NonDeadlockFix::CodeSwitch => "code switch",
+            NonDeadlockFix::DesignChange => "design change",
+            NonDeadlockFix::AddOrChangeLock => "add/change lock",
+            NonDeadlockFix::Other => "other",
+        })
+    }
+}
+
+/// How developers fixed a deadlock bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadlockFix {
+    /// Give up acquiring a resource (release and retry, trylock, …) —
+    /// 61% of deadlock fixes, and a strategy that can introduce new
+    /// non-deadlock bugs.
+    GiveUpResource,
+    /// Impose a global acquisition order.
+    AcquireInOrder,
+    /// Split a resource so the cycle cannot form.
+    SplitResource,
+    /// Other strategies.
+    Other,
+}
+
+impl fmt::Display for DeadlockFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeadlockFix::GiveUpResource => "give up resource",
+            DeadlockFix::AcquireInOrder => "acquire in order",
+            DeadlockFix::SplitResource => "split resource",
+            DeadlockFix::Other => "other",
+        })
+    }
+}
+
+/// Either fix taxonomy, for uniform reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FixStrategy {
+    /// Fix of a non-deadlock bug.
+    NonDeadlock(NonDeadlockFix),
+    /// Fix of a deadlock bug.
+    Deadlock(DeadlockFix),
+}
+
+impl fmt::Display for FixStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixStrategy::NonDeadlock(x) => x.fmt(f),
+            FixStrategy::Deadlock(x) => x.fmt(f),
+        }
+    }
+}
+
+/// Why transactional memory cannot (or only conditionally can) help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TmObstacle {
+    /// The critical region performs irrevocable I/O.
+    IoInRegion,
+    /// The region is too long / contains system calls; wrapping it in a
+    /// transaction is impractical.
+    LongRegion,
+    /// The synchronization is not used for atomicity (e.g. ordering),
+    /// so TM's atomicity guarantee is beside the point.
+    NotAtomicityIntent,
+}
+
+impl fmt::Display for TmObstacle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TmObstacle::IoInRegion => "I/O in critical region",
+            TmObstacle::LongRegion => "region too long",
+            TmObstacle::NotAtomicityIntent => "not an atomicity intent",
+        })
+    }
+}
+
+/// The study's TM-applicability verdict for one bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TmApplicability {
+    /// Wrapping the relevant region in a transaction avoids the bug.
+    Helps,
+    /// TM could help, with caveats (performance, retry semantics, partial
+    /// restructuring).
+    MaybeHelps,
+    /// TM cannot help, for the stated obstacle.
+    CannotHelp(TmObstacle),
+}
+
+impl TmApplicability {
+    /// `true` for [`TmApplicability::Helps`].
+    pub fn helps(&self) -> bool {
+        matches!(self, TmApplicability::Helps)
+    }
+}
+
+impl fmt::Display for TmApplicability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmApplicability::Helps => f.write_str("helps"),
+            TmApplicability::MaybeHelps => f.write_str("maybe helps"),
+            TmApplicability::CannotHelp(o) => write!(f, "cannot help ({o})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_order_and_names() {
+        assert_eq!(App::ALL.len(), 4);
+        assert_eq!(App::MySql.name(), "MySQL");
+        assert_eq!(App::OpenOffice.to_string(), "OpenOffice");
+    }
+
+    #[test]
+    fn pattern_set_classification() {
+        assert!(PatternSet::ATOMICITY.is_atomicity_or_order());
+        assert!(PatternSet::ORDER.is_atomicity_or_order());
+        assert!(PatternSet::BOTH.is_atomicity_or_order());
+        assert!(!PatternSet::OTHER.is_atomicity_or_order());
+        assert_eq!(PatternSet::BOTH.to_string(), "atomicity+order");
+        assert_eq!(PatternSet::OTHER.to_string(), "other");
+    }
+
+    #[test]
+    fn display_strings_match_paper_vocabulary() {
+        assert_eq!(ThreadCount::MoreThanTwo.to_string(), ">2");
+        assert_eq!(AccessCount::AtMostFour.to_string(), "<=4");
+        assert_eq!(ResourceCount::One.to_string(), "1");
+        assert_eq!(
+            NonDeadlockFix::AddOrChangeLock.to_string(),
+            "add/change lock"
+        );
+        assert_eq!(DeadlockFix::GiveUpResource.to_string(), "give up resource");
+        assert_eq!(
+            TmApplicability::CannotHelp(TmObstacle::IoInRegion).to_string(),
+            "cannot help (I/O in critical region)"
+        );
+    }
+
+    #[test]
+    fn tm_helps_predicate() {
+        assert!(TmApplicability::Helps.helps());
+        assert!(!TmApplicability::MaybeHelps.helps());
+        assert!(!TmApplicability::CannotHelp(TmObstacle::LongRegion).helps());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let variants = [
+            TmApplicability::Helps,
+            TmApplicability::MaybeHelps,
+            TmApplicability::CannotHelp(TmObstacle::NotAtomicityIntent),
+        ];
+        for v in variants {
+            let s = serde_json_like(&v);
+            assert!(!s.is_empty());
+        }
+    }
+
+    // serde_json is not a dependency; just check that Serialize is derived
+    // by serializing into a no-op serializer via bincode-like trick is
+    // overkill — instead assert the traits exist at compile time.
+    fn serde_json_like<T: serde::Serialize>(_v: &T) -> &'static str {
+        "serializable"
+    }
+}

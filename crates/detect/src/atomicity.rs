@@ -1,0 +1,274 @@
+//! AVIO-style atomicity-violation detection.
+//!
+//! For every shared variable the detector scans the trace's total order
+//! for triples (local access *p*, remote access *r*, local access *c*)
+//! where *p* and *c* are consecutive accesses by one thread and *r* by
+//! another thread lands between them. Four of the eight read/write
+//! combinations are unserializable — no serial order of the local pair
+//! and the remote access explains the observed values:
+//!
+//! | p | r | c | serializable? |
+//! |---|---|---|---------------|
+//! | R | W | R | **no** (two local reads disagree) |
+//! | W | W | R | **no** (local read sees remote write) |
+//! | W | R | W | **no** (remote reads an intermediate value) |
+//! | R | W | W | **no** (remote write silently lost) |
+//!
+//! With training (AVIO's *access-interleaving invariants*), triples whose
+//! signature also occurs in passing runs are assumed benign and filtered.
+
+use std::collections::BTreeSet;
+
+use lfm_sim::{ThreadId, Trace, VarId};
+
+use crate::util::indexed_accesses;
+
+/// The four unserializable interleaving cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnserializableCase {
+    /// read / remote-write / read.
+    ReadWriteRead,
+    /// write / remote-write / read.
+    WriteWriteRead,
+    /// write / remote-read / write.
+    WriteReadWrite,
+    /// read / remote-write / write.
+    ReadWriteWrite,
+}
+
+impl UnserializableCase {
+    fn classify(p_write: bool, r_write: bool, c_write: bool) -> Option<UnserializableCase> {
+        match (p_write, r_write, c_write) {
+            (false, true, false) => Some(UnserializableCase::ReadWriteRead),
+            (true, true, false) => Some(UnserializableCase::WriteWriteRead),
+            (true, false, true) => Some(UnserializableCase::WriteReadWrite),
+            (false, true, true) => Some(UnserializableCase::ReadWriteWrite),
+            _ => None,
+        }
+    }
+}
+
+/// One detected unserializable interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnserializableInterleaving {
+    /// The variable whose access pair was broken.
+    pub var: VarId,
+    /// The thread whose consecutive access pair was interleaved.
+    pub local_thread: ThreadId,
+    /// The interleaving remote thread.
+    pub remote_thread: ThreadId,
+    /// Sequence number of the first local access.
+    pub p_seq: usize,
+    /// Sequence number of the remote access.
+    pub r_seq: usize,
+    /// Sequence number of the second local access.
+    pub c_seq: usize,
+    /// Which unserializable case this is.
+    pub case: UnserializableCase,
+}
+
+/// Signature of an interleaving for invariant training: variable + case.
+type Signature = (VarId, UnserializableCase);
+
+/// AVIO-style atomicity-violation detector.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicityDetector {
+    trained: Option<BTreeSet<Signature>>,
+}
+
+impl AtomicityDetector {
+    /// An untrained detector: reports every unserializable interleaving.
+    pub fn new() -> AtomicityDetector {
+        AtomicityDetector { trained: None }
+    }
+
+    /// Trains access-interleaving invariants from passing runs: any
+    /// signature observed there is considered benign.
+    pub fn train<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> AtomicityDetector {
+        let mut benign = BTreeSet::new();
+        for trace in traces {
+            for v in Self::raw_violations(trace) {
+                benign.insert((v.var, v.case));
+            }
+        }
+        AtomicityDetector {
+            trained: Some(benign),
+        }
+    }
+
+    /// Analyzes one trace.
+    pub fn analyze(&self, trace: &Trace) -> Vec<UnserializableInterleaving> {
+        let raw = Self::raw_violations(trace);
+        match &self.trained {
+            None => raw,
+            Some(benign) => raw
+                .into_iter()
+                .filter(|v| !benign.contains(&(v.var, v.case)))
+                .collect(),
+        }
+    }
+
+    fn raw_violations(trace: &Trace) -> Vec<UnserializableInterleaving> {
+        let accesses: Vec<_> = indexed_accesses(trace).map(|(_, e)| e).collect();
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(VarId, ThreadId, ThreadId, UnserializableCase)> = BTreeSet::new();
+
+        // Group accesses per variable preserving total order.
+        let mut vars: BTreeSet<VarId> = BTreeSet::new();
+        for e in &accesses {
+            vars.insert(e.kind.var().expect("access"));
+        }
+        for var in vars {
+            let var_accesses: Vec<_> = accesses
+                .iter()
+                .filter(|e| e.kind.var() == Some(var))
+                .collect();
+            // For each local pair (p, c): consecutive accesses of the same
+            // thread to `var` with exactly the remote accesses in between.
+            for (i, p) in var_accesses.iter().enumerate() {
+                // Find this thread's next access to var.
+                let mut remote_between = Vec::new();
+                let mut c_found = None;
+                for e in var_accesses.iter().skip(i + 1) {
+                    if e.thread == p.thread {
+                        c_found = Some(*e);
+                        break;
+                    }
+                    remote_between.push(*e);
+                }
+                let Some(c) = c_found else { continue };
+                for r in remote_between {
+                    let Some(case) = UnserializableCase::classify(
+                        p.kind.is_write_access(),
+                        r.kind.is_write_access(),
+                        c.kind.is_write_access(),
+                    ) else {
+                        continue;
+                    };
+                    if seen.insert((var, p.thread, r.thread, case)) {
+                        out.push(UnserializableInterleaving {
+                            var,
+                            local_thread: p.thread,
+                            remote_thread: r.thread,
+                            p_seq: p.seq,
+                            r_seq: r.seq,
+                            c_seq: c.seq,
+                            case,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_sim::{Executor, Expr, ProgramBuilder, RecordMode, Schedule, Stmt};
+
+    fn racy_counter() -> lfm_sim::Program {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(v, "t"),
+                    Stmt::write(v, Expr::local("t") + Expr::lit(1)),
+                ],
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn t(i: usize) -> lfm_sim::ThreadId {
+        lfm_sim::ThreadId::from_index(i)
+    }
+
+    fn trace_replay(p: &lfm_sim::Program, sched: Vec<lfm_sim::ThreadId>) -> Trace {
+        let mut e = Executor::with_record(p, RecordMode::Full);
+        e.replay(&Schedule::from(sched), 1000);
+        e.into_trace()
+    }
+
+    #[test]
+    fn detects_rww_lost_update() {
+        let p = racy_counter();
+        // a reads, b writes (its whole RMW), a writes: R-W-W on `x`.
+        let trace = trace_replay(&p, vec![t(0), t(1), t(1), t(0)]);
+        let violations = AtomicityDetector::new().analyze(&trace);
+        assert!(violations
+            .iter()
+            .any(|v| v.case == UnserializableCase::ReadWriteWrite));
+    }
+
+    #[test]
+    fn serial_run_has_no_violation() {
+        let p = racy_counter();
+        let trace = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        assert!(AtomicityDetector::new().analyze(&trace).is_empty());
+    }
+
+    #[test]
+    fn detects_rwr_stale_recheck() {
+        // Thread a reads x twice (check / use); b writes in between.
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        b.thread("a", vec![Stmt::read(v, "t1"), Stmt::read(v, "t2")]);
+        b.thread("b", vec![Stmt::write(v, 9)]);
+        let p = b.build().unwrap();
+        let trace = trace_replay(&p, vec![t(0), t(1), t(0)]);
+        let violations = AtomicityDetector::new().analyze(&trace);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].case, UnserializableCase::ReadWriteRead);
+        assert_eq!(violations[0].remote_thread, t(1));
+    }
+
+    #[test]
+    fn detects_wrw_intermediate_read() {
+        // a writes twice (temporarily-inconsistent pair), b reads between.
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        b.thread("a", vec![Stmt::write(v, -1), Stmt::write(v, 1)]);
+        b.thread("b", vec![Stmt::read(v, "t")]);
+        let p = b.build().unwrap();
+        let trace = trace_replay(&p, vec![t(0), t(1), t(0)]);
+        let violations = AtomicityDetector::new().analyze(&trace);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].case, UnserializableCase::WriteReadWrite);
+    }
+
+    #[test]
+    fn remote_read_between_local_reads_is_serializable() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        b.thread("a", vec![Stmt::read(v, "t1"), Stmt::read(v, "t2")]);
+        b.thread("b", vec![Stmt::read(v, "t")]);
+        let p = b.build().unwrap();
+        let trace = trace_replay(&p, vec![t(0), t(1), t(0)]);
+        assert!(AtomicityDetector::new().analyze(&trace).is_empty());
+    }
+
+    #[test]
+    fn training_filters_benign_signatures() {
+        let p = racy_counter();
+        let buggy = trace_replay(&p, vec![t(0), t(1), t(1), t(0)]);
+        // Train on the buggy interleaving itself (pretend it is benign):
+        // the detector must then stay silent on the same signature.
+        let trained = AtomicityDetector::train([&buggy]);
+        assert!(trained.analyze(&buggy).is_empty());
+        // While an untrained detector reports it.
+        assert!(!AtomicityDetector::new().analyze(&buggy).is_empty());
+    }
+
+    #[test]
+    fn training_on_serial_runs_keeps_detection() {
+        let p = racy_counter();
+        let serial = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        let buggy = trace_replay(&p, vec![t(0), t(1), t(1), t(0)]);
+        let trained = AtomicityDetector::train([&serial]);
+        assert!(!trained.analyze(&buggy).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Happens-before (vector clock) data-race detection.
+
+use std::collections::BTreeSet;
+
+use lfm_sim::{ThreadId, Trace, VarId};
+
+use crate::util::{conflicting, indexed_plain_accesses};
+
+/// A detected data race: two conflicting accesses to the same variable
+/// with concurrent vector clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The racing variable.
+    pub var: VarId,
+    /// Sequence number of the earlier access in the trace's total order.
+    pub first_seq: usize,
+    /// Thread of the earlier access.
+    pub first_thread: ThreadId,
+    /// Sequence number of the later access.
+    pub second_seq: usize,
+    /// Thread of the later access.
+    pub second_thread: ThreadId,
+    /// Whether the earlier access writes.
+    pub first_is_write: bool,
+    /// Whether the later access writes.
+    pub second_is_write: bool,
+}
+
+/// Vector-clock data-race detector (FastTrack-style precision on the
+/// recorded run: reports exactly the concurrent conflicting pairs).
+/// Atomic RMW/CAS operations are treated as synchronization-like (as
+/// race detectors treat C11 atomics) and never race — which is exactly
+/// why multi-variable bugs built from individually-atomic updates escape
+/// race detection (the study's Finding 3 implication).
+///
+/// Precise by construction — every reported pair truly is unordered by
+/// happens-before in the analyzed execution — but blind to atomicity
+/// violations between correctly-locked regions, which the study shows are
+/// the dominant non-deadlock class.
+#[derive(Debug, Clone, Default)]
+pub struct HappensBeforeDetector {
+    /// Deduplicate races per (variable, thread pair); keeps reports
+    /// readable on loops. Defaults to `true`.
+    pub dedup: bool,
+}
+
+impl HappensBeforeDetector {
+    /// Creates a detector with deduplication enabled.
+    pub fn new() -> HappensBeforeDetector {
+        HappensBeforeDetector { dedup: true }
+    }
+
+    /// Reports every race instance instead of one per (var, thread pair).
+    pub fn report_all_instances(mut self) -> HappensBeforeDetector {
+        self.dedup = false;
+        self
+    }
+
+    /// Analyzes one trace, returning the races found.
+    pub fn analyze(&self, trace: &Trace) -> Vec<Race> {
+        let accesses: Vec<_> = indexed_plain_accesses(trace).collect();
+        let mut races = Vec::new();
+        let mut seen: BTreeSet<(VarId, ThreadId, ThreadId, bool, bool)> = BTreeSet::new();
+        for i in 0..accesses.len() {
+            let (_, a) = accesses[i];
+            for (_, b) in accesses.iter().skip(i + 1) {
+                if a.thread == b.thread {
+                    continue;
+                }
+                if a.kind.var() != b.kind.var() {
+                    continue;
+                }
+                if !conflicting(&a.kind, &b.kind) {
+                    continue;
+                }
+                if !a.clock.concurrent_with(&b.clock) {
+                    continue;
+                }
+                let var = a.kind.var().expect("access has a var");
+                if self.dedup {
+                    let (t1, t2) = if a.thread <= b.thread {
+                        (a.thread, b.thread)
+                    } else {
+                        (b.thread, a.thread)
+                    };
+                    let key = (var, t1, t2, a.kind.is_write_access(), b.kind.is_write_access());
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                }
+                races.push(Race {
+                    var,
+                    first_seq: a.seq,
+                    first_thread: a.thread,
+                    second_seq: b.seq,
+                    second_thread: b.thread,
+                    first_is_write: a.kind.is_write_access(),
+                    second_is_write: b.kind.is_write_access(),
+                });
+            }
+        }
+        races
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_sim::{Executor, Expr, ProgramBuilder, RecordMode, Stmt};
+
+    fn trace_of(p: &lfm_sim::Program, adversarial: bool) -> Trace {
+        let mut e = Executor::with_record(p, RecordMode::Full);
+        if adversarial {
+            e.run_with(1000, |en| *en.last().unwrap());
+        } else {
+            e.run_sequential(1000);
+        }
+        e.into_trace()
+    }
+
+    #[test]
+    fn detects_unsynchronized_conflict_even_in_benign_order() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        b.thread("a", vec![Stmt::write(v, 1)]);
+        b.thread("b", vec![Stmt::read(v, "t")]);
+        let p = b.build().unwrap();
+        // Even the sequential schedule leaves the accesses HB-concurrent.
+        let races = HappensBeforeDetector::new().analyze(&trace_of(&p, false));
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].var, v);
+        assert!(races[0].first_is_write || races[0].second_is_write);
+    }
+
+    #[test]
+    fn no_race_between_reads() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        b.thread("a", vec![Stmt::read(v, "t")]);
+        b.thread("b", vec![Stmt::read(v, "t")]);
+        let p = b.build().unwrap();
+        assert!(HappensBeforeDetector::new()
+            .analyze(&trace_of(&p, false))
+            .is_empty());
+    }
+
+    #[test]
+    fn lock_protected_accesses_do_not_race() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        let m = b.mutex();
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::lock(m),
+                    Stmt::read(v, "t"),
+                    Stmt::write(v, Expr::local("t") + Expr::lit(1)),
+                    Stmt::unlock(m),
+                ],
+            );
+        }
+        let p = b.build().unwrap();
+        assert!(HappensBeforeDetector::new()
+            .analyze(&trace_of(&p, true))
+            .is_empty());
+    }
+
+    #[test]
+    fn join_edge_suppresses_race() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        let child = b.thread_deferred("child", vec![Stmt::write(v, 1)]);
+        b.thread(
+            "parent",
+            vec![Stmt::Spawn(child), Stmt::Join(child), Stmt::read(v, "t")],
+        );
+        let p = b.build().unwrap();
+        assert!(HappensBeforeDetector::new()
+            .analyze(&trace_of(&p, true))
+            .is_empty());
+    }
+
+    #[test]
+    fn dedup_collapses_loop_races() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        b.thread(
+            "a",
+            vec![
+                Stmt::local("i", 0),
+                Stmt::while_loop(
+                    Expr::local("i").lt(Expr::lit(3)),
+                    vec![
+                        Stmt::write(v, Expr::local("i")),
+                        Stmt::local("i", Expr::local("i") + Expr::lit(1)),
+                    ],
+                ),
+            ],
+        );
+        b.thread("b", vec![Stmt::read(v, "t")]);
+        let p = b.build().unwrap();
+        let trace = trace_of(&p, false);
+        let deduped = HappensBeforeDetector::new().analyze(&trace);
+        let all = HappensBeforeDetector::new()
+            .report_all_instances()
+            .analyze(&trace);
+        assert_eq!(deduped.len(), 1);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn semaphore_edge_suppresses_race() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        let s = b.semaphore(0);
+        b.thread("producer", vec![Stmt::write(v, 1), Stmt::SemRelease(s)]);
+        b.thread("consumer", vec![Stmt::SemAcquire(s), Stmt::read(v, "t")]);
+        let p = b.build().unwrap();
+        assert!(HappensBeforeDetector::new()
+            .analyze(&trace_of(&p, true))
+            .is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! # lfm-detect — dynamic concurrency-bug detectors
+//!
+//! Implementations of the detector families whose strengths and blind
+//! spots the ASPLOS'08 study quantifies, all operating on `lfm-sim`
+//! [`Trace`](lfm_sim::Trace)s:
+//!
+//! - [`HappensBeforeDetector`] — vector-clock data-race detection
+//!   (precise, no false positives on the recorded run).
+//! - [`LocksetDetector`] — Eraser-style lockset analysis (catches races
+//!   that did not manifest in the run, at the price of false positives
+//!   for non-lock synchronization).
+//! - [`AtomicityDetector`] — AVIO-style unserializable-interleaving
+//!   detection with optional invariant training, targeting the study's
+//!   dominant single-variable atomicity-violation class.
+//! - [`OrderDetector`] — first-access (definition-before-use) invariant
+//!   checking, targeting order violations, which lock-centric tools miss.
+//! - [`MuviDetector`] — MUVI-style variable-correlation analysis,
+//!   the multi-variable class single-variable detectors miss.
+//! - [`LockOrderDetector`] — lock-order-graph cycle prediction for
+//!   deadlocks, which flags ABBA potential even on non-deadlocking runs.
+//!
+//! The study's key detection implications are measurable with these:
+//! single-variable detectors cannot see the 34% multi-variable bugs, and
+//! race detectors miss atomicity violations that involve no data race.
+//!
+//! # Example
+//!
+//! ```rust
+//! use lfm_sim::{ProgramBuilder, Stmt, Expr, RandomWalker};
+//! use lfm_detect::HappensBeforeDetector;
+//!
+//! # fn main() -> Result<(), lfm_sim::BuildError> {
+//! let mut b = ProgramBuilder::new("racy");
+//! let v = b.var("x", 0);
+//! b.thread("a", vec![Stmt::write(v, 1)]);
+//! b.thread("b", vec![Stmt::read(v, "t")]);
+//! let p = b.build()?;
+//!
+//! let traces = lfm_sim::RandomWalker::new(&p, 1).collect_traces(1);
+//! let races = HappensBeforeDetector::new().analyze(&traces[0].0);
+//! assert_eq!(races.len(), 1); // the unsynchronized write/read pair
+//! # let _ = Expr::lit(0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod atomicity;
+mod hb;
+mod lockorder;
+mod lockset;
+mod muvi;
+mod order;
+mod report;
+mod util;
+
+pub use atomicity::{AtomicityDetector, UnserializableCase, UnserializableInterleaving};
+pub use hb::{HappensBeforeDetector, Race};
+pub use lockorder::{LockOrderDetector, PotentialDeadlock};
+pub use lockset::{LocksetDetector, LocksetWarning};
+pub use muvi::{MuviDetector, MuviViolation};
+pub use order::{OrderDetector, OrderViolation};
+pub use report::{detect_all, DetectionSummary, DetectorKind};

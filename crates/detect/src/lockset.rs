@@ -1,0 +1,226 @@
+//! Eraser-style lockset analysis.
+
+use std::collections::{BTreeSet, HashMap};
+
+use lfm_sim::{MutexId, ThreadId, Trace, VarId};
+
+use crate::util::{indexed_plain_accesses, locksets_at_events};
+
+/// Per-variable state of the Eraser state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VarState {
+    /// Only ever touched by its first thread.
+    Exclusive(ThreadId),
+    /// Read by multiple threads, never written after sharing.
+    Shared,
+    /// Written while shared — candidate lockset is enforced.
+    SharedModified,
+}
+
+/// A lockset violation: a shared-modified variable whose candidate
+/// lockset became empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocksetWarning {
+    /// The variable with an empty candidate lockset.
+    pub var: VarId,
+    /// Sequence number of the access that emptied the lockset.
+    pub at_seq: usize,
+    /// Thread performing that access.
+    pub thread: ThreadId,
+}
+
+/// Eraser-style lockset detector.
+///
+/// More aggressive than happens-before: it flags variables that are not
+/// *consistently* protected by some lock, even when the recorded run
+/// happened to order the accesses. The flip side — faithfully reproduced
+/// here — is false positives on programs synchronized by condition
+/// variables, semaphores, or fork/join instead of locks.
+#[derive(Debug, Clone, Default)]
+pub struct LocksetDetector {
+    _private: (),
+}
+
+impl LocksetDetector {
+    /// Creates the detector.
+    pub fn new() -> LocksetDetector {
+        LocksetDetector::default()
+    }
+
+    /// Analyzes one trace.
+    pub fn analyze(&self, trace: &Trace) -> Vec<LocksetWarning> {
+        let locksets = locksets_at_events(trace);
+        let mut state: HashMap<VarId, VarState> = HashMap::new();
+        let mut candidate: HashMap<VarId, BTreeSet<MutexId>> = HashMap::new();
+        let mut warned: BTreeSet<VarId> = BTreeSet::new();
+        let mut warnings = Vec::new();
+
+        for (idx, event) in indexed_plain_accesses(trace) {
+            let var = event.kind.var().expect("access event");
+            let is_write = event.kind.is_write_access();
+            let held = &locksets[idx];
+
+            let st = state
+                .entry(var)
+                .or_insert(VarState::Exclusive(event.thread));
+            match st {
+                VarState::Exclusive(owner) => {
+                    if *owner == event.thread {
+                        continue;
+                    }
+                    // First sharing: initialize the candidate set from
+                    // this access and transition. A sharing *write* with
+                    // no lock held is already a violation, so fall
+                    // through to the check in that case.
+                    candidate.insert(var, held.clone());
+                    if is_write {
+                        *st = VarState::SharedModified;
+                    } else {
+                        *st = VarState::Shared;
+                        continue;
+                    }
+                }
+                VarState::Shared => {
+                    let cand = candidate.entry(var).or_default();
+                    *cand = cand.intersection(held).copied().collect();
+                    if is_write {
+                        *st = VarState::SharedModified;
+                    } else {
+                        continue;
+                    }
+                }
+                VarState::SharedModified => {
+                    let cand = candidate.entry(var).or_default();
+                    *cand = cand.intersection(held).copied().collect();
+                }
+            }
+
+            // In SharedModified, an empty candidate set is a violation.
+            if candidate.get(&var).is_none_or(|c| c.is_empty()) && warned.insert(var) {
+                warnings.push(LocksetWarning {
+                    var,
+                    at_seq: event.seq,
+                    thread: event.thread,
+                });
+            }
+        }
+        warnings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_sim::{Executor, Expr, ProgramBuilder, RecordMode, Stmt};
+
+    fn trace_sequential(p: &lfm_sim::Program) -> Trace {
+        let mut e = Executor::with_record(p, RecordMode::Full);
+        e.run_sequential(1000);
+        e.into_trace()
+    }
+
+    #[test]
+    fn flags_unlocked_shared_write_even_without_manifestation() {
+        // The sequential run never interleaves badly, but lockset still
+        // flags the unprotected counter — its key advantage over HB.
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(v, "t"),
+                    Stmt::write(v, Expr::local("t") + Expr::lit(1)),
+                ],
+            );
+        }
+        let p = b.build().unwrap();
+        let warnings = LocksetDetector::new().analyze(&trace_sequential(&p));
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].var, v);
+    }
+
+    #[test]
+    fn consistently_locked_variable_is_clean() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        let m = b.mutex();
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::lock(m),
+                    Stmt::read(v, "t"),
+                    Stmt::write(v, Expr::local("t") + Expr::lit(1)),
+                    Stmt::unlock(m),
+                ],
+            );
+        }
+        let p = b.build().unwrap();
+        assert!(LocksetDetector::new()
+            .analyze(&trace_sequential(&p))
+            .is_empty());
+    }
+
+    #[test]
+    fn thread_local_variable_is_clean() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        b.thread(
+            "a",
+            vec![Stmt::write(v, 1), Stmt::read(v, "t"), Stmt::write(v, 2)],
+        );
+        b.thread("b", vec![Stmt::Yield]);
+        let p = b.build().unwrap();
+        assert!(LocksetDetector::new()
+            .analyze(&trace_sequential(&p))
+            .is_empty());
+    }
+
+    #[test]
+    fn read_shared_variable_is_clean() {
+        // Initialization by one thread, then read-only sharing: the Eraser
+        // state machine must not warn.
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 7);
+        b.thread("a", vec![Stmt::read(v, "t")]);
+        b.thread("b", vec![Stmt::read(v, "t")]);
+        b.thread("c", vec![Stmt::read(v, "t")]);
+        let p = b.build().unwrap();
+        assert!(LocksetDetector::new()
+            .analyze(&trace_sequential(&p))
+            .is_empty());
+    }
+
+    #[test]
+    fn semaphore_synchronization_is_a_false_positive() {
+        // Correct program (semaphore orders the accesses) — lockset still
+        // warns. This false-positive behaviour is intentional Eraser
+        // fidelity, and exactly why the study's order-violation class is
+        // hard for lock-centric tools.
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        let s = b.semaphore(0);
+        b.thread("producer", vec![Stmt::write(v, 1), Stmt::SemRelease(s)]);
+        b.thread("consumer", vec![Stmt::SemAcquire(s), Stmt::write(v, 2)]);
+        let p = b.build().unwrap();
+        let warnings = LocksetDetector::new().analyze(&trace_sequential(&p));
+        assert_eq!(warnings.len(), 1, "Eraser-style FP expected");
+    }
+
+    #[test]
+    fn partially_locked_write_is_flagged() {
+        // One thread locks, the other does not: candidate set empties.
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        let m = b.mutex();
+        b.thread(
+            "locked",
+            vec![Stmt::lock(m), Stmt::write(v, 1), Stmt::unlock(m)],
+        );
+        b.thread("unlocked", vec![Stmt::write(v, 2)]);
+        let p = b.build().unwrap();
+        let warnings = LocksetDetector::new().analyze(&trace_sequential(&p));
+        assert_eq!(warnings.len(), 1);
+    }
+}

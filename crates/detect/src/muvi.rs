@@ -1,0 +1,255 @@
+//! MUVI-style multi-variable correlation detection.
+//!
+//! The study's Finding 3 shows a third of non-deadlock bugs involve
+//! *several* variables whose accesses must be mutually atomic — a class
+//! invisible to every single-variable detector. MUVI (Lu et al.,
+//! SOSP'07, by the same group) infers *access correlations*: pairs of
+//! variables a thread habitually accesses together. A correlated pair
+//! accessed with a remote write slipping in between is a multi-variable
+//! atomicity violation.
+//!
+//! This detector reproduces that idea over `lfm-sim` traces:
+//!
+//! - **training** (passing runs): record every unordered variable pair
+//!   that some thread accesses within a small window of consecutive
+//!   accesses;
+//! - **detection**: for a correlated pair `(x, y)`, flag thread-local
+//!   access pairs `x … y` with a *conflicting* remote access to `x` or
+//!   `y` between them in the trace's total order — a remote write, or a
+//!   remote read when the local pair writes (a torn snapshot read).
+
+use std::collections::BTreeSet;
+
+use lfm_sim::{ThreadId, Trace, VarId};
+
+use crate::util::indexed_accesses;
+
+/// Window (in per-thread accesses) within which two variables count as
+/// accessed "together".
+const WINDOW: usize = 4;
+
+/// A detected multi-variable atomicity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuviViolation {
+    /// First variable of the correlated pair (lower id).
+    pub var_a: VarId,
+    /// Second variable of the correlated pair.
+    pub var_b: VarId,
+    /// The thread whose correlated access pair was torn.
+    pub local_thread: ThreadId,
+    /// The remote thread whose write intervened.
+    pub remote_thread: ThreadId,
+    /// Sequence number of the first local access.
+    pub first_seq: usize,
+    /// Sequence number of the intervening remote write.
+    pub remote_seq: usize,
+    /// Sequence number of the second local access.
+    pub second_seq: usize,
+}
+
+fn pair(a: VarId, b: VarId) -> (VarId, VarId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// MUVI-style detector: trained variable-pair correlations checked for
+/// intervening remote writes.
+#[derive(Debug, Clone, Default)]
+pub struct MuviDetector {
+    correlations: BTreeSet<(VarId, VarId)>,
+}
+
+impl MuviDetector {
+    /// Learns access correlations from passing runs.
+    pub fn train<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> MuviDetector {
+        let mut correlations = BTreeSet::new();
+        for trace in traces {
+            // Per-thread access sequences.
+            for tid in 0..trace.n_threads {
+                let thread = ThreadId::from_index(tid);
+                let accesses: Vec<VarId> = trace
+                    .thread_events(thread)
+                    .filter_map(|e| e.kind.var())
+                    .collect();
+                for (i, &a) in accesses.iter().enumerate() {
+                    for &b in accesses.iter().skip(i + 1).take(WINDOW - 1) {
+                        if a != b {
+                            correlations.insert(pair(a, b));
+                        }
+                    }
+                }
+            }
+        }
+        MuviDetector { correlations }
+    }
+
+    /// The learned correlated pairs.
+    pub fn correlations(&self) -> impl Iterator<Item = (VarId, VarId)> + '_ {
+        self.correlations.iter().copied()
+    }
+
+    /// Analyzes one trace against the learned correlations.
+    pub fn analyze(&self, trace: &Trace) -> Vec<MuviViolation> {
+        let accesses: Vec<_> = indexed_accesses(trace).map(|(_, e)| e).collect();
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(VarId, VarId, ThreadId, ThreadId)> = BTreeSet::new();
+
+        // For each thread-local pair of consecutive-window accesses to a
+        // correlated (x, y), look for remote writes in between.
+        for (i, first) in accesses.iter().enumerate() {
+            let var_a = first.kind.var().expect("access");
+            let mut local_seen = 0usize;
+            for second in accesses.iter().skip(i + 1) {
+                if second.thread != first.thread {
+                    continue;
+                }
+                local_seen += 1;
+                if local_seen > WINDOW - 1 {
+                    break;
+                }
+                let var_b = second.kind.var().expect("access");
+                if var_a == var_b || !self.correlations.contains(&pair(var_a, var_b)) {
+                    continue;
+                }
+                // Conflicting remote accesses to either variable strictly
+                // between the two local accesses in the total order: a
+                // remote write always conflicts; a remote read conflicts
+                // when the local pair writes (it observes a torn
+                // snapshot).
+                let local_writes =
+                    first.kind.is_write_access() || second.kind.is_write_access();
+                for remote in &accesses[i + 1..] {
+                    if remote.seq >= second.seq {
+                        break;
+                    }
+                    if remote.thread == first.thread {
+                        continue;
+                    }
+                    let rv = remote.kind.var().expect("access");
+                    let conflicts = remote.kind.is_write_access() || local_writes;
+                    if (rv == var_a || rv == var_b) && conflicts {
+                        let (pa, pb) = pair(var_a, var_b);
+                        if seen.insert((pa, pb, first.thread, remote.thread)) {
+                            out.push(MuviViolation {
+                                var_a: pa,
+                                var_b: pb,
+                                local_thread: first.thread,
+                                remote_thread: remote.thread,
+                                first_seq: first.seq,
+                                remote_seq: remote.seq,
+                                second_seq: second.seq,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_sim::{Executor, ProgramBuilder, RecordMode, Schedule, Stmt};
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    /// checker reads (count, entries); updater bumps both — the
+    /// cache_pair_invariant shape.
+    fn pair_program() -> lfm_sim::Program {
+        let mut b = ProgramBuilder::new("pair");
+        let count = b.var("count", 0);
+        let entries = b.var("entries", 0);
+        b.thread(
+            "updater",
+            vec![Stmt::fetch_add(count, 1), Stmt::fetch_add(entries, 1)],
+        );
+        b.thread(
+            "checker",
+            vec![Stmt::read(count, "c"), Stmt::read(entries, "e")],
+        );
+        b.build().unwrap()
+    }
+
+    fn trace_replay(p: &lfm_sim::Program, sched: Vec<ThreadId>) -> Trace {
+        let mut e = Executor::with_record(p, RecordMode::Full);
+        e.replay(&Schedule::from(sched), 1000);
+        e.into_trace()
+    }
+
+    #[test]
+    fn learns_correlations_from_co_access() {
+        let p = pair_program();
+        let serial = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        let d = MuviDetector::train([&serial]);
+        assert_eq!(d.correlations().count(), 1, "count↔entries correlated");
+    }
+
+    #[test]
+    fn flags_remote_write_between_correlated_accesses() {
+        let p = pair_program();
+        let serial = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        let d = MuviDetector::train([&serial]);
+        // checker reads count, updater's two bumps land, checker reads
+        // entries — the torn snapshot.
+        let torn = trace_replay(&p, vec![t(1), t(0), t(0), t(1)]);
+        let violations = d.analyze(&torn);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].local_thread, t(1));
+        assert_eq!(violations[0].remote_thread, t(0));
+    }
+
+    #[test]
+    fn serial_runs_are_clean() {
+        let p = pair_program();
+        let serial = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        let d = MuviDetector::train([&serial]);
+        assert!(d.analyze(&serial).is_empty());
+    }
+
+    #[test]
+    fn remote_reads_do_not_violate() {
+        // The remote thread only reads: a torn read-snapshot of readers
+        // is harmless and must not be flagged.
+        let mut b = ProgramBuilder::new("readers");
+        let x = b.var("x", 0);
+        let y = b.var("y", 0);
+        b.thread("r1", vec![Stmt::read(x, "a"), Stmt::read(y, "b")]);
+        b.thread("r2", vec![Stmt::read(x, "a"), Stmt::read(y, "b")]);
+        let p = b.build().unwrap();
+        let serial = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        let d = MuviDetector::train([&serial]);
+        let interleaved = trace_replay(&p, vec![t(0), t(1), t(0), t(1)]);
+        assert!(d.analyze(&interleaved).is_empty());
+    }
+
+    #[test]
+    fn uncorrelated_variables_are_ignored() {
+        // Two threads on disjoint variables: nothing correlates across
+        // threads, and remote writes to un-correlated vars don't flag.
+        let mut b = ProgramBuilder::new("disjoint");
+        let x = b.var("x", 0);
+        let y = b.var("y", 0);
+        b.thread("wx", vec![Stmt::write(x, 1), Stmt::write(x, 2)]);
+        b.thread("wy", vec![Stmt::write(y, 1), Stmt::write(y, 2)]);
+        let p = b.build().unwrap();
+        let serial = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        let d = MuviDetector::train([&serial]);
+        assert_eq!(d.correlations().count(), 0);
+        let interleaved = trace_replay(&p, vec![t(0), t(1), t(0), t(1)]);
+        assert!(d.analyze(&interleaved).is_empty());
+    }
+
+    #[test]
+    fn untrained_detector_reports_nothing() {
+        let p = pair_program();
+        let torn = trace_replay(&p, vec![t(1), t(0), t(0), t(1)]);
+        assert!(MuviDetector::default().analyze(&torn).is_empty());
+    }
+}

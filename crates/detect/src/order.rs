@@ -1,0 +1,174 @@
+//! Order-violation detection via first-access invariants.
+//!
+//! The study's second-largest non-deadlock class (32%) — order violations
+//! such as use-before-initialization — is invisible to lock-centric
+//! detectors. This detector learns, from passing runs, *definition-use*
+//! invariants of the form "variable `v`'s first cross-thread read is
+//! always preceded by a write" and "thread X's first access to `v`
+//! happens-after thread Y's write", then flags runs that break them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lfm_sim::{EventKind, ThreadId, Trace, VarId};
+
+use crate::util::indexed_accesses;
+
+/// A detected order violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderViolation {
+    /// The variable read before its expected definition.
+    pub var: VarId,
+    /// The reading thread.
+    pub reader: ThreadId,
+    /// Sequence number of the premature read.
+    pub read_seq: usize,
+    /// The value observed (the variable's initial value, evidence that
+    /// the definition had not executed).
+    pub observed: i64,
+}
+
+/// First-access (definition-before-use) order-violation detector.
+#[derive(Debug, Clone, Default)]
+pub struct OrderDetector {
+    /// Variables whose first observed access is a write in every training
+    /// run.
+    write_first: BTreeSet<VarId>,
+}
+
+impl OrderDetector {
+    /// Trains invariants from passing runs.
+    ///
+    /// A variable acquires the *write-first* invariant when, in every
+    /// training trace that touches it, its first access is a write.
+    pub fn train<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> OrderDetector {
+        let mut write_first: BTreeMap<VarId, bool> = BTreeMap::new();
+        for trace in traces {
+            let mut seen_in_trace: BTreeSet<VarId> = BTreeSet::new();
+            for (_, e) in indexed_accesses(trace) {
+                let var = e.kind.var().expect("access");
+                if seen_in_trace.insert(var) {
+                    let is_write = e.kind.is_write_access();
+                    write_first
+                        .entry(var)
+                        .and_modify(|w| *w &= is_write)
+                        .or_insert(is_write);
+                }
+            }
+        }
+        OrderDetector {
+            write_first: write_first
+                .into_iter()
+                .filter_map(|(v, w)| w.then_some(v))
+                .collect(),
+        }
+    }
+
+    /// Variables carrying the write-first invariant.
+    pub fn invariant_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.write_first.iter().copied()
+    }
+
+    /// Checks one trace against the trained invariants.
+    pub fn analyze(&self, trace: &Trace) -> Vec<OrderViolation> {
+        let mut seen: BTreeSet<VarId> = BTreeSet::new();
+        let mut out = Vec::new();
+        for (_, e) in indexed_accesses(trace) {
+            let var = e.kind.var().expect("access");
+            if !seen.insert(var) {
+                continue;
+            }
+            if !self.write_first.contains(&var) {
+                continue;
+            }
+            if let EventKind::Read { value, .. } = e.kind {
+                out.push(OrderViolation {
+                    var,
+                    reader: e.thread,
+                    read_seq: e.seq,
+                    observed: value,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_sim::{Executor, ProgramBuilder, RecordMode, Schedule, Stmt};
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    /// init thread writes `ptr`, user thread reads it — the minimal
+    /// use-before-init shape.
+    fn use_before_init() -> lfm_sim::Program {
+        let mut b = ProgramBuilder::new("ubi");
+        let ptr = b.var("ptr", 0);
+        b.thread("init", vec![Stmt::write(ptr, 42)]);
+        b.thread("user", vec![Stmt::read(ptr, "p")]);
+        b.build().unwrap()
+    }
+
+    fn trace_replay(p: &lfm_sim::Program, sched: Vec<ThreadId>) -> Trace {
+        let mut e = Executor::with_record(p, RecordMode::Full);
+        e.replay(&Schedule::from(sched), 1000);
+        e.into_trace()
+    }
+
+    #[test]
+    fn learns_write_first_and_flags_premature_read() {
+        let p = use_before_init();
+        let good = trace_replay(&p, vec![t(0), t(1)]);
+        let detector = OrderDetector::train([&good]);
+        assert_eq!(detector.invariant_vars().count(), 1);
+
+        let bad = trace_replay(&p, vec![t(1), t(0)]);
+        let violations = detector.analyze(&bad);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].reader, t(1));
+        assert_eq!(violations[0].observed, 0, "read saw the initial value");
+    }
+
+    #[test]
+    fn good_run_stays_clean() {
+        let p = use_before_init();
+        let good = trace_replay(&p, vec![t(0), t(1)]);
+        let detector = OrderDetector::train([&good]);
+        assert!(detector.analyze(&good).is_empty());
+    }
+
+    #[test]
+    fn read_first_variables_learn_no_invariant() {
+        // A flag that is legitimately polled before being set must not
+        // acquire the write-first invariant.
+        let mut b = ProgramBuilder::new("poll");
+        let flag = b.var("flag", 0);
+        b.thread("poller", vec![Stmt::read(flag, "f")]);
+        b.thread("setter", vec![Stmt::write(flag, 1)]);
+        let p = b.build().unwrap();
+        let trace = trace_replay(&p, vec![t(0), t(1)]);
+        let detector = OrderDetector::train([&trace]);
+        assert_eq!(detector.invariant_vars().count(), 0);
+        assert!(detector.analyze(&trace).is_empty());
+    }
+
+    #[test]
+    fn conflicting_training_runs_drop_the_invariant() {
+        let p = use_before_init();
+        let write_first = trace_replay(&p, vec![t(0), t(1)]);
+        let read_first = trace_replay(&p, vec![t(1), t(0)]);
+        let detector = OrderDetector::train([&write_first, &read_first]);
+        assert_eq!(detector.invariant_vars().count(), 0);
+    }
+
+    #[test]
+    fn untrained_detector_reports_nothing() {
+        let p = use_before_init();
+        let bad = trace_replay(&p, vec![t(1), t(0)]);
+        let detector = OrderDetector::default();
+        assert!(detector.analyze(&bad).is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Uniform detection summaries across all detector families.
+
+use std::fmt;
+
+use lfm_sim::Trace;
+
+use crate::atomicity::AtomicityDetector;
+use crate::hb::HappensBeforeDetector;
+use crate::lockorder::LockOrderDetector;
+use crate::lockset::LocksetDetector;
+use crate::muvi::MuviDetector;
+use crate::order::OrderDetector;
+
+/// The detector families implemented by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DetectorKind {
+    /// Vector-clock data-race detection.
+    HappensBefore,
+    /// Eraser-style lockset analysis.
+    Lockset,
+    /// AVIO-style unserializable-interleaving detection.
+    Atomicity,
+    /// First-access order-invariant checking.
+    Order,
+    /// MUVI-style multi-variable correlation analysis.
+    Muvi,
+    /// Lock-order-graph deadlock prediction.
+    LockOrder,
+}
+
+impl DetectorKind {
+    /// All detector kinds.
+    pub const ALL: [DetectorKind; 6] = [
+        DetectorKind::HappensBefore,
+        DetectorKind::Lockset,
+        DetectorKind::Atomicity,
+        DetectorKind::Order,
+        DetectorKind::Muvi,
+        DetectorKind::LockOrder,
+    ];
+}
+
+impl fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DetectorKind::HappensBefore => "happens-before",
+            DetectorKind::Lockset => "lockset",
+            DetectorKind::Atomicity => "atomicity (AVIO)",
+            DetectorKind::Order => "order invariant",
+            DetectorKind::Muvi => "multi-variable (MUVI)",
+            DetectorKind::LockOrder => "lock-order graph",
+        })
+    }
+}
+
+/// Aggregated findings of every detector over a set of traces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectionSummary {
+    /// Data races found by happens-before.
+    pub races: usize,
+    /// Lockset violations.
+    pub lockset_warnings: usize,
+    /// Unserializable interleavings.
+    pub atomicity_violations: usize,
+    /// Order-invariant violations.
+    pub order_violations: usize,
+    /// Multi-variable correlation violations.
+    pub muvi_violations: usize,
+    /// Lock-order cycles.
+    pub lock_order_cycles: usize,
+}
+
+impl DetectionSummary {
+    /// `true` when any detector reported anything.
+    pub fn any(&self) -> bool {
+        self.races > 0
+            || self.lockset_warnings > 0
+            || self.atomicity_violations > 0
+            || self.order_violations > 0
+            || self.muvi_violations > 0
+            || self.lock_order_cycles > 0
+    }
+
+    /// The count for one detector kind.
+    pub fn count(&self, kind: DetectorKind) -> usize {
+        match kind {
+            DetectorKind::HappensBefore => self.races,
+            DetectorKind::Lockset => self.lockset_warnings,
+            DetectorKind::Atomicity => self.atomicity_violations,
+            DetectorKind::Order => self.order_violations,
+            DetectorKind::Muvi => self.muvi_violations,
+            DetectorKind::LockOrder => self.lock_order_cycles,
+        }
+    }
+}
+
+impl fmt::Display for DetectionSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "races={} lockset={} atomicity={} order={} muvi={} lock-order-cycles={}",
+            self.races,
+            self.lockset_warnings,
+            self.atomicity_violations,
+            self.order_violations,
+            self.muvi_violations,
+            self.lock_order_cycles
+        )
+    }
+}
+
+/// Runs every detector over the given traces.
+///
+/// `training` traces (passing runs) train the invariant-based detectors
+/// (atomicity and order); `test` traces are analyzed by all five
+/// detectors and the findings summed.
+pub fn detect_all(training: &[Trace], test: &[Trace]) -> DetectionSummary {
+    let hb = HappensBeforeDetector::new();
+    let lockset = LocksetDetector::new();
+    let atomicity = AtomicityDetector::train(training.iter());
+    let order = OrderDetector::train(training.iter());
+    let muvi = MuviDetector::train(training.iter());
+    let mut lockorder = LockOrderDetector::new();
+    for t in training.iter().chain(test) {
+        lockorder.observe(t);
+    }
+
+    let mut summary = DetectionSummary::default();
+    for t in test {
+        summary.races += hb.analyze(t).len();
+        summary.lockset_warnings += lockset.analyze(t).len();
+        summary.atomicity_violations += atomicity.analyze(t).len();
+        summary.order_violations += order.analyze(t).len();
+        summary.muvi_violations += muvi.analyze(t).len();
+    }
+    summary.lock_order_cycles = lockorder.cycles().len();
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_sim::{Executor, Expr, ProgramBuilder, RecordMode, Schedule, Stmt, ThreadId};
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    fn racy_counter() -> lfm_sim::Program {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(v, "t"),
+                    Stmt::write(v, Expr::local("t") + Expr::lit(1)),
+                ],
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn trace_replay(p: &lfm_sim::Program, sched: Vec<ThreadId>) -> Trace {
+        let mut e = Executor::with_record(p, RecordMode::Full);
+        e.replay(&Schedule::from(sched), 1000);
+        e.into_trace()
+    }
+
+    #[test]
+    fn detect_all_aggregates() {
+        let p = racy_counter();
+        let serial = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        let buggy = trace_replay(&p, vec![t(0), t(1), t(1), t(0)]);
+        let summary = detect_all(&[serial], &[buggy]);
+        assert!(summary.any());
+        assert!(summary.races > 0);
+        assert!(summary.lockset_warnings > 0);
+        assert!(summary.atomicity_violations > 0);
+        assert_eq!(summary.lock_order_cycles, 0);
+        assert_eq!(summary.count(DetectorKind::HappensBefore), summary.races);
+    }
+
+    #[test]
+    fn clean_program_yields_empty_summary() {
+        let mut b = ProgramBuilder::new("clean");
+        let v = b.var("x", 0);
+        let m = b.mutex();
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::lock(m),
+                    Stmt::read(v, "t"),
+                    Stmt::write(v, Expr::local("t") + Expr::lit(1)),
+                    Stmt::unlock(m),
+                ],
+            );
+        }
+        let p = b.build().unwrap();
+        let tr1 = trace_replay(&p, vec![t(0); 8]);
+        let tr2 = trace_replay(&p, vec![t(1); 8]);
+        let summary = detect_all(&[tr1], &[tr2]);
+        assert!(!summary.any(), "got {summary}");
+    }
+
+    #[test]
+    fn display_lists_all_counters() {
+        let s = DetectionSummary {
+            races: 1,
+            lockset_warnings: 2,
+            atomicity_violations: 3,
+            order_violations: 4,
+            muvi_violations: 6,
+            lock_order_cycles: 5,
+        }
+        .to_string();
+        for needle in ["races=1", "lockset=2", "atomicity=3", "order=4", "muvi=6", "cycles=5"] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn detector_kind_display() {
+        assert_eq!(DetectorKind::ALL.len(), 6);
+        assert_eq!(DetectorKind::Atomicity.to_string(), "atomicity (AVIO)");
+    }
+}

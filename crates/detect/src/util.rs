@@ -1,0 +1,141 @@
+//! Shared helpers for trace analysis: lockset reconstruction and access
+//! iteration.
+
+use std::collections::{BTreeSet, HashMap};
+
+use lfm_sim::{Event, EventKind, MutexId, ThreadId, Trace};
+
+/// Reconstructs, for every event index, the set of mutexes held by the
+/// event's thread *at* that event (including a lock acquired by the event
+/// itself, excluding one released by it).
+pub(crate) fn locksets_at_events(trace: &Trace) -> Vec<BTreeSet<MutexId>> {
+    let mut held: HashMap<ThreadId, BTreeSet<MutexId>> = HashMap::new();
+    let mut out = Vec::with_capacity(trace.events.len());
+    for event in &trace.events {
+        let set = held.entry(event.thread).or_default();
+        match &event.kind {
+            EventKind::Lock(m) => {
+                set.insert(*m);
+            }
+            EventKind::TryLock { mutex, success }
+                if *success => {
+                    set.insert(*mutex);
+                }
+            EventKind::Unlock(m) => {
+                set.remove(m);
+            }
+            EventKind::WaitBegin { mutex, .. } => {
+                // The wait releases the mutex for its duration.
+                set.remove(mutex);
+            }
+            EventKind::WaitEnd { mutex, .. } => {
+                set.insert(*mutex);
+            }
+            _ => {}
+        }
+        out.push(held.get(&event.thread).cloned().unwrap_or_default());
+    }
+    out
+}
+
+/// `true` when two access kinds conflict (same variable assumed; at least
+/// one writes).
+pub(crate) fn conflicting(a: &EventKind, b: &EventKind) -> bool {
+    a.is_write_access() || b.is_write_access()
+}
+
+/// Iterator item: an access event with its index into `trace.events`.
+pub(crate) fn indexed_accesses(trace: &Trace) -> impl Iterator<Item = (usize, &Event)> {
+    trace
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind.is_access())
+}
+
+/// Plain (non-atomic) accesses only: `Read` and `Write` events. Atomic
+/// RMW/CAS operations are synchronization-like and do not constitute data
+/// races, mirroring how race detectors treat C11 atomics.
+pub(crate) fn indexed_plain_accesses(trace: &Trace) -> impl Iterator<Item = (usize, &Event)> {
+    trace.events.iter().enumerate().filter(|(_, e)| {
+        matches!(e.kind, EventKind::Read { .. } | EventKind::Write { .. })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_sim::{Executor, Expr, ProgramBuilder, RecordMode, Stmt};
+
+    #[test]
+    fn lockset_tracks_lock_unlock_and_wait() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        let m = b.mutex();
+        let c = b.cond();
+        b.thread(
+            "w",
+            vec![
+                Stmt::lock(m),
+                Stmt::read(v, "t"),
+                Stmt::Wait { cond: c, mutex: m },
+                Stmt::read(v, "t"),
+                Stmt::unlock(m),
+            ],
+        );
+        b.thread("s", vec![Stmt::read(v, "r"), Stmt::Signal(c)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        // w locks+reads+waits, s reads+signals, w resumes.
+        e.run_with(100, |en| *en.last().unwrap());
+        let trace = e.into_trace();
+        let sets = locksets_at_events(&trace);
+        for (i, ev) in trace.events.iter().enumerate() {
+            match &ev.kind {
+                EventKind::Read { .. } if ev.thread.index() == 0 => {
+                    assert!(sets[i].contains(&m), "w's reads hold the mutex");
+                }
+                EventKind::Read { .. } => {
+                    assert!(sets[i].is_empty(), "s's read holds nothing");
+                }
+                EventKind::WaitBegin { .. } => {
+                    assert!(!sets[i].contains(&m), "wait releases the mutex");
+                }
+                EventKind::WaitEnd { .. } => {
+                    assert!(sets[i].contains(&m), "wakeup re-acquires");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_requires_a_write() {
+        let v = lfm_sim::VarId::from_index(0);
+        let r = EventKind::Read { var: v, value: 0 };
+        let w = EventKind::Write { var: v, value: 1 };
+        assert!(!conflicting(&r, &r));
+        assert!(conflicting(&r, &w));
+        assert!(conflicting(&w, &r));
+        assert!(conflicting(&w, &w));
+    }
+
+    #[test]
+    fn indexed_accesses_filters_sync_events() {
+        let mut b = ProgramBuilder::new("p");
+        let v = b.var("x", 0);
+        let m = b.mutex();
+        b.thread("t", vec![Stmt::lock(m), Stmt::write(v, 1), Stmt::unlock(m)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        e.run_sequential(100);
+        let trace = e.into_trace();
+        let accesses: Vec<_> = indexed_accesses(&trace).collect();
+        assert_eq!(accesses.len(), 1);
+        assert!(matches!(
+            accesses[0].1.kind,
+            EventKind::Write { value: 1, .. }
+        ));
+        let _ = Expr::lit(0);
+    }
+}

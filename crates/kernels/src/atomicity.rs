@@ -1,0 +1,630 @@
+//! Single-variable atomicity-violation kernels — the study's dominant
+//! non-deadlock class (atomicity violations account for ~69% of the
+//! non-deadlock bugs).
+
+use lfm_sim::{Expr, Program, ProgramBuilder, Stmt};
+
+use crate::kernel::{ExpectedFailure, Family, FixKind, Kernel, Variant};
+
+fn local(name: &'static str) -> Expr {
+    Expr::local(name)
+}
+
+/// Two threads increment a shared counter with load-add-store.
+fn counter_rmw(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("counter_rmw");
+    let counter = b.var("counter", 0);
+    let m = b.mutex();
+    for name in ["t1", "t2"] {
+        let body = match variant {
+            Variant::Buggy => vec![
+                Stmt::read(counter, "tmp"),
+                Stmt::write(counter, local("tmp") + Expr::lit(1)),
+            ],
+            Variant::Fixed(FixKind::Lock) => vec![
+                Stmt::lock(m),
+                Stmt::read(counter, "tmp"),
+                Stmt::write(counter, local("tmp") + Expr::lit(1)),
+                Stmt::unlock(m),
+            ],
+            Variant::Fixed(FixKind::Atomic) => vec![Stmt::fetch_add(counter, 1)],
+            Variant::Fixed(FixKind::Transaction) => vec![
+                Stmt::TxBegin,
+                Stmt::read(counter, "tmp"),
+                Stmt::write(counter, local("tmp") + Expr::lit(1)),
+                Stmt::TxCommit,
+            ],
+            Variant::Fixed(other) => unreachable!("counter_rmw has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.final_assert(
+        Expr::shared(counter).eq(Expr::lit(2)),
+        "both increments retained",
+    );
+    b.build().expect("kernel builds")
+}
+
+/// Check a pointer for null, then use it — while another thread frees it.
+fn check_then_act_null(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("check_then_act_null");
+    let ptr = b.var("ptr", 1); // 1 = valid object, 0 = freed
+    let m = b.mutex();
+    let user = match variant {
+        Variant::Buggy => vec![
+            Stmt::read(ptr, "p"),
+            Stmt::if_then(
+                local("p").ne(Expr::lit(0)),
+                vec![
+                    // ... window ...
+                    Stmt::read(ptr, "p2"),
+                    Stmt::assert(local("p2").ne(Expr::lit(0)), "dereferenced freed pointer"),
+                ],
+            ),
+        ],
+        Variant::Fixed(FixKind::CondCheck) => vec![
+            Stmt::read(ptr, "p"),
+            Stmt::if_then(
+                local("p").ne(Expr::lit(0)),
+                vec![
+                    // Re-validate right at the use site; skip if freed.
+                    Stmt::read(ptr, "p2"),
+                    Stmt::if_then(
+                        local("p2").ne(Expr::lit(0)),
+                        vec![Stmt::assert(
+                            local("p2").ne(Expr::lit(0)),
+                            "validated use",
+                        )],
+                    ),
+                ],
+            ),
+        ],
+        Variant::Fixed(FixKind::Lock) => vec![
+            Stmt::lock(m),
+            Stmt::read(ptr, "p"),
+            Stmt::if_then(
+                local("p").ne(Expr::lit(0)),
+                vec![
+                    Stmt::read(ptr, "p2"),
+                    Stmt::assert(local("p2").ne(Expr::lit(0)), "use under lock"),
+                ],
+            ),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::read(ptr, "p"),
+            Stmt::if_then(
+                local("p").ne(Expr::lit(0)),
+                vec![
+                    Stmt::read(ptr, "p2"),
+                    Stmt::assert(local("p2").ne(Expr::lit(0)), "use inside tx"),
+                ],
+            ),
+            Stmt::TxCommit,
+        ],
+        Variant::Fixed(other) => unreachable!("check_then_act_null has no {other} fix"),
+    };
+    b.thread("user", user);
+    let freer = match variant {
+        Variant::Fixed(FixKind::Lock) => vec![Stmt::lock(m), Stmt::write(ptr, 0), Stmt::unlock(m)],
+        _ => vec![Stmt::write(ptr, 0)],
+    };
+    b.thread("freer", freer);
+    b.build().expect("kernel builds")
+}
+
+/// `if (!initialized) initialize()` executed by two threads at once.
+fn double_check_init(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("double_check_init");
+    let flag = b.var("initialized", 0);
+    let inits = b.var("init_count", 0);
+    let m = b.mutex();
+    for name in ["t1", "t2"] {
+        let body = match variant {
+            Variant::Buggy => vec![
+                Stmt::read(flag, "f"),
+                Stmt::if_then(
+                    local("f").eq(Expr::lit(0)),
+                    vec![Stmt::write(flag, 1), Stmt::fetch_add(inits, 1)],
+                ),
+            ],
+            Variant::Fixed(FixKind::Lock) => vec![
+                Stmt::lock(m),
+                Stmt::read(flag, "f"),
+                Stmt::if_then(
+                    local("f").eq(Expr::lit(0)),
+                    vec![Stmt::write(flag, 1), Stmt::fetch_add(inits, 1)],
+                ),
+                Stmt::unlock(m),
+            ],
+            Variant::Fixed(FixKind::Atomic) => vec![
+                // Only the CAS winner initializes.
+                Stmt::cas(flag, 0, 1, "won"),
+                Stmt::if_then(local("won").ne(Expr::lit(0)), vec![Stmt::fetch_add(inits, 1)]),
+            ],
+            Variant::Fixed(FixKind::Transaction) => vec![
+                Stmt::TxBegin,
+                Stmt::read(flag, "f"),
+                Stmt::if_then(
+                    local("f").eq(Expr::lit(0)),
+                    vec![
+                        Stmt::write(flag, 1),
+                        Stmt::read(inits, "ic"),
+                        Stmt::write(inits, local("ic") + Expr::lit(1)),
+                    ],
+                ),
+                Stmt::TxCommit,
+            ],
+            Variant::Fixed(other) => unreachable!("double_check_init has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.final_assert(
+        Expr::shared(inits).eq(Expr::lit(1)),
+        "resource initialized exactly once",
+    );
+    b.build().expect("kernel builds")
+}
+
+/// Apache #25520-style shared log-buffer append: read offset, emit the
+/// record (I/O), store the bumped offset.
+fn log_buffer_apache(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("log_buffer_apache");
+    let pos = b.var("buf_pos", 0);
+    let m = b.mutex();
+    for (name, tag) in [("w1", "append-rec-1"), ("w2", "append-rec-2")] {
+        let append = vec![
+            Stmt::read(pos, "p"),
+            Stmt::io(tag),
+            Stmt::write(pos, local("p") + Expr::lit(1)),
+        ];
+        let body = match variant {
+            Variant::Buggy => append,
+            Variant::Fixed(FixKind::Lock) => {
+                let mut v = vec![Stmt::lock(m)];
+                v.extend(append);
+                v.push(Stmt::unlock(m));
+                v
+            }
+            Variant::Fixed(FixKind::Transaction) => {
+                // Deliberately includes the I/O inside the transaction —
+                // the TM evaluator flags this as the IoInRegion obstacle.
+                let mut v = vec![Stmt::TxBegin];
+                v.extend(append);
+                v.push(Stmt::TxCommit);
+                v
+            }
+            Variant::Fixed(other) => unreachable!("log_buffer_apache has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.final_assert(
+        Expr::shared(pos).eq(Expr::lit(2)),
+        "no log record overwritten",
+    );
+    b.build().expect("kernel builds")
+}
+
+/// Refcount decrement with a 'free on zero' side effect.
+fn stat_counter(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("stat_counter");
+    let rc = b.var("refcount", 2);
+    let frees = b.var("frees", 0);
+    let m = b.mutex();
+    for name in ["t1", "t2"] {
+        let body = match variant {
+            Variant::Buggy => vec![
+                Stmt::read(rc, "r"),
+                Stmt::write(rc, local("r") - Expr::lit(1)),
+                Stmt::if_then(
+                    (local("r") - Expr::lit(1)).eq(Expr::lit(0)),
+                    vec![Stmt::fetch_add(frees, 1)],
+                ),
+            ],
+            Variant::Fixed(FixKind::Atomic) => vec![
+                Stmt::Rmw {
+                    var: rc,
+                    op: lfm_sim::RmwOp::FetchSub,
+                    operand: Expr::lit(1),
+                    into: Some("old"),
+                },
+                Stmt::if_then(
+                    local("old").eq(Expr::lit(1)),
+                    vec![Stmt::fetch_add(frees, 1)],
+                ),
+            ],
+            Variant::Fixed(FixKind::Lock) => vec![
+                Stmt::lock(m),
+                Stmt::read(rc, "r"),
+                Stmt::write(rc, local("r") - Expr::lit(1)),
+                Stmt::if_then(
+                    (local("r") - Expr::lit(1)).eq(Expr::lit(0)),
+                    vec![Stmt::fetch_add(frees, 1)],
+                ),
+                Stmt::unlock(m),
+            ],
+            Variant::Fixed(FixKind::Transaction) => vec![
+                Stmt::TxBegin,
+                Stmt::read(rc, "r"),
+                Stmt::write(rc, local("r") - Expr::lit(1)),
+                Stmt::if_then(
+                    (local("r") - Expr::lit(1)).eq(Expr::lit(0)),
+                    vec![
+                        Stmt::read(frees, "fr"),
+                        Stmt::write(frees, local("fr") + Expr::lit(1)),
+                    ],
+                ),
+                Stmt::TxCommit,
+            ],
+            Variant::Fixed(other) => unreachable!("stat_counter has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.final_assert(
+        Expr::shared(rc)
+            .eq(Expr::lit(0))
+            .and(Expr::shared(frees).eq(Expr::lit(1))),
+        "object freed exactly once when refcount hits zero",
+    );
+    b.build().expect("kernel builds")
+}
+
+/// Check balance then withdraw — two withdrawals both pass the check.
+fn bank_withdraw(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("bank_withdraw");
+    let balance = b.var("balance", 100);
+    let withdrawn = b.var("withdrawn", 0);
+    let m = b.mutex();
+    for name in ["t1", "t2"] {
+        let core = vec![
+            Stmt::read(balance, "bal"),
+            Stmt::if_then(
+                local("bal").ge(Expr::lit(70)),
+                vec![
+                    Stmt::write(balance, local("bal") - Expr::lit(70)),
+                    Stmt::fetch_add(withdrawn, 70),
+                ],
+            ),
+        ];
+        let body = match variant {
+            Variant::Buggy => core,
+            Variant::Fixed(FixKind::Lock) => {
+                let mut v = vec![Stmt::lock(m)];
+                v.extend(core);
+                v.push(Stmt::unlock(m));
+                v
+            }
+            Variant::Fixed(FixKind::Atomic) => vec![
+                // CAS retry loop: re-read and re-check on failure.
+                Stmt::local("done", 0),
+                Stmt::local("attempts", 0),
+                Stmt::while_loop(
+                    local("done")
+                        .eq(Expr::lit(0))
+                        .and(local("attempts").lt(Expr::lit(4))),
+                    vec![
+                        Stmt::read(balance, "bal"),
+                        Stmt::if_else(
+                            local("bal").ge(Expr::lit(70)),
+                            vec![
+                                Stmt::cas(
+                                    balance,
+                                    local("bal"),
+                                    local("bal") - Expr::lit(70),
+                                    "ok",
+                                ),
+                                Stmt::if_then(
+                                    local("ok").ne(Expr::lit(0)),
+                                    vec![
+                                        Stmt::fetch_add(withdrawn, 70),
+                                        Stmt::local("done", 1),
+                                    ],
+                                ),
+                            ],
+                            vec![Stmt::local("done", 1)],
+                        ),
+                        Stmt::local("attempts", local("attempts") + Expr::lit(1)),
+                    ],
+                ),
+            ],
+            Variant::Fixed(FixKind::Transaction) => vec![
+                Stmt::TxBegin,
+                Stmt::read(balance, "bal"),
+                Stmt::if_then(
+                    local("bal").ge(Expr::lit(70)),
+                    vec![
+                        Stmt::write(balance, local("bal") - Expr::lit(70)),
+                        Stmt::read(withdrawn, "w"),
+                        Stmt::write(withdrawn, local("w") + Expr::lit(70)),
+                    ],
+                ),
+                Stmt::TxCommit,
+            ],
+            Variant::Fixed(other) => unreachable!("bank_withdraw has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.final_assert(
+        (Expr::shared(balance) + Expr::shared(withdrawn))
+            .eq(Expr::lit(100))
+            .and(Expr::shared(balance).ge(Expr::lit(0))),
+        "no overdraft and money conserved",
+    );
+    b.build().expect("kernel builds")
+}
+
+/// MySQL #791-style: an append must observe a stable log generation
+/// around its I/O (read / io / re-read must agree).
+fn read_frag_write(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("read_frag_write");
+    let generation = b.var("log_generation", 0);
+    let m = b.mutex();
+    let appender_core = vec![
+        Stmt::read(generation, "g1"),
+        Stmt::io("append-entry"),
+        Stmt::read(generation, "g2"),
+        Stmt::assert(
+            local("g1").eq(local("g2")),
+            "entry appended within one log generation",
+        ),
+    ];
+    let appender = match variant {
+        Variant::Buggy => appender_core.clone(),
+        Variant::Fixed(FixKind::Lock) => {
+            let mut v = vec![Stmt::lock(m)];
+            v.extend(appender_core.clone());
+            v.push(Stmt::unlock(m));
+            v
+        }
+        Variant::Fixed(other) => unreachable!("read_frag_write has no {other} fix"),
+    };
+    b.thread("appender", appender);
+    let rotator = match variant {
+        Variant::Fixed(FixKind::Lock) => vec![
+            Stmt::lock(m),
+            Stmt::fetch_add(generation, 1),
+            Stmt::unlock(m),
+        ],
+        _ => vec![Stmt::fetch_add(generation, 1)],
+    };
+    b.thread("rotator", rotator);
+    b.build().expect("kernel builds")
+}
+
+/// Test a busy flag, then enter the 'exclusive' region.
+fn toctou_flag(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("toctou_flag");
+    let busy = b.var("busy", 0);
+    let owners = b.var("owners", 0);
+    let m = b.mutex();
+    for name in ["t1", "t2"] {
+        let body = match variant {
+            Variant::Buggy => vec![
+                Stmt::read(busy, "f"),
+                Stmt::if_then(
+                    local("f").eq(Expr::lit(0)),
+                    vec![
+                        Stmt::write(busy, 1),
+                        Stmt::read(owners, "o"),
+                        Stmt::write(owners, local("o") + Expr::lit(1)),
+                        Stmt::read(owners, "o2"),
+                        Stmt::assert(local("o2").eq(Expr::lit(1)), "region is exclusive"),
+                        Stmt::write(owners, local("o2") - Expr::lit(1)),
+                        Stmt::write(busy, 0),
+                    ],
+                ),
+            ],
+            Variant::Fixed(FixKind::Atomic) => vec![
+                Stmt::cas(busy, 0, 1, "won"),
+                Stmt::if_then(
+                    local("won").ne(Expr::lit(0)),
+                    vec![
+                        Stmt::read(owners, "o"),
+                        Stmt::write(owners, local("o") + Expr::lit(1)),
+                        Stmt::read(owners, "o2"),
+                        Stmt::assert(local("o2").eq(Expr::lit(1)), "region is exclusive"),
+                        Stmt::write(owners, local("o2") - Expr::lit(1)),
+                        Stmt::write(busy, 0),
+                    ],
+                ),
+            ],
+            Variant::Fixed(FixKind::Lock) => vec![
+                Stmt::lock(m),
+                Stmt::read(owners, "o"),
+                Stmt::write(owners, local("o") + Expr::lit(1)),
+                Stmt::read(owners, "o2"),
+                Stmt::assert(local("o2").eq(Expr::lit(1)), "region is exclusive"),
+                Stmt::write(owners, local("o2") - Expr::lit(1)),
+                Stmt::unlock(m),
+            ],
+            Variant::Fixed(FixKind::Transaction) => vec![
+                Stmt::TxBegin,
+                Stmt::read(owners, "o"),
+                Stmt::write(owners, local("o") + Expr::lit(1)),
+                Stmt::read(owners, "o2"),
+                Stmt::assert(local("o2").eq(Expr::lit(1)), "region is exclusive"),
+                Stmt::write(owners, local("o2") - Expr::lit(1)),
+                Stmt::TxCommit,
+            ],
+            Variant::Fixed(other) => unreachable!("toctou_flag has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.build().expect("kernel builds")
+}
+
+/// A writer exposes a temporarily-inconsistent value between two writes.
+fn intermediate_state(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("intermediate_state");
+    let x = b.var("x", 0);
+    let m = b.mutex();
+    let writer = match variant {
+        Variant::Buggy => vec![Stmt::write(x, -1), Stmt::write(x, 1)],
+        Variant::Fixed(FixKind::CodeSwitch) => vec![
+            // Compute the final value up front; never expose the scratch.
+            Stmt::write(x, 1),
+        ],
+        Variant::Fixed(FixKind::Lock) => vec![
+            Stmt::lock(m),
+            Stmt::write(x, -1),
+            Stmt::write(x, 1),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::write(x, -1),
+            Stmt::write(x, 1),
+            Stmt::TxCommit,
+        ],
+        Variant::Fixed(other) => unreachable!("intermediate_state has no {other} fix"),
+    };
+    b.thread("writer", writer);
+    let reader = match variant {
+        Variant::Fixed(FixKind::Lock) => vec![
+            Stmt::lock(m),
+            Stmt::read(x, "v"),
+            Stmt::unlock(m),
+            Stmt::assert(local("v").ge(Expr::lit(0)), "never sees scratch value"),
+        ],
+        _ => vec![
+            Stmt::read(x, "v"),
+            Stmt::assert(local("v").ge(Expr::lit(0)), "never sees scratch value"),
+        ],
+    };
+    b.thread("reader", reader);
+    b.build().expect("kernel builds")
+}
+
+/// The atomicity-family kernels.
+pub(crate) fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            id: "counter_rmw",
+            name: "racy load-add-store counter",
+            family: Family::AtomicitySingleVar,
+            description: "Two threads increment a shared statistic with a \
+                          non-atomic load-add-store; an interleaving loses \
+                          one update. Minimized from the buffer-pool and \
+                          scoreboard counter bugs.",
+            source_bug: Some("mozilla-52111"),
+            fixes: &[FixKind::Lock, FixKind::Atomic, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: counter_rmw,
+        },
+        Kernel {
+            id: "check_then_act_null",
+            name: "null-check then dereference vs concurrent free",
+            family: Family::AtomicitySingleVar,
+            description: "A thread checks a pointer for null and then uses \
+                          it; another thread frees (nulls) it in between. \
+                          Minimized from the nsSocketTransport mThread crash.",
+            source_bug: Some("mozilla-79054"),
+            fixes: &[FixKind::CondCheck, FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: check_then_act_null,
+        },
+        Kernel {
+            id: "double_check_init",
+            name: "unsynchronized lazy initialization",
+            family: Family::AtomicitySingleVar,
+            description: "`if (!initialized) initialize()` run by two \
+                          threads initializes twice. Minimized from the atom \
+                          table double-initialization.",
+            source_bug: Some("mozilla-99224"),
+            fixes: &[FixKind::Lock, FixKind::Atomic, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: double_check_init,
+        },
+        Kernel {
+            id: "log_buffer_apache",
+            name: "shared log buffer offset race (Apache #25520 shape)",
+            family: Family::AtomicitySingleVar,
+            description: "Two workers read the buffer offset, emit their \
+                          record, and store offset+1; interleaving makes both \
+                          records land on the same offset.",
+            source_bug: Some("apache-25520"),
+            fixes: &[FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: log_buffer_apache,
+        },
+        Kernel {
+            id: "stat_counter",
+            name: "non-atomic refcount decrement with free-on-zero",
+            family: Family::AtomicitySingleVar,
+            description: "Two releases of a refcount==2 object interleave \
+                          so the object is never freed (or doubly freed).",
+            source_bug: Some("apache-21287"),
+            fixes: &[FixKind::Atomic, FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: stat_counter,
+        },
+        Kernel {
+            id: "bank_withdraw",
+            name: "check-balance-then-withdraw",
+            family: Family::AtomicitySingleVar,
+            description: "Two withdrawals both pass the balance check and \
+                          both debit; money is created or the account \
+                          overdrafts. The canonical check-then-act shape of \
+                          the HANDLER/reslist bugs.",
+            source_bug: Some("mysql-5014"),
+            fixes: &[FixKind::Lock, FixKind::Atomic, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: bank_withdraw,
+        },
+        Kernel {
+            id: "read_frag_write",
+            name: "log append torn across a rotation (MySQL #791 shape)",
+            family: Family::AtomicitySingleVar,
+            description: "An append reads the log generation, performs its \
+                          I/O, and re-reads; a concurrent rotation in the \
+                          window strands the entry in a closed log.",
+            source_bug: Some("mysql-791"),
+            fixes: &[FixKind::Lock],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: read_frag_write,
+        },
+        Kernel {
+            id: "toctou_flag",
+            name: "busy-flag test-then-set",
+            family: Family::AtomicitySingleVar,
+            description: "Two threads test a busy flag and both enter the \
+                          'exclusive' region; the exclusivity assertion \
+                          fires. Minimized from the plugin-host busy flag.",
+            source_bug: Some("mozilla-112418"),
+            fixes: &[FixKind::Atomic, FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: toctou_flag,
+        },
+        Kernel {
+            id: "intermediate_state",
+            name: "reader observes a scratch value between two writes",
+            family: Family::AtomicitySingleVar,
+            description: "A writer stores a temporary value then the final \
+                          one; a reader between the stores sees the scratch \
+                          state (the W-R-W unserializable case).",
+            source_bug: None,
+            fixes: &[FixKind::CodeSwitch, FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: intermediate_state,
+        },
+    ]
+}

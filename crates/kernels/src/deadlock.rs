@@ -1,0 +1,572 @@
+//! Deadlock kernels covering the study's deadlock shapes: 22% of
+//! deadlocks involve a single resource (self-deadlock), 97% at most two.
+
+use lfm_sim::{Expr, Program, ProgramBuilder, Stmt};
+
+use crate::kernel::{ExpectedFailure, Family, FixKind, Kernel, Variant};
+
+fn local(name: &'static str) -> Expr {
+    Expr::local(name)
+}
+
+/// The classic two-mutex ABBA.
+fn abba(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("abba");
+    let work = b.var("work", 0);
+    let m1 = b.mutex();
+    let m2 = b.mutex();
+    match variant {
+        Variant::Buggy => {
+            b.thread(
+                "t1",
+                vec![
+                    Stmt::lock(m1),
+                    Stmt::lock(m2),
+                    Stmt::fetch_add(work, 1),
+                    Stmt::unlock(m2),
+                    Stmt::unlock(m1),
+                ],
+            );
+            b.thread(
+                "t2",
+                vec![
+                    Stmt::lock(m2),
+                    Stmt::lock(m1),
+                    Stmt::fetch_add(work, 1),
+                    Stmt::unlock(m1),
+                    Stmt::unlock(m2),
+                ],
+            );
+        }
+        Variant::Fixed(FixKind::AcquireInOrder) => {
+            for name in ["t1", "t2"] {
+                b.thread(
+                    name,
+                    vec![
+                        Stmt::lock(m1),
+                        Stmt::lock(m2),
+                        Stmt::fetch_add(work, 1),
+                        Stmt::unlock(m2),
+                        Stmt::unlock(m1),
+                    ],
+                );
+            }
+        }
+        Variant::Fixed(FixKind::GiveUp) => {
+            b.thread(
+                "t1",
+                vec![
+                    Stmt::lock(m1),
+                    Stmt::lock(m2),
+                    Stmt::fetch_add(work, 1),
+                    Stmt::unlock(m2),
+                    Stmt::unlock(m1),
+                ],
+            );
+            // t2 gives up m2 when m1 is unavailable and retries (bounded).
+            b.thread(
+                "t2",
+                vec![
+                    Stmt::local("done", 0),
+                    Stmt::local("attempts", 0),
+                    Stmt::while_loop(
+                        local("done")
+                            .eq(Expr::lit(0))
+                            .and(local("attempts").lt(Expr::lit(8))),
+                        vec![
+                            Stmt::lock(m2),
+                            Stmt::TryLock {
+                                mutex: m1,
+                                into: "got",
+                            },
+                            Stmt::if_else(
+                                local("got").ne(Expr::lit(0)),
+                                vec![
+                                    Stmt::fetch_add(work, 1),
+                                    Stmt::unlock(m1),
+                                    Stmt::unlock(m2),
+                                    Stmt::local("done", 1),
+                                ],
+                                vec![
+                                    // Give up the held resource and retry.
+                                    Stmt::unlock(m2),
+                                    Stmt::Yield,
+                                ],
+                            ),
+                            Stmt::local("attempts", local("attempts") + Expr::lit(1)),
+                        ],
+                    ),
+                ],
+            );
+        }
+        Variant::Fixed(FixKind::Transaction) => {
+            // Lock elision: the locks only protected the work counter.
+            for name in ["t1", "t2"] {
+                b.thread(
+                    name,
+                    vec![
+                        Stmt::TxBegin,
+                        Stmt::read(work, "w"),
+                        Stmt::write(work, local("w") + Expr::lit(1)),
+                        Stmt::TxCommit,
+                    ],
+                );
+            }
+        }
+        Variant::Fixed(other) => unreachable!("abba has no {other} fix"),
+    }
+    b.build().expect("kernel builds")
+}
+
+/// Re-acquiring a non-recursive mutex the thread already holds.
+fn self_relock(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("self_relock");
+    let work = b.var("work", 0);
+    let m = b.mutex();
+    let body = match variant {
+        Variant::Buggy => vec![
+            Stmt::lock(m),
+            // An error path re-enters a helper that locks again.
+            Stmt::lock(m),
+            Stmt::fetch_add(work, 1),
+            Stmt::unlock(m),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::GiveUp) => vec![
+            Stmt::lock(m),
+            Stmt::unlock(m), // release before the helper re-acquires
+            Stmt::lock(m),
+            Stmt::fetch_add(work, 1),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::Transaction) => vec![
+            // Transactions compose where non-recursive locks do not.
+            Stmt::TxBegin,
+            Stmt::read(work, "w"),
+            Stmt::write(work, local("w") + Expr::lit(1)),
+            Stmt::TxCommit,
+        ],
+        Variant::Fixed(other) => unreachable!("self_relock has no {other} fix"),
+    };
+    b.thread("t", body);
+    b.build().expect("kernel builds")
+}
+
+/// A three-thread, three-lock cycle — the corpus's only >2-resource
+/// deadlock.
+fn lock_cycle_3(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("lock_cycle_3");
+    let work = b.var("work", 0);
+    let locks = [b.mutex(), b.mutex(), b.mutex()];
+    for (i, name) in ["t1", "t2", "t3"].into_iter().enumerate() {
+        if let Variant::Fixed(FixKind::Transaction) = variant {
+            b.thread(
+                name,
+                vec![
+                    Stmt::TxBegin,
+                    Stmt::read(work, "w"),
+                    Stmt::write(work, local("w") + Expr::lit(1)),
+                    Stmt::TxCommit,
+                ],
+            );
+            continue;
+        }
+        let (first, second) = match variant {
+            Variant::Buggy => (locks[i], locks[(i + 1) % 3]),
+            Variant::Fixed(FixKind::AcquireInOrder) => {
+                let a = locks[i.min((i + 1) % 3)];
+                let z = locks[i.max((i + 1) % 3)];
+                (a, z)
+            }
+            Variant::Fixed(other) => unreachable!("lock_cycle_3 has no {other} fix"),
+        };
+        b.thread(
+            name,
+            vec![
+                Stmt::lock(first),
+                Stmt::lock(second),
+                Stmt::fetch_add(work, 1),
+                Stmt::unlock(second),
+                Stmt::unlock(first),
+            ],
+        );
+    }
+    b.build().expect("kernel builds")
+}
+
+/// Blocking on a completion the peer can only deliver under the held lock.
+fn wait_holding_lock(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("wait_holding_lock");
+    let m = b.mutex();
+    let done = b.semaphore(0);
+    let waiter = match variant {
+        Variant::Buggy => vec![
+            Stmt::lock(m),
+            Stmt::SemAcquire(done), // waits while holding m
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::GiveUp) => vec![
+            Stmt::lock(m),
+            Stmt::unlock(m), // give up the lock before blocking
+            Stmt::SemAcquire(done),
+        ],
+        Variant::Fixed(other) => unreachable!("wait_holding_lock has no {other} fix"),
+    };
+    b.thread("waiter", waiter);
+    b.thread(
+        "worker",
+        vec![Stmt::lock(m), Stmt::SemRelease(done), Stmt::unlock(m)],
+    );
+    b.build().expect("kernel builds")
+}
+
+/// Read-to-write upgrade on a non-upgradable rwlock.
+fn rwlock_upgrade(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("rwlock_upgrade");
+    let work = b.var("work", 0);
+    let rw = b.rwlock();
+    for name in ["t1", "t2"] {
+        let body = match variant {
+            Variant::Buggy => vec![
+                Stmt::RwRead(rw),
+                // Upgrade attempt: blocked by any reader, itself included.
+                Stmt::RwWrite(rw),
+                Stmt::fetch_add(work, 1),
+                Stmt::RwUnlock(rw),
+                Stmt::RwUnlock(rw),
+            ],
+            Variant::Fixed(FixKind::AcquireInOrder) => vec![
+                // Take the write lock up front.
+                Stmt::RwWrite(rw),
+                Stmt::fetch_add(work, 1),
+                Stmt::RwUnlock(rw),
+            ],
+            Variant::Fixed(FixKind::Transaction) => vec![
+                // Optimistic read-then-write: no lock modes to upgrade.
+                Stmt::TxBegin,
+                Stmt::read(work, "w"),
+                Stmt::write(work, local("w") + Expr::lit(1)),
+                Stmt::TxCommit,
+            ],
+            Variant::Fixed(other) => unreachable!("rwlock_upgrade has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.build().expect("kernel builds")
+}
+
+/// Joining a thread that needs the lock the joiner holds.
+fn join_under_lock(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("join_under_lock");
+    let work = b.var("work", 0);
+    let m = b.mutex();
+    let child = b.thread(
+        "child",
+        vec![Stmt::lock(m), Stmt::fetch_add(work, 1), Stmt::unlock(m)],
+    );
+    let parent = match variant {
+        Variant::Buggy => vec![
+            Stmt::lock(m),
+            Stmt::Join(child), // child needs m to finish
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::GiveUp) => vec![
+            Stmt::lock(m),
+            Stmt::unlock(m), // release before joining
+            Stmt::Join(child),
+        ],
+        Variant::Fixed(other) => unreachable!("join_under_lock has no {other} fix"),
+    };
+    b.thread("parent", parent);
+    b.build().expect("kernel builds")
+}
+
+/// Two counting semaphores acquired in opposite orders.
+fn semaphore_cycle(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("semaphore_cycle");
+    let work = b.var("work", 0);
+    let s1 = b.semaphore(1);
+    let s2 = b.semaphore(1);
+    match variant {
+        Variant::Buggy => {
+            b.thread(
+                "t1",
+                vec![
+                    Stmt::SemAcquire(s1),
+                    Stmt::SemAcquire(s2),
+                    Stmt::fetch_add(work, 1),
+                    Stmt::SemRelease(s2),
+                    Stmt::SemRelease(s1),
+                ],
+            );
+            b.thread(
+                "t2",
+                vec![
+                    Stmt::SemAcquire(s2),
+                    Stmt::SemAcquire(s1),
+                    Stmt::fetch_add(work, 1),
+                    Stmt::SemRelease(s1),
+                    Stmt::SemRelease(s2),
+                ],
+            );
+        }
+        Variant::Fixed(FixKind::Split) => {
+            // Each thread gets its own resource pair: the cycle cannot form.
+            b.thread(
+                "t1",
+                vec![
+                    Stmt::SemAcquire(s1),
+                    Stmt::fetch_add(work, 1),
+                    Stmt::SemRelease(s1),
+                ],
+            );
+            b.thread(
+                "t2",
+                vec![
+                    Stmt::SemAcquire(s2),
+                    Stmt::fetch_add(work, 1),
+                    Stmt::SemRelease(s2),
+                ],
+            );
+        }
+        Variant::Fixed(FixKind::AcquireInOrder) => {
+            for name in ["t1", "t2"] {
+                b.thread(
+                    name,
+                    vec![
+                        Stmt::SemAcquire(s1),
+                        Stmt::SemAcquire(s2),
+                        Stmt::fetch_add(work, 1),
+                        Stmt::SemRelease(s2),
+                        Stmt::SemRelease(s1),
+                    ],
+                );
+            }
+        }
+        Variant::Fixed(FixKind::Transaction) => {
+            // The semaphores were binary locks around the work counter.
+            for name in ["t1", "t2"] {
+                b.thread(
+                    name,
+                    vec![
+                        Stmt::TxBegin,
+                        Stmt::read(work, "w"),
+                        Stmt::write(work, local("w") + Expr::lit(1)),
+                        Stmt::TxCommit,
+                    ],
+                );
+            }
+        }
+        Variant::Fixed(other) => unreachable!("semaphore_cycle has no {other} fix"),
+    }
+    b.build().expect("kernel builds")
+}
+
+/// Bounded buffer with ONE condition variable shared by producers and
+/// consumers, woken with `signal`: a wakeup can land on a same-role
+/// thread and the system wedges with work still to do.
+fn bounded_buffer(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("bounded_buffer");
+    let count = b.var("count", 0); // buffer of capacity 1
+    let m = b.mutex();
+    let shared = b.cond();
+    let not_full = b.cond();
+    let not_empty = b.cond();
+
+    let producer = |cv_wait, cv_notify, broadcast: bool| {
+        let mut body = vec![
+            Stmt::lock(m),
+            Stmt::read(count, "c"),
+            Stmt::while_loop(
+                local("c").eq(Expr::lit(1)),
+                vec![
+                    Stmt::Wait {
+                        cond: cv_wait,
+                        mutex: m,
+                    },
+                    Stmt::read(count, "c"),
+                ],
+            ),
+            Stmt::write(count, 1),
+        ];
+        body.push(if broadcast {
+            Stmt::Broadcast(cv_notify)
+        } else {
+            Stmt::Signal(cv_notify)
+        });
+        body.push(Stmt::unlock(m));
+        body
+    };
+    let consumer = |cv_wait, cv_notify, broadcast: bool| {
+        let mut body = vec![
+            Stmt::lock(m),
+            Stmt::read(count, "c"),
+            Stmt::while_loop(
+                local("c").eq(Expr::lit(0)),
+                vec![
+                    Stmt::Wait {
+                        cond: cv_wait,
+                        mutex: m,
+                    },
+                    Stmt::read(count, "c"),
+                ],
+            ),
+            Stmt::write(count, 0),
+        ];
+        body.push(if broadcast {
+            Stmt::Broadcast(cv_notify)
+        } else {
+            Stmt::Signal(cv_notify)
+        });
+        body.push(Stmt::unlock(m));
+        body
+    };
+
+    match variant {
+        Variant::Buggy => {
+            // One condvar, signal: a consumer's signal can wake the other
+            // consumer instead of the waiting producer.
+            b.thread("p1", producer(shared, shared, false));
+            b.thread("p2", producer(shared, shared, false));
+            b.thread("c1", consumer(shared, shared, false));
+            b.thread("c2", consumer(shared, shared, false));
+        }
+        Variant::Fixed(FixKind::Split) => {
+            // Split the condvar by role: producers wait on not_full,
+            // consumers on not_empty; each notifies the other role.
+            b.thread("p1", producer(not_full, not_empty, false));
+            b.thread("p2", producer(not_full, not_empty, false));
+            b.thread("c1", consumer(not_empty, not_full, false));
+            b.thread("c2", consumer(not_empty, not_full, false));
+        }
+        Variant::Fixed(FixKind::CodeSwitch) => {
+            // Switch signal -> broadcast on the shared condvar.
+            b.thread("p1", producer(shared, shared, true));
+            b.thread("p2", producer(shared, shared, true));
+            b.thread("c1", consumer(shared, shared, true));
+            b.thread("c2", consumer(shared, shared, true));
+        }
+        Variant::Fixed(other) => unreachable!("bounded_buffer has no {other} fix"),
+    }
+    b.final_assert(Expr::shared(count).eq(Expr::lit(0)), "buffer drained");
+    b.build().expect("kernel builds")
+}
+
+/// The deadlock-family kernels.
+pub(crate) fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            id: "abba",
+            name: "two mutexes acquired in opposite orders",
+            family: Family::Deadlock,
+            description: "Thread 1 locks A then B; thread 2 locks B then A. \
+                          The canonical two-resource deadlock — the shape of \
+                          most studied deadlocks.",
+            source_bug: Some("mysql-dl-6634"),
+            fixes: &[FixKind::AcquireInOrder, FixKind::GiveUp, FixKind::Transaction],
+            expected: ExpectedFailure::Deadlock,
+            threads: 2,
+            variables: 0,
+            build_fn: abba,
+        },
+        Kernel {
+            id: "self_relock",
+            name: "non-recursive mutex re-acquired by its owner",
+            family: Family::Deadlock,
+            description: "An error path re-enters a helper that takes the \
+                          lock the caller already holds: one thread, one \
+                          resource — the self-deadlock that is 22% of the \
+                          studied deadlocks.",
+            source_bug: Some("mysql-dl-3791"),
+            fixes: &[FixKind::GiveUp, FixKind::Transaction],
+            expected: ExpectedFailure::Deadlock,
+            threads: 1,
+            variables: 0,
+            build_fn: self_relock,
+        },
+        Kernel {
+            id: "lock_cycle_3",
+            name: "three locks, three threads, one cycle",
+            family: Family::Deadlock,
+            description: "Each thread holds lock i and wants lock i+1 mod 3 \
+                          — the corpus's only deadlock with more than two \
+                          resources.",
+            source_bug: Some("mozilla-dl-158629"),
+            fixes: &[FixKind::AcquireInOrder, FixKind::Transaction],
+            expected: ExpectedFailure::Deadlock,
+            threads: 3,
+            variables: 0,
+            build_fn: lock_cycle_3,
+        },
+        Kernel {
+            id: "wait_holding_lock",
+            name: "blocking on a completion while holding its lock",
+            family: Family::Deadlock,
+            description: "The waiter blocks on a semaphore while holding \
+                          the mutex the releasing worker needs.",
+            source_bug: Some("mozilla-dl-101731"),
+            fixes: &[FixKind::GiveUp],
+            expected: ExpectedFailure::Deadlock,
+            threads: 2,
+            variables: 0,
+            build_fn: wait_holding_lock,
+        },
+        Kernel {
+            id: "rwlock_upgrade",
+            name: "read-to-write upgrade deadlock",
+            family: Family::Deadlock,
+            description: "A reader upgrades to a write lock; the writer \
+                          admission waits for all readers — including the \
+                          upgrader itself.",
+            source_bug: Some("mozilla-dl-130512"),
+            fixes: &[FixKind::AcquireInOrder, FixKind::Transaction],
+            expected: ExpectedFailure::Deadlock,
+            threads: 1,
+            variables: 0,
+            build_fn: rwlock_upgrade,
+        },
+        Kernel {
+            id: "join_under_lock",
+            name: "join of a thread that needs the held lock",
+            family: Family::Deadlock,
+            description: "The parent joins the child while holding the \
+                          mutex the child's last step acquires.",
+            source_bug: Some("mozilla-dl-137748"),
+            fixes: &[FixKind::GiveUp],
+            expected: ExpectedFailure::Deadlock,
+            threads: 2,
+            variables: 0,
+            build_fn: join_under_lock,
+        },
+        Kernel {
+            id: "bounded_buffer",
+            name: "one condvar for two roles, woken with signal",
+            family: Family::Deadlock,
+            description: "Producers and consumers share a single condition \
+                          variable; `signal` can wake a same-role waiter, \
+                          after which everyone waits forever — the classic \
+                          lost-wakeup wedge fixed by splitting the condvar \
+                          per role or broadcasting.",
+            source_bug: Some("mozilla-dl-123904"),
+            fixes: &[FixKind::Split, FixKind::CodeSwitch],
+            expected: ExpectedFailure::Deadlock,
+            threads: 4,
+            variables: 1,
+            build_fn: bounded_buffer,
+        },
+        Kernel {
+            id: "semaphore_cycle",
+            name: "two semaphores acquired in opposite orders",
+            family: Family::Deadlock,
+            description: "ABBA over counting semaphores; fixed by splitting \
+                          the shared resource (the studied fix) or by \
+                          ordering acquisition.",
+            source_bug: Some("mozilla-dl-151176"),
+            fixes: &[FixKind::Split, FixKind::AcquireInOrder, FixKind::Transaction],
+            expected: ExpectedFailure::Deadlock,
+            threads: 2,
+            variables: 0,
+            build_fn: semaphore_cycle,
+        },
+    ]
+}

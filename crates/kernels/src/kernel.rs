@@ -1,0 +1,201 @@
+//! Kernel metadata types and the registry plumbing.
+
+use std::fmt;
+
+use lfm_sim::Program;
+
+/// The pattern family a kernel belongs to, mirroring the study's
+/// classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Family {
+    /// Single-variable atomicity violations.
+    AtomicitySingleVar,
+    /// Order violations.
+    Order,
+    /// Multi-variable (pair-invariant) violations.
+    MultiVariable,
+    /// Deadlocks.
+    Deadlock,
+    /// The study's "other" non-deadlock bucket (livelock/starvation).
+    OtherNonDeadlock,
+}
+
+impl Family {
+    /// All families.
+    pub const ALL: [Family; 5] = [
+        Family::AtomicitySingleVar,
+        Family::Order,
+        Family::MultiVariable,
+        Family::Deadlock,
+        Family::OtherNonDeadlock,
+    ];
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Family::AtomicitySingleVar => "atomicity (single-variable)",
+            Family::Order => "order violation",
+            Family::MultiVariable => "multi-variable",
+            Family::Deadlock => "deadlock",
+            Family::OtherNonDeadlock => "other (non-deadlock)",
+        })
+    }
+}
+
+/// The fix strategies a kernel implements as `Fixed` variants. These map
+/// onto the study's fix taxonomy (Table: fix strategies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FixKind {
+    /// Add or widen a lock (paper: add/change lock).
+    Lock,
+    /// Replace the load/compute/store with one atomic instruction
+    /// (paper: design change).
+    Atomic,
+    /// Add a condition re-check (paper: condition check).
+    CondCheck,
+    /// Reorder statements (paper: code switch).
+    CodeSwitch,
+    /// Restructure the algorithm (paper: design change).
+    Design,
+    /// Add order-enforcing synchronization — semaphore/condvar (paper:
+    /// usually bucketed under condition check or other).
+    AddSync,
+    /// Wrap the region in a transaction (the TM retrofit of Section 7).
+    Transaction,
+    /// Release a held resource before blocking (paper deadlock fix:
+    /// give up resource).
+    GiveUp,
+    /// Impose a global acquisition order (paper deadlock fix).
+    AcquireInOrder,
+    /// Split one resource into several (paper deadlock fix).
+    Split,
+}
+
+impl fmt::Display for FixKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FixKind::Lock => "add/change lock",
+            FixKind::Atomic => "atomic instruction",
+            FixKind::CondCheck => "condition check",
+            FixKind::CodeSwitch => "code switch",
+            FixKind::Design => "design change",
+            FixKind::AddSync => "add ordering sync",
+            FixKind::Transaction => "transaction",
+            FixKind::GiveUp => "give up resource",
+            FixKind::AcquireInOrder => "acquire in order",
+            FixKind::Split => "split resource",
+        })
+    }
+}
+
+/// Which program variant of a kernel to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The faithful buggy version.
+    Buggy,
+    /// A repaired version using the given strategy. Panics inside
+    /// [`Kernel::build`] if the kernel does not implement the strategy —
+    /// check [`Kernel::fixes`] first or use [`Kernel::try_build`].
+    Fixed(FixKind),
+}
+
+/// How the buggy variant manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExpectedFailure {
+    /// An assertion fails (wrong result / crash).
+    Assert,
+    /// Threads deadlock.
+    Deadlock,
+}
+
+/// One executable bug kernel.
+pub struct Kernel {
+    /// Stable identifier used in corpus links, e.g. `"counter_rmw"`.
+    pub id: &'static str,
+    /// Human-readable one-liner.
+    pub name: &'static str,
+    /// Pattern family.
+    pub family: Family,
+    /// What the kernel is minimized from.
+    pub description: &'static str,
+    /// Corpus bug id this kernel is representative of, when meaningful.
+    pub source_bug: Option<&'static str>,
+    /// Fix strategies implemented as `Fixed` variants.
+    pub fixes: &'static [FixKind],
+    /// How the buggy variant manifests under the right schedule.
+    pub expected: ExpectedFailure,
+    /// Threads in the minimal manifestation (matches the corpus axis).
+    pub threads: usize,
+    /// Variables involved (1 for single-variable kernels).
+    pub variables: usize,
+    pub(crate) build_fn: fn(Variant) -> Program,
+}
+
+impl Kernel {
+    /// Builds the requested variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked for a [`Variant::Fixed`] strategy not listed in
+    /// [`Kernel::fixes`]; use [`Kernel::try_build`] for a fallible
+    /// version.
+    pub fn build(&self, variant: Variant) -> Program {
+        if let Variant::Fixed(fix) = variant {
+            assert!(
+                self.fixes.contains(&fix),
+                "kernel {} does not implement fix {fix}",
+                self.id
+            );
+        }
+        (self.build_fn)(variant)
+    }
+
+    /// Builds the requested variant, or `None` when the fix strategy is
+    /// not implemented by this kernel.
+    pub fn try_build(&self, variant: Variant) -> Option<Program> {
+        match variant {
+            Variant::Fixed(fix) if !self.fixes.contains(&fix) => None,
+            v => Some((self.build_fn)(v)),
+        }
+    }
+
+    /// The buggy variant.
+    pub fn buggy(&self) -> Program {
+        self.build(Variant::Buggy)
+    }
+
+    /// `true` when the kernel is a deadlock kernel.
+    pub fn is_deadlock(&self) -> bool {
+        self.family == Family::Deadlock
+    }
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("id", &self.id)
+            .field("family", &self.family)
+            .field("fixes", &self.fixes)
+            .field("expected", &self.expected)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] — {}", self.id, self.family, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_and_fix_display() {
+        assert_eq!(Family::MultiVariable.to_string(), "multi-variable");
+        assert_eq!(FixKind::GiveUp.to_string(), "give up resource");
+        assert_eq!(Family::ALL.len(), 5);
+    }
+}

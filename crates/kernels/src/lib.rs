@@ -1,0 +1,156 @@
+//! # lfm-kernels — executable minimized concurrency-bug kernels
+//!
+//! Every bug pattern the ASPLOS'08 study identifies, as a runnable
+//! [`lfm_sim::Program`]: 29 kernels across five families (single-variable
+//! atomicity, order violation, multi-variable, deadlock, other), each
+//! with a faithful **buggy** variant and one or more **fixed** variants
+//! whose repair strategy mirrors a category of the study's fix-strategy
+//! tables (condition check, code switch, design change, add/change lock,
+//! give up resource, acquire in order, split resource, transaction).
+//!
+//! The contract, verified by this crate's tests with the `lfm-sim` model
+//! checker, is:
+//!
+//! - the buggy variant **manifests** (some interleaving fails an
+//!   assertion or deadlocks), and
+//! - every fixed variant is **correct** (exhaustive exploration finds no
+//!   failure).
+//!
+//! # Example
+//!
+//! ```rust
+//! use lfm_kernels::{registry, Variant, FixKind};
+//! use lfm_sim::Explorer;
+//!
+//! let kernel = registry::by_id("counter_rmw").expect("known kernel");
+//! let buggy = Explorer::new(&kernel.buggy()).run();
+//! assert!(buggy.found_failure());
+//!
+//! let fixed = kernel.build(Variant::Fixed(FixKind::Lock));
+//! assert!(Explorer::new(&fixed).run().proved_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod atomicity;
+mod deadlock;
+mod kernel;
+mod multivar;
+mod order;
+mod other;
+
+pub use kernel::{ExpectedFailure, Family, FixKind, Kernel, Variant};
+
+/// The kernel registry.
+pub mod registry {
+    use super::*;
+
+    /// All kernels, grouped by family in a stable order.
+    pub fn all() -> Vec<Kernel> {
+        let mut v = atomicity::kernels();
+        v.extend(order::kernels());
+        v.extend(multivar::kernels());
+        v.extend(deadlock::kernels());
+        v.extend(other::kernels());
+        v
+    }
+
+    /// Looks up one kernel by id.
+    pub fn by_id(id: &str) -> Option<Kernel> {
+        all().into_iter().find(|k| k.id == id)
+    }
+
+    /// All kernels of one family.
+    pub fn by_family(family: Family) -> Vec<Kernel> {
+        all().into_iter().filter(|k| k.family == family).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_29_unique_kernels() {
+        let all = registry::all();
+        assert_eq!(all.len(), 29);
+        let mut ids: Vec<_> = all.iter().map(|k| k.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 29);
+    }
+
+    #[test]
+    fn every_family_is_populated() {
+        for family in Family::ALL {
+            assert!(
+                !registry::by_family(family).is_empty(),
+                "family {family} has no kernels"
+            );
+        }
+        assert_eq!(registry::by_family(Family::AtomicitySingleVar).len(), 9);
+        assert_eq!(registry::by_family(Family::Order).len(), 6);
+        assert_eq!(registry::by_family(Family::MultiVariable).len(), 5);
+        assert_eq!(registry::by_family(Family::Deadlock).len(), 8);
+        assert_eq!(registry::by_family(Family::OtherNonDeadlock).len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(registry::by_id("abba").is_some());
+        assert!(registry::by_id("missing_kernel").is_none());
+    }
+
+    #[test]
+    fn all_variants_build() {
+        for kernel in registry::all() {
+            let buggy = kernel.buggy();
+            assert!(buggy.n_threads() >= 1, "{}", kernel.id);
+            for &fix in kernel.fixes {
+                let fixed = kernel.build(Variant::Fixed(fix));
+                assert!(fixed.n_threads() >= 1, "{} fix {fix}", kernel.id);
+            }
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_unsupported_fixes() {
+        // read_frag_write has irrevocable I/O in its region and therefore
+        // deliberately offers no transactional rewrite.
+        let kernel = registry::by_id("read_frag_write").unwrap();
+        assert!(kernel
+            .try_build(Variant::Fixed(FixKind::Transaction))
+            .is_none());
+        assert!(kernel.try_build(Variant::Buggy).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not implement fix")]
+    fn build_panics_on_unsupported_fix() {
+        let kernel = registry::by_id("read_frag_write").unwrap();
+        let _ = kernel.build(Variant::Fixed(FixKind::Transaction));
+    }
+
+    #[test]
+    fn deadlock_kernels_are_marked() {
+        for kernel in registry::by_family(Family::Deadlock) {
+            assert!(kernel.is_deadlock());
+            assert_eq!(kernel.expected, ExpectedFailure::Deadlock);
+        }
+    }
+
+    #[test]
+    fn thread_counts_match_program_shape() {
+        for kernel in registry::all() {
+            let program = kernel.buggy();
+            assert!(
+                program.n_threads() >= kernel.threads,
+                "{}: {} program threads < {} declared",
+                kernel.id,
+                program.n_threads(),
+                kernel.threads
+            );
+        }
+    }
+}

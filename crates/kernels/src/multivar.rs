@@ -1,0 +1,481 @@
+//! Multi-variable kernels — the 34% of non-deadlock bugs whose
+//! manifestation spans several variables, the blind spot of
+//! single-variable detectors that the study's Finding 3 highlights.
+
+use lfm_sim::{Expr, Program, ProgramBuilder, Stmt};
+
+use crate::kernel::{ExpectedFailure, Family, FixKind, Kernel, Variant};
+
+fn local(name: &'static str) -> Expr {
+    Expr::local(name)
+}
+
+/// The Mozilla js cache shape: a count and the structure it describes are
+/// updated in two steps; a checker sees them disagree.
+fn cache_pair_invariant(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("cache_pair_invariant");
+    let count = b.var("cache_count", 0);
+    let entries = b.var("cache_entries", 0);
+    let m = b.mutex();
+    let update_core = vec![
+        Stmt::read(count, "c"),
+        Stmt::write(count, local("c") + Expr::lit(1)),
+        Stmt::read(entries, "e"),
+        Stmt::write(entries, local("e") + Expr::lit(1)),
+    ];
+    let updater = match variant {
+        Variant::Buggy => update_core,
+        Variant::Fixed(FixKind::Lock) => {
+            let mut v = vec![Stmt::lock(m)];
+            v.extend(update_core);
+            v.push(Stmt::unlock(m));
+            v
+        }
+        Variant::Fixed(FixKind::Transaction) => {
+            let mut v = vec![Stmt::TxBegin];
+            v.extend(update_core);
+            v.push(Stmt::TxCommit);
+            v
+        }
+        Variant::Fixed(other) => unreachable!("cache_pair_invariant has no {other} fix"),
+    };
+    b.thread("updater", updater);
+    let check_core = vec![
+        Stmt::read(count, "c"),
+        Stmt::read(entries, "e"),
+        Stmt::assert(local("c").eq(local("e")), "count matches entries"),
+    ];
+    let checker = match variant {
+        Variant::Fixed(FixKind::Lock) => {
+            let mut v = vec![Stmt::lock(m)];
+            v.extend(check_core);
+            v.push(Stmt::unlock(m));
+            v
+        }
+        Variant::Fixed(FixKind::Transaction) => {
+            let mut v = vec![Stmt::TxBegin];
+            v.extend(check_core);
+            v.push(Stmt::TxCommit);
+            v
+        }
+        _ => check_core,
+    };
+    b.thread("checker", checker);
+    b.build().expect("kernel builds")
+}
+
+/// A length counter and the tail element desynchronize under concurrent
+/// pushes.
+fn len_data_desync(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("len_data_desync");
+    let len = b.var("len", 0);
+    let tail = b.var("tail", 0);
+    let m = b.mutex();
+    for name in ["p1", "p2"] {
+        let push_core = vec![
+            Stmt::read(len, "l"),
+            Stmt::write(tail, local("l") + Expr::lit(10)),
+            Stmt::write(len, local("l") + Expr::lit(1)),
+        ];
+        let body = match variant {
+            Variant::Buggy => push_core,
+            Variant::Fixed(FixKind::Lock) => {
+                let mut v = vec![Stmt::lock(m)];
+                v.extend(push_core);
+                v.push(Stmt::unlock(m));
+                v
+            }
+            Variant::Fixed(FixKind::Transaction) => {
+                let mut v = vec![Stmt::TxBegin];
+                v.extend(push_core);
+                v.push(Stmt::TxCommit);
+                v
+            }
+            Variant::Fixed(other) => unreachable!("len_data_desync has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.final_assert(
+        Expr::shared(len)
+            .eq(Expr::lit(2))
+            .and(Expr::shared(tail).eq(Expr::lit(11))),
+        "len counts both pushes and tail is the second element",
+    );
+    b.build().expect("kernel builds")
+}
+
+/// A state flag is meant to guard a temporarily-inconsistent payload, but
+/// the writer exposes the payload before raising the flag.
+fn state_data_pair(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("state_data_pair");
+    let state = b.var("state", 0); // 0 = stable, 1 = updating
+    let data = b.var("data", 5);
+    let m = b.mutex();
+    let writer = match variant {
+        Variant::Buggy => vec![
+            // Bug: scratch write lands while state still says 'stable'.
+            Stmt::write(data, -1),
+            Stmt::write(state, 1),
+            Stmt::write(data, 6),
+            Stmt::write(state, 0),
+        ],
+        Variant::Fixed(FixKind::Design) => vec![
+            // Seqlock redesign: odd generation = update in progress.
+            Stmt::fetch_add(state, 1),
+            Stmt::write(data, -1),
+            Stmt::write(data, 6),
+            Stmt::fetch_add(state, 1),
+        ],
+        Variant::Fixed(FixKind::Lock) => vec![
+            Stmt::lock(m),
+            Stmt::write(data, -1),
+            Stmt::write(data, 6),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::write(data, -1),
+            Stmt::write(data, 6),
+            Stmt::TxCommit,
+        ],
+        Variant::Fixed(other) => unreachable!("state_data_pair has no {other} fix"),
+    };
+    b.thread("writer", writer);
+    let reader = match variant {
+        Variant::Fixed(FixKind::Lock) => vec![
+            Stmt::lock(m),
+            Stmt::read(data, "d"),
+            Stmt::unlock(m),
+            Stmt::assert(local("d").ge(Expr::lit(0)), "reader never sees scratch data"),
+        ],
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::read(data, "d"),
+            Stmt::TxCommit,
+            Stmt::assert(local("d").ge(Expr::lit(0)), "reader never sees scratch data"),
+        ],
+        Variant::Fixed(FixKind::Design) => vec![
+            // Seqlock read protocol: generation stable and even => the
+            // snapshot is consistent and may be used.
+            Stmt::read(state, "s1"),
+            Stmt::read(data, "d"),
+            Stmt::read(state, "s2"),
+            Stmt::if_then(
+                local("s1")
+                    .eq(local("s2"))
+                    .and((local("s1") % Expr::lit(2)).eq(Expr::lit(0))),
+                vec![Stmt::assert(
+                    local("d").ge(Expr::lit(0)),
+                    "reader never sees scratch data",
+                )],
+            ),
+        ],
+        _ => vec![
+            Stmt::read(state, "s"),
+            Stmt::if_then(
+                local("s").eq(Expr::lit(0)),
+                vec![
+                    Stmt::read(data, "d"),
+                    Stmt::assert(local("d").ge(Expr::lit(0)), "reader never sees scratch data"),
+                ],
+            ),
+        ],
+    };
+    b.thread("reader", reader);
+    b.build().expect("kernel builds")
+}
+
+/// Two counters with an equality invariant, each updated with *atomic*
+/// instructions — every single access is atomic, yet the pair invariant
+/// breaks: the multi-variable blind spot in its purest form.
+fn double_counter_invariant(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("double_counter_invariant");
+    let requests = b.var("requests", 0);
+    let handled = b.var("handled", 0);
+    let m = b.mutex();
+    let update_core = vec![
+        Stmt::fetch_add(requests, 1),
+        Stmt::fetch_add(handled, 1),
+    ];
+    let worker = match variant {
+        Variant::Buggy => update_core,
+        Variant::Fixed(FixKind::Lock) => {
+            let mut v = vec![Stmt::lock(m)];
+            v.extend(update_core);
+            v.push(Stmt::unlock(m));
+            v
+        }
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::read(requests, "r"),
+            Stmt::write(requests, local("r") + Expr::lit(1)),
+            Stmt::read(handled, "h"),
+            Stmt::write(handled, local("h") + Expr::lit(1)),
+            Stmt::TxCommit,
+        ],
+        Variant::Fixed(other) => unreachable!("double_counter_invariant has no {other} fix"),
+    };
+    b.thread("worker", worker);
+    let check_core = vec![
+        Stmt::read(requests, "r"),
+        Stmt::read(handled, "h"),
+        Stmt::assert(local("r").eq(local("h")), "every request is handled"),
+    ];
+    let checker = match variant {
+        Variant::Fixed(FixKind::Lock) => {
+            let mut v = vec![Stmt::lock(m)];
+            v.extend(check_core);
+            v.push(Stmt::unlock(m));
+            v
+        }
+        Variant::Fixed(FixKind::Transaction) => {
+            let mut v = vec![Stmt::TxBegin];
+            v.extend(check_core);
+            v.push(Stmt::TxCommit);
+            v
+        }
+        _ => check_core,
+    };
+    b.thread("checker", checker);
+    b.build().expect("kernel builds")
+}
+
+/// The ABA problem: a CAS-based pop validates only the top-of-stack
+/// *value*, which a concurrent pop-pop-push cycle restores while freeing
+/// the node behind it.
+fn aba_problem(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("aba_problem");
+    // Stack A -> B: node ids 1 (A) and 2 (B); 0 is null.
+    let top = b.var("top", 1);
+    let next_of_a = b.var("next_of_a", 2);
+    let b_live = b.var("b_live", 1);
+    let version = b.var("version", 0);
+    let m = b.mutex();
+
+    let popper = match variant {
+        Variant::Buggy => vec![
+            Stmt::read(top, "t"),
+            Stmt::if_then(
+                local("t").eq(Expr::lit(1)),
+                vec![
+                    Stmt::read(next_of_a, "n"),
+                    // ... the ABA window ...
+                    Stmt::cas(top, local("t"), local("n"), "ok"),
+                    Stmt::if_then(
+                        local("ok").ne(Expr::lit(0)).and(local("n").eq(Expr::lit(2))),
+                        vec![
+                            // We installed B as the new top: it must be live.
+                            Stmt::read(b_live, "alive"),
+                            Stmt::assert(
+                                local("alive").eq(Expr::lit(1)),
+                                "new top is a live node (no ABA)",
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+        Variant::Fixed(FixKind::Design) => vec![
+            // Version-counter redesign (seqlock discipline): the mutator
+            // bumps the version *before* mutating, and the popper only
+            // trusts what it read if the version is unchanged *after*
+            // reading it.
+            Stmt::read(version, "v1"),
+            Stmt::read(top, "t"),
+            Stmt::if_then(
+                local("t").eq(Expr::lit(1)),
+                vec![
+                    Stmt::read(next_of_a, "n"),
+                    Stmt::read(version, "v2"),
+                    Stmt::if_then(
+                        local("v1").eq(local("v2")),
+                        vec![
+                            Stmt::cas(top, local("t"), local("n"), "ok"),
+                            Stmt::if_then(
+                                local("ok")
+                                    .ne(Expr::lit(0))
+                                    .and(local("n").eq(Expr::lit(2))),
+                                vec![
+                                    Stmt::read(b_live, "alive"),
+                                    Stmt::read(version, "v3"),
+                                    Stmt::if_then(
+                                        local("v1")
+                                            .eq(local("v3"))
+                                            .and((local("v1") % Expr::lit(2)).eq(Expr::lit(0))),
+                                        vec![Stmt::assert(
+                                            local("alive").eq(Expr::lit(1)),
+                                            "new top is a live node (no ABA)",
+                                        )],
+                                    ),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+        Variant::Fixed(FixKind::Lock) => vec![
+            Stmt::lock(m),
+            Stmt::read(top, "t"),
+            Stmt::if_then(
+                local("t").eq(Expr::lit(1)),
+                vec![
+                    Stmt::read(next_of_a, "n"),
+                    Stmt::write(top, local("n")),
+                    Stmt::if_then(
+                        local("n").eq(Expr::lit(2)),
+                        vec![
+                            Stmt::read(b_live, "alive"),
+                            Stmt::assert(
+                                local("alive").eq(Expr::lit(1)),
+                                "new top is a live node (no ABA)",
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::Transaction) => vec![
+            // TM famously eliminates ABA: the whole pop is one atomic
+            // snapshot; any intervening cycle aborts the transaction.
+            Stmt::TxBegin,
+            Stmt::read(top, "t"),
+            Stmt::if_then(
+                local("t").eq(Expr::lit(1)),
+                vec![
+                    Stmt::read(next_of_a, "n"),
+                    Stmt::write(top, local("n")),
+                    Stmt::if_then(
+                        local("n").eq(Expr::lit(2)),
+                        vec![
+                            Stmt::read(b_live, "alive"),
+                            Stmt::assert(
+                                local("alive").eq(Expr::lit(1)),
+                                "new top is a live node (no ABA)",
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            Stmt::TxCommit,
+        ],
+        Variant::Fixed(other) => unreachable!("aba_problem has no {other} fix"),
+    };
+    b.thread("popper", popper);
+
+    // The mutator pops A and B, frees B, and pushes A back — restoring
+    // the *value* of `top` while invalidating what it reaches. Seqlock
+    // discipline: the version is bumped to odd BEFORE mutating and back
+    // to even AFTER, so the fixed popper can detect both an in-progress
+    // and a completed cycle.
+    let mutator_core = vec![
+        Stmt::fetch_add(version, 1),
+        Stmt::write(top, 2),
+        Stmt::write(top, 0),
+        Stmt::write(b_live, 0),
+        Stmt::write(next_of_a, 0),
+        Stmt::write(top, 1),
+        Stmt::fetch_add(version, 1),
+    ];
+    let mutator = match variant {
+        Variant::Fixed(FixKind::Lock) => {
+            let mut v = vec![Stmt::lock(m), Stmt::read(top, "t0")];
+            v.push(Stmt::if_then(local("t0").eq(Expr::lit(1)), mutator_core));
+            v.push(Stmt::unlock(m));
+            v
+        }
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::read(top, "t0"),
+            Stmt::if_then(local("t0").eq(Expr::lit(1)), mutator_core),
+            Stmt::TxCommit,
+        ],
+        _ => vec![
+            Stmt::read(top, "t0"),
+            Stmt::if_then(local("t0").eq(Expr::lit(1)), mutator_core),
+        ],
+    };
+    b.thread("mutator", mutator);
+    b.build().expect("kernel builds")
+}
+
+/// The multi-variable kernels.
+pub(crate) fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            id: "cache_pair_invariant",
+            name: "cache count vs entry structure invariant",
+            family: Family::MultiVariable,
+            description: "A count and the structure it describes are \
+                          updated in two steps; a concurrent checker \
+                          observes them mid-update and the invariant \
+                          count==entries fails.",
+            source_bug: Some("mozilla-73291"),
+            fixes: &[FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 2,
+            build_fn: cache_pair_invariant,
+        },
+        Kernel {
+            id: "len_data_desync",
+            name: "length counter desynchronizes from the data it counts",
+            family: Family::MultiVariable,
+            description: "Two pushers read the length, write the tail and \
+                          bump the length; interleaving makes len and tail \
+                          describe different lists.",
+            source_bug: Some("mysql-6387"),
+            fixes: &[FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 2,
+            build_fn: len_data_desync,
+        },
+        Kernel {
+            id: "state_data_pair",
+            name: "state flag fails to guard its payload",
+            family: Family::MultiVariable,
+            description: "The writer stores a scratch payload before \
+                          raising the 'updating' flag, so a flag-respecting \
+                          reader still observes the scratch value.",
+            source_bug: Some("apache-36594"),
+            fixes: &[FixKind::Design, FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 2,
+            build_fn: state_data_pair,
+        },
+        Kernel {
+            id: "aba_problem",
+            name: "ABA: CAS validates a value the world cycled back",
+            family: Family::MultiVariable,
+            description: "A lock-free pop reads top and its next pointer; \
+                          a concurrent pop-pop-push cycle frees the next \
+                          node but restores top's value, so the CAS succeeds \
+                          and installs a dangling node. The fix adds a \
+                          version counter (design change).",
+            source_bug: Some("mozilla-197341"),
+            fixes: &[FixKind::Design, FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 3,
+            build_fn: aba_problem,
+        },
+        Kernel {
+            id: "double_counter_invariant",
+            name: "pair invariant over two individually-atomic counters",
+            family: Family::MultiVariable,
+            description: "Every single access is an atomic RMW, yet the \
+                          invariant requests==handled breaks between the two \
+                          increments — invisible to any single-variable \
+                          detector.",
+            source_bug: Some("mozilla-183361"),
+            fixes: &[FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 2,
+            build_fn: double_counter_invariant,
+        },
+    ]
+}

@@ -1,0 +1,360 @@
+//! Order-violation kernels — the study's second-largest non-deadlock
+//! class (~32%), largely invisible to lock-centric detectors.
+
+use lfm_sim::{Expr, Program, ProgramBuilder, Stmt};
+
+use crate::kernel::{ExpectedFailure, Family, FixKind, Kernel, Variant};
+
+fn local(name: &'static str) -> Expr {
+    Expr::local(name)
+}
+
+/// Mozilla nsThread shape: the child uses a field the creator has not
+/// stored yet.
+fn use_before_init_mozilla(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("use_before_init_mozilla");
+    let m_thread = b.var("mThread", 0); // 0 = not yet initialized
+    let sem = b.semaphore(0);
+    let creator = match variant {
+        Variant::Buggy | Variant::Fixed(FixKind::Transaction) => {
+            vec![Stmt::write(m_thread, 42)]
+        }
+        Variant::Fixed(FixKind::AddSync) => {
+            vec![Stmt::write(m_thread, 42), Stmt::SemRelease(sem)]
+        }
+        Variant::Fixed(other) => unreachable!("use_before_init has no {other} fix"),
+    };
+    b.thread("creator", creator);
+    let user = match variant {
+        Variant::Buggy => vec![
+            Stmt::read(m_thread, "t"),
+            Stmt::assert(local("t").ne(Expr::lit(0)), "mThread initialized before use"),
+        ],
+        Variant::Fixed(FixKind::AddSync) => vec![
+            Stmt::SemAcquire(sem),
+            Stmt::read(m_thread, "t"),
+            Stmt::assert(local("t").ne(Expr::lit(0)), "mThread initialized before use"),
+        ],
+        Variant::Fixed(FixKind::Transaction) => vec![
+            // Harris-style retry: block (re-execute) until initialized.
+            Stmt::TxBegin,
+            Stmt::read(m_thread, "t"),
+            Stmt::if_then(local("t").eq(Expr::lit(0)), vec![Stmt::TxRetry]),
+            Stmt::TxCommit,
+            Stmt::assert(local("t").ne(Expr::lit(0)), "mThread initialized before use"),
+        ],
+        Variant::Fixed(other) => unreachable!("use_before_init has no {other} fix"),
+    };
+    b.thread("user", user);
+    b.build().expect("kernel builds")
+}
+
+/// Publish a ready flag before initializing the data it guards.
+fn publish_before_init(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("publish_before_init");
+    let data = b.var("data", 0);
+    let ready = b.var("ready", 0);
+    let publisher = match variant {
+        // Bug: flag goes up before the data is written.
+        Variant::Buggy => vec![Stmt::write(ready, 1), Stmt::write(data, 7)],
+        Variant::Fixed(FixKind::CodeSwitch) => {
+            vec![Stmt::write(data, 7), Stmt::write(ready, 1)]
+        }
+        Variant::Fixed(FixKind::Transaction) => vec![
+            // Both stores publish atomically; the order inside no longer
+            // matters.
+            Stmt::TxBegin,
+            Stmt::write(ready, 1),
+            Stmt::write(data, 7),
+            Stmt::TxCommit,
+        ],
+        Variant::Fixed(other) => unreachable!("publish_before_init has no {other} fix"),
+    };
+    b.thread("publisher", publisher);
+    let consumer = match variant {
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::read(ready, "r"),
+            Stmt::read(data, "d"),
+            Stmt::TxCommit,
+            Stmt::if_then(
+                local("r").eq(Expr::lit(1)),
+                vec![Stmt::assert(
+                    local("d").eq(Expr::lit(7)),
+                    "published data is initialized",
+                )],
+            ),
+        ],
+        _ => vec![
+            Stmt::read(ready, "r"),
+            Stmt::if_then(
+                local("r").eq(Expr::lit(1)),
+                vec![
+                    Stmt::read(data, "d"),
+                    Stmt::assert(local("d").eq(Expr::lit(7)), "published data is initialized"),
+                ],
+            ),
+        ],
+    };
+    b.thread("consumer", consumer);
+    b.build().expect("kernel builds")
+}
+
+/// Signal delivered before the waiter blocks: the wakeup is lost.
+fn missed_signal(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("missed_signal");
+    let ready = b.var("ready", 0);
+    let m = b.mutex();
+    let c = b.cond();
+    let waiter = match variant {
+        Variant::Buggy => vec![
+            Stmt::lock(m),
+            Stmt::Wait { cond: c, mutex: m },
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::CondCheck) => vec![
+            Stmt::lock(m),
+            Stmt::read(ready, "r"),
+            Stmt::while_loop(
+                local("r").eq(Expr::lit(0)),
+                vec![Stmt::Wait { cond: c, mutex: m }, Stmt::read(ready, "r")],
+            ),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(other) => unreachable!("missed_signal has no {other} fix"),
+    };
+    b.thread("waiter", waiter);
+    let signaller = match variant {
+        Variant::Buggy => vec![Stmt::Signal(c)],
+        Variant::Fixed(FixKind::CondCheck) => vec![
+            Stmt::lock(m),
+            Stmt::write(ready, 1),
+            Stmt::Signal(c),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(other) => unreachable!("missed_signal has no {other} fix"),
+    };
+    b.thread("signaller", signaller);
+    b.build().expect("kernel builds")
+}
+
+/// A queue publishes its count before storing the element.
+fn consume_before_produce(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("consume_before_produce");
+    let item = b.var("item", 0);
+    let count = b.var("count", 0);
+    let m = b.mutex();
+    let producer = match variant {
+        // Bug: count is bumped before the item lands.
+        Variant::Buggy => vec![Stmt::write(count, 1), Stmt::write(item, 5)],
+        Variant::Fixed(FixKind::CodeSwitch) => vec![Stmt::write(item, 5), Stmt::write(count, 1)],
+        Variant::Fixed(FixKind::Lock) => vec![
+            Stmt::lock(m),
+            Stmt::write(count, 1),
+            Stmt::write(item, 5),
+            Stmt::unlock(m),
+        ],
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::write(count, 1),
+            Stmt::write(item, 5),
+            Stmt::TxCommit,
+        ],
+        Variant::Fixed(other) => unreachable!("consume_before_produce has no {other} fix"),
+    };
+    b.thread("producer", producer);
+    let consumer_core = vec![
+        Stmt::read(count, "c"),
+        Stmt::if_then(
+            local("c").gt(Expr::lit(0)),
+            vec![
+                Stmt::read(item, "i"),
+                Stmt::assert(local("i").eq(Expr::lit(5)), "consumed a fully produced item"),
+            ],
+        ),
+    ];
+    let consumer = match variant {
+        Variant::Fixed(FixKind::Lock) => {
+            let mut v = vec![Stmt::lock(m)];
+            v.extend(consumer_core);
+            v.push(Stmt::unlock(m));
+            v
+        }
+        Variant::Fixed(FixKind::Transaction) => vec![
+            Stmt::TxBegin,
+            Stmt::read(count, "c"),
+            Stmt::read(item, "i"),
+            Stmt::TxCommit,
+            Stmt::if_then(
+                local("c").gt(Expr::lit(0)),
+                vec![Stmt::assert(
+                    local("i").eq(Expr::lit(5)),
+                    "consumed a fully produced item",
+                )],
+            ),
+        ],
+        _ => consumer_core,
+    };
+    b.thread("consumer", consumer);
+    b.build().expect("kernel builds")
+}
+
+/// Teardown frees a resource while a worker may still be using it.
+fn shutdown_order(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("shutdown_order");
+    let resource = b.var("resource", 1); // 1 = alive, 0 = freed
+    let shutdown = b.var("shutdown", 0);
+    let worker = b.thread_deferred(
+        "worker",
+        vec![
+            Stmt::read(shutdown, "s"),
+            Stmt::if_then(
+                local("s").eq(Expr::lit(0)),
+                vec![
+                    Stmt::read(resource, "r"),
+                    Stmt::assert(local("r").ne(Expr::lit(0)), "resource alive while in use"),
+                ],
+            ),
+        ],
+    );
+    let main = match variant {
+        Variant::Buggy => vec![
+            Stmt::Spawn(worker),
+            Stmt::write(shutdown, 1),
+            Stmt::write(resource, 0),
+        ],
+        Variant::Fixed(FixKind::Design) => vec![
+            // Redesigned teardown: wait for the worker before freeing.
+            Stmt::Spawn(worker),
+            Stmt::write(shutdown, 1),
+            Stmt::Join(worker),
+            Stmt::write(resource, 0),
+        ],
+        Variant::Fixed(other) => unreachable!("shutdown_order has no {other} fix"),
+    };
+    b.thread("main", main);
+    b.build().expect("kernel builds")
+}
+
+/// Child signals completion before storing its result.
+fn join_less_exit(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("join_less_exit");
+    let result = b.var("result", 0);
+    let sem = b.semaphore(0);
+    let child = match variant {
+        // Bug: 'done' is released before the result is stored.
+        Variant::Buggy => vec![Stmt::SemRelease(sem), Stmt::write(result, 42)],
+        Variant::Fixed(FixKind::CodeSwitch) => {
+            vec![Stmt::write(result, 42), Stmt::SemRelease(sem)]
+        }
+        Variant::Fixed(FixKind::Transaction) => vec![Stmt::write(result, 42)],
+        Variant::Fixed(other) => unreachable!("join_less_exit has no {other} fix"),
+    };
+    b.thread("child", child);
+    let parent = match variant {
+        Variant::Fixed(FixKind::Transaction) => vec![
+            // Retry until the child's result becomes visible.
+            Stmt::TxBegin,
+            Stmt::read(result, "r"),
+            Stmt::if_then(local("r").eq(Expr::lit(0)), vec![Stmt::TxRetry]),
+            Stmt::TxCommit,
+            Stmt::assert(local("r").eq(Expr::lit(42)), "result stored before completion"),
+        ],
+        _ => vec![
+            Stmt::SemAcquire(sem),
+            Stmt::read(result, "r"),
+            Stmt::assert(local("r").eq(Expr::lit(42)), "result stored before completion"),
+        ],
+    };
+    b.thread("parent", parent);
+    b.build().expect("kernel builds")
+}
+
+/// The order-family kernels.
+pub(crate) fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            id: "use_before_init_mozilla",
+            name: "field used before its initialization (nsThread shape)",
+            family: Family::Order,
+            description: "The spawned thread reads a field its creator has \
+                          not stored yet; the intended creator-first order \
+                          is unenforced.",
+            source_bug: Some("mozilla-61369"),
+            fixes: &[FixKind::AddSync, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: use_before_init_mozilla,
+        },
+        Kernel {
+            id: "publish_before_init",
+            name: "ready flag published before the data it guards",
+            family: Family::Order,
+            description: "The publisher raises the ready flag before \
+                          writing the payload; a consumer between the two \
+                          stores reads uninitialized data.",
+            source_bug: Some("apache-52327"),
+            fixes: &[FixKind::CodeSwitch, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 2,
+            build_fn: publish_before_init,
+        },
+        Kernel {
+            id: "missed_signal",
+            name: "signal delivered before the wait begins",
+            family: Family::Order,
+            description: "The signaller fires before the waiter blocks; \
+                          POSIX condition variables drop the wakeup and the \
+                          waiter hangs forever.",
+            source_bug: Some("apache-57179"),
+            fixes: &[FixKind::CondCheck],
+            expected: ExpectedFailure::Deadlock,
+            threads: 2,
+            variables: 1,
+            build_fn: missed_signal,
+        },
+        Kernel {
+            id: "consume_before_produce",
+            name: "queue count bumped before the element is stored",
+            family: Family::Order,
+            description: "The producer publishes count=1 before storing the \
+                          item; a consumer seeing the count reads a hole.",
+            source_bug: Some("mysql-14262"),
+            fixes: &[FixKind::CodeSwitch, FixKind::Lock, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 2,
+            build_fn: consume_before_produce,
+        },
+        Kernel {
+            id: "shutdown_order",
+            name: "teardown frees a resource a worker still uses",
+            family: Family::Order,
+            description: "Shutdown flips the flag and frees immediately; a \
+                          worker past its shutdown check dereferences the \
+                          freed resource.",
+            source_bug: Some("mozilla-254305"),
+            fixes: &[FixKind::Design],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 2,
+            build_fn: shutdown_order,
+        },
+        Kernel {
+            id: "join_less_exit",
+            name: "completion signalled before the result is stored",
+            family: Family::Order,
+            description: "The child releases its done-semaphore before \
+                          storing the result; the parent wakes and reads \
+                          garbage.",
+            source_bug: Some("mozilla-279231"),
+            fixes: &[FixKind::CodeSwitch, FixKind::Transaction],
+            expected: ExpectedFailure::Assert,
+            threads: 2,
+            variables: 1,
+            build_fn: join_less_exit,
+        },
+    ]
+}

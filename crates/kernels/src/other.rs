@@ -1,0 +1,86 @@
+//! The study's "other" non-deadlock bucket: bugs that are neither
+//! atomicity nor order violations — here, a flag-based livelock where two
+//! threads repeatedly back off for each other.
+
+use lfm_sim::{Expr, Program, ProgramBuilder, Stmt};
+
+use crate::kernel::{ExpectedFailure, Family, FixKind, Kernel, Variant};
+
+fn local(name: &'static str) -> Expr {
+    Expr::local(name)
+}
+
+/// Dekker-style politeness livelock: each thread raises its flag, sees
+/// the peer's flag, backs off — potentially forever (bounded here so the
+/// starvation becomes an assertion failure).
+fn livelock_retry(variant: Variant) -> Program {
+    let mut b = ProgramBuilder::new("livelock_retry");
+    let flags = [b.var("flag0", 0), b.var("flag1", 0)];
+    let progress = b.var("progress", 0);
+    let m = b.mutex();
+    for (i, name) in ["t0", "t1"].into_iter().enumerate() {
+        let mine = flags[i];
+        let theirs = flags[1 - i];
+        let body = match variant {
+            Variant::Buggy => vec![
+                Stmt::local("won", 0),
+                Stmt::local("attempts", 0),
+                Stmt::while_loop(
+                    local("won")
+                        .eq(Expr::lit(0))
+                        .and(local("attempts").lt(Expr::lit(3))),
+                    vec![
+                        Stmt::write(mine, 1),
+                        Stmt::read(theirs, "peer"),
+                        Stmt::if_else(
+                            local("peer").eq(Expr::lit(0)),
+                            vec![
+                                Stmt::fetch_add(progress, 1),
+                                Stmt::write(mine, 0),
+                                Stmt::local("won", 1),
+                            ],
+                            vec![
+                                // Back off politely and retry.
+                                Stmt::write(mine, 0),
+                                Stmt::Yield,
+                            ],
+                        ),
+                        Stmt::local("attempts", local("attempts") + Expr::lit(1)),
+                    ],
+                ),
+                Stmt::assert(
+                    local("won").eq(Expr::lit(1)),
+                    "thread eventually makes progress",
+                ),
+            ],
+            Variant::Fixed(FixKind::Lock) => vec![
+                Stmt::lock(m),
+                Stmt::fetch_add(progress, 1),
+                Stmt::unlock(m),
+            ],
+            Variant::Fixed(other) => unreachable!("livelock_retry has no {other} fix"),
+        };
+        b.thread(name, body);
+    }
+    b.build().expect("kernel builds")
+}
+
+/// The other-family kernels.
+pub(crate) fn kernels() -> Vec<Kernel> {
+    vec![Kernel {
+        id: "livelock_retry",
+        name: "mutual back-off livelock",
+        family: Family::OtherNonDeadlock,
+        description: "Two threads repeatedly raise a flag, observe the \
+                      peer's flag, and back off in lockstep; under the \
+                      pathological schedule neither makes progress within \
+                      its retry budget. Neither an atomicity nor an order \
+                      violation — the study's 'other' bucket.",
+        source_bug: Some("mysql-24988"),
+        fixes: &[FixKind::Lock],
+        expected: ExpectedFailure::Assert,
+        threads: 2,
+        variables: 2,
+        build_fn: livelock_retry,
+    }]
+}

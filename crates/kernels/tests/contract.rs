@@ -1,0 +1,294 @@
+//! The kernel contract, checked with the model checker:
+//!
+//! 1. every buggy variant manifests its expected failure under some
+//!    interleaving;
+//! 2. every fixed variant is proved correct by exhaustive exploration;
+//! 3. manifestation scope matches the study's findings (threads,
+//!    preemption depth).
+
+use lfm_kernels::{registry, ExpectedFailure, Family, FixKind, Variant};
+use lfm_sim::{ExploreLimits, Explorer, Outcome};
+
+fn explore(program: &lfm_sim::Program) -> lfm_sim::ExploreReport {
+    Explorer::new(program)
+        .limits(ExploreLimits {
+            max_steps: 2_000,
+            max_schedules: 500_000,
+            ..ExploreLimits::default()
+        })
+        .run()
+}
+
+#[test]
+fn every_buggy_kernel_manifests_its_expected_failure() {
+    for kernel in registry::all() {
+        let report = explore(&kernel.buggy());
+        match kernel.expected {
+            ExpectedFailure::Assert => assert!(
+                report.counts.assert_failed > 0,
+                "{}: expected an assertion failure, got {:?}",
+                kernel.id,
+                report.counts
+            ),
+            ExpectedFailure::Deadlock => assert!(
+                report.counts.deadlock > 0,
+                "{}: expected a deadlock, got {:?}",
+                kernel.id,
+                report.counts
+            ),
+        }
+    }
+}
+
+#[test]
+fn buggy_kernels_also_have_correct_interleavings() {
+    // A concurrency bug hides: most interleavings pass. The exception is
+    // the one-thread self-deadlocks (self_relock, rwlock_upgrade), which
+    // fail deterministically once the thread runs — exactly like their
+    // real-world counterparts, which fire on every execution of the
+    // buggy code path.
+    for kernel in registry::all() {
+        if kernel.threads == 1 {
+            continue;
+        }
+        let report = explore(&kernel.buggy());
+        assert!(
+            report.counts.ok > 0,
+            "{}: every interleaving failed — that is not a concurrency bug",
+            kernel.id
+        );
+    }
+}
+
+#[test]
+fn every_fixed_variant_is_proved_correct() {
+    for kernel in registry::all() {
+        for &fix in kernel.fixes {
+            let program = kernel.build(Variant::Fixed(fix));
+            // State dedup collapses the retry-loop blowup of the
+            // transactional variants; exact for safety properties.
+            let report = Explorer::new(&program)
+                .limits(ExploreLimits {
+                    max_steps: 2_000,
+                    max_schedules: 500_000,
+                    dedup_states: true,
+                    ..ExploreLimits::default()
+                })
+                .run();
+            assert!(
+                report.proved_ok(),
+                "{} fixed by {fix}: {:?} truncated={}",
+                kernel.id,
+                report.counts,
+                report.truncated
+            );
+        }
+    }
+}
+
+#[test]
+fn failure_witnesses_replay_deterministically() {
+    for kernel in registry::all() {
+        let program = kernel.buggy();
+        let report = Explorer::new(&program).stop_on_first_failure().run();
+        let (schedule, outcome) = report
+            .first_failure
+            .unwrap_or_else(|| panic!("{} has a failure", kernel.id));
+        let mut exec = lfm_sim::Executor::new(&program);
+        let replayed = exec.replay(&schedule, 5_000);
+        assert_eq!(replayed, outcome, "{}: witness must replay", kernel.id);
+    }
+}
+
+#[test]
+fn non_deadlock_kernels_manifest_within_small_preemption_depth() {
+    // The study's small-scope finding: enforcing a handful of ordering
+    // points suffices. Two preemptions bound covers every kernel here.
+    for kernel in registry::all() {
+        if kernel.family == Family::Deadlock {
+            continue;
+        }
+        let report = Explorer::new(&kernel.buggy()).preemption_bound(2).run();
+        assert!(
+            report.counts.failures() > 0,
+            "{}: should manifest within 2 preemptions",
+            kernel.id
+        );
+    }
+}
+
+#[test]
+fn deadlock_kernels_manifest_within_two_preemptions() {
+    for kernel in registry::by_family(Family::Deadlock) {
+        let report = Explorer::new(&kernel.buggy()).preemption_bound(2).run();
+        assert!(
+            report.counts.deadlock > 0,
+            "{}: deadlock should appear within 2 preemptions",
+            kernel.id
+        );
+    }
+}
+
+#[test]
+fn self_deadlocks_need_only_one_thread() {
+    // 22% of the studied deadlocks involve a single thread; our
+    // single-thread deadlock kernels must deadlock in EVERY schedule
+    // restricted to... well, they only have one thread of consequence.
+    for id in ["self_relock", "rwlock_upgrade"] {
+        let kernel = registry::by_id(id).unwrap();
+        assert_eq!(kernel.threads, 1, "{id} is a one-thread deadlock");
+    }
+    let kernel = registry::by_id("self_relock").unwrap();
+    let report = explore(&kernel.buggy());
+    assert_eq!(
+        report.counts.ok, 0,
+        "self_relock deadlocks deterministically"
+    );
+}
+
+#[test]
+fn abba_giveup_fix_never_deadlocks_but_may_skip_work() {
+    // The study's F7 caveat, measured: give-up-resource fixes eliminate
+    // the deadlock but can introduce *non-deadlock* misbehaviour — here,
+    // bounded retries may give up entirely and silently drop work.
+    let kernel = registry::by_id("abba").unwrap();
+
+    let giveup = kernel.build(Variant::Fixed(FixKind::GiveUp));
+    let mut incomplete = 0u64;
+    let mut total = 0u64;
+    let report = Explorer::new(&giveup)
+        .dedup_states()
+        .run_with_callback(|exec, _| {
+            total += 1;
+            if exec.vars()[0] < 2 {
+                incomplete += 1;
+            }
+        });
+    assert_eq!(report.counts.deadlock, 0, "the deadlock is gone");
+    assert_eq!(report.counts.failures(), 0);
+    assert!(
+        incomplete > 0,
+        "some interleaving should give up and drop work — the introduced \
+         non-deadlock bug the study warns about"
+    );
+    assert!(incomplete < total, "most interleavings still finish the work");
+
+    // The acquire-in-order fix has no such tradeoff: work always = 2.
+    let ordered = kernel.build(Variant::Fixed(FixKind::AcquireInOrder));
+    Explorer::new(&ordered).run_with_callback(|exec, _| {
+        assert_eq!(exec.vars()[0], 2, "ordered acquisition never drops work");
+    });
+}
+
+#[test]
+fn missed_signal_fix_waits_correctly_both_ways() {
+    let kernel = registry::by_id("missed_signal").unwrap();
+    let fixed = kernel.build(Variant::Fixed(FixKind::CondCheck));
+    let report = explore(&fixed);
+    assert!(report.proved_ok(), "{:?}", report.counts);
+    // The buggy one deadlocks exactly when the signal precedes the wait.
+    let buggy = explore(&kernel.buggy());
+    assert!(buggy.counts.deadlock > 0);
+    assert!(buggy.counts.ok > 0);
+}
+
+#[test]
+fn multivar_kernels_declare_multiple_variables() {
+    for kernel in registry::by_family(Family::MultiVariable) {
+        assert!(
+            kernel.variables >= 2,
+            "{} must involve several variables",
+            kernel.id
+        );
+    }
+}
+
+#[test]
+fn random_stress_misses_bugs_that_exploration_finds() {
+    // The testing implication: with a small random-testing budget, at
+    // least one kernel's bug goes unseen while systematic exploration
+    // finds every one of them. (Seeded, so deterministic; the point is
+    // the *existence* of such a kernel at this budget.)
+    let mut stress_missed_any = false;
+    for kernel in registry::all() {
+        let program = kernel.buggy();
+        let stress = lfm_sim::RandomWalker::new(&program, 12345).run_trials(3);
+        let systematic = Explorer::new(&program).stop_on_first_failure().run();
+        assert!(systematic.found_failure(), "{}", kernel.id);
+        if stress.counts.failures() == 0 {
+            stress_missed_any = true;
+        }
+    }
+    assert!(
+        stress_missed_any,
+        "some kernel should evade 3 random trials — else the corpus is too easy"
+    );
+}
+
+#[test]
+fn transaction_fixes_serialize_their_regions() {
+    for kernel in registry::all() {
+        if !kernel.fixes.contains(&FixKind::Transaction) {
+            continue;
+        }
+        let program = kernel.build(Variant::Fixed(FixKind::Transaction));
+        let report = Explorer::new(&program).dedup_states().run();
+        // Transactions must remove the bug for every kernel that offers
+        // the TM fix (I/O-in-region duplication is measured separately by
+        // lfm-stm, not an assertion failure here).
+        assert!(
+            report.counts.failures() == 0 && !report.truncated,
+            "{} under TM: {:?}",
+            kernel.id,
+            report.counts
+        );
+    }
+}
+
+#[test]
+fn outcome_classification_matches_is_failure() {
+    let kernel = registry::by_id("abba").unwrap();
+    let report = Explorer::new(&kernel.buggy()).stop_on_first_failure().run();
+    let (_, outcome) = report.first_failure.unwrap();
+    assert!(outcome.is_failure());
+    assert!(matches!(outcome, Outcome::Deadlock { .. }));
+}
+
+#[test]
+fn sleep_set_reduction_preserves_every_kernel_bug() {
+    // The sleep-set partial-order reduction must keep at least one
+    // representative of the failing trace class of every kernel, while
+    // never exploring more schedules than the full search.
+    for kernel in registry::all() {
+        let program = kernel.buggy();
+        let full = explore(&program);
+        let reduced = Explorer::new(&program)
+            .sleep_sets()
+            .limits(ExploreLimits {
+                max_steps: 2_000,
+                max_schedules: 500_000,
+                sleep_sets: true,
+                ..ExploreLimits::default()
+            })
+            .run();
+        match kernel.expected {
+            ExpectedFailure::Assert => assert!(
+                reduced.counts.assert_failed > 0,
+                "{}: reduction lost the assertion failure",
+                kernel.id
+            ),
+            ExpectedFailure::Deadlock => assert!(
+                reduced.counts.deadlock > 0,
+                "{}: reduction lost the deadlock",
+                kernel.id
+            ),
+        }
+        assert!(
+            reduced.schedules_run <= full.schedules_run,
+            "{}: reduction did more work ({} > {})",
+            kernel.id,
+            reduced.schedules_run,
+            full.schedules_run
+        );
+    }
+}

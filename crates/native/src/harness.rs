@@ -1,0 +1,97 @@
+//! Manifestation-rate measurement under the real OS scheduler.
+//!
+//! The study's testing implication: naive stress testing rarely hits the
+//! narrow buggy windows, so manifestation probability per run — not just
+//! possibility — is the quantity that matters. [`stress`] runs a native
+//! kernel many times and reports the observed rate, the native analogue
+//! of `lfm_sim::RandomWalker`.
+
+use std::fmt;
+use std::time::Instant;
+
+use crate::kernels::NativeOutcome;
+
+/// Result of a stress campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressReport {
+    /// Trials executed.
+    pub trials: usize,
+    /// Trials in which the bug manifested.
+    pub manifested: usize,
+    /// Wall-clock duration of the campaign in milliseconds.
+    pub elapsed_ms: u128,
+}
+
+impl StressReport {
+    /// Manifestation rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.manifested as f64 / self.trials as f64
+        }
+    }
+}
+
+impl fmt::Display for StressReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} trials manifested ({:.1}%) in {} ms",
+            self.manifested,
+            self.trials,
+            100.0 * self.rate(),
+            self.elapsed_ms
+        )
+    }
+}
+
+/// Runs `kernel` for `trials` independent executions and measures the
+/// manifestation rate.
+pub fn stress(trials: usize, mut kernel: impl FnMut() -> NativeOutcome) -> StressReport {
+    let start = Instant::now();
+    let mut manifested = 0;
+    for _ in 0..trials {
+        if kernel().manifested {
+            manifested += 1;
+        }
+    }
+    StressReport {
+        trials,
+        manifested,
+        elapsed_ms: start.elapsed().as_millis(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::racy_counter;
+
+    #[test]
+    fn stress_counts_manifestations() {
+        // A fixed kernel never manifests; rate is exactly zero.
+        let report = stress(20, || racy_counter(2, 200, true));
+        assert_eq!(report.trials, 20);
+        assert_eq!(report.manifested, 0);
+        assert_eq!(report.rate(), 0.0);
+    }
+
+    #[test]
+    fn stress_display_mentions_rate() {
+        let report = StressReport {
+            trials: 10,
+            manifested: 3,
+            elapsed_ms: 5,
+        };
+        let s = report.to_string();
+        assert!(s.contains("3/10"));
+        assert!(s.contains("30.0%"));
+    }
+
+    #[test]
+    fn empty_campaign_has_zero_rate() {
+        let report = stress(0, || racy_counter(2, 10, true));
+        assert_eq!(report.rate(), 0.0);
+    }
+}

@@ -1,0 +1,509 @@
+//! Native-thread counterparts of the studied bug shapes.
+//!
+//! All shared-memory "bugs" here are expressed through atomics whose
+//! operations are deliberately *split* into separate load and store steps
+//! — the data-flow of the original C bugs — so every program is safe Rust
+//! with genuinely nondeterministic results, never undefined behaviour.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::Duration;
+
+/// Result of one native kernel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeOutcome {
+    /// Whether the bug manifested in this run.
+    pub manifested: bool,
+    /// A kernel-specific observed value (final counter, balance, …).
+    pub observed: i64,
+}
+
+/// The racy counter: each thread performs `iters` increments. Buggy:
+/// separate load and store (lost updates). Fixed: `fetch_add`.
+pub fn racy_counter(threads: usize, iters: usize, fixed: bool) -> NativeOutcome {
+    let counter = AtomicI64::new(0);
+    let barrier = Barrier::new(threads);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                barrier.wait();
+                for i in 0..iters {
+                    // ConTest-style noise injection: an occasional yield
+                    // placed in (or, for the fixed variant, next to) the
+                    // window makes manifestation scheduler-independent —
+                    // essential on single-core runners where a tight
+                    // loop rarely gets preempted mid-window.
+                    if fixed {
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // The studied pattern: load, compute, store.
+                        let v = counter.load(Ordering::Relaxed);
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                        counter.store(v + 1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    })
+    .expect("no worker panics");
+    let expected = (threads * iters) as i64;
+    let observed = counter.load(Ordering::Relaxed);
+    NativeOutcome {
+        manifested: observed != expected,
+        observed,
+    }
+}
+
+/// Check-then-act withdrawal: `threads` workers repeatedly withdraw 70
+/// from a balance topped up between rounds. Buggy: check and debit are
+/// separate operations. Fixed: a CAS loop re-validates.
+pub fn bank_withdraw(threads: usize, rounds: usize, fixed: bool) -> NativeOutcome {
+    let overdrafts = AtomicI64::new(0);
+    for _ in 0..rounds {
+        let balance = AtomicI64::new(100);
+        let barrier = Barrier::new(threads);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    barrier.wait();
+                    if fixed {
+                        loop {
+                            let bal = balance.load(Ordering::SeqCst);
+                            if bal < 70 {
+                                break;
+                            }
+                            if balance
+                                .compare_exchange(
+                                    bal,
+                                    bal - 70,
+                                    Ordering::SeqCst,
+                                    Ordering::SeqCst,
+                                )
+                                .is_ok()
+                            {
+                                break;
+                            }
+                        }
+                    } else {
+                        // The studied window: check, then blind debit.
+                        let bal = balance.load(Ordering::SeqCst);
+                        if bal >= 70 {
+                            std::thread::yield_now(); // noise in the window
+                            balance.fetch_sub(70, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("no worker panics");
+        if balance.load(Ordering::SeqCst) < 0 {
+            overdrafts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let observed = overdrafts.load(Ordering::Relaxed);
+    NativeOutcome {
+        manifested: observed > 0,
+        observed,
+    }
+}
+
+/// Publish-before-init: the publisher raises `ready` before storing
+/// `data` (buggy order) or after (fixed). The consumer polls `ready` and
+/// then reads `data`; observing zero data under a raised flag is the
+/// manifestation. Release/Acquire ordering is used so the *only* bug is
+/// the statement order — exactly the studied class.
+pub fn publish_before_init(rounds: usize, fixed: bool) -> NativeOutcome {
+    let mut manifested = 0i64;
+    for _ in 0..rounds {
+        let data = AtomicI64::new(0);
+        let ready = AtomicBool::new(false);
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| {
+                if fixed {
+                    data.store(7, Ordering::Release);
+                    ready.store(true, Ordering::Release);
+                } else {
+                    ready.store(true, Ordering::Release);
+                    data.store(7, Ordering::Release);
+                }
+            });
+            let observed = s
+                .spawn(|_| {
+                    // Bounded poll so a slow publisher cannot hang us.
+                    for _ in 0..100_000 {
+                        if ready.load(Ordering::Acquire) {
+                            return Some(data.load(Ordering::Acquire));
+                        }
+                        std::hint::spin_loop();
+                    }
+                    None
+                })
+                .join()
+                .expect("consumer does not panic");
+            if observed == Some(0) {
+                manifested += 1;
+            }
+        })
+        .expect("no worker panics");
+    }
+    NativeOutcome {
+        manifested: manifested > 0,
+        observed: manifested,
+    }
+}
+
+/// Missed signal: the waiter waits on a condvar. Buggy: no predicate, so
+/// a signal delivered before the wait is lost and the waiter times out.
+/// Fixed: predicate loop over a flag.
+pub fn missed_signal(fixed: bool, signaller_first: bool) -> NativeOutcome {
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let pair2 = Arc::clone(&pair);
+    let signaller = std::thread::spawn(move || {
+        let (lock, cvar) = &*pair2;
+        if !signaller_first {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut flag = lock.lock().expect("no poison");
+        *flag = true;
+        cvar.notify_one();
+    });
+    let (lock, cvar) = &*pair;
+    if signaller_first {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let timed_out = {
+        let guard = lock.lock().expect("no poison");
+        if fixed {
+            let (_g, res) = cvar
+                .wait_timeout_while(guard, Duration::from_millis(300), |set| !*set)
+                .expect("no poison");
+            res.timed_out()
+        } else {
+            // Buggy: waits unconditionally, even if the flag is already
+            // set — the lost-wakeup shape.
+            if *guard {
+                // The signal already happened; the unconditional wait
+                // below would block forever. Bounded wait = the hang.
+                let (_g, res) = cvar
+                    .wait_timeout(guard, Duration::from_millis(300))
+                    .expect("no poison");
+                res.timed_out()
+            } else {
+                let (_g, res) = cvar
+                    .wait_timeout(guard, Duration::from_millis(300))
+                    .expect("no poison");
+                res.timed_out()
+            }
+        }
+    };
+    signaller.join().expect("signaller does not panic");
+    NativeOutcome {
+        manifested: timed_out,
+        observed: i64::from(timed_out),
+    }
+}
+
+/// ABBA deadlock with a watchdog. Buggy: the two threads take the locks
+/// in opposite orders, aligned by a barrier and widened by a short
+/// sleep, which deadlocks essentially always; the watchdog detects it by
+/// timeout. Fixed: a global acquisition order.
+///
+/// On manifestation the two deadlocked threads are *leaked* (parked
+/// forever on the locks) — a deadlock cannot be recovered from, exactly
+/// like the studied bugs; call this from short-lived processes or accept
+/// two parked threads.
+pub fn abba_deadlock(fixed: bool) -> NativeOutcome {
+    let m1 = Arc::new(Mutex::new(0i64));
+    let m2 = Arc::new(Mutex::new(0i64));
+    let barrier = Arc::new(Barrier::new(2));
+    let (tx, rx) = mpsc::channel::<()>();
+
+    for flip in [false, true] {
+        let m1 = Arc::clone(&m1);
+        let m2 = Arc::clone(&m2);
+        let barrier = Arc::clone(&barrier);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let (first, second) = if fixed || !flip {
+                (&m1, &m2)
+            } else {
+                (&m2, &m1)
+            };
+            barrier.wait();
+            let mut a = first.lock().expect("no poison");
+            std::thread::sleep(Duration::from_millis(10));
+            let mut b = second.lock().expect("no poison");
+            *a += 1;
+            *b += 1;
+            drop(b);
+            drop(a);
+            let _ = tx.send(());
+        });
+    }
+    drop(tx);
+
+    let mut completed = 0;
+    while completed < 2 {
+        match rx.recv_timeout(Duration::from_millis(1_000)) {
+            Ok(()) => completed += 1,
+            Err(_) => break, // watchdog: deadlock
+        }
+    }
+    NativeOutcome {
+        manifested: completed < 2,
+        observed: completed,
+    }
+}
+
+/// The multi-variable pair invariant natively: a writer bumps two
+/// atomics; a checker samples both. Buggy: two separate `fetch_add`s
+/// (each atomic!) — the pair still tears. Fixed: both updates under one
+/// mutex (checker too).
+pub fn pair_invariant(updates: usize, fixed: bool) -> NativeOutcome {
+    let a = AtomicI64::new(0);
+    let b = AtomicI64::new(0);
+    let guard = Mutex::new(());
+    let torn = AtomicI64::new(0);
+    let done = AtomicBool::new(false);
+    crossbeam::thread::scope(|s| {
+        s.spawn(|_| {
+            for _ in 0..updates {
+                if fixed {
+                    let _g = guard.lock().expect("no poison");
+                    a.fetch_add(1, Ordering::SeqCst);
+                    b.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    b.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+        s.spawn(|_| {
+            while !done.load(Ordering::SeqCst) {
+                let (x, y) = if fixed {
+                    let _g = guard.lock().expect("no poison");
+                    (a.load(Ordering::SeqCst), b.load(Ordering::SeqCst))
+                } else {
+                    (a.load(Ordering::SeqCst), b.load(Ordering::SeqCst))
+                };
+                if x != y {
+                    torn.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    })
+    .expect("no worker panics");
+    let observed = torn.load(Ordering::Relaxed);
+    NativeOutcome {
+        manifested: observed > 0,
+        observed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_counter_is_exact() {
+        let out = racy_counter(4, 2_000, true);
+        assert!(!out.manifested);
+        assert_eq!(out.observed, 8_000);
+    }
+
+    #[test]
+    fn buggy_counter_loses_updates_under_contention() {
+        // 4 threads x 20k split increments: lost updates are effectively
+        // certain on any multicore machine; retry a few times to be
+        // robust on a single-core runner.
+        for attempt in 0..5 {
+            let out = racy_counter(4, 20_000, false);
+            if out.manifested {
+                assert!(out.observed < 80_000);
+                return;
+            }
+            eprintln!("attempt {attempt}: no loss observed, retrying");
+        }
+        panic!("the split-increment race never manifested in 5 attempts");
+    }
+
+    #[test]
+    fn fixed_bank_never_overdrafts() {
+        let out = bank_withdraw(4, 200, true);
+        assert!(!out.manifested, "CAS loop overdrafted: {:?}", out);
+    }
+
+    #[test]
+    fn fixed_publish_order_is_clean() {
+        let out = publish_before_init(300, true);
+        assert!(!out.manifested, "release-publish leaked zeros: {:?}", out);
+    }
+
+    #[test]
+    fn missed_signal_fixed_never_times_out() {
+        for signaller_first in [false, true] {
+            let out = missed_signal(true, signaller_first);
+            assert!(
+                !out.manifested,
+                "predicate wait timed out (signaller_first={signaller_first})"
+            );
+        }
+    }
+
+    #[test]
+    fn missed_signal_buggy_hangs_when_signal_comes_first() {
+        let out = missed_signal(false, true);
+        assert!(out.manifested, "lost wakeup should time the waiter out");
+    }
+
+    #[test]
+    fn abba_ordered_acquisition_always_completes() {
+        let out = abba_deadlock(true);
+        assert!(!out.manifested);
+        assert_eq!(out.observed, 2);
+    }
+
+    #[test]
+    fn abba_opposite_orders_deadlock() {
+        // Barrier + 10ms hold makes the cycle essentially certain.
+        let out = abba_deadlock(false);
+        assert!(out.manifested, "ABBA did not deadlock");
+    }
+
+    #[test]
+    fn pair_invariant_fixed_never_tears() {
+        let out = pair_invariant(20_000, true);
+        assert!(!out.manifested, "locked pair tore {} times", out.observed);
+    }
+}
+
+/// Double-checked lazy initialization: `threads` racers each run
+/// `if (!initialized) { initialized = true; init_count += 1 }`. Buggy:
+/// the manual flag. Fixed: `std::sync::Once`, the canonical repair.
+pub fn double_check_init(threads: usize, fixed: bool) -> NativeOutcome {
+    use std::sync::Once;
+    let initialized = AtomicBool::new(false);
+    let init_count = AtomicI64::new(0);
+    let once = Once::new();
+    let barrier = Barrier::new(threads);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                barrier.wait();
+                if fixed {
+                    once.call_once(|| {
+                        init_count.fetch_add(1, Ordering::SeqCst);
+                    });
+                } else {
+                    // The studied window: check, then (after a yield,
+                    // maximizing overlap) initialize.
+                    if !initialized.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                        initialized.store(true, Ordering::SeqCst);
+                        init_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    })
+    .expect("no worker panics");
+    let observed = init_count.load(Ordering::SeqCst);
+    NativeOutcome {
+        manifested: observed != 1,
+        observed,
+    }
+}
+
+/// Use-before-init: the consumer thread reads a field the producer sets.
+/// Buggy: no ordering at all (bounded poll observes the initial zero).
+/// Fixed: the consumer is only started after the producer is joined.
+pub fn use_before_init(rounds: usize, fixed: bool) -> NativeOutcome {
+    let mut premature = 0i64;
+    for _ in 0..rounds {
+        let field = AtomicI64::new(0);
+        if fixed {
+            // Initialize-then-spawn: the happens-before edge is the join.
+            crossbeam::thread::scope(|s| {
+                s.spawn(|_| field.store(42, Ordering::SeqCst))
+                    .join()
+                    .expect("producer ok");
+                let seen = s
+                    .spawn(|_| field.load(Ordering::SeqCst))
+                    .join()
+                    .expect("consumer ok");
+                if seen == 0 {
+                    premature += 1;
+                }
+            })
+            .expect("no worker panics");
+        } else {
+            crossbeam::thread::scope(|s| {
+                s.spawn(|_| {
+                    std::thread::yield_now();
+                    field.store(42, Ordering::SeqCst);
+                });
+                let seen = s
+                    .spawn(|_| field.load(Ordering::SeqCst))
+                    .join()
+                    .expect("consumer ok");
+                if seen == 0 {
+                    premature += 1;
+                }
+            })
+            .expect("no worker panics");
+        }
+    }
+    NativeOutcome {
+        manifested: premature > 0,
+        observed: premature,
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn once_initializes_exactly_once() {
+        for _ in 0..20 {
+            let out = double_check_init(4, true);
+            assert!(!out.manifested, "Once ran {} times", out.observed);
+        }
+    }
+
+    #[test]
+    fn manual_flag_can_double_initialize() {
+        // With 4 threads yielding inside the window, double init is
+        // essentially certain across 50 attempts even on one core.
+        for _ in 0..50 {
+            let out = double_check_init(4, false);
+            if out.manifested {
+                assert!(out.observed >= 2);
+                return;
+            }
+        }
+        panic!("manual double-checked init never double-initialized");
+    }
+
+    #[test]
+    fn join_ordered_init_is_never_premature() {
+        let out = use_before_init(200, true);
+        assert!(!out.manifested, "join-ordered init read zero: {:?}", out);
+    }
+
+    #[test]
+    fn unordered_init_reads_zero_sometimes() {
+        let out = use_before_init(300, false);
+        assert!(
+            out.manifested,
+            "300 unordered rounds never saw the uninitialized value"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # lfm-native — the bug kernels on real threads
+//!
+//! The `lfm-sim` model checker proves the kernels' manifestation
+//! properties over *all* interleavings. This crate closes the loop on
+//! real hardware: the same bug shapes written against `std`/`crossbeam`
+//! primitives, using only safe Rust (atomics with separate load/store
+//! steps reproduce the studied non-atomic access patterns without
+//! undefined behaviour), plus a [`harness`] that measures manifestation
+//! rates under the OS scheduler — the "stress testing rarely hits the
+//! window" observation that motivates the study's testing implications.
+//!
+//! Each kernel exposes a buggy and a fixed run; the fixed runs are
+//! deterministic assertions, the buggy runs report whether the bug
+//! manifested so callers can measure rates instead of flaking.
+//!
+//! # Example
+//!
+//! ```rust
+//! use lfm_native::kernels::racy_counter;
+//!
+//! // The fixed version (fetch_add) is exact under any schedule.
+//! let outcome = racy_counter(4, 1_000, true);
+//! assert!(!outcome.manifested);
+//! assert_eq!(outcome.observed, 4_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod kernels;
+
+pub use harness::{stress, StressReport};
+pub use kernels::NativeOutcome;

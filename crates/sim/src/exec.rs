@@ -1,0 +1,1583 @@
+//! The executor: a deterministic interpreter advancing one visible
+//! operation at a time under external scheduling control.
+
+use std::collections::HashMap;
+
+use crate::error::ExecError;
+use crate::expr::Expr;
+use crate::footprint::Footprint;
+use crate::ids::{CondId, MutexId, ThreadId, VarId};
+use crate::outcome::{BlockedOn, Outcome};
+use crate::program::{Instr, Program};
+use crate::schedule::Schedule;
+use crate::state::{CondState, MutexState, RwState, SemState};
+use crate::stmt::{RmwOp, Stmt};
+use crate::trace::{Event, EventKind, Trace, VectorClock};
+use crate::txn::TxState;
+
+/// Fuel for uninterrupted local computation between two visible
+/// operations; exhausting it means a pure-local infinite loop.
+const LOCAL_FUEL: u32 = 100_000;
+
+/// Default bound on transaction aborts before the execution is classified
+/// [`Outcome::TxRetryLimit`].
+pub(crate) const TX_RETRY_LIMIT: u32 = 64;
+
+/// Whether an [`Executor`] records a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// No trace (fastest; the model checker's default).
+    #[default]
+    Off,
+    /// Record every visible operation with vector clocks.
+    Full,
+}
+
+/// Result of [`Executor::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepResult {
+    /// The execution can continue; more threads are enabled.
+    Running,
+    /// The execution reached a terminal outcome.
+    Done(Outcome),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ThreadStatus {
+    /// Declared with `thread_deferred` and not yet spawned.
+    NotStarted,
+    /// Has a next instruction (which may or may not be enabled).
+    Ready,
+    /// Parked on a condition variable.
+    WaitingCond { cond: CondId, mutex: MutexId },
+    /// Signalled; waiting to re-acquire the mutex.
+    Reacquire { mutex: MutexId },
+    /// Script complete.
+    Finished,
+}
+
+#[derive(Debug, Clone)]
+struct ThreadState {
+    status: ThreadStatus,
+    pc: usize,
+    locals: HashMap<&'static str, i64>,
+    held: Vec<MutexId>,
+    tx: Option<TxState>,
+    tx_retries: u32,
+    clock: VectorClock,
+}
+
+/// A deterministic interpreter for one execution of a [`Program`].
+///
+/// The executor is `Clone`; the model checker snapshots it at branch
+/// points. Drive it with [`Executor::step`] (choosing among
+/// [`Executor::enabled`] threads) or one of the `run_*` conveniences.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    program: Program,
+    vars: Vec<i64>,
+    mutexes: Vec<MutexState>,
+    conds: Vec<CondState>,
+    rws: Vec<RwState>,
+    sems: Vec<SemState>,
+    threads: Vec<ThreadState>,
+    steps: usize,
+    io_journal: Vec<(ThreadId, &'static str)>,
+    outcome: Option<Outcome>,
+    last_scheduled: Option<ThreadId>,
+    taken: Schedule,
+    record: RecordMode,
+    events: Vec<Event>,
+}
+
+impl Executor {
+    /// Creates an executor at the program's initial state.
+    pub fn new(program: &Program) -> Executor {
+        Executor::with_record(program, RecordMode::Off)
+    }
+
+    /// Creates an executor that records according to `record`.
+    pub fn with_record(program: &Program, record: RecordMode) -> Executor {
+        let n = program.n_threads();
+        let threads: Vec<ThreadState> = program
+            .threads()
+            .iter()
+            .map(|t| ThreadState {
+                status: if t.auto_start() {
+                    ThreadStatus::Ready
+                } else {
+                    ThreadStatus::NotStarted
+                },
+                pc: 0,
+                locals: HashMap::new(),
+                held: Vec::new(),
+                tx: None,
+                tx_retries: 0,
+                clock: VectorClock::new(n),
+            })
+            .collect();
+        let mut exec = Executor {
+            vars: program.var_init().to_vec(),
+            mutexes: (0..program.n_mutexes()).map(|_| MutexState::new(n)).collect(),
+            conds: (0..program.n_conds()).map(|_| CondState::new(n)).collect(),
+            rws: (0..program.n_rws()).map(|_| RwState::new(n)).collect(),
+            sems: program.sem_init().iter().map(|&c| SemState::new(n, c)).collect(),
+            program: program.clone(),
+            threads,
+            steps: 0,
+            io_journal: Vec::new(),
+            outcome: None,
+            last_scheduled: None,
+            taken: Schedule::new(),
+            record,
+            events: Vec::new(),
+        };
+        // Record starts and fast-forward local prefixes so every pc points
+        // at a visible op.
+        for i in 0..exec.threads.len() {
+            if exec.threads[i].status == ThreadStatus::Ready {
+                let tid = ThreadId::from_index(i);
+                let clock = exec.threads[i].clock.clone();
+                exec.record_event_with(&clock, tid, EventKind::ThreadStart);
+                exec.fast_forward(tid);
+            }
+        }
+        exec.check_quiescence();
+        exec
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of visible steps executed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The terminal outcome, once reached.
+    pub fn outcome(&self) -> Option<&Outcome> {
+        self.outcome.as_ref()
+    }
+
+    /// `true` once a terminal outcome has been reached.
+    pub fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// Current values of all shared variables.
+    pub fn vars(&self) -> &[i64] {
+        &self.vars
+    }
+
+    /// The I/O journal: `(thread, tag)` in execution order.
+    pub fn io_journal(&self) -> &[(ThreadId, &'static str)] {
+        &self.io_journal
+    }
+
+    /// The schedule of choices taken so far.
+    pub fn schedule_taken(&self) -> &Schedule {
+        &self.taken
+    }
+
+    /// The events recorded so far ([`RecordMode::Full`] only; empty
+    /// otherwise). Use [`Executor::into_trace`] for the owned form.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Extracts the recorded trace ([`RecordMode::Full`] only; an empty
+    /// trace otherwise).
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            program: self.program.name().to_string(),
+            n_threads: self.program.n_threads(),
+            n_vars: self.program.n_vars(),
+            events: self.events,
+        }
+    }
+
+    /// The footprint of the visible operation `thread` would perform
+    /// next, for the explorer's independence analysis. `None` when the
+    /// thread has no next operation (not started / finished).
+    pub(crate) fn next_footprint(&self, thread: ThreadId) -> Option<Footprint> {
+        let ts = &self.threads[thread.index()];
+        match &ts.status {
+            ThreadStatus::Reacquire { mutex } => Some(Footprint::of_reacquire(*mutex)),
+            ThreadStatus::WaitingCond { mutex, .. } => Some(Footprint::of_reacquire(*mutex)),
+            ThreadStatus::Ready => self.peek_op(thread).map(|stmt| {
+                let touched: Vec<VarId> = match &ts.tx {
+                    Some(tx) => tx
+                        .read_set
+                        .iter()
+                        .map(|(v, _)| *v)
+                        .chain(tx.write_set.iter().map(|(v, _)| *v))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                Footprint::of_stmt(stmt, &touched)
+            }),
+            ThreadStatus::NotStarted | ThreadStatus::Finished => None,
+        }
+    }
+
+    /// A hash of the semantically relevant execution state, used by the
+    /// explorer's optional state deduplication. Two executors with equal
+    /// keys have the same future behaviour *except* for transaction-retry
+    /// exhaustion and preemption accounting (retry counters, vector
+    /// clocks, and the schedule taken are deliberately excluded so that
+    /// retry loops collapse).
+    pub fn state_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.vars.hash(&mut h);
+        for m in &self.mutexes {
+            m.owner.hash(&mut h);
+        }
+        for c in &self.conds {
+            c.waiters.hash(&mut h);
+        }
+        for rw in &self.rws {
+            rw.writer.hash(&mut h);
+            rw.readers.hash(&mut h);
+        }
+        for s in &self.sems {
+            s.count.hash(&mut h);
+        }
+        for ts in &self.threads {
+            std::mem::discriminant(&ts.status).hash(&mut h);
+            match &ts.status {
+                ThreadStatus::WaitingCond { cond, mutex } => {
+                    cond.hash(&mut h);
+                    mutex.hash(&mut h);
+                }
+                ThreadStatus::Reacquire { mutex } => mutex.hash(&mut h),
+                _ => {}
+            }
+            ts.pc.hash(&mut h);
+            let mut locals: Vec<_> = ts.locals.iter().collect();
+            locals.sort_unstable_by_key(|(k, _)| **k);
+            locals.hash(&mut h);
+            ts.held.hash(&mut h);
+            if let Some(tx) = &ts.tx {
+                tx.start_pc.hash(&mut h);
+                tx.read_set.hash(&mut h);
+                tx.write_set.hash(&mut h);
+                tx.io_performed.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Threads that can take a step right now.
+    pub fn enabled(&self) -> Vec<ThreadId> {
+        (0..self.threads.len())
+            .map(ThreadId::from_index)
+            .filter(|&t| self.is_enabled(t))
+            .collect()
+    }
+
+    /// `true` when `thread` can take a step.
+    pub fn is_enabled(&self, thread: ThreadId) -> bool {
+        if self.outcome.is_some() {
+            return false;
+        }
+        let ts = &self.threads[thread.index()];
+        match &ts.status {
+            ThreadStatus::NotStarted | ThreadStatus::Finished | ThreadStatus::WaitingCond { .. } => {
+                false
+            }
+            ThreadStatus::Reacquire { mutex } => self.mutexes[mutex.index()].owner.is_none(),
+            ThreadStatus::Ready => match self.peek_op(thread) {
+                None => false,
+                Some(stmt) => self.op_enabled(thread, stmt),
+            },
+        }
+    }
+
+    /// The visible operation `thread` will perform next, if any.
+    fn peek_op(&self, thread: ThreadId) -> Option<&Stmt> {
+        let ts = &self.threads[thread.index()];
+        let code = self.program.threads()[thread.index()].code();
+        match code.get(ts.pc) {
+            Some(Instr::Op(stmt)) => Some(stmt),
+            _ => None,
+        }
+    }
+
+    fn op_enabled(&self, thread: ThreadId, stmt: &Stmt) -> bool {
+        match stmt {
+            Stmt::Lock(m) => self.mutexes[m.index()].owner.is_none(),
+            Stmt::RwRead(rw) => self.rws[rw.index()].can_read(thread),
+            Stmt::RwWrite(rw) => self.rws[rw.index()].can_write(thread),
+            Stmt::SemAcquire(s) => self.sems[s.index()].count > 0,
+            Stmt::Join(t) => self.threads[t.index()].status == ThreadStatus::Finished,
+            _ => true,
+        }
+    }
+
+    /// Executes one visible operation of `thread`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ThreadNotEnabled`] if `thread` cannot take a
+    /// step (including after the execution has already terminated).
+    pub fn step(&mut self, thread: ThreadId) -> Result<StepResult, ExecError> {
+        if !self.is_enabled(thread) {
+            return Err(ExecError::ThreadNotEnabled { thread });
+        }
+        self.steps += 1;
+        self.taken.push(thread);
+        self.last_scheduled = Some(thread);
+        self.threads[thread.index()].clock.tick(thread);
+
+        if let ThreadStatus::Reacquire { mutex } = self.threads[thread.index()].status.clone() {
+            self.finish_wait(thread, mutex);
+        } else {
+            let stmt = self
+                .peek_op(thread)
+                .expect("enabled Ready thread has a visible op")
+                .clone();
+            self.exec_op(thread, &stmt);
+        }
+
+        if self.outcome.is_none() {
+            if self.threads[thread.index()].status == ThreadStatus::Ready {
+                self.fast_forward(thread);
+            }
+            self.check_quiescence();
+        }
+        Ok(match &self.outcome {
+            Some(o) => StepResult::Done(o.clone()),
+            None => StepResult::Running,
+        })
+    }
+
+    /// Runs to termination, choosing each step with `picker` (called with
+    /// the non-empty enabled set). Stops with [`Outcome::StepLimit`] after
+    /// `max_steps` visible operations.
+    pub fn run_with(
+        &mut self,
+        max_steps: usize,
+        mut picker: impl FnMut(&[ThreadId]) -> ThreadId,
+    ) -> Outcome {
+        while self.outcome.is_none() {
+            if self.steps >= max_steps {
+                self.outcome = Some(Outcome::StepLimit);
+                break;
+            }
+            let enabled = self.enabled();
+            debug_assert!(!enabled.is_empty(), "quiescence should have fired");
+            let choice = picker(&enabled);
+            self.step(choice).expect("picker must choose an enabled thread");
+        }
+        self.outcome.clone().expect("loop sets outcome")
+    }
+
+    /// Replays a recorded schedule, then continues deterministically
+    /// (always the lowest-id enabled thread). Choices that are not enabled
+    /// at replay time are skipped in favour of the lowest-id enabled
+    /// thread, so a schedule from a different program version degrades
+    /// gracefully instead of panicking.
+    pub fn replay(&mut self, schedule: &Schedule, max_steps: usize) -> Outcome {
+        let mut it = schedule.iter();
+        self.run_with(max_steps, |enabled| {
+            for choice in it.by_ref() {
+                if enabled.contains(&choice) {
+                    return choice;
+                }
+            }
+            enabled[0]
+        })
+    }
+
+    /// Runs to termination always choosing the lowest-id enabled thread —
+    /// the canonical "serial" execution used as a sanity baseline.
+    pub fn run_sequential(&mut self, max_steps: usize) -> Outcome {
+        self.run_with(max_steps, |enabled| enabled[0])
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn locals_eval(locals: &HashMap<&'static str, i64>, e: &Expr) -> i64 {
+        e.eval(&|name| locals.get(name).copied().unwrap_or(0), &|_| {
+            unreachable!("builder validation forbids Expr::Shared in thread bodies")
+        })
+    }
+
+    fn eval(&self, thread: ThreadId, e: &Expr) -> i64 {
+        Self::locals_eval(&self.threads[thread.index()].locals, e)
+    }
+
+    /// Advances past purely-local instructions until the pc rests on a
+    /// visible op or the script ends (then the thread finishes).
+    fn fast_forward(&mut self, thread: ThreadId) {
+        let code = self.program.threads()[thread.index()].code().clone();
+        let mut fuel = LOCAL_FUEL;
+        loop {
+            let ts = &mut self.threads[thread.index()];
+            match code.get(ts.pc) {
+                None => {
+                    ts.status = ThreadStatus::Finished;
+                    let clock = ts.clock.clone();
+                    self.record_event_with(&clock, thread, EventKind::ThreadExit);
+                    return;
+                }
+                Some(Instr::Op(_)) => return,
+                Some(Instr::LocalSet { name, value }) => {
+                    let v = Self::locals_eval(&ts.locals, value);
+                    ts.locals.insert(name, v);
+                    ts.pc += 1;
+                }
+                Some(Instr::Jump(t)) => ts.pc = *t,
+                Some(Instr::JumpIfZero(cond, t)) => {
+                    let v = Self::locals_eval(&ts.locals, cond);
+                    if v == 0 {
+                        ts.pc = *t;
+                    } else {
+                        ts.pc += 1;
+                    }
+                }
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                self.outcome = Some(Outcome::Misuse {
+                    thread,
+                    error: ExecError::LocalFuelExhausted,
+                });
+                return;
+            }
+        }
+    }
+
+    fn misuse(&mut self, thread: ThreadId, error: ExecError) {
+        self.outcome = Some(Outcome::Misuse { thread, error });
+    }
+
+    fn record_event(&mut self, thread: ThreadId, kind: EventKind) {
+        let clock = self.threads[thread.index()].clock.clone();
+        self.record_event_with(&clock, thread, kind);
+    }
+
+    fn record_event_with(&mut self, clock: &VectorClock, thread: ThreadId, kind: EventKind) {
+        if self.record == RecordMode::Full {
+            self.events.push(Event {
+                seq: self.events.len(),
+                thread,
+                clock: clock.clone(),
+                kind,
+            });
+        }
+    }
+
+    fn advance(&mut self, thread: ThreadId) {
+        self.threads[thread.index()].pc += 1;
+    }
+
+    /// Aborts the thread's transaction when its read set no longer
+    /// matches the globals (opacity: a transaction must never expose an
+    /// inconsistent snapshot to the program, TL2-style per-read
+    /// validation). Returns `true` when an abort happened — the caller
+    /// must not execute its operation.
+    fn tx_abort_if_invalid(&mut self, thread: ThreadId) -> bool {
+        let valid = match &self.threads[thread.index()].tx {
+            Some(tx) => tx.validate(&self.vars),
+            None => return false,
+        };
+        if valid {
+            return false;
+        }
+        self.record_event(thread, EventKind::TxAbort);
+        let ts = &mut self.threads[thread.index()];
+        let tx = ts.tx.take().expect("validated above");
+        ts.locals = tx.locals_snapshot;
+        ts.pc = tx.start_pc;
+        ts.tx_retries += 1;
+        if ts.tx_retries > TX_RETRY_LIMIT {
+            self.outcome = Some(Outcome::TxRetryLimit { thread });
+        }
+        true
+    }
+
+    /// Transaction-aware shared read.
+    fn shared_read(&mut self, thread: ThreadId, var: VarId) -> i64 {
+        let global = self.vars[var.index()];
+        match &mut self.threads[thread.index()].tx {
+            Some(tx) => tx.read(var, global),
+            None => global,
+        }
+    }
+
+    /// Transaction-aware shared write.
+    fn shared_write(&mut self, thread: ThreadId, var: VarId, value: i64) -> bool {
+        match &mut self.threads[thread.index()].tx {
+            Some(tx) => {
+                tx.write(var, value);
+                false // buffered; event recorded at commit
+            }
+            None => {
+                self.vars[var.index()] = value;
+                true
+            }
+        }
+    }
+
+    fn finish_wait(&mut self, thread: ThreadId, mutex: MutexId) {
+        // Re-acquire the mutex and resume past the Wait statement.
+        let cond = match self.peek_op(thread) {
+            Some(Stmt::Wait { cond, .. }) => *cond,
+            _ => unreachable!("Reacquire pc rests on the Wait stmt"),
+        };
+        let mclock = self.mutexes[mutex.index()].clock.clone();
+        let cclock = self.conds[cond.index()].clock.clone();
+        {
+            let ts = &mut self.threads[thread.index()];
+            ts.clock.join(&mclock);
+            ts.clock.join(&cclock);
+            ts.held.push(mutex);
+            ts.status = ThreadStatus::Ready;
+        }
+        self.mutexes[mutex.index()].owner = Some(thread);
+        self.record_event(thread, EventKind::WaitEnd { cond, mutex });
+        self.advance(thread);
+    }
+
+    fn exec_op(&mut self, thread: ThreadId, stmt: &Stmt) {
+        match stmt {
+            Stmt::Read { var, into } => {
+                if self.tx_abort_if_invalid(thread) {
+                    return;
+                }
+                let value = self.shared_read(thread, *var);
+                self.threads[thread.index()].locals.insert(into, value);
+                self.record_event(thread, EventKind::Read { var: *var, value });
+                self.advance(thread);
+            }
+            Stmt::Write { var, value } => {
+                let v = self.eval(thread, value);
+                if self.shared_write(thread, *var, v) {
+                    self.record_event(thread, EventKind::Write { var: *var, value: v });
+                }
+                self.advance(thread);
+            }
+            Stmt::Rmw {
+                var,
+                op,
+                operand,
+                into,
+            } => {
+                if self.tx_abort_if_invalid(thread) {
+                    return;
+                }
+                let operand = self.eval(thread, operand);
+                let old = self.shared_read(thread, *var);
+                let new = match op {
+                    RmwOp::FetchAdd => old.wrapping_add(operand),
+                    RmwOp::FetchSub => old.wrapping_sub(operand),
+                    RmwOp::Exchange => operand,
+                    RmwOp::FetchMax => old.max(operand),
+                    RmwOp::FetchMin => old.min(operand),
+                };
+                let direct = self.shared_write(thread, *var, new);
+                if let Some(into) = into {
+                    self.threads[thread.index()].locals.insert(into, old);
+                }
+                if direct {
+                    self.record_event(thread, EventKind::Rmw { var: *var, old, new });
+                } else {
+                    self.record_event(thread, EventKind::Read { var: *var, value: old });
+                }
+                self.advance(thread);
+            }
+            Stmt::Cas {
+                var,
+                expected,
+                new,
+                into,
+                observed_into,
+            } => {
+                if self.tx_abort_if_invalid(thread) {
+                    return;
+                }
+                let expected = self.eval(thread, expected);
+                let new = self.eval(thread, new);
+                let observed = self.shared_read(thread, *var);
+                let success = observed == expected;
+                if success {
+                    self.shared_write(thread, *var, new);
+                }
+                let ts = &mut self.threads[thread.index()];
+                ts.locals.insert(into, i64::from(success));
+                if let Some(oi) = observed_into {
+                    ts.locals.insert(oi, observed);
+                }
+                self.record_event(
+                    thread,
+                    EventKind::Cas {
+                        var: *var,
+                        success,
+                        observed,
+                    },
+                );
+                self.advance(thread);
+            }
+            Stmt::Lock(m) => {
+                debug_assert!(self.mutexes[m.index()].owner.is_none());
+                let mclock = self.mutexes[m.index()].clock.clone();
+                let ts = &mut self.threads[thread.index()];
+                ts.clock.join(&mclock);
+                ts.held.push(*m);
+                self.mutexes[m.index()].owner = Some(thread);
+                self.record_event(thread, EventKind::Lock(*m));
+                self.advance(thread);
+            }
+            Stmt::Unlock(m) => {
+                if self.mutexes[m.index()].owner != Some(thread) {
+                    self.misuse(thread, ExecError::UnlockNotHeld { mutex: *m });
+                    return;
+                }
+                self.mutexes[m.index()].owner = None;
+                let clock = self.threads[thread.index()].clock.clone();
+                self.mutexes[m.index()].clock = clock;
+                self.threads[thread.index()].held.retain(|h| h != m);
+                self.record_event(thread, EventKind::Unlock(*m));
+                self.advance(thread);
+            }
+            Stmt::TryLock { mutex, into } => {
+                let success = self.mutexes[mutex.index()].owner.is_none();
+                if success {
+                    let mclock = self.mutexes[mutex.index()].clock.clone();
+                    let ts = &mut self.threads[thread.index()];
+                    ts.clock.join(&mclock);
+                    ts.held.push(*mutex);
+                    self.mutexes[mutex.index()].owner = Some(thread);
+                }
+                self.threads[thread.index()]
+                    .locals
+                    .insert(into, i64::from(success));
+                self.record_event(
+                    thread,
+                    EventKind::TryLock {
+                        mutex: *mutex,
+                        success,
+                    },
+                );
+                self.advance(thread);
+            }
+            Stmt::RwRead(rw) => {
+                debug_assert!(self.rws[rw.index()].can_read(thread));
+                let rclock = self.rws[rw.index()].clock.clone();
+                self.threads[thread.index()].clock.join(&rclock);
+                self.rws[rw.index()].readers.push(thread);
+                self.record_event(thread, EventKind::RwRead(*rw));
+                self.advance(thread);
+            }
+            Stmt::RwWrite(rw) => {
+                debug_assert!(self.rws[rw.index()].can_write(thread));
+                let rclock = self.rws[rw.index()].clock.clone();
+                self.threads[thread.index()].clock.join(&rclock);
+                self.rws[rw.index()].writer = Some(thread);
+                self.record_event(thread, EventKind::RwWrite(*rw));
+                self.advance(thread);
+            }
+            Stmt::RwUnlock(rw) => {
+                let state = &mut self.rws[rw.index()];
+                if state.writer == Some(thread) {
+                    state.writer = None;
+                } else if let Some(pos) = state.readers.iter().position(|&r| r == thread) {
+                    state.readers.remove(pos);
+                } else {
+                    self.misuse(thread, ExecError::RwUnlockNotHeld { rw: *rw });
+                    return;
+                }
+                let clock = self.threads[thread.index()].clock.clone();
+                self.rws[rw.index()].clock.join(&clock);
+                self.record_event(thread, EventKind::RwUnlock(*rw));
+                self.advance(thread);
+            }
+            Stmt::Wait { cond, mutex } => {
+                if self.mutexes[mutex.index()].owner != Some(thread) {
+                    self.misuse(thread, ExecError::WaitWithoutMutex { mutex: *mutex });
+                    return;
+                }
+                self.mutexes[mutex.index()].owner = None;
+                let clock = self.threads[thread.index()].clock.clone();
+                self.mutexes[mutex.index()].clock = clock;
+                {
+                    let ts = &mut self.threads[thread.index()];
+                    ts.held.retain(|h| h != mutex);
+                    ts.status = ThreadStatus::WaitingCond {
+                        cond: *cond,
+                        mutex: *mutex,
+                    };
+                }
+                self.conds[cond.index()].waiters.push_back(thread);
+                self.record_event(
+                    thread,
+                    EventKind::WaitBegin {
+                        cond: *cond,
+                        mutex: *mutex,
+                    },
+                );
+                // pc stays on the Wait; WaitEnd advances it.
+            }
+            Stmt::Signal(c) => {
+                let clock = self.threads[thread.index()].clock.clone();
+                self.conds[c.index()].clock.join(&clock);
+                if let Some(w) = self.conds[c.index()].waiters.pop_front() {
+                    let mutex = match &self.threads[w.index()].status {
+                        ThreadStatus::WaitingCond { mutex, .. } => *mutex,
+                        other => unreachable!("cond waiter in status {other:?}"),
+                    };
+                    self.threads[w.index()].status = ThreadStatus::Reacquire { mutex };
+                }
+                self.record_event(thread, EventKind::Signal(*c));
+                self.advance(thread);
+            }
+            Stmt::Broadcast(c) => {
+                let clock = self.threads[thread.index()].clock.clone();
+                self.conds[c.index()].clock.join(&clock);
+                while let Some(w) = self.conds[c.index()].waiters.pop_front() {
+                    let mutex = match &self.threads[w.index()].status {
+                        ThreadStatus::WaitingCond { mutex, .. } => *mutex,
+                        other => unreachable!("cond waiter in status {other:?}"),
+                    };
+                    self.threads[w.index()].status = ThreadStatus::Reacquire { mutex };
+                }
+                self.record_event(thread, EventKind::Broadcast(*c));
+                self.advance(thread);
+            }
+            Stmt::SemAcquire(s) => {
+                debug_assert!(self.sems[s.index()].count > 0);
+                self.sems[s.index()].count -= 1;
+                let sclock = self.sems[s.index()].clock.clone();
+                self.threads[thread.index()].clock.join(&sclock);
+                self.record_event(thread, EventKind::SemAcquire(*s));
+                self.advance(thread);
+            }
+            Stmt::SemRelease(s) => {
+                self.sems[s.index()].count += 1;
+                let clock = self.threads[thread.index()].clock.clone();
+                self.sems[s.index()].clock.join(&clock);
+                self.record_event(thread, EventKind::SemRelease(*s));
+                self.advance(thread);
+            }
+            Stmt::Spawn(t) => {
+                if self.threads[t.index()].status != ThreadStatus::NotStarted {
+                    self.misuse(thread, ExecError::DoubleSpawn { target: *t });
+                    return;
+                }
+                let parent_clock = self.threads[thread.index()].clock.clone();
+                {
+                    let child = &mut self.threads[t.index()];
+                    child.status = ThreadStatus::Ready;
+                    child.clock.join(&parent_clock);
+                }
+                self.record_event(thread, EventKind::Spawn(*t));
+                let child_clock = self.threads[t.index()].clock.clone();
+                self.record_event_with(&child_clock, *t, EventKind::ThreadStart);
+                self.advance(thread);
+                self.fast_forward(*t);
+            }
+            Stmt::Join(t) => {
+                debug_assert_eq!(self.threads[t.index()].status, ThreadStatus::Finished);
+                let target_clock = self.threads[t.index()].clock.clone();
+                self.threads[thread.index()].clock.join(&target_clock);
+                self.record_event(thread, EventKind::Join(*t));
+                self.advance(thread);
+            }
+            Stmt::LocalSet { .. } | Stmt::If { .. } | Stmt::While { .. } => {
+                unreachable!("local statements are compiled away")
+            }
+            Stmt::Assert { cond, msg } => {
+                let v = self.eval(thread, cond);
+                if v == 0 {
+                    self.record_event(thread, EventKind::AssertFail(msg));
+                    self.outcome = Some(Outcome::AssertFailed {
+                        thread: Some(thread),
+                        msg,
+                    });
+                    return;
+                }
+                self.advance(thread);
+            }
+            Stmt::Io { tag } => {
+                self.io_journal.push((thread, tag));
+                if let Some(tx) = &mut self.threads[thread.index()].tx {
+                    tx.io_performed = true;
+                }
+                self.record_event(thread, EventKind::Io(tag));
+                self.advance(thread);
+            }
+            Stmt::TxBegin => {
+                let ts = &mut self.threads[thread.index()];
+                let tx = TxState::new(ts.pc, &ts.locals);
+                ts.tx = Some(tx);
+                self.record_event(thread, EventKind::TxBegin);
+                self.advance(thread);
+            }
+            Stmt::TxRetry => {
+                self.record_event(thread, EventKind::TxAbort);
+                let ts = &mut self.threads[thread.index()];
+                let tx = ts.tx.take().expect("TxRetry only occurs inside a transaction");
+                ts.locals = tx.locals_snapshot.clone();
+                ts.pc = tx.start_pc;
+                ts.tx_retries += 1;
+                if ts.tx_retries > TX_RETRY_LIMIT {
+                    self.outcome = Some(Outcome::TxRetryLimit { thread });
+                }
+            }
+            Stmt::TxCommit => {
+                let tx = self.threads[thread.index()]
+                    .tx
+                    .take()
+                    .expect("build validation pairs TxCommit with TxBegin");
+                if tx.validate(&self.vars) {
+                    for (var, value) in &tx.write_set {
+                        self.vars[var.index()] = *value;
+                        self.record_event(
+                            thread,
+                            EventKind::Write {
+                                var: *var,
+                                value: *value,
+                            },
+                        );
+                    }
+                    self.threads[thread.index()].tx_retries = 0;
+                    self.record_event(thread, EventKind::TxCommit);
+                    self.advance(thread);
+                } else {
+                    self.record_event(thread, EventKind::TxAbort);
+                    let ts = &mut self.threads[thread.index()];
+                    ts.locals = tx.locals_snapshot.clone();
+                    ts.pc = tx.start_pc;
+                    ts.tx = None;
+                    ts.tx_retries += 1;
+                    if ts.tx_retries > TX_RETRY_LIMIT {
+                        self.outcome = Some(Outcome::TxRetryLimit { thread });
+                    }
+                }
+            }
+            Stmt::Yield => {
+                self.record_event(thread, EventKind::Yield);
+                self.advance(thread);
+            }
+        }
+    }
+
+    /// Checks whether the execution has quiesced: either finished cleanly
+    /// (evaluate final assertions) or deadlocked.
+    fn check_quiescence(&mut self) {
+        if self.outcome.is_some() {
+            return;
+        }
+        if (0..self.threads.len()).any(|i| self.is_enabled(ThreadId::from_index(i))) {
+            return;
+        }
+        let mut blocked = Vec::new();
+        for (i, ts) in self.threads.iter().enumerate() {
+            let tid = ThreadId::from_index(i);
+            match &ts.status {
+                ThreadStatus::Finished | ThreadStatus::NotStarted => {}
+                ThreadStatus::WaitingCond { cond, .. } => {
+                    blocked.push((tid, BlockedOn::Cond(*cond)));
+                }
+                ThreadStatus::Reacquire { mutex } => {
+                    blocked.push((tid, BlockedOn::CondReacquire(*mutex)));
+                }
+                ThreadStatus::Ready => {
+                    let on = match self.peek_op(tid) {
+                        Some(Stmt::Lock(m)) => BlockedOn::Mutex(*m),
+                        Some(Stmt::RwRead(rw)) => BlockedOn::RwRead(*rw),
+                        Some(Stmt::RwWrite(rw)) => BlockedOn::RwWrite(*rw),
+                        Some(Stmt::SemAcquire(s)) => BlockedOn::Semaphore(*s),
+                        Some(Stmt::Join(t)) => BlockedOn::Join(*t),
+                        other => unreachable!("Ready-but-disabled thread at {other:?}"),
+                    };
+                    blocked.push((tid, on));
+                }
+            }
+        }
+        if blocked.is_empty() {
+            self.outcome = Some(self.finalize());
+        } else {
+            self.outcome = Some(Outcome::Deadlock { blocked });
+        }
+    }
+
+    fn finalize(&self) -> Outcome {
+        for (cond, msg) in self.program.final_asserts() {
+            let v = cond.eval(&|_| 0, &|var| self.vars[var.index()]);
+            if v == 0 {
+                return Outcome::AssertFailed { thread: None, msg };
+            }
+        }
+        Outcome::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    fn racy_counter() -> Program {
+        let mut b = ProgramBuilder::new("racy");
+        let v = b.var("counter", 0);
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                ],
+            );
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "no lost update");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sequential_run_is_correct() {
+        let p = racy_counter();
+        let mut e = Executor::new(&p);
+        assert_eq!(e.run_sequential(100), Outcome::Ok);
+        assert_eq!(e.vars(), &[2]);
+        assert_eq!(e.steps(), 4);
+    }
+
+    #[test]
+    fn interleaved_run_loses_update() {
+        let p = racy_counter();
+        let mut e = Executor::new(&p);
+        // a reads, b reads, a writes, b writes -> lost update.
+        let sched: Schedule = vec![t(0), t(1), t(0), t(1)].into();
+        let out = e.replay(&sched, 100);
+        assert!(matches!(out, Outcome::AssertFailed { thread: None, .. }));
+        assert_eq!(e.vars(), &[1]);
+    }
+
+    #[test]
+    fn step_rejects_disabled_thread() {
+        let p = racy_counter();
+        let mut e = Executor::new(&p);
+        e.run_sequential(100);
+        assert!(e.is_done());
+        assert_eq!(
+            e.step(t(0)).unwrap_err(),
+            ExecError::ThreadNotEnabled { thread: t(0) }
+        );
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        let mut b = ProgramBuilder::new("locked");
+        let v = b.var("counter", 0);
+        let m = b.mutex();
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::lock(m),
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                    Stmt::unlock(m),
+                ],
+            );
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "no lost update");
+        let p = b.build().unwrap();
+        // Adversarial: always prefer the *other* thread after each step.
+        let mut e = Executor::new(&p);
+        let out = e.run_with(100, |enabled| *enabled.last().unwrap());
+        assert_eq!(out, Outcome::Ok);
+        assert_eq!(e.vars(), &[2]);
+    }
+
+    #[test]
+    fn abba_deadlocks_under_the_right_schedule() {
+        let mut b = ProgramBuilder::new("abba");
+        let m1 = b.mutex();
+        let m2 = b.mutex();
+        b.thread("a", vec![Stmt::lock(m1), Stmt::lock(m2), Stmt::unlock(m2), Stmt::unlock(m1)]);
+        b.thread("b", vec![Stmt::lock(m2), Stmt::lock(m1), Stmt::unlock(m1), Stmt::unlock(m2)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let out = e.replay(&vec![t(0), t(1)].into(), 100);
+        match out {
+            Outcome::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 2);
+                assert_eq!(blocked[0], (t(0), BlockedOn::Mutex(m2)));
+                assert_eq!(blocked[1], (t(1), BlockedOn::Mutex(m1)));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn self_relock_deadlocks_with_one_thread() {
+        let mut b = ProgramBuilder::new("self");
+        let m = b.mutex();
+        b.thread("a", vec![Stmt::lock(m), Stmt::lock(m)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let out = e.run_sequential(100);
+        assert!(matches!(out, Outcome::Deadlock { ref blocked } if blocked.len() == 1));
+    }
+
+    #[test]
+    fn unlock_not_held_is_misuse() {
+        let mut b = ProgramBuilder::new("bad");
+        let m = b.mutex();
+        b.thread("a", vec![Stmt::unlock(m)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let out = e.run_sequential(100);
+        assert!(matches!(
+            out,
+            Outcome::Misuse {
+                error: ExecError::UnlockNotHeld { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn condvar_signal_wakes_waiter() {
+        let mut b = ProgramBuilder::new("cv");
+        let ready = b.var("ready", 0);
+        let m = b.mutex();
+        let c = b.cond();
+        b.thread(
+            "consumer",
+            vec![
+                Stmt::lock(m),
+                Stmt::read(ready, "r"),
+                Stmt::while_loop(
+                    Expr::local("r").eq(Expr::lit(0)),
+                    vec![Stmt::Wait { cond: c, mutex: m }, Stmt::read(ready, "r")],
+                ),
+                Stmt::unlock(m),
+                Stmt::assert(Expr::local("r").eq(Expr::lit(1)), "saw ready"),
+            ],
+        );
+        b.thread(
+            "producer",
+            vec![
+                Stmt::lock(m),
+                Stmt::write(ready, 1),
+                Stmt::Signal(c),
+                Stmt::unlock(m),
+            ],
+        );
+        let p = b.build().unwrap();
+        // Consumer first: must wait, then get signalled.
+        let mut e = Executor::new(&p);
+        let out = e.replay(&vec![t(0), t(0), t(0)].into(), 200);
+        assert_eq!(out, Outcome::Ok);
+        // Producer first: consumer sees ready==1 and never waits.
+        let mut e = Executor::new(&p);
+        let out = e.replay(&vec![t(1), t(1), t(1), t(1)].into(), 200);
+        assert_eq!(out, Outcome::Ok);
+    }
+
+    #[test]
+    fn missed_signal_deadlocks() {
+        // Signal before wait is lost; waiter then blocks forever.
+        let mut b = ProgramBuilder::new("missed");
+        let m = b.mutex();
+        let c = b.cond();
+        b.thread(
+            "waiter",
+            vec![Stmt::lock(m), Stmt::Wait { cond: c, mutex: m }, Stmt::unlock(m)],
+        );
+        b.thread("signaller", vec![Stmt::Signal(c)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        // Signaller runs first -> signal lost -> waiter deadlocks.
+        let out = e.replay(&vec![t(1), t(0), t(0)].into(), 100);
+        assert!(matches!(
+            out,
+            Outcome::Deadlock { ref blocked } if blocked == &vec![(t(0), BlockedOn::Cond(c))]
+        ));
+    }
+
+    #[test]
+    fn semaphore_blocks_and_wakes() {
+        let mut b = ProgramBuilder::new("sem");
+        let s = b.semaphore(0);
+        let v = b.var("x", 0);
+        b.thread("acq", vec![Stmt::SemAcquire(s), Stmt::read(v, "x"), Stmt::assert(Expr::local("x").eq(Expr::lit(1)), "after release")]);
+        b.thread("rel", vec![Stmt::write(v, 1), Stmt::SemRelease(s)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let out = e.run_with(100, |enabled| enabled[0]);
+        assert_eq!(out, Outcome::Ok);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let mut b = ProgramBuilder::new("spawn");
+        let v = b.var("x", 0);
+        let child = b.thread_deferred("child", vec![Stmt::write(v, 7)]);
+        b.thread(
+            "parent",
+            vec![
+                Stmt::Spawn(child),
+                Stmt::Join(child),
+                Stmt::read(v, "x"),
+                Stmt::assert(Expr::local("x").eq(Expr::lit(7)), "join ordered"),
+            ],
+        );
+        let p = b.build().unwrap();
+        for _ in 0..3 {
+            let mut e = Executor::new(&p);
+            let out = e.run_with(100, |enabled| *enabled.last().unwrap());
+            assert_eq!(out, Outcome::Ok);
+        }
+    }
+
+    #[test]
+    fn join_on_never_spawned_thread_deadlocks() {
+        let mut b = ProgramBuilder::new("orphan-join");
+        let v = b.var("x", 0);
+        let child = b.thread_deferred("child", vec![Stmt::write(v, 1)]);
+        b.thread("parent", vec![Stmt::Join(child)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let out = e.run_sequential(100);
+        assert!(matches!(
+            out,
+            Outcome::Deadlock { ref blocked } if blocked == &vec![(t(1), BlockedOn::Join(child))]
+        ));
+    }
+
+    #[test]
+    fn unspawned_thread_without_joiner_is_ok() {
+        let mut b = ProgramBuilder::new("orphan");
+        let v = b.var("x", 0);
+        let _child = b.thread_deferred("child", vec![Stmt::write(v, 1)]);
+        b.thread("parent", vec![Stmt::write(v, 2)]);
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "only parent ran");
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        assert_eq!(e.run_sequential(100), Outcome::Ok);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers_blocks_writer() {
+        let mut b = ProgramBuilder::new("rw");
+        let rw = b.rwlock();
+        let v = b.var("x", 0);
+        b.thread("r1", vec![Stmt::RwRead(rw), Stmt::read(v, "a"), Stmt::RwUnlock(rw)]);
+        b.thread("r2", vec![Stmt::RwRead(rw), Stmt::read(v, "a"), Stmt::RwUnlock(rw)]);
+        b.thread("w", vec![Stmt::RwWrite(rw), Stmt::write(v, 1), Stmt::RwUnlock(rw)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        // Both readers enter; writer must not be enabled.
+        e.step(t(0)).unwrap();
+        e.step(t(1)).unwrap();
+        assert!(!e.is_enabled(t(2)));
+        // Finish readers; writer proceeds.
+        let out = e.run_with(100, |en| en[0]);
+        assert_eq!(out, Outcome::Ok);
+    }
+
+    #[test]
+    fn rwlock_upgrade_self_deadlocks() {
+        let mut b = ProgramBuilder::new("upgrade");
+        let rw = b.rwlock();
+        b.thread("a", vec![Stmt::RwRead(rw), Stmt::RwWrite(rw), Stmt::RwUnlock(rw)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        assert!(matches!(e.run_sequential(100), Outcome::Deadlock { .. }));
+    }
+
+    #[test]
+    fn transaction_commits_serially() {
+        let mut b = ProgramBuilder::new("tx");
+        let v = b.var("x", 0);
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::TxBegin,
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                    Stmt::TxCommit,
+                ],
+            );
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "tx increments serialize");
+        let p = b.build().unwrap();
+        // Even a fully interleaved schedule serializes: one tx aborts and retries.
+        let mut e = Executor::new(&p);
+        let out = e.run_with(200, |enabled| *enabled.last().unwrap());
+        assert_eq!(out, Outcome::Ok);
+        assert_eq!(e.vars(), &[2]);
+    }
+
+    #[test]
+    fn transaction_abort_restores_locals() {
+        let mut b = ProgramBuilder::new("tx-abort");
+        let v = b.var("x", 0);
+        let marker = b.var("m", 0);
+        b.thread(
+            "tx",
+            vec![
+                Stmt::local("acc", 100),
+                Stmt::TxBegin,
+                Stmt::read(v, "tmp"),
+                Stmt::local("acc", Expr::local("acc") + Expr::lit(1)),
+                Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                Stmt::TxCommit,
+                Stmt::assert(Expr::local("acc").eq(Expr::lit(101)), "acc incremented exactly once"),
+            ],
+        );
+        b.thread("other", vec![Stmt::write(v, 50), Stmt::write(marker, 1)]);
+        let p = b.build().unwrap();
+        // Interleave so the tx reads, the other thread writes, then commit
+        // fails and retries.
+        let mut e = Executor::new(&p);
+        let sched: Schedule = vec![t(0), t(0), t(1), t(1), t(0)].into();
+        let out = e.replay(&sched, 200);
+        assert_eq!(out, Outcome::Ok);
+        assert_eq!(e.vars()[0], 51);
+    }
+
+    #[test]
+    fn io_journal_records_order() {
+        let mut b = ProgramBuilder::new("io");
+        b.thread("a", vec![Stmt::io("write-log-a")]);
+        b.thread("b", vec![Stmt::io("write-log-b")]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.replay(&vec![t(1), t(0)].into(), 100);
+        assert_eq!(e.io_journal(), &[(t(1), "write-log-b"), (t(0), "write-log-a")]);
+    }
+
+    #[test]
+    fn trace_records_events_with_clocks() {
+        let p = racy_counter();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        e.run_sequential(100);
+        let trace = e.into_trace();
+        assert_eq!(trace.n_threads, 2);
+        // 2 ThreadStart + 4 accesses + 2 ThreadExit
+        assert_eq!(trace.len(), 8);
+        assert_eq!(trace.accesses().count(), 4);
+        let evs: Vec<_> = trace.accesses().collect();
+        // Same-thread accesses are HB-ordered…
+        assert!(evs[0].clock.le(&evs[1].clock));
+        // …but cross-thread accesses without synchronization are
+        // concurrent even under a sequential schedule.
+        assert!(evs[0].clock.concurrent_with(&evs[3].clock));
+    }
+
+    #[test]
+    fn concurrent_accesses_have_concurrent_clocks() {
+        let p = racy_counter();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        // Interleave reads: a-read, b-read are concurrent.
+        e.replay(&vec![t(0), t(1), t(0), t(1)].into(), 100);
+        let trace = e.into_trace();
+        let reads: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Read { .. }))
+            .collect();
+        assert_eq!(reads.len(), 2);
+        assert!(reads[0].clock.concurrent_with(&reads[1].clock));
+    }
+
+    #[test]
+    fn lock_induces_happens_before() {
+        let mut b = ProgramBuilder::new("hb");
+        let v = b.var("x", 0);
+        let m = b.mutex();
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::lock(m),
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                    Stmt::unlock(m),
+                ],
+            );
+        }
+        let p = b.build().unwrap();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        e.run_sequential(100);
+        let trace = e.into_trace();
+        let accesses: Vec<_> = trace.accesses().collect();
+        assert_eq!(accesses.len(), 4);
+        for w in accesses.windows(2) {
+            assert!(
+                w[0].clock.le(&w[1].clock),
+                "lock-ordered accesses must be HB-ordered"
+            );
+        }
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let mut b = ProgramBuilder::new("spin");
+        let v = b.var("flag", 0);
+        b.thread(
+            "spinner",
+            vec![
+                Stmt::read(v, "f"),
+                Stmt::while_loop(
+                    Expr::local("f").eq(Expr::lit(0)),
+                    vec![Stmt::read(v, "f")],
+                ),
+            ],
+        );
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        assert_eq!(e.run_sequential(50), Outcome::StepLimit);
+    }
+
+    #[test]
+    fn schedule_taken_is_replayable() {
+        let p = racy_counter();
+        let mut e1 = Executor::new(&p);
+        e1.run_with(100, |enabled| *enabled.last().unwrap());
+        let sched = e1.schedule_taken().clone();
+        let mut e2 = Executor::new(&p);
+        let out2 = e2.replay(&sched, 100);
+        assert_eq!(Some(&out2), e1.outcome());
+        assert_eq!(e1.vars(), e2.vars());
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    #[test]
+    fn fetch_max_and_min_semantics() {
+        let mut b = ProgramBuilder::new("minmax");
+        let v = b.var("x", 5);
+        b.thread(
+            "t",
+            vec![
+                Stmt::Rmw {
+                    var: v,
+                    op: RmwOp::FetchMax,
+                    operand: Expr::lit(9),
+                    into: Some("old1"),
+                },
+                Stmt::Rmw {
+                    var: v,
+                    op: RmwOp::FetchMin,
+                    operand: Expr::lit(2),
+                    into: Some("old2"),
+                },
+                Stmt::assert(Expr::local("old1").eq(Expr::lit(5)), "max returned old"),
+                Stmt::assert(Expr::local("old2").eq(Expr::lit(9)), "min returned old"),
+            ],
+        );
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "min applied last");
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        assert_eq!(e.run_sequential(100), Outcome::Ok);
+    }
+
+    #[test]
+    fn cas_failure_reports_observed_value() {
+        let mut b = ProgramBuilder::new("cas-observe");
+        let v = b.var("x", 7);
+        b.thread(
+            "t",
+            vec![
+                Stmt::Cas {
+                    var: v,
+                    expected: Expr::lit(3),
+                    new: Expr::lit(9),
+                    into: "ok",
+                    observed_into: Some("seen"),
+                },
+                Stmt::assert(Expr::local("ok").eq(Expr::lit(0)), "cas failed"),
+                Stmt::assert(Expr::local("seen").eq(Expr::lit(7)), "observed current"),
+            ],
+        );
+        b.final_assert(Expr::shared(v).eq(Expr::lit(7)), "value untouched");
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        assert_eq!(e.run_sequential(100), Outcome::Ok);
+    }
+
+    #[test]
+    fn broadcast_wakes_all_waiters() {
+        let mut b = ProgramBuilder::new("broadcast");
+        let ready = b.var("ready", 0);
+        let done = b.var("done", 0);
+        let m = b.mutex();
+        let c = b.cond();
+        for name in ["w1", "w2"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::lock(m),
+                    Stmt::read(ready, "r"),
+                    Stmt::while_loop(
+                        Expr::local("r").eq(Expr::lit(0)),
+                        vec![Stmt::Wait { cond: c, mutex: m }, Stmt::read(ready, "r")],
+                    ),
+                    Stmt::unlock(m),
+                    Stmt::fetch_add(done, 1),
+                ],
+            );
+        }
+        b.thread(
+            "broadcaster",
+            vec![
+                Stmt::lock(m),
+                Stmt::write(ready, 1),
+                Stmt::Broadcast(c),
+                Stmt::unlock(m),
+            ],
+        );
+        b.final_assert(Expr::shared(done).eq(Expr::lit(2)), "both waiters woke");
+        let p = b.build().unwrap();
+        // Force both waiters to actually park before the broadcast.
+        let mut e = Executor::new(&p);
+        let out = e.replay(&vec![t(0), t(0), t(1), t(1), t(2)].into(), 500);
+        assert_eq!(out, Outcome::Ok);
+    }
+
+    #[test]
+    fn trylock_failure_leaves_mutex_and_locals_consistent() {
+        let mut b = ProgramBuilder::new("trylock");
+        let m = b.mutex();
+        let v = b.var("who", 0);
+        b.thread(
+            "holder",
+            vec![Stmt::lock(m), Stmt::write(v, 1), Stmt::Yield, Stmt::unlock(m)],
+        );
+        b.thread(
+            "taker",
+            vec![
+                Stmt::TryLock { mutex: m, into: "got" },
+                Stmt::if_then(
+                    Expr::local("got").ne(Expr::lit(0)),
+                    vec![Stmt::write(v, 2), Stmt::unlock(m)],
+                ),
+            ],
+        );
+        let p = b.build().unwrap();
+        // holder locks; taker try_lock fails; holder finishes.
+        let mut e = Executor::new(&p);
+        let out = e.replay(&vec![t(0), t(1), t(0), t(0), t(0)].into(), 100);
+        assert_eq!(out, Outcome::Ok);
+        assert_eq!(e.vars(), &[1]);
+    }
+
+    #[test]
+    fn wait_without_mutex_is_misuse() {
+        let mut b = ProgramBuilder::new("bad-wait");
+        let m = b.mutex();
+        let c = b.cond();
+        b.thread("t", vec![Stmt::Wait { cond: c, mutex: m }]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let out = e.run_sequential(100);
+        assert!(matches!(
+            out,
+            Outcome::Misuse {
+                error: ExecError::WaitWithoutMutex { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rw_unlock_not_held_is_misuse() {
+        let mut b = ProgramBuilder::new("bad-rw");
+        let rw = b.rwlock();
+        b.thread("t", vec![Stmt::RwUnlock(rw)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        assert!(matches!(
+            e.run_sequential(100),
+            Outcome::Misuse {
+                error: ExecError::RwUnlockNotHeld { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn double_spawn_is_misuse() {
+        let mut b = ProgramBuilder::new("double-spawn");
+        let v = b.var("x", 0);
+        let child = b.thread_deferred("child", vec![Stmt::write(v, 1)]);
+        b.thread("parent", vec![Stmt::Spawn(child), Stmt::Spawn(child)]);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        // Run the parent only: spawn, then spawn again.
+        let out = e.replay(&vec![t(1), t(1)].into(), 100);
+        assert!(matches!(
+            out,
+            Outcome::Misuse {
+                error: ExecError::DoubleSpawn { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn local_infinite_loop_exhausts_fuel() {
+        let mut b = ProgramBuilder::new("spin-local");
+        let v = b.var("x", 0);
+        b.thread(
+            "t",
+            vec![
+                Stmt::read(v, "stop"),
+                // Pure-local infinite loop: no visible op inside.
+                Stmt::while_loop(Expr::lit(1), vec![Stmt::local("i", Expr::local("i") + Expr::lit(1))]),
+            ],
+        );
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let out = e.run_sequential(100);
+        assert!(matches!(
+            out,
+            Outcome::Misuse {
+                error: ExecError::LocalFuelExhausted,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tx_retry_limit_is_reported() {
+        let mut b = ProgramBuilder::new("retry-forever");
+        let v = b.var("never", 0);
+        b.thread(
+            "t",
+            vec![
+                Stmt::TxBegin,
+                Stmt::read(v, "n"),
+                Stmt::if_then(Expr::local("n").eq(Expr::lit(0)), vec![Stmt::TxRetry]),
+                Stmt::TxCommit,
+            ],
+        );
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let out = e.run_sequential(10_000);
+        assert!(matches!(out, Outcome::TxRetryLimit { .. }), "{out}");
+    }
+}

@@ -1,0 +1,396 @@
+//! Exhaustive (optionally context-bounded) interleaving exploration.
+//!
+//! [`Explorer`] performs an iterative depth-first search over scheduling
+//! choices, snapshotting the [`Executor`] at every branch point. Along
+//! stretches where only one thread is enabled it advances without cloning.
+//! This is the engine behind the study's "small-scope" manifestation
+//! experiments: the finding that 92% of non-deadlock bugs deterministically
+//! manifest once a specific order among at most four memory accesses is
+//! enforced means exhaustive search at these tiny scopes is tractable.
+
+use crate::exec::{Executor, RecordMode};
+use crate::ids::ThreadId;
+use crate::outcome::Outcome;
+use crate::program::Program;
+use crate::schedule::Schedule;
+use crate::trace::Trace;
+
+/// Resource bounds for an exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreLimits {
+    /// Maximum visible operations per execution before classifying it
+    /// [`Outcome::StepLimit`].
+    pub max_steps: usize,
+    /// Maximum number of complete schedules to run; exploration reports
+    /// `truncated = true` when the bound is hit.
+    pub max_schedules: u64,
+    /// CHESS-style preemption bound: maximum number of *preemptive*
+    /// context switches (switching away from a still-enabled thread).
+    /// `None` explores all interleavings.
+    pub max_preemptions: Option<u32>,
+    /// Stop at the first failing outcome instead of exhausting the space.
+    pub stop_on_first_failure: bool,
+    /// Deduplicate branch states by [`Executor::state_key`]: branches
+    /// whose state was already expanded are skipped. Collapses the
+    /// retry-loop blowup of transactional programs; slightly approximate
+    /// with preemption bounds (a state is only expanded with the first
+    /// preemption budget it was reached at).
+    pub dedup_states: bool,
+    /// Sleep-set partial-order reduction (Godefroid): skip sibling
+    /// choices whose operations commute with everything explored since —
+    /// every Mazurkiewicz trace class is still visited once, so outcome
+    /// *kinds* and reachable final states are preserved while the
+    /// schedule count drops sharply. Intended for unbounded exploration;
+    /// combining with a preemption bound may prune interleavings the
+    /// bound alone would have kept.
+    pub sleep_sets: bool,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> ExploreLimits {
+        ExploreLimits {
+            max_steps: 5_000,
+            max_schedules: 250_000,
+            max_preemptions: None,
+            stop_on_first_failure: false,
+            dedup_states: false,
+            sleep_sets: false,
+        }
+    }
+}
+
+/// Histogram of terminal outcomes over an exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Executions that finished with every assertion holding.
+    pub ok: u64,
+    /// Executions that failed an assertion.
+    pub assert_failed: u64,
+    /// Executions that deadlocked.
+    pub deadlock: u64,
+    /// Executions cut off by the step budget.
+    pub step_limit: u64,
+    /// Executions cut off by the transaction retry budget.
+    pub tx_retry_limit: u64,
+    /// Executions that crashed on a synchronization misuse.
+    pub misuse: u64,
+}
+
+impl OutcomeCounts {
+    /// Total executions classified.
+    pub fn total(&self) -> u64 {
+        self.ok + self.assert_failed + self.deadlock + self.step_limit + self.tx_retry_limit
+            + self.misuse
+    }
+
+    /// Executions that manifested a bug (assert / deadlock / misuse).
+    pub fn failures(&self) -> u64 {
+        self.assert_failed + self.deadlock + self.misuse
+    }
+
+    fn add(&mut self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Ok => self.ok += 1,
+            Outcome::AssertFailed { .. } => self.assert_failed += 1,
+            Outcome::Deadlock { .. } => self.deadlock += 1,
+            Outcome::StepLimit => self.step_limit += 1,
+            Outcome::TxRetryLimit { .. } => self.tx_retry_limit += 1,
+            Outcome::Misuse { .. } => self.misuse += 1,
+        }
+    }
+}
+
+/// Result of [`Explorer::run`].
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Outcome histogram.
+    pub counts: OutcomeCounts,
+    /// Number of complete schedules executed.
+    pub schedules_run: u64,
+    /// Total visible steps across all executions.
+    pub steps_total: u64,
+    /// `true` when `max_schedules` cut the search short.
+    pub truncated: bool,
+    /// A witness for the first failure found, with its outcome.
+    pub first_failure: Option<(Schedule, Outcome)>,
+    /// A witness for the first clean execution found.
+    pub first_ok: Option<Schedule>,
+    /// Branches skipped by state deduplication.
+    pub states_deduped: u64,
+    /// Sibling choices skipped by the sleep-set reduction.
+    pub sleep_pruned: u64,
+}
+
+impl ExploreReport {
+    /// `true` when at least one interleaving manifested a bug.
+    pub fn found_failure(&self) -> bool {
+        self.first_failure.is_some()
+    }
+
+    /// `true` when the space was exhausted with no failure — i.e. the
+    /// program is correct within the explored bounds.
+    pub fn proved_ok(&self) -> bool {
+        !self.truncated && self.counts.failures() == 0 && self.counts.step_limit == 0
+    }
+}
+
+/// Depth-first interleaving explorer over a [`Program`].
+#[derive(Debug)]
+pub struct Explorer<'p> {
+    program: &'p Program,
+    limits: ExploreLimits,
+    record: RecordMode,
+}
+
+impl<'p> Explorer<'p> {
+    /// Creates an explorer with default limits.
+    pub fn new(program: &'p Program) -> Explorer<'p> {
+        Explorer {
+            program,
+            limits: ExploreLimits::default(),
+            record: RecordMode::Off,
+        }
+    }
+
+    /// Records every execution's events so `run_with_callback` observers
+    /// can read [`Executor::events`] (e.g. for coverage measurement).
+    /// Slows exploration; off by default.
+    pub fn record_events(mut self) -> Explorer<'p> {
+        self.record = RecordMode::Full;
+        self
+    }
+
+    /// Replaces the resource bounds.
+    pub fn limits(mut self, limits: ExploreLimits) -> Explorer<'p> {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets a CHESS-style preemption bound.
+    pub fn preemption_bound(mut self, bound: u32) -> Explorer<'p> {
+        self.limits.max_preemptions = Some(bound);
+        self
+    }
+
+    /// Stops at the first failure.
+    pub fn stop_on_first_failure(mut self) -> Explorer<'p> {
+        self.limits.stop_on_first_failure = true;
+        self
+    }
+
+    /// Enables state deduplication (see [`ExploreLimits::dedup_states`]).
+    pub fn dedup_states(mut self) -> Explorer<'p> {
+        self.limits.dedup_states = true;
+        self
+    }
+
+    /// Enables the sleep-set partial-order reduction
+    /// (see [`ExploreLimits::sleep_sets`]).
+    pub fn sleep_sets(mut self) -> Explorer<'p> {
+        self.limits.sleep_sets = true;
+        self
+    }
+
+    /// Runs the exploration.
+    pub fn run(&self) -> ExploreReport {
+        self.run_with_callback(|_, _| {})
+    }
+
+    /// Runs the exploration, invoking `on_terminal` with the executor and
+    /// outcome of every terminal state (before it is discarded).
+    pub fn run_with_callback(
+        &self,
+        mut on_terminal: impl FnMut(&Executor, &Outcome),
+    ) -> ExploreReport {
+        struct Branch {
+            exec: Executor,
+            enabled: Vec<ThreadId>,
+            next: usize,
+            preemptions: u32,
+            /// Sleep set: threads whose next op is covered by an already
+            /// explored sibling subtree.
+            sleep: Vec<ThreadId>,
+        }
+
+        let mut report = ExploreReport {
+            counts: OutcomeCounts::default(),
+            schedules_run: 0,
+            steps_total: 0,
+            truncated: false,
+            first_failure: None,
+            first_ok: None,
+            states_deduped: 0,
+            sleep_pruned: 0,
+        };
+        let mut seen_states: std::collections::HashSet<u64> = std::collections::HashSet::new();
+
+        let root = Executor::with_record(self.program, self.record);
+        let mut stack = Vec::new();
+        if let Some(outcome) = root.outcome().cloned() {
+            // Program terminates without any scheduling choice.
+            self.classify(&mut report, &root, &outcome, &mut on_terminal);
+            return report;
+        }
+        if self.limits.dedup_states {
+            seen_states.insert(root.state_key());
+        }
+        let enabled = root.enabled();
+        stack.push(Branch {
+            exec: root,
+            enabled,
+            next: 0,
+            preemptions: 0,
+            sleep: Vec::new(),
+        });
+
+        while let Some(top) = stack.last_mut() {
+            if report.schedules_run >= self.limits.max_schedules {
+                report.truncated = true;
+                break;
+            }
+            if top.next >= top.enabled.len() {
+                stack.pop();
+                continue;
+            }
+            let choice = top.enabled[top.next];
+            top.next += 1;
+            if self.limits.sleep_sets && top.sleep.contains(&choice) {
+                report.sleep_pruned += 1;
+                continue;
+            }
+
+            // Preemption accounting: switching away from a thread that is
+            // still enabled counts against the bound.
+            let mut preemptions = top.preemptions;
+            if let Some(bound) = self.limits.max_preemptions {
+                let last = top.exec.schedule_taken().choices().last().copied();
+                if let Some(last) = last {
+                    if last != choice && top.enabled.contains(&last) {
+                        preemptions += 1;
+                        if preemptions > bound {
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // Sleep propagation: a sleeping sibling stays asleep in the
+            // child iff its pending op commutes with the chosen one.
+            let mut child_sleep: Vec<ThreadId> = Vec::new();
+            if self.limits.sleep_sets {
+                let choice_fp = top.exec.next_footprint(choice);
+                for &s in &top.sleep {
+                    let keep = match (&choice_fp, top.exec.next_footprint(s)) {
+                        (Some(a), Some(b)) => a.independent(&b),
+                        _ => false,
+                    };
+                    if keep {
+                        child_sleep.push(s);
+                    }
+                }
+                // Siblings after this one must not redo this choice's
+                // equivalence class.
+                top.sleep.push(choice);
+            }
+
+            let mut child = top.exec.clone();
+            child
+                .step(choice)
+                .expect("explorer only chooses enabled threads");
+
+            // Run forward while there is no real choice to make, then
+            // either classify the terminal state or push a new branch.
+            enum Next {
+                Terminal(Executor, Outcome),
+                Branch(Executor, Vec<ThreadId>),
+                /// The whole subtree is covered by explored siblings.
+                Redundant,
+            }
+            let next = loop {
+                if let Some(outcome) = child.outcome().cloned() {
+                    break Next::Terminal(child, outcome);
+                }
+                if child.steps() >= self.limits.max_steps {
+                    break Next::Terminal(child, Outcome::StepLimit);
+                }
+                let enabled = child.enabled();
+                if self.limits.sleep_sets {
+                    child_sleep.retain(|t| enabled.contains(t));
+                    if !enabled.is_empty()
+                        && enabled.iter().all(|t| child_sleep.contains(t))
+                    {
+                        break Next::Redundant;
+                    }
+                }
+                if enabled.len() == 1 {
+                    if self.limits.sleep_sets && !child_sleep.is_empty() {
+                        // Wake sleepers whose op conflicts with the forced
+                        // step we are about to take.
+                        let fp = child.next_footprint(enabled[0]);
+                        child_sleep.retain(|&t| {
+                            match (&fp, child.next_footprint(t)) {
+                                (Some(a), Some(b)) => a.independent(&b),
+                                _ => false,
+                            }
+                        });
+                    }
+                    child.step(enabled[0]).expect("sole enabled thread");
+                } else {
+                    break Next::Branch(child, enabled);
+                }
+            };
+            match next {
+                Next::Terminal(exec, outcome) => {
+                    self.classify(&mut report, &exec, &outcome, &mut on_terminal);
+                    if self.limits.stop_on_first_failure && report.first_failure.is_some() {
+                        break;
+                    }
+                }
+                Next::Branch(exec, enabled) => {
+                    if self.limits.dedup_states && !seen_states.insert(exec.state_key()) {
+                        report.states_deduped += 1;
+                        continue;
+                    }
+                    stack.push(Branch {
+                        exec,
+                        enabled,
+                        next: 0,
+                        preemptions,
+                        sleep: child_sleep,
+                    });
+                }
+                Next::Redundant => {
+                    report.sleep_pruned += 1;
+                }
+            }
+        }
+
+        report
+    }
+
+    fn classify(
+        &self,
+        report: &mut ExploreReport,
+        exec: &Executor,
+        outcome: &Outcome,
+        on_terminal: &mut impl FnMut(&Executor, &Outcome),
+    ) {
+        report.schedules_run += 1;
+        report.steps_total += exec.steps() as u64;
+        report.counts.add(outcome);
+        if outcome.is_failure() && report.first_failure.is_none() {
+            report.first_failure = Some((exec.schedule_taken().clone(), outcome.clone()));
+        }
+        if outcome.is_ok() && report.first_ok.is_none() {
+            report.first_ok = Some(exec.schedule_taken().clone());
+        }
+        on_terminal(exec, outcome);
+    }
+}
+
+/// Re-executes one schedule with full recording and returns its trace.
+pub fn trace_of(program: &Program, schedule: &Schedule, max_steps: usize) -> (Trace, Outcome) {
+    let mut exec = Executor::with_record(program, RecordMode::Full);
+    let outcome = exec.replay(schedule, max_steps);
+    (exec.into_trace(), outcome)
+}

@@ -1,0 +1,171 @@
+//! Operation footprints and the (in)dependence relation used by the
+//! explorer's sleep-set partial-order reduction.
+//!
+//! Two visible operations are *independent* when they commute: executing
+//! them in either order from any state yields the same state. We compute
+//! a conservative over-approximation of dependence from the objects an
+//! operation may touch: ops are dependent iff their footprints share an
+//! object and at least one of the two touches it in write mode. All
+//! synchronization operations are treated as writes on their object;
+//! I/O operations share a single journal object (their order is
+//! observable). Conservatism is sound: extra dependence only reduces
+//! pruning, never correctness.
+
+use crate::stmt::Stmt;
+
+/// Kinds of objects a footprint can mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ObjKind {
+    Var,
+    Mutex,
+    Cond,
+    Rw,
+    Sem,
+    Thread,
+    /// The global I/O journal (all I/O is mutually ordered).
+    Io,
+}
+
+/// One footprint entry: object + access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Access {
+    pub kind: ObjKind,
+    pub index: u32,
+    pub write: bool,
+}
+
+/// The set of objects a visible operation may touch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Footprint {
+    accesses: Vec<Access>,
+}
+
+impl Footprint {
+    fn push(&mut self, kind: ObjKind, index: usize, write: bool) {
+        self.accesses.push(Access {
+            kind,
+            index: index as u32,
+            write,
+        });
+    }
+
+    /// Footprint of a visible statement. `in_tx` marks transactional
+    /// context (buffered writes still conservatively count as writes).
+    pub fn of_stmt(stmt: &Stmt, tx_touched: &[crate::ids::VarId]) -> Footprint {
+        let mut fp = Footprint::default();
+        match stmt {
+            Stmt::Read { var, .. } => fp.push(ObjKind::Var, var.index(), false),
+            Stmt::Write { var, .. } => fp.push(ObjKind::Var, var.index(), true),
+            Stmt::Rmw { var, .. } | Stmt::Cas { var, .. } => {
+                fp.push(ObjKind::Var, var.index(), true)
+            }
+            Stmt::Lock(m) | Stmt::Unlock(m) => fp.push(ObjKind::Mutex, m.index(), true),
+            Stmt::TryLock { mutex, .. } => fp.push(ObjKind::Mutex, mutex.index(), true),
+            Stmt::RwRead(rw) => fp.push(ObjKind::Rw, rw.index(), false),
+            Stmt::RwWrite(rw) | Stmt::RwUnlock(rw) => fp.push(ObjKind::Rw, rw.index(), true),
+            Stmt::Wait { cond, mutex } => {
+                fp.push(ObjKind::Cond, cond.index(), true);
+                fp.push(ObjKind::Mutex, mutex.index(), true);
+            }
+            Stmt::Signal(c) | Stmt::Broadcast(c) => fp.push(ObjKind::Cond, c.index(), true),
+            Stmt::SemAcquire(s) | Stmt::SemRelease(s) => fp.push(ObjKind::Sem, s.index(), true),
+            Stmt::Spawn(t) | Stmt::Join(t) => fp.push(ObjKind::Thread, t.index(), true),
+            Stmt::Io { .. } => fp.push(ObjKind::Io, 0, true),
+            Stmt::TxBegin | Stmt::TxRetry | Stmt::Yield | Stmt::Assert { .. } => {}
+            Stmt::TxCommit => {
+                // Commit validates the read set and publishes the write
+                // set; conservatively a write on every touched variable.
+                for var in tx_touched {
+                    fp.push(ObjKind::Var, var.index(), true);
+                }
+            }
+            Stmt::LocalSet { .. } | Stmt::If { .. } | Stmt::While { .. } => {
+                unreachable!("local statements are never visible ops")
+            }
+        }
+        fp
+    }
+
+    /// Footprint of a condvar-wakeup mutex re-acquisition.
+    pub fn of_reacquire(mutex: crate::ids::MutexId) -> Footprint {
+        let mut fp = Footprint::default();
+        fp.push(ObjKind::Mutex, mutex.index(), true);
+        fp
+    }
+
+    /// `true` when the two footprints commute (no shared object with a
+    /// write on either side).
+    pub fn independent(&self, other: &Footprint) -> bool {
+        for a in &self.accesses {
+            for b in &other.accesses {
+                if a.kind == b.kind && a.index == b.index && (a.write || b.write) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MutexId, VarId};
+    use crate::stmt::Stmt;
+
+    fn fp(s: &Stmt) -> Footprint {
+        Footprint::of_stmt(s, &[])
+    }
+
+    #[test]
+    fn reads_commute_writes_do_not() {
+        let v = VarId::from_index(0);
+        let r = fp(&Stmt::read(v, "x"));
+        let w = fp(&Stmt::write(v, 1));
+        assert!(r.independent(&r));
+        assert!(!r.independent(&w));
+        assert!(!w.independent(&w));
+    }
+
+    #[test]
+    fn disjoint_vars_commute() {
+        let a = fp(&Stmt::write(VarId::from_index(0), 1));
+        let b = fp(&Stmt::write(VarId::from_index(1), 1));
+        assert!(a.independent(&b));
+    }
+
+    #[test]
+    fn lock_ops_on_same_mutex_conflict() {
+        let m = MutexId::from_index(0);
+        let l = fp(&Stmt::lock(m));
+        let u = fp(&Stmt::unlock(m));
+        assert!(!l.independent(&u));
+        let other = fp(&Stmt::lock(MutexId::from_index(1)));
+        assert!(l.independent(&other));
+    }
+
+    #[test]
+    fn io_is_globally_ordered() {
+        let a = fp(&Stmt::io("a"));
+        let b = fp(&Stmt::io("b"));
+        assert!(!a.independent(&b));
+    }
+
+    #[test]
+    fn yields_and_asserts_commute_with_everything() {
+        let y = fp(&Stmt::Yield);
+        let w = fp(&Stmt::write(VarId::from_index(0), 1));
+        assert!(y.independent(&w));
+        assert!(y.independent(&y));
+    }
+
+    #[test]
+    fn commit_footprint_covers_touched_vars() {
+        let touched = [VarId::from_index(0), VarId::from_index(2)];
+        let commit = Footprint::of_stmt(&Stmt::TxCommit, &touched);
+        let w0 = fp(&Stmt::write(VarId::from_index(0), 1));
+        let w1 = fp(&Stmt::write(VarId::from_index(1), 1));
+        assert!(!commit.independent(&w0));
+        assert!(commit.independent(&w1));
+    }
+}

@@ -1,0 +1,234 @@
+//! Probabilistic schedulers: seeded random walks and PCT.
+//!
+//! The study's manifestation findings motivate *testing implications*:
+//! naive stress testing (random scheduling) rarely hits the narrow buggy
+//! windows, while bounded systematic or priority-based (PCT) scheduling
+//! finds them quickly. These schedulers make that comparison measurable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::exec::{Executor, RecordMode};
+use crate::explore::OutcomeCounts;
+use crate::ids::ThreadId;
+use crate::outcome::Outcome;
+use crate::program::Program;
+use crate::schedule::Schedule;
+use crate::trace::Trace;
+
+/// Report of a batch of randomized executions.
+#[derive(Debug, Clone)]
+pub struct RandomWalkReport {
+    /// Outcome histogram over the trials.
+    pub counts: OutcomeCounts,
+    /// Number of trials run.
+    pub trials: u64,
+    /// Witness of the first failure, if any.
+    pub first_failure: Option<(Schedule, Outcome)>,
+}
+
+impl RandomWalkReport {
+    /// Fraction of trials that manifested a bug.
+    pub fn failure_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.counts.failures() as f64 / self.trials as f64
+        }
+    }
+}
+
+fn run_trials(
+    program: &Program,
+    trials: u64,
+    max_steps: usize,
+    mut pick: impl FnMut(u64, &Executor, &[ThreadId]) -> ThreadId,
+) -> RandomWalkReport {
+    let mut counts = OutcomeCounts::default();
+    let mut first_failure = None;
+    for trial in 0..trials {
+        let mut exec = Executor::new(program);
+        let outcome = loop {
+            if let Some(o) = exec.outcome().cloned() {
+                break o;
+            }
+            if exec.steps() >= max_steps {
+                break Outcome::StepLimit;
+            }
+            let enabled = exec.enabled();
+            let choice = pick(trial, &exec, &enabled);
+            exec.step(choice).expect("picker chose an enabled thread");
+        };
+        match &outcome {
+            Outcome::Ok => counts.ok += 1,
+            Outcome::AssertFailed { .. } => counts.assert_failed += 1,
+            Outcome::Deadlock { .. } => counts.deadlock += 1,
+            Outcome::StepLimit => counts.step_limit += 1,
+            Outcome::TxRetryLimit { .. } => counts.tx_retry_limit += 1,
+            Outcome::Misuse { .. } => counts.misuse += 1,
+        }
+        if outcome.is_failure() && first_failure.is_none() {
+            first_failure = Some((exec.schedule_taken().clone(), outcome));
+        }
+    }
+    RandomWalkReport {
+        counts,
+        trials,
+        first_failure,
+    }
+}
+
+/// Uniform random scheduling (naive stress testing).
+#[derive(Debug, Clone)]
+pub struct RandomWalker<'p> {
+    program: &'p Program,
+    seed: u64,
+    max_steps: usize,
+}
+
+impl<'p> RandomWalker<'p> {
+    /// Creates a walker with the given seed.
+    pub fn new(program: &'p Program, seed: u64) -> RandomWalker<'p> {
+        RandomWalker {
+            program,
+            seed,
+            max_steps: 5_000,
+        }
+    }
+
+    /// Replaces the per-execution step budget.
+    pub fn max_steps(mut self, max_steps: usize) -> RandomWalker<'p> {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs `trials` independent random-schedule executions.
+    pub fn run_trials(&self, trials: u64) -> RandomWalkReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        run_trials(self.program, trials, self.max_steps, move |_, _, enabled| {
+            enabled[rng.gen_range(0..enabled.len())]
+        })
+    }
+
+    /// Runs `trials` executions with full recording, returning each trace
+    /// with its outcome — the input sampler for the dynamic detectors.
+    pub fn collect_traces(&self, trials: u64) -> Vec<(Trace, Outcome)> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(trials as usize);
+        for _ in 0..trials {
+            let mut exec = Executor::with_record(self.program, RecordMode::Full);
+            let outcome = loop {
+                if let Some(o) = exec.outcome().cloned() {
+                    break o;
+                }
+                if exec.steps() >= self.max_steps {
+                    break Outcome::StepLimit;
+                }
+                let enabled = exec.enabled();
+                let choice = enabled[rng.gen_range(0..enabled.len())];
+                exec.step(choice).expect("chosen thread is enabled");
+            };
+            out.push((exec.into_trace(), outcome));
+        }
+        out
+    }
+}
+
+/// PCT (probabilistic concurrency testing): random thread priorities with
+/// `depth - 1` random priority-change points. Finds depth-`d` bugs with
+/// probability ≥ 1/(n·k^(d-1)).
+#[derive(Debug, Clone)]
+pub struct PctScheduler<'p> {
+    program: &'p Program,
+    seed: u64,
+    depth: u32,
+    max_steps: usize,
+}
+
+impl<'p> PctScheduler<'p> {
+    /// Creates a PCT scheduler targeting bugs of the given depth (the
+    /// number of ordering constraints needed; the study's Finding says
+    /// depth ≤ 4 covers 92% of non-deadlock bugs).
+    pub fn new(program: &'p Program, seed: u64, depth: u32) -> PctScheduler<'p> {
+        PctScheduler {
+            program,
+            seed,
+            depth: depth.max(1),
+            max_steps: 5_000,
+        }
+    }
+
+    /// Replaces the per-execution step budget.
+    pub fn max_steps(mut self, max_steps: usize) -> PctScheduler<'p> {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs `trials` PCT executions.
+    pub fn run_trials(&self, trials: u64) -> RandomWalkReport {
+        let n = self.program.n_threads();
+        // Change points are sampled over the *expected* execution length
+        // (PCT's `k`), approximated by the static visible-op count; using
+        // `max_steps` would make change points almost never fire on short
+        // kernels.
+        let k_steps = self.program.static_visible_ops().max(2);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut counts = OutcomeCounts::default();
+        let mut first_failure = None;
+        for _ in 0..trials {
+            // Random initial priorities: a random permutation, higher is
+            // more urgent. Change points drop the running thread to the
+            // lowest band.
+            let mut priorities: Vec<i64> = (0..n as i64).map(|i| i + (self.depth as i64)).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                priorities.swap(i, j);
+            }
+            let mut change_points: Vec<usize> = (0..self.depth.saturating_sub(1))
+                .map(|_| rng.gen_range(0..k_steps))
+                .collect();
+            change_points.sort_unstable();
+            let mut next_change = 0usize;
+            let mut low_band = 0i64;
+
+            let mut exec = Executor::new(self.program);
+            let outcome = loop {
+                if let Some(o) = exec.outcome().cloned() {
+                    break o;
+                }
+                if exec.steps() >= self.max_steps {
+                    break Outcome::StepLimit;
+                }
+                let enabled = exec.enabled();
+                let choice = *enabled
+                    .iter()
+                    .max_by_key(|t| priorities[t.index()])
+                    .expect("enabled set non-empty");
+                if next_change < change_points.len()
+                    && exec.steps() >= change_points[next_change]
+                {
+                    low_band -= 1;
+                    priorities[choice.index()] = low_band;
+                    next_change += 1;
+                }
+                exec.step(choice).expect("chosen thread is enabled");
+            };
+            match &outcome {
+                Outcome::Ok => counts.ok += 1,
+                Outcome::AssertFailed { .. } => counts.assert_failed += 1,
+                Outcome::Deadlock { .. } => counts.deadlock += 1,
+                Outcome::StepLimit => counts.step_limit += 1,
+                Outcome::TxRetryLimit { .. } => counts.tx_retry_limit += 1,
+                Outcome::Misuse { .. } => counts.misuse += 1,
+            }
+            if outcome.is_failure() && first_failure.is_none() {
+                first_failure = Some((exec.schedule_taken().clone(), outcome));
+            }
+        }
+        RandomWalkReport {
+            counts,
+            trials,
+            first_failure,
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Schedules: recorded sequences of scheduling choices.
+
+use std::fmt;
+
+use crate::ids::ThreadId;
+
+/// A deterministic schedule — the sequence of threads chosen at each
+/// scheduling point. Replaying a schedule against the same
+/// [`crate::Program`] reproduces the execution exactly; this is how the
+/// explorer reports a *witness interleaving* for each bug manifestation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Schedule(Vec<ThreadId>);
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Schedule {
+        Schedule(Vec::new())
+    }
+
+    /// Appends a choice.
+    pub fn push(&mut self, thread: ThreadId) {
+        self.0.push(thread);
+    }
+
+    /// Number of choices recorded.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when no choices have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The recorded choices.
+    pub fn choices(&self) -> &[ThreadId] {
+        &self.0
+    }
+
+    /// Iterates over the recorded choices.
+    pub fn iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Number of *context switches* in the schedule: positions where the
+    /// chosen thread differs from the previous choice. The study's
+    /// manifestation analysis (and CHESS-style bounding) counts these.
+    pub fn context_switches(&self) -> usize {
+        self.0.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+impl From<Vec<ThreadId>> for Schedule {
+    fn from(choices: Vec<ThreadId>) -> Schedule {
+        Schedule(choices)
+    }
+}
+
+impl FromIterator<ThreadId> for Schedule {
+    fn from_iter<I: IntoIterator<Item = ThreadId>>(iter: I) -> Schedule {
+        Schedule(iter.into_iter().collect())
+    }
+}
+
+impl Extend<ThreadId> for Schedule {
+    fn extend<I: IntoIterator<Item = ThreadId>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::from_index(i as usize)
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut s = Schedule::new();
+        assert!(s.is_empty());
+        s.push(t(0));
+        s.push(t(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.choices(), &[t(0), t(1)]);
+    }
+
+    #[test]
+    fn context_switches_count_transitions() {
+        let s: Schedule = vec![t(0), t(0), t(1), t(0), t(0)].into();
+        assert_eq!(s.context_switches(), 2);
+        let s: Schedule = vec![t(0)].into();
+        assert_eq!(s.context_switches(), 0);
+        assert_eq!(Schedule::new().context_switches(), 0);
+    }
+
+    #[test]
+    fn display_is_space_separated() {
+        let s: Schedule = vec![t(0), t(1), t(1)].into();
+        assert_eq!(s.to_string(), "t0 t1 t1");
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: Schedule = (0..3).map(t).collect();
+        assert_eq!(s.len(), 3);
+        let mut s2 = Schedule::new();
+        s2.extend(s.iter());
+        assert_eq!(s, s2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Runtime state of shared objects (variables, mutexes, condition
+//! variables, rwlocks, semaphores).
+//!
+//! All state is plain cloneable data so the model checker can snapshot an
+//! [`crate::Executor`] at a branch point and restore it in O(state size).
+
+use std::collections::VecDeque;
+
+use crate::ids::ThreadId;
+use crate::trace::VectorClock;
+
+/// A mutex: an owner and a FIFO of blocked acquirers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MutexState {
+    pub owner: Option<ThreadId>,
+    /// Threads blocked in `Lock`; kept for deadlock reporting (enabledness
+    /// is recomputed, so this is informational bookkeeping).
+    pub waiters: VecDeque<ThreadId>,
+    /// Vector clock released with the last unlock (happens-before edge).
+    pub clock: VectorClock,
+}
+
+impl MutexState {
+    pub fn new(n_threads: usize) -> MutexState {
+        MutexState {
+            owner: None,
+            waiters: VecDeque::new(),
+            clock: VectorClock::new(n_threads),
+        }
+    }
+}
+
+/// A condition variable: a FIFO of waiting threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CondState {
+    pub waiters: VecDeque<ThreadId>,
+    /// Clock joined in from signallers, delivered to woken waiters.
+    pub clock: VectorClock,
+}
+
+impl CondState {
+    pub fn new(n_threads: usize) -> CondState {
+        CondState {
+            waiters: VecDeque::new(),
+            clock: VectorClock::new(n_threads),
+        }
+    }
+}
+
+/// A reader-writer lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RwState {
+    pub writer: Option<ThreadId>,
+    pub readers: Vec<ThreadId>,
+    /// Clock of the last write-mode release (read-release also joins in,
+    /// conservatively, so rw-protected data carries happens-before).
+    pub clock: VectorClock,
+}
+
+impl RwState {
+    pub fn new(n_threads: usize) -> RwState {
+        RwState {
+            writer: None,
+            readers: Vec::new(),
+            clock: VectorClock::new(n_threads),
+        }
+    }
+
+    pub fn can_read(&self, by: ThreadId) -> bool {
+        self.writer.is_none() && !self.readers.contains(&by)
+    }
+
+    pub fn can_write(&self, by: ThreadId) -> bool {
+        self.writer.is_none() && self.readers.is_empty() && self.writer != Some(by)
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn holds(&self, by: ThreadId) -> bool {
+        self.writer == Some(by) || self.readers.contains(&by)
+    }
+}
+
+/// A counting semaphore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SemState {
+    pub count: i64,
+    pub waiters: VecDeque<ThreadId>,
+    pub clock: VectorClock,
+}
+
+impl SemState {
+    pub fn new(n_threads: usize, initial: i64) -> SemState {
+        SemState {
+            count: initial,
+            waiters: VecDeque::new(),
+            clock: VectorClock::new(n_threads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_admission_rules() {
+        let mut rw = RwState::new(2);
+        let t0 = ThreadId::from_index(0);
+        let t1 = ThreadId::from_index(1);
+        assert!(rw.can_read(t0));
+        assert!(rw.can_write(t0));
+        rw.readers.push(t0);
+        assert!(rw.can_read(t1));
+        assert!(!rw.can_write(t1));
+        assert!(!rw.can_read(t0), "non-reentrant");
+        assert!(rw.holds(t0));
+        assert!(!rw.holds(t1));
+        rw.readers.clear();
+        rw.writer = Some(t0);
+        assert!(!rw.can_read(t1));
+        assert!(!rw.can_write(t1));
+        assert!(rw.holds(t0));
+    }
+
+    #[test]
+    fn fresh_objects_are_idle() {
+        let m = MutexState::new(3);
+        assert_eq!(m.owner, None);
+        assert!(m.waiters.is_empty());
+        let s = SemState::new(3, 2);
+        assert_eq!(s.count, 2);
+        let c = CondState::new(3);
+        assert!(c.waiters.is_empty());
+    }
+}

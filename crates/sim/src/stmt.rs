@@ -1,0 +1,391 @@
+//! Statements of the thread-script IR.
+//!
+//! Every statement that touches shared state or synchronization is a
+//! distinct *visible operation* — a scheduling point at which the model
+//! checker may preempt the thread. Purely local statements
+//! ([`Stmt::LocalSet`], control flow over local conditions) are executed
+//! greedily without yielding to the scheduler, mirroring how only
+//! shared-memory instructions matter for interleaving exploration.
+
+use crate::expr::Expr;
+use crate::ids::{CondId, MutexId, RwId, SemId, ThreadId, VarId};
+
+/// Atomic read-modify-write operations for [`Stmt::Rmw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwOp {
+    /// `var += operand`, returning the *old* value.
+    FetchAdd,
+    /// `var -= operand`, returning the *old* value.
+    FetchSub,
+    /// `var = operand`, returning the *old* value (atomic exchange).
+    Exchange,
+    /// `var = max(var, operand)`, returning the *old* value.
+    FetchMax,
+    /// `var = min(var, operand)`, returning the *old* value.
+    FetchMin,
+}
+
+/// One statement of a thread script.
+///
+/// Construct via the associated helper functions ([`Stmt::read`],
+/// [`Stmt::write`], [`Stmt::lock`], …) which read more naturally at kernel
+/// definition sites.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Load a shared variable into a local register. *Visible.*
+    Read {
+        /// Variable to load.
+        var: VarId,
+        /// Destination register.
+        into: &'static str,
+    },
+    /// Store the value of a local expression into a shared variable.
+    /// *Visible.*
+    Write {
+        /// Variable to store to.
+        var: VarId,
+        /// Value to store (locals/constants only).
+        value: Expr,
+    },
+    /// Atomic read-modify-write on a shared variable. *Visible* — but a
+    /// single indivisible operation, which is exactly what distinguishes a
+    /// fixed kernel from its buggy load/compute/store expansion.
+    Rmw {
+        /// Variable to update.
+        var: VarId,
+        /// The operation to apply.
+        op: RmwOp,
+        /// Right-hand operand (locals/constants only).
+        operand: Expr,
+        /// Optional register receiving the old value.
+        into: Option<&'static str>,
+    },
+    /// Atomic compare-and-swap. Stores `1` into `into` on success, `0` on
+    /// failure; on failure the observed value is stored into
+    /// `observed_into` when provided. *Visible.*
+    Cas {
+        /// Variable to update.
+        var: VarId,
+        /// Expected current value.
+        expected: Expr,
+        /// Replacement value.
+        new: Expr,
+        /// Register receiving the success flag.
+        into: &'static str,
+        /// Optional register receiving the observed value.
+        observed_into: Option<&'static str>,
+    },
+    /// Acquire a mutex, blocking while it is held. *Visible.*
+    Lock(MutexId),
+    /// Release a mutex held by this thread. *Visible.* Releasing a mutex
+    /// the thread does not hold is an execution error
+    /// ([`crate::ExecError::UnlockNotHeld`]).
+    Unlock(MutexId),
+    /// Try to acquire a mutex without blocking; stores `1`/`0` into the
+    /// register. *Visible.*
+    TryLock {
+        /// Mutex to try.
+        mutex: MutexId,
+        /// Register receiving the success flag.
+        into: &'static str,
+    },
+    /// Acquire a reader-writer lock in shared (read) mode. *Visible.*
+    RwRead(RwId),
+    /// Acquire a reader-writer lock in exclusive (write) mode. *Visible.*
+    RwWrite(RwId),
+    /// Release a reader-writer lock held in either mode. *Visible.*
+    RwUnlock(RwId),
+    /// Atomically release `mutex` and block on `cond` until signalled;
+    /// re-acquires `mutex` before continuing. The mutex must be held.
+    /// *Visible.* Semantics follow POSIX: wakeups only happen via
+    /// [`Stmt::Signal`]/[`Stmt::Broadcast`] (the simulator does not inject
+    /// spurious wakeups, so a lost signal deterministically deadlocks —
+    /// which is precisely the missed-notification bug class).
+    Wait {
+        /// Condition variable to wait on.
+        cond: CondId,
+        /// Associated mutex, released while waiting.
+        mutex: MutexId,
+    },
+    /// Wake one waiter of a condition variable (FIFO). *Visible.*
+    Signal(CondId),
+    /// Wake all waiters of a condition variable. *Visible.*
+    Broadcast(CondId),
+    /// Decrement a semaphore, blocking while its count is zero. *Visible.*
+    SemAcquire(SemId),
+    /// Increment a semaphore, waking one blocked acquirer. *Visible.*
+    SemRelease(SemId),
+    /// Start a thread that was declared with
+    /// [`crate::ProgramBuilder::thread_deferred`]. *Visible.*
+    Spawn(ThreadId),
+    /// Block until the given thread has finished. *Visible.*
+    Join(ThreadId),
+    /// Set a local register from a local expression. *Local.*
+    LocalSet {
+        /// Destination register.
+        name: &'static str,
+        /// Value (locals/constants only).
+        value: Expr,
+    },
+    /// Branch on a local condition. *Local* (the branches may of course
+    /// contain visible statements).
+    If {
+        /// Condition over locals.
+        cond: Expr,
+        /// Statements executed when the condition is non-zero.
+        then_branch: Vec<Stmt>,
+        /// Statements executed when the condition is zero.
+        else_branch: Vec<Stmt>,
+    },
+    /// Loop while a local condition holds. *Local* at the test itself.
+    While {
+        /// Condition over locals.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Check a local condition, failing the execution with
+    /// [`crate::Outcome::AssertFailed`] when it is zero. *Visible* (an
+    /// assertion models an observable crash site).
+    Assert {
+        /// Condition over locals.
+        cond: Expr,
+        /// Message reported when the assertion fails.
+        msg: &'static str,
+    },
+    /// An input/output side effect (log write, file append, …). The `tag`
+    /// names the effect; the executor appends it to the I/O journal.
+    /// *Visible* and **irrevocable** — inside a transaction this is
+    /// recorded as an obstacle, exactly the TM-applicability criterion of
+    /// the study. *Visible.*
+    Io {
+        /// Label of the effect for the I/O journal.
+        tag: &'static str,
+    },
+    /// Begin a transaction (word-based STM, lazy versioning). *Visible.*
+    TxBegin,
+    /// Abort the current transaction and restart it at the matching
+    /// [`Stmt::TxBegin`] — Harris-style `retry` for conditional
+    /// synchronization ("block" until a read-set variable changes; the
+    /// simulator models it as bounded re-execution). *Visible.*
+    TxRetry,
+    /// Commit the current transaction, validating its read set; on
+    /// conflict the transaction rolls back and restarts at the matching
+    /// [`Stmt::TxBegin`]. *Visible.*
+    TxCommit,
+    /// A no-op scheduling point. *Visible.*
+    Yield,
+}
+
+impl Stmt {
+    /// Load `var` into register `into`.
+    pub fn read(var: VarId, into: &'static str) -> Stmt {
+        Stmt::Read { var, into }
+    }
+
+    /// Store `value` into `var`.
+    pub fn write(var: VarId, value: impl Into<Expr>) -> Stmt {
+        Stmt::Write {
+            var,
+            value: value.into(),
+        }
+    }
+
+    /// Atomic `var += operand`, discarding the old value.
+    pub fn fetch_add(var: VarId, operand: impl Into<Expr>) -> Stmt {
+        Stmt::Rmw {
+            var,
+            op: RmwOp::FetchAdd,
+            operand: operand.into(),
+            into: None,
+        }
+    }
+
+    /// Atomic `var -= operand`, discarding the old value.
+    pub fn fetch_sub(var: VarId, operand: impl Into<Expr>) -> Stmt {
+        Stmt::Rmw {
+            var,
+            op: RmwOp::FetchSub,
+            operand: operand.into(),
+            into: None,
+        }
+    }
+
+    /// Atomic exchange, storing the old value into `into`.
+    pub fn exchange(var: VarId, value: impl Into<Expr>, into: &'static str) -> Stmt {
+        Stmt::Rmw {
+            var,
+            op: RmwOp::Exchange,
+            operand: value.into(),
+            into: Some(into),
+        }
+    }
+
+    /// Compare-and-swap helper.
+    pub fn cas(
+        var: VarId,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+        into: &'static str,
+    ) -> Stmt {
+        Stmt::Cas {
+            var,
+            expected: expected.into(),
+            new: new.into(),
+            into,
+            observed_into: None,
+        }
+    }
+
+    /// Acquire `mutex`.
+    pub fn lock(mutex: MutexId) -> Stmt {
+        Stmt::Lock(mutex)
+    }
+
+    /// Release `mutex`.
+    pub fn unlock(mutex: MutexId) -> Stmt {
+        Stmt::Unlock(mutex)
+    }
+
+    /// Set register `name` to `value`.
+    pub fn local(name: &'static str, value: impl Into<Expr>) -> Stmt {
+        Stmt::LocalSet {
+            name,
+            value: value.into(),
+        }
+    }
+
+    /// Branch on `cond`.
+    pub fn if_else(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        }
+    }
+
+    /// Branch on `cond` with no else-branch.
+    pub fn if_then(cond: Expr, then_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch: Vec::new(),
+        }
+    }
+
+    /// Loop while `cond` holds.
+    pub fn while_loop(cond: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::While { cond, body }
+    }
+
+    /// Assert a local condition.
+    pub fn assert(cond: Expr, msg: &'static str) -> Stmt {
+        Stmt::Assert { cond, msg }
+    }
+
+    /// Record an I/O side effect.
+    pub fn io(tag: &'static str) -> Stmt {
+        Stmt::Io { tag }
+    }
+
+    /// Returns `true` for statements that are purely thread-local (never a
+    /// scheduling point by themselves).
+    pub fn is_local(&self) -> bool {
+        matches!(
+            self,
+            Stmt::LocalSet { .. } | Stmt::If { .. } | Stmt::While { .. }
+        )
+    }
+
+    /// Walks this statement and its nested blocks, calling `f` on each.
+    pub fn visit(&self, f: &mut dyn FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch.iter().chain(else_branch) {
+                    s.visit(f);
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert_eq!(
+            Stmt::read(VarId(1), "x"),
+            Stmt::Read {
+                var: VarId(1),
+                into: "x"
+            }
+        );
+        assert!(matches!(Stmt::write(VarId(0), 3), Stmt::Write { .. }));
+        assert!(matches!(
+            Stmt::fetch_add(VarId(0), 1),
+            Stmt::Rmw {
+                op: RmwOp::FetchAdd,
+                into: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            Stmt::exchange(VarId(0), 1, "old"),
+            Stmt::Rmw {
+                op: RmwOp::Exchange,
+                into: Some("old"),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn locality_classification() {
+        assert!(Stmt::local("x", 1).is_local());
+        assert!(Stmt::if_then(Expr::lit(1), vec![]).is_local());
+        assert!(Stmt::while_loop(Expr::lit(0), vec![]).is_local());
+        assert!(!Stmt::read(VarId(0), "x").is_local());
+        assert!(!Stmt::lock(MutexId(0)).is_local());
+        assert!(!Stmt::Yield.is_local());
+        assert!(!Stmt::assert(Expr::lit(1), "ok").is_local());
+    }
+
+    #[test]
+    fn visit_reaches_nested_statements() {
+        let s = Stmt::if_else(
+            Expr::lit(1),
+            vec![Stmt::while_loop(
+                Expr::lit(0),
+                vec![Stmt::read(VarId(0), "x")],
+            )],
+            vec![Stmt::write(VarId(1), 2)],
+        );
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut total = 0;
+        s.visit(&mut |st| {
+            total += 1;
+            match st {
+                Stmt::Read { .. } => reads += 1,
+                Stmt::Write { .. } => writes += 1,
+                _ => {}
+            }
+        });
+        assert_eq!(reads, 1);
+        assert_eq!(writes, 1);
+        assert_eq!(total, 4);
+    }
+}

@@ -1,0 +1,206 @@
+//! Interleaving timelines: render a [`Trace`] as the
+//! two-column thread diagram the study's figures use to explain how a
+//! buggy interleaving unfolds.
+//!
+//! ```text
+//! seq | w1                        | w2
+//! ----+---------------------------+---------------------------
+//!   0 | start                     |
+//!   1 | p = buf_pos (read 0)      |
+//!   2 |                           | start
+//!   3 |                           | p = buf_pos (read 0)
+//!   ...
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::program::Program;
+use crate::trace::{Event, EventKind, Trace};
+
+const COL_WIDTH: usize = 28;
+
+/// One-line description of an event, resolving variable names through
+/// the program when available.
+fn describe(event: &Event, program: Option<&Program>) -> String {
+    let var_name = |v: crate::ids::VarId| -> String {
+        match program {
+            Some(p) if v.index() < p.n_vars() => p.var_name(v).to_string(),
+            _ => v.to_string(),
+        }
+    };
+    match &event.kind {
+        EventKind::ThreadStart => "start".into(),
+        EventKind::ThreadExit => "exit".into(),
+        EventKind::Read { var, value } => format!("read {} -> {value}", var_name(*var)),
+        EventKind::Write { var, value } => format!("{} = {value}", var_name(*var)),
+        EventKind::Rmw { var, old, new } => {
+            format!("rmw {}: {old} -> {new}", var_name(*var))
+        }
+        EventKind::Cas {
+            var,
+            success,
+            observed,
+        } => format!(
+            "cas {} ({}; saw {observed})",
+            var_name(*var),
+            if *success { "ok" } else { "failed" }
+        ),
+        EventKind::Lock(m) => format!("lock {m}"),
+        EventKind::Unlock(m) => format!("unlock {m}"),
+        EventKind::TryLock { mutex, success } => format!(
+            "try_lock {mutex} ({})",
+            if *success { "ok" } else { "busy" }
+        ),
+        EventKind::RwRead(rw) => format!("read_lock {rw}"),
+        EventKind::RwWrite(rw) => format!("write_lock {rw}"),
+        EventKind::RwUnlock(rw) => format!("rw_unlock {rw}"),
+        EventKind::WaitBegin { cond, .. } => format!("wait {cond} (parked)"),
+        EventKind::WaitEnd { cond, .. } => format!("wait {cond} (woke)"),
+        EventKind::Signal(c) => format!("signal {c}"),
+        EventKind::Broadcast(c) => format!("broadcast {c}"),
+        EventKind::SemAcquire(s) => format!("sem_acquire {s}"),
+        EventKind::SemRelease(s) => format!("sem_release {s}"),
+        EventKind::Spawn(t) => format!("spawn {t}"),
+        EventKind::Join(t) => format!("join {t}"),
+        EventKind::Io(tag) => format!("io \"{tag}\""),
+        EventKind::TxBegin => "atomic {".into(),
+        EventKind::TxCommit => "} commit".into(),
+        EventKind::TxAbort => "!! tx abort, retrying".into(),
+        EventKind::AssertFail(msg) => format!("ASSERT FAILED: {msg}"),
+        EventKind::Yield => "yield".into(),
+    }
+}
+
+/// Renders the trace as a thread-column timeline. Pass the program to
+/// resolve variable names (falls back to `v0`-style ids otherwise).
+pub fn render_timeline(trace: &Trace, program: Option<&Program>) -> String {
+    let names: Vec<String> = match program {
+        Some(p) => p.threads().iter().map(|t| t.name().to_string()).collect(),
+        None => (0..trace.n_threads).map(|i| format!("t{i}")).collect(),
+    };
+    let mut out = String::new();
+    let _ = write!(out, "seq |");
+    for name in &names {
+        let _ = write!(out, " {name:<width$}|", width = COL_WIDTH - 1);
+    }
+    out.push('\n');
+    let _ = write!(out, "----+");
+    for _ in &names {
+        let _ = write!(out, "{}+", "-".repeat(COL_WIDTH));
+    }
+    out.push('\n');
+    for event in &trace.events {
+        let _ = write!(out, "{:3} |", event.seq);
+        for i in 0..names.len() {
+            if i == event.thread.index() {
+                let mut text = describe(event, program);
+                if text.len() > COL_WIDTH - 2 {
+                    text.truncate(COL_WIDTH - 3);
+                    text.push('…');
+                }
+                let _ = write!(out, " {text:<width$}|", width = COL_WIDTH - 1);
+            } else {
+                let _ = write!(out, "{}|", " ".repeat(COL_WIDTH));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Executor, RecordMode};
+    use crate::expr::Expr;
+    use crate::program::ProgramBuilder;
+    use crate::schedule::Schedule;
+    use crate::stmt::Stmt;
+
+    fn racy() -> Program {
+        let mut b = ProgramBuilder::new("racy");
+        let v = b.var("counter", 0);
+        for name in ["w1", "w2"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                ],
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn timeline_places_events_in_thread_columns() {
+        let p = racy();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        let sched: Schedule = vec![
+            crate::ids::ThreadId::from_index(0),
+            crate::ids::ThreadId::from_index(1),
+            crate::ids::ThreadId::from_index(0),
+            crate::ids::ThreadId::from_index(1),
+        ]
+        .into();
+        e.replay(&sched, 100);
+        let trace = e.into_trace();
+        let timeline = render_timeline(&trace, Some(&p));
+        assert!(timeline.contains("seq | w1"));
+        assert!(timeline.contains("| w2"));
+        assert!(timeline.contains("read counter -> 0"));
+        assert!(timeline.contains("counter = 1"));
+        // w2's read is in the second column: the line has a leading
+        // empty first column.
+        let w2_read = timeline
+            .lines()
+            .find(|l| l.contains("read counter") && l.split('|').nth(1).unwrap().trim().is_empty())
+            .expect("w2's read sits in the second column");
+        assert!(w2_read.contains("read counter -> 0"));
+    }
+
+    #[test]
+    fn timeline_without_program_uses_ids() {
+        let p = racy();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        e.run_sequential(100);
+        let trace = e.into_trace();
+        let timeline = render_timeline(&trace, None);
+        assert!(timeline.contains("seq | t0"));
+        assert!(timeline.contains("read v0 -> 0"));
+    }
+
+    #[test]
+    fn long_descriptions_are_truncated() {
+        let mut b = ProgramBuilder::new("long");
+        let v = b.var("a_variable_with_a_really_long_name", 0);
+        b.thread("t", vec![Stmt::read(v, "x")]);
+        let p = b.build().unwrap();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        e.run_sequential(10);
+        let timeline = render_timeline(&e.into_trace(), Some(&p));
+        assert!(timeline.contains('…'));
+        for line in timeline.lines().skip(2) {
+            // Columns stay aligned even when truncated.
+            assert!(line.len() <= 5 + (COL_WIDTH + 1) * p.n_threads() + 2);
+        }
+    }
+
+    #[test]
+    fn assert_failures_are_loud() {
+        let mut b = ProgramBuilder::new("fail");
+        let v = b.var("x", 0);
+        b.thread(
+            "t",
+            vec![
+                Stmt::read(v, "a"),
+                Stmt::assert(Expr::local("a").eq(Expr::lit(1)), "x must be 1"),
+            ],
+        );
+        let p = b.build().unwrap();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        e.run_sequential(10);
+        let timeline = render_timeline(&e.into_trace(), Some(&p));
+        assert!(timeline.contains("ASSERT FAILED: x must be 1"));
+    }
+}

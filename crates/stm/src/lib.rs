@@ -1,0 +1,40 @@
+//! # lfm-stm — software transactional memory and TM-applicability
+//!
+//! The ASPLOS'08 study's Section on transactional memory asks: *for each
+//! studied bug, would TM have helped?* This crate makes that question
+//! executable twice over:
+//!
+//! - [`tl2`] — a real word-based, lazy-versioning STM for native Rust
+//!   threads (TL2-style global version clock, per-word versioned locks,
+//!   commit-time write locking and read-set validation). Used by the
+//!   benchmark harness to compare transactional and lock-based versions
+//!   of the study's hot shapes under real parallelism.
+//! - [`evaluate`] — the TM-applicability evaluator: rebuilds each
+//!   `lfm-kernels` kernel with its critical region as a transaction (the
+//!   simulator's `TxBegin`/`TxCommit` give TL2 semantics including
+//!   per-read opacity validation), model-checks the result, and
+//!   classifies the kernel as *helps* / *cannot help* with the study's
+//!   obstacle taxonomy (I/O in region, ordering intent, …).
+//!
+//! # Example
+//!
+//! ```rust
+//! use lfm_stm::tl2::TSpace;
+//!
+//! let space = TSpace::new(1);
+//! space.atomically(|tx| {
+//!     let v = tx.read(0)?;
+//!     tx.write(0, v + 1);
+//!     Ok(())
+//! });
+//! assert_eq!(space.read_now(0), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod evaluate;
+pub mod tl2;
+
+pub use evaluate::{evaluate_all, evaluate_kernel, TmObstacleKind, TmVerdict};
+pub use tl2::{Retry, TSpace, Txn};

@@ -1,0 +1,377 @@
+//! A TL2-style word-based software transactional memory for native
+//! threads.
+//!
+//! Design (following Dice, Shalev, Shavit's TL2):
+//!
+//! - a global version clock, advanced by 2 at every writing commit;
+//! - per-word *versioned locks*: a single `AtomicU64` whose LSB is the
+//!   lock bit and whose upper bits are the word's version;
+//! - transactions read a snapshot (`rv` = clock at begin), validate every
+//!   read against `rv` at read time (opacity) and the whole read set at
+//!   commit, lock their write set in index order, then publish.
+//!
+//! Values are `i64` words, matching the study's "word-based TM"
+//! terminology and the simulator's shared variables.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Internal: the lock bit of a versioned lock.
+const LOCKED: u64 = 1;
+
+/// A transactional word: value + versioned lock.
+#[derive(Debug)]
+struct Word {
+    value: AtomicI64,
+    /// `version << 1 | locked`.
+    vlock: AtomicU64,
+}
+
+impl Word {
+    fn new(value: i64) -> Word {
+        Word {
+            value: AtomicI64::new(value),
+            vlock: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Error signalling that the transaction observed inconsistent state and
+/// must retry. Returned by [`Txn::read`]; user closures propagate it with
+/// `?` and [`TSpace::atomically`] handles the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retry;
+
+/// A fixed-size space of transactional words.
+///
+/// The word-count-at-construction design mirrors the simulator's variable
+/// model and keeps the hot path allocation-free.
+#[derive(Debug)]
+pub struct TSpace {
+    clock: AtomicU64,
+    words: Vec<Word>,
+}
+
+impl TSpace {
+    /// Creates a space of `n` words, all zero.
+    pub fn new(n: usize) -> TSpace {
+        TSpace::with_values(&vec![0; n])
+    }
+
+    /// Creates a space initialized from `values`.
+    pub fn with_values(values: &[i64]) -> TSpace {
+        TSpace {
+            clock: AtomicU64::new(0),
+            words: values.iter().map(|&v| Word::new(v)).collect(),
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the space has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Non-transactional read of the current committed value. Only safe
+    /// for quiescent inspection (tests, reporting).
+    pub fn read_now(&self, index: usize) -> i64 {
+        self.words[index].value.load(Ordering::SeqCst)
+    }
+
+    /// Runs `body` transactionally until it commits, returning its
+    /// result. The closure may be executed multiple times; side effects
+    /// inside it must be idempotent (the study's I/O obstacle, made
+    /// concrete by the type system being unable to stop you).
+    pub fn atomically<T>(&self, mut body: impl FnMut(&mut Txn<'_>) -> Result<T, Retry>) -> T {
+        let mut backoff = 0u32;
+        loop {
+            let mut tx = Txn {
+                space: self,
+                rv: self.clock.load(Ordering::SeqCst),
+                reads: Vec::new(),
+                writes: Vec::new(),
+            };
+            if let Ok(result) = body(&mut tx) {
+                if tx.commit() {
+                    return result;
+                }
+            }
+            // Bounded exponential backoff keeps contended commits live.
+            backoff = (backoff + 1).min(6);
+            for _ in 0..(1u32 << backoff) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Number of committed writing transactions so far (clock / 2).
+    pub fn commit_count(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst) / 2
+    }
+}
+
+/// An in-flight transaction over a [`TSpace`].
+#[derive(Debug)]
+pub struct Txn<'s> {
+    space: &'s TSpace,
+    rv: u64,
+    reads: Vec<(usize, u64)>,
+    writes: Vec<(usize, i64)>,
+}
+
+impl Txn<'_> {
+    /// Transactional read of word `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Retry`] when the word is locked or newer than the
+    /// transaction's snapshot — the caller propagates it with `?` and
+    /// [`TSpace::atomically`] restarts the transaction.
+    pub fn read(&mut self, index: usize) -> Result<i64, Retry> {
+        // Redo-log hit first.
+        if let Some(&(_, v)) = self.writes.iter().rev().find(|(i, _)| *i == index) {
+            return Ok(v);
+        }
+        let word = &self.space.words[index];
+        let v1 = word.vlock.load(Ordering::SeqCst);
+        let value = word.value.load(Ordering::SeqCst);
+        let v2 = word.vlock.load(Ordering::SeqCst);
+        if v1 != v2 || v1 & LOCKED != 0 || (v1 >> 1) > self.rv {
+            return Err(Retry);
+        }
+        self.reads.push((index, v1));
+        Ok(value)
+    }
+
+    /// Buffers a transactional write of `value` to word `index`.
+    pub fn write(&mut self, index: usize, value: i64) {
+        if let Some(entry) = self.writes.iter_mut().find(|(i, _)| *i == index) {
+            entry.1 = value;
+        } else {
+            self.writes.push((index, value));
+        }
+    }
+
+    /// Attempts to commit. Returns `false` when validation failed and the
+    /// transaction must retry.
+    fn commit(mut self) -> bool {
+        if self.writes.is_empty() {
+            // Read-only transactions are already validated per read.
+            return true;
+        }
+        // Lock the write set in index order (deadlock-free).
+        self.writes.sort_unstable_by_key(|(i, _)| *i);
+        self.writes.dedup_by_key(|(i, _)| *i);
+        let mut locked = Vec::with_capacity(self.writes.len());
+        for &(index, _) in &self.writes {
+            let word = &self.space.words[index];
+            let cur = word.vlock.load(Ordering::SeqCst);
+            if cur & LOCKED != 0
+                || word
+                    .vlock
+                    .compare_exchange(cur, cur | LOCKED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+            {
+                for &i in &locked {
+                    let w: &Word = &self.space.words[i];
+                    w.vlock.fetch_and(!LOCKED, Ordering::SeqCst);
+                }
+                return false;
+            }
+            locked.push(index);
+        }
+        // Validate the read set: unchanged, within snapshot, and not
+        // locked by anyone else.
+        for &(index, seen) in &self.reads {
+            let cur = self.space.words[index].vlock.load(Ordering::SeqCst);
+            let locked_by_me = self.writes.iter().any(|(i, _)| *i == index);
+            let effective = if locked_by_me { cur & !LOCKED } else { cur };
+            if effective != seen || (!locked_by_me && cur & LOCKED != 0) {
+                for &i in &locked {
+                    let w: &Word = &self.space.words[i];
+                    w.vlock.fetch_and(!LOCKED, Ordering::SeqCst);
+                }
+                return false;
+            }
+        }
+        // Publish with a fresh write version.
+        let wv = self.space.clock.fetch_add(2, Ordering::SeqCst) + 2;
+        for &(index, value) in &self.writes {
+            let word = &self.space.words[index];
+            word.value.store(value, Ordering::SeqCst);
+            word.vlock.store(wv << 1, Ordering::SeqCst);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_threaded_read_write() {
+        let space = TSpace::with_values(&[10, 20]);
+        let sum = space.atomically(|tx| {
+            let a = tx.read(0)?;
+            let b = tx.read(1)?;
+            tx.write(0, a + 1);
+            Ok(a + b)
+        });
+        assert_eq!(sum, 30);
+        assert_eq!(space.read_now(0), 11);
+        assert_eq!(space.read_now(1), 20);
+        assert_eq!(space.commit_count(), 1);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let space = TSpace::new(1);
+        space.atomically(|tx| {
+            tx.write(0, 5);
+            assert_eq!(tx.read(0)?, 5);
+            tx.write(0, 7);
+            assert_eq!(tx.read(0)?, 7);
+            Ok(())
+        });
+        assert_eq!(space.read_now(0), 7);
+    }
+
+    #[test]
+    fn read_only_transactions_do_not_advance_clock() {
+        let space = TSpace::with_values(&[1]);
+        let v = space.atomically(|tx| tx.read(0));
+        assert_eq!(v, 1);
+        assert_eq!(space.commit_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 500;
+        let space = Arc::new(TSpace::new(1));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let space = Arc::clone(&space);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        space.atomically(|tx| {
+                            let v = tx.read(0)?;
+                            tx.write(0, v + 1);
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(space.read_now(0), (THREADS * PER_THREAD) as i64);
+    }
+
+    #[test]
+    fn pair_invariant_holds_under_concurrency() {
+        // The multi-variable shape: two words must stay equal. Writers
+        // bump both inside one transaction; readers must never observe a
+        // mismatch.
+        const WRITERS: usize = 4;
+        const READERS: usize = 4;
+        const OPS: usize = 300;
+        let space = Arc::new(TSpace::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..WRITERS {
+            let space = Arc::clone(&space);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    space.atomically(|tx| {
+                        let a = tx.read(0)?;
+                        let b = tx.read(1)?;
+                        tx.write(0, a + 1);
+                        tx.write(1, b + 1);
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for _ in 0..READERS {
+            let space = Arc::clone(&space);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    let (a, b) = space.atomically(|tx| Ok((tx.read(0)?, tx.read(1)?)));
+                    assert_eq!(a, b, "pair invariant violated");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(space.read_now(0), (WRITERS * OPS) as i64);
+        assert_eq!(space.read_now(1), (WRITERS * OPS) as i64);
+    }
+
+    #[test]
+    fn bank_transfer_conserves_money() {
+        const THREADS: usize = 6;
+        const OPS: usize = 200;
+        let space = Arc::new(TSpace::with_values(&[500, 500]));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let space = Arc::clone(&space);
+                std::thread::spawn(move || {
+                    let (from, to) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+                    for _ in 0..OPS {
+                        space.atomically(|tx| {
+                            let a = tx.read(from)?;
+                            if a >= 10 {
+                                let b = tx.read(to)?;
+                                tx.write(from, a - 10);
+                                tx.write(to, b + 10);
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(space.read_now(0) + space.read_now(1), 1000);
+        assert!(space.read_now(0) >= 0);
+        assert!(space.read_now(1) >= 0);
+    }
+
+    #[test]
+    fn disjoint_writes_commute() {
+        let space = Arc::new(TSpace::new(2));
+        let s1 = Arc::clone(&space);
+        let s2 = Arc::clone(&space);
+        let h1 = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                s1.atomically(|tx| {
+                    let v = tx.read(0)?;
+                    tx.write(0, v + 1);
+                    Ok(())
+                });
+            }
+        });
+        let h2 = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                s2.atomically(|tx| {
+                    let v = tx.read(1)?;
+                    tx.write(1, v + 1);
+                    Ok(())
+                });
+            }
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert_eq!(space.read_now(0), 1000);
+        assert_eq!(space.read_now(1), 1000);
+    }
+}

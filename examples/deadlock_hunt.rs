@@ -1,0 +1,78 @@
+//! Deadlock hunting, three ways:
+//!
+//! 1. exhaustive exploration manifests each deadlock kernel and reports
+//!    the blocked cycle;
+//! 2. the lock-order-graph detector *predicts* the lock deadlocks from
+//!    passing runs only;
+//! 3. each studied fix strategy (acquire-in-order, give-up-resource,
+//!    split-resource, transaction) is proved to eliminate the deadlock.
+//!
+//! ```text
+//! cargo run --example deadlock_hunt
+//! ```
+
+use learning_from_mistakes::detect::LockOrderDetector;
+use learning_from_mistakes::kernels::{registry, Family, Variant};
+use learning_from_mistakes::sim::{explore::trace_of, Explorer, Outcome};
+
+fn main() {
+    for kernel in registry::by_family(Family::Deadlock) {
+        println!("== {kernel}");
+        let buggy = kernel.buggy();
+
+        // 1. Manifest by exploration.
+        let report = Explorer::new(&buggy).run();
+        let (schedule, outcome) = report.first_failure.expect("deadlock manifests");
+        if let Outcome::Deadlock { blocked } = &outcome {
+            println!(
+                "   manifests in {}/{} interleavings; witness [{schedule}]:",
+                report.counts.deadlock, report.schedules_run
+            );
+            for (thread, on) in blocked {
+                println!(
+                    "     {} ({}) blocked on {on}",
+                    thread,
+                    buggy.threads()[thread.index()].name()
+                );
+            }
+        }
+
+        // 2. Predict from a PASSING run via the lock-order graph.
+        if let Some(ok_schedule) = report.first_ok {
+            let (trace, ok_outcome) = trace_of(&buggy, &ok_schedule, 5_000);
+            assert!(ok_outcome.is_ok());
+            let cycles = LockOrderDetector::analyze([&trace]);
+            if cycles.is_empty() {
+                println!("   lock-order graph: no mutex cycle (non-lock resources involved)");
+            } else {
+                for c in cycles {
+                    println!(
+                        "   lock-order graph PREDICTED the deadlock from a passing run: \
+                         cycle over {:?}",
+                        c.cycle
+                    );
+                }
+            }
+        } else {
+            println!("   (no passing interleaving: deterministic self-deadlock)");
+        }
+
+        // 3. Prove the fixes.
+        for &fix in kernel.fixes {
+            let fixed = kernel.build(Variant::Fixed(fix));
+            let fixed_report = Explorer::new(&fixed).dedup_states().run();
+            assert_eq!(
+                fixed_report.counts.deadlock, 0,
+                "{} fix {fix} must remove the deadlock",
+                kernel.id
+            );
+            println!("   fix `{fix}` proved deadlock-free");
+        }
+        println!();
+    }
+    println!(
+        "Shapes covered: self-deadlock (1 resource), ABBA (2 resources), a \
+         3-lock cycle, wait-holding-lock, rwlock upgrade, join-under-lock, \
+         and a semaphore cycle — matching the study's deadlock scope table."
+    );
+}

@@ -1,0 +1,66 @@
+//! Run every dynamic detector over every bug kernel and print the
+//! coverage matrix — the executable form of the study's detection
+//! implications (single-variable detectors miss multi-variable bugs,
+//! race detectors miss atomic-access bugs, lock-order graphs only see
+//! lock cycles).
+//!
+//! ```text
+//! cargo run --example detect_bugs
+//! ```
+
+use learning_from_mistakes::detect::DetectorKind;
+use learning_from_mistakes::kernels::Family;
+use learning_from_mistakes::study::experiments::{coverage_table, detector_coverage};
+
+fn main() {
+    println!("Running 6 detectors against all 29 kernels (this explores");
+    println!("each kernel to a failure witness first)...\n");
+
+    println!("{}", coverage_table());
+
+    // Highlight the blind spots the study predicts.
+    let rows = detector_coverage();
+
+    let hb_blind: Vec<_> = rows
+        .iter()
+        .filter(|r| r.family != Family::Deadlock && !r.flagged(DetectorKind::HappensBefore))
+        .map(|r| r.kernel)
+        .collect();
+    println!("race-detector blind spots (no data race, bug anyway): {hb_blind:?}");
+
+    let order_only: Vec<_> = rows
+        .iter()
+        .filter(|r| {
+            r.flagged(DetectorKind::Order)
+                && !r.flagged(DetectorKind::Atomicity)
+                && r.family == Family::Order
+        })
+        .map(|r| r.kernel)
+        .collect();
+    println!("caught by the order detector but not AVIO:             {order_only:?}");
+
+    let muvi_only: Vec<_> = rows
+        .iter()
+        .filter(|r| r.flagged(DetectorKind::Muvi) && r.flagged_by.len() == 1)
+        .map(|r| r.kernel)
+        .collect();
+    println!("caught ONLY by the MUVI correlation detector:          {muvi_only:?}");
+
+    let lockorder_hits: Vec<_> = rows
+        .iter()
+        .filter(|r| r.flagged(DetectorKind::LockOrder))
+        .map(|r| r.kernel)
+        .collect();
+    println!("deadlock cycles predicted from passing runs:           {lockorder_hits:?}");
+
+    let uncaught: Vec<_> = rows
+        .iter()
+        .filter(|r| r.flagged_by.is_empty())
+        .map(|r| r.kernel)
+        .collect();
+    println!("caught by no detector at all:                          {uncaught:?}");
+    println!(
+        "\nThe takeaway mirrors the paper: no single detector family covers \
+         the real-world bug spectrum."
+    );
+}

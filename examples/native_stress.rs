@@ -1,0 +1,89 @@
+//! The bug kernels on real threads: manifestation rates under the OS
+//! scheduler, next to the simulator's exhaustive ground truth.
+//!
+//! The study's testing implication in numbers: stress testing observes a
+//! *rate*; systematic exploration proves *possibility* (and its absence
+//! after a fix). Both views of the same bugs, side by side.
+//!
+//! ```text
+//! cargo run --release --example native_stress
+//! ```
+
+use learning_from_mistakes::kernels::registry;
+use learning_from_mistakes::native::kernels as native;
+use learning_from_mistakes::native::stress;
+use learning_from_mistakes::sim::Explorer;
+
+fn sim_ground_truth(kernel_id: &str) -> (u64, u64) {
+    let kernel = registry::by_id(kernel_id).expect("kernel exists");
+    let report = Explorer::new(&kernel.buggy()).run();
+    (report.counts.failures(), report.schedules_run)
+}
+
+fn main() {
+    println!("native stress vs. simulator ground truth\n");
+
+    let trials = 60;
+
+    let (fail, total) = sim_ground_truth("counter_rmw");
+    let buggy = stress(trials, || native::racy_counter(4, 5_000, false));
+    let fixed = stress(trials, || native::racy_counter(4, 5_000, true));
+    println!("racy counter (lost update)");
+    println!("  simulator: {fail}/{total} interleavings manifest");
+    println!("  native buggy: {buggy}");
+    println!("  native fixed: {fixed}");
+    assert_eq!(fixed.manifested, 0);
+
+    let (fail, total) = sim_ground_truth("bank_withdraw");
+    let buggy = stress(trials, || native::bank_withdraw(4, 50, false));
+    let fixed = stress(trials, || native::bank_withdraw(4, 50, true));
+    println!("\ncheck-then-act withdrawal (overdraft)");
+    println!("  simulator: {fail}/{total} interleavings manifest");
+    println!("  native buggy: {buggy}");
+    println!("  native fixed: {fixed}");
+    assert_eq!(fixed.manifested, 0);
+
+    let (fail, total) = sim_ground_truth("publish_before_init");
+    let buggy = stress(trials, || native::publish_before_init(200, false));
+    let fixed = stress(trials, || native::publish_before_init(200, true));
+    println!("\npublish-before-init (order violation)");
+    println!("  simulator: {fail}/{total} interleavings manifest");
+    println!("  native buggy: {buggy}");
+    println!("  native fixed: {fixed}");
+    assert_eq!(fixed.manifested, 0);
+
+    let (fail, total) = sim_ground_truth("missed_signal");
+    let buggy = stress(3, || native::missed_signal(false, true));
+    let fixed = stress(3, || native::missed_signal(true, true));
+    println!("\nmissed signal (lost wakeup; 300 ms watchdog per trial)");
+    println!("  simulator: {fail}/{total} interleavings manifest");
+    println!("  native buggy (signal first): {buggy}");
+    println!("  native fixed (predicate):    {fixed}");
+    assert_eq!(fixed.manifested, 0);
+
+    let (fail, total) = sim_ground_truth("abba");
+    println!("\nABBA deadlock (1 aligned native trial; deadlocked threads leak)");
+    println!("  simulator: {fail}/{total} interleavings manifest");
+    let buggy = native::abba_deadlock(false);
+    println!(
+        "  native buggy: {}",
+        if buggy.manifested {
+            "deadlocked (watchdog fired)"
+        } else {
+            "completed (window missed this run)"
+        }
+    );
+    let fixed = native::abba_deadlock(true);
+    println!(
+        "  native fixed: completed = {}",
+        fixed.observed == 2 && !fixed.manifested
+    );
+    assert!(!fixed.manifested);
+
+    println!(
+        "\nTakeaway: every fixed variant is silent natively AND proved by the \
+         model checker; the buggy rates vary with hardware and scheduler — \
+         which is precisely why the study argues for systematic interleaving \
+         coverage over stress testing."
+    );
+}

@@ -1,0 +1,35 @@
+//! # learning-from-mistakes
+//!
+//! Umbrella crate for a full reproduction of *"Learning from Mistakes: A
+//! Comprehensive Study on Real World Concurrency Bug Characteristics"*
+//! (Lu, Park, Seo, Zhou — ASPLOS 2008) as a Rust workspace.
+//!
+//! The workspace re-exports, through this crate, everything needed to:
+//!
+//! - query the 105-bug **corpus** ([`corpus`]),
+//! - execute and model-check minimized **bug kernels** ([`kernels`])
+//!   on the deterministic interleaving **simulator** ([`sim`]),
+//! - run the dynamic **detectors** ([`detect`]),
+//! - reproduce the bug shapes on **real threads** ([`native`]),
+//! - evaluate **transactional-memory** applicability ([`stm`]),
+//! - and regenerate every table and figure of the paper ([`study`]).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use learning_from_mistakes::corpus::Corpus;
+//!
+//! let corpus = Corpus::full();
+//! assert_eq!(corpus.len(), 105);
+//! ```
+
+pub use lfm_corpus as corpus;
+pub use lfm_detect as detect;
+pub use lfm_kernels as kernels;
+pub use lfm_native as native;
+pub use lfm_sim as sim;
+pub use lfm_stm as stm;
+pub use lfm_study as study;

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) on the simulator's core invariants:
+//! deterministic replay, vector-clock consistency, exploration
+//! combinatorics, and transactional serializability.
+
+use learning_from_mistakes::sim::{
+    Executor, Explorer, Expr, Outcome, ProgramBuilder, RandomWalker, RecordMode, Schedule, Stmt,
+};
+use proptest::prelude::*;
+
+/// n threads × k read-increment-write rounds on one counter.
+fn racy_counter(n_threads: usize, rounds: usize) -> learning_from_mistakes::sim::Program {
+    static NAMES: [&str; 4] = ["w0", "w1", "w2", "w3"];
+    let mut b = ProgramBuilder::new("racy");
+    let v = b.var("counter", 0);
+    for name in NAMES.iter().take(n_threads) {
+        let mut body = Vec::new();
+        for _ in 0..rounds {
+            body.push(Stmt::read(v, "tmp"));
+            body.push(Stmt::write(v, Expr::local("tmp") + Expr::lit(1)));
+        }
+        b.thread(name, body);
+    }
+    b.build().expect("builds")
+}
+
+fn multinomial(counts: &[usize]) -> u64 {
+    // (Σ counts)! / Π counts!  computed incrementally to stay in u64.
+    let mut result = 1u64;
+    let mut placed = 0usize;
+    for &c in counts {
+        for i in 1..=c {
+            placed += 1;
+            result = result * placed as u64 / i as u64;
+        }
+    }
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying a recorded schedule reproduces outcome and final state.
+    #[test]
+    fn replay_is_deterministic(seed in 0u64..1_000, threads in 2usize..=3, rounds in 1usize..=2) {
+        let program = racy_counter(threads, rounds);
+        let mut first = Executor::new(&program);
+        // Drive with a seeded random picker.
+        let mut state = seed;
+        first.run_with(10_000, |enabled| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            enabled[(state >> 33) as usize % enabled.len()]
+        });
+        let schedule = first.schedule_taken().clone();
+        let outcome = first.outcome().cloned().expect("finished");
+
+        let mut second = Executor::new(&program);
+        let replayed = second.replay(&schedule, 10_000);
+        prop_assert_eq!(&replayed, &outcome);
+        prop_assert_eq!(first.vars(), second.vars());
+        prop_assert_eq!(first.steps(), second.steps());
+    }
+
+    /// The exhaustive explorer enumerates exactly the multinomial number
+    /// of interleavings for straight-line threads.
+    #[test]
+    fn explorer_counts_are_multinomial(threads in 2usize..=3, rounds in 1usize..=2) {
+        let program = racy_counter(threads, rounds);
+        let report = Explorer::new(&program).run();
+        let ops_per_thread = 2 * rounds;
+        let expected = multinomial(&vec![ops_per_thread; threads]);
+        prop_assert_eq!(report.schedules_run, expected);
+        prop_assert!(!report.truncated);
+    }
+
+    /// Vector clocks respect program order: within one thread, event
+    /// clocks are monotonically increasing.
+    #[test]
+    fn clocks_respect_program_order(seed in 0u64..500) {
+        let program = racy_counter(3, 2);
+        let traces = RandomWalker::new(&program, seed).collect_traces(1);
+        let (trace, _) = &traces[0];
+        for tid in 0..trace.n_threads {
+            let thread = learning_from_mistakes::sim::ThreadId::from_index(tid);
+            let events: Vec<_> = trace.thread_events(thread).collect();
+            for pair in events.windows(2) {
+                prop_assert!(
+                    pair[0].clock.le(&pair[1].clock),
+                    "program order violated in thread {tid}"
+                );
+            }
+        }
+    }
+
+    /// Happens-before is consistent with the execution's total order:
+    /// if a HB b then a appears before b in the trace.
+    #[test]
+    fn happens_before_embeds_in_total_order(seed in 0u64..500) {
+        let mut b = ProgramBuilder::new("locked");
+        let v = b.var("x", 0);
+        let m = b.mutex();
+        for name in ["a", "b", "c"] {
+            b.thread(name, vec![
+                Stmt::lock(m),
+                Stmt::read(v, "t"),
+                Stmt::write(v, Expr::local("t") + Expr::lit(1)),
+                Stmt::unlock(m),
+            ]);
+        }
+        let program = b.build().unwrap();
+        let traces = RandomWalker::new(&program, seed).collect_traces(1);
+        let (trace, outcome) = &traces[0];
+        prop_assert!(outcome.is_ok());
+        for (i, e1) in trace.events.iter().enumerate() {
+            for e2 in &trace.events[i + 1..] {
+                // e1 precedes e2 in the total order, so e2 must not
+                // *strictly* happen-before e1. (The initial ThreadStart
+                // events all carry the zero clock, which is `le` both
+                // ways without expressing an ordering — hence strict.)
+                let strictly_before = e2.clock.le(&e1.clock) && e2.clock != e1.clock;
+                prop_assert!(
+                    !(strictly_before && e1.thread != e2.thread),
+                    "total order contradiction at {} vs {}", e1.seq, e2.seq
+                );
+            }
+        }
+    }
+
+    /// Counter increments under the in-sim transactions serialize for
+    /// every schedule the random walker produces.
+    #[test]
+    fn transactions_serialize_under_random_schedules(seed in 0u64..300) {
+        let mut b = ProgramBuilder::new("tx");
+        let v = b.var("x", 0);
+        for name in ["a", "b", "c"] {
+            b.thread(name, vec![
+                Stmt::TxBegin,
+                Stmt::read(v, "t"),
+                Stmt::write(v, Expr::local("t") + Expr::lit(1)),
+                Stmt::TxCommit,
+            ]);
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(3)), "tx increments serialize");
+        let program = b.build().unwrap();
+        let report = RandomWalker::new(&program, seed).run_trials(20);
+        prop_assert_eq!(report.counts.assert_failed, 0);
+        prop_assert_eq!(report.counts.deadlock, 0);
+    }
+
+    /// A schedule's context switches are bounded by its length.
+    #[test]
+    fn context_switch_bound(choices in proptest::collection::vec(0usize..3, 0..40)) {
+        let schedule: Schedule = choices
+            .iter()
+            .map(|&i| learning_from_mistakes::sim::ThreadId::from_index(i))
+            .collect();
+        prop_assert!(schedule.context_switches() <= schedule.len().saturating_sub(1));
+    }
+}
+
+#[test]
+fn lost_update_bound_matches_thread_count() {
+    // With n racing single-increment threads, the final counter is
+    // between 1 and n across all interleavings — and both bounds are
+    // attained.
+    for n in 2..=3 {
+        let program = racy_counter(n, 1);
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        Explorer::new(&program).run_with_callback(|exec, outcome| {
+            assert!(matches!(outcome, Outcome::Ok), "no asserts in this program");
+            min = min.min(exec.vars()[0]);
+            max = max.max(exec.vars()[0]);
+        });
+        assert_eq!(min, 1, "maximal loss: everyone reads 0");
+        assert_eq!(max, n as i64, "serial execution keeps all increments");
+    }
+}
+
+#[test]
+fn recording_does_not_change_outcomes() {
+    let program = racy_counter(2, 2);
+    let schedule: Schedule = {
+        let mut e = Executor::new(&program);
+        e.run_with(1000, |enabled| *enabled.last().unwrap());
+        e.schedule_taken().clone()
+    };
+    let mut plain = Executor::new(&program);
+    let out_plain = plain.replay(&schedule, 1000);
+    let mut recorded = Executor::with_record(&program, RecordMode::Full);
+    let out_recorded = recorded.replay(&schedule, 1000);
+    assert_eq!(out_plain, out_recorded);
+    assert_eq!(plain.vars(), recorded.vars());
+}

@@ -1,0 +1,112 @@
+//! Model-based property tests for the TL2 STM: sequences of committed
+//! transactions must behave exactly like the same operations applied to
+//! a plain `Vec<i64>` model, and concurrent histories must be
+//! serializable (equal to *some* sequential order — checked for
+//! commutative workloads by final-state equality).
+
+use learning_from_mistakes::stm::TSpace;
+use proptest::prelude::*;
+
+/// One transactional operation in a generated script.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(usize),
+    Write(usize, i64),
+    Add(usize, i64),
+}
+
+fn op_strategy(words: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..words).prop_map(Op::Read),
+        (0..words, -100i64..100).prop_map(|(i, v)| Op::Write(i, v)),
+        (0..words, -10i64..10).prop_map(|(i, v)| Op::Add(i, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded transactions are exactly the sequential model.
+    #[test]
+    fn sequential_transactions_match_the_model(
+        txs in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(4), 1..6),
+            1..8,
+        )
+    ) {
+        let space = TSpace::new(4);
+        let mut model = vec![0i64; 4];
+        for tx_ops in &txs {
+            let ops = tx_ops.clone();
+            // Model application.
+            let mut model_next = model.clone();
+            let mut model_reads = Vec::new();
+            for op in &ops {
+                match op {
+                    Op::Read(i) => model_reads.push(model_next[*i]),
+                    Op::Write(i, v) => model_next[*i] = *v,
+                    Op::Add(i, v) => model_next[*i] += *v,
+                }
+            }
+            // STM application.
+            let stm_reads = space.atomically(|tx| {
+                let mut reads = Vec::new();
+                for op in &ops {
+                    match op {
+                        Op::Read(i) => reads.push(tx.read(*i)?),
+                        Op::Write(i, v) => tx.write(*i, *v),
+                        Op::Add(i, v) => {
+                            let cur = tx.read(*i)?;
+                            tx.write(*i, cur + v);
+                        }
+                    }
+                }
+                Ok(reads)
+            });
+            prop_assert_eq!(&stm_reads, &model_reads);
+            model = model_next;
+            for (i, expected) in model.iter().enumerate() {
+                prop_assert_eq!(space.read_now(i), *expected);
+            }
+        }
+    }
+
+    /// Concurrent commutative workloads (per-thread adds) serialize to
+    /// the arithmetic sum regardless of scheduling.
+    #[test]
+    fn concurrent_adds_serialize(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec((0usize..3, 1i64..5), 1..20),
+            2..4,
+        )
+    ) {
+        let space = std::sync::Arc::new(TSpace::new(3));
+        let mut expected = [0i64; 3];
+        for ops in &per_thread {
+            for (i, v) in ops {
+                expected[*i] += v;
+            }
+        }
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|ops| {
+                let space = std::sync::Arc::clone(&space);
+                std::thread::spawn(move || {
+                    for (i, v) in ops {
+                        space.atomically(|tx| {
+                            let cur = tx.read(i)?;
+                            tx.write(i, cur + v);
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker ok");
+        }
+        for (i, e) in expected.iter().enumerate() {
+            prop_assert_eq!(space.read_now(i), *e);
+        }
+    }
+}
