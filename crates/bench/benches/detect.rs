@@ -50,7 +50,9 @@ fn bench_detectors(c: &mut Criterion) {
         let d = AtomicityDetector::train(training.iter());
         b.iter(|| d.analyze(&trace).len())
     });
-    group.bench_function("order-train", |b| b.iter(|| OrderDetector::train(training.iter())));
+    group.bench_function("order-train", |b| {
+        b.iter(|| OrderDetector::train(training.iter()))
+    });
     group.bench_function("lock-order", |b| {
         let abba = witness_trace("abba");
         b.iter(|| LockOrderDetector::analyze([&abba]).len())

@@ -45,7 +45,12 @@ fn bench_preemption_bounds(c: &mut Criterion) {
     let program = kernel.buggy();
     for bound in [0u32, 1, 2] {
         group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
-            b.iter(|| Explorer::new(&program).preemption_bound(bound).run().schedules_run)
+            b.iter(|| {
+                Explorer::new(&program)
+                    .preemption_bound(bound)
+                    .run()
+                    .schedules_run
+            })
         });
     }
     group.bench_function("unbounded", |b| {
@@ -59,7 +64,9 @@ fn bench_dedup_states(c: &mut Criterion) {
     group.sample_size(10);
     let kernel = registry::by_id("abba").expect("kernel exists");
     let tx = kernel
-        .try_build(lfm_kernels::Variant::Fixed(lfm_kernels::FixKind::Transaction))
+        .try_build(lfm_kernels::Variant::Fixed(
+            lfm_kernels::FixKind::Transaction,
+        ))
         .expect("abba has a TM fix");
     group.bench_function("tx-variant/no-dedup", |b| {
         b.iter(|| Explorer::new(&tx).run().schedules_run)
@@ -104,9 +111,7 @@ fn bench_random_walk(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(trials),
             &trials,
-            |b, &trials| {
-                b.iter(|| RandomWalker::new(&program, 42).run_trials(trials).counts)
-            },
+            |b, &trials| b.iter(|| RandomWalker::new(&program, 42).run_trials(trials).counts),
         );
     }
     group.finish();

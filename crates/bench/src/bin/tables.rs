@@ -4,6 +4,7 @@
 //! cargo run -p lfm-bench --bin tables              # everything
 //! cargo run -p lfm-bench --bin tables -- --only t3 # one artifact
 //! cargo run -p lfm-bench --bin tables -- --markdown
+//! cargo run -p lfm-bench --bin tables -- --json obs.json # metrics snapshot
 //! ```
 
 use lfm_bench::Artifact;
@@ -16,6 +17,19 @@ fn main() {
         .iter()
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1));
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1));
+
+    if let Some(path) = json_path {
+        let snapshot = lfm_bench::obs_snapshot();
+        if let Err(e) = std::fs::write(path, snapshot) {
+            eprintln!("cannot write metrics snapshot to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {path}");
+    }
 
     let corpus = Corpus::full();
 

@@ -9,11 +9,20 @@
 //! - the **criterion benches** (`cargo bench -p lfm-bench`) measure the
 //!   substrates: exploration throughput per kernel family, detector
 //!   throughput, TL2 STM vs. mutex scaling, and table generation.
+//!
+//! The `tables` binary additionally accepts `--json <path>` to write an
+//! `lfm-obs/v1` metrics snapshot (see [`snapshot`]).
 
 #![warn(missing_docs)]
 
+pub mod snapshot;
+
+pub use snapshot::{obs_snapshot, SNAPSHOT_SCHEMA};
+
 use lfm_corpus::Corpus;
-use lfm_study::experiments::{coverage_growth_table, coverage_table, scheduler_table, scope_table, tm_table};
+use lfm_study::experiments::{
+    coverage_growth_table, coverage_table, scheduler_table, scope_table, tm_table,
+};
 use lfm_study::figures;
 use lfm_study::tables;
 use lfm_study::Table;

@@ -1,0 +1,190 @@
+//! Machine-readable metrics snapshots (`lfm-obs/v1`).
+//!
+//! [`obs_snapshot`] exercises each instrumented subsystem once —
+//! exploration per kernel family, the detector pipeline, the TL2 STM,
+//! and the table generators — and serializes the collected metrics as
+//! one JSON document. The `tables` binary writes it with `--json <path>`
+//! so benchmark runs leave a comparable artifact next to the tables.
+
+use std::fmt::Write as _;
+
+use lfm_kernels::{registry, Family};
+use lfm_obs::{json, NoopSink};
+use lfm_sim::{ExploreLimits, Explorer, RandomWalker};
+use lfm_stm::tl2::TSpace;
+
+/// Schema identifier embedded in every snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "lfm-obs/v1";
+
+fn push_field(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    let _ = write!(out, "{}:{}", json::quote(key), value);
+}
+
+/// Builds the full metrics snapshot as a JSON document.
+///
+/// Deliberately small budgets: the snapshot is a smoke-level profile of
+/// every subsystem, not a benchmark — `cargo bench` owns the real
+/// measurements.
+pub fn obs_snapshot() -> String {
+    let mut out = String::with_capacity(4096);
+    out.push('{');
+    push_field(&mut out, "schema", json::quote(SNAPSHOT_SCHEMA));
+
+    // Exploration, aggregated per kernel family over the buggy variants.
+    out.push_str(",\"explore\":[");
+    for (i, family) in Family::ALL.into_iter().enumerate() {
+        let mut kernels = 0u64;
+        let mut schedules = 0u64;
+        let mut failures = 0u64;
+        let mut branch_points = 0u64;
+        let mut snapshots = 0u64;
+        let mut sleep_pruned = 0u64;
+        let mut wall_us = 0u64;
+        for kernel in registry::by_family(family) {
+            let report = Explorer::new(&kernel.buggy())
+                .limits(ExploreLimits {
+                    max_schedules: 2_000,
+                    sleep_sets: true,
+                    ..ExploreLimits::default()
+                })
+                .run();
+            kernels += 1;
+            schedules += report.schedules_run;
+            failures += report.counts.failures();
+            branch_points += report.stats.branch_points;
+            snapshots += report.stats.snapshots;
+            sleep_pruned += report.sleep_pruned;
+            wall_us += report.stats.wall.as_micros() as u64;
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_field(&mut out, "family", json::quote(&family.to_string()));
+        out.push(',');
+        push_field(&mut out, "kernels", kernels);
+        out.push(',');
+        push_field(&mut out, "schedules", schedules);
+        out.push(',');
+        push_field(&mut out, "failures", failures);
+        out.push(',');
+        push_field(&mut out, "branch_points", branch_points);
+        out.push(',');
+        push_field(&mut out, "snapshots", snapshots);
+        out.push(',');
+        push_field(&mut out, "sleep_pruned", sleep_pruned);
+        out.push(',');
+        push_field(&mut out, "wall_us", wall_us);
+        out.push('}');
+    }
+    out.push(']');
+
+    // The detector pipeline on a representative kernel's sampled traces.
+    let kernel = registry::by_id("counter_rmw").expect("known kernel");
+    let program = kernel.buggy();
+    let sampled = RandomWalker::new(&program, 7).collect_traces(6);
+    let (training, test): (Vec<_>, Vec<_>) = sampled.into_iter().partition(|(_, o)| o.is_ok());
+    let training: Vec<_> = training.into_iter().map(|(t, _)| t).collect();
+    let test: Vec<_> = test.into_iter().map(|(t, _)| t).collect();
+    let (_, detect_stats) = lfm_detect::detect_all_with_stats(&training, &test, &NoopSink);
+    out.push_str(",\"detect\":{\"passes\":[");
+    for (i, pass) in detect_stats.passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_field(&mut out, "detector", json::quote(&pass.kind.to_string()));
+        out.push(',');
+        push_field(&mut out, "events", pass.counts.events);
+        out.push(',');
+        push_field(&mut out, "candidates", pass.counts.candidates);
+        out.push(',');
+        push_field(&mut out, "reports", pass.reports);
+        out.push(',');
+        push_field(&mut out, "wall_us", pass.wall.as_micros() as u64);
+        out.push('}');
+    }
+    out.push_str("],");
+    push_field(
+        &mut out,
+        "training_wall_us",
+        detect_stats.training_wall.as_micros() as u64,
+    );
+    out.push('}');
+
+    // A short single-threaded TL2 workload: exact, deterministic counts.
+    let space = TSpace::new(1);
+    for _ in 0..100 {
+        space.atomically(|tx| {
+            let v = tx.read(0)?;
+            tx.write(0, v + 1);
+            Ok(())
+        });
+    }
+    let stm = space.stats();
+    out.push_str(",\"stm\":{");
+    push_field(&mut out, "starts", stm.starts);
+    out.push(',');
+    push_field(&mut out, "commits", stm.commits);
+    out.push(',');
+    push_field(&mut out, "aborts", stm.aborts);
+    out.push(',');
+    push_field(&mut out, "body_retries", stm.body_retries);
+    out.push(',');
+    push_field(&mut out, "commit_rate", json::number_f64(stm.commit_rate()));
+    out.push('}');
+
+    // Table-generator timings over the full corpus.
+    let corpus = lfm_corpus::Corpus::full();
+    let (_, timings) = lfm_study::profile_tables(&corpus, &NoopSink);
+    out.push_str(",\"study\":{\"tables\":[");
+    let mut total_us = 0u64;
+    for (i, timing) in timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let us = timing.wall.as_micros() as u64;
+        total_us += us;
+        out.push('{');
+        push_field(&mut out, "id", json::quote(&timing.id));
+        out.push(',');
+        push_field(&mut out, "wall_us", us);
+        out.push('}');
+    }
+    out.push_str("],");
+    push_field(&mut out, "total_wall_us", total_us);
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_every_subsystem() {
+        let snap = obs_snapshot();
+        assert!(snap.starts_with('{') && snap.ends_with('}'));
+        assert!(snap.contains("\"schema\":\"lfm-obs/v1\""));
+        for family in Family::ALL {
+            assert!(
+                snap.contains(&json::quote(&family.to_string())),
+                "missing family {family}"
+            );
+        }
+        for key in [
+            "\"detect\":",
+            "\"stm\":",
+            "\"study\":",
+            "\"T9\"",
+            "\"commits\":100",
+        ] {
+            assert!(snap.contains(key), "missing {key} in {snap}");
+        }
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser dependency.
+        let opens = snap.matches('{').count() + snap.matches('[').count();
+        let closes = snap.matches('}').count() + snap.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,9 +1,29 @@
-//! The `lfm` binary: a thin shim over `lfm_cli::{parse, run}`.
+//! The `lfm` binary: a thin shim over `lfm_cli::{parse_invocation, run_with}`.
+
+use std::sync::Arc;
+
+use lfm_obs::{JsonlSink, NoopSink, Sink};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match lfm_cli::parse(&args) {
-        Ok(command) => print!("{}", lfm_cli::run(command)),
+    match lfm_cli::parse_invocation(&args) {
+        Ok(invocation) => {
+            let sink: Arc<dyn Sink> = match &invocation.log_jsonl {
+                Some(path) => match JsonlSink::create(path) {
+                    Ok(sink) => Arc::new(sink),
+                    Err(err) => {
+                        eprintln!("error: cannot open log file `{path}`: {err}");
+                        std::process::exit(2);
+                    }
+                },
+                None => Arc::new(NoopSink),
+            };
+            print!(
+                "{}",
+                lfm_cli::run_with(invocation.command, Arc::clone(&sink))
+            );
+            sink.flush();
+        }
         Err(err) => {
             eprintln!("error: {err}");
             eprintln!("{}", lfm_cli::HELP);

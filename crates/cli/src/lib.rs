@@ -8,7 +8,9 @@
 //! lfm show <bug-id>                                # one record, full detail
 //! lfm kernel <id>                                  # explore a kernel
 //! lfm kernel <id> --source                         # paper-figure pseudo-code
+//! lfm kernel <id> --stats                          # exploration metrics
 //! lfm tables [t1..t9|f1..f5|escope|edetect|etest|etm|findings]
+//! lfm --log-jsonl run.jsonl kernel <id>            # structured event log
 //! ```
 //!
 //! The argument parser is hand-rolled (the offline dependency set has no
@@ -17,10 +19,12 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Arc;
 
 use lfm_bench::Artifact;
 use lfm_corpus::{App, BugClass, Corpus};
 use lfm_kernels::{registry, Family, Variant};
+use lfm_obs::{fmt_duration, NoopSink, Sink, StatsTable};
 use lfm_sim::{pseudocode, Explorer};
 
 /// A parsed CLI invocation.
@@ -43,7 +47,7 @@ pub enum Command {
         /// The record id.
         id: String,
     },
-    /// `lfm kernel <id> [--source] [--witness]`
+    /// `lfm kernel <id> [--source] [--witness] [--stats]`
     Kernel {
         /// The kernel id.
         id: String,
@@ -51,6 +55,9 @@ pub enum Command {
         source: bool,
         /// Print the failure witness as an interleaving timeline.
         witness: bool,
+        /// Print exploration metrics (schedules/sec, snapshots, prunes,
+        /// per-phase wall time) after the results.
+        stats: bool,
     },
     /// `lfm export`
     Export,
@@ -112,6 +119,38 @@ fn parse_family(s: &str) -> Result<Family, UsageError> {
     }
 }
 
+/// A parsed invocation: the command plus global options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The command to run.
+    pub command: Command,
+    /// `--log-jsonl <path>`: stream structured events to a JSONL file.
+    pub log_jsonl: Option<String>,
+}
+
+/// Parses the argument vector (without the program name), extracting
+/// global options (`--log-jsonl <path>`, accepted anywhere) before the
+/// command grammar.
+pub fn parse_invocation(args: &[String]) -> Result<Invocation, UsageError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut log_jsonl = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--log-jsonl" {
+            let path = it
+                .next()
+                .ok_or_else(|| UsageError("--log-jsonl needs a file path".into()))?;
+            log_jsonl = Some(path.clone());
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok(Invocation {
+        command: parse(&rest)?,
+        log_jsonl,
+    })
+}
+
 /// Parses the argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut it = args.iter().map(String::as_str);
@@ -124,15 +163,15 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 while let Some(flag) = it.next() {
                     match flag {
                         "--app" => {
-                            let v = it.next().ok_or_else(|| {
-                                UsageError("--app needs a value".into())
-                            })?;
+                            let v = it
+                                .next()
+                                .ok_or_else(|| UsageError("--app needs a value".into()))?;
                             app = Some(parse_app(v)?);
                         }
                         "--class" => {
-                            let v = it.next().ok_or_else(|| {
-                                UsageError("--class needs a value".into())
-                            })?;
+                            let v = it
+                                .next()
+                                .ok_or_else(|| UsageError("--class needs a value".into()))?;
                             class = Some(parse_class(v)?);
                         }
                         other => {
@@ -147,9 +186,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 while let Some(flag) = it.next() {
                     match flag {
                         "--family" => {
-                            let v = it.next().ok_or_else(|| {
-                                UsageError("--family needs a value".into())
-                            })?;
+                            let v = it
+                                .next()
+                                .ok_or_else(|| UsageError("--family needs a value".into()))?;
                             family = Some(parse_family(v)?);
                         }
                         other => {
@@ -171,14 +210,16 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         }
         Some("kernel") => {
             let id = it.next().ok_or_else(|| {
-                UsageError("usage: lfm kernel <id> [--source] [--witness]".into())
+                UsageError("usage: lfm kernel <id> [--source] [--witness] [--stats]".into())
             })?;
             let mut source = false;
             let mut witness = false;
+            let mut stats = false;
             for flag in it {
                 match flag {
                     "--source" => source = true,
                     "--witness" => witness = true,
+                    "--stats" => stats = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -186,6 +227,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 id: id.to_owned(),
                 source,
                 witness,
+                stats,
             })
         }
         Some("export") => Ok(Command::Export),
@@ -224,16 +266,28 @@ USAGE:
   lfm kernel <id>                   model-check a kernel (buggy + fixes)
   lfm kernel <id> --source          print the kernel as paper-figure pseudo-code
   lfm kernel <id> --witness         show the failure witness as a timeline
+  lfm kernel <id> --stats           also print exploration metrics
   lfm export                        dump the corpus as JSON to stdout
   lfm tables [ARTIFACT] [--markdown]
                                     regenerate tables/figures/experiments
                                     (t1..t9, f1..f5, escope, edetect, etest,
                                      etm, findings; default: everything)
   lfm help
+
+GLOBAL OPTIONS:
+  --log-jsonl <path>                stream structured run events (explore,
+                                    detect, stm scopes) to <path> as JSONL
 ";
 
 /// Executes a parsed command, returning the text to print.
 pub fn run(command: Command) -> String {
+    run_with(command, Arc::new(NoopSink))
+}
+
+/// [`run`] with a structured-event sink: exploration streams `explore`
+/// scope events to `sink` (the `--log-jsonl` path). Output text is
+/// identical whatever the sink.
+pub fn run_with(command: Command, sink: Arc<dyn Sink>) -> String {
     match command {
         Command::Help => HELP.to_owned(),
         Command::ListBugs { app, class } => {
@@ -292,21 +346,27 @@ pub fn run(command: Command) -> String {
                     out.push_str(&format!("  fix:      {}\n", bug.fix()));
                     out.push_str(&format!("  TM:       {}\n", bug.tm));
                     if let Some(k) = &bug.kernel {
-                        out.push_str(&format!(
-                            "  kernel:   {k}   (run `lfm kernel {k}`)\n"
-                        ));
+                        out.push_str(&format!("  kernel:   {k}   (run `lfm kernel {k}`)\n"));
                     }
                     out
                 }
             }
         }
-        Command::Kernel { id, source, witness } => {
+        Command::Kernel {
+            id,
+            source,
+            witness,
+            stats,
+        } => {
             let Some(kernel) = registry::by_id(&id) else {
                 return format!("no kernel `{id}` (try `lfm list kernels`)\n");
             };
             if witness {
                 let program = kernel.buggy();
-                let report = Explorer::new(&program).stop_on_first_failure().run();
+                let report = Explorer::new(&program)
+                    .stop_on_first_failure()
+                    .with_sink(Arc::clone(&sink))
+                    .run();
                 let Some((schedule, outcome)) = report.first_failure else {
                     return format!("kernel `{id}` produced no failure?!\n");
                 };
@@ -326,23 +386,30 @@ pub fn run(command: Command) -> String {
                 out
             } else {
                 let mut out = format!("{kernel}\n  {}\n\n", kernel.description);
-                let buggy = Explorer::new(&kernel.buggy()).run();
+                let buggy = Explorer::new(&kernel.buggy())
+                    .with_sink(Arc::clone(&sink))
+                    .run();
                 out.push_str(&format!(
-                    "buggy: {} interleavings, {} manifest ({} ok, {} assert, {} deadlock)\n",
+                    "buggy: {} interleavings, {} manifest ({})\n",
                     buggy.schedules_run,
                     buggy.counts.failures(),
-                    buggy.counts.ok,
-                    buggy.counts.assert_failed,
-                    buggy.counts.deadlock
+                    buggy.counts
                 ));
                 if let Some((schedule, outcome)) = &buggy.first_failure {
                     out.push_str(&format!("witness: [{schedule}] -> {outcome}\n"));
                 }
+                if let Some(reason) = buggy.truncation {
+                    out.push_str(&format!("truncated by: {reason}\n"));
+                }
+                let mut fix_walls = Vec::new();
                 for &fix in kernel.fixes {
                     let fixed = kernel.build(Variant::Fixed(fix));
-                    let report = Explorer::new(&fixed).dedup_states().run();
+                    let report = Explorer::new(&fixed)
+                        .dedup_states()
+                        .with_sink(Arc::clone(&sink))
+                        .run();
                     out.push_str(&format!(
-                        "fix {:20} -> {} failures over {} schedules{}\n",
+                        "fix {:20} -> {} failures over {} schedules{}{}\n",
                         fix.to_string(),
                         report.counts.failures(),
                         report.schedules_run,
@@ -350,8 +417,39 @@ pub fn run(command: Command) -> String {
                             "  (proved)"
                         } else {
                             "  (BROKEN)"
+                        },
+                        match report.truncation {
+                            Some(reason) => format!("  [truncated: {reason}]"),
+                            None => String::new(),
                         }
                     ));
+                    fix_walls.push((fix, report.stats.wall));
+                }
+                if stats {
+                    let mut table = StatsTable::new(format!("stats ({id}, buggy variant)"));
+                    table
+                        .row("schedules", buggy.schedules_run)
+                        .row("schedules/sec", format!("{:.1}", buggy.schedules_per_sec()))
+                        .row("steps", buggy.steps_total)
+                        .row("branch points", buggy.stats.branch_points)
+                        .row("snapshots", buggy.stats.snapshots)
+                        .row("max depth", buggy.stats.max_depth)
+                        .row("sleep-set prunes", buggy.sleep_pruned)
+                        .row("dedup hits", buggy.states_deduped)
+                        .row("preemption cutoffs", buggy.stats.preemption_limited)
+                        .row(
+                            "truncation",
+                            match buggy.truncation {
+                                Some(reason) => reason.to_string(),
+                                None => "none (exhausted)".to_owned(),
+                            },
+                        )
+                        .row("wall (buggy)", fmt_duration(buggy.stats.wall));
+                    for (fix, wall) in fix_walls {
+                        table.row(format!("wall (fix: {fix})"), fmt_duration(wall));
+                    }
+                    out.push('\n');
+                    out.push_str(&table.to_string());
                 }
                 out
             }
@@ -398,7 +496,10 @@ mod tests {
             }
         );
         assert_eq!(
-            parse(&args(&["list", "bugs", "--app", "mysql", "--class", "deadlock"])).unwrap(),
+            parse(&args(&[
+                "list", "bugs", "--app", "mysql", "--class", "deadlock"
+            ]))
+            .unwrap(),
             Command::ListBugs {
                 app: Some(App::MySql),
                 class: Some(BugClass::Deadlock)
@@ -432,7 +533,8 @@ mod tests {
             Command::Kernel {
                 id: "abba".into(),
                 source: true,
-                witness: false
+                witness: false,
+                stats: false
             }
         );
         assert_eq!(
@@ -440,12 +542,45 @@ mod tests {
             Command::Kernel {
                 id: "abba".into(),
                 source: false,
-                witness: true
+                witness: true,
+                stats: false
+            }
+        );
+        assert_eq!(
+            parse(&args(&["kernel", "abba", "--stats"])).unwrap(),
+            Command::Kernel {
+                id: "abba".into(),
+                source: false,
+                witness: false,
+                stats: true
             }
         );
         assert!(parse(&args(&["show"])).is_err());
         assert!(parse(&args(&["kernel"])).is_err());
         assert!(parse(&args(&["kernel", "abba", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_global_log_jsonl_anywhere() {
+        let inv = parse_invocation(&args(&["--log-jsonl", "run.jsonl", "kernel", "abba"])).unwrap();
+        assert_eq!(inv.log_jsonl.as_deref(), Some("run.jsonl"));
+        assert_eq!(
+            inv.command,
+            Command::Kernel {
+                id: "abba".into(),
+                source: false,
+                witness: false,
+                stats: false
+            }
+        );
+        // Also accepted after the command.
+        let inv = parse_invocation(&args(&["kernel", "abba", "--log-jsonl", "x.jsonl"])).unwrap();
+        assert_eq!(inv.log_jsonl.as_deref(), Some("x.jsonl"));
+        // Without it, nothing changes.
+        let inv = parse_invocation(&args(&["help"])).unwrap();
+        assert_eq!(inv.log_jsonl, None);
+        assert_eq!(inv.command, Command::Help);
+        assert!(parse_invocation(&args(&["kernel", "abba", "--log-jsonl"])).is_err());
     }
 
     #[test]
@@ -509,6 +644,7 @@ mod tests {
             id: "counter_rmw".into(),
             source: true,
             witness: false,
+            stats: false,
         });
         assert!(out.contains("// ---- buggy variant ----"));
         assert!(out.contains("tmp = counter;"));
@@ -522,10 +658,53 @@ mod tests {
             id: "abba".into(),
             source: false,
             witness: false,
+            stats: false,
         });
         assert!(out.contains("deadlock"));
         assert!(out.contains("(proved)"));
         assert!(!out.contains("BROKEN"));
+        // The one-line histogram is the counts rendering.
+        assert!(out.contains("ok=") && out.contains("total="));
+    }
+
+    #[test]
+    fn run_kernel_stats_prints_metrics_block() {
+        let out = run(Command::Kernel {
+            id: "counter_rmw".into(),
+            source: false,
+            witness: false,
+            stats: true,
+        });
+        for needle in [
+            "stats (counter_rmw, buggy variant)",
+            "schedules/sec",
+            "branch points",
+            "snapshots",
+            "sleep-set prunes",
+            "dedup hits",
+            "wall (buggy)",
+            "wall (fix:",
+        ] {
+            assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn run_with_sink_streams_explore_events_without_changing_output() {
+        let command = Command::Kernel {
+            id: "counter_rmw".into(),
+            source: false,
+            witness: false,
+            stats: false,
+        };
+        let sink = Arc::new(lfm_obs::MemorySink::new());
+        let logged = run_with(command.clone(), Arc::clone(&sink) as Arc<dyn Sink>);
+        assert_eq!(logged, run(command));
+        // One report per exploration: the buggy variant plus every fix.
+        let kernel = registry::by_id("counter_rmw").unwrap();
+        let reports = sink.events_named("explore", "report");
+        assert_eq!(reports.len(), 1 + kernel.fixes.len());
+        assert!(reports[0].field("schedules").is_some());
     }
 
     #[test]
@@ -534,6 +713,7 @@ mod tests {
             id: "counter_rmw".into(),
             source: false,
             witness: true,
+            stats: false,
         });
         assert!(out.contains("witness outcome:"));
         assert!(out.contains("seq | t1"));

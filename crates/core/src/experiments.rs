@@ -177,13 +177,22 @@ pub fn detector_coverage() -> Vec<CoverageRow> {
             if !LocksetDetector::new().analyze(&test).is_empty() {
                 flagged.push(DetectorKind::Lockset);
             }
-            if !AtomicityDetector::train(training.iter()).analyze(&test).is_empty() {
+            if !AtomicityDetector::train(training.iter())
+                .analyze(&test)
+                .is_empty()
+            {
                 flagged.push(DetectorKind::Atomicity);
             }
-            if !OrderDetector::train(training.iter()).analyze(&test).is_empty() {
+            if !OrderDetector::train(training.iter())
+                .analyze(&test)
+                .is_empty()
+            {
                 flagged.push(DetectorKind::Order);
             }
-            if !MuviDetector::train(training.iter()).analyze(&test).is_empty() {
+            if !MuviDetector::train(training.iter())
+                .analyze(&test)
+                .is_empty()
+            {
                 flagged.push(DetectorKind::Muvi);
             }
             let mut lockorder = LockOrderDetector::new();
@@ -233,7 +242,10 @@ pub fn coverage_table() -> Table {
             mark(DetectorKind::LockOrder).to_string(),
         ]);
     }
-    let nd: Vec<_> = rows.iter().filter(|r| r.family != Family::Deadlock).collect();
+    let nd: Vec<_> = rows
+        .iter()
+        .filter(|r| r.family != Family::Deadlock)
+        .collect();
     let caught_by_any = nd.iter().filter(|r| !r.flagged_by.is_empty()).count();
     let missed_by_hb = nd
         .iter()
@@ -391,7 +403,13 @@ pub fn coverage_growth_table() -> Table {
     let mut t = Table::new(
         "E-cov",
         "Access-pair coverage growth under random testing (vs exhaustive universe)",
-        vec!["kernel", "universe", "@5 trials", "@25 trials", "bug found @25"],
+        vec![
+            "kernel",
+            "universe",
+            "@5 trials",
+            "@25 trials",
+            "bug found @25",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -443,8 +461,12 @@ pub fn tm_experiment(corpus: &Corpus) -> TmExperiment {
     let mut agreements = 0;
     let mut comparable = 0;
     for kernel in registry::all() {
-        let Some(source) = kernel.source_bug else { continue };
-        let Some(bug) = corpus.get_str(source) else { continue };
+        let Some(source) = kernel.source_bug else {
+            continue;
+        };
+        let Some(bug) = corpus.get_str(source) else {
+            continue;
+        };
         let Some(verdict) = verdicts.iter().find(|v| v.kernel == kernel.id) else {
             continue;
         };
@@ -545,12 +567,21 @@ mod tests {
             .iter()
             .find(|r| r.kernel == "double_counter_invariant")
             .unwrap();
-        assert!(!dc.flagged(DetectorKind::HappensBefore), "{:?}", dc.flagged_by);
+        assert!(
+            !dc.flagged(DetectorKind::HappensBefore),
+            "{:?}",
+            dc.flagged_by
+        );
         assert!(dc.flagged(DetectorKind::Muvi), "{:?}", dc.flagged_by);
 
         // Every multi-variable kernel is covered by MUVI.
         for r in rows.iter().filter(|r| r.family == Family::MultiVariable) {
-            assert!(r.flagged(DetectorKind::Muvi), "{}: {:?}", r.kernel, r.flagged_by);
+            assert!(
+                r.flagged(DetectorKind::Muvi),
+                "{}: {:?}",
+                r.kernel,
+                r.flagged_by
+            );
         }
 
         // The single-variable racy counter is caught by HB and AVIO.

@@ -33,7 +33,11 @@ pub struct FigureDemo {
 
 impl fmt::Display for FigureDemo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}: {} (kernel `{}`)", self.id, self.caption, self.kernel_id)?;
+        writeln!(
+            f,
+            "{}: {} (kernel `{}`)",
+            self.id, self.caption, self.kernel_id
+        )?;
         for line in self.source.lines() {
             writeln!(f, "  | {line}")?;
         }

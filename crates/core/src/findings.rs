@@ -4,8 +4,8 @@
 use std::fmt;
 
 use lfm_corpus::{
-    AccessCount, Corpus, DeadlockFix, NonDeadlockFix, ResourceCount, ThreadCount,
-    TmApplicability, VariableCount,
+    AccessCount, Corpus, DeadlockFix, NonDeadlockFix, ResourceCount, ThreadCount, TmApplicability,
+    VariableCount,
 };
 
 /// One checked finding: a published fraction vs. the corpus-measured one.

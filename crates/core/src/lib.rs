@@ -33,10 +33,12 @@
 pub mod experiments;
 pub mod figures;
 pub mod findings;
+pub mod profile;
 pub mod report;
 pub mod table;
 pub mod tables;
 
 pub use findings::{check_all, Finding};
+pub use profile::{profile_tables, TableTiming};
 pub use report::render_full_report;
 pub use table::Table;

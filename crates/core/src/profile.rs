@@ -1,0 +1,117 @@
+//! Per-table build timings for the study pipeline.
+//!
+//! [`profile_tables`] is [`all_tables`](crate::tables::all_tables) with a
+//! stopwatch around each generator, so regressions in corpus-query cost
+//! show up per table instead of as one opaque total. The tables produced
+//! are identical to the plain path — timing is observation only.
+
+use std::time::Duration;
+
+use lfm_corpus::Corpus;
+use lfm_obs::{fmt_duration, Event, Sink, StatsTable, Stopwatch, Value};
+
+use crate::table::Table;
+use crate::tables;
+
+/// Wall-clock time of one table's build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableTiming {
+    /// Table identifier (`"T1"` … `"T9"`).
+    pub id: String,
+    /// Time spent generating the table from the corpus.
+    pub wall: Duration,
+}
+
+/// Builds all nine tables, timing each build and streaming one `study`
+/// scope `table` event per table (plus a final `tables` total) to `sink`.
+pub fn profile_tables(corpus: &Corpus, sink: &dyn Sink) -> (Vec<Table>, Vec<TableTiming>) {
+    type Builder = fn(&Corpus) -> Table;
+    let builders: [Builder; 9] = [
+        tables::table1,
+        tables::table2,
+        tables::table3,
+        tables::table4,
+        tables::table5,
+        tables::table6,
+        tables::table7,
+        tables::table8,
+        tables::table9,
+    ];
+    let total_watch = Stopwatch::start();
+    let mut out = Vec::with_capacity(builders.len());
+    let mut timings = Vec::with_capacity(builders.len());
+    for build in builders {
+        let watch = Stopwatch::start();
+        let table = build(corpus);
+        let wall = watch.elapsed();
+        if sink.enabled() {
+            sink.emit(&Event {
+                scope: "study",
+                name: "table",
+                fields: &[
+                    ("id", Value::Str(&table.id)),
+                    ("rows", Value::U64(table.len() as u64)),
+                    ("wall_us", Value::U64(wall.as_micros() as u64)),
+                ],
+            });
+        }
+        timings.push(TableTiming {
+            id: table.id.clone(),
+            wall,
+        });
+        out.push(table);
+    }
+    if sink.enabled() {
+        sink.emit(&Event {
+            scope: "study",
+            name: "tables",
+            fields: &[
+                ("tables", Value::U64(out.len() as u64)),
+                (
+                    "wall_us",
+                    Value::U64(total_watch.elapsed().as_micros() as u64),
+                ),
+            ],
+        });
+    }
+    (out, timings)
+}
+
+/// Renders timings as an aligned stats table (one row per paper table).
+pub fn timings_table(timings: &[TableTiming]) -> StatsTable {
+    let mut t = StatsTable::new("table build times");
+    for timing in timings {
+        t.row(&timing.id, fmt_duration(timing.wall));
+    }
+    t.row("total", fmt_duration(timings.iter().map(|t| t.wall).sum()));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_obs::MemorySink;
+
+    #[test]
+    fn profiled_tables_match_plain_build() {
+        let corpus = Corpus::full();
+        let sink = MemorySink::new();
+        let (tables, timings) = profile_tables(&corpus, &sink);
+        assert_eq!(tables, tables::all_tables(&corpus));
+        assert_eq!(timings.len(), 9);
+        assert_eq!(timings[0].id, "T1");
+        assert_eq!(timings[8].id, "T9");
+        assert_eq!(sink.events_named("study", "table").len(), 9);
+        assert_eq!(sink.events_named("study", "tables").len(), 1);
+    }
+
+    #[test]
+    fn timings_table_lists_every_table_and_a_total() {
+        let corpus = Corpus::full();
+        let (_, timings) = profile_tables(&corpus, &lfm_obs::NoopSink);
+        let rendered = timings_table(&timings).to_string();
+        for id in ["T1", "T5", "T9", "total"] {
+            assert!(rendered.contains(id), "{rendered} missing {id}");
+        }
+    }
+}

@@ -3,7 +3,9 @@
 
 use lfm_corpus::Corpus;
 
-use crate::experiments::{coverage_growth_table, coverage_table, scheduler_table, scope_table, tm_table};
+use crate::experiments::{
+    coverage_growth_table, coverage_table, scheduler_table, scope_table, tm_table,
+};
 use crate::figures::all_figures;
 use crate::findings::check_all;
 use crate::tables::all_tables;

@@ -72,7 +72,14 @@ pub fn table3(corpus: &Corpus) -> Table {
     let mut t = Table::new(
         "T3",
         "Root-cause patterns of non-deadlock bugs",
-        vec!["application", "atomicity", "order", "both", "other", "total"],
+        vec![
+            "application",
+            "atomicity",
+            "order",
+            "both",
+            "other",
+            "total",
+        ],
     );
     let mut totals = [0usize; 5];
     for app in App::ALL {
@@ -247,7 +254,9 @@ pub fn table6(corpus: &Corpus) -> Table {
             with_pct(n, d.len()),
         ]);
     }
-    t.note("Finding 4: ordering <= 4 accesses guarantees manifestation for 92% of non-deadlock bugs");
+    t.note(
+        "Finding 4: ordering <= 4 accesses guarantees manifestation for 92% of non-deadlock bugs",
+    );
     t.note("Finding 5: 97% of deadlocks involve at most 2 resources");
     t
 }
@@ -269,9 +278,7 @@ pub fn table7(corpus: &Corpus) -> Table {
     ] {
         let n = nd
             .iter()
-            .filter(
-                |b| matches!(b.fix(), lfm_corpus::FixStrategy::NonDeadlock(f) if f == fix),
-            )
+            .filter(|b| matches!(b.fix(), lfm_corpus::FixStrategy::NonDeadlock(f) if f == fix))
             .count();
         t.row(vec![label.to_string(), with_pct(n, nd.len())]);
     }
@@ -327,7 +334,10 @@ pub fn table9(corpus: &Corpus) -> Table {
     for (label, obstacle) in [
         ("cannot: I/O in region", TmObstacle::IoInRegion),
         ("cannot: region too long", TmObstacle::LongRegion),
-        ("cannot: not atomicity intent", TmObstacle::NotAtomicityIntent),
+        (
+            "cannot: not atomicity intent",
+            TmObstacle::NotAtomicityIntent,
+        ),
     ] {
         let n = corpus
             .iter()

@@ -326,7 +326,10 @@ mod tests {
         let with = c.query().with_kernel(true).count();
         let without = c.query().with_kernel(false).count();
         assert_eq!(with + without, 105);
-        assert!(with >= 30, "a good share of bugs link to kernels, got {with}");
+        assert!(
+            with >= 30,
+            "a good share of bugs link to kernels, got {with}"
+        );
     }
 
     #[test]

@@ -8,9 +8,8 @@ use crate::bug::{dl, nd, Bug};
 use crate::taxonomy::{
     AccessCount::{AtMostFour, MoreThanFour},
     App::Apache,
-    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS,
-    ResourceCount as RC, ThreadCount as TC, TmApplicability as TM,
-    TmObstacle as OB,
+    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS, ResourceCount as RC,
+    ThreadCount as TC, TmApplicability as TM, TmObstacle as OB,
     VariableCount::{MoreThanOne, One},
 };
 
@@ -299,11 +298,15 @@ mod tests {
         let all = bugs();
         assert_eq!(all.len(), 17);
         assert_eq!(
-            all.iter().filter(|b| b.class() == BugClass::NonDeadlock).count(),
+            all.iter()
+                .filter(|b| b.class() == BugClass::NonDeadlock)
+                .count(),
             13
         );
         assert_eq!(
-            all.iter().filter(|b| b.class() == BugClass::Deadlock).count(),
+            all.iter()
+                .filter(|b| b.class() == BugClass::Deadlock)
+                .count(),
             4
         );
     }
@@ -311,7 +314,10 @@ mod tests {
     #[test]
     fn pattern_quota() {
         let nd: Vec<_> = bugs().into_iter().filter(|b| b.is_non_deadlock()).collect();
-        let a = nd.iter().filter(|b| b.patterns().unwrap().atomicity).count();
+        let a = nd
+            .iter()
+            .filter(|b| b.patterns().unwrap().atomicity)
+            .count();
         let o = nd.iter().filter(|b| b.patterns().unwrap().order).count();
         let both = nd
             .iter()

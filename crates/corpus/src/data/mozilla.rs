@@ -9,9 +9,8 @@ use crate::bug::{dl, nd, Bug};
 use crate::taxonomy::{
     AccessCount::{AtMostFour, MoreThanFour},
     App::Mozilla,
-    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS,
-    ResourceCount as RC, ThreadCount as TC, TmApplicability as TM,
-    TmObstacle as OB,
+    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS, ResourceCount as RC,
+    ThreadCount as TC, TmApplicability as TM, TmObstacle as OB,
     VariableCount::{MoreThanOne, One},
 };
 
@@ -980,11 +979,15 @@ mod tests {
         let all = bugs();
         assert_eq!(all.len(), 57);
         assert_eq!(
-            all.iter().filter(|b| b.class() == BugClass::NonDeadlock).count(),
+            all.iter()
+                .filter(|b| b.class() == BugClass::NonDeadlock)
+                .count(),
             41
         );
         assert_eq!(
-            all.iter().filter(|b| b.class() == BugClass::Deadlock).count(),
+            all.iter()
+                .filter(|b| b.class() == BugClass::Deadlock)
+                .count(),
             16
         );
     }
@@ -992,7 +995,10 @@ mod tests {
     #[test]
     fn pattern_quota() {
         let nd: Vec<_> = bugs().into_iter().filter(|b| b.is_non_deadlock()).collect();
-        let a = nd.iter().filter(|b| b.patterns().unwrap().atomicity).count();
+        let a = nd
+            .iter()
+            .filter(|b| b.patterns().unwrap().atomicity)
+            .count();
         let o = nd.iter().filter(|b| b.patterns().unwrap().order).count();
         let both = nd
             .iter()
@@ -1021,7 +1027,10 @@ mod tests {
     fn deadlock_resource_quota() {
         use crate::taxonomy::ResourceCount;
         let d: Vec<_> = bugs().into_iter().filter(|b| b.is_deadlock()).collect();
-        let one = d.iter().filter(|b| b.resources() == Some(ResourceCount::One)).count();
+        let one = d
+            .iter()
+            .filter(|b| b.resources() == Some(ResourceCount::One))
+            .count();
         let more = d
             .iter()
             .filter(|b| b.resources() == Some(ResourceCount::MoreThanTwo))

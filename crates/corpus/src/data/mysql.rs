@@ -9,9 +9,8 @@ use crate::bug::{dl, nd, Bug};
 use crate::taxonomy::{
     AccessCount::{AtMostFour, MoreThanFour},
     App::MySql,
-    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS,
-    ResourceCount as RC, ThreadCount as TC, TmApplicability as TM,
-    TmObstacle as OB,
+    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS, ResourceCount as RC,
+    ThreadCount as TC, TmApplicability as TM, TmObstacle as OB,
     VariableCount::{MoreThanOne, One},
 };
 
@@ -379,11 +378,15 @@ mod tests {
         let all = bugs();
         assert_eq!(all.len(), 23);
         assert_eq!(
-            all.iter().filter(|b| b.class() == BugClass::NonDeadlock).count(),
+            all.iter()
+                .filter(|b| b.class() == BugClass::NonDeadlock)
+                .count(),
             14
         );
         assert_eq!(
-            all.iter().filter(|b| b.class() == BugClass::Deadlock).count(),
+            all.iter()
+                .filter(|b| b.class() == BugClass::Deadlock)
+                .count(),
             9
         );
     }

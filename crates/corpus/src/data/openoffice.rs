@@ -8,9 +8,8 @@ use crate::bug::{dl, nd, Bug};
 use crate::taxonomy::{
     AccessCount::AtMostFour,
     App::OpenOffice,
-    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS,
-    ResourceCount as RC, ThreadCount as TC, TmApplicability as TM,
-    TmObstacle as OB,
+    DeadlockFix as DF, NonDeadlockFix as NF, PatternSet as PS, ResourceCount as RC,
+    ThreadCount as TC, TmApplicability as TM, TmObstacle as OB,
     VariableCount::{MoreThanOne, One},
 };
 
@@ -162,11 +161,15 @@ mod tests {
         let all = bugs();
         assert_eq!(all.len(), 8);
         assert_eq!(
-            all.iter().filter(|b| b.class() == BugClass::NonDeadlock).count(),
+            all.iter()
+                .filter(|b| b.class() == BugClass::NonDeadlock)
+                .count(),
             6
         );
         assert_eq!(
-            all.iter().filter(|b| b.class() == BugClass::Deadlock).count(),
+            all.iter()
+                .filter(|b| b.class() == BugClass::Deadlock)
+                .count(),
             2
         );
     }

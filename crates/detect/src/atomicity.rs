@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 
 use lfm_sim::{ThreadId, Trace, VarId};
 
-use crate::util::indexed_accesses;
+use crate::util::{indexed_accesses, ScanCounts};
 
 /// The four unserializable interleaving cases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -87,7 +87,7 @@ impl AtomicityDetector {
     pub fn train<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> AtomicityDetector {
         let mut benign = BTreeSet::new();
         for trace in traces {
-            for v in Self::raw_violations(trace) {
+            for v in Self::raw_violations(trace, &mut ScanCounts::default()) {
                 benign.insert((v.var, v.case));
             }
         }
@@ -98,7 +98,19 @@ impl AtomicityDetector {
 
     /// Analyzes one trace.
     pub fn analyze(&self, trace: &Trace) -> Vec<UnserializableInterleaving> {
-        let raw = Self::raw_violations(trace);
+        self.analyze_counting(trace, &mut ScanCounts::default())
+    }
+
+    /// [`AtomicityDetector::analyze`], also filling `counts`: `events` is
+    /// the trace length, `candidates` the (p, r, c) triples whose
+    /// serializability was classified.
+    pub fn analyze_counting(
+        &self,
+        trace: &Trace,
+        counts: &mut ScanCounts,
+    ) -> Vec<UnserializableInterleaving> {
+        counts.events += trace.events.len() as u64;
+        let raw = Self::raw_violations(trace, counts);
         match &self.trained {
             None => raw,
             Some(benign) => raw
@@ -108,7 +120,7 @@ impl AtomicityDetector {
         }
     }
 
-    fn raw_violations(trace: &Trace) -> Vec<UnserializableInterleaving> {
+    fn raw_violations(trace: &Trace, counts: &mut ScanCounts) -> Vec<UnserializableInterleaving> {
         let accesses: Vec<_> = indexed_accesses(trace).map(|(_, e)| e).collect();
         let mut out = Vec::new();
         let mut seen: BTreeSet<(VarId, ThreadId, ThreadId, UnserializableCase)> = BTreeSet::new();
@@ -138,6 +150,7 @@ impl AtomicityDetector {
                 }
                 let Some(c) = c_found else { continue };
                 for r in remote_between {
+                    counts.candidates += 1;
                     let Some(case) = UnserializableCase::classify(
                         p.kind.is_write_access(),
                         r.kind.is_write_access(),

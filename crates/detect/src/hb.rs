@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use lfm_sim::{ThreadId, Trace, VarId};
 
-use crate::util::{conflicting, indexed_plain_accesses};
+use crate::util::{conflicting, indexed_plain_accesses, ScanCounts};
 
 /// A detected data race: two conflicting accesses to the same variable
 /// with concurrent vector clocks.
@@ -58,6 +58,14 @@ impl HappensBeforeDetector {
 
     /// Analyzes one trace, returning the races found.
     pub fn analyze(&self, trace: &Trace) -> Vec<Race> {
+        self.analyze_counting(trace, &mut ScanCounts::default())
+    }
+
+    /// [`HappensBeforeDetector::analyze`], also filling `counts`:
+    /// `events` is the trace length, `candidates` the conflicting
+    /// cross-thread same-variable pairs whose vector clocks were compared.
+    pub fn analyze_counting(&self, trace: &Trace, counts: &mut ScanCounts) -> Vec<Race> {
+        counts.events += trace.events.len() as u64;
         let accesses: Vec<_> = indexed_plain_accesses(trace).collect();
         let mut races = Vec::new();
         let mut seen: BTreeSet<(VarId, ThreadId, ThreadId, bool, bool)> = BTreeSet::new();
@@ -73,6 +81,7 @@ impl HappensBeforeDetector {
                 if !conflicting(&a.kind, &b.kind) {
                     continue;
                 }
+                counts.candidates += 1;
                 if !a.clock.concurrent_with(&b.clock) {
                     continue;
                 }
@@ -83,7 +92,13 @@ impl HappensBeforeDetector {
                     } else {
                         (b.thread, a.thread)
                     };
-                    let key = (var, t1, t2, a.kind.is_write_access(), b.kind.is_write_access());
+                    let key = (
+                        var,
+                        t1,
+                        t2,
+                        a.kind.is_write_access(),
+                        b.kind.is_write_access(),
+                    );
                     if !seen.insert(key) {
                         continue;
                     }

@@ -62,4 +62,7 @@ pub use lockorder::{LockOrderDetector, PotentialDeadlock};
 pub use lockset::{LocksetDetector, LocksetWarning};
 pub use muvi::{MuviDetector, MuviViolation};
 pub use order::{OrderDetector, OrderViolation};
-pub use report::{detect_all, DetectionSummary, DetectorKind};
+pub use report::{
+    detect_all, detect_all_with_stats, DetectStats, DetectionSummary, DetectorKind, PassStats,
+};
+pub use util::ScanCounts;

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use lfm_sim::{EventKind, MutexId, Trace};
 
-use crate::util::locksets_at_events;
+use crate::util::{locksets_at_events, ScanCounts};
 
 /// A cycle in the lock-order graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +43,14 @@ impl LockOrderDetector {
 
     /// Adds one trace's acquisitions to the lock-order graph.
     pub fn observe(&mut self, trace: &Trace) {
+        self.observe_counting(trace, &mut ScanCounts::default());
+    }
+
+    /// [`LockOrderDetector::observe`], also filling `counts`: `events` is
+    /// the trace length, `candidates` the held→acquired edges recorded
+    /// (including repeats of already-known edges).
+    pub fn observe_counting(&mut self, trace: &Trace, counts: &mut ScanCounts) {
+        counts.events += trace.events.len() as u64;
         let locksets = locksets_at_events(trace);
         for (idx, event) in trace.events.iter().enumerate() {
             let acquired = match &event.kind {
@@ -56,6 +64,7 @@ impl LockOrderDetector {
             // edges come from everything else held.
             for held in &locksets[idx] {
                 if *held != acquired {
+                    counts.candidates += 1;
                     self.edges.entry(*held).or_default().insert(acquired);
                 }
             }
@@ -131,11 +140,21 @@ mod tests {
         let m2 = b.mutex();
         b.thread(
             "a",
-            vec![Stmt::lock(m1), Stmt::lock(m2), Stmt::unlock(m2), Stmt::unlock(m1)],
+            vec![
+                Stmt::lock(m1),
+                Stmt::lock(m2),
+                Stmt::unlock(m2),
+                Stmt::unlock(m1),
+            ],
         );
         b.thread(
             "b",
-            vec![Stmt::lock(m2), Stmt::lock(m1), Stmt::unlock(m1), Stmt::unlock(m2)],
+            vec![
+                Stmt::lock(m2),
+                Stmt::lock(m1),
+                Stmt::unlock(m1),
+                Stmt::unlock(m2),
+            ],
         );
         let p = b.build().unwrap();
         // The sequential run never deadlocks, yet the cycle is visible.
@@ -153,7 +172,12 @@ mod tests {
         for name in ["a", "b"] {
             b.thread(
                 name,
-                vec![Stmt::lock(m1), Stmt::lock(m2), Stmt::unlock(m2), Stmt::unlock(m1)],
+                vec![
+                    Stmt::lock(m1),
+                    Stmt::lock(m2),
+                    Stmt::unlock(m2),
+                    Stmt::unlock(m1),
+                ],
             );
         }
         let p = b.build().unwrap();
@@ -201,14 +225,22 @@ mod tests {
             "a",
             vec![
                 Stmt::lock(m1),
-                Stmt::TryLock { mutex: m2, into: "ok" },
+                Stmt::TryLock {
+                    mutex: m2,
+                    into: "ok",
+                },
                 Stmt::unlock(m2),
                 Stmt::unlock(m1),
             ],
         );
         b.thread(
             "b",
-            vec![Stmt::lock(m2), Stmt::lock(m1), Stmt::unlock(m1), Stmt::unlock(m2)],
+            vec![
+                Stmt::lock(m2),
+                Stmt::lock(m1),
+                Stmt::unlock(m1),
+                Stmt::unlock(m2),
+            ],
         );
         let p = b.build().unwrap();
         let cycles = LockOrderDetector::analyze([&trace_sequential(&p)]);

@@ -4,7 +4,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use lfm_sim::{MutexId, ThreadId, Trace, VarId};
 
-use crate::util::{indexed_plain_accesses, locksets_at_events};
+use crate::util::{indexed_plain_accesses, locksets_at_events, ScanCounts};
 
 /// Per-variable state of the Eraser state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +49,14 @@ impl LocksetDetector {
 
     /// Analyzes one trace.
     pub fn analyze(&self, trace: &Trace) -> Vec<LocksetWarning> {
+        self.analyze_counting(trace, &mut ScanCounts::default())
+    }
+
+    /// [`LocksetDetector::analyze`], also filling `counts`: `events` is
+    /// the trace length, `candidates` the shared accesses on which the
+    /// Eraser state machine refined a candidate lockset.
+    pub fn analyze_counting(&self, trace: &Trace, counts: &mut ScanCounts) -> Vec<LocksetWarning> {
+        counts.events += trace.events.len() as u64;
         let locksets = locksets_at_events(trace);
         let mut state: HashMap<VarId, VarState> = HashMap::new();
         let mut candidate: HashMap<VarId, BTreeSet<MutexId>> = HashMap::new();
@@ -73,6 +81,7 @@ impl LocksetDetector {
                     // no lock held is already a violation, so fall
                     // through to the check in that case.
                     candidate.insert(var, held.clone());
+                    counts.candidates += 1;
                     if is_write {
                         *st = VarState::SharedModified;
                     } else {
@@ -83,6 +92,7 @@ impl LocksetDetector {
                 VarState::Shared => {
                     let cand = candidate.entry(var).or_default();
                     *cand = cand.intersection(held).copied().collect();
+                    counts.candidates += 1;
                     if is_write {
                         *st = VarState::SharedModified;
                     } else {
@@ -92,6 +102,7 @@ impl LocksetDetector {
                 VarState::SharedModified => {
                     let cand = candidate.entry(var).or_default();
                     *cand = cand.intersection(held).copied().collect();
+                    counts.candidates += 1;
                 }
             }
 

@@ -22,7 +22,7 @@ use std::collections::BTreeSet;
 
 use lfm_sim::{ThreadId, Trace, VarId};
 
-use crate::util::indexed_accesses;
+use crate::util::{indexed_accesses, ScanCounts};
 
 /// Window (in per-thread accesses) within which two variables count as
 /// accessed "together".
@@ -93,6 +93,14 @@ impl MuviDetector {
 
     /// Analyzes one trace against the learned correlations.
     pub fn analyze(&self, trace: &Trace) -> Vec<MuviViolation> {
+        self.analyze_counting(trace, &mut ScanCounts::default())
+    }
+
+    /// [`MuviDetector::analyze`], also filling `counts`: `events` is the
+    /// trace length, `candidates` the thread-local correlated access pairs
+    /// scanned for intervening remote conflicts.
+    pub fn analyze_counting(&self, trace: &Trace, counts: &mut ScanCounts) -> Vec<MuviViolation> {
+        counts.events += trace.events.len() as u64;
         let accesses: Vec<_> = indexed_accesses(trace).map(|(_, e)| e).collect();
         let mut out = Vec::new();
         let mut seen: BTreeSet<(VarId, VarId, ThreadId, ThreadId)> = BTreeSet::new();
@@ -114,13 +122,13 @@ impl MuviDetector {
                 if var_a == var_b || !self.correlations.contains(&pair(var_a, var_b)) {
                     continue;
                 }
+                counts.candidates += 1;
                 // Conflicting remote accesses to either variable strictly
                 // between the two local accesses in the total order: a
                 // remote write always conflicts; a remote read conflicts
                 // when the local pair writes (it observes a torn
                 // snapshot).
-                let local_writes =
-                    first.kind.is_write_access() || second.kind.is_write_access();
+                let local_writes = first.kind.is_write_access() || second.kind.is_write_access();
                 for remote in &accesses[i + 1..] {
                     if remote.seq >= second.seq {
                         break;

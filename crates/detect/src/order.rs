@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use lfm_sim::{EventKind, ThreadId, Trace, VarId};
 
-use crate::util::indexed_accesses;
+use crate::util::{indexed_accesses, ScanCounts};
 
 /// A detected order violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +70,14 @@ impl OrderDetector {
 
     /// Checks one trace against the trained invariants.
     pub fn analyze(&self, trace: &Trace) -> Vec<OrderViolation> {
+        self.analyze_counting(trace, &mut ScanCounts::default())
+    }
+
+    /// [`OrderDetector::analyze`], also filling `counts`: `events` is the
+    /// trace length, `candidates` the first accesses checked against a
+    /// trained write-first invariant.
+    pub fn analyze_counting(&self, trace: &Trace, counts: &mut ScanCounts) -> Vec<OrderViolation> {
+        counts.events += trace.events.len() as u64;
         let mut seen: BTreeSet<VarId> = BTreeSet::new();
         let mut out = Vec::new();
         for (_, e) in indexed_accesses(trace) {
@@ -80,6 +88,7 @@ impl OrderDetector {
             if !self.write_first.contains(&var) {
                 continue;
             }
+            counts.candidates += 1;
             if let EventKind::Read { value, .. } = e.kind {
                 out.push(OrderViolation {
                     var,

@@ -1,7 +1,9 @@
 //! Uniform detection summaries across all detector families.
 
 use std::fmt;
+use std::time::Duration;
 
+use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
 use lfm_sim::Trace;
 
 use crate::atomicity::AtomicityDetector;
@@ -10,6 +12,7 @@ use crate::lockorder::LockOrderDetector;
 use crate::lockset::LocksetDetector;
 use crate::muvi::MuviDetector;
 use crate::order::OrderDetector;
+use crate::util::ScanCounts;
 
 /// The detector families implemented by this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -109,32 +112,176 @@ impl fmt::Display for DetectionSummary {
     }
 }
 
+/// Scan-volume and timing stats of one detector pass over the test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassStats {
+    /// Which detector family ran.
+    pub kind: DetectorKind,
+    /// Trace events walked and candidates reaching the decisive check.
+    pub counts: ScanCounts,
+    /// Findings the pass reported.
+    pub reports: u64,
+    /// Wall-clock time of the pass (training excluded; analysis only).
+    pub wall: Duration,
+}
+
+/// Per-pass stats of one [`detect_all_with_stats`] run, in
+/// [`DetectorKind::ALL`] order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectStats {
+    /// One entry per detector family.
+    pub passes: Vec<PassStats>,
+    /// Wall-clock time spent training the invariant-based detectors.
+    pub training_wall: Duration,
+}
+
+impl DetectStats {
+    /// The stats entry for one detector kind, if that pass ran.
+    pub fn pass(&self, kind: DetectorKind) -> Option<&PassStats> {
+        self.passes.iter().find(|p| p.kind == kind)
+    }
+
+    /// Total events scanned across every pass.
+    pub fn events_scanned(&self) -> u64 {
+        self.passes.iter().map(|p| p.counts.events).sum()
+    }
+}
+
 /// Runs every detector over the given traces.
 ///
 /// `training` traces (passing runs) train the invariant-based detectors
 /// (atomicity and order); `test` traces are analyzed by all five
 /// detectors and the findings summed.
 pub fn detect_all(training: &[Trace], test: &[Trace]) -> DetectionSummary {
+    detect_all_with_stats(training, test, &NoopSink).0
+}
+
+/// [`detect_all`], also returning per-pass [`DetectStats`] and streaming
+/// `detect` scope events (one `pass` event per detector plus a final
+/// `summary`) to `sink`. Observation only: the summary is identical
+/// whatever the sink.
+pub fn detect_all_with_stats(
+    training: &[Trace],
+    test: &[Trace],
+    sink: &dyn Sink,
+) -> (DetectionSummary, DetectStats) {
+    let training_watch = Stopwatch::start();
     let hb = HappensBeforeDetector::new();
     let lockset = LocksetDetector::new();
     let atomicity = AtomicityDetector::train(training.iter());
     let order = OrderDetector::train(training.iter());
     let muvi = MuviDetector::train(training.iter());
     let mut lockorder = LockOrderDetector::new();
-    for t in training.iter().chain(test) {
-        lockorder.observe(t);
-    }
+    let training_wall = training_watch.elapsed();
 
     let mut summary = DetectionSummary::default();
-    for t in test {
-        summary.races += hb.analyze(t).len();
-        summary.lockset_warnings += lockset.analyze(t).len();
-        summary.atomicity_violations += atomicity.analyze(t).len();
-        summary.order_violations += order.analyze(t).len();
-        summary.muvi_violations += muvi.analyze(t).len();
+    let mut passes = Vec::with_capacity(DetectorKind::ALL.len());
+
+    // Each pass walks the whole test set so its wall time is comparable
+    // across detectors (and the lock-order pass also folds in training
+    // traces, which only add graph edges, never cycles of their own).
+    for kind in DetectorKind::ALL {
+        let watch = Stopwatch::start();
+        let mut counts = ScanCounts::default();
+        let mut reports = 0u64;
+        match kind {
+            DetectorKind::HappensBefore => {
+                for t in test {
+                    let n = hb.analyze_counting(t, &mut counts).len();
+                    summary.races += n;
+                    reports += n as u64;
+                }
+            }
+            DetectorKind::Lockset => {
+                for t in test {
+                    let n = lockset.analyze_counting(t, &mut counts).len();
+                    summary.lockset_warnings += n;
+                    reports += n as u64;
+                }
+            }
+            DetectorKind::Atomicity => {
+                for t in test {
+                    let n = atomicity.analyze_counting(t, &mut counts).len();
+                    summary.atomicity_violations += n;
+                    reports += n as u64;
+                }
+            }
+            DetectorKind::Order => {
+                for t in test {
+                    let n = order.analyze_counting(t, &mut counts).len();
+                    summary.order_violations += n;
+                    reports += n as u64;
+                }
+            }
+            DetectorKind::Muvi => {
+                for t in test {
+                    let n = muvi.analyze_counting(t, &mut counts).len();
+                    summary.muvi_violations += n;
+                    reports += n as u64;
+                }
+            }
+            DetectorKind::LockOrder => {
+                for t in training.iter().chain(test) {
+                    lockorder.observe_counting(t, &mut counts);
+                }
+                let n = lockorder.cycles().len();
+                summary.lock_order_cycles = n;
+                reports = n as u64;
+            }
+        }
+        let pass = PassStats {
+            kind,
+            counts,
+            reports,
+            wall: watch.elapsed(),
+        };
+        if sink.enabled() {
+            sink.emit(&Event {
+                scope: "detect",
+                name: "pass",
+                fields: &[
+                    ("detector", Value::Str(&kind.to_string())),
+                    ("events", Value::U64(counts.events)),
+                    ("candidates", Value::U64(counts.candidates)),
+                    ("reports", Value::U64(reports)),
+                    ("wall_us", Value::U64(pass.wall.as_micros() as u64)),
+                ],
+            });
+        }
+        passes.push(pass);
     }
-    summary.lock_order_cycles = lockorder.cycles().len();
-    summary
+
+    if sink.enabled() {
+        sink.emit(&Event {
+            scope: "detect",
+            name: "summary",
+            fields: &[
+                ("training_traces", Value::U64(training.len() as u64)),
+                ("test_traces", Value::U64(test.len() as u64)),
+                ("races", Value::U64(summary.races as u64)),
+                ("lockset", Value::U64(summary.lockset_warnings as u64)),
+                ("atomicity", Value::U64(summary.atomicity_violations as u64)),
+                ("order", Value::U64(summary.order_violations as u64)),
+                ("muvi", Value::U64(summary.muvi_violations as u64)),
+                (
+                    "lock_order_cycles",
+                    Value::U64(summary.lock_order_cycles as u64),
+                ),
+                (
+                    "training_wall_us",
+                    Value::U64(training_wall.as_micros() as u64),
+                ),
+            ],
+        });
+    }
+
+    (
+        summary,
+        DetectStats {
+            passes,
+            training_wall,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -215,7 +362,14 @@ mod tests {
             lock_order_cycles: 5,
         }
         .to_string();
-        for needle in ["races=1", "lockset=2", "atomicity=3", "order=4", "muvi=6", "cycles=5"] {
+        for needle in [
+            "races=1",
+            "lockset=2",
+            "atomicity=3",
+            "order=4",
+            "muvi=6",
+            "cycles=5",
+        ] {
             assert!(s.contains(needle), "{s} missing {needle}");
         }
     }
@@ -224,5 +378,33 @@ mod tests {
     fn detector_kind_display() {
         assert_eq!(DetectorKind::ALL.len(), 6);
         assert_eq!(DetectorKind::Atomicity.to_string(), "atomicity (AVIO)");
+    }
+
+    #[test]
+    fn stats_cover_every_pass_and_match_plain_detect_all() {
+        let p = racy_counter();
+        let serial = trace_replay(&p, vec![t(0), t(0), t(1), t(1)]);
+        let buggy = trace_replay(&p, vec![t(0), t(1), t(1), t(0)]);
+        let sink = lfm_obs::MemorySink::new();
+        let (summary, stats) = detect_all_with_stats(
+            std::slice::from_ref(&serial),
+            std::slice::from_ref(&buggy),
+            &sink,
+        );
+        assert_eq!(summary, detect_all(&[serial], &[buggy]));
+        assert_eq!(stats.passes.len(), DetectorKind::ALL.len());
+        for (pass, kind) in stats.passes.iter().zip(DetectorKind::ALL) {
+            assert_eq!(pass.kind, kind);
+            assert!(pass.counts.events > 0, "{kind} scanned no events");
+            assert_eq!(pass.reports as usize, summary.count(kind));
+        }
+        assert!(stats.events_scanned() > 0);
+        assert!(stats.pass(DetectorKind::HappensBefore).is_some());
+        // One `pass` event per detector plus the final `summary`.
+        assert_eq!(
+            sink.events_named("detect", "pass").len(),
+            DetectorKind::ALL.len()
+        );
+        assert_eq!(sink.events_named("detect", "summary").len(), 1);
     }
 }

@@ -17,10 +17,9 @@ pub(crate) fn locksets_at_events(trace: &Trace) -> Vec<BTreeSet<MutexId>> {
             EventKind::Lock(m) => {
                 set.insert(*m);
             }
-            EventKind::TryLock { mutex, success }
-                if *success => {
-                    set.insert(*mutex);
-                }
+            EventKind::TryLock { mutex, success } if *success => {
+                set.insert(*mutex);
+            }
             EventKind::Unlock(m) => {
                 set.remove(m);
             }
@@ -36,6 +35,27 @@ pub(crate) fn locksets_at_events(trace: &Trace) -> Vec<BTreeSet<MutexId>> {
         out.push(held.get(&event.thread).cloned().unwrap_or_default());
     }
     out
+}
+
+/// Scan-volume counters filled by a detector pass: how many trace events
+/// were walked and how many candidate sites/pairs/triples survived the
+/// cheap filters and reached the pass's real check. Reported alongside
+/// per-pass wall time by `detect_all_with_stats`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanCounts {
+    /// Trace events walked by the pass.
+    pub events: u64,
+    /// Candidate sites/pairs/triples that reached the pass's decisive
+    /// check (detector-specific; see each detector's docs).
+    pub candidates: u64,
+}
+
+impl ScanCounts {
+    /// Accumulates another pass's counters (e.g. across traces).
+    pub fn merge(&mut self, other: ScanCounts) {
+        self.events += other.events;
+        self.candidates += other.candidates;
+    }
 }
 
 /// `true` when two access kinds conflict (same variable assumed; at least
@@ -57,9 +77,11 @@ pub(crate) fn indexed_accesses(trace: &Trace) -> impl Iterator<Item = (usize, &E
 /// RMW/CAS operations are synchronization-like and do not constitute data
 /// races, mirroring how race detectors treat C11 atomics.
 pub(crate) fn indexed_plain_accesses(trace: &Trace) -> impl Iterator<Item = (usize, &Event)> {
-    trace.events.iter().enumerate().filter(|(_, e)| {
-        matches!(e.kind, EventKind::Read { .. } | EventKind::Write { .. })
-    })
+    trace
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.kind, EventKind::Read { .. } | EventKind::Write { .. }))
 }
 
 #[cfg(test)]

@@ -71,10 +71,7 @@ fn check_then_act_null(variant: Variant) -> Program {
                     Stmt::read(ptr, "p2"),
                     Stmt::if_then(
                         local("p2").ne(Expr::lit(0)),
-                        vec![Stmt::assert(
-                            local("p2").ne(Expr::lit(0)),
-                            "validated use",
-                        )],
+                        vec![Stmt::assert(local("p2").ne(Expr::lit(0)), "validated use")],
                     ),
                 ],
             ),
@@ -141,7 +138,10 @@ fn double_check_init(variant: Variant) -> Program {
             Variant::Fixed(FixKind::Atomic) => vec![
                 // Only the CAS winner initializes.
                 Stmt::cas(flag, 0, 1, "won"),
-                Stmt::if_then(local("won").ne(Expr::lit(0)), vec![Stmt::fetch_add(inits, 1)]),
+                Stmt::if_then(
+                    local("won").ne(Expr::lit(0)),
+                    vec![Stmt::fetch_add(inits, 1)],
+                ),
             ],
             Variant::Fixed(FixKind::Transaction) => vec![
                 Stmt::TxBegin,
@@ -316,10 +316,7 @@ fn bank_withdraw(variant: Variant) -> Program {
                                 ),
                                 Stmt::if_then(
                                     local("ok").ne(Expr::lit(0)),
-                                    vec![
-                                        Stmt::fetch_add(withdrawn, 70),
-                                        Stmt::local("done", 1),
-                                    ],
+                                    vec![Stmt::fetch_add(withdrawn, 70), Stmt::local("done", 1)],
                                 ),
                             ],
                             vec![Stmt::local("done", 1)],

@@ -463,7 +463,11 @@ pub(crate) fn kernels() -> Vec<Kernel> {
                           The canonical two-resource deadlock — the shape of \
                           most studied deadlocks.",
             source_bug: Some("mysql-dl-6634"),
-            fixes: &[FixKind::AcquireInOrder, FixKind::GiveUp, FixKind::Transaction],
+            fixes: &[
+                FixKind::AcquireInOrder,
+                FixKind::GiveUp,
+                FixKind::Transaction,
+            ],
             expected: ExpectedFailure::Deadlock,
             threads: 2,
             variables: 0,
@@ -562,7 +566,11 @@ pub(crate) fn kernels() -> Vec<Kernel> {
                           the shared resource (the studied fix) or by \
                           ordering acquisition.",
             source_bug: Some("mozilla-dl-151176"),
-            fixes: &[FixKind::Split, FixKind::AcquireInOrder, FixKind::Transaction],
+            fixes: &[
+                FixKind::Split,
+                FixKind::AcquireInOrder,
+                FixKind::Transaction,
+            ],
             expected: ExpectedFailure::Deadlock,
             threads: 2,
             variables: 0,

@@ -146,13 +146,19 @@ fn state_data_pair(variant: Variant) -> Program {
             Stmt::lock(m),
             Stmt::read(data, "d"),
             Stmt::unlock(m),
-            Stmt::assert(local("d").ge(Expr::lit(0)), "reader never sees scratch data"),
+            Stmt::assert(
+                local("d").ge(Expr::lit(0)),
+                "reader never sees scratch data",
+            ),
         ],
         Variant::Fixed(FixKind::Transaction) => vec![
             Stmt::TxBegin,
             Stmt::read(data, "d"),
             Stmt::TxCommit,
-            Stmt::assert(local("d").ge(Expr::lit(0)), "reader never sees scratch data"),
+            Stmt::assert(
+                local("d").ge(Expr::lit(0)),
+                "reader never sees scratch data",
+            ),
         ],
         Variant::Fixed(FixKind::Design) => vec![
             // Seqlock read protocol: generation stable and even => the
@@ -176,7 +182,10 @@ fn state_data_pair(variant: Variant) -> Program {
                 local("s").eq(Expr::lit(0)),
                 vec![
                     Stmt::read(data, "d"),
-                    Stmt::assert(local("d").ge(Expr::lit(0)), "reader never sees scratch data"),
+                    Stmt::assert(
+                        local("d").ge(Expr::lit(0)),
+                        "reader never sees scratch data",
+                    ),
                 ],
             ),
         ],
@@ -193,10 +202,7 @@ fn double_counter_invariant(variant: Variant) -> Program {
     let requests = b.var("requests", 0);
     let handled = b.var("handled", 0);
     let m = b.mutex();
-    let update_core = vec![
-        Stmt::fetch_add(requests, 1),
-        Stmt::fetch_add(handled, 1),
-    ];
+    let update_core = vec![Stmt::fetch_add(requests, 1), Stmt::fetch_add(handled, 1)];
     let worker = match variant {
         Variant::Buggy => update_core,
         Variant::Fixed(FixKind::Lock) => {
@@ -262,7 +268,9 @@ fn aba_problem(variant: Variant) -> Program {
                     // ... the ABA window ...
                     Stmt::cas(top, local("t"), local("n"), "ok"),
                     Stmt::if_then(
-                        local("ok").ne(Expr::lit(0)).and(local("n").eq(Expr::lit(2))),
+                        local("ok")
+                            .ne(Expr::lit(0))
+                            .and(local("n").eq(Expr::lit(2))),
                         vec![
                             // We installed B as the new top: it must be live.
                             Stmt::read(b_live, "alive"),

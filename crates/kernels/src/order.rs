@@ -28,12 +28,18 @@ fn use_before_init_mozilla(variant: Variant) -> Program {
     let user = match variant {
         Variant::Buggy => vec![
             Stmt::read(m_thread, "t"),
-            Stmt::assert(local("t").ne(Expr::lit(0)), "mThread initialized before use"),
+            Stmt::assert(
+                local("t").ne(Expr::lit(0)),
+                "mThread initialized before use",
+            ),
         ],
         Variant::Fixed(FixKind::AddSync) => vec![
             Stmt::SemAcquire(sem),
             Stmt::read(m_thread, "t"),
-            Stmt::assert(local("t").ne(Expr::lit(0)), "mThread initialized before use"),
+            Stmt::assert(
+                local("t").ne(Expr::lit(0)),
+                "mThread initialized before use",
+            ),
         ],
         Variant::Fixed(FixKind::Transaction) => vec![
             // Harris-style retry: block (re-execute) until initialized.
@@ -41,7 +47,10 @@ fn use_before_init_mozilla(variant: Variant) -> Program {
             Stmt::read(m_thread, "t"),
             Stmt::if_then(local("t").eq(Expr::lit(0)), vec![Stmt::TxRetry]),
             Stmt::TxCommit,
-            Stmt::assert(local("t").ne(Expr::lit(0)), "mThread initialized before use"),
+            Stmt::assert(
+                local("t").ne(Expr::lit(0)),
+                "mThread initialized before use",
+            ),
         ],
         Variant::Fixed(other) => unreachable!("use_before_init has no {other} fix"),
     };
@@ -169,7 +178,10 @@ fn consume_before_produce(variant: Variant) -> Program {
             local("c").gt(Expr::lit(0)),
             vec![
                 Stmt::read(item, "i"),
-                Stmt::assert(local("i").eq(Expr::lit(5)), "consumed a fully produced item"),
+                Stmt::assert(
+                    local("i").eq(Expr::lit(5)),
+                    "consumed a fully produced item",
+                ),
             ],
         ),
     ];
@@ -258,12 +270,18 @@ fn join_less_exit(variant: Variant) -> Program {
             Stmt::read(result, "r"),
             Stmt::if_then(local("r").eq(Expr::lit(0)), vec![Stmt::TxRetry]),
             Stmt::TxCommit,
-            Stmt::assert(local("r").eq(Expr::lit(42)), "result stored before completion"),
+            Stmt::assert(
+                local("r").eq(Expr::lit(42)),
+                "result stored before completion",
+            ),
         ],
         _ => vec![
             Stmt::SemAcquire(sem),
             Stmt::read(result, "r"),
-            Stmt::assert(local("r").eq(Expr::lit(42)), "result stored before completion"),
+            Stmt::assert(
+                local("r").eq(Expr::lit(42)),
+                "result stored before completion",
+            ),
         ],
     };
     b.thread("parent", parent);

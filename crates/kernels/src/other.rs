@@ -53,11 +53,9 @@ fn livelock_retry(variant: Variant) -> Program {
                     "thread eventually makes progress",
                 ),
             ],
-            Variant::Fixed(FixKind::Lock) => vec![
-                Stmt::lock(m),
-                Stmt::fetch_add(progress, 1),
-                Stmt::unlock(m),
-            ],
+            Variant::Fixed(FixKind::Lock) => {
+                vec![Stmt::lock(m), Stmt::fetch_add(progress, 1), Stmt::unlock(m)]
+            }
             Variant::Fixed(other) => unreachable!("livelock_retry has no {other} fix"),
         };
         b.thread(name, body);

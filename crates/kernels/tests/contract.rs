@@ -171,7 +171,10 @@ fn abba_giveup_fix_never_deadlocks_but_may_skip_work() {
         "some interleaving should give up and drop work — the introduced \
          non-deadlock bug the study warns about"
     );
-    assert!(incomplete < total, "most interleavings still finish the work");
+    assert!(
+        incomplete < total,
+        "most interleavings still finish the work"
+    );
 
     // The acquire-in-order fix has no such tradeoff: work always = 2.
     let ordered = kernel.build(Variant::Fixed(FixKind::AcquireInOrder));

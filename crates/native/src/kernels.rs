@@ -79,12 +79,7 @@ pub fn bank_withdraw(threads: usize, rounds: usize, fixed: bool) -> NativeOutcom
                                 break;
                             }
                             if balance
-                                .compare_exchange(
-                                    bal,
-                                    bal - 70,
-                                    Ordering::SeqCst,
-                                    Ordering::SeqCst,
-                                )
+                                .compare_exchange(bal, bal - 70, Ordering::SeqCst, Ordering::SeqCst)
                                 .is_ok()
                             {
                                 break;

@@ -1,0 +1,214 @@
+//! Lock-free power-of-two value histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket 0 holds the value 0; bucket `i >= 1` holds values `v` with
+/// `v.ilog2() == i - 1`, i.e. the range `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A concurrent histogram over `u64` values with power-of-two buckets.
+///
+/// Tracks count, sum, min and max exactly; the value distribution is
+/// approximated by 65 logarithmic buckets, giving percentile estimates
+/// within a factor of two — plenty for schedule lengths, depths and
+/// per-pass timings.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The bucket index for a value.
+fn bucket_of(value: u64) -> usize {
+    match value {
+        0 => 0,
+        v => v.ilog2() as usize + 1,
+    }
+}
+
+/// The largest value the bucket at `index` can hold.
+fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`),
+    /// exact to the enclosing power-of-two bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            return write!(f, "count=0");
+        }
+        write!(
+            f,
+            "count={} mean={:.1} min={} p50<={} p99<={} max={}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let h = Histogram::new();
+        for v in [3, 1, 4, 1, 5, 9, 2, 6] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 31);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert!((s.mean() - 31.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 of 1..=100 is 50, in bucket [32, 64) whose upper bound is 63.
+        assert_eq!(s.quantile(0.5), 63);
+        // p100 is capped to the true max.
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.to_string(), "count=0");
+    }
+
+    #[test]
+    fn display_mentions_headline_stats() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        let text = h.snapshot().to_string();
+        assert!(text.contains("count=2"), "{text}");
+        assert!(text.contains("min=10"), "{text}");
+        assert!(text.contains("max=20"), "{text}");
+    }
+}

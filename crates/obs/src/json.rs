@@ -1,0 +1,79 @@
+//! Minimal JSON encoding helpers (the offline dependency set has no
+//! `serde_json`; structured run logs are written by hand).
+
+/// Appends `s` to `out` as a JSON string escape body (no surrounding
+/// quotes): `"` and `\` are backslash-escaped, control characters use the
+/// short forms where JSON has them and `\u00XX` otherwise.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` as a quoted JSON string.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON value (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn number_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; keep them valid but
+        // recognizably floating-point for schema stability.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(quote(r#"a"b\c"#), r#""a\"b\\c""#);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(quote("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(quote("\u{01}"), "\"\\u0001\"");
+        assert_eq!(quote("\u{08}\u{0c}\r"), "\"\\b\\f\\r\"");
+    }
+
+    #[test]
+    fn passes_unicode_through() {
+        assert_eq!(quote("µs → done"), "\"µs → done\"");
+    }
+
+    #[test]
+    fn float_rendering() {
+        assert_eq!(number_f64(1.5), "1.5");
+        assert_eq!(number_f64(2.0), "2.0");
+        assert_eq!(number_f64(f64::NAN), "null");
+        assert_eq!(number_f64(f64::INFINITY), "null");
+    }
+}

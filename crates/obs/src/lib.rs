@@ -1,0 +1,66 @@
+//! # lfm-obs — dependency-free observability primitives
+//!
+//! The instrumentation layer for the *Learning from Mistakes* reproduction.
+//! The exploration sweeps behind the study's headline numbers run up to
+//! 250k schedules per kernel; making those sweeps (and the detector and
+//! STM substrates) measurably faster requires first being able to measure
+//! them. This crate provides the building blocks, std-only to keep the
+//! offline build constraint:
+//!
+//! - [`Counter`] — a relaxed atomic event counter;
+//! - [`Histogram`] — a lock-free power-of-two value histogram with
+//!   count / sum / min / max and percentile estimates;
+//! - [`Stopwatch`] / [`Timing`] — monotonic wall-clock spans, one-shot or
+//!   accumulated across entries;
+//! - [`Sink`] — a pluggable structured-event consumer with three
+//!   implementations: [`NoopSink`] (default; instrumented code must be
+//!   bit-identical in results to uninstrumented code under it),
+//!   [`MemorySink`] (in-memory snapshot for tests and `--stats`), and
+//!   [`JsonlSink`] (structured JSONL run logs for `--log-jsonl`);
+//! - [`StatsTable`] — aligned key/value rendering for `--stats` output.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation must never influence the instrumented computation:
+//! sinks only *observe* [`Event`]s, and every counter/histogram/span is
+//! write-only from the hot path. `lfm-sim` enforces this with a test that
+//! exploration results are identical with and without a recording sink.
+//!
+//! # Example
+//!
+//! ```rust
+//! use lfm_obs::{Counter, Event, MemorySink, Sink, Stopwatch, Value};
+//!
+//! let schedules = Counter::new();
+//! let sw = Stopwatch::start();
+//! for _ in 0..100 {
+//!     schedules.inc();
+//! }
+//! let sink = MemorySink::new();
+//! sink.emit(&Event {
+//!     scope: "explore",
+//!     name: "report",
+//!     fields: &[
+//!         ("schedules", Value::U64(schedules.get())),
+//!         ("wall_us", Value::U64(sw.elapsed().as_micros() as u64)),
+//!     ],
+//! });
+//! assert_eq!(sink.len(), 1);
+//! assert_eq!(schedules.get(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod counter;
+mod histogram;
+pub mod json;
+mod sink;
+mod span;
+mod stats;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use sink::{Event, JsonlSink, MemorySink, NoopSink, OwnedEvent, OwnedValue, Sink, Value};
+pub use span::{fmt_duration, Span, Stopwatch, Timing};
+pub use stats::StatsTable;

@@ -1,0 +1,364 @@
+//! Pluggable structured-event sinks.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json;
+
+/// A field value carried by an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Borrowed string.
+    Str(&'a str),
+}
+
+impl Value<'_> {
+    /// Renders the value as JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) => json::number_f64(*v),
+            Value::Bool(v) => v.to_string(),
+            Value::Str(s) => json::quote(s),
+        }
+    }
+
+    fn to_owned_value(self) -> OwnedValue {
+        match self {
+            Value::U64(v) => OwnedValue::U64(v),
+            Value::I64(v) => OwnedValue::I64(v),
+            Value::F64(v) => OwnedValue::F64(v),
+            Value::Bool(v) => OwnedValue::Bool(v),
+            Value::Str(s) => OwnedValue::Str(s.to_owned()),
+        }
+    }
+}
+
+impl From<u64> for Value<'_> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<i64> for Value<'_> {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value<'_> {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured observation: `scope` names the subsystem (`explore`,
+/// `detect`, `stm`, `cli`, …), `name` the event within it, and `fields`
+/// carry the payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Subsystem that produced the event.
+    pub scope: &'a str,
+    /// Event name within the scope.
+    pub name: &'a str,
+    /// Ordered payload fields.
+    pub fields: &'a [(&'a str, Value<'a>)],
+}
+
+impl Event<'_> {
+    /// Renders the event as one JSON object (the JSONL line, no newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        out.push_str("{\"scope\":");
+        out.push_str(&json::quote(self.scope));
+        out.push_str(",\"event\":");
+        out.push_str(&json::quote(self.name));
+        for (key, value) in self.fields {
+            out.push(',');
+            out.push_str(&json::quote(key));
+            out.push(':');
+            out.push_str(&value.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// An owned copy of a field value (see [`Value`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+}
+
+impl OwnedValue {
+    /// The value as `u64`, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            OwnedValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            OwnedValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// An owned copy of an [`Event`], as stored by [`MemorySink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Subsystem that produced the event.
+    pub scope: String,
+    /// Event name within the scope.
+    pub name: String,
+    /// Ordered payload fields.
+    pub fields: Vec<(String, OwnedValue)>,
+}
+
+impl OwnedEvent {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&OwnedValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A consumer of structured events.
+///
+/// Implementations must be cheap and must never panic into the
+/// instrumented computation; hot paths may consult [`Sink::enabled`] to
+/// skip event assembly entirely.
+pub trait Sink: Send + Sync + fmt::Debug {
+    /// Consumes one event.
+    fn emit(&self, event: &Event<'_>);
+
+    /// `false` when emitted events are discarded (lets callers skip
+    /// building them).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// The default sink: discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _event: &Event<'_>) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// An in-memory snapshot sink for tests and interactive stats.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<OwnedEvent>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// `true` when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the captured events.
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Copies out the captured events with the given scope and name.
+    pub fn events_named(&self, scope: &str, name: &str) -> Vec<OwnedEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.scope == scope && e.name == name)
+            .collect()
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event<'_>) {
+        let owned = OwnedEvent {
+            scope: event.scope.to_owned(),
+            name: event.name.to_owned(),
+            fields: event
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.to_owned_value()))
+                .collect(),
+        };
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(owned);
+    }
+}
+
+/// A sink writing one JSON object per event (JSONL) to any writer.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            out: Mutex::new(writer),
+        }
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink<BufWriter<File>>> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = event.to_json();
+        line.push('\n');
+        // A full disk mid-log must not abort the run it is observing.
+        let _ = self
+            .out
+            .lock()
+            .expect("jsonl sink poisoned")
+            .write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample<'a>(fields: &'a [(&'a str, Value<'a>)]) -> Event<'a> {
+        Event {
+            scope: "test",
+            name: "sample",
+            fields,
+        }
+    }
+
+    #[test]
+    fn event_renders_flat_json() {
+        let fields = [
+            ("schedules", Value::U64(12)),
+            ("rate", Value::F64(1.5)),
+            ("truncated", Value::Bool(false)),
+            ("note", Value::Str("a \"quoted\" note")),
+        ];
+        let json = sample(&fields).to_json();
+        assert_eq!(
+            json,
+            "{\"scope\":\"test\",\"event\":\"sample\",\"schedules\":12,\
+             \"rate\":1.5,\"truncated\":false,\"note\":\"a \\\"quoted\\\" note\"}"
+        );
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.emit(&sample(&[]));
+    }
+
+    #[test]
+    fn memory_sink_captures_owned_events() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit(&sample(&[("n", Value::U64(3)), ("s", Value::Str("x"))]));
+        assert_eq!(sink.len(), 1);
+        let events = sink.events_named("test", "sample");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].field("n").and_then(OwnedValue::as_u64), Some(3));
+        assert_eq!(events[0].field("s").and_then(OwnedValue::as_str), Some("x"));
+        assert!(events[0].field("missing").is_none());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&sample(&[("a", Value::I64(-1))]));
+        sink.emit(&sample(&[("b", Value::Str("line\nbreak"))]));
+        let bytes = sink.out.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"scope\":\"test\",\"event\":\"sample\",\"a\":-1}"
+        );
+        // The embedded newline is escaped, keeping one event per line.
+        assert!(lines[1].contains("line\\nbreak"));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u64), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s"));
+        assert_eq!(Value::from(0.5f64).to_json(), "0.5");
+    }
+}

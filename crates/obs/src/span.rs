@@ -1,0 +1,154 @@
+//! Monotonic wall-clock spans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A one-shot monotonic stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+/// An accumulator of span durations: total nanoseconds and entry count.
+///
+/// Sharable by reference; the hot path records with [`Timing::span`]
+/// (RAII) or [`Timing::time`] (closure).
+#[derive(Debug, Default)]
+pub struct Timing {
+    nanos: AtomicU64,
+    entries: AtomicU64,
+}
+
+impl Timing {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Timing {
+        Timing {
+            nanos: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one finished span of length `d`.
+    pub fn record(&self, d: Duration) {
+        self.nanos.fetch_add(
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Opens a span that records its duration when dropped.
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            timing: self,
+            started: Instant::now(),
+        }
+    }
+
+    /// Times `f`, recording its duration.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _span = self.span();
+        f()
+    }
+
+    /// Total accumulated duration.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Number of recorded spans.
+    pub fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Mean span duration (zero when no spans were recorded).
+    pub fn mean(&self) -> Duration {
+        match self.entries() {
+            0 => Duration::ZERO,
+            n => self.total() / u32::try_from(n).unwrap_or(u32::MAX).max(1),
+        }
+    }
+}
+
+/// An open span over a [`Timing`]; records on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    timing: &'a Timing,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.timing.record(self.started.elapsed());
+    }
+}
+
+/// Renders a duration with a human-scale unit (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_accumulates() {
+        let t = Timing::new();
+        t.record(Duration::from_millis(2));
+        t.record(Duration::from_millis(4));
+        assert_eq!(t.entries(), 2);
+        assert_eq!(t.total(), Duration::from_millis(6));
+        assert_eq!(t.mean(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let t = Timing::new();
+        {
+            let _s = t.span();
+        }
+        t.time(|| ());
+        assert_eq!(t.entries(), 2);
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn empty_timing_mean_is_zero() {
+        assert_eq!(Timing::new().mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00s");
+    }
+}

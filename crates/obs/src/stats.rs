@@ -1,0 +1,79 @@
+//! Aligned key/value rendering for `--stats` style output.
+
+use std::fmt;
+
+/// A titled block of key/value statistics rows, rendered with aligned
+/// columns:
+///
+/// ```text
+/// stats (buggy variant)
+///   schedules           90
+///   schedules/sec       1234567.9
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsTable {
+    title: String,
+    rows: Vec<(String, String)>,
+}
+
+impl StatsTable {
+    /// Creates an empty block with a title.
+    pub fn new(title: impl Into<String>) -> StatsTable {
+        StatsTable {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, key: impl Into<String>, value: impl fmt::Display) -> &mut StatsTable {
+        self.rows.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the block has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for StatsTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let width = self.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (key, value) in &self.rows {
+            writeln!(f, "  {key:width$}  {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = StatsTable::new("stats");
+        t.row("schedules", 90u64).row("schedules/sec", "1234.5");
+        let text = t.to_string();
+        assert_eq!(
+            text,
+            "stats\n  schedules      90\n  schedules/sec  1234.5\n"
+        );
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_is_title_only() {
+        let t = StatsTable::new("nothing");
+        assert_eq!(t.to_string(), "nothing\n");
+        assert!(t.is_empty());
+    }
+}

@@ -49,7 +49,9 @@ impl PairCoverage {
         let mut last: std::collections::BTreeMap<VarId, (ThreadId, bool)> =
             std::collections::BTreeMap::new();
         for event in events {
-            let Some(var) = event.kind.var() else { continue };
+            let Some(var) = event.kind.var() else {
+                continue;
+            };
             let write = event.kind.is_write_access();
             // Failed CAS is a read; EventKind::var covers all accesses.
             let _ = matches!(event.kind, EventKind::Cas { .. });

@@ -140,7 +140,10 @@ impl fmt::Display for ExecError {
             }
             ExecError::DoubleSpawn { target } => write!(f, "double spawn of {target}"),
             ExecError::LocalFuelExhausted => {
-                write!(f, "local computation fuel exhausted (pure-local infinite loop)")
+                write!(
+                    f,
+                    "local computation fuel exhausted (pure-local infinite loop)"
+                )
             }
             ExecError::ThreadNotEnabled { thread } => {
                 write!(f, "scheduled thread {thread} is not enabled")
@@ -162,7 +165,9 @@ mod tests {
         assert_eq!(e.to_string(), "program has no threads");
         let e = ExecError::UnlockNotHeld { mutex: MutexId(2) };
         assert!(e.to_string().contains("m2"));
-        let e = ExecError::ThreadNotEnabled { thread: ThreadId(1) };
+        let e = ExecError::ThreadNotEnabled {
+            thread: ThreadId(1),
+        };
         assert!(e.to_string().contains("t1"));
     }
 

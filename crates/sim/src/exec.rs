@@ -118,10 +118,16 @@ impl Executor {
             .collect();
         let mut exec = Executor {
             vars: program.var_init().to_vec(),
-            mutexes: (0..program.n_mutexes()).map(|_| MutexState::new(n)).collect(),
+            mutexes: (0..program.n_mutexes())
+                .map(|_| MutexState::new(n))
+                .collect(),
             conds: (0..program.n_conds()).map(|_| CondState::new(n)).collect(),
             rws: (0..program.n_rws()).map(|_| RwState::new(n)).collect(),
-            sems: program.sem_init().iter().map(|&c| SemState::new(n, c)).collect(),
+            sems: program
+                .sem_init()
+                .iter()
+                .map(|&c| SemState::new(n, c))
+                .collect(),
             program: program.clone(),
             threads,
             steps: 0,
@@ -285,9 +291,9 @@ impl Executor {
         }
         let ts = &self.threads[thread.index()];
         match &ts.status {
-            ThreadStatus::NotStarted | ThreadStatus::Finished | ThreadStatus::WaitingCond { .. } => {
-                false
-            }
+            ThreadStatus::NotStarted
+            | ThreadStatus::Finished
+            | ThreadStatus::WaitingCond { .. } => false,
             ThreadStatus::Reacquire { mutex } => self.mutexes[mutex.index()].owner.is_none(),
             ThreadStatus::Ready => match self.peek_op(thread) {
                 None => false,
@@ -370,7 +376,8 @@ impl Executor {
             let enabled = self.enabled();
             debug_assert!(!enabled.is_empty(), "quiescence should have fired");
             let choice = picker(&enabled);
-            self.step(choice).expect("picker must choose an enabled thread");
+            self.step(choice)
+                .expect("picker must choose an enabled thread");
         }
         self.outcome.clone().expect("loop sets outcome")
     }
@@ -557,7 +564,13 @@ impl Executor {
             Stmt::Write { var, value } => {
                 let v = self.eval(thread, value);
                 if self.shared_write(thread, *var, v) {
-                    self.record_event(thread, EventKind::Write { var: *var, value: v });
+                    self.record_event(
+                        thread,
+                        EventKind::Write {
+                            var: *var,
+                            value: v,
+                        },
+                    );
                 }
                 self.advance(thread);
             }
@@ -584,9 +597,22 @@ impl Executor {
                     self.threads[thread.index()].locals.insert(into, old);
                 }
                 if direct {
-                    self.record_event(thread, EventKind::Rmw { var: *var, old, new });
+                    self.record_event(
+                        thread,
+                        EventKind::Rmw {
+                            var: *var,
+                            old,
+                            new,
+                        },
+                    );
                 } else {
-                    self.record_event(thread, EventKind::Read { var: *var, value: old });
+                    self.record_event(
+                        thread,
+                        EventKind::Read {
+                            var: *var,
+                            value: old,
+                        },
+                    );
                 }
                 self.advance(thread);
             }
@@ -820,7 +846,10 @@ impl Executor {
             Stmt::TxRetry => {
                 self.record_event(thread, EventKind::TxAbort);
                 let ts = &mut self.threads[thread.index()];
-                let tx = ts.tx.take().expect("TxRetry only occurs inside a transaction");
+                let tx = ts
+                    .tx
+                    .take()
+                    .expect("TxRetry only occurs inside a transaction");
                 ts.locals = tx.locals_snapshot.clone();
                 ts.pc = tx.start_pc;
                 ts.tx_retries += 1;
@@ -1004,8 +1033,24 @@ mod tests {
         let mut b = ProgramBuilder::new("abba");
         let m1 = b.mutex();
         let m2 = b.mutex();
-        b.thread("a", vec![Stmt::lock(m1), Stmt::lock(m2), Stmt::unlock(m2), Stmt::unlock(m1)]);
-        b.thread("b", vec![Stmt::lock(m2), Stmt::lock(m1), Stmt::unlock(m1), Stmt::unlock(m2)]);
+        b.thread(
+            "a",
+            vec![
+                Stmt::lock(m1),
+                Stmt::lock(m2),
+                Stmt::unlock(m2),
+                Stmt::unlock(m1),
+            ],
+        );
+        b.thread(
+            "b",
+            vec![
+                Stmt::lock(m2),
+                Stmt::lock(m1),
+                Stmt::unlock(m1),
+                Stmt::unlock(m2),
+            ],
+        );
         let p = b.build().unwrap();
         let mut e = Executor::new(&p);
         let out = e.replay(&vec![t(0), t(1)].into(), 100);
@@ -1094,7 +1139,11 @@ mod tests {
         let c = b.cond();
         b.thread(
             "waiter",
-            vec![Stmt::lock(m), Stmt::Wait { cond: c, mutex: m }, Stmt::unlock(m)],
+            vec![
+                Stmt::lock(m),
+                Stmt::Wait { cond: c, mutex: m },
+                Stmt::unlock(m),
+            ],
         );
         b.thread("signaller", vec![Stmt::Signal(c)]);
         let p = b.build().unwrap();
@@ -1112,7 +1161,14 @@ mod tests {
         let mut b = ProgramBuilder::new("sem");
         let s = b.semaphore(0);
         let v = b.var("x", 0);
-        b.thread("acq", vec![Stmt::SemAcquire(s), Stmt::read(v, "x"), Stmt::assert(Expr::local("x").eq(Expr::lit(1)), "after release")]);
+        b.thread(
+            "acq",
+            vec![
+                Stmt::SemAcquire(s),
+                Stmt::read(v, "x"),
+                Stmt::assert(Expr::local("x").eq(Expr::lit(1)), "after release"),
+            ],
+        );
         b.thread("rel", vec![Stmt::write(v, 1), Stmt::SemRelease(s)]);
         let p = b.build().unwrap();
         let mut e = Executor::new(&p);
@@ -1174,9 +1230,18 @@ mod tests {
         let mut b = ProgramBuilder::new("rw");
         let rw = b.rwlock();
         let v = b.var("x", 0);
-        b.thread("r1", vec![Stmt::RwRead(rw), Stmt::read(v, "a"), Stmt::RwUnlock(rw)]);
-        b.thread("r2", vec![Stmt::RwRead(rw), Stmt::read(v, "a"), Stmt::RwUnlock(rw)]);
-        b.thread("w", vec![Stmt::RwWrite(rw), Stmt::write(v, 1), Stmt::RwUnlock(rw)]);
+        b.thread(
+            "r1",
+            vec![Stmt::RwRead(rw), Stmt::read(v, "a"), Stmt::RwUnlock(rw)],
+        );
+        b.thread(
+            "r2",
+            vec![Stmt::RwRead(rw), Stmt::read(v, "a"), Stmt::RwUnlock(rw)],
+        );
+        b.thread(
+            "w",
+            vec![Stmt::RwWrite(rw), Stmt::write(v, 1), Stmt::RwUnlock(rw)],
+        );
         let p = b.build().unwrap();
         let mut e = Executor::new(&p);
         // Both readers enter; writer must not be enabled.
@@ -1192,7 +1257,10 @@ mod tests {
     fn rwlock_upgrade_self_deadlocks() {
         let mut b = ProgramBuilder::new("upgrade");
         let rw = b.rwlock();
-        b.thread("a", vec![Stmt::RwRead(rw), Stmt::RwWrite(rw), Stmt::RwUnlock(rw)]);
+        b.thread(
+            "a",
+            vec![Stmt::RwRead(rw), Stmt::RwWrite(rw), Stmt::RwUnlock(rw)],
+        );
         let p = b.build().unwrap();
         let mut e = Executor::new(&p);
         assert!(matches!(e.run_sequential(100), Outcome::Deadlock { .. }));
@@ -1236,7 +1304,10 @@ mod tests {
                 Stmt::local("acc", Expr::local("acc") + Expr::lit(1)),
                 Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
                 Stmt::TxCommit,
-                Stmt::assert(Expr::local("acc").eq(Expr::lit(101)), "acc incremented exactly once"),
+                Stmt::assert(
+                    Expr::local("acc").eq(Expr::lit(101)),
+                    "acc incremented exactly once",
+                ),
             ],
         );
         b.thread("other", vec![Stmt::write(v, 50), Stmt::write(marker, 1)]);
@@ -1258,7 +1329,10 @@ mod tests {
         let p = b.build().unwrap();
         let mut e = Executor::new(&p);
         e.replay(&vec![t(1), t(0)].into(), 100);
-        assert_eq!(e.io_journal(), &[(t(1), "write-log-b"), (t(0), "write-log-a")]);
+        assert_eq!(
+            e.io_journal(),
+            &[(t(1), "write-log-b"), (t(0), "write-log-a")]
+        );
     }
 
     #[test]
@@ -1333,10 +1407,7 @@ mod tests {
             "spinner",
             vec![
                 Stmt::read(v, "f"),
-                Stmt::while_loop(
-                    Expr::local("f").eq(Expr::lit(0)),
-                    vec![Stmt::read(v, "f")],
-                ),
+                Stmt::while_loop(Expr::local("f").eq(Expr::lit(0)), vec![Stmt::read(v, "f")]),
             ],
         );
         let p = b.build().unwrap();
@@ -1465,12 +1536,20 @@ mod edge_tests {
         let v = b.var("who", 0);
         b.thread(
             "holder",
-            vec![Stmt::lock(m), Stmt::write(v, 1), Stmt::Yield, Stmt::unlock(m)],
+            vec![
+                Stmt::lock(m),
+                Stmt::write(v, 1),
+                Stmt::Yield,
+                Stmt::unlock(m),
+            ],
         );
         b.thread(
             "taker",
             vec![
-                Stmt::TryLock { mutex: m, into: "got" },
+                Stmt::TryLock {
+                    mutex: m,
+                    into: "got",
+                },
                 Stmt::if_then(
                     Expr::local("got").ne(Expr::lit(0)),
                     vec![Stmt::write(v, 2), Stmt::unlock(m)],
@@ -1547,7 +1626,10 @@ mod edge_tests {
             vec![
                 Stmt::read(v, "stop"),
                 // Pure-local infinite loop: no visible op inside.
-                Stmt::while_loop(Expr::lit(1), vec![Stmt::local("i", Expr::local("i") + Expr::lit(1))]),
+                Stmt::while_loop(
+                    Expr::lit(1),
+                    vec![Stmt::local("i", Expr::local("i") + Expr::lit(1))],
+                ),
             ],
         );
         let p = b.build().unwrap();

@@ -8,12 +8,22 @@
 //! manifest once a specific order among at most four memory accesses is
 //! enforced means exhaustive search at these tiny scopes is tractable.
 
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
+
 use crate::exec::{Executor, RecordMode};
 use crate::ids::ThreadId;
 use crate::outcome::Outcome;
 use crate::program::Program;
 use crate::schedule::Schedule;
 use crate::trace::Trace;
+
+/// How often (in completed schedules) an enabled [`Sink`] receives an
+/// `explore`/`progress` event during long sweeps.
+const PROGRESS_EVERY: u64 = 25_000;
 
 /// Resource bounds for an exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,7 +89,11 @@ pub struct OutcomeCounts {
 impl OutcomeCounts {
     /// Total executions classified.
     pub fn total(&self) -> u64 {
-        self.ok + self.assert_failed + self.deadlock + self.step_limit + self.tx_retry_limit
+        self.ok
+            + self.assert_failed
+            + self.deadlock
+            + self.step_limit
+            + self.tx_retry_limit
             + self.misuse
     }
 
@@ -98,6 +112,64 @@ impl OutcomeCounts {
             Outcome::Misuse { .. } => self.misuse += 1,
         }
     }
+}
+
+impl fmt::Display for OutcomeCounts {
+    /// One-line histogram, e.g.
+    /// `ok=2 assert=1 deadlock=0 step-limit=0 tx-retry=0 misuse=0 total=3`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ok={} assert={} deadlock={} step-limit={} tx-retry={} misuse={} total={}",
+            self.ok,
+            self.assert_failed,
+            self.deadlock,
+            self.step_limit,
+            self.tx_retry_limit,
+            self.misuse,
+            self.total()
+        )
+    }
+}
+
+/// Why an exploration stopped short of the full interleaving space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truncation {
+    /// `max_schedules` was reached; whole subtrees remain unexplored.
+    ScheduleBudget,
+    /// At least one execution was cut by `max_steps`, so its suffix
+    /// interleavings were never classified.
+    StepBudget,
+    /// The preemption bound pruned still-enabled scheduling choices.
+    PreemptionBound,
+}
+
+impl fmt::Display for Truncation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Truncation::ScheduleBudget => "schedule budget",
+            Truncation::StepBudget => "step budget",
+            Truncation::PreemptionBound => "preemption bound",
+        })
+    }
+}
+
+/// Operational metrics of one exploration, alongside the semantic results
+/// in [`ExploreReport`]. Deterministic except for `wall`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// States with more than one enabled thread that were expanded
+    /// (pushed on the DFS stack).
+    pub branch_points: u64,
+    /// Executor snapshots taken (one clone per explored choice).
+    pub snapshots: u64,
+    /// Deepest DFS stack observed.
+    pub max_depth: u64,
+    /// Enabled choices skipped because the preemption budget was
+    /// exhausted.
+    pub preemption_limited: u64,
+    /// Wall-clock time of the whole exploration.
+    pub wall: Duration,
 }
 
 /// Result of [`Explorer::run`].
@@ -119,12 +191,29 @@ pub struct ExploreReport {
     pub states_deduped: u64,
     /// Sibling choices skipped by the sleep-set reduction.
     pub sleep_pruned: u64,
+    /// Why the search was cut short, when it was: the schedule budget,
+    /// the per-execution step budget, or the preemption bound. `None`
+    /// means the explored space was exhausted.
+    pub truncation: Option<Truncation>,
+    /// Operational metrics (branch points, snapshots, depth, wall time).
+    pub stats: ExploreStats,
 }
 
 impl ExploreReport {
     /// `true` when at least one interleaving manifested a bug.
     pub fn found_failure(&self) -> bool {
         self.first_failure.is_some()
+    }
+
+    /// Completed schedules per second of wall time (0.0 when the
+    /// exploration was too fast to time).
+    pub fn schedules_per_sec(&self) -> f64 {
+        let secs = self.stats.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.schedules_run as f64 / secs
+        } else {
+            0.0
+        }
     }
 
     /// `true` when the space was exhausted with no failure — i.e. the
@@ -140,16 +229,27 @@ pub struct Explorer<'p> {
     program: &'p Program,
     limits: ExploreLimits,
     record: RecordMode,
+    sink: Arc<dyn Sink>,
 }
 
 impl<'p> Explorer<'p> {
-    /// Creates an explorer with default limits.
+    /// Creates an explorer with default limits and the no-op sink.
     pub fn new(program: &'p Program) -> Explorer<'p> {
         Explorer {
             program,
             limits: ExploreLimits::default(),
             record: RecordMode::Off,
+            sink: Arc::new(NoopSink),
         }
+    }
+
+    /// Streams `explore` scope events (start, periodic progress, final
+    /// report) to `sink`. Observation only: exploration *results* are
+    /// identical whatever the sink (enforced by the `obs_determinism`
+    /// test).
+    pub fn with_sink(mut self, sink: Arc<dyn Sink>) -> Explorer<'p> {
+        self.sink = sink;
+        self
     }
 
     /// Records every execution's events so `run_with_callback` observers
@@ -212,6 +312,7 @@ impl<'p> Explorer<'p> {
             sleep: Vec<ThreadId>,
         }
 
+        let stopwatch = Stopwatch::start();
         let mut report = ExploreReport {
             counts: OutcomeCounts::default(),
             schedules_run: 0,
@@ -221,20 +322,38 @@ impl<'p> Explorer<'p> {
             first_ok: None,
             states_deduped: 0,
             sleep_pruned: 0,
+            truncation: None,
+            stats: ExploreStats::default(),
         };
         let mut seen_states: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        if self.sink.enabled() {
+            self.sink.emit(&Event {
+                scope: "explore",
+                name: "start",
+                fields: &[
+                    ("program", Value::Str(self.program.name())),
+                    ("threads", Value::U64(self.program.n_threads() as u64)),
+                    ("max_schedules", Value::U64(self.limits.max_schedules)),
+                    ("sleep_sets", Value::Bool(self.limits.sleep_sets)),
+                    ("dedup_states", Value::Bool(self.limits.dedup_states)),
+                ],
+            });
+        }
 
         let root = Executor::with_record(self.program, self.record);
         let mut stack = Vec::new();
         if let Some(outcome) = root.outcome().cloned() {
             // Program terminates without any scheduling choice.
             self.classify(&mut report, &root, &outcome, &mut on_terminal);
+            self.finish(&mut report, stopwatch);
             return report;
         }
         if self.limits.dedup_states {
             seen_states.insert(root.state_key());
         }
         let enabled = root.enabled();
+        report.stats.branch_points += 1;
+        report.stats.max_depth = 1;
         stack.push(Branch {
             exec: root,
             enabled,
@@ -268,6 +387,7 @@ impl<'p> Explorer<'p> {
                     if last != choice && top.enabled.contains(&last) {
                         preemptions += 1;
                         if preemptions > bound {
+                            report.stats.preemption_limited += 1;
                             continue;
                         }
                     }
@@ -294,6 +414,7 @@ impl<'p> Explorer<'p> {
             }
 
             let mut child = top.exec.clone();
+            report.stats.snapshots += 1;
             child
                 .step(choice)
                 .expect("explorer only chooses enabled threads");
@@ -316,9 +437,7 @@ impl<'p> Explorer<'p> {
                 let enabled = child.enabled();
                 if self.limits.sleep_sets {
                     child_sleep.retain(|t| enabled.contains(t));
-                    if !enabled.is_empty()
-                        && enabled.iter().all(|t| child_sleep.contains(t))
-                    {
+                    if !enabled.is_empty() && enabled.iter().all(|t| child_sleep.contains(t)) {
                         break Next::Redundant;
                     }
                 }
@@ -327,11 +446,9 @@ impl<'p> Explorer<'p> {
                         // Wake sleepers whose op conflicts with the forced
                         // step we are about to take.
                         let fp = child.next_footprint(enabled[0]);
-                        child_sleep.retain(|&t| {
-                            match (&fp, child.next_footprint(t)) {
-                                (Some(a), Some(b)) => a.independent(&b),
-                                _ => false,
-                            }
+                        child_sleep.retain(|&t| match (&fp, child.next_footprint(t)) {
+                            (Some(a), Some(b)) => a.independent(&b),
+                            _ => false,
                         });
                     }
                     child.step(enabled[0]).expect("sole enabled thread");
@@ -351,6 +468,7 @@ impl<'p> Explorer<'p> {
                         report.states_deduped += 1;
                         continue;
                     }
+                    report.stats.branch_points += 1;
                     stack.push(Branch {
                         exec,
                         enabled,
@@ -358,6 +476,7 @@ impl<'p> Explorer<'p> {
                         preemptions,
                         sleep: child_sleep,
                     });
+                    report.stats.max_depth = report.stats.max_depth.max(stack.len() as u64);
                 }
                 Next::Redundant => {
                     report.sleep_pruned += 1;
@@ -365,7 +484,56 @@ impl<'p> Explorer<'p> {
             }
         }
 
+        self.finish(&mut report, stopwatch);
         report
+    }
+
+    /// Derives the truncation reason, stamps the wall time, and emits the
+    /// final `explore`/`report` event.
+    fn finish(&self, report: &mut ExploreReport, stopwatch: Stopwatch) {
+        report.truncation = if report.truncated {
+            Some(Truncation::ScheduleBudget)
+        } else if report.counts.step_limit > 0 {
+            Some(Truncation::StepBudget)
+        } else if report.stats.preemption_limited > 0 {
+            Some(Truncation::PreemptionBound)
+        } else {
+            None
+        };
+        report.stats.wall = stopwatch.elapsed();
+        if self.sink.enabled() {
+            let truncation = report
+                .truncation
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "none".to_owned());
+            self.sink.emit(&Event {
+                scope: "explore",
+                name: "report",
+                fields: &[
+                    ("program", Value::Str(self.program.name())),
+                    ("schedules", Value::U64(report.schedules_run)),
+                    ("steps", Value::U64(report.steps_total)),
+                    ("ok", Value::U64(report.counts.ok)),
+                    ("assert_failed", Value::U64(report.counts.assert_failed)),
+                    ("deadlock", Value::U64(report.counts.deadlock)),
+                    ("step_limit", Value::U64(report.counts.step_limit)),
+                    ("tx_retry_limit", Value::U64(report.counts.tx_retry_limit)),
+                    ("misuse", Value::U64(report.counts.misuse)),
+                    ("branch_points", Value::U64(report.stats.branch_points)),
+                    ("snapshots", Value::U64(report.stats.snapshots)),
+                    ("max_depth", Value::U64(report.stats.max_depth)),
+                    ("sleep_pruned", Value::U64(report.sleep_pruned)),
+                    ("states_deduped", Value::U64(report.states_deduped)),
+                    (
+                        "preemption_limited",
+                        Value::U64(report.stats.preemption_limited),
+                    ),
+                    ("truncation", Value::Str(&truncation)),
+                    ("schedules_per_sec", Value::F64(report.schedules_per_sec())),
+                    ("wall_us", Value::U64(report.stats.wall.as_micros() as u64)),
+                ],
+            });
+        }
     }
 
     fn classify(
@@ -378,6 +546,18 @@ impl<'p> Explorer<'p> {
         report.schedules_run += 1;
         report.steps_total += exec.steps() as u64;
         report.counts.add(outcome);
+        if self.sink.enabled() && report.schedules_run.is_multiple_of(PROGRESS_EVERY) {
+            self.sink.emit(&Event {
+                scope: "explore",
+                name: "progress",
+                fields: &[
+                    ("program", Value::Str(self.program.name())),
+                    ("schedules", Value::U64(report.schedules_run)),
+                    ("steps", Value::U64(report.steps_total)),
+                    ("failures", Value::U64(report.counts.failures())),
+                ],
+            });
+        }
         if outcome.is_failure() && report.first_failure.is_none() {
             report.first_failure = Some((exec.schedule_taken().clone(), outcome.clone()));
         }
@@ -393,4 +573,71 @@ pub fn trace_of(program: &Program, schedule: &Schedule, max_steps: usize) -> (Tr
     let mut exec = Executor::with_record(program, RecordMode::Full);
     let outcome = exec.replay(schedule, max_steps);
     (exec.into_trace(), outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counts() -> OutcomeCounts {
+        OutcomeCounts {
+            ok: 5,
+            assert_failed: 4,
+            deadlock: 3,
+            step_limit: 2,
+            tx_retry_limit: 1,
+            misuse: 6,
+        }
+    }
+
+    #[test]
+    fn total_is_consistent_with_every_field() {
+        let c = sample_counts();
+        assert_eq!(c.total(), 5 + 4 + 3 + 2 + 1 + 6);
+        assert_eq!(c.failures(), 4 + 3 + 6);
+        // `add` must keep the invariant for every outcome kind.
+        let mut c = OutcomeCounts::default();
+        for (i, outcome) in [
+            Outcome::Ok,
+            Outcome::StepLimit,
+            Outcome::AssertFailed {
+                thread: None,
+                msg: "m",
+            },
+        ]
+        .iter()
+        .enumerate()
+        {
+            c.add(outcome);
+            assert_eq!(c.total(), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn display_is_a_one_line_histogram() {
+        let text = sample_counts().to_string();
+        assert_eq!(
+            text,
+            "ok=5 assert=4 deadlock=3 step-limit=2 tx-retry=1 misuse=6 total=21"
+        );
+        assert!(!text.contains('\n'));
+    }
+
+    #[test]
+    fn display_total_matches_total_method() {
+        let c = sample_counts();
+        let rendered = c.to_string();
+        let total: u64 = rendered
+            .rsplit_once("total=")
+            .and_then(|(_, t)| t.parse().ok())
+            .expect("display ends with total=N");
+        assert_eq!(total, c.total());
+    }
+
+    #[test]
+    fn truncation_reasons_render() {
+        assert_eq!(Truncation::ScheduleBudget.to_string(), "schedule budget");
+        assert_eq!(Truncation::StepBudget.to_string(), "step budget");
+        assert_eq!(Truncation::PreemptionBound.to_string(), "preemption bound");
+    }
 }

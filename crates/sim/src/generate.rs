@@ -112,7 +112,8 @@ pub fn generate(config: &GenConfig, seed: u64) -> Program {
         }
         b.thread(name, body);
     }
-    b.build().expect("generated programs are structurally valid")
+    b.build()
+        .expect("generated programs are structurally valid")
 }
 
 #[cfg(test)]
@@ -172,7 +173,10 @@ mod tests {
                 })
                 .run();
             assert_eq!(report.counts.misuse, 0, "seed {seed}");
-            assert_eq!(report.counts.deadlock, 0, "seed {seed}: single-lock regions");
+            assert_eq!(
+                report.counts.deadlock, 0,
+                "seed {seed}: single-lock regions"
+            );
         }
     }
 }

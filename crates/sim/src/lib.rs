@@ -80,15 +80,17 @@ pub mod trace;
 pub use coverage::{PairCoverage, PairKey};
 pub use error::{BuildError, ExecError};
 pub use exec::{Executor, RecordMode, StepResult};
-pub use explore::{ExploreLimits, ExploreReport, Explorer, OutcomeCounts};
+pub use explore::{
+    ExploreLimits, ExploreReport, ExploreStats, Explorer, OutcomeCounts, Truncation,
+};
 pub use expr::Expr;
 pub use generate::{generate, GenConfig};
 pub use ids::{CondId, MutexId, RwId, SemId, ThreadId, VarId};
 pub use outcome::{BlockedOn, Outcome};
 pub use pretty::pseudocode;
-pub use timeline::render_timeline;
 pub use program::{Program, ProgramBuilder, ThreadDef};
 pub use random::{RandomWalkReport, RandomWalker};
 pub use schedule::Schedule;
 pub use stmt::{RmwOp, Stmt};
+pub use timeline::render_timeline;
 pub use trace::{Event, EventKind, Trace, VectorClock};

@@ -143,7 +143,10 @@ mod tests {
         assert!(dl.is_failure());
         assert!(dl.is_deadlock());
         assert!(!Outcome::StepLimit.is_failure());
-        assert!(!Outcome::TxRetryLimit { thread: ThreadId(0) }.is_failure());
+        assert!(!Outcome::TxRetryLimit {
+            thread: ThreadId(0)
+        }
+        .is_failure());
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn pseudocode(program: &Program) -> String {
             out,
             "\nthread {}() {{{}",
             thread.name(),
-            if thread.auto_start() { "" } else { "  // deferred" }
+            if thread.auto_start() {
+                ""
+            } else {
+                "  // deferred"
+            }
         );
         render_block(program, thread.body(), 1, &mut out);
         let _ = writeln!(out, "}}");
@@ -143,11 +147,7 @@ fn render_stmt(program: &Program, stmt: &Stmt, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}sem_release({s});");
         }
         Stmt::Spawn(t) => {
-            let _ = writeln!(
-                out,
-                "{pad}spawn({});",
-                program.threads()[t.index()].name()
-            );
+            let _ = writeln!(out, "{pad}spawn({});", program.threads()[t.index()].name());
         }
         Stmt::Join(t) => {
             let _ = writeln!(out, "{pad}join({});", program.threads()[t.index()].name());
@@ -254,7 +254,14 @@ mod tests {
         );
         let p = b.build().unwrap();
         let code = pseudocode(&p);
-        for needle in ["atomic {", "retry;", "} else {", "while ((a < 1)) {", "yield();", "} // commit"] {
+        for needle in [
+            "atomic {",
+            "retry;",
+            "} else {",
+            "while ((a < 1)) {",
+            "yield();",
+            "} // commit",
+        ] {
             assert!(code.contains(needle), "missing {needle:?} in:\n{code}");
         }
     }

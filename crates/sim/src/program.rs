@@ -20,10 +20,7 @@ pub(crate) enum Instr {
     /// A visible operation (never `If`/`While`/`LocalSet`).
     Op(Stmt),
     /// Set a local register. Purely local.
-    LocalSet {
-        name: &'static str,
-        value: Expr,
-    },
+    LocalSet { name: &'static str, value: Expr },
     /// Unconditional jump. Purely local.
     Jump(usize),
     /// Jump when the condition evaluates to zero. Purely local.
@@ -145,12 +142,7 @@ impl Program {
     pub fn static_visible_ops(&self) -> usize {
         self.threads
             .iter()
-            .map(|t| {
-                t.code
-                    .iter()
-                    .filter(|i| matches!(i, Instr::Op(_)))
-                    .count()
-            })
+            .map(|t| t.code.iter().filter(|i| matches!(i, Instr::Op(_))).count())
             .sum()
     }
 }
@@ -442,10 +434,9 @@ fn check_tx(block: &[Stmt], in_tx: bool) -> Result<(), TxErr> {
                 }
                 depth = 0;
             }
-            Stmt::TxRetry
-                if depth == 0 => {
-                    return Err(TxErr::Unbalanced);
-                }
+            Stmt::TxRetry if depth == 0 => {
+                return Err(TxErr::Unbalanced);
+            }
             Stmt::If {
                 then_branch,
                 else_branch,
@@ -468,9 +459,10 @@ fn check_tx(block: &[Stmt], in_tx: bool) -> Result<(), TxErr> {
             | Stmt::SemRelease(_)
             | Stmt::Spawn(_)
             | Stmt::Join(_)
-                if depth > 0 => {
-                    return Err(TxErr::Sync);
-                }
+                if depth > 0 =>
+            {
+                return Err(TxErr::Sync);
+            }
             _ => {}
         }
     }
@@ -640,7 +632,10 @@ mod tests {
 
         // Nested.
         let mut b = ProgramBuilder::new("p");
-        b.thread("t", vec![Stmt::TxBegin, Stmt::TxBegin, Stmt::TxCommit, Stmt::TxCommit]);
+        b.thread(
+            "t",
+            vec![Stmt::TxBegin, Stmt::TxBegin, Stmt::TxCommit, Stmt::TxCommit],
+        );
         assert!(matches!(
             b.build().unwrap_err(),
             BuildError::UnbalancedTransaction { .. }

@@ -5,6 +5,10 @@
 //! windows, while bounded systematic or priority-based (PCT) scheduling
 //! finds them quickly. These schedulers make that comparison measurable.
 
+use std::sync::Arc;
+use std::time::Duration;
+
+use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,6 +29,8 @@ pub struct RandomWalkReport {
     pub trials: u64,
     /// Witness of the first failure, if any.
     pub first_failure: Option<(Schedule, Outcome)>,
+    /// Wall-clock time of the batch.
+    pub wall: Duration,
 }
 
 impl RandomWalkReport {
@@ -44,6 +50,7 @@ fn run_trials(
     max_steps: usize,
     mut pick: impl FnMut(u64, &Executor, &[ThreadId]) -> ThreadId,
 ) -> RandomWalkReport {
+    let stopwatch = Stopwatch::start();
     let mut counts = OutcomeCounts::default();
     let mut first_failure = None;
     for trial in 0..trials {
@@ -75,7 +82,26 @@ fn run_trials(
         counts,
         trials,
         first_failure,
+        wall: stopwatch.elapsed(),
     }
+}
+
+/// Emits the walker/PCT batch summary when the sink is listening.
+fn emit_batch(sink: &dyn Sink, name: &str, program: &Program, report: &RandomWalkReport) {
+    if !sink.enabled() {
+        return;
+    }
+    sink.emit(&Event {
+        scope: "randomwalk",
+        name,
+        fields: &[
+            ("program", Value::Str(program.name())),
+            ("trials", Value::U64(report.trials)),
+            ("failures", Value::U64(report.counts.failures())),
+            ("failure_rate", Value::F64(report.failure_rate())),
+            ("wall_us", Value::U64(report.wall.as_micros() as u64)),
+        ],
+    });
 }
 
 /// Uniform random scheduling (naive stress testing).
@@ -84,6 +110,7 @@ pub struct RandomWalker<'p> {
     program: &'p Program,
     seed: u64,
     max_steps: usize,
+    sink: Arc<dyn Sink>,
 }
 
 impl<'p> RandomWalker<'p> {
@@ -93,6 +120,7 @@ impl<'p> RandomWalker<'p> {
             program,
             seed,
             max_steps: 5_000,
+            sink: Arc::new(NoopSink),
         }
     }
 
@@ -102,12 +130,24 @@ impl<'p> RandomWalker<'p> {
         self
     }
 
+    /// Streams `randomwalk` scope batch summaries to `sink`. Observation
+    /// only: trial outcomes are identical whatever the sink.
+    pub fn with_sink(mut self, sink: Arc<dyn Sink>) -> RandomWalker<'p> {
+        self.sink = sink;
+        self
+    }
+
     /// Runs `trials` independent random-schedule executions.
     pub fn run_trials(&self, trials: u64) -> RandomWalkReport {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        run_trials(self.program, trials, self.max_steps, move |_, _, enabled| {
-            enabled[rng.gen_range(0..enabled.len())]
-        })
+        let report = run_trials(
+            self.program,
+            trials,
+            self.max_steps,
+            move |_, _, enabled| enabled[rng.gen_range(0..enabled.len())],
+        );
+        emit_batch(self.sink.as_ref(), "report", self.program, &report);
+        report
     }
 
     /// Runs `trials` executions with full recording, returning each trace
@@ -172,6 +212,7 @@ impl<'p> PctScheduler<'p> {
         // `max_steps` would make change points almost never fire on short
         // kernels.
         let k_steps = self.program.static_visible_ops().max(2);
+        let stopwatch = Stopwatch::start();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut counts = OutcomeCounts::default();
         let mut first_failure = None;
@@ -204,9 +245,7 @@ impl<'p> PctScheduler<'p> {
                     .iter()
                     .max_by_key(|t| priorities[t.index()])
                     .expect("enabled set non-empty");
-                if next_change < change_points.len()
-                    && exec.steps() >= change_points[next_change]
-                {
+                if next_change < change_points.len() && exec.steps() >= change_points[next_change] {
                     low_band -= 1;
                     priorities[choice.index()] = low_band;
                     next_change += 1;
@@ -229,6 +268,7 @@ impl<'p> PctScheduler<'p> {
             counts,
             trials,
             first_failure,
+            wall: stopwatch.elapsed(),
         }
     }
 }

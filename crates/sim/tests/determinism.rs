@@ -1,0 +1,106 @@
+//! The observability layer must be a pure observer: attaching any sink —
+//! no-op, in-memory, or JSONL — must leave every semantic field of the
+//! exploration bit-identical to an uninstrumented run. Only wall-clock
+//! readings (which live in `ExploreStats::wall`) may differ.
+
+use std::sync::Arc;
+
+use lfm_obs::{JsonlSink, MemorySink, NoopSink, Sink};
+use lfm_sim::{ExploreLimits, ExploreReport, Explorer, Expr, ProgramBuilder, Stmt};
+
+fn racy_counter(n_threads: usize) -> lfm_sim::Program {
+    let mut b = ProgramBuilder::new("racy-counter");
+    let v = b.var("counter", 0);
+    let names: &[&'static str] = &["a", "b", "c"];
+    for name in &names[..n_threads] {
+        b.thread(
+            name,
+            vec![
+                Stmt::read(v, "tmp"),
+                Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+            ],
+        );
+    }
+    b.final_assert(
+        Expr::shared(v).eq(Expr::lit(n_threads as i64)),
+        "all increments kept",
+    );
+    b.build().unwrap()
+}
+
+/// Everything in the report except wall-clock time.
+fn semantic_view(r: &ExploreReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.schedules_run,
+        r.steps_total,
+        r.counts,
+        r.first_failure.clone(),
+        r.first_ok.clone(),
+        r.truncated,
+        r.truncation,
+        r.sleep_pruned,
+        r.states_deduped,
+        (
+            r.stats.branch_points,
+            r.stats.snapshots,
+            r.stats.max_depth,
+            r.stats.preemption_limited,
+        ),
+    )
+}
+
+fn explore(p: &lfm_sim::Program, sink: Arc<dyn Sink>) -> ExploreReport {
+    Explorer::new(p)
+        .limits(ExploreLimits {
+            max_schedules: 60,
+            ..ExploreLimits::default()
+        })
+        .with_sink(sink)
+        .run()
+}
+
+#[test]
+fn sinks_do_not_perturb_exploration() {
+    let p = racy_counter(3);
+    let baseline = Explorer::new(&p)
+        .limits(ExploreLimits {
+            max_schedules: 60,
+            ..ExploreLimits::default()
+        })
+        .run();
+
+    let noop = explore(&p, Arc::new(NoopSink));
+    let memory_sink = Arc::new(MemorySink::new());
+    let memory = explore(&p, memory_sink.clone());
+
+    assert_eq!(semantic_view(&baseline), semantic_view(&noop));
+    assert_eq!(semantic_view(&baseline), semantic_view(&memory));
+    // The memory sink actually observed the run the no-op sink skipped.
+    assert_eq!(memory_sink.events_named("explore", "start").len(), 1);
+    assert_eq!(memory_sink.events_named("explore", "report").len(), 1);
+}
+
+#[test]
+fn jsonl_sink_does_not_perturb_exploration() {
+    let p = racy_counter(2);
+    let baseline = Explorer::new(&p).run();
+
+    let dir = std::env::temp_dir().join("lfm-obs-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("run-{}.jsonl", std::process::id()));
+    let sink = JsonlSink::create(&path).unwrap();
+    let logged = Explorer::new(&p).with_sink(Arc::new(sink)).run();
+
+    assert_eq!(semantic_view(&baseline), semantic_view(&logged));
+    let log = std::fs::read_to_string(&path).unwrap();
+    assert!(log.lines().any(|l| l.contains("\"event\":\"report\"")));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn repeated_instrumented_runs_are_bit_identical() {
+    let p = racy_counter(3);
+    let a = explore(&p, Arc::new(MemorySink::new()));
+    let b = explore(&p, Arc::new(MemorySink::new()));
+    assert_eq!(semantic_view(&a), semantic_view(&b));
+}

@@ -2,7 +2,7 @@
 //! schedulers, exercised on canonical bug shapes.
 
 use lfm_sim::{
-    explore::trace_of, random::PctScheduler, Expr, ExploreLimits, Explorer, Outcome,
+    explore::trace_of, random::PctScheduler, ExploreLimits, Explorer, Expr, Outcome,
     ProgramBuilder, RandomWalker, Stmt,
 };
 
@@ -51,11 +51,21 @@ fn abba() -> lfm_sim::Program {
     let m2 = b.mutex();
     b.thread(
         "a",
-        vec![Stmt::lock(m1), Stmt::lock(m2), Stmt::unlock(m2), Stmt::unlock(m1)],
+        vec![
+            Stmt::lock(m1),
+            Stmt::lock(m2),
+            Stmt::unlock(m2),
+            Stmt::unlock(m1),
+        ],
     );
     b.thread(
         "b",
-        vec![Stmt::lock(m2), Stmt::lock(m1), Stmt::unlock(m1), Stmt::unlock(m2)],
+        vec![
+            Stmt::lock(m2),
+            Stmt::lock(m1),
+            Stmt::unlock(m1),
+            Stmt::unlock(m2),
+        ],
     );
     b.build().unwrap()
 }

@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use lfm_sim::{generate, Expr, ExploreLimits, Explorer, GenConfig, ProgramBuilder, Stmt};
+use lfm_sim::{generate, ExploreLimits, Explorer, Expr, GenConfig, ProgramBuilder, Stmt};
 
 fn outcome_kinds(counts: &lfm_sim::OutcomeCounts) -> [bool; 5] {
     [
@@ -66,9 +66,7 @@ fn sleep_sets_collapse_independent_threads_to_one_schedule_class() {
     // equivalent; sleep sets should explore close to a single class
     // instead of 6!/(2!·2!·2!) = 90 schedules.
     let mut b = ProgramBuilder::new("disjoint");
-    let vars: Vec<_> = (0..3)
-        .map(|i| b.var(["x", "y", "z"][i], 0))
-        .collect();
+    let vars: Vec<_> = (0..3).map(|i| b.var(["x", "y", "z"][i], 0)).collect();
     for (i, name) in ["a", "b", "c"].into_iter().enumerate() {
         b.thread(
             name,
@@ -99,11 +97,21 @@ fn sleep_sets_preserve_outcome_kinds_on_kernel_shapes() {
     let m2 = b.mutex();
     b.thread(
         "a",
-        vec![Stmt::lock(m1), Stmt::lock(m2), Stmt::unlock(m2), Stmt::unlock(m1)],
+        vec![
+            Stmt::lock(m1),
+            Stmt::lock(m2),
+            Stmt::unlock(m2),
+            Stmt::unlock(m1),
+        ],
     );
     b.thread(
         "b",
-        vec![Stmt::lock(m2), Stmt::lock(m1), Stmt::unlock(m1), Stmt::unlock(m2)],
+        vec![
+            Stmt::lock(m2),
+            Stmt::lock(m1),
+            Stmt::unlock(m1),
+            Stmt::unlock(m2),
+        ],
     );
     let p = b.build().unwrap();
     let full = Explorer::new(&p).run();

@@ -97,14 +97,12 @@ fn scan_block(block: &[Stmt], in_tx: bool) -> bool {
                 then_branch,
                 else_branch,
                 ..
+            } if (scan_block(then_branch, depth) || scan_block(else_branch, depth)) => {
+                return true;
             }
-                if (scan_block(then_branch, depth) || scan_block(else_branch, depth)) => {
-                    return true;
-                }
-            Stmt::While { body, .. }
-                if scan_block(body, depth) => {
-                    return true;
-                }
+            Stmt::While { body, .. } if scan_block(body, depth) => {
+                return true;
+            }
             _ => {}
         }
     }
@@ -194,7 +192,11 @@ mod tests {
 
     #[test]
     fn multivar_kernels_are_helped() {
-        for id in ["cache_pair_invariant", "len_data_desync", "double_counter_invariant"] {
+        for id in [
+            "cache_pair_invariant",
+            "len_data_desync",
+            "double_counter_invariant",
+        ] {
             let v = evaluate_kernel(&registry::by_id(id).unwrap());
             assert!(v.helps, "{v}");
         }
@@ -242,7 +244,11 @@ mod tests {
     fn retry_expresses_conditional_order_synchronization() {
         // Harris-style retry lets transactions wait for a condition, so
         // the init/publish order kernels become TM-helped.
-        for id in ["use_before_init_mozilla", "publish_before_init", "join_less_exit"] {
+        for id in [
+            "use_before_init_mozilla",
+            "publish_before_init",
+            "join_less_exit",
+        ] {
             let v = evaluate_kernel(&registry::by_id(id).unwrap());
             assert!(v.helps, "{v}");
         }

@@ -37,4 +37,4 @@ pub mod evaluate;
 pub mod tl2;
 
 pub use evaluate::{evaluate_all, evaluate_kernel, TmObstacleKind, TmVerdict};
-pub use tl2::{Retry, TSpace, Txn};
+pub use tl2::{Retry, StmStats, TSpace, Txn};

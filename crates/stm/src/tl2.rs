@@ -13,7 +13,10 @@
 //! Values are `i64` words, matching the study's "word-based TM"
 //! terminology and the simulator's shared variables.
 
+use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use lfm_obs::Counter;
 
 /// Internal: the lock bit of a versioned lock.
 const LOCKED: u64 = 1;
@@ -49,6 +52,50 @@ pub struct Retry;
 pub struct TSpace {
     clock: AtomicU64,
     words: Vec<Word>,
+    /// Attempt/commit/abort/retry counters, maintained on the side of the
+    /// retry loop — the committed state never depends on them.
+    starts: Counter,
+    commits: Counter,
+    aborts: Counter,
+    body_retries: Counter,
+}
+
+/// A point-in-time snapshot of a [`TSpace`]'s transaction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StmStats {
+    /// Transaction attempts begun (first tries plus re-executions).
+    pub starts: u64,
+    /// Successful commits (read-only included).
+    pub commits: u64,
+    /// Commit-time validation/locking failures.
+    pub aborts: u64,
+    /// Read-time [`Retry`] signals raised by transaction bodies.
+    pub body_retries: u64,
+}
+
+impl StmStats {
+    /// Commits per attempt, in `[0, 1]`.
+    pub fn commit_rate(&self) -> f64 {
+        if self.starts == 0 {
+            0.0
+        } else {
+            self.commits as f64 / self.starts as f64
+        }
+    }
+}
+
+impl fmt::Display for StmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "starts={} commits={} aborts={} body-retries={} commit-rate={:.3}",
+            self.starts,
+            self.commits,
+            self.aborts,
+            self.body_retries,
+            self.commit_rate()
+        )
+    }
 }
 
 impl TSpace {
@@ -62,6 +109,10 @@ impl TSpace {
         TSpace {
             clock: AtomicU64::new(0),
             words: values.iter().map(|&v| Word::new(v)).collect(),
+            starts: Counter::new(),
+            commits: Counter::new(),
+            aborts: Counter::new(),
+            body_retries: Counter::new(),
         }
     }
 
@@ -88,15 +139,23 @@ impl TSpace {
     pub fn atomically<T>(&self, mut body: impl FnMut(&mut Txn<'_>) -> Result<T, Retry>) -> T {
         let mut backoff = 0u32;
         loop {
+            self.starts.inc();
             let mut tx = Txn {
                 space: self,
                 rv: self.clock.load(Ordering::SeqCst),
                 reads: Vec::new(),
                 writes: Vec::new(),
             };
-            if let Ok(result) = body(&mut tx) {
-                if tx.commit() {
-                    return result;
+            match body(&mut tx) {
+                Ok(result) => {
+                    if tx.commit() {
+                        self.commits.inc();
+                        return result;
+                    }
+                    self.aborts.inc();
+                }
+                Err(Retry) => {
+                    self.body_retries.inc();
                 }
             }
             // Bounded exponential backoff keeps contended commits live.
@@ -110,6 +169,16 @@ impl TSpace {
     /// Number of committed writing transactions so far (clock / 2).
     pub fn commit_count(&self) -> u64 {
         self.clock.load(Ordering::SeqCst) / 2
+    }
+
+    /// Snapshots the attempt/commit/abort/retry counters.
+    pub fn stats(&self) -> StmStats {
+        StmStats {
+            starts: self.starts.get(),
+            commits: self.commits.get(),
+            aborts: self.aborts.get(),
+            body_retries: self.body_retries.get(),
+        }
     }
 }
 
@@ -226,6 +295,47 @@ mod tests {
         assert_eq!(space.read_now(0), 11);
         assert_eq!(space.read_now(1), 20);
         assert_eq!(space.commit_count(), 1);
+        let stats = space.stats();
+        assert_eq!(stats.starts, 1);
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.aborts, 0);
+        assert_eq!(stats.body_retries, 0);
+        assert_eq!(stats.commit_rate(), 1.0);
+    }
+
+    #[test]
+    fn stats_account_for_every_attempt() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 200;
+        let space = Arc::new(TSpace::new(1));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let space = Arc::clone(&space);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        space.atomically(|tx| {
+                            let v = tx.read(0)?;
+                            tx.write(0, v + 1);
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = space.stats();
+        assert_eq!(stats.commits, (THREADS * PER_THREAD) as u64);
+        // Every attempt either committed, aborted at commit time, or was
+        // restarted by a read-time Retry.
+        assert_eq!(
+            stats.starts,
+            stats.commits + stats.aborts + stats.body_retries
+        );
+        assert!(stats.commit_rate() > 0.0 && stats.commit_rate() <= 1.0);
+        let line = stats.to_string();
+        assert!(line.contains("commits=800"), "{line}");
     }
 
     #[test]

@@ -57,6 +57,12 @@ fn main() {
             println!("   (no passing interleaving: deterministic self-deadlock)");
         }
 
+        // Exploration cost of the hunt on this kernel.
+        println!(
+            "   stats: {} | {} branch points, {} snapshots, {:?} wall",
+            report.counts, report.stats.branch_points, report.stats.snapshots, report.stats.wall
+        );
+
         // 3. Prove the fixes.
         for &fix in kernel.fixes {
             let fixed = kernel.build(Variant::Fixed(fix));

@@ -28,14 +28,22 @@ fn main() {
     let buggy = kernel.buggy();
     let report = Explorer::new(&buggy).run();
     println!(
-        "buggy variant: {} interleavings explored, {} manifest the bug \
-         ({} ok, {} assert-failed, {} deadlocked)",
+        "buggy variant: {} interleavings explored, {} manifest the bug ({})",
         report.schedules_run,
         report.counts.failures(),
-        report.counts.ok,
-        report.counts.assert_failed,
-        report.counts.deadlock,
+        report.counts,
     );
+    println!(
+        "  stats: {} branch points, {} snapshots, depth {}, {:.0} schedules/sec, {:?} wall",
+        report.stats.branch_points,
+        report.stats.snapshots,
+        report.stats.max_depth,
+        report.schedules_per_sec(),
+        report.stats.wall,
+    );
+    if let Some(reason) = report.truncation {
+        println!("  truncated by: {reason}");
+    }
 
     // Replay the witness step by step.
     let (schedule, outcome) = report
@@ -72,9 +80,11 @@ fn main() {
         let fixed = kernel.build(Variant::Fixed(fix));
         let fixed_report = Explorer::new(&fixed).dedup_states().run();
         println!(
-            "  {fix:20} -> {} interleavings, {} failures{}",
+            "  {fix:20} -> {} interleavings, {} failures, {} dedup hits in {:?}{}",
             fixed_report.schedules_run,
             fixed_report.counts.failures(),
+            fixed_report.states_deduped,
+            fixed_report.stats.wall,
             if fixed_report.counts.failures() == 0 {
                 "  (proved correct)"
             } else {

@@ -42,7 +42,12 @@ fn main() {
     // Individual records carry bug-tracker-style context.
     let bug = corpus.get_str("mozilla-61369").expect("known record");
     println!("\nExample record:\n  {bug}");
-    println!("  threads: {}, fix: {}, TM: {}", bug.threads, bug.fix(), bug.tm);
+    println!(
+        "  threads: {}, fix: {}, TM: {}",
+        bug.threads,
+        bug.fix(),
+        bug.tm
+    );
     if let Some(kernel) = &bug.kernel {
         println!("  executable kernel: {kernel} (see the explore_interleavings example)");
     }

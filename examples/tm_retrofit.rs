@@ -62,8 +62,7 @@ fn main() {
         std::thread::spawn(move || {
             let mut checks = 0u64;
             while checks < 20_000 {
-                let (count, entries) = space
-                    .atomically(|tx| Ok((tx.read(0)?, tx.read(1)?)));
+                let (count, entries) = space.atomically(|tx| Ok((tx.read(0)?, tx.read(1)?)));
                 assert_eq!(count, entries, "pair invariant broke under TL2!");
                 checks += 1;
             }

@@ -10,6 +10,8 @@
 //! - execute and model-check minimized **bug kernels** ([`kernels`])
 //!   on the deterministic interleaving **simulator** ([`sim`]),
 //! - run the dynamic **detectors** ([`detect`]),
+//! - observe any of the above with metrics, spans and structured run
+//!   logs ([`obs`]),
 //! - reproduce the bug shapes on **real threads** ([`native`]),
 //! - evaluate **transactional-memory** applicability ([`stm`]),
 //! - and regenerate every table and figure of the paper ([`study`]).
@@ -30,6 +32,7 @@ pub use lfm_corpus as corpus;
 pub use lfm_detect as detect;
 pub use lfm_kernels as kernels;
 pub use lfm_native as native;
+pub use lfm_obs as obs;
 pub use lfm_sim as sim;
 pub use lfm_stm as stm;
 pub use lfm_study as study;

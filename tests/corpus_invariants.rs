@@ -146,11 +146,7 @@ fn tm_obstacles_only_on_cannot_help() {
 fn per_app_totals_match_table_one_metadata() {
     let c = corpus();
     for info in learning_from_mistakes::corpus::all_apps() {
-        let nd = c
-            .query()
-            .app(info.app)
-            .class(BugClass::NonDeadlock)
-            .count();
+        let nd = c.query().app(info.app).class(BugClass::NonDeadlock).count();
         let d = c.query().app(info.app).class(BugClass::Deadlock).count();
         assert_eq!(nd, info.sampled_non_deadlock, "{}", info.app);
         assert_eq!(d, info.sampled_deadlock, "{}", info.app);

@@ -7,7 +7,7 @@ use learning_from_mistakes::detect::{
     AtomicityDetector, HappensBeforeDetector, LockOrderDetector, LocksetDetector, OrderDetector,
 };
 use learning_from_mistakes::sim::{
-    generate, ExploreLimits, Explorer, Executor, GenConfig, Outcome, RandomWalker, RecordMode,
+    generate, Executor, ExploreLimits, Explorer, GenConfig, Outcome, RandomWalker, RecordMode,
 };
 use proptest::prelude::*;
 

@@ -40,7 +40,9 @@ fn kernel_class_matches_linked_bug_class() {
     // versa — the linkage is semantic, not decorative.
     let corpus = Corpus::full();
     for kernel in registry::all() {
-        let Some(source) = kernel.source_bug else { continue };
+        let Some(source) = kernel.source_bug else {
+            continue;
+        };
         let bug = corpus.get_str(source).expect("resolves");
         assert_eq!(
             kernel.is_deadlock(),
