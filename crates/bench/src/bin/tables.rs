@@ -39,7 +39,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown artifact `{sel}`; expected t1..t9, f1..f5, \
-                     escope, edetect, etm, or findings"
+                     escope, edetect, etm, echaos, or findings"
                 );
                 std::process::exit(2);
             }
@@ -52,7 +52,20 @@ fn main() {
         "corpus: {} bugs (74 non-deadlock, 31 deadlock)\n",
         corpus.len()
     );
+    // Panic isolation: one broken generator degrades the run (non-zero
+    // exit, FAILED marker) but every other artifact still regenerates.
+    let mut failed = 0usize;
     for artifact in artifacts {
-        println!("{}", artifact.render(&corpus, markdown));
+        match artifact.render_isolated(&corpus, markdown) {
+            Ok(rendered) => println!("{rendered}"),
+            Err(payload) => {
+                failed += 1;
+                eprintln!("FAILED {}: {payload}", artifact.id());
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} artifact(s) failed to render");
+        std::process::exit(1);
     }
 }

@@ -15,9 +15,13 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod snapshot;
 
+pub use chaos::{chaos_comparison, chaos_table, ChaosRow};
 pub use snapshot::{obs_snapshot, SNAPSHOT_SCHEMA};
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lfm_corpus::Corpus;
 use lfm_study::experiments::{
@@ -44,6 +48,8 @@ pub enum Artifact {
     CoverageGrowth,
     /// E-tm.
     Tm,
+    /// E-chaos.
+    Chaos,
     /// The findings checker.
     Findings,
 }
@@ -58,6 +64,7 @@ impl Artifact {
             "etest" | "e-test" => Some(Artifact::SchedTest),
             "ecov" | "e-cov" => Some(Artifact::CoverageGrowth),
             "etm" | "e-tm" => Some(Artifact::Tm),
+            "echaos" | "e-chaos" => Some(Artifact::Chaos),
             "findings" => Some(Artifact::Findings),
             _ if s.len() >= 2 => {
                 let (kind, num) = s.split_at(1);
@@ -83,8 +90,27 @@ impl Artifact {
             Artifact::SchedTest,
             Artifact::CoverageGrowth,
             Artifact::Tm,
+            Artifact::Chaos,
         ]);
         v
+    }
+
+    /// The canonical selector for this artifact (the string [`parse`]
+    /// accepts and the `LFM_INJECT_PANIC` hook matches against).
+    ///
+    /// [`parse`]: Artifact::parse
+    pub fn id(&self) -> String {
+        match self {
+            Artifact::Table(n) => format!("t{n}"),
+            Artifact::Figure(n) => format!("f{n}"),
+            Artifact::Scope => "escope".to_string(),
+            Artifact::Detect => "edetect".to_string(),
+            Artifact::SchedTest => "etest".to_string(),
+            Artifact::CoverageGrowth => "ecov".to_string(),
+            Artifact::Tm => "etm".to_string(),
+            Artifact::Chaos => "echaos".to_string(),
+            Artifact::Findings => "findings".to_string(),
+        }
     }
 
     /// Renders the artifact (plain text or Markdown).
@@ -128,6 +154,7 @@ impl Artifact {
             Artifact::SchedTest => table(scheduler_table(100)),
             Artifact::CoverageGrowth => table(coverage_growth_table()),
             Artifact::Tm => table(tm_table(corpus)),
+            Artifact::Chaos => table(chaos::chaos_table(200)),
             Artifact::Findings => {
                 let mut out = String::from("Findings (paper vs measured)\n");
                 for f in lfm_study::check_all(corpus) {
@@ -136,6 +163,32 @@ impl Artifact {
                 out
             }
         }
+    }
+
+    /// [`render`](Artifact::render) under `catch_unwind`: a panicking
+    /// generator becomes `Err(payload)` so the caller can report the
+    /// failure, keep regenerating the other artifacts, and exit
+    /// degraded instead of aborting.
+    ///
+    /// Setting `LFM_INJECT_PANIC=<artifact-id>` forces a panic inside
+    /// this artifact's render — the test hook proving the containment
+    /// path end to end.
+    pub fn render_isolated(&self, corpus: &Corpus, markdown: bool) -> Result<String, String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if std::env::var("LFM_INJECT_PANIC").as_deref() == Ok(self.id().as_str()) {
+                panic!("injected panic for artifact {}", self.id());
+            }
+            self.render(corpus, markdown)
+        }))
+        .map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            }
+        })
     }
 }
 
@@ -151,6 +204,8 @@ mod tests {
         assert_eq!(Artifact::parse("escope"), Some(Artifact::Scope));
         assert_eq!(Artifact::parse("e-tm"), Some(Artifact::Tm));
         assert_eq!(Artifact::parse("etest"), Some(Artifact::SchedTest));
+        assert_eq!(Artifact::parse("echaos"), Some(Artifact::Chaos));
+        assert_eq!(Artifact::parse("e-chaos"), Some(Artifact::Chaos));
         assert_eq!(Artifact::parse("findings"), Some(Artifact::Findings));
         assert_eq!(Artifact::parse("t0"), None);
         assert_eq!(Artifact::parse("t10"), None);
@@ -161,8 +216,26 @@ mod tests {
     #[test]
     fn all_lists_every_artifact() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 1 + 9 + 5 + 5);
+        assert_eq!(all.len(), 1 + 9 + 5 + 6);
     }
+
+    #[test]
+    fn every_artifact_id_round_trips_through_parse() {
+        for artifact in Artifact::all() {
+            assert_eq!(Artifact::parse(&artifact.id()), Some(artifact));
+        }
+    }
+
+    #[test]
+    fn render_isolated_succeeds_without_injection() {
+        let corpus = Corpus::full();
+        let out = Artifact::Table(2).render_isolated(&corpus, false);
+        assert!(out.expect("T2 renders").contains("T2:"));
+    }
+
+    // The LFM_INJECT_PANIC side of render_isolated is exercised end to
+    // end by the CLI's degraded-exit integration test (environment
+    // variables are process-global, so the unit suite leaves them be).
 
     #[test]
     fn render_table_both_formats() {

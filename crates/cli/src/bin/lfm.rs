@@ -1,4 +1,7 @@
-//! The `lfm` binary: a thin shim over `lfm_cli::{parse_invocation, run_with}`.
+//! The `lfm` binary: a thin shim over `lfm_cli::{parse_invocation, run_opts}`.
+//!
+//! Exit status: 0 success; 1 degraded (a contained table-generator
+//! panic, or `--log-jsonl` lost events to write errors); 2 usage error.
 
 use std::sync::Arc;
 
@@ -18,11 +21,17 @@ fn main() {
                 },
                 None => Arc::new(NoopSink),
             };
-            print!(
-                "{}",
-                lfm_cli::run_with(invocation.command, Arc::clone(&sink))
-            );
+            let opts = invocation.options();
+            let out = lfm_cli::run_opts(invocation.command, Arc::clone(&sink), &opts);
+            print!("{}", out.text);
             sink.flush();
+            let lost = sink.lost_events();
+            if lost > 0 {
+                eprintln!("warning: {lost} structured event(s) lost to log write errors");
+            }
+            if out.degraded || lost > 0 {
+                std::process::exit(1);
+            }
         }
         Err(err) => {
             eprintln!("error: {err}");

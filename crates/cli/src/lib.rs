@@ -9,23 +9,32 @@
 //! lfm kernel <id>                                  # explore a kernel
 //! lfm kernel <id> --source                         # paper-figure pseudo-code
 //! lfm kernel <id> --stats                          # exploration metrics
-//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|etm|findings]
+//! lfm kernel <id> --chaos 42                       # seeded fault injection
+//! lfm kernel <id> --deadline 10                    # budgeted, may degrade
+//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|etm|echaos|findings]
 //! lfm --log-jsonl run.jsonl kernel <id>            # structured event log
 //! ```
 //!
 //! The argument parser is hand-rolled (the offline dependency set has no
 //! CLI crate) and unit-tested here; `src/bin/lfm.rs` is a thin shim.
+//!
+//! # Exit status
+//!
+//! The binary exits 0 on success, **1 degraded** (a table generator
+//! panicked and was contained, or `--log-jsonl` lost events to write
+//! errors), and **2** on a usage error.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use lfm_bench::Artifact;
 use lfm_corpus::{App, BugClass, Corpus};
-use lfm_kernels::{registry, Family, Variant};
+use lfm_kernels::{registry, Family, Kernel, Variant};
 use lfm_obs::{fmt_duration, NoopSink, Sink, StatsTable};
-use lfm_sim::{pseudocode, Explorer};
+use lfm_sim::{pseudocode, Budget, BudgetedExplorer, Explorer, FaultPlan};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,14 +135,30 @@ pub struct Invocation {
     pub command: Command,
     /// `--log-jsonl <path>`: stream structured events to a JSONL file.
     pub log_jsonl: Option<String>,
+    /// `--chaos <seed>`: inject a deterministic [`FaultPlan`].
+    pub chaos: Option<u64>,
+    /// `--deadline <secs>`: wall-clock budget for kernel exploration.
+    pub deadline: Option<Duration>,
+}
+
+impl Invocation {
+    /// The [`RunOptions`] carried by this invocation's global flags.
+    pub fn options(&self) -> RunOptions {
+        RunOptions {
+            chaos: self.chaos,
+            deadline: self.deadline,
+        }
+    }
 }
 
 /// Parses the argument vector (without the program name), extracting
-/// global options (`--log-jsonl <path>`, accepted anywhere) before the
-/// command grammar.
+/// global options (`--log-jsonl <path>`, `--chaos <seed>`,
+/// `--deadline <secs>`, accepted anywhere) before the command grammar.
 pub fn parse_invocation(args: &[String]) -> Result<Invocation, UsageError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut log_jsonl = None;
+    let mut chaos = None;
+    let mut deadline = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--log-jsonl" {
@@ -141,6 +166,27 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, UsageError> {
                 .next()
                 .ok_or_else(|| UsageError("--log-jsonl needs a file path".into()))?;
             log_jsonl = Some(path.clone());
+        } else if arg == "--chaos" {
+            let v = it
+                .next()
+                .ok_or_else(|| UsageError("--chaos needs a seed".into()))?;
+            let seed: u64 = v
+                .parse()
+                .map_err(|_| UsageError(format!("--chaos seed `{v}` is not a u64")))?;
+            chaos = Some(seed);
+        } else if arg == "--deadline" {
+            let v = it
+                .next()
+                .ok_or_else(|| UsageError("--deadline needs a duration in seconds".into()))?;
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| UsageError(format!("--deadline `{v}` is not a number of seconds")))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(UsageError(format!(
+                    "--deadline must be a positive number of seconds (got `{v}`)"
+                )));
+            }
+            deadline = Some(Duration::from_secs_f64(secs));
         } else {
             rest.push(arg.clone());
         }
@@ -148,6 +194,8 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, UsageError> {
     Ok(Invocation {
         command: parse(&rest)?,
         log_jsonl,
+        chaos,
+        deadline,
     })
 }
 
@@ -241,7 +289,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                         only = Some(Artifact::parse(sel).ok_or_else(|| {
                             UsageError(format!(
                                 "unknown artifact `{sel}` (t1..t9, f1..f5, escope, \
-                                 edetect, etest, etm, findings)"
+                                 edetect, etest, etm, echaos, findings)"
                             ))
                         })?);
                     }
@@ -271,13 +319,53 @@ USAGE:
   lfm tables [ARTIFACT] [--markdown]
                                     regenerate tables/figures/experiments
                                     (t1..t9, f1..f5, escope, edetect, etest,
-                                     etm, findings; default: everything)
+                                     etm, echaos, findings; default: everything)
   lfm help
 
 GLOBAL OPTIONS:
   --log-jsonl <path>                stream structured run events (explore,
                                     detect, stm scopes) to <path> as JSONL
+  --chaos <seed>                    inject a seeded deterministic fault plan
+                                    (spurious wakeups, try_lock failures,
+                                    forced tx aborts) into kernel exploration
+  --deadline <secs>                 wall-clock budget for kernel exploration;
+                                    degrades exhaustive -> sleep-set ->
+                                    preemption-bounded -> PCT sampling and
+                                    reports the level and confidence used
+
+EXIT STATUS:
+  0  success
+  1  degraded: a table generator panicked (contained, see FAILED lines)
+     or --log-jsonl lost events to write errors
+  2  usage error
 ";
+
+/// Robustness options carried by the global `--chaos` / `--deadline`
+/// flags. They affect the `kernel` command only: `witness` and `source`
+/// renderings are deterministic and ignore them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Seed for a deterministic [`FaultPlan`] (`--chaos`).
+    pub chaos: Option<u64>,
+    /// Wall-clock budget across all variants of a kernel (`--deadline`).
+    pub deadline: Option<Duration>,
+}
+
+impl RunOptions {
+    fn active(&self) -> bool {
+        self.chaos.is_some() || self.deadline.is_some()
+    }
+}
+
+/// What a command run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The text to print.
+    pub text: String,
+    /// `true` when part of the work failed but was contained (a table
+    /// generator panicked); the binary exits 1.
+    pub degraded: bool,
+}
 
 /// Executes a parsed command, returning the text to print.
 pub fn run(command: Command) -> String {
@@ -288,7 +376,16 @@ pub fn run(command: Command) -> String {
 /// scope events to `sink` (the `--log-jsonl` path). Output text is
 /// identical whatever the sink.
 pub fn run_with(command: Command, sink: Arc<dyn Sink>) -> String {
-    match command {
+    run_opts(command, sink, &RunOptions::default()).text
+}
+
+/// [`run_with`] plus [`RunOptions`]: the full entry point used by the
+/// binary. Chaos/deadline route the `kernel` command through a
+/// [`BudgetedExplorer`]; the `tables` command renders each artifact
+/// under panic isolation and reports degradation instead of aborting.
+pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> RunOutput {
+    let mut degraded = false;
+    let text = match command {
         Command::Help => HELP.to_owned(),
         Command::ListBugs { app, class } => {
             let corpus = Corpus::full();
@@ -359,7 +456,10 @@ pub fn run_with(command: Command, sink: Arc<dyn Sink>) -> String {
             stats,
         } => {
             let Some(kernel) = registry::by_id(&id) else {
-                return format!("no kernel `{id}` (try `lfm list kernels`)\n");
+                return RunOutput {
+                    text: format!("no kernel `{id}` (try `lfm list kernels`)\n"),
+                    degraded: false,
+                };
             };
             if witness {
                 let program = kernel.buggy();
@@ -368,12 +468,18 @@ pub fn run_with(command: Command, sink: Arc<dyn Sink>) -> String {
                     .with_sink(Arc::clone(&sink))
                     .run();
                 let Some((schedule, outcome)) = report.first_failure else {
-                    return format!("kernel `{id}` produced no failure?!\n");
+                    return RunOutput {
+                        text: format!("kernel `{id}` produced no failure?!\n"),
+                        degraded: false,
+                    };
                 };
                 let (trace, _) = lfm_sim::explore::trace_of(&program, &schedule, 5_000);
                 let mut out = format!("{kernel}\nwitness outcome: {outcome}\n\n");
                 out.push_str(&lfm_sim::render_timeline(&trace, Some(&program)));
-                return out;
+                return RunOutput {
+                    text: out,
+                    degraded: false,
+                };
             }
             if source {
                 let mut out = format!("// {kernel}\n// {}\n\n", kernel.description);
@@ -384,6 +490,8 @@ pub fn run_with(command: Command, sink: Arc<dyn Sink>) -> String {
                     out.push_str(&pseudocode(&kernel.build(Variant::Fixed(fix))));
                 }
                 out
+            } else if opts.active() {
+                run_kernel_budgeted(&kernel, &id, stats, opts, &sink)
             } else {
                 let mut out = format!("{kernel}\n  {}\n\n", kernel.description);
                 let buggy = Explorer::new(&kernel.buggy())
@@ -463,12 +571,124 @@ pub fn run_with(command: Command, sink: Arc<dyn Sink>) -> String {
             };
             let mut out = String::new();
             for artifact in artifacts {
-                out.push_str(&artifact.render(&corpus, markdown));
+                // Panic isolation: one broken generator marks the run
+                // degraded but every other artifact still renders.
+                match artifact.render_isolated(&corpus, markdown) {
+                    Ok(rendered) => out.push_str(&rendered),
+                    Err(payload) => {
+                        degraded = true;
+                        out.push_str(&format!("FAILED {}: {payload}\n", artifact.id()));
+                    }
+                }
                 out.push('\n');
             }
             out
         }
+    };
+    RunOutput { text, degraded }
+}
+
+/// The `kernel` command under `--chaos` / `--deadline`: every variant
+/// runs through a [`BudgetedExplorer`], the wall budget split evenly
+/// across the buggy program and each fix, and every line states the
+/// degradation level and confidence its numbers carry.
+fn run_kernel_budgeted(
+    kernel: &Kernel,
+    id: &str,
+    stats: bool,
+    opts: &RunOptions,
+    sink: &Arc<dyn Sink>,
+) -> String {
+    let variants = 1 + kernel.fixes.len() as u32;
+    let budget = Budget {
+        deadline: opts.deadline.map(|total| total / variants),
+        ..Budget::default()
+    };
+    let explore = |program: &lfm_sim::Program| {
+        let mut explorer = BudgetedExplorer::new(program)
+            .budget(budget)
+            .with_sink(Arc::clone(sink));
+        if let Some(seed) = opts.chaos {
+            explorer = explorer.chaos(FaultPlan::new(seed));
+        }
+        explorer.run()
+    };
+
+    let mut out = format!("{kernel}\n  {}\n\n", kernel.description);
+    if let Some(seed) = opts.chaos {
+        out.push_str(&format!("chaos seed: {seed}\n"));
     }
+    if let Some(total) = opts.deadline {
+        out.push_str(&format!(
+            "deadline: {} total, {} per variant\n",
+            fmt_duration(total),
+            fmt_duration(total / variants)
+        ));
+    }
+    out.push('\n');
+
+    let buggy = explore(&kernel.buggy());
+    out.push_str(&format!(
+        "buggy: {} schedules, {} manifest ({})\n",
+        buggy.schedules_run,
+        buggy.counts.failures(),
+        buggy.counts
+    ));
+    out.push_str(&format!(
+        "level: {}  confidence: {}{}\n",
+        buggy.level,
+        buggy.confidence,
+        match buggy.truncation {
+            Some(reason) => format!("  [truncated: {reason}]"),
+            None => String::new(),
+        }
+    ));
+    if let Some((schedule, outcome)) = &buggy.first_failure {
+        out.push_str(&format!("witness: [{schedule}] -> {outcome}\n"));
+    }
+    for &fix in kernel.fixes {
+        let fixed = kernel.build(Variant::Fixed(fix));
+        let report = explore(&fixed);
+        out.push_str(&format!(
+            "fix {:20} -> {} failures over {} schedules  [{}/{}]{}{}\n",
+            fix.to_string(),
+            report.counts.failures(),
+            report.schedules_run,
+            report.level,
+            report.confidence,
+            if report.proved_ok() { "  (proved)" } else { "" },
+            if report.found_failure() {
+                "  (BROKEN)"
+            } else {
+                ""
+            },
+        ));
+    }
+    if stats {
+        let mut table = StatsTable::new(format!("budget stats ({id}, buggy variant)"));
+        let levels = buggy
+            .levels_tried
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        table
+            .row("level", buggy.level.to_string())
+            .row("confidence", buggy.confidence.to_string())
+            .row("levels tried", levels)
+            .row("schedules", buggy.schedules_run)
+            .row(
+                "truncation",
+                match buggy.truncation {
+                    Some(reason) => reason.to_string(),
+                    None => "none (exhausted)".to_owned(),
+                },
+            )
+            .row("wall (buggy)", fmt_duration(buggy.wall));
+        out.push('\n');
+        out.push_str(&table.to_string());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -734,5 +954,147 @@ mod tests {
         });
         assert!(out.contains("T2:"));
         assert!(out.contains("105"));
+    }
+
+    #[test]
+    fn parses_chaos_and_deadline_flags_anywhere() {
+        let inv = parse_invocation(&args(&[
+            "kernel",
+            "abba",
+            "--chaos",
+            "42",
+            "--deadline",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(inv.chaos, Some(42));
+        assert_eq!(inv.deadline, Some(Duration::from_secs(10)));
+        assert!(inv.options().active());
+        // Fractional seconds, flags before the command.
+        let inv = parse_invocation(&args(&["--deadline", "0.5", "kernel", "abba"])).unwrap();
+        assert_eq!(inv.deadline, Some(Duration::from_millis(500)));
+        assert_eq!(inv.chaos, None);
+        // Without them, options are inert.
+        let inv = parse_invocation(&args(&["kernel", "abba"])).unwrap();
+        assert!(!inv.options().active());
+    }
+
+    #[test]
+    fn rejects_malformed_chaos_and_deadline() {
+        assert!(parse_invocation(&args(&["kernel", "abba", "--chaos"])).is_err());
+        assert!(parse_invocation(&args(&["kernel", "abba", "--chaos", "banana"])).is_err());
+        assert!(parse_invocation(&args(&["kernel", "abba", "--deadline"])).is_err());
+        assert!(parse_invocation(&args(&["kernel", "abba", "--deadline", "-3"])).is_err());
+        assert!(parse_invocation(&args(&["kernel", "abba", "--deadline", "0"])).is_err());
+        assert!(parse_invocation(&args(&["kernel", "abba", "--deadline", "nan"])).is_err());
+        assert!(parse_invocation(&args(&["kernel", "abba", "--deadline", "inf"])).is_err());
+    }
+
+    fn kernel_cmd(id: &str, stats: bool) -> Command {
+        Command::Kernel {
+            id: id.into(),
+            source: false,
+            witness: false,
+            stats,
+        }
+    }
+
+    #[test]
+    fn run_opts_deadline_reports_level_and_confidence() {
+        let opts = RunOptions {
+            chaos: None,
+            deadline: Some(Duration::from_secs(10)),
+        };
+        let out = run_opts(kernel_cmd("abba", false), Arc::new(NoopSink), &opts);
+        assert!(!out.degraded);
+        assert!(out.text.contains("deadline:"), "{}", out.text);
+        assert!(out.text.contains("per variant"), "{}", out.text);
+        assert!(out.text.contains("level: "), "{}", out.text);
+        assert!(out.text.contains("confidence: "), "{}", out.text);
+        assert!(out.text.contains("(proved)"), "{}", out.text);
+        assert!(!out.text.contains("BROKEN"), "{}", out.text);
+    }
+
+    #[test]
+    fn run_opts_chaos_still_proves_fixes() {
+        let opts = RunOptions {
+            chaos: Some(42),
+            deadline: None,
+        };
+        let out = run_opts(kernel_cmd("counter_rmw", false), Arc::new(NoopSink), &opts);
+        assert!(!out.degraded);
+        assert!(out.text.contains("chaos seed: 42"), "{}", out.text);
+        assert!(out.text.contains("witness:"), "{}", out.text);
+        assert!(out.text.contains("(proved)"), "{}", out.text);
+        assert!(!out.text.contains("BROKEN"), "{}", out.text);
+    }
+
+    #[test]
+    fn run_opts_budget_path_streams_budget_events() {
+        let sink = Arc::new(lfm_obs::MemorySink::new());
+        let opts = RunOptions {
+            chaos: Some(7),
+            deadline: Some(Duration::from_secs(5)),
+        };
+        run_opts(
+            kernel_cmd("counter_rmw", false),
+            Arc::clone(&sink) as Arc<dyn Sink>,
+            &opts,
+        );
+        let kernel = registry::by_id("counter_rmw").unwrap();
+        let reports = sink.events_named("budget", "report");
+        assert_eq!(reports.len(), 1 + kernel.fixes.len());
+        assert!(reports[0].field("level").is_some());
+        assert!(reports[0].field("confidence").is_some());
+    }
+
+    #[test]
+    fn run_opts_budget_stats_block() {
+        let opts = RunOptions {
+            chaos: None,
+            deadline: Some(Duration::from_secs(10)),
+        };
+        let out = run_opts(kernel_cmd("counter_rmw", true), Arc::new(NoopSink), &opts);
+        for needle in [
+            "budget stats (counter_rmw, buggy variant)",
+            "levels tried",
+            "confidence",
+            "wall (buggy)",
+        ] {
+            assert!(
+                out.text.contains(needle),
+                "missing {needle:?}:\n{}",
+                out.text
+            );
+        }
+    }
+
+    #[test]
+    fn run_opts_tables_is_not_degraded_on_success() {
+        let out = run_opts(
+            Command::Tables {
+                only: Some(Artifact::Table(2)),
+                markdown: false,
+            },
+            Arc::new(NoopSink),
+            &RunOptions::default(),
+        );
+        assert!(!out.degraded);
+        assert!(out.text.contains("T2:"));
+        // Identical to the un-optioned renderer.
+        assert_eq!(
+            out.text,
+            run(Command::Tables {
+                only: Some(Artifact::Table(2)),
+                markdown: false,
+            })
+        );
+    }
+
+    #[test]
+    fn help_documents_the_robustness_surface() {
+        for needle in ["--chaos", "--deadline", "echaos", "EXIT STATUS"] {
+            assert!(HELP.contains(needle), "missing {needle:?} in HELP");
+        }
     }
 }

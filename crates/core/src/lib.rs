@@ -39,6 +39,6 @@ pub mod table;
 pub mod tables;
 
 pub use findings::{check_all, Finding};
-pub use profile::{profile_tables, TableTiming};
+pub use profile::{profile_tables, profile_tables_isolated, TableBuild, TableTiming};
 pub use report::render_full_report;
 pub use table::Table;

@@ -4,7 +4,15 @@
 //! stopwatch around each generator, so regressions in corpus-query cost
 //! show up per table instead of as one opaque total. The tables produced
 //! are identical to the plain path — timing is observation only.
+//!
+//! [`profile_tables_isolated`] adds *panic isolation*: each builder runs
+//! under `catch_unwind`, a panicking table becomes a
+//! [`TableBuild::Failed`] entry (with the rendered payload) while every
+//! other table still builds, and the failure is emitted as a
+//! `study`/`table_failed` event. One broken query must degrade one
+//! artifact, not abort the whole study run.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use lfm_corpus::Corpus;
@@ -77,6 +85,156 @@ pub fn profile_tables(corpus: &Corpus, sink: &dyn Sink) -> (Vec<Table>, Vec<Tabl
     (out, timings)
 }
 
+/// One table's isolated build result: the table, or the panic that
+/// prevented it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableBuild {
+    /// The builder returned normally.
+    Built(Table),
+    /// The builder panicked; the run continued without this table.
+    Failed {
+        /// Table identifier (`"T1"` … `"T9"`).
+        id: String,
+        /// Rendered panic payload.
+        payload: String,
+    },
+}
+
+impl TableBuild {
+    /// The table identifier, whether or not the build succeeded.
+    pub fn id(&self) -> &str {
+        match self {
+            TableBuild::Built(table) => &table.id,
+            TableBuild::Failed { id, .. } => id,
+        }
+    }
+
+    /// The built table, when there is one.
+    pub fn table(&self) -> Option<&Table> {
+        match self {
+            TableBuild::Built(table) => Some(table),
+            TableBuild::Failed { .. } => None,
+        }
+    }
+
+    /// `true` when the builder panicked.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, TableBuild::Failed { .. })
+    }
+}
+
+/// [`profile_tables`] with per-table panic isolation: a panicking
+/// builder yields [`TableBuild::Failed`] and the remaining tables still
+/// build. Callers inspect the results and degrade (non-zero exit)
+/// instead of aborting.
+pub fn profile_tables_isolated(
+    corpus: &Corpus,
+    sink: &dyn Sink,
+) -> (Vec<TableBuild>, Vec<TableTiming>) {
+    run_builders_isolated(
+        corpus,
+        &[
+            ("T1", tables::table1),
+            ("T2", tables::table2),
+            ("T3", tables::table3),
+            ("T4", tables::table4),
+            ("T5", tables::table5),
+            ("T6", tables::table6),
+            ("T7", tables::table7),
+            ("T8", tables::table8),
+            ("T9", tables::table9),
+        ],
+        sink,
+    )
+}
+
+/// A table generator as wired into the isolation loop.
+pub type TableBuilder = fn(&Corpus) -> Table;
+
+/// The isolation loop behind [`profile_tables_isolated`], parameterized
+/// over the builder list so tests can inject a deliberately panicking
+/// builder.
+#[doc(hidden)]
+pub fn run_builders_isolated(
+    corpus: &Corpus,
+    builders: &[(&str, TableBuilder)],
+    sink: &dyn Sink,
+) -> (Vec<TableBuild>, Vec<TableTiming>) {
+    let total_watch = Stopwatch::start();
+    let mut out = Vec::with_capacity(builders.len());
+    let mut timings = Vec::with_capacity(builders.len());
+    let mut built = 0u64;
+    for &(id, build) in builders {
+        let watch = Stopwatch::start();
+        let result = catch_unwind(AssertUnwindSafe(|| build(corpus)));
+        let wall = watch.elapsed();
+        timings.push(TableTiming {
+            id: id.to_owned(),
+            wall,
+        });
+        match result {
+            Ok(table) => {
+                if sink.enabled() {
+                    sink.emit(&Event {
+                        scope: "study",
+                        name: "table",
+                        fields: &[
+                            ("id", Value::Str(&table.id)),
+                            ("rows", Value::U64(table.len() as u64)),
+                            ("wall_us", Value::U64(wall.as_micros() as u64)),
+                        ],
+                    });
+                }
+                built += 1;
+                out.push(TableBuild::Built(table));
+            }
+            Err(panic) => {
+                let payload = panic_payload(panic.as_ref());
+                if sink.enabled() {
+                    sink.emit(&Event {
+                        scope: "study",
+                        name: "table_failed",
+                        fields: &[
+                            ("id", Value::Str(id)),
+                            ("payload", Value::Str(&payload)),
+                            ("wall_us", Value::U64(wall.as_micros() as u64)),
+                        ],
+                    });
+                }
+                out.push(TableBuild::Failed {
+                    id: id.to_owned(),
+                    payload,
+                });
+            }
+        }
+    }
+    if sink.enabled() {
+        sink.emit(&Event {
+            scope: "study",
+            name: "tables",
+            fields: &[
+                ("tables", Value::U64(built)),
+                ("failed", Value::U64((out.len() as u64) - built)),
+                (
+                    "wall_us",
+                    Value::U64(total_watch.elapsed().as_micros() as u64),
+                ),
+            ],
+        });
+    }
+    (out, timings)
+}
+
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Renders timings as an aligned stats table (one row per paper table).
 pub fn timings_table(timings: &[TableTiming]) -> StatsTable {
     let mut t = StatsTable::new("table build times");
@@ -103,6 +261,59 @@ mod tests {
         assert_eq!(timings[8].id, "T9");
         assert_eq!(sink.events_named("study", "table").len(), 9);
         assert_eq!(sink.events_named("study", "tables").len(), 1);
+    }
+
+    #[test]
+    fn isolated_build_matches_plain_build_when_nothing_panics() {
+        let corpus = Corpus::full();
+        let sink = MemorySink::new();
+        let (builds, timings) = profile_tables_isolated(&corpus, &sink);
+        let tables: Vec<_> = builds
+            .iter()
+            .filter_map(TableBuild::table)
+            .cloned()
+            .collect();
+        assert_eq!(tables, tables::all_tables(&corpus));
+        assert_eq!(timings.len(), 9);
+        assert!(builds.iter().all(|b| !b.is_failed()));
+        assert_eq!(sink.events_named("study", "table_failed").len(), 0);
+    }
+
+    #[test]
+    fn a_panicking_builder_degrades_only_its_own_table() {
+        fn boom(_: &Corpus) -> Table {
+            panic!("table exploded")
+        }
+        let corpus = Corpus::full();
+        let sink = MemorySink::new();
+        let (builds, timings) = run_builders_isolated(
+            &corpus,
+            &[("T1", tables::table1), ("TX", boom), ("T2", tables::table2)],
+            &sink,
+        );
+        assert_eq!(builds.len(), 3);
+        assert_eq!(timings.len(), 3);
+        assert!(!builds[0].is_failed());
+        assert!(!builds[2].is_failed(), "tables after the panic still build");
+        match &builds[1] {
+            TableBuild::Failed { id, payload } => {
+                assert_eq!(id, "TX");
+                assert_eq!(payload, "table exploded");
+            }
+            other => panic!("expected a failed build, got {other:?}"),
+        }
+        let failed = sink.events_named("study", "table_failed");
+        assert_eq!(failed.len(), 1);
+        assert_eq!(
+            failed[0]
+                .field("payload")
+                .and_then(|v| v.as_str().map(String::from)),
+            Some("table exploded".to_owned())
+        );
+        // The summary event separates built from failed counts.
+        let summary = &sink.events_named("study", "tables")[0];
+        assert_eq!(summary.field("tables").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(summary.field("failed").and_then(|v| v.as_u64()), Some(1));
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! with genuinely nondeterministic results, never undefined behaviour.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Duration;
+
+use crate::harness::{self, panic_message, TrialResult};
 
 /// Result of one native kernel run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +18,31 @@ pub struct NativeOutcome {
     pub manifested: bool,
     /// A kernel-specific observed value (final counter, balance, …).
     pub observed: i64,
+    /// Rendered payloads of worker panics, if any. Non-empty means the
+    /// run is *spoiled*: `manifested`/`observed` describe a partial
+    /// execution and must not be counted as evidence either way.
+    pub panics: Vec<String>,
+}
+
+impl NativeOutcome {
+    fn new(manifested: bool, observed: i64) -> NativeOutcome {
+        NativeOutcome {
+            manifested,
+            observed,
+            panics: Vec::new(),
+        }
+    }
+}
+
+/// Collects a crossbeam scope result into the panic list instead of
+/// propagating it — the caller's outcome records the spoiled run.
+fn absorb_scope_panic<T>(
+    result: Result<T, Box<dyn std::any::Any + Send + 'static>>,
+    panics: &mut Vec<String>,
+) {
+    if let Err(payload) = result {
+        panics.push(panic_message(payload.as_ref()));
+    }
 }
 
 /// The racy counter: each thread performs `iters` increments. Buggy:
@@ -24,7 +50,8 @@ pub struct NativeOutcome {
 pub fn racy_counter(threads: usize, iters: usize, fixed: bool) -> NativeOutcome {
     let counter = AtomicI64::new(0);
     let barrier = Barrier::new(threads);
-    crossbeam::thread::scope(|s| {
+    let mut panics = Vec::new();
+    let scope_result = crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| {
                 barrier.wait();
@@ -50,13 +77,14 @@ pub fn racy_counter(threads: usize, iters: usize, fixed: bool) -> NativeOutcome 
                 }
             });
         }
-    })
-    .expect("no worker panics");
+    });
+    absorb_scope_panic(scope_result, &mut panics);
     let expected = (threads * iters) as i64;
     let observed = counter.load(Ordering::Relaxed);
     NativeOutcome {
         manifested: observed != expected,
         observed,
+        panics,
     }
 }
 
@@ -65,10 +93,11 @@ pub fn racy_counter(threads: usize, iters: usize, fixed: bool) -> NativeOutcome 
 /// separate operations. Fixed: a CAS loop re-validates.
 pub fn bank_withdraw(threads: usize, rounds: usize, fixed: bool) -> NativeOutcome {
     let overdrafts = AtomicI64::new(0);
+    let mut panics = Vec::new();
     for _ in 0..rounds {
         let balance = AtomicI64::new(100);
         let barrier = Barrier::new(threads);
-        crossbeam::thread::scope(|s| {
+        let scope_result = crossbeam::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|_| {
                     barrier.wait();
@@ -95,8 +124,8 @@ pub fn bank_withdraw(threads: usize, rounds: usize, fixed: bool) -> NativeOutcom
                     }
                 });
             }
-        })
-        .expect("no worker panics");
+        });
+        absorb_scope_panic(scope_result, &mut panics);
         if balance.load(Ordering::SeqCst) < 0 {
             overdrafts.fetch_add(1, Ordering::Relaxed);
         }
@@ -105,6 +134,7 @@ pub fn bank_withdraw(threads: usize, rounds: usize, fixed: bool) -> NativeOutcom
     NativeOutcome {
         manifested: observed > 0,
         observed,
+        panics,
     }
 }
 
@@ -115,10 +145,11 @@ pub fn bank_withdraw(threads: usize, rounds: usize, fixed: bool) -> NativeOutcom
 /// the statement order — exactly the studied class.
 pub fn publish_before_init(rounds: usize, fixed: bool) -> NativeOutcome {
     let mut manifested = 0i64;
+    let mut panics = Vec::new();
     for _ in 0..rounds {
         let data = AtomicI64::new(0);
         let ready = AtomicBool::new(false);
-        crossbeam::thread::scope(|s| {
+        let scope_result = crossbeam::thread::scope(|s| {
             s.spawn(|_| {
                 if fixed {
                     data.store(7, Ordering::Release);
@@ -139,17 +170,19 @@ pub fn publish_before_init(rounds: usize, fixed: bool) -> NativeOutcome {
                     }
                     None
                 })
-                .join()
-                .expect("consumer does not panic");
-            if observed == Some(0) {
-                manifested += 1;
+                .join();
+            match observed {
+                Ok(Some(0)) => manifested += 1,
+                Ok(_) => {}
+                Err(payload) => panics.push(panic_message(payload.as_ref())),
             }
-        })
-        .expect("no worker panics");
+        });
+        absorb_scope_panic(scope_result, &mut panics);
     }
     NativeOutcome {
         manifested: manifested > 0,
         observed: manifested,
+        panics,
     }
 }
 
@@ -157,12 +190,17 @@ pub fn publish_before_init(rounds: usize, fixed: bool) -> NativeOutcome {
 /// a signal delivered before the wait is lost and the waiter times out.
 /// Fixed: predicate loop over a flag.
 pub fn missed_signal(fixed: bool, signaller_first: bool) -> NativeOutcome {
+    // All delays scale with LFM_TIMEOUT_SCALE (see `harness::scaled`):
+    // the hand-off nudge and the bounded wait that stands in for the
+    // hang. Slow CI runners raise the scale instead of patching these.
+    let nudge = harness::scaled(Duration::from_millis(20));
+    let hang_budget = harness::scaled(Duration::from_millis(300));
     let pair = Arc::new((Mutex::new(false), Condvar::new()));
     let pair2 = Arc::clone(&pair);
     let signaller = std::thread::spawn(move || {
         let (lock, cvar) = &*pair2;
         if !signaller_first {
-            std::thread::sleep(Duration::from_millis(20));
+            std::thread::sleep(nudge);
         }
         let mut flag = lock.lock().expect("no poison");
         *flag = true;
@@ -170,37 +208,31 @@ pub fn missed_signal(fixed: bool, signaller_first: bool) -> NativeOutcome {
     });
     let (lock, cvar) = &*pair;
     if signaller_first {
-        std::thread::sleep(Duration::from_millis(20));
+        std::thread::sleep(nudge);
     }
     let timed_out = {
         let guard = lock.lock().expect("no poison");
         if fixed {
             let (_g, res) = cvar
-                .wait_timeout_while(guard, Duration::from_millis(300), |set| !*set)
+                .wait_timeout_while(guard, hang_budget, |set| !*set)
                 .expect("no poison");
             res.timed_out()
         } else {
             // Buggy: waits unconditionally, even if the flag is already
-            // set — the lost-wakeup shape.
-            if *guard {
-                // The signal already happened; the unconditional wait
-                // below would block forever. Bounded wait = the hang.
-                let (_g, res) = cvar
-                    .wait_timeout(guard, Duration::from_millis(300))
-                    .expect("no poison");
-                res.timed_out()
-            } else {
-                let (_g, res) = cvar
-                    .wait_timeout(guard, Duration::from_millis(300))
-                    .expect("no poison");
-                res.timed_out()
-            }
+            // set — the lost-wakeup shape. The bounded wait stands in
+            // for the hang the unconditional wait would be.
+            let (_g, res) = cvar.wait_timeout(guard, hang_budget).expect("no poison");
+            res.timed_out()
         }
     };
-    signaller.join().expect("signaller does not panic");
+    let mut panics = Vec::new();
+    if let Err(payload) = signaller.join() {
+        panics.push(panic_message(payload.as_ref()));
+    }
     NativeOutcome {
         manifested: timed_out,
         observed: i64::from(timed_out),
+        panics,
     }
 }
 
@@ -214,45 +246,54 @@ pub fn missed_signal(fixed: bool, signaller_first: bool) -> NativeOutcome {
 /// like the studied bugs; call this from short-lived processes or accept
 /// two parked threads.
 pub fn abba_deadlock(fixed: bool) -> NativeOutcome {
-    let m1 = Arc::new(Mutex::new(0i64));
-    let m2 = Arc::new(Mutex::new(0i64));
-    let barrier = Arc::new(Barrier::new(2));
-    let (tx, rx) = mpsc::channel::<()>();
-
-    for flip in [false, true] {
-        let m1 = Arc::clone(&m1);
-        let m2 = Arc::clone(&m2);
-        let barrier = Arc::clone(&barrier);
-        let tx = tx.clone();
-        std::thread::spawn(move || {
-            let (first, second) = if fixed || !flip {
-                (&m1, &m2)
-            } else {
-                (&m2, &m1)
-            };
-            barrier.wait();
-            let mut a = first.lock().expect("no poison");
-            std::thread::sleep(Duration::from_millis(10));
-            let mut b = second.lock().expect("no poison");
-            *a += 1;
-            *b += 1;
-            drop(b);
-            drop(a);
-            let _ = tx.send(());
-        });
-    }
-    drop(tx);
-
-    let mut completed = 0;
-    while completed < 2 {
-        match rx.recv_timeout(Duration::from_millis(1_000)) {
-            Ok(()) => completed += 1,
-            Err(_) => break, // watchdog: deadlock
+    // The generalized watchdog (`harness::run_with_deadline`) supervises
+    // the whole two-thread dance; on deadlock it gives up after a scaled
+    // second and the supervisor plus both workers are leaked.
+    let hold = harness::scaled(Duration::from_millis(10));
+    let watchdog = harness::scaled(Duration::from_millis(1_000));
+    let result = harness::run_with_deadline(watchdog, move || {
+        let m1 = Arc::new(Mutex::new(0i64));
+        let m2 = Arc::new(Mutex::new(0i64));
+        let barrier = Arc::new(Barrier::new(2));
+        let workers: Vec<_> = [false, true]
+            .into_iter()
+            .map(|flip| {
+                let m1 = Arc::clone(&m1);
+                let m2 = Arc::clone(&m2);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let (first, second) = if fixed || !flip {
+                        (&m1, &m2)
+                    } else {
+                        (&m2, &m1)
+                    };
+                    barrier.wait();
+                    let mut a = first.lock().expect("no poison");
+                    std::thread::sleep(hold);
+                    let mut b = second.lock().expect("no poison");
+                    *a += 1;
+                    *b += 1;
+                })
+            })
+            .collect();
+        let mut completed = 0i64;
+        for worker in workers {
+            // A deadlocked worker never finishes: the join blocks until
+            // the supervisor's deadline fires and abandons all of us.
+            if worker.join().is_ok() {
+                completed += 1;
+            }
         }
-    }
-    NativeOutcome {
-        manifested: completed < 2,
-        observed: completed,
+        completed
+    });
+    match result {
+        TrialResult::Completed(completed) => NativeOutcome::new(completed < 2, completed),
+        TrialResult::TimedOut => NativeOutcome::new(true, 0),
+        TrialResult::Panicked(message) => NativeOutcome {
+            manifested: false,
+            observed: 0,
+            panics: vec![message],
+        },
     }
 }
 
@@ -266,7 +307,8 @@ pub fn pair_invariant(updates: usize, fixed: bool) -> NativeOutcome {
     let guard = Mutex::new(());
     let torn = AtomicI64::new(0);
     let done = AtomicBool::new(false);
-    crossbeam::thread::scope(|s| {
+    let mut panics = Vec::new();
+    let scope_result = crossbeam::thread::scope(|s| {
         s.spawn(|_| {
             for _ in 0..updates {
                 if fixed {
@@ -293,12 +335,13 @@ pub fn pair_invariant(updates: usize, fixed: bool) -> NativeOutcome {
                 }
             }
         });
-    })
-    .expect("no worker panics");
+    });
+    absorb_scope_panic(scope_result, &mut panics);
     let observed = torn.load(Ordering::Relaxed);
     NativeOutcome {
         manifested: observed > 0,
         observed,
+        panics,
     }
 }
 
@@ -388,7 +431,8 @@ pub fn double_check_init(threads: usize, fixed: bool) -> NativeOutcome {
     let init_count = AtomicI64::new(0);
     let once = Once::new();
     let barrier = Barrier::new(threads);
-    crossbeam::thread::scope(|s| {
+    let mut panics = Vec::new();
+    let scope_result = crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| {
                 barrier.wait();
@@ -407,12 +451,13 @@ pub fn double_check_init(threads: usize, fixed: bool) -> NativeOutcome {
                 }
             });
         }
-    })
-    .expect("no worker panics");
+    });
+    absorb_scope_panic(scope_result, &mut panics);
     let observed = init_count.load(Ordering::SeqCst);
     NativeOutcome {
         manifested: observed != 1,
         observed,
+        panics,
     }
 }
 
@@ -421,43 +466,59 @@ pub fn double_check_init(threads: usize, fixed: bool) -> NativeOutcome {
 /// Fixed: the consumer is only started after the producer is joined.
 pub fn use_before_init(rounds: usize, fixed: bool) -> NativeOutcome {
     let mut premature = 0i64;
+    let mut panics = Vec::new();
     for _ in 0..rounds {
         let field = AtomicI64::new(0);
-        if fixed {
+        let scope_result = if fixed {
             // Initialize-then-spawn: the happens-before edge is the join.
             crossbeam::thread::scope(|s| {
-                s.spawn(|_| field.store(42, Ordering::SeqCst))
-                    .join()
-                    .expect("producer ok");
-                let seen = s
-                    .spawn(|_| field.load(Ordering::SeqCst))
-                    .join()
-                    .expect("consumer ok");
-                if seen == 0 {
-                    premature += 1;
+                if let Err(payload) = s.spawn(|_| field.store(42, Ordering::SeqCst)).join() {
+                    panics.push(panic_message(payload.as_ref()));
+                    return;
+                }
+                match s.spawn(|_| field.load(Ordering::SeqCst)).join() {
+                    Ok(0) => premature += 1,
+                    Ok(_) => {}
+                    Err(payload) => panics.push(panic_message(payload.as_ref())),
                 }
             })
-            .expect("no worker panics");
         } else {
             crossbeam::thread::scope(|s| {
                 s.spawn(|_| {
                     std::thread::yield_now();
                     field.store(42, Ordering::SeqCst);
                 });
-                let seen = s
-                    .spawn(|_| field.load(Ordering::SeqCst))
-                    .join()
-                    .expect("consumer ok");
-                if seen == 0 {
-                    premature += 1;
+                match s.spawn(|_| field.load(Ordering::SeqCst)).join() {
+                    Ok(0) => premature += 1,
+                    Ok(_) => {}
+                    Err(payload) => panics.push(panic_message(payload.as_ref())),
                 }
             })
-            .expect("no worker panics");
-        }
+        };
+        absorb_scope_panic(scope_result, &mut panics);
     }
     NativeOutcome {
         manifested: premature > 0,
         observed: premature,
+        panics,
+    }
+}
+
+/// A kernel whose worker always panics — the injection target for
+/// panic-containment tests in the harness and the study pipeline. The
+/// panic is absorbed into [`NativeOutcome::panics`] (or, with the plain
+/// `std` scope, propagates to the caller's `catch_unwind`); it never
+/// takes down an unprotected campaign.
+pub fn panicking_kernel() -> NativeOutcome {
+    let mut panics = Vec::new();
+    let scope_result = crossbeam::thread::scope(|s| {
+        s.spawn(|_| panic!("injected kernel panic"));
+    });
+    absorb_scope_panic(scope_result, &mut panics);
+    NativeOutcome {
+        manifested: false,
+        observed: 0,
+        panics,
     }
 }
 
@@ -485,6 +546,14 @@ mod more_tests {
             }
         }
         panic!("manual double-checked init never double-initialized");
+    }
+
+    #[test]
+    fn panicking_kernel_reports_its_panic() {
+        let out = panicking_kernel();
+        assert!(!out.manifested);
+        assert_eq!(out.panics.len(), 1, "worker panic is absorbed: {out:?}");
+        assert!(out.panics[0].contains("injected"));
     }
 
     #[test]

@@ -30,5 +30,8 @@
 pub mod harness;
 pub mod kernels;
 
-pub use harness::{stress, StressReport};
+pub use harness::{
+    run_with_deadline, scaled, stress, stress_with, timeout_scale, StressConfig, StressReport,
+    TrialResult,
+};
 pub use kernels::NativeOutcome;

@@ -6,6 +6,7 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
+use crate::counter::Counter;
 use crate::json;
 
 /// A field value carried by an [`Event`].
@@ -176,6 +177,16 @@ pub trait Sink: Send + Sync + fmt::Debug {
 
     /// Flushes any buffered output.
     fn flush(&self) {}
+
+    /// Number of events this sink failed to persist (dropped writes).
+    ///
+    /// Sinks must never panic into the computation they observe, so IO
+    /// errors are absorbed at [`Sink::emit`] — but silently absorbed is
+    /// not silently forgotten: callers check this at the end of a run
+    /// and degrade their exit status when observations were lost.
+    fn lost_events(&self) -> u64 {
+        0
+    }
 }
 
 /// The default sink: discards everything.
@@ -247,6 +258,7 @@ impl Sink for MemorySink {
 /// A sink writing one JSON object per event (JSONL) to any writer.
 pub struct JsonlSink<W: Write + Send> {
     out: Mutex<W>,
+    write_errors: Counter,
 }
 
 impl<W: Write + Send> fmt::Debug for JsonlSink<W> {
@@ -260,7 +272,13 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn new(writer: W) -> JsonlSink<W> {
         JsonlSink {
             out: Mutex::new(writer),
+            write_errors: Counter::new(),
         }
+    }
+
+    /// Number of emit/flush calls whose IO failed (events lost).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.get()
     }
 }
 
@@ -275,16 +293,32 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
     fn emit(&self, event: &Event<'_>) {
         let mut line = event.to_json();
         line.push('\n');
-        // A full disk mid-log must not abort the run it is observing.
-        let _ = self
+        // A full disk mid-log must not abort the run it is observing —
+        // but a dropped event is counted so the run can report the loss.
+        let result = self
             .out
             .lock()
             .expect("jsonl sink poisoned")
             .write_all(line.as_bytes());
+        if result.is_err() {
+            self.write_errors.inc();
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+        if self
+            .out
+            .lock()
+            .expect("jsonl sink poisoned")
+            .flush()
+            .is_err()
+        {
+            self.write_errors.inc();
+        }
+    }
+
+    fn lost_events(&self) -> u64 {
+        self.write_errors.get()
     }
 }
 
@@ -351,6 +385,41 @@ mod tests {
         );
         // The embedded newline is escaped, keeping one event per line.
         assert!(lines[1].contains("line\\nbreak"));
+    }
+
+    /// A writer that fails every operation, like a full disk.
+    struct FullDisk;
+
+    impl Write for FullDisk {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_lost_events_instead_of_panicking() {
+        let sink = JsonlSink::new(FullDisk);
+        assert_eq!(sink.lost_events(), 0);
+        sink.emit(&sample(&[]));
+        sink.emit(&sample(&[]));
+        assert_eq!(sink.write_errors(), 2);
+        Sink::flush(&sink);
+        assert_eq!(sink.lost_events(), 3);
+    }
+
+    #[test]
+    fn healthy_sinks_lose_nothing() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&sample(&[]));
+        Sink::flush(&sink);
+        assert_eq!(sink.lost_events(), 0);
+        // The trait default reports zero for sinks that cannot lose.
+        assert_eq!(Sink::lost_events(&MemorySink::new()), 0);
+        assert_eq!(Sink::lost_events(&NoopSink), 0);
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! Budgeted exploration with graceful degradation.
+//!
+//! A production checking pipeline cannot run unbounded: one
+//! state-exploding kernel must not stall the whole study. A
+//! [`BudgetedExplorer`] holds a [`Budget`] (wall-clock deadline plus
+//! schedule/step caps) and walks a degradation ladder — exhaustive
+//! search, then the sleep-set reduction, then CHESS-style preemption
+//! bounding, and finally PCT sampling — accepting the first level that
+//! finishes inside its slice of the budget. Every [`BudgetReport`]
+//! states the [`DegradeLevel`] used and a [`Confidence`] grade, so a
+//! consumer can tell "proved correct" apart from "sampled and nothing
+//! fell out".
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
+
+use crate::explore::{ExploreLimits, Explorer, OutcomeCounts, Truncation};
+use crate::fault::FaultPlan;
+use crate::outcome::Outcome;
+use crate::program::Program;
+use crate::random::PctScheduler;
+use crate::schedule::Schedule;
+
+/// PCT trials per batch; the deadline is re-checked between batches.
+const PCT_BATCH: u64 = 32;
+/// PCT trial cap when no deadline is set.
+const PCT_DEFAULT_TRIALS: u64 = 4_096;
+/// Preemption bound used by the [`DegradeLevel::PreemptionBounded`] rung
+/// (the study's depth findings say two preemptions expose most bugs).
+const PREEMPTION_BOUND: u32 = 2;
+/// PCT priority-change depth.
+const PCT_DEPTH: u32 = 3;
+
+/// Resource budget for a [`BudgetedExplorer`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock budget for the whole ladder. `None` lets the first
+    /// ladder level run to its schedule cap.
+    pub deadline: Option<Duration>,
+    /// Per-execution visible-step cap (see [`ExploreLimits::max_steps`]).
+    pub max_steps: usize,
+    /// Schedule cap per ladder level (see
+    /// [`ExploreLimits::max_schedules`]).
+    pub max_schedules: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            deadline: None,
+            max_steps: 5_000,
+            max_schedules: 250_000,
+        }
+    }
+}
+
+impl Budget {
+    /// A default budget with a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> Budget {
+        Budget {
+            deadline: Some(deadline),
+            ..Budget::default()
+        }
+    }
+}
+
+/// The ladder rung a budgeted exploration ended on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeLevel {
+    /// Full DFS over all interleavings (with state dedup).
+    Exhaustive,
+    /// DFS with the sleep-set partial-order reduction (still complete
+    /// for outcome kinds; skipped when a fault plan is active).
+    SleepSet,
+    /// DFS restricted to few-preemption schedules (CHESS).
+    PreemptionBounded,
+    /// Probabilistic sampling (PCT) — no coverage guarantee.
+    PctSampling,
+}
+
+impl fmt::Display for DegradeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradeLevel::Exhaustive => "exhaustive",
+            DegradeLevel::SleepSet => "sleep-set",
+            DegradeLevel::PreemptionBounded => "preemption-bounded",
+            DegradeLevel::PctSampling => "pct-sampling",
+        })
+    }
+}
+
+/// How much the accepted result actually covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Confidence {
+    /// The full interleaving space (up to the step cap) was explored.
+    Proved,
+    /// Complete within a preemption bound — strong but not exhaustive.
+    Bounded,
+    /// Probabilistic sampling only.
+    Sampled,
+    /// The accepted level was itself cut short; results are a lower
+    /// bound on the behaviours that exist.
+    Partial,
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Confidence::Proved => "proved",
+            Confidence::Bounded => "bounded",
+            Confidence::Sampled => "sampled",
+            Confidence::Partial => "partial",
+        })
+    }
+}
+
+/// Result of [`BudgetedExplorer::run`].
+#[derive(Debug, Clone)]
+pub struct BudgetReport {
+    /// Outcome histogram of the accepted level.
+    pub counts: OutcomeCounts,
+    /// Schedules run by the accepted level.
+    pub schedules_run: u64,
+    /// Witness of the first failure found at the accepted level.
+    pub first_failure: Option<(Schedule, Outcome)>,
+    /// The ladder rung whose results these are.
+    pub level: DegradeLevel,
+    /// Coverage grade of those results.
+    pub confidence: Confidence,
+    /// Why the accepted level stopped short, if it did.
+    pub truncation: Option<Truncation>,
+    /// Every rung attempted, in order (the last one was accepted).
+    pub levels_tried: Vec<DegradeLevel>,
+    /// Wall-clock time of the whole ladder.
+    pub wall: Duration,
+}
+
+impl BudgetReport {
+    /// `true` when at least one interleaving manifested a bug.
+    pub fn found_failure(&self) -> bool {
+        self.first_failure.is_some()
+    }
+
+    /// `true` when the program is proved correct within the step cap.
+    pub fn proved_ok(&self) -> bool {
+        self.confidence == Confidence::Proved
+            && self.counts.failures() == 0
+            && self.counts.step_limit == 0
+    }
+}
+
+/// [`Explorer`] with a wall-clock budget and a degradation ladder.
+#[derive(Debug)]
+pub struct BudgetedExplorer<'p> {
+    program: &'p Program,
+    budget: Budget,
+    fault: Option<FaultPlan>,
+    sink: Arc<dyn Sink>,
+}
+
+impl<'p> BudgetedExplorer<'p> {
+    /// Creates a budgeted explorer with the default (unbounded) budget.
+    pub fn new(program: &'p Program) -> BudgetedExplorer<'p> {
+        BudgetedExplorer {
+            program,
+            budget: Budget::default(),
+            fault: None,
+            sink: Arc::new(NoopSink),
+        }
+    }
+
+    /// Replaces the budget.
+    pub fn budget(mut self, budget: Budget) -> BudgetedExplorer<'p> {
+        self.budget = budget;
+        self
+    }
+
+    /// Injects a deterministic [`FaultPlan`] into every level. The
+    /// sleep-set rung is skipped (see [`Explorer::chaos`]).
+    pub fn chaos(mut self, plan: FaultPlan) -> BudgetedExplorer<'p> {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Streams `budget` scope events (start, degrade, report) to `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn Sink>) -> BudgetedExplorer<'p> {
+        self.sink = sink;
+        self
+    }
+
+    /// Runs the ladder and returns the first acceptable result.
+    ///
+    /// A DFS level is accepted when it finds a failure (definitive
+    /// regardless of coverage) or finishes without hitting the wall
+    /// deadline or the schedule cap; otherwise the ladder degrades. PCT,
+    /// the last rung, always produces a result.
+    pub fn run(&self) -> BudgetReport {
+        let stopwatch = Stopwatch::start();
+        self.emit_start();
+        let mut levels_tried = Vec::new();
+
+        // Deadline slices per DFS rung; PCT gets whatever remains.
+        let ladder = [
+            (DegradeLevel::Exhaustive, 0.40),
+            (DegradeLevel::SleepSet, 0.25),
+            (DegradeLevel::PreemptionBounded, 0.20),
+        ];
+        for (level, fraction) in ladder {
+            if level == DegradeLevel::SleepSet && self.fault.is_some() {
+                continue;
+            }
+            let slice = self.budget.deadline.map(|total| {
+                total
+                    .mul_f64(fraction)
+                    .min(total.saturating_sub(stopwatch.elapsed()))
+            });
+            if slice.is_some_and(|s| s.is_zero()) {
+                continue;
+            }
+            let limits = ExploreLimits {
+                max_steps: self.budget.max_steps,
+                max_schedules: self.budget.max_schedules,
+                max_preemptions: (level == DegradeLevel::PreemptionBounded)
+                    .then_some(PREEMPTION_BOUND),
+                stop_on_first_failure: false,
+                dedup_states: true,
+                sleep_sets: level == DegradeLevel::SleepSet,
+                deadline: slice,
+            };
+            let mut explorer = Explorer::new(self.program).limits(limits);
+            if let Some(plan) = self.fault {
+                explorer = explorer.chaos(plan);
+            }
+            let report = explorer.run();
+            levels_tried.push(level);
+            let out_of_budget = matches!(
+                report.truncation,
+                Some(Truncation::WallDeadline) | Some(Truncation::ScheduleBudget)
+            );
+            if report.found_failure() || !out_of_budget {
+                let confidence = match level {
+                    DegradeLevel::Exhaustive | DegradeLevel::SleepSet => {
+                        if report.truncation.is_none() {
+                            Confidence::Proved
+                        } else {
+                            Confidence::Partial
+                        }
+                    }
+                    DegradeLevel::PreemptionBounded => {
+                        if matches!(report.truncation, None | Some(Truncation::PreemptionBound)) {
+                            Confidence::Bounded
+                        } else {
+                            Confidence::Partial
+                        }
+                    }
+                    DegradeLevel::PctSampling => Confidence::Sampled,
+                };
+                return self.accept(BudgetReport {
+                    counts: report.counts,
+                    schedules_run: report.schedules_run,
+                    first_failure: report.first_failure,
+                    level,
+                    confidence,
+                    truncation: report.truncation,
+                    levels_tried,
+                    wall: stopwatch.elapsed(),
+                });
+            }
+            self.emit_degrade(level, report.truncation);
+        }
+
+        // Last rung: PCT sampling in small batches, re-checking the
+        // deadline between batches. At least one batch always runs.
+        levels_tried.push(DegradeLevel::PctSampling);
+        let seed_base = self.fault.map_or(0x5EED, |p| p.seed);
+        let mut counts = OutcomeCounts::default();
+        let mut first_failure = None;
+        let mut trials = 0u64;
+        let mut batch = 0u64;
+        let trial_cap = match self.budget.deadline {
+            Some(_) => self.budget.max_schedules,
+            None => PCT_DEFAULT_TRIALS.min(self.budget.max_schedules),
+        };
+        loop {
+            let batch_trials = PCT_BATCH.min(trial_cap.saturating_sub(trials)).max(1);
+            let seed = seed_base ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut scheduler =
+                PctScheduler::new(self.program, seed, PCT_DEPTH).max_steps(self.budget.max_steps);
+            if let Some(plan) = self.fault {
+                scheduler = scheduler.with_faults(plan);
+            }
+            let r = scheduler.run_trials(batch_trials);
+            counts.ok += r.counts.ok;
+            counts.assert_failed += r.counts.assert_failed;
+            counts.deadlock += r.counts.deadlock;
+            counts.step_limit += r.counts.step_limit;
+            counts.tx_retry_limit += r.counts.tx_retry_limit;
+            counts.misuse += r.counts.misuse;
+            trials += r.trials;
+            if first_failure.is_none() {
+                first_failure = r.first_failure;
+            }
+            batch += 1;
+            if trials >= trial_cap {
+                break;
+            }
+            if let Some(deadline) = self.budget.deadline {
+                if stopwatch.elapsed() >= deadline {
+                    break;
+                }
+            }
+        }
+        let truncation = match self.budget.deadline {
+            Some(deadline) if stopwatch.elapsed() >= deadline => Some(Truncation::WallDeadline),
+            _ => Some(Truncation::ScheduleBudget),
+        };
+        self.accept(BudgetReport {
+            counts,
+            schedules_run: trials,
+            first_failure,
+            level: DegradeLevel::PctSampling,
+            confidence: Confidence::Sampled,
+            truncation,
+            levels_tried,
+            wall: stopwatch.elapsed(),
+        })
+    }
+
+    fn emit_start(&self) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let mut fields = vec![("program", Value::Str(self.program.name()))];
+        if let Some(d) = self.budget.deadline {
+            fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
+        }
+        if let Some(plan) = &self.fault {
+            fields.push(("chaos_seed", Value::U64(plan.seed)));
+        }
+        self.sink.emit(&Event {
+            scope: "budget",
+            name: "start",
+            fields: &fields,
+        });
+    }
+
+    fn emit_degrade(&self, from: DegradeLevel, truncation: Option<Truncation>) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let from = from.to_string();
+        let why = truncation
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "none".to_owned());
+        self.sink.emit(&Event {
+            scope: "budget",
+            name: "degrade",
+            fields: &[
+                ("program", Value::Str(self.program.name())),
+                ("from_level", Value::Str(&from)),
+                ("truncation", Value::Str(&why)),
+            ],
+        });
+    }
+
+    fn accept(&self, report: BudgetReport) -> BudgetReport {
+        if self.sink.enabled() {
+            let level = report.level.to_string();
+            let confidence = report.confidence.to_string();
+            let truncation = report
+                .truncation
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "none".to_owned());
+            self.sink.emit(&Event {
+                scope: "budget",
+                name: "report",
+                fields: &[
+                    ("program", Value::Str(self.program.name())),
+                    ("level", Value::Str(&level)),
+                    ("confidence", Value::Str(&confidence)),
+                    ("truncation", Value::Str(&truncation)),
+                    ("schedules", Value::U64(report.schedules_run)),
+                    ("failures", Value::U64(report.counts.failures())),
+                    ("levels_tried", Value::U64(report.levels_tried.len() as u64)),
+                    ("wall_us", Value::U64(report.wall.as_micros() as u64)),
+                ],
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::program::ProgramBuilder;
+    use crate::stmt::Stmt;
+
+    fn racy_counter() -> Program {
+        let mut b = ProgramBuilder::new("racy");
+        let v = b.var("counter", 0);
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                ],
+            );
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "no lost update");
+        b.build().unwrap()
+    }
+
+    fn locked_counter() -> Program {
+        let mut b = ProgramBuilder::new("locked");
+        let v = b.var("counter", 0);
+        let m = b.mutex();
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::lock(m),
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                    Stmt::unlock(m),
+                ],
+            );
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "no lost update");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unbounded_budget_stays_exhaustive() {
+        let p = racy_counter();
+        let report = BudgetedExplorer::new(&p).run();
+        assert_eq!(report.level, DegradeLevel::Exhaustive);
+        // Full coverage even though failures were found: the lost-update
+        // interleavings are all of them.
+        assert_eq!(report.confidence, Confidence::Proved);
+        assert!(report.found_failure());
+        assert!(!report.proved_ok());
+    }
+
+    #[test]
+    fn correct_program_is_proved_at_level_one() {
+        let p = locked_counter();
+        let report = BudgetedExplorer::new(&p).run();
+        assert_eq!(report.level, DegradeLevel::Exhaustive);
+        assert_eq!(report.confidence, Confidence::Proved);
+        assert!(report.proved_ok());
+        assert_eq!(report.levels_tried, vec![DegradeLevel::Exhaustive]);
+    }
+
+    #[test]
+    fn zero_deadline_falls_through_to_pct() {
+        let p = locked_counter();
+        let report = BudgetedExplorer::new(&p)
+            .budget(Budget::with_deadline(Duration::ZERO))
+            .run();
+        assert_eq!(report.level, DegradeLevel::PctSampling);
+        assert_eq!(report.confidence, Confidence::Sampled);
+        assert!(report.schedules_run > 0, "at least one PCT batch runs");
+        assert_eq!(report.levels_tried, vec![DegradeLevel::PctSampling]);
+        assert_eq!(report.truncation, Some(Truncation::WallDeadline));
+    }
+
+    #[test]
+    fn schedule_cap_degrades_down_the_ladder() {
+        let p = locked_counter();
+        let tiny = Budget {
+            max_schedules: 2,
+            ..Budget::default()
+        };
+        let report = BudgetedExplorer::new(&p).budget(tiny).run();
+        // Every DFS rung truncates at 2 schedules; PCT takes over.
+        assert_eq!(report.level, DegradeLevel::PctSampling);
+        assert_eq!(
+            report.levels_tried,
+            vec![
+                DegradeLevel::Exhaustive,
+                DegradeLevel::SleepSet,
+                DegradeLevel::PreemptionBounded,
+                DegradeLevel::PctSampling,
+            ]
+        );
+        assert!(report.schedules_run <= 2);
+    }
+
+    #[test]
+    fn chaos_skips_the_sleep_set_rung() {
+        let p = locked_counter();
+        let tiny = Budget {
+            max_schedules: 2,
+            ..Budget::default()
+        };
+        let report = BudgetedExplorer::new(&p)
+            .budget(tiny)
+            .chaos(FaultPlan::new(42))
+            .run();
+        assert!(!report.levels_tried.contains(&DegradeLevel::SleepSet));
+    }
+
+    #[test]
+    fn failure_found_is_accepted_immediately() {
+        let p = racy_counter();
+        let report = BudgetedExplorer::new(&p).run();
+        assert!(report.found_failure());
+        assert_eq!(report.level, DegradeLevel::Exhaustive);
+    }
+
+    #[test]
+    fn levels_and_confidence_render() {
+        assert_eq!(DegradeLevel::Exhaustive.to_string(), "exhaustive");
+        assert_eq!(DegradeLevel::SleepSet.to_string(), "sleep-set");
+        assert_eq!(
+            DegradeLevel::PreemptionBounded.to_string(),
+            "preemption-bounded"
+        );
+        assert_eq!(DegradeLevel::PctSampling.to_string(), "pct-sampling");
+        assert_eq!(Confidence::Proved.to_string(), "proved");
+        assert_eq!(Confidence::Bounded.to_string(), "bounded");
+        assert_eq!(Confidence::Sampled.to_string(), "sampled");
+        assert_eq!(Confidence::Partial.to_string(), "partial");
+    }
+}

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use crate::error::ExecError;
 use crate::expr::Expr;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::footprint::Footprint;
 use crate::ids::{CondId, MutexId, ThreadId, VarId};
 use crate::outcome::{BlockedOn, Outcome};
@@ -50,8 +51,10 @@ enum ThreadStatus {
     Ready,
     /// Parked on a condition variable.
     WaitingCond { cond: CondId, mutex: MutexId },
-    /// Signalled; waiting to re-acquire the mutex.
-    Reacquire { mutex: MutexId },
+    /// Waiting to re-acquire the mutex after a wait: `signalled` is
+    /// `false` for a spurious wakeup (no happens-before edge with any
+    /// signaller exists).
+    Reacquire { mutex: MutexId, signalled: bool },
     /// Script complete.
     Finished,
 }
@@ -88,6 +91,7 @@ pub struct Executor {
     taken: Schedule,
     record: RecordMode,
     events: Vec<Event>,
+    fault: Option<FaultPlan>,
 }
 
 impl Executor {
@@ -137,6 +141,7 @@ impl Executor {
             taken: Schedule::new(),
             record,
             events: Vec::new(),
+            fault: None,
         };
         // Record starts and fast-forward local prefixes so every pc points
         // at a visible op.
@@ -155,6 +160,25 @@ impl Executor {
     /// The program being executed.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Installs a deterministic fault plan. Decisions are a pure function
+    /// of `(plan, step, thread)`, so clones of this executor (the model
+    /// checker's snapshots) agree with it on every future fault.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Whether `kind` fires for `thread` at the current step.
+    fn fault_fires(&self, kind: FaultKind, thread: ThreadId) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|plan| plan.fires(kind, self.steps, thread.index()))
     }
 
     /// Number of visible steps executed so far.
@@ -210,7 +234,7 @@ impl Executor {
     pub(crate) fn next_footprint(&self, thread: ThreadId) -> Option<Footprint> {
         let ts = &self.threads[thread.index()];
         match &ts.status {
-            ThreadStatus::Reacquire { mutex } => Some(Footprint::of_reacquire(*mutex)),
+            ThreadStatus::Reacquire { mutex, .. } => Some(Footprint::of_reacquire(*mutex)),
             ThreadStatus::WaitingCond { mutex, .. } => Some(Footprint::of_reacquire(*mutex)),
             ThreadStatus::Ready => self.peek_op(thread).map(|stmt| {
                 let touched: Vec<VarId> = match &ts.tx {
@@ -258,7 +282,10 @@ impl Executor {
                     cond.hash(&mut h);
                     mutex.hash(&mut h);
                 }
-                ThreadStatus::Reacquire { mutex } => mutex.hash(&mut h),
+                ThreadStatus::Reacquire { mutex, signalled } => {
+                    mutex.hash(&mut h);
+                    signalled.hash(&mut h);
+                }
                 _ => {}
             }
             ts.pc.hash(&mut h);
@@ -277,11 +304,30 @@ impl Executor {
     }
 
     /// Threads that can take a step right now.
+    ///
+    /// With a fault plan installed, threads in a stall window are filtered
+    /// out (a bounded descheduling). The filter never empties the set —
+    /// if every enabled thread is stalled, or only one thread is enabled,
+    /// the unfiltered set is returned, so deadlock detection and
+    /// quiescence (which use [`Executor::is_enabled`]) are unaffected.
     pub fn enabled(&self) -> Vec<ThreadId> {
-        (0..self.threads.len())
+        let all: Vec<ThreadId> = (0..self.threads.len())
             .map(ThreadId::from_index)
             .filter(|&t| self.is_enabled(t))
-            .collect()
+            .collect();
+        if all.len() > 1 {
+            if let Some(plan) = &self.fault {
+                let unstalled: Vec<ThreadId> = all
+                    .iter()
+                    .copied()
+                    .filter(|t| !plan.fires(FaultKind::Stall, self.steps, t.index()))
+                    .collect();
+                if !unstalled.is_empty() {
+                    return unstalled;
+                }
+            }
+        }
+        all
     }
 
     /// `true` when `thread` can take a step.
@@ -294,7 +340,7 @@ impl Executor {
             ThreadStatus::NotStarted
             | ThreadStatus::Finished
             | ThreadStatus::WaitingCond { .. } => false,
-            ThreadStatus::Reacquire { mutex } => self.mutexes[mutex.index()].owner.is_none(),
+            ThreadStatus::Reacquire { mutex, .. } => self.mutexes[mutex.index()].owner.is_none(),
             ThreadStatus::Ready => match self.peek_op(thread) {
                 None => false,
                 Some(stmt) => self.op_enabled(thread, stmt),
@@ -338,8 +384,10 @@ impl Executor {
         self.last_scheduled = Some(thread);
         self.threads[thread.index()].clock.tick(thread);
 
-        if let ThreadStatus::Reacquire { mutex } = self.threads[thread.index()].status.clone() {
-            self.finish_wait(thread, mutex);
+        if let ThreadStatus::Reacquire { mutex, signalled } =
+            self.threads[thread.index()].status.clone()
+        {
+            self.finish_wait(thread, mutex, signalled);
         } else {
             let stmt = self
                 .peek_op(thread)
@@ -489,7 +537,7 @@ impl Executor {
     /// must not execute its operation.
     fn tx_abort_if_invalid(&mut self, thread: ThreadId) -> bool {
         let valid = match &self.threads[thread.index()].tx {
-            Some(tx) => tx.validate(&self.vars),
+            Some(tx) => tx.validate(&self.vars) && !self.fault_fires(FaultKind::TxAbort, thread),
             None => return false,
         };
         if valid {
@@ -530,7 +578,7 @@ impl Executor {
         }
     }
 
-    fn finish_wait(&mut self, thread: ThreadId, mutex: MutexId) {
+    fn finish_wait(&mut self, thread: ThreadId, mutex: MutexId, signalled: bool) {
         // Re-acquire the mutex and resume past the Wait statement.
         let cond = match self.peek_op(thread) {
             Some(Stmt::Wait { cond, .. }) => *cond,
@@ -541,7 +589,11 @@ impl Executor {
         {
             let ts = &mut self.threads[thread.index()];
             ts.clock.join(&mclock);
-            ts.clock.join(&cclock);
+            if signalled {
+                // A spurious wakeup synchronizes with no signaller: only a
+                // real signal joins the condition variable's clock.
+                ts.clock.join(&cclock);
+            }
             ts.held.push(mutex);
             ts.status = ThreadStatus::Ready;
         }
@@ -671,7 +723,11 @@ impl Executor {
                 self.advance(thread);
             }
             Stmt::TryLock { mutex, into } => {
-                let success = self.mutexes[mutex.index()].owner.is_none();
+                // A forced failure models a contender winning and releasing
+                // the lock between the check and the acquisition — legal
+                // for any try-lock.
+                let success = self.mutexes[mutex.index()].owner.is_none()
+                    && !self.fault_fires(FaultKind::TryLockFail, thread);
                 if success {
                     let mclock = self.mutexes[mutex.index()].clock.clone();
                     let ts = &mut self.threads[thread.index()];
@@ -727,6 +783,32 @@ impl Executor {
                     self.misuse(thread, ExecError::WaitWithoutMutex { mutex: *mutex });
                     return;
                 }
+                if self.fault_fires(FaultKind::SpuriousWakeup, thread) {
+                    // Spurious wakeup: the wait returns without a signal.
+                    // Release the mutex and go straight to re-acquisition
+                    // without ever joining the waiters queue, so no signal
+                    // is consumed and no happens-before edge is created.
+                    self.mutexes[mutex.index()].owner = None;
+                    let clock = self.threads[thread.index()].clock.clone();
+                    self.mutexes[mutex.index()].clock = clock;
+                    {
+                        let ts = &mut self.threads[thread.index()];
+                        ts.held.retain(|h| h != mutex);
+                        ts.status = ThreadStatus::Reacquire {
+                            mutex: *mutex,
+                            signalled: false,
+                        };
+                    }
+                    self.record_event(
+                        thread,
+                        EventKind::WaitBegin {
+                            cond: *cond,
+                            mutex: *mutex,
+                        },
+                    );
+                    // pc stays on the Wait; finish_wait advances it.
+                    return;
+                }
                 self.mutexes[mutex.index()].owner = None;
                 let clock = self.threads[thread.index()].clock.clone();
                 self.mutexes[mutex.index()].clock = clock;
@@ -756,7 +838,10 @@ impl Executor {
                         ThreadStatus::WaitingCond { mutex, .. } => *mutex,
                         other => unreachable!("cond waiter in status {other:?}"),
                     };
-                    self.threads[w.index()].status = ThreadStatus::Reacquire { mutex };
+                    self.threads[w.index()].status = ThreadStatus::Reacquire {
+                        mutex,
+                        signalled: true,
+                    };
                 }
                 self.record_event(thread, EventKind::Signal(*c));
                 self.advance(thread);
@@ -769,7 +854,10 @@ impl Executor {
                         ThreadStatus::WaitingCond { mutex, .. } => *mutex,
                         other => unreachable!("cond waiter in status {other:?}"),
                     };
-                    self.threads[w.index()].status = ThreadStatus::Reacquire { mutex };
+                    self.threads[w.index()].status = ThreadStatus::Reacquire {
+                        mutex,
+                        signalled: true,
+                    };
                 }
                 self.record_event(thread, EventKind::Broadcast(*c));
                 self.advance(thread);
@@ -858,11 +946,14 @@ impl Executor {
                 }
             }
             Stmt::TxCommit => {
+                // TL2 permits conservative aborts: a forced abort at commit
+                // is indistinguishable from a lost version-lock race.
+                let forced = self.fault_fires(FaultKind::TxAbort, thread);
                 let tx = self.threads[thread.index()]
                     .tx
                     .take()
                     .expect("build validation pairs TxCommit with TxBegin");
-                if tx.validate(&self.vars) {
+                if !forced && tx.validate(&self.vars) {
                     for (var, value) in &tx.write_set {
                         self.vars[var.index()] = *value;
                         self.record_event(
@@ -912,7 +1003,7 @@ impl Executor {
                 ThreadStatus::WaitingCond { cond, .. } => {
                     blocked.push((tid, BlockedOn::Cond(*cond)));
                 }
-                ThreadStatus::Reacquire { mutex } => {
+                ThreadStatus::Reacquire { mutex, .. } => {
                     blocked.push((tid, BlockedOn::CondReacquire(*mutex)));
                 }
                 ThreadStatus::Ready => {
@@ -1661,5 +1752,214 @@ mod edge_tests {
         let mut e = Executor::new(&p);
         let out = e.run_sequential(10_000);
         assert!(matches!(out, Outcome::TxRetryLimit { .. }), "{out}");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    fn racy_counter() -> Program {
+        let mut b = ProgramBuilder::new("racy");
+        let v = b.var("counter", 0);
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                ],
+            );
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "no lost update");
+        b.build().unwrap()
+    }
+
+    /// A plan firing only `kind`, always.
+    fn only(kind: FaultKind) -> FaultPlan {
+        let mut plan = FaultPlan {
+            seed: 0,
+            spurious_wakeup_pct: 0,
+            trylock_fail_pct: 0,
+            tx_abort_pct: 0,
+            stall_pct: 0,
+            stall_window: 1,
+        };
+        match kind {
+            FaultKind::SpuriousWakeup => plan.spurious_wakeup_pct = 100,
+            FaultKind::TryLockFail => plan.trylock_fail_pct = 100,
+            FaultKind::TxAbort => plan.tx_abort_pct = 100,
+            FaultKind::Stall => plan.stall_pct = 100,
+        }
+        plan
+    }
+
+    fn wait_program(predicate_loop: bool) -> Program {
+        let mut b = ProgramBuilder::new(if predicate_loop { "cv-loop" } else { "cv-if" });
+        let ready = b.var("ready", 0);
+        let m = b.mutex();
+        let c = b.cond();
+        let mut waiter = vec![Stmt::lock(m), Stmt::read(ready, "r")];
+        if predicate_loop {
+            waiter.push(Stmt::while_loop(
+                Expr::local("r").eq(Expr::lit(0)),
+                vec![Stmt::Wait { cond: c, mutex: m }, Stmt::read(ready, "r")],
+            ));
+        } else {
+            waiter.push(Stmt::if_then(
+                Expr::local("r").eq(Expr::lit(0)),
+                vec![Stmt::Wait { cond: c, mutex: m }, Stmt::read(ready, "r")],
+            ));
+        }
+        waiter.push(Stmt::assert(
+            Expr::local("r").eq(Expr::lit(1)),
+            "predicate holds after wait",
+        ));
+        waiter.push(Stmt::unlock(m));
+        b.thread("waiter", waiter);
+        b.thread(
+            "producer",
+            vec![
+                Stmt::lock(m),
+                Stmt::write(ready, 1),
+                Stmt::Signal(c),
+                Stmt::unlock(m),
+            ],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spurious_wakeup_breaks_if_guarded_wait() {
+        let p = wait_program(false);
+        let mut e = Executor::new(&p);
+        e.set_fault_plan(only(FaultKind::SpuriousWakeup));
+        // Waiter parks... spuriously wakes with ready still 0.
+        let out = e.replay(&vec![t(0), t(0), t(0), t(0)].into(), 200);
+        assert!(
+            matches!(out, Outcome::AssertFailed { .. }),
+            "if-guarded wait must fail under spurious wakeup, got {out}"
+        );
+    }
+
+    #[test]
+    fn spurious_wakeup_is_survived_by_predicate_loop() {
+        let p = wait_program(true);
+        let mut e = Executor::new(&p);
+        e.set_fault_plan(only(FaultKind::SpuriousWakeup));
+        // The waiter's spurious wakeup releases the mutex; the producer
+        // slips in, sets the flag (its signal finds no parked waiter and
+        // is lost), and the loop re-checks the predicate and exits.
+        let out = e.replay(&vec![t(0), t(0), t(0), t(1), t(1), t(1), t(1)].into(), 500);
+        assert_eq!(out, Outcome::Ok);
+    }
+
+    #[test]
+    fn producer_first_is_ok_under_spurious_plan() {
+        let p = wait_program(true);
+        let mut e = Executor::new(&p);
+        e.set_fault_plan(only(FaultKind::SpuriousWakeup));
+        let out = e.replay(&vec![t(1), t(1), t(1), t(1)].into(), 500);
+        assert_eq!(out, Outcome::Ok);
+    }
+
+    #[test]
+    fn forced_trylock_failure_takes_the_failure_path() {
+        let mut b = ProgramBuilder::new("trylock-chaos");
+        let m = b.mutex();
+        b.thread(
+            "t",
+            vec![
+                Stmt::TryLock {
+                    mutex: m,
+                    into: "got",
+                },
+                Stmt::assert(
+                    Expr::local("got").eq(Expr::lit(0)),
+                    "trylock forced to fail",
+                ),
+            ],
+        );
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.set_fault_plan(only(FaultKind::TryLockFail));
+        assert_eq!(e.run_sequential(100), Outcome::Ok);
+        // The mutex must remain free after a forced failure.
+        let mut e2 = Executor::new(&p);
+        e2.set_fault_plan(only(FaultKind::TryLockFail));
+        e2.step(t(0)).unwrap();
+        assert!(e2.mutexes[m.index()].owner.is_none());
+    }
+
+    #[test]
+    fn forced_tx_abort_at_full_rate_exhausts_retries() {
+        let mut b = ProgramBuilder::new("tx-chaos");
+        let v = b.var("x", 0);
+        b.thread(
+            "t",
+            vec![
+                Stmt::TxBegin,
+                Stmt::read(v, "tmp"),
+                Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                Stmt::TxCommit,
+            ],
+        );
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.set_fault_plan(only(FaultKind::TxAbort));
+        let out = e.run_sequential(10_000);
+        assert!(matches!(out, Outcome::TxRetryLimit { .. }), "{out}");
+    }
+
+    #[test]
+    fn moderate_tx_abort_rate_eventually_commits() {
+        let mut b = ProgramBuilder::new("tx-moderate");
+        let v = b.var("x", 0);
+        b.thread(
+            "t",
+            vec![
+                Stmt::TxBegin,
+                Stmt::read(v, "tmp"),
+                Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                Stmt::TxCommit,
+            ],
+        );
+        b.final_assert(Expr::shared(v).eq(Expr::lit(1)), "committed once");
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.set_fault_plan(FaultPlan::new(42));
+        assert_eq!(e.run_sequential(10_000), Outcome::Ok);
+    }
+
+    #[test]
+    fn stall_filter_never_empties_the_enabled_set() {
+        let p = racy_counter();
+        // 100% stall: every thread is always stalled, so the filter falls
+        // back to the unfiltered set and the run still completes.
+        let mut e = Executor::new(&p);
+        e.set_fault_plan(only(FaultKind::Stall));
+        while !e.is_done() {
+            let enabled = e.enabled();
+            assert!(!enabled.is_empty());
+            e.step(enabled[0]).unwrap();
+        }
+    }
+
+    #[test]
+    fn fault_decisions_survive_cloning() {
+        let p = racy_counter();
+        let mut a = Executor::new(&p);
+        a.set_fault_plan(FaultPlan::new(7));
+        let mut b = a.clone();
+        let out_a = a.run_with(100, |en| *en.last().unwrap());
+        let out_b = b.run_with(100, |en| *en.last().unwrap());
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.vars(), b.vars());
+        assert_eq!(a.schedule_taken(), b.schedule_taken());
     }
 }

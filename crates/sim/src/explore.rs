@@ -15,6 +15,7 @@ use std::time::Duration;
 use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
 
 use crate::exec::{Executor, RecordMode};
+use crate::fault::FaultPlan;
 use crate::ids::ThreadId;
 use crate::outcome::Outcome;
 use crate::program::Program;
@@ -52,8 +53,14 @@ pub struct ExploreLimits {
     /// *kinds* and reachable final states are preserved while the
     /// schedule count drops sharply. Intended for unbounded exploration;
     /// combining with a preemption bound may prune interleavings the
-    /// bound alone would have kept.
+    /// bound alone would have kept. Silently disabled when a fault plan
+    /// is installed: fault decisions are step-indexed, which breaks the
+    /// commutativity argument the reduction relies on.
     pub sleep_sets: bool,
+    /// Wall-clock budget for the whole exploration; the search stops with
+    /// [`Truncation::WallDeadline`] once it elapses. `None` (the default)
+    /// runs unbounded.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ExploreLimits {
@@ -65,6 +72,7 @@ impl Default for ExploreLimits {
             stop_on_first_failure: false,
             dedup_states: false,
             sleep_sets: false,
+            deadline: None,
         }
     }
 }
@@ -142,6 +150,8 @@ pub enum Truncation {
     StepBudget,
     /// The preemption bound pruned still-enabled scheduling choices.
     PreemptionBound,
+    /// The wall-clock deadline elapsed mid-search.
+    WallDeadline,
 }
 
 impl fmt::Display for Truncation {
@@ -150,6 +160,7 @@ impl fmt::Display for Truncation {
             Truncation::ScheduleBudget => "schedule budget",
             Truncation::StepBudget => "step budget",
             Truncation::PreemptionBound => "preemption bound",
+            Truncation::WallDeadline => "wall deadline",
         })
     }
 }
@@ -230,6 +241,7 @@ pub struct Explorer<'p> {
     limits: ExploreLimits,
     record: RecordMode,
     sink: Arc<dyn Sink>,
+    fault: Option<FaultPlan>,
 }
 
 impl<'p> Explorer<'p> {
@@ -240,6 +252,7 @@ impl<'p> Explorer<'p> {
             limits: ExploreLimits::default(),
             record: RecordMode::Off,
             sink: Arc::new(NoopSink),
+            fault: None,
         }
     }
 
@@ -291,6 +304,24 @@ impl<'p> Explorer<'p> {
         self
     }
 
+    /// Sets a wall-clock deadline for the exploration
+    /// (see [`ExploreLimits::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Explorer<'p> {
+        self.limits.deadline = Some(deadline);
+        self
+    }
+
+    /// Explores under a deterministic [`FaultPlan`]: spurious wakeups,
+    /// forced try-lock failures, forced transaction aborts, and bounded
+    /// stalls are injected into every execution. Identical plans yield
+    /// bit-identical reports. Disables the sleep-set reduction for this
+    /// run (fault decisions are step-indexed, so sibling operations no
+    /// longer commute).
+    pub fn chaos(mut self, plan: FaultPlan) -> Explorer<'p> {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Runs the exploration.
     pub fn run(&self) -> ExploreReport {
         self.run_with_callback(|_, _| {})
@@ -313,6 +344,10 @@ impl<'p> Explorer<'p> {
         }
 
         let stopwatch = Stopwatch::start();
+        // Sleep sets assume sibling operations commute; step-indexed fault
+        // decisions break that, so the reduction is off under chaos.
+        let sleep_on = self.limits.sleep_sets && self.fault.is_none();
+        let mut deadline_hit = false;
         let mut report = ExploreReport {
             counts: OutcomeCounts::default(),
             schedules_run: 0,
@@ -327,25 +362,39 @@ impl<'p> Explorer<'p> {
         };
         let mut seen_states: std::collections::HashSet<u64> = std::collections::HashSet::new();
         if self.sink.enabled() {
+            let mut fields = vec![
+                ("program", Value::Str(self.program.name())),
+                ("threads", Value::U64(self.program.n_threads() as u64)),
+                ("max_schedules", Value::U64(self.limits.max_schedules)),
+                ("sleep_sets", Value::Bool(sleep_on)),
+                ("dedup_states", Value::Bool(self.limits.dedup_states)),
+            ];
+            if let Some(d) = self.limits.deadline {
+                fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
+            }
+            if let Some(plan) = &self.fault {
+                fields.push(("chaos_seed", Value::U64(plan.seed)));
+            }
             self.sink.emit(&Event {
                 scope: "explore",
                 name: "start",
-                fields: &[
-                    ("program", Value::Str(self.program.name())),
-                    ("threads", Value::U64(self.program.n_threads() as u64)),
-                    ("max_schedules", Value::U64(self.limits.max_schedules)),
-                    ("sleep_sets", Value::Bool(self.limits.sleep_sets)),
-                    ("dedup_states", Value::Bool(self.limits.dedup_states)),
-                ],
+                fields: &fields,
             });
         }
 
-        let root = Executor::with_record(self.program, self.record);
+        let mut root = Executor::with_record(self.program, self.record);
+        if let Some(plan) = self.fault {
+            // Stall faults only bias samplers; for a systematic search
+            // they would *remove* interleavings (see
+            // [`FaultPlan::without_stalls`]), so strip them here.
+            root.set_fault_plan(plan.without_stalls());
+        }
+        let root = root;
         let mut stack = Vec::new();
         if let Some(outcome) = root.outcome().cloned() {
             // Program terminates without any scheduling choice.
             self.classify(&mut report, &root, &outcome, &mut on_terminal);
-            self.finish(&mut report, stopwatch);
+            self.finish(&mut report, stopwatch, false);
             return report;
         }
         if self.limits.dedup_states {
@@ -363,6 +412,13 @@ impl<'p> Explorer<'p> {
         });
 
         while let Some(top) = stack.last_mut() {
+            if let Some(deadline) = self.limits.deadline {
+                if stopwatch.elapsed() >= deadline {
+                    deadline_hit = true;
+                    report.truncated = true;
+                    break;
+                }
+            }
             if report.schedules_run >= self.limits.max_schedules {
                 report.truncated = true;
                 break;
@@ -373,7 +429,7 @@ impl<'p> Explorer<'p> {
             }
             let choice = top.enabled[top.next];
             top.next += 1;
-            if self.limits.sleep_sets && top.sleep.contains(&choice) {
+            if sleep_on && top.sleep.contains(&choice) {
                 report.sleep_pruned += 1;
                 continue;
             }
@@ -397,7 +453,7 @@ impl<'p> Explorer<'p> {
             // Sleep propagation: a sleeping sibling stays asleep in the
             // child iff its pending op commutes with the chosen one.
             let mut child_sleep: Vec<ThreadId> = Vec::new();
-            if self.limits.sleep_sets {
+            if sleep_on {
                 let choice_fp = top.exec.next_footprint(choice);
                 for &s in &top.sleep {
                     let keep = match (&choice_fp, top.exec.next_footprint(s)) {
@@ -435,14 +491,14 @@ impl<'p> Explorer<'p> {
                     break Next::Terminal(child, Outcome::StepLimit);
                 }
                 let enabled = child.enabled();
-                if self.limits.sleep_sets {
+                if sleep_on {
                     child_sleep.retain(|t| enabled.contains(t));
                     if !enabled.is_empty() && enabled.iter().all(|t| child_sleep.contains(t)) {
                         break Next::Redundant;
                     }
                 }
                 if enabled.len() == 1 {
-                    if self.limits.sleep_sets && !child_sleep.is_empty() {
+                    if sleep_on && !child_sleep.is_empty() {
                         // Wake sleepers whose op conflicts with the forced
                         // step we are about to take.
                         let fp = child.next_footprint(enabled[0]);
@@ -484,14 +540,16 @@ impl<'p> Explorer<'p> {
             }
         }
 
-        self.finish(&mut report, stopwatch);
+        self.finish(&mut report, stopwatch, deadline_hit);
         report
     }
 
     /// Derives the truncation reason, stamps the wall time, and emits the
     /// final `explore`/`report` event.
-    fn finish(&self, report: &mut ExploreReport, stopwatch: Stopwatch) {
-        report.truncation = if report.truncated {
+    fn finish(&self, report: &mut ExploreReport, stopwatch: Stopwatch, deadline_hit: bool) {
+        report.truncation = if deadline_hit {
+            Some(Truncation::WallDeadline)
+        } else if report.truncated {
             Some(Truncation::ScheduleBudget)
         } else if report.counts.step_limit > 0 {
             Some(Truncation::StepBudget)
@@ -506,32 +564,39 @@ impl<'p> Explorer<'p> {
                 .truncation
                 .map(|t| t.to_string())
                 .unwrap_or_else(|| "none".to_owned());
+            let mut fields = vec![
+                ("program", Value::Str(self.program.name())),
+                ("schedules", Value::U64(report.schedules_run)),
+                ("steps", Value::U64(report.steps_total)),
+                ("ok", Value::U64(report.counts.ok)),
+                ("assert_failed", Value::U64(report.counts.assert_failed)),
+                ("deadlock", Value::U64(report.counts.deadlock)),
+                ("step_limit", Value::U64(report.counts.step_limit)),
+                ("tx_retry_limit", Value::U64(report.counts.tx_retry_limit)),
+                ("misuse", Value::U64(report.counts.misuse)),
+                ("branch_points", Value::U64(report.stats.branch_points)),
+                ("snapshots", Value::U64(report.stats.snapshots)),
+                ("max_depth", Value::U64(report.stats.max_depth)),
+                ("sleep_pruned", Value::U64(report.sleep_pruned)),
+                ("states_deduped", Value::U64(report.states_deduped)),
+                (
+                    "preemption_limited",
+                    Value::U64(report.stats.preemption_limited),
+                ),
+                ("truncation", Value::Str(&truncation)),
+                ("schedules_per_sec", Value::F64(report.schedules_per_sec())),
+                ("wall_us", Value::U64(report.stats.wall.as_micros() as u64)),
+            ];
+            if let Some(d) = self.limits.deadline {
+                fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
+            }
+            if let Some(plan) = &self.fault {
+                fields.push(("chaos_seed", Value::U64(plan.seed)));
+            }
             self.sink.emit(&Event {
                 scope: "explore",
                 name: "report",
-                fields: &[
-                    ("program", Value::Str(self.program.name())),
-                    ("schedules", Value::U64(report.schedules_run)),
-                    ("steps", Value::U64(report.steps_total)),
-                    ("ok", Value::U64(report.counts.ok)),
-                    ("assert_failed", Value::U64(report.counts.assert_failed)),
-                    ("deadlock", Value::U64(report.counts.deadlock)),
-                    ("step_limit", Value::U64(report.counts.step_limit)),
-                    ("tx_retry_limit", Value::U64(report.counts.tx_retry_limit)),
-                    ("misuse", Value::U64(report.counts.misuse)),
-                    ("branch_points", Value::U64(report.stats.branch_points)),
-                    ("snapshots", Value::U64(report.stats.snapshots)),
-                    ("max_depth", Value::U64(report.stats.max_depth)),
-                    ("sleep_pruned", Value::U64(report.sleep_pruned)),
-                    ("states_deduped", Value::U64(report.states_deduped)),
-                    (
-                        "preemption_limited",
-                        Value::U64(report.stats.preemption_limited),
-                    ),
-                    ("truncation", Value::Str(&truncation)),
-                    ("schedules_per_sec", Value::F64(report.schedules_per_sec())),
-                    ("wall_us", Value::U64(report.stats.wall.as_micros() as u64)),
-                ],
+                fields: &fields,
             });
         }
     }
@@ -639,5 +704,6 @@ mod tests {
         assert_eq!(Truncation::ScheduleBudget.to_string(), "schedule budget");
         assert_eq!(Truncation::StepBudget.to_string(), "step budget");
         assert_eq!(Truncation::PreemptionBound.to_string(), "preemption bound");
+        assert_eq!(Truncation::WallDeadline.to_string(), "wall deadline");
     }
 }

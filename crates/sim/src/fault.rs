@@ -1,0 +1,198 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes an *adversarial but legal* environment: the
+//! perturbations POSIX and TL2 explicitly permit — spurious condition
+//! variable wakeups, failed `try_lock`s, aborted transactions, and
+//! bounded scheduler stalls. The study's fix-strategy data shows that
+//! "correct" code must survive exactly these events, so the robustness
+//! contract test model-checks every fixed kernel variant under several
+//! plans while buggy variants may only manifest faster.
+//!
+//! Determinism is load-bearing: a fault decision is a **pure function**
+//! of `(seed, kind, global step index, thread)` — no RNG state is stored
+//! or advanced. The model checker clones the executor at branch points,
+//! and stateless decisions guarantee that every clone sees exactly the
+//! same fault stream, so identical seeds produce bit-identical
+//! exploration reports.
+
+/// The kinds of injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A condition-variable wait returns without any signal (POSIX
+    /// explicitly allows this); code without a predicate loop breaks.
+    SpuriousWakeup,
+    /// A `try_lock` on a free mutex fails anyway (as if a contender won
+    /// and released between the check and the acquisition).
+    TryLockFail,
+    /// A transaction aborts at commit or read validation even though its
+    /// read set is consistent (TL2 permits conservative aborts).
+    TxAbort,
+    /// A thread is descheduled for a bounded window even though it is
+    /// runnable.
+    Stall,
+}
+
+impl FaultKind {
+    fn salt(self) -> u64 {
+        match self {
+            FaultKind::SpuriousWakeup => 0x5057_414B_4555_5031,
+            FaultKind::TryLockFail => 0x5452_594C_4F43_4B31,
+            FaultKind::TxAbort => 0x5458_4142_4F52_5431,
+            FaultKind::Stall => 0x5354_414C_4C5F_5F31,
+        }
+    }
+}
+
+/// A deterministic schedule of legal environment faults.
+///
+/// Rates are densities along the step axis, not probabilities: whether a
+/// fault fires at a given `(step, thread)` is fixed by the seed, so two
+/// runs (or two explorer snapshots) always agree. The default rates are
+/// moderate enough that retry loops in fixed code always escape — a
+/// decision keyed on the monotone step counter can never repeat, so no
+/// forced-failure livelock is possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// Percent (0–100) of wait entries that spuriously return.
+    pub spurious_wakeup_pct: u8,
+    /// Percent of would-succeed `try_lock`s forced to fail.
+    pub trylock_fail_pct: u8,
+    /// Percent of commit/validation points forced to abort.
+    pub tx_abort_pct: u8,
+    /// Percent of stall windows in which a thread is held back.
+    pub stall_pct: u8,
+    /// Stall window length in global steps (a stalled thread stays
+    /// filtered from the schedulable set for at most this many steps).
+    pub stall_window: u32,
+}
+
+impl FaultPlan {
+    /// A plan with the default rates (every fault kind active).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            spurious_wakeup_pct: 25,
+            trylock_fail_pct: 25,
+            tx_abort_pct: 20,
+            stall_pct: 25,
+            stall_window: 3,
+        }
+    }
+
+    /// The same plan with stalls disabled.
+    ///
+    /// Stalls bias *which* schedule a sampler takes; a systematic
+    /// explorer already enumerates every schedule, so for it a stall can
+    /// only remove interleavings — on a four-step kernel one unlucky
+    /// stall window serializes the whole program and hides the bug. The
+    /// [`Explorer`](crate::Explorer) therefore strips stalls from the
+    /// plan it installs, keeping "chaos may only manifest bugs faster"
+    /// true, while samplers ([`RandomWalker`](crate::RandomWalker), PCT,
+    /// native stress) honour them as schedule noise.
+    pub fn without_stalls(self) -> FaultPlan {
+        FaultPlan {
+            stall_pct: 0,
+            ..self
+        }
+    }
+
+    /// Whether `kind` fires for `thread` at global step index `step`.
+    /// Pure: same inputs, same answer, forever.
+    pub fn fires(&self, kind: FaultKind, step: usize, thread: usize) -> bool {
+        let pct = match kind {
+            FaultKind::SpuriousWakeup => self.spurious_wakeup_pct,
+            FaultKind::TryLockFail => self.trylock_fail_pct,
+            FaultKind::TxAbort => self.tx_abort_pct,
+            FaultKind::Stall => self.stall_pct,
+        };
+        if pct == 0 {
+            return false;
+        }
+        // Stall decisions are constant within a window so a stalled
+        // thread stays back for a few consecutive steps (a bounded
+        // descheduling, not single-step jitter).
+        let key = match kind {
+            FaultKind::Stall => (step as u64) / u64::from(self.stall_window.max(1)),
+            _ => step as u64,
+        };
+        let mut h = splitmix64(self.seed ^ kind.salt());
+        h = splitmix64(h ^ key);
+        h = splitmix64(h ^ ((thread as u64) << 32 | 0x0F));
+        (h % 100) < u64::from(pct)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-avalanched 64-bit mixer.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::new(42);
+        for step in 0..200 {
+            for thread in 0..4 {
+                for kind in [
+                    FaultKind::SpuriousWakeup,
+                    FaultKind::TryLockFail,
+                    FaultKind::TxAbort,
+                    FaultKind::Stall,
+                ] {
+                    assert_eq!(
+                        plan.fires(kind, step, thread),
+                        plan.fires(kind, step, thread)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::new(7);
+        let fired = (0..10_000)
+            .filter(|&s| plan.fires(FaultKind::TryLockFail, s, 1))
+            .count();
+        // 25% nominal; allow generous slack, this is a hash not an RNG.
+        assert!((1_500..3_500).contains(&fired), "fired {fired}/10000");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1);
+        let b = FaultPlan::new(2);
+        let diverges = (0..1_000)
+            .any(|s| a.fires(FaultKind::TxAbort, s, 0) != b.fires(FaultKind::TxAbort, s, 0));
+        assert!(diverges);
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let plan = FaultPlan {
+            spurious_wakeup_pct: 0,
+            ..FaultPlan::new(3)
+        };
+        assert!((0..5_000).all(|s| !plan.fires(FaultKind::SpuriousWakeup, s, 0)));
+    }
+
+    #[test]
+    fn stall_decisions_are_window_constant() {
+        let plan = FaultPlan::new(11);
+        let w = plan.stall_window as usize;
+        for window in 0..100 {
+            let base = plan.fires(FaultKind::Stall, window * w, 2);
+            for off in 1..w {
+                assert_eq!(plan.fires(FaultKind::Stall, window * w + off, 2), base);
+            }
+        }
+    }
+}

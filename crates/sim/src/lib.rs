@@ -69,14 +69,17 @@ mod state;
 mod stmt;
 mod txn;
 
+pub mod budget;
 pub mod coverage;
 pub mod explore;
+pub mod fault;
 pub mod generate;
 pub mod pretty;
 pub mod random;
 pub mod timeline;
 pub mod trace;
 
+pub use budget::{Budget, BudgetReport, BudgetedExplorer, Confidence, DegradeLevel};
 pub use coverage::{PairCoverage, PairKey};
 pub use error::{BuildError, ExecError};
 pub use exec::{Executor, RecordMode, StepResult};
@@ -84,6 +87,7 @@ pub use explore::{
     ExploreLimits, ExploreReport, ExploreStats, Explorer, OutcomeCounts, Truncation,
 };
 pub use expr::Expr;
+pub use fault::{FaultKind, FaultPlan};
 pub use generate::{generate, GenConfig};
 pub use ids::{CondId, MutexId, RwId, SemId, ThreadId, VarId};
 pub use outcome::{BlockedOn, Outcome};

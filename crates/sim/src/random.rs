@@ -14,6 +14,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::exec::{Executor, RecordMode};
 use crate::explore::OutcomeCounts;
+use crate::fault::FaultPlan;
 use crate::ids::ThreadId;
 use crate::outcome::Outcome;
 use crate::program::Program;
@@ -48,6 +49,7 @@ fn run_trials(
     program: &Program,
     trials: u64,
     max_steps: usize,
+    fault: Option<FaultPlan>,
     mut pick: impl FnMut(u64, &Executor, &[ThreadId]) -> ThreadId,
 ) -> RandomWalkReport {
     let stopwatch = Stopwatch::start();
@@ -55,6 +57,9 @@ fn run_trials(
     let mut first_failure = None;
     for trial in 0..trials {
         let mut exec = Executor::new(program);
+        if let Some(plan) = fault {
+            exec.set_fault_plan(plan);
+        }
         let outcome = loop {
             if let Some(o) = exec.outcome().cloned() {
                 break o;
@@ -111,6 +116,7 @@ pub struct RandomWalker<'p> {
     seed: u64,
     max_steps: usize,
     sink: Arc<dyn Sink>,
+    fault: Option<FaultPlan>,
 }
 
 impl<'p> RandomWalker<'p> {
@@ -121,12 +127,20 @@ impl<'p> RandomWalker<'p> {
             seed,
             max_steps: 5_000,
             sink: Arc::new(NoopSink),
+            fault: None,
         }
     }
 
     /// Replaces the per-execution step budget.
     pub fn max_steps(mut self, max_steps: usize) -> RandomWalker<'p> {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Injects a deterministic [`FaultPlan`] into every trial — ConTest
+    /// style noise-making for the simulator.
+    pub fn with_faults(mut self, plan: FaultPlan) -> RandomWalker<'p> {
+        self.fault = Some(plan);
         self
     }
 
@@ -144,6 +158,7 @@ impl<'p> RandomWalker<'p> {
             self.program,
             trials,
             self.max_steps,
+            self.fault,
             move |_, _, enabled| enabled[rng.gen_range(0..enabled.len())],
         );
         emit_batch(self.sink.as_ref(), "report", self.program, &report);
@@ -157,6 +172,9 @@ impl<'p> RandomWalker<'p> {
         let mut out = Vec::with_capacity(trials as usize);
         for _ in 0..trials {
             let mut exec = Executor::with_record(self.program, RecordMode::Full);
+            if let Some(plan) = self.fault {
+                exec.set_fault_plan(plan);
+            }
             let outcome = loop {
                 if let Some(o) = exec.outcome().cloned() {
                     break o;
@@ -183,6 +201,7 @@ pub struct PctScheduler<'p> {
     seed: u64,
     depth: u32,
     max_steps: usize,
+    fault: Option<FaultPlan>,
 }
 
 impl<'p> PctScheduler<'p> {
@@ -195,12 +214,19 @@ impl<'p> PctScheduler<'p> {
             seed,
             depth: depth.max(1),
             max_steps: 5_000,
+            fault: None,
         }
     }
 
     /// Replaces the per-execution step budget.
     pub fn max_steps(mut self, max_steps: usize) -> PctScheduler<'p> {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Injects a deterministic [`FaultPlan`] into every trial.
+    pub fn with_faults(mut self, plan: FaultPlan) -> PctScheduler<'p> {
+        self.fault = Some(plan);
         self
     }
 
@@ -233,6 +259,9 @@ impl<'p> PctScheduler<'p> {
             let mut low_band = 0i64;
 
             let mut exec = Executor::new(self.program);
+            if let Some(plan) = self.fault {
+                exec.set_fault_plan(plan);
+            }
             let outcome = loop {
                 if let Some(o) = exec.outcome().cloned() {
                     break o;
