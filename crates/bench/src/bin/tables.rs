@@ -39,7 +39,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown artifact `{sel}`; expected t1..t9, f1..f5, \
-                     escope, edetect, etm, echaos, or findings"
+                     escope, edetect, etm, echaos, ewit, or findings"
                 );
                 std::process::exit(2);
             }

@@ -25,7 +25,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lfm_corpus::Corpus;
 use lfm_study::experiments::{
-    coverage_growth_table, coverage_table, scheduler_table, scope_table, tm_table,
+    coverage_growth_table, coverage_table, scheduler_table, scope_table, tm_table, witness_table,
 };
 use lfm_study::figures;
 use lfm_study::tables;
@@ -50,6 +50,8 @@ pub enum Artifact {
     Tm,
     /// E-chaos.
     Chaos,
+    /// E-wit.
+    Witness,
     /// The findings checker.
     Findings,
 }
@@ -65,6 +67,7 @@ impl Artifact {
             "ecov" | "e-cov" => Some(Artifact::CoverageGrowth),
             "etm" | "e-tm" => Some(Artifact::Tm),
             "echaos" | "e-chaos" => Some(Artifact::Chaos),
+            "ewit" | "e-wit" => Some(Artifact::Witness),
             "findings" => Some(Artifact::Findings),
             _ if s.len() >= 2 => {
                 let (kind, num) = s.split_at(1);
@@ -91,6 +94,7 @@ impl Artifact {
             Artifact::CoverageGrowth,
             Artifact::Tm,
             Artifact::Chaos,
+            Artifact::Witness,
         ]);
         v
     }
@@ -109,6 +113,7 @@ impl Artifact {
             Artifact::CoverageGrowth => "ecov".to_string(),
             Artifact::Tm => "etm".to_string(),
             Artifact::Chaos => "echaos".to_string(),
+            Artifact::Witness => "ewit".to_string(),
             Artifact::Findings => "findings".to_string(),
         }
     }
@@ -155,6 +160,7 @@ impl Artifact {
             Artifact::CoverageGrowth => table(coverage_growth_table()),
             Artifact::Tm => table(tm_table(corpus)),
             Artifact::Chaos => table(chaos::chaos_table(200)),
+            Artifact::Witness => table(witness_table()),
             Artifact::Findings => {
                 let mut out = String::from("Findings (paper vs measured)\n");
                 for f in lfm_study::check_all(corpus) {
@@ -206,6 +212,8 @@ mod tests {
         assert_eq!(Artifact::parse("etest"), Some(Artifact::SchedTest));
         assert_eq!(Artifact::parse("echaos"), Some(Artifact::Chaos));
         assert_eq!(Artifact::parse("e-chaos"), Some(Artifact::Chaos));
+        assert_eq!(Artifact::parse("ewit"), Some(Artifact::Witness));
+        assert_eq!(Artifact::parse("e-wit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("findings"), Some(Artifact::Findings));
         assert_eq!(Artifact::parse("t0"), None);
         assert_eq!(Artifact::parse("t10"), None);
@@ -216,7 +224,7 @@ mod tests {
     #[test]
     fn all_lists_every_artifact() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 1 + 9 + 5 + 6);
+        assert_eq!(all.len(), 1 + 9 + 5 + 7);
     }
 
     #[test]

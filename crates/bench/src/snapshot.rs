@@ -134,6 +134,75 @@ pub fn obs_snapshot() -> String {
     push_field(&mut out, "commit_rate", json::number_f64(stm.commit_rate()));
     out.push('}');
 
+    // Minimized witnesses: the E-wit measurement, one record per kernel
+    // plus the paper-band tallies the study table reports.
+    let rows = lfm_study::experiments::witness_experiment();
+    out.push_str(",\"witness\":{\"schema\":\"lfm-trace/v1\",\"kernels\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_field(&mut out, "kernel", json::quote(r.kernel));
+        out.push(',');
+        push_field(&mut out, "family", json::quote(&r.family.to_string()));
+        out.push(',');
+        push_field(&mut out, "threads", r.threads);
+        out.push(',');
+        push_field(&mut out, "switches", r.switches);
+        out.push(',');
+        push_field(&mut out, "conflicting_accesses", r.conflicting_accesses);
+        out.push(',');
+        push_field(&mut out, "conflict_objects", r.conflict_objects);
+        out.push(',');
+        push_field(&mut out, "schedule_before", r.schedule_before);
+        out.push(',');
+        push_field(&mut out, "schedule_after", r.schedule_after);
+        out.push(',');
+        push_field(&mut out, "replays", r.replays);
+        out.push('}');
+    }
+    out.push_str("],");
+    let nondead: Vec<_> = rows
+        .iter()
+        .filter(|r| r.family != Family::Deadlock)
+        .collect();
+    let dead: Vec<_> = rows
+        .iter()
+        .filter(|r| r.family == Family::Deadlock)
+        .collect();
+    push_field(
+        &mut out,
+        "nondeadlock_threads_le2",
+        nondead.iter().filter(|r| r.threads <= 2).count(),
+    );
+    out.push(',');
+    push_field(
+        &mut out,
+        "nondeadlock_accesses_le4",
+        nondead
+            .iter()
+            .filter(|r| r.conflicting_accesses <= 4)
+            .count(),
+    );
+    out.push(',');
+    push_field(&mut out, "nondeadlock_total", nondead.len());
+    out.push(',');
+    push_field(
+        &mut out,
+        "deadlock_threads_le2",
+        dead.iter().filter(|r| r.threads <= 2).count(),
+    );
+    out.push(',');
+    push_field(
+        &mut out,
+        "deadlock_resources_le2",
+        dead.iter().filter(|r| r.conflict_objects <= 2).count(),
+    );
+    out.push(',');
+    push_field(&mut out, "deadlock_total", dead.len());
+    out.push('}');
+
     // Table-generator timings over the full corpus.
     let corpus = lfm_corpus::Corpus::full();
     let (_, timings) = lfm_study::profile_tables(&corpus, &NoopSink);
@@ -178,6 +247,9 @@ mod tests {
             "\"study\":",
             "\"T9\"",
             "\"commits\":100",
+            "\"witness\":{\"schema\":\"lfm-trace/v1\"",
+            "\"nondeadlock_threads_le2\":",
+            "\"deadlock_resources_le2\":",
         ] {
             assert!(snap.contains(key), "missing {key} in {snap}");
         }

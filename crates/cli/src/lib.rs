@@ -11,7 +11,9 @@
 //! lfm kernel <id> --stats                          # exploration metrics
 //! lfm kernel <id> --chaos 42                       # seeded fault injection
 //! lfm kernel <id> --deadline 10                    # budgeted, may degrade
-//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|etm|echaos|findings]
+//! lfm witness <id> --out w.json --chrome t.json   # minimized portable witness
+//! lfm replay w.json                                # verify a saved witness
+//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|etm|echaos|ewit|findings]
 //! lfm --log-jsonl run.jsonl kernel <id>            # structured event log
 //! ```
 //!
@@ -33,8 +35,8 @@ use std::time::Duration;
 use lfm_bench::Artifact;
 use lfm_corpus::{App, BugClass, Corpus};
 use lfm_kernels::{registry, Family, Kernel, Variant};
-use lfm_obs::{fmt_duration, NoopSink, Sink, StatsTable};
-use lfm_sim::{pseudocode, Budget, BudgetedExplorer, Explorer, FaultPlan};
+use lfm_obs::{fmt_duration, ChromeTraceSink, NoopSink, Sink, StatsTable};
+use lfm_sim::{minimize, pseudocode, Budget, BudgetedExplorer, Explorer, FaultPlan, Witness};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +69,21 @@ pub enum Command {
         /// Print exploration metrics (schedules/sec, snapshots, prunes,
         /// per-phase wall time) after the results.
         stats: bool,
+    },
+    /// `lfm witness <kernel-id> [--out <path>] [--chrome <path>]`
+    Witness {
+        /// The kernel id.
+        id: String,
+        /// Where to save the witness artifact (default:
+        /// `<id>.witness.json`).
+        out: Option<String>,
+        /// Also export a Chrome trace-event file for Perfetto.
+        chrome: Option<String>,
+    },
+    /// `lfm replay <witness.json>`
+    Replay {
+        /// Path to a saved `lfm-trace/v1` witness.
+        path: String,
     },
     /// `lfm export`
     Export,
@@ -278,6 +295,46 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 stats,
             })
         }
+        Some("witness") => {
+            let id = it.next().ok_or_else(|| {
+                UsageError("usage: lfm witness <kernel-id> [--out <path>] [--chrome <path>]".into())
+            })?;
+            let mut out = None;
+            let mut chrome = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--out" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--out needs a file path".into()))?;
+                        out = Some(v.to_owned());
+                    }
+                    "--chrome" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--chrome needs a file path".into()))?;
+                        chrome = Some(v.to_owned());
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Witness {
+                id: id.to_owned(),
+                out,
+                chrome,
+            })
+        }
+        Some("replay") => {
+            let path = it
+                .next()
+                .ok_or_else(|| UsageError("usage: lfm replay <witness.json>".into()))?;
+            if it.next().is_some() {
+                return Err(UsageError("usage: lfm replay <witness.json>".into()));
+            }
+            Ok(Command::Replay {
+                path: path.to_owned(),
+            })
+        }
         Some("export") => Ok(Command::Export),
         Some("tables") => {
             let mut only = None;
@@ -289,7 +346,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                         only = Some(Artifact::parse(sel).ok_or_else(|| {
                             UsageError(format!(
                                 "unknown artifact `{sel}` (t1..t9, f1..f5, escope, \
-                                 edetect, etest, etm, echaos, findings)"
+                                 edetect, etest, etm, echaos, ewit, findings)"
                             ))
                         })?);
                     }
@@ -315,11 +372,19 @@ USAGE:
   lfm kernel <id> --source          print the kernel as paper-figure pseudo-code
   lfm kernel <id> --witness         show the failure witness as a timeline
   lfm kernel <id> --stats           also print exploration metrics
+  lfm witness <id> [--out <path>] [--chrome <path>]
+                                    find, minimize and save a portable
+                                    lfm-trace/v1 witness (default out:
+                                    <id>.witness.json); --chrome also writes
+                                    a Perfetto-loadable trace-event file
+  lfm replay <witness.json>         re-execute a saved witness and verify
+                                    the recorded outcome bit-for-bit
   lfm export                        dump the corpus as JSON to stdout
   lfm tables [ARTIFACT] [--markdown]
                                     regenerate tables/figures/experiments
                                     (t1..t9, f1..f5, escope, edetect, etest,
-                                     etm, echaos, findings; default: everything)
+                                     etm, echaos, ewit, findings; default:
+                                     everything)
   lfm help
 
 GLOBAL OPTIONS:
@@ -562,6 +627,16 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                 out
             }
         }
+        Command::Witness { id, out, chrome } => {
+            let Some(kernel) = registry::by_id(&id) else {
+                return RunOutput {
+                    text: format!("no kernel `{id}` (try `lfm list kernels`)\n"),
+                    degraded: false,
+                };
+            };
+            return run_witness(&kernel, &id, out.as_deref(), chrome.as_deref(), &sink);
+        }
+        Command::Replay { path } => return run_replay(&path),
         Command::Export => lfm_corpus::to_json(&Corpus::full()),
         Command::Tables { only, markdown } => {
             let corpus = Corpus::full();
@@ -689,6 +764,134 @@ fn run_kernel_budgeted(
         out.push_str(&table.to_string());
     }
     out
+}
+
+/// The `witness` command: search for the kernel's first failing
+/// schedule, minimize it (ddmin, replay-validated), capture the
+/// `lfm-trace/v1` artifact, save it, optionally export a Chrome trace,
+/// and pretty-print the witness.
+fn run_witness(
+    kernel: &Kernel,
+    id: &str,
+    out_path: Option<&str>,
+    chrome_path: Option<&str>,
+    sink: &Arc<dyn Sink>,
+) -> RunOutput {
+    let program = kernel.buggy();
+    let report = Explorer::new(&program)
+        .stop_on_first_failure()
+        .with_sink(Arc::clone(sink))
+        .run();
+    let Some((schedule, _)) = report.first_failure else {
+        return RunOutput {
+            text: format!("kernel `{id}` produced no failure to witness\n"),
+            degraded: false,
+        };
+    };
+    let min = minimize(&program, &schedule, 5_000);
+    let witness = Witness::capture(&program, id, &min.schedule, 5_000);
+
+    let mut degraded = false;
+    let default_path = format!("{id}.witness.json");
+    let path = out_path.unwrap_or(&default_path);
+    let mut out = format!("{kernel}\nwitness outcome: {}\n", witness.outcome_display);
+    match witness.save(path) {
+        Ok(()) => out.push_str(&format!("saved: {path}\n")),
+        Err(e) => {
+            degraded = true;
+            out.push_str(&format!("SAVE FAILED: {e}\n"));
+        }
+    }
+    if let Some(chrome) = chrome_path {
+        // One pid per kernel: its 1-based position in the registry.
+        let pid = registry::all()
+            .iter()
+            .position(|k| k.id == kernel.id)
+            .map_or(0, |p| p as u64 + 1);
+        let trace_sink = ChromeTraceSink::new();
+        match witness.emit_chrome(&program, pid, &trace_sink) {
+            Ok(()) => match trace_sink.write_to(chrome) {
+                Ok(()) => out.push_str(&format!("chrome trace: {chrome}\n")),
+                Err(e) => {
+                    degraded = true;
+                    out.push_str(&format!("CHROME TRACE FAILED: {chrome}: {e}\n"));
+                }
+            },
+            Err(e) => {
+                degraded = true;
+                out.push_str(&format!("CHROME TRACE FAILED: {e}\n"));
+            }
+        }
+    }
+
+    let mut table = StatsTable::new(format!("witness ({id})"));
+    table
+        .row("schema", lfm_sim::WITNESS_SCHEMA)
+        .row("fingerprint", format!("{:016x}", witness.fingerprint))
+        .row(
+            "schedule",
+            format!("{} -> {} choices", schedule.len(), witness.schedule.len()),
+        )
+        .row(
+            "switches",
+            format!("{} -> {}", min.switches_before, min.switches_after),
+        )
+        .row("threads", witness.stats.threads)
+        .row("conflicting accesses", witness.stats.conflicting_accesses)
+        .row("conflict objects", witness.stats.conflict_objects)
+        .row("events", witness.stats.events)
+        .row("ddmin replays", min.replays)
+        .histogram("replay steps", &min.replay_steps);
+    out.push('\n');
+    out.push_str(&table.to_string());
+
+    let (trace, _) =
+        lfm_sim::explore::trace_of(&program, &witness.schedule, witness.schedule.len());
+    out.push('\n');
+    out.push_str(&lfm_sim::render_timeline(&trace, Some(&program)));
+    RunOutput {
+        text: out,
+        degraded,
+    }
+}
+
+/// The `replay` command: load a saved witness, re-execute it against the
+/// named kernel, and verify the recorded outcome bit-for-bit. Any
+/// load/verification failure is a degraded (exit 1) run with the
+/// diagnostic printed.
+fn run_replay(path: &str) -> RunOutput {
+    let witness = match Witness::load(path) {
+        Ok(w) => w,
+        Err(e) => {
+            return RunOutput {
+                text: format!("cannot load witness: {e}\n"),
+                degraded: true,
+            };
+        }
+    };
+    let Some(kernel) = registry::by_id(&witness.kernel) else {
+        return RunOutput {
+            text: format!(
+                "witness names unknown kernel `{}` (try `lfm list kernels`)\n",
+                witness.kernel
+            ),
+            degraded: true,
+        };
+    };
+    let program = kernel.buggy();
+    match witness.replay(&program) {
+        Ok(outcome) => RunOutput {
+            text: format!(
+                "replay OK: kernel `{}`, {} events, {} switches\noutcome verified: {outcome}\n",
+                witness.kernel, witness.stats.events, witness.stats.switches
+            ),
+            degraded: false,
+        },
+        Err(e) => RunOutput {
+            text: format!("replay FAILED: {e}\n"),
+            degraded: true,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -938,6 +1141,119 @@ mod tests {
         assert!(out.contains("witness outcome:"));
         assert!(out.contains("seq | t1"));
         assert!(out.contains("read counter -> 0"));
+    }
+
+    #[test]
+    fn parses_witness_and_replay() {
+        assert_eq!(
+            parse(&args(&["witness", "abba"])).unwrap(),
+            Command::Witness {
+                id: "abba".into(),
+                out: None,
+                chrome: None
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "witness", "abba", "--out", "w.json", "--chrome", "t.json"
+            ]))
+            .unwrap(),
+            Command::Witness {
+                id: "abba".into(),
+                out: Some("w.json".into()),
+                chrome: Some("t.json".into())
+            }
+        );
+        assert!(parse(&args(&["witness"])).is_err());
+        assert!(parse(&args(&["witness", "abba", "--out"])).is_err());
+        assert!(parse(&args(&["witness", "abba", "--bogus"])).is_err());
+        assert_eq!(
+            parse(&args(&["replay", "w.json"])).unwrap(),
+            Command::Replay {
+                path: "w.json".into()
+            }
+        );
+        assert!(parse(&args(&["replay"])).is_err());
+        assert!(parse(&args(&["replay", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn witness_save_replay_round_trip() {
+        let dir = std::env::temp_dir();
+        let wpath = dir.join("lfm_cli_witness_test.json");
+        let cpath = dir.join("lfm_cli_witness_test.trace.json");
+        let out = run_opts(
+            Command::Witness {
+                id: "counter_rmw".into(),
+                out: Some(wpath.to_string_lossy().into_owned()),
+                chrome: Some(cpath.to_string_lossy().into_owned()),
+            },
+            Arc::new(NoopSink),
+            &RunOptions::default(),
+        );
+        assert!(!out.degraded, "{}", out.text);
+        assert!(out.text.contains("saved: "), "{}", out.text);
+        assert!(out.text.contains("chrome trace: "), "{}", out.text);
+        assert!(out.text.contains("witness (counter_rmw)"), "{}", out.text);
+        assert!(out.text.contains("replay steps p50"), "{}", out.text);
+        assert!(out.text.contains("seq | t1"), "{}", out.text);
+
+        let chrome = std::fs::read_to_string(&cpath).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+
+        let replay = run_opts(
+            Command::Replay {
+                path: wpath.to_string_lossy().into_owned(),
+            },
+            Arc::new(NoopSink),
+            &RunOptions::default(),
+        );
+        assert!(!replay.degraded, "{}", replay.text);
+        assert!(replay.text.contains("replay OK"), "{}", replay.text);
+        assert!(replay.text.contains("outcome verified:"), "{}", replay.text);
+        let _ = std::fs::remove_file(&wpath);
+        let _ = std::fs::remove_file(&cpath);
+    }
+
+    #[test]
+    fn replay_of_missing_or_corrupt_witness_degrades() {
+        let out = run_opts(
+            Command::Replay {
+                path: "/nonexistent/lfm/w.json".into(),
+            },
+            Arc::new(NoopSink),
+            &RunOptions::default(),
+        );
+        assert!(out.degraded);
+        assert!(out.text.contains("cannot load witness"), "{}", out.text);
+
+        let path = std::env::temp_dir().join("lfm_cli_corrupt_witness.json");
+        std::fs::write(&path, "{\"schema\":\"lfm-trace/v1\",").unwrap();
+        let out = run_opts(
+            Command::Replay {
+                path: path.to_string_lossy().into_owned(),
+            },
+            Arc::new(NoopSink),
+            &RunOptions::default(),
+        );
+        let _ = std::fs::remove_file(&path);
+        assert!(out.degraded);
+        assert!(out.text.contains("malformed witness"), "{}", out.text);
+    }
+
+    #[test]
+    fn witness_of_unknown_kernel_is_not_degraded() {
+        let out = run_opts(
+            Command::Witness {
+                id: "bogus".into(),
+                out: None,
+                chrome: None,
+            },
+            Arc::new(NoopSink),
+            &RunOptions::default(),
+        );
+        assert!(!out.degraded);
+        assert!(out.text.contains("no kernel"));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Round-trip and robustness properties of the `lfm-trace/v1` witness
+//! artifact, exercised across the whole kernel registry: serializing a
+//! captured witness, parsing it back, and re-serializing must be a
+//! byte-for-byte identity; a parsed artifact must replay to the recorded
+//! outcome; and damaged documents must fail with diagnostics, never
+//! panics.
+
+use lfm_kernels::registry;
+use lfm_sim::{Explorer, Witness, WitnessError};
+
+const MAX_STEPS: usize = 5_000;
+
+/// First failing witness for a kernel, if exploration finds one.
+fn witness_of(kernel: &lfm_kernels::Kernel) -> Option<(lfm_sim::Program, Witness)> {
+    let program = kernel.buggy();
+    let report = Explorer::new(&program).stop_on_first_failure().run();
+    let (schedule, _) = report.first_failure?;
+    let witness = Witness::capture(&program, kernel.id, &schedule, MAX_STEPS);
+    Some((program, witness))
+}
+
+#[test]
+fn serialize_parse_reserialize_is_identity_for_every_kernel() {
+    let mut checked = 0usize;
+    for kernel in registry::all() {
+        let Some((_, witness)) = witness_of(&kernel) else {
+            continue;
+        };
+        let text = witness.to_json();
+        let parsed = Witness::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", kernel.id));
+        assert_eq!(text, parsed.to_json(), "{}: round trip drifted", kernel.id);
+        checked += 1;
+    }
+    // Every buggy kernel variant in the registry has a reachable failure.
+    assert_eq!(checked, registry::all().len());
+}
+
+#[test]
+fn parsed_witness_replays_to_the_recorded_outcome() {
+    for kernel in registry::all() {
+        let Some((program, witness)) = witness_of(&kernel) else {
+            continue;
+        };
+        let parsed = Witness::from_json(&witness.to_json()).expect("round trip");
+        let outcome = parsed
+            .replay(&program)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e}", kernel.id));
+        assert_eq!(
+            outcome.to_string(),
+            parsed.outcome_display,
+            "{}: replay outcome drifted",
+            kernel.id
+        );
+    }
+}
+
+#[test]
+fn truncated_documents_fail_with_diagnostics_not_panics() {
+    let kernel = registry::by_id("counter_rmw").expect("known kernel");
+    let (_, witness) = witness_of(&kernel).expect("counter_rmw has a failure");
+    let text = witness.to_json().trim_end().to_owned();
+    for cut in (0..text.len()).step_by(11) {
+        let err = Witness::from_json(&text[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("truncation at {cut} parsed"));
+        assert!(!err.to_string().is_empty(), "empty diagnostic at {cut}");
+    }
+}
+
+#[test]
+fn schema_and_fingerprint_mismatches_are_diagnosed() {
+    let kernel = registry::by_id("counter_rmw").expect("known kernel");
+    let (_, witness) = witness_of(&kernel).expect("counter_rmw has a failure");
+
+    let wrong_schema = witness.to_json().replace("lfm-trace/v1", "lfm-trace/v0");
+    assert!(matches!(
+        Witness::from_json(&wrong_schema),
+        Err(WitnessError::SchemaMismatch { .. })
+    ));
+
+    // Replaying against a different program is a fingerprint mismatch,
+    // not a confusing outcome difference.
+    let other = registry::by_id("abba").expect("known kernel").buggy();
+    match witness.replay(&other) {
+        Err(WitnessError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected fingerprint mismatch, got {other:?}"),
+    }
+}

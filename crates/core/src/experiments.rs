@@ -1,6 +1,7 @@
 //! The implication experiments: E-scope (small-scope manifestation),
 //! E-detect (detector coverage across kernels), E-tm (executable TM
-//! verdicts vs. the corpus classification).
+//! verdicts vs. the corpus classification), E-wit (minimized witness
+//! size vs. the paper's manifestation bands).
 
 use std::fmt;
 
@@ -11,7 +12,8 @@ use lfm_detect::{
 };
 use lfm_kernels::{registry, Family, Kernel};
 use lfm_sim::{
-    explore::trace_of, random::PctScheduler, Explorer, PairCoverage, RandomWalker, Trace,
+    explore::trace_of, minimize, random::PctScheduler, Explorer, PairCoverage, RandomWalker, Trace,
+    Witness,
 };
 use lfm_stm::{evaluate_all, TmVerdict};
 
@@ -440,6 +442,157 @@ pub fn coverage_growth_table() -> Table {
     t
 }
 
+// ----------------------------------------------------------------- E-wit
+
+/// Per-kernel minimized-witness measurement: how small the bug's
+/// manifestation really is once ddmin strips the exploration accidents
+/// away.
+#[derive(Debug, Clone)]
+pub struct WitnessRow {
+    /// Kernel id.
+    pub kernel: &'static str,
+    /// Kernel family.
+    pub family: Family,
+    /// Distinct threads the minimized schedule runs.
+    pub threads: usize,
+    /// Context switches in the minimized schedule.
+    pub switches: usize,
+    /// Operations in cross-thread conflicts (a deadlock's attempted
+    /// acquisitions included).
+    pub conflicting_accesses: usize,
+    /// Distinct shared objects involved in those conflicts — the
+    /// "resources" of the paper's deadlock bands.
+    pub conflict_objects: usize,
+    /// Choices in the explorer's first failing schedule.
+    pub schedule_before: usize,
+    /// Choices in the minimized schedule.
+    pub schedule_after: usize,
+    /// Validation replays ddmin spent.
+    pub replays: usize,
+}
+
+/// The paper's manifestation bands, per family kind (non-deadlock vs
+/// deadlock), as fractions of bugs in the band.
+///
+/// Findings 2/3/9/10 of the study: 96% of non-deadlock bugs involve at
+/// most 2 threads and 92% at most 4 memory accesses; 97% of deadlock
+/// bugs involve at most 2 threads and 96% at most 2 resources.
+pub mod witness_bands {
+    /// Non-deadlock: share of bugs with ≤ 2 threads.
+    pub const NONDEADLOCK_THREADS_LE2: f64 = 0.96;
+    /// Non-deadlock: share of bugs with ≤ 4 involved accesses.
+    pub const NONDEADLOCK_ACCESSES_LE4: f64 = 0.92;
+    /// Deadlock: share of bugs with ≤ 2 threads.
+    pub const DEADLOCK_THREADS_LE2: f64 = 0.97;
+    /// Deadlock: share of bugs with ≤ 2 resources.
+    pub const DEADLOCK_RESOURCES_LE2: f64 = 0.96;
+}
+
+/// Runs the witness experiment: for every kernel, find the first failing
+/// schedule, minimize it (each ddmin candidate validated by replay), and
+/// measure the minimized witness — the executable counterpart of the
+/// paper's "bugs manifest small" findings.
+pub fn witness_experiment() -> Vec<WitnessRow> {
+    registry::all()
+        .iter()
+        .filter_map(|kernel| {
+            let program = kernel.buggy();
+            let report = Explorer::new(&program).stop_on_first_failure().run();
+            let (schedule, _) = report.first_failure?;
+            let min = minimize(&program, &schedule, 5_000);
+            let w = Witness::capture(&program, kernel.id, &min.schedule, 5_000);
+            Some(WitnessRow {
+                kernel: kernel.id,
+                family: kernel.family,
+                threads: w.stats.threads,
+                switches: w.stats.switches,
+                conflicting_accesses: w.stats.conflicting_accesses,
+                conflict_objects: w.stats.conflict_objects,
+                schedule_before: schedule.len(),
+                schedule_after: min.schedule.len(),
+                replays: min.replays,
+            })
+        })
+        .collect()
+}
+
+/// Renders the E-wit experiment as a table, with the paper-band
+/// comparison (and any deviating kernels, by name) in the notes.
+pub fn witness_table() -> Table {
+    let rows = witness_experiment();
+    let mut t = Table::new(
+        "E-wit",
+        "Minimized witness size per kernel (ddmin, every candidate replay-validated)",
+        vec![
+            "kernel",
+            "family",
+            "threads",
+            "switches",
+            "confl. accesses",
+            "objects",
+            "schedule",
+            "replays",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.kernel.to_string(),
+            r.family.to_string(),
+            r.threads.to_string(),
+            r.switches.to_string(),
+            r.conflicting_accesses.to_string(),
+            r.conflict_objects.to_string(),
+            format!("{} -> {}", r.schedule_before, r.schedule_after),
+            r.replays.to_string(),
+        ]);
+    }
+    let (dead, nondead): (Vec<_>, Vec<_>) = rows.iter().partition(|r| r.family == Family::Deadlock);
+    let nd_threads = nondead.iter().filter(|r| r.threads <= 2).count();
+    let nd_accesses = nondead
+        .iter()
+        .filter(|r| r.conflicting_accesses <= 4)
+        .count();
+    let d_threads = dead.iter().filter(|r| r.threads <= 2).count();
+    let d_resources = dead.iter().filter(|r| r.conflict_objects <= 2).count();
+    t.note(format!(
+        "non-deadlock: {} witnesses need <= 2 threads (paper: {:.0}%), \
+         {} need <= 4 conflicting accesses (paper: {:.0}%)",
+        with_pct(nd_threads, nondead.len()),
+        100.0 * witness_bands::NONDEADLOCK_THREADS_LE2,
+        with_pct(nd_accesses, nondead.len()),
+        100.0 * witness_bands::NONDEADLOCK_ACCESSES_LE4,
+    ));
+    t.note(format!(
+        "deadlock: {} witnesses need <= 2 threads (paper: {:.0}%), \
+         {} need <= 2 resources (paper: {:.0}%)",
+        with_pct(d_threads, dead.len()),
+        100.0 * witness_bands::DEADLOCK_THREADS_LE2,
+        with_pct(d_resources, dead.len()),
+        100.0 * witness_bands::DEADLOCK_RESOURCES_LE2,
+    ));
+    let deviating: Vec<&str> = rows
+        .iter()
+        .filter(|r| {
+            if r.family == Family::Deadlock {
+                r.threads > 2 || r.conflict_objects > 2
+            } else {
+                r.threads > 2 || r.conflicting_accesses > 4
+            }
+        })
+        .map(|r| r.kernel)
+        .collect();
+    if deviating.is_empty() {
+        t.note("no kernel exceeds its paper band");
+    } else {
+        t.note(format!(
+            "outside the paper bands: {} — kernels modeling the paper's \
+             own >2-thread / >4-access tail",
+            deviating.join(", ")
+        ));
+    }
+    t
+}
+
 // ------------------------------------------------------------------ E-tm
 
 /// The E-tm experiment: executable TM verdicts joined with the corpus
@@ -644,5 +797,46 @@ mod tests {
         assert!(!scope_table().is_empty());
         assert!(!coverage_table().is_empty());
         assert!(!tm_table(&Corpus::full()).is_empty());
+    }
+
+    #[test]
+    fn witness_rows_cover_all_kernels_and_shrink() {
+        let rows = witness_experiment();
+        assert_eq!(rows.len(), registry::all().len());
+        for r in &rows {
+            assert!(r.schedule_after > 0, "{}", r.kernel);
+            assert!(r.threads >= 1, "{}", r.kernel);
+            assert!(r.replays >= 2, "{}", r.kernel);
+            // Deadlocks other than the self-deadlock (relocking a held
+            // mutex) involve a second thread — possibly one that never
+            // ran a step and is only blocked at the end.
+            if r.family == Family::Deadlock && r.kernel != "self_relock" {
+                assert!(r.threads >= 2, "{}", r.kernel);
+                assert!(r.conflict_objects >= 1, "{}", r.kernel);
+            }
+        }
+        // The self-deadlock is the 1-thread/1-resource extreme of the
+        // paper's deadlock distribution.
+        let relock = rows.iter().find(|r| r.kernel == "self_relock").unwrap();
+        assert_eq!(relock.threads, 1);
+        assert!(relock.conflict_objects <= 1, "{relock:?}");
+        // The single-variable race shrinks to the paper's minimal shape.
+        let counter = rows.iter().find(|r| r.kernel == "counter_rmw").unwrap();
+        assert!(counter.threads <= 2);
+        assert!(counter.conflicting_accesses <= 4, "{counter:?}");
+        // ABBA is the canonical 2-thread / 2-resource deadlock.
+        let abba = rows.iter().find(|r| r.kernel == "abba").unwrap();
+        assert_eq!(abba.threads, 2);
+        assert_eq!(abba.conflict_objects, 2);
+    }
+
+    #[test]
+    fn witness_table_reports_band_comparison() {
+        let t = witness_table();
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains("E-wit"), "{s}");
+        assert!(s.contains("paper: 96%"), "{s}");
+        assert!(s.contains("paper: 97%"), "{s}");
     }
 }

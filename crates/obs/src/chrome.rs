@@ -1,0 +1,221 @@
+//! Chrome trace-event JSON output: a [`Sink`] that collects
+//! `scope == "trace"` events into the Trace Event Format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! The producer (e.g. `lfm-sim`'s witness exporter) emits one structured
+//! event per visible operation with the conventional field names below;
+//! everything else becomes the event's `args` payload:
+//!
+//! - `ph` — the trace-event phase (`"i"` instant by default, `"M"` for
+//!   metadata records such as `process_name` / `thread_name`);
+//! - `pid` / `tid` — process and thread ids (one pid per kernel, one tid
+//!   per simulated thread);
+//! - `ts` — timestamp in microseconds (the witness exporter uses the
+//!   event sequence number: one visible op = 1µs);
+//! - `name` — overrides the event name shown on the track.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json;
+use crate::sink::{Event, Sink, Value};
+
+/// Collects `scope == "trace"` events as Chrome trace-event objects.
+///
+/// Events in other scopes are ignored, so the sink can be handed to
+/// instrumented code that also emits `explore`/`detect` events without
+/// polluting the trace file.
+#[derive(Debug, Default)]
+pub struct ChromeTraceSink {
+    records: Mutex<Vec<String>>,
+}
+
+impl ChromeTraceSink {
+    /// Creates an empty sink.
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink::default()
+    }
+
+    /// Number of trace records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("chrome sink poisoned").len()
+    }
+
+    /// `true` when no trace records have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the collected records as one Chrome trace-event JSON
+    /// document (`{"traceEvents":[...]}`), loadable in Perfetto.
+    pub fn render(&self) -> String {
+        let records = self.records.lock().expect("chrome sink poisoned");
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, record) in records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(record);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes the rendered document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and write failures.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.render().as_bytes())
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn emit(&self, event: &Event<'_>) {
+        if event.scope != "trace" {
+            return;
+        }
+        let mut ph = "i".to_owned();
+        let mut pid = 0u64;
+        let mut tid = 0u64;
+        let mut ts = 0u64;
+        let mut name_field = None;
+        let mut args = String::new();
+        let push_arg = |args: &mut String, key: &str, rendered: &str| {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(&json::quote(key));
+            args.push(':');
+            args.push_str(rendered);
+        };
+        for (key, value) in event.fields {
+            match (*key, value) {
+                ("ph", Value::Str(s)) => ph = (*s).to_owned(),
+                ("pid", Value::U64(v)) => pid = *v,
+                ("tid", Value::U64(v)) => tid = *v,
+                ("ts", Value::U64(v)) => ts = *v,
+                ("name", Value::Str(s)) => name_field = Some((*s).to_owned()),
+                _ => push_arg(&mut args, key, &value.to_json()),
+            }
+        }
+        let name = if ph == "M" {
+            // Metadata records (process_name / thread_name) keep their
+            // record name and carry the display name in args.name.
+            if let Some(display) = name_field {
+                push_arg(&mut args, "name", &json::quote(&display));
+            }
+            event.name.to_owned()
+        } else {
+            name_field.unwrap_or_else(|| event.name.to_owned())
+        };
+        let mut record = String::with_capacity(64 + args.len());
+        record.push_str("{\"name\":");
+        record.push_str(&json::quote(&name));
+        record.push_str(&format!(",\"ph\":{}", json::quote(&ph)));
+        record.push_str(&format!(",\"pid\":{pid},\"tid\":{tid}"));
+        if ph == "i" {
+            // Instant events carry a timestamp and a scope ("t" = thread).
+            record.push_str(&format!(",\"ts\":{ts},\"s\":\"t\""));
+        }
+        record.push_str(&format!(",\"args\":{{{args}}}}}"));
+        self.records
+            .lock()
+            .expect("chrome sink poisoned")
+            .push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn emit(sink: &ChromeTraceSink, scope: &str, name: &str, fields: &[(&str, Value<'_>)]) {
+        sink.emit(&Event {
+            scope,
+            name,
+            fields,
+        });
+    }
+
+    #[test]
+    fn collects_instant_events_with_conventional_fields() {
+        let sink = ChromeTraceSink::new();
+        emit(
+            &sink,
+            "trace",
+            "write",
+            &[
+                ("pid", Value::U64(3)),
+                ("tid", Value::U64(1)),
+                ("ts", Value::U64(7)),
+                ("name", Value::Str("counter = 1")),
+                ("op", Value::Str("write")),
+            ],
+        );
+        assert_eq!(sink.len(), 1);
+        let doc = Json::parse(&sink.render()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let e = &events[0];
+        assert_eq!(e.get("name").and_then(Json::as_str), Some("counter = 1"));
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(e.get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(e.get("pid").and_then(Json::as_u64), Some(3));
+        assert_eq!(e.get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(e.get("ts").and_then(Json::as_u64), Some(7));
+        let args = e.get("args").unwrap();
+        assert_eq!(args.get("op").and_then(Json::as_str), Some("write"));
+    }
+
+    #[test]
+    fn metadata_events_skip_timestamps() {
+        let sink = ChromeTraceSink::new();
+        emit(
+            &sink,
+            "trace",
+            "process_name",
+            &[
+                ("ph", Value::Str("M")),
+                ("pid", Value::U64(1)),
+                ("name", Value::Str("abba")),
+            ],
+        );
+        let doc = Json::parse(&sink.render()).unwrap();
+        let e = &doc.get("traceEvents").and_then(Json::as_array).unwrap()[0];
+        // The record keeps its metadata name; the display name moves into
+        // args.name, where the trace viewers look for it.
+        assert_eq!(e.get("name").and_then(Json::as_str), Some("process_name"));
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("abba")
+        );
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("M"));
+        assert!(e.get("ts").is_none());
+        assert!(e.get("s").is_none());
+    }
+
+    #[test]
+    fn ignores_other_scopes() {
+        let sink = ChromeTraceSink::new();
+        emit(&sink, "explore", "report", &[("n", Value::U64(1))]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn render_is_valid_json_even_when_empty() {
+        let sink = ChromeTraceSink::new();
+        let doc = Json::parse(&sink.render()).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

@@ -126,6 +126,21 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// The median ([`HistogramSnapshot::quantile`] at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile ([`HistogramSnapshot::quantile`] at 0.90).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile ([`HistogramSnapshot::quantile`] at 0.99).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 impl std::fmt::Display for HistogramSnapshot {
@@ -190,6 +205,22 @@ mod tests {
         // p100 is capped to the true max.
         assert_eq!(s.quantile(1.0), 100);
         assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn named_percentile_accessors_match_quantile() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), s.quantile(0.50));
+        assert_eq!(s.p90(), s.quantile(0.90));
+        assert_eq!(s.p99(), s.quantile(0.99));
+        // Percentiles are monotone.
+        assert!(s.p50() <= s.p90());
+        assert!(s.p90() <= s.p99());
+        assert!(s.p99() <= s.max);
     }
 
     #[test]

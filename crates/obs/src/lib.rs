@@ -12,12 +12,15 @@
 //!   count / sum / min / max and percentile estimates;
 //! - [`Stopwatch`] / [`Timing`] — monotonic wall-clock spans, one-shot or
 //!   accumulated across entries;
-//! - [`Sink`] — a pluggable structured-event consumer with three
+//! - [`Sink`] — a pluggable structured-event consumer with four
 //!   implementations: [`NoopSink`] (default; instrumented code must be
 //!   bit-identical in results to uninstrumented code under it),
-//!   [`MemorySink`] (in-memory snapshot for tests and `--stats`), and
-//!   [`JsonlSink`] (structured JSONL run logs for `--log-jsonl`);
-//! - [`StatsTable`] — aligned key/value rendering for `--stats` output.
+//!   [`MemorySink`] (in-memory snapshot for tests and `--stats`),
+//!   [`JsonlSink`] (structured JSONL run logs for `--log-jsonl`), and
+//!   [`ChromeTraceSink`] (Chrome trace-event JSON for Perfetto);
+//! - [`StatsTable`] — aligned key/value rendering for `--stats` output;
+//! - [`json`] — hand-rolled JSON writing plus the minimal [`json::Json`]
+//!   reader used to load witness artifacts back.
 //!
 //! # Determinism contract
 //!
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chrome;
 mod counter;
 mod histogram;
 pub mod json;
@@ -59,6 +63,7 @@ mod sink;
 mod span;
 mod stats;
 
+pub use chrome::ChromeTraceSink;
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use sink::{Event, JsonlSink, MemorySink, NoopSink, OwnedEvent, OwnedValue, Sink, Value};

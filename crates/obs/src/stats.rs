@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::histogram::HistogramSnapshot;
+
 /// A titled block of key/value statistics rows, rendered with aligned
 /// columns:
 ///
@@ -29,6 +31,22 @@ impl StatsTable {
     pub fn row(&mut self, key: impl Into<String>, value: impl fmt::Display) -> &mut StatsTable {
         self.rows.push((key.into(), value.to_string()));
         self
+    }
+
+    /// Appends one row per headline statistic of a histogram snapshot:
+    /// count, mean, min, p50, p90, p99 and max, each keyed
+    /// `"{key} {stat}"`. Empty snapshots contribute a single count row.
+    pub fn histogram(&mut self, key: &str, snap: &HistogramSnapshot) -> &mut StatsTable {
+        self.row(format!("{key} count"), snap.count);
+        if snap.count == 0 {
+            return self;
+        }
+        self.row(format!("{key} mean"), format!("{:.1}", snap.mean()))
+            .row(format!("{key} min"), snap.min)
+            .row(format!("{key} p50"), snap.p50())
+            .row(format!("{key} p90"), snap.p90())
+            .row(format!("{key} p99"), snap.p99())
+            .row(format!("{key} max"), snap.max)
     }
 
     /// Number of rows.
@@ -75,5 +93,35 @@ mod tests {
         let t = StatsTable::new("nothing");
         assert_eq!(t.to_string(), "nothing\n");
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn histogram_rows_include_percentiles() {
+        let h = crate::Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let mut t = StatsTable::new("replay");
+        t.histogram("steps", &h.snapshot());
+        let text = t.to_string();
+        for needle in [
+            "steps count",
+            "steps mean",
+            "steps p50",
+            "steps p90",
+            "steps p99",
+            "steps max",
+        ] {
+            assert!(text.contains(needle), "{needle} missing from:\n{text}");
+        }
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_renders_count_only() {
+        let mut t = StatsTable::new("replay");
+        t.histogram("steps", &crate::Histogram::new().snapshot());
+        assert_eq!(t.len(), 1);
+        assert!(t.to_string().contains("steps count  0"));
     }
 }

@@ -93,6 +93,31 @@ impl Footprint {
         fp
     }
 
+    /// Footprint of an *attempted* (blocked) operation, derived from what
+    /// a deadlocked thread is waiting on. The witness conflict accounting
+    /// needs these: a deadlock's essence is acquisitions that never
+    /// execute as steps.
+    pub fn of_blocked(on: &crate::outcome::BlockedOn) -> Footprint {
+        use crate::outcome::BlockedOn;
+        let mut fp = Footprint::default();
+        match on {
+            BlockedOn::Mutex(m) | BlockedOn::CondReacquire(m) => {
+                fp.push(ObjKind::Mutex, m.index(), true)
+            }
+            BlockedOn::Cond(c) => fp.push(ObjKind::Cond, c.index(), true),
+            BlockedOn::RwRead(rw) => fp.push(ObjKind::Rw, rw.index(), false),
+            BlockedOn::RwWrite(rw) => fp.push(ObjKind::Rw, rw.index(), true),
+            BlockedOn::Semaphore(s) => fp.push(ObjKind::Sem, s.index(), true),
+            BlockedOn::Join(t) => fp.push(ObjKind::Thread, t.index(), true),
+        }
+        fp
+    }
+
+    /// The individual accesses in this footprint.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
     /// `true` when the two footprints commute (no shared object with a
     /// write on either side).
     pub fn independent(&self, other: &Footprint) -> bool {

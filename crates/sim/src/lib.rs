@@ -22,6 +22,10 @@
 //!   schedulers for probabilistic manifestation experiments.
 //! - [`Trace`] — a vector-clock annotated event log consumed by the
 //!   `lfm-detect` dynamic detectors.
+//! - [`Witness`] / [`minimize()`] — portable `lfm-trace/v1` bug witnesses
+//!   (schedule + event log + program fingerprint) with save/load,
+//!   deterministic replay verification, Chrome trace export, and ddmin
+//!   schedule minimization.
 //! - Transactional statements ([`Stmt::TxBegin`] / [`Stmt::TxCommit`])
 //!   giving word-based STM semantics inside the simulator, used by the
 //!   `lfm-stm` transactional-memory applicability experiments.
@@ -74,10 +78,12 @@ pub mod coverage;
 pub mod explore;
 pub mod fault;
 pub mod generate;
+pub mod minimize;
 pub mod pretty;
 pub mod random;
 pub mod timeline;
 pub mod trace;
+pub mod witness;
 
 pub use budget::{Budget, BudgetReport, BudgetedExplorer, Confidence, DegradeLevel};
 pub use coverage::{PairCoverage, PairKey};
@@ -90,6 +96,7 @@ pub use expr::Expr;
 pub use fault::{FaultKind, FaultPlan};
 pub use generate::{generate, GenConfig};
 pub use ids::{CondId, MutexId, RwId, SemId, ThreadId, VarId};
+pub use minimize::{minimize, MinimizeReport};
 pub use outcome::{BlockedOn, Outcome};
 pub use pretty::pseudocode;
 pub use program::{Program, ProgramBuilder, ThreadDef};
@@ -98,3 +105,7 @@ pub use schedule::Schedule;
 pub use stmt::{RmwOp, Stmt};
 pub use timeline::render_timeline;
 pub use trace::{Event, EventKind, Trace, VectorClock};
+pub use witness::{
+    emit_chrome_trace, fingerprint, Witness, WitnessError, WitnessEvent, WitnessStats,
+    WITNESS_SCHEMA,
+};

@@ -1,0 +1,272 @@
+//! Schedule minimization: shrink a failing schedule to its essence.
+//!
+//! The explorer's first failing schedule is rarely the *simplest* one —
+//! it reflects DFS visit order, not the bug's structure. This module
+//! applies ddmin-style delta debugging to a witness schedule in two
+//! phases, each candidate validated by deterministic replay:
+//!
+//! 1. **Context switches**: the schedule is split into runs of
+//!    consecutive same-thread choices and ddmin removes whole runs.
+//!    Removing a run merges its neighbors, so this phase directly
+//!    minimizes the number of context switches — the quantity the
+//!    study's "most bugs need very few context switches" observation is
+//!    about.
+//! 2. **Preemption points**: ddmin over the surviving individual
+//!    choices, trimming steps a run-granular pass cannot reach.
+//!
+//! Removal is sound because [`Executor::replay`] degrades gracefully:
+//! choices for non-enabled threads are skipped and an exhausted schedule
+//! falls back to the first enabled thread, so every candidate subset is
+//! still a complete, executable schedule. A candidate is kept only when
+//! its outcome equals the original failure bit-for-bit.
+
+use lfm_obs::{Histogram, HistogramSnapshot};
+
+use crate::exec::Executor;
+use crate::ids::ThreadId;
+use crate::outcome::Outcome;
+use crate::program::Program;
+use crate::schedule::Schedule;
+
+/// Result of minimizing one schedule.
+#[derive(Debug, Clone)]
+pub struct MinimizeReport {
+    /// The minimized *explicit* schedule: replaying it reproduces the
+    /// outcome choice-for-choice (every entry is taken).
+    pub schedule: Schedule,
+    /// The outcome the minimized schedule reproduces.
+    pub outcome: Outcome,
+    /// Context switches in the schedule before minimization.
+    pub switches_before: usize,
+    /// Context switches after minimization.
+    pub switches_after: usize,
+    /// Number of validation replays ddmin performed.
+    pub replays: usize,
+    /// Distribution of steps per validation replay.
+    pub replay_steps: HistogramSnapshot,
+}
+
+/// Classic ddmin over a list of items: finds a (1-minimal under chunk
+/// removal) subset for which `test` still returns true. `test` is never
+/// called on the full input (assumed true) and is called on the empty
+/// candidate first.
+fn ddmin<T: Clone>(items: Vec<T>, mut test: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    if test(&[]) {
+        return Vec::new();
+    }
+    let mut current = items;
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Complement: everything except current[start..end].
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if test(&candidate) {
+                current = candidate;
+                n = (n - 1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (2 * n).min(current.len());
+        }
+    }
+    current
+}
+
+/// Splits a schedule into runs of consecutive same-thread choices.
+fn runs(schedule: &Schedule) -> Vec<(ThreadId, usize)> {
+    let mut out: Vec<(ThreadId, usize)> = Vec::new();
+    for t in schedule.iter() {
+        match out.last_mut() {
+            Some((last, count)) if *last == t => *count += 1,
+            _ => out.push((t, 1)),
+        }
+    }
+    out
+}
+
+fn flatten(runs: &[(ThreadId, usize)]) -> Schedule {
+    let mut s = Schedule::new();
+    for &(t, count) in runs {
+        for _ in 0..count {
+            s.push(t);
+        }
+    }
+    s
+}
+
+/// Minimizes `schedule` against `program`: the returned schedule
+/// reproduces the same outcome with (locally) minimal context switches
+/// and length. See the [module docs](self) for the strategy.
+pub fn minimize(program: &Program, schedule: &Schedule, max_steps: usize) -> MinimizeReport {
+    let steps_hist = Histogram::new();
+    let mut replays = 0usize;
+    let mut check = |candidate: &Schedule, target: &Outcome| -> Option<Schedule> {
+        let mut exec = Executor::new(program);
+        let outcome = exec.replay(candidate, max_steps);
+        replays += 1;
+        steps_hist.record(exec.steps() as u64);
+        (outcome == *target).then(|| exec.schedule_taken().clone())
+    };
+
+    // Resolve the target outcome and the explicit baseline schedule.
+    let mut exec = Executor::new(program);
+    let target = exec.replay(schedule, max_steps);
+    let baseline = exec.schedule_taken().clone();
+    let switches_before = baseline.context_switches();
+
+    // Phase 1: remove whole runs (context switches).
+    let kept_runs = ddmin(runs(&baseline), |cand| {
+        check(&flatten(cand), &target).is_some()
+    });
+    let after_runs = check(&flatten(&kept_runs), &target).expect("ddmin result revalidates");
+
+    // Phase 2: remove individual choices from the explicit schedule.
+    let choices: Vec<ThreadId> = after_runs.iter().collect();
+    let kept = ddmin(choices, |cand| {
+        let s: Schedule = cand.iter().copied().collect();
+        check(&s, &target).is_some()
+    });
+    let minimized = check(&kept.into_iter().collect(), &target).expect("ddmin result revalidates");
+
+    MinimizeReport {
+        switches_after: minimized.context_switches(),
+        schedule: minimized,
+        outcome: target,
+        switches_before,
+        replays,
+        replay_steps: steps_hist.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use crate::expr::Expr;
+    use crate::program::ProgramBuilder;
+    use crate::stmt::Stmt;
+    use crate::witness::Witness;
+
+    fn racy_counter() -> Program {
+        let mut b = ProgramBuilder::new("racy-counter");
+        let v = b.var("counter", 0);
+        for name in ["t1", "t2"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(v, "tmp"),
+                    Stmt::write(v, Expr::local("tmp") + Expr::lit(1)),
+                ],
+            );
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(2)), "both increments kept");
+        b.build().unwrap()
+    }
+
+    fn abba() -> Program {
+        let mut b = ProgramBuilder::new("abba");
+        let a = b.mutex();
+        let bm = b.mutex();
+        b.thread(
+            "t1",
+            vec![
+                Stmt::lock(a),
+                Stmt::lock(bm),
+                Stmt::unlock(bm),
+                Stmt::unlock(a),
+            ],
+        );
+        b.thread(
+            "t2",
+            vec![
+                Stmt::lock(bm),
+                Stmt::lock(a),
+                Stmt::unlock(a),
+                Stmt::unlock(bm),
+            ],
+        );
+        b.build().unwrap()
+    }
+
+    fn first_failure(p: &Program) -> (Schedule, Outcome) {
+        Explorer::new(p)
+            .stop_on_first_failure()
+            .run()
+            .first_failure
+            .expect("program has a failing interleaving")
+    }
+
+    #[test]
+    fn ddmin_finds_a_single_essential_item() {
+        let items: Vec<u32> = (0..32).collect();
+        let kept = ddmin(items, |cand| cand.contains(&17));
+        assert_eq!(kept, vec![17]);
+    }
+
+    #[test]
+    fn ddmin_keeps_a_scattered_pair() {
+        let items: Vec<u32> = (0..40).collect();
+        let kept = ddmin(items, |cand| cand.contains(&3) && cand.contains(&31));
+        assert_eq!(kept, vec![3, 31]);
+    }
+
+    #[test]
+    fn ddmin_handles_trivially_empty_tests() {
+        let kept = ddmin(vec![1, 2, 3], |_| true);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn minimized_race_needs_one_preemption() {
+        let p = racy_counter();
+        let (sched, outcome) = first_failure(&p);
+        let report = minimize(&p, &sched, 5_000);
+        assert_eq!(report.outcome, outcome);
+        assert!(report.switches_after <= report.switches_before);
+        // A lost update needs exactly: t1 reads, t2 runs, t1 finishes —
+        // two context switches at most.
+        assert!(report.switches_after <= 2, "{}", report.switches_after);
+        assert!(report.replays >= 2);
+        assert_eq!(report.replay_steps.count as usize, report.replays);
+    }
+
+    #[test]
+    fn minimized_deadlock_still_deadlocks() {
+        let p = abba();
+        let (sched, outcome) = first_failure(&p);
+        let report = minimize(&p, &sched, 5_000);
+        assert_eq!(report.outcome, outcome);
+        assert!(matches!(report.outcome, Outcome::Deadlock { .. }));
+        // The minimized schedule is explicit: replaying it verbatim
+        // reproduces the deadlock.
+        let mut exec = Executor::new(&p);
+        let replayed = exec.replay(&report.schedule, report.schedule.len());
+        assert_eq!(replayed, outcome);
+    }
+
+    #[test]
+    fn minimized_schedule_feeds_witness_capture() {
+        let p = racy_counter();
+        let (sched, _) = first_failure(&p);
+        let report = minimize(&p, &sched, 5_000);
+        let w = Witness::capture(&p, "racy_counter", &report.schedule, 5_000);
+        assert_eq!(w.outcome_display, report.outcome.to_string());
+        assert_eq!(w.stats.switches, report.switches_after);
+        // The paper's band: this bug manifests with 2 threads and 4
+        // conflicting accesses.
+        assert!(w.stats.threads <= 2);
+        assert!(w.stats.conflicting_accesses <= 4);
+    }
+}

@@ -17,11 +17,15 @@ use std::fmt::Write as _;
 use crate::program::Program;
 use crate::trace::{Event, EventKind, Trace};
 
-const COL_WIDTH: usize = 28;
+/// Hard cap on the per-thread column width; descriptions longer than this
+/// are truncated with an ellipsis.
+const MAX_COL_WIDTH: usize = 60;
+/// Lower bound keeping the layout recognizable for tiny programs.
+const MIN_COL_WIDTH: usize = 12;
 
 /// One-line description of an event, resolving variable names through
 /// the program when available.
-fn describe(event: &Event, program: Option<&Program>) -> String {
+pub(crate) fn describe(event: &Event, program: Option<&Program>) -> String {
     let var_name = |v: crate::ids::VarId| -> String {
         match program {
             Some(p) if v.index() < p.n_vars() => p.var_name(v).to_string(),
@@ -73,34 +77,48 @@ fn describe(event: &Event, program: Option<&Program>) -> String {
 
 /// Renders the trace as a thread-column timeline. Pass the program to
 /// resolve variable names (falls back to `v0`-style ids otherwise).
+///
+/// The column width adapts to the longest rendered event line (and thread
+/// name) up to a cap of 60 columns, so long variable or kernel names are
+/// only truncated when they genuinely do not fit.
 pub fn render_timeline(trace: &Trace, program: Option<&Program>) -> String {
     let names: Vec<String> = match program {
         Some(p) => p.threads().iter().map(|t| t.name().to_string()).collect(),
         None => (0..trace.n_threads).map(|i| format!("t{i}")).collect(),
     };
+    let descriptions: Vec<String> = trace.events.iter().map(|e| describe(e, program)).collect();
+    let content = names
+        .iter()
+        .chain(descriptions.iter())
+        .map(|s| s.chars().count())
+        .max()
+        .unwrap_or(0);
+    let col_width = (content + 2).clamp(MIN_COL_WIDTH, MAX_COL_WIDTH);
     let mut out = String::new();
     let _ = write!(out, "seq |");
     for name in &names {
-        let _ = write!(out, " {name:<width$}|", width = COL_WIDTH - 1);
+        let _ = write!(out, " {name:<width$}|", width = col_width - 1);
     }
     out.push('\n');
     let _ = write!(out, "----+");
     for _ in &names {
-        let _ = write!(out, "{}+", "-".repeat(COL_WIDTH));
+        let _ = write!(out, "{}+", "-".repeat(col_width));
     }
     out.push('\n');
-    for event in &trace.events {
+    for (event, text) in trace.events.iter().zip(descriptions) {
         let _ = write!(out, "{:3} |", event.seq);
         for i in 0..names.len() {
             if i == event.thread.index() {
-                let mut text = describe(event, program);
-                if text.len() > COL_WIDTH - 2 {
-                    text.truncate(COL_WIDTH - 3);
-                    text.push('…');
-                }
-                let _ = write!(out, " {text:<width$}|", width = COL_WIDTH - 1);
+                let text = if text.chars().count() > col_width - 2 {
+                    let mut t: String = text.chars().take(col_width - 3).collect();
+                    t.push('…');
+                    t
+                } else {
+                    text.clone()
+                };
+                let _ = write!(out, " {text:<width$}|", width = col_width - 1);
             } else {
-                let _ = write!(out, "{}|", " ".repeat(COL_WIDTH));
+                let _ = write!(out, "{}|", " ".repeat(col_width));
             }
         }
         out.push('\n');
@@ -171,7 +189,7 @@ mod tests {
     }
 
     #[test]
-    fn long_descriptions_are_truncated() {
+    fn columns_widen_to_fit_long_names() {
         let mut b = ProgramBuilder::new("long");
         let v = b.var("a_variable_with_a_really_long_name", 0);
         b.thread("t", vec![Stmt::read(v, "x")]);
@@ -179,11 +197,47 @@ mod tests {
         let mut e = Executor::with_record(&p, RecordMode::Full);
         e.run_sequential(10);
         let timeline = render_timeline(&e.into_trace(), Some(&p));
+        // 43 characters fit under the 60-column cap: no silent clipping.
+        assert!(timeline.contains("read a_variable_with_a_really_long_name -> 0"));
+        assert!(!timeline.contains('…'));
+    }
+
+    #[test]
+    fn descriptions_past_the_cap_are_truncated() {
+        let mut b = ProgramBuilder::new("very-long");
+        let v = b.var(
+            "an_exceptionally_long_variable_name_that_cannot_possibly_fit_in_a_column",
+            0,
+        );
+        b.thread("t", vec![Stmt::read(v, "x")]);
+        b.thread("u", vec![Stmt::write(v, Expr::lit(1))]);
+        let p = b.build().unwrap();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        e.run_sequential(10);
+        let timeline = render_timeline(&e.into_trace(), Some(&p));
         assert!(timeline.contains('…'));
+        // Columns stay aligned at the cap width.
+        let cap = 60;
         for line in timeline.lines().skip(2) {
-            // Columns stay aligned even when truncated.
-            assert!(line.len() <= 5 + (COL_WIDTH + 1) * p.n_threads() + 2);
+            assert_eq!(
+                line.chars().count(),
+                5 + (cap + 1) * p.n_threads(),
+                "{line}"
+            );
         }
+    }
+
+    #[test]
+    fn short_programs_keep_a_minimum_width() {
+        let mut b = ProgramBuilder::new("tiny");
+        let v = b.var("v", 0);
+        b.thread("t", vec![Stmt::write(v, Expr::lit(1))]);
+        let p = b.build().unwrap();
+        let mut e = Executor::with_record(&p, RecordMode::Full);
+        e.run_sequential(10);
+        let timeline = render_timeline(&e.into_trace(), Some(&p));
+        let header = timeline.lines().next().unwrap();
+        assert!(header.chars().count() >= 5 + 12, "{header}");
     }
 
     #[test]
