@@ -4,7 +4,8 @@
 //!
 //! - the **`tables` binary** (`cargo run -p lfm-bench --bin tables`)
 //!   regenerates every table (T1–T9), figure demo (F1–F5) and implication
-//!   experiment (E-scope, E-detect, E-tm) of the study; pass
+//!   experiment (E-scope, E-detect, E-tm, E-chaos, E-par, E-wit) of the
+//!   study; pass
 //!   `--only <id>` to print one artifact, `--markdown` for Markdown;
 //! - the **criterion benches** (`cargo bench -p lfm-bench`) measure the
 //!   substrates: exploration throughput per kernel family, detector
@@ -16,9 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod par;
 pub mod snapshot;
 
 pub use chaos::{chaos_comparison, chaos_table, ChaosRow};
+pub use par::{par_scaling, par_table, ParRow, ParScaling};
 pub use snapshot::{obs_snapshot, SNAPSHOT_SCHEMA};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -50,6 +53,8 @@ pub enum Artifact {
     Tm,
     /// E-chaos.
     Chaos,
+    /// E-par.
+    Par,
     /// E-wit.
     Witness,
     /// The findings checker.
@@ -67,6 +72,7 @@ impl Artifact {
             "ecov" | "e-cov" => Some(Artifact::CoverageGrowth),
             "etm" | "e-tm" => Some(Artifact::Tm),
             "echaos" | "e-chaos" => Some(Artifact::Chaos),
+            "epar" | "e-par" => Some(Artifact::Par),
             "ewit" | "e-wit" => Some(Artifact::Witness),
             "findings" => Some(Artifact::Findings),
             _ if s.len() >= 2 => {
@@ -94,6 +100,7 @@ impl Artifact {
             Artifact::CoverageGrowth,
             Artifact::Tm,
             Artifact::Chaos,
+            Artifact::Par,
             Artifact::Witness,
         ]);
         v
@@ -113,6 +120,7 @@ impl Artifact {
             Artifact::CoverageGrowth => "ecov".to_string(),
             Artifact::Tm => "etm".to_string(),
             Artifact::Chaos => "echaos".to_string(),
+            Artifact::Par => "epar".to_string(),
             Artifact::Witness => "ewit".to_string(),
             Artifact::Findings => "findings".to_string(),
         }
@@ -160,6 +168,7 @@ impl Artifact {
             Artifact::CoverageGrowth => table(coverage_growth_table()),
             Artifact::Tm => table(tm_table(corpus)),
             Artifact::Chaos => table(chaos::chaos_table(200)),
+            Artifact::Par => table(par::par_table(20_000)),
             Artifact::Witness => table(witness_table()),
             Artifact::Findings => {
                 let mut out = String::from("Findings (paper vs measured)\n");
@@ -212,6 +221,8 @@ mod tests {
         assert_eq!(Artifact::parse("etest"), Some(Artifact::SchedTest));
         assert_eq!(Artifact::parse("echaos"), Some(Artifact::Chaos));
         assert_eq!(Artifact::parse("e-chaos"), Some(Artifact::Chaos));
+        assert_eq!(Artifact::parse("epar"), Some(Artifact::Par));
+        assert_eq!(Artifact::parse("e-par"), Some(Artifact::Par));
         assert_eq!(Artifact::parse("ewit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("e-wit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("findings"), Some(Artifact::Findings));
@@ -224,7 +235,7 @@ mod tests {
     #[test]
     fn all_lists_every_artifact() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 1 + 9 + 5 + 7);
+        assert_eq!(all.len(), 1 + 9 + 5 + 8);
     }
 
     #[test]

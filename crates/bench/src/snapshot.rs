@@ -203,6 +203,52 @@ pub fn obs_snapshot() -> String {
     push_field(&mut out, "deadlock_total", dead.len());
     out.push('}');
 
+    // Parallel-exploration scaling: the E-par measurement. Speedup is a
+    // host property (meaningless without `host_parallelism` next to
+    // it); `reports_identical` is the determinism claim and must be
+    // true on every host.
+    let scaling = crate::par::par_scaling(20_000);
+    out.push_str(",\"par\":{");
+    push_field(&mut out, "kernel", json::quote(scaling.kernel));
+    out.push(',');
+    push_field(&mut out, "family", json::quote(&scaling.family));
+    out.push(',');
+    push_field(&mut out, "host_parallelism", scaling.host_parallelism);
+    out.push(',');
+    push_field(&mut out, "serial_schedules", scaling.serial_schedules);
+    out.push(',');
+    push_field(&mut out, "serial_wall_us", scaling.serial_wall_us);
+    out.push(',');
+    push_field(&mut out, "reports_identical", scaling.all_identical());
+    out.push_str(",\"rows\":[");
+    for (i, r) in scaling.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_field(&mut out, "jobs", r.jobs);
+        out.push(',');
+        push_field(&mut out, "schedules", r.schedules);
+        out.push(',');
+        push_field(&mut out, "wall_us", r.wall_us);
+        out.push(',');
+        push_field(&mut out, "speedup", json::number_f64(r.speedup));
+        out.push(',');
+        push_field(
+            &mut out,
+            "schedules_per_sec",
+            json::number_f64(r.schedules_per_sec),
+        );
+        out.push('}');
+    }
+    out.push_str("],");
+    push_field(
+        &mut out,
+        "speedup_at_4",
+        json::number_f64(scaling.speedup_at(4).unwrap_or(0.0)),
+    );
+    out.push('}');
+
     // Table-generator timings over the full corpus.
     let corpus = lfm_corpus::Corpus::full();
     let (_, timings) = lfm_study::profile_tables(&corpus, &NoopSink);
@@ -244,6 +290,10 @@ mod tests {
         for key in [
             "\"detect\":",
             "\"stm\":",
+            "\"par\":{\"kernel\":\"livelock_retry\"",
+            "\"reports_identical\":true",
+            "\"host_parallelism\":",
+            "\"speedup_at_4\":",
             "\"study\":",
             "\"T9\"",
             "\"commits\":100",

@@ -11,9 +11,10 @@
 //! lfm kernel <id> --stats                          # exploration metrics
 //! lfm kernel <id> --chaos 42                       # seeded fault injection
 //! lfm kernel <id> --deadline 10                    # budgeted, may degrade
+//! lfm explore <id> --jobs 4                        # parallel exploration
 //! lfm witness <id> --out w.json --chrome t.json   # minimized portable witness
 //! lfm replay w.json                                # verify a saved witness
-//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|etm|echaos|ewit|findings]
+//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|ewit|findings]
 //! lfm --log-jsonl run.jsonl kernel <id>            # structured event log
 //! ```
 //!
@@ -36,7 +37,9 @@ use lfm_bench::Artifact;
 use lfm_corpus::{App, BugClass, Corpus};
 use lfm_kernels::{registry, Family, Kernel, Variant};
 use lfm_obs::{fmt_duration, ChromeTraceSink, NoopSink, Sink, StatsTable};
-use lfm_sim::{minimize, pseudocode, Budget, BudgetedExplorer, Explorer, FaultPlan, Witness};
+use lfm_sim::{
+    minimize, pseudocode, Budget, BudgetedExplorer, Explorer, FaultPlan, ParExplorer, Witness,
+};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +71,16 @@ pub enum Command {
         witness: bool,
         /// Print exploration metrics (schedules/sec, snapshots, prunes,
         /// per-phase wall time) after the results.
+        stats: bool,
+    },
+    /// `lfm explore <id> [--jobs N] [--stats]`
+    Explore {
+        /// The kernel id.
+        id: String,
+        /// Worker threads (default: one per available core, capped
+        /// at 8).
+        jobs: Option<usize>,
+        /// Print per-worker scheduling counters after the report.
         stats: bool,
     },
     /// `lfm witness <kernel-id> [--out <path>] [--chrome <path>]`
@@ -295,6 +308,36 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 stats,
             })
         }
+        Some("explore") => {
+            let id = it
+                .next()
+                .ok_or_else(|| UsageError("usage: lfm explore <id> [--jobs N] [--stats]".into()))?;
+            let mut jobs = None;
+            let mut stats = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--jobs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--jobs needs a worker count".into()))?;
+                        let n: usize = v.parse().map_err(|_| {
+                            UsageError(format!("--jobs `{v}` is not a worker count"))
+                        })?;
+                        if n == 0 {
+                            return Err(UsageError("--jobs must be at least 1".into()));
+                        }
+                        jobs = Some(n);
+                    }
+                    "--stats" => stats = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Explore {
+                id: id.to_owned(),
+                jobs,
+                stats,
+            })
+        }
         Some("witness") => {
             let id = it.next().ok_or_else(|| {
                 UsageError("usage: lfm witness <kernel-id> [--out <path>] [--chrome <path>]".into())
@@ -346,7 +389,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                         only = Some(Artifact::parse(sel).ok_or_else(|| {
                             UsageError(format!(
                                 "unknown artifact `{sel}` (t1..t9, f1..f5, escope, \
-                                 edetect, etest, etm, echaos, ewit, findings)"
+                                 edetect, etest, ecov, etm, echaos, epar, ewit, \
+                                 findings)"
                             ))
                         })?);
                     }
@@ -372,6 +416,12 @@ USAGE:
   lfm kernel <id> --source          print the kernel as paper-figure pseudo-code
   lfm kernel <id> --witness         show the failure witness as a timeline
   lfm kernel <id> --stats           also print exploration metrics
+  lfm explore <id> [--jobs N] [--stats]
+                                    model-check the buggy variant across N
+                                    worker threads (default: all cores, max
+                                    8); the merged report is bit-identical
+                                    to the serial explorer's; --stats adds
+                                    per-worker scheduling counters
   lfm witness <id> [--out <path>] [--chrome <path>]
                                     find, minimize and save a portable
                                     lfm-trace/v1 witness (default out:
@@ -383,8 +433,8 @@ USAGE:
   lfm tables [ARTIFACT] [--markdown]
                                     regenerate tables/figures/experiments
                                     (t1..t9, f1..f5, escope, edetect, etest,
-                                     etm, echaos, ewit, findings; default:
-                                     everything)
+                                     ecov, etm, echaos, epar, ewit, findings;
+                                     default: everything)
   lfm help
 
 GLOBAL OPTIONS:
@@ -406,8 +456,8 @@ EXIT STATUS:
 ";
 
 /// Robustness options carried by the global `--chaos` / `--deadline`
-/// flags. They affect the `kernel` command only: `witness` and `source`
-/// renderings are deterministic and ignore them.
+/// flags. They affect the `kernel` and `explore` commands only:
+/// `witness` and `source` renderings are deterministic and ignore them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunOptions {
     /// Seed for a deterministic [`FaultPlan`] (`--chaos`).
@@ -627,6 +677,15 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                 out
             }
         }
+        Command::Explore { id, jobs, stats } => {
+            let Some(kernel) = registry::by_id(&id) else {
+                return RunOutput {
+                    text: format!("no kernel `{id}` (try `lfm list kernels`)\n"),
+                    degraded: false,
+                };
+            };
+            run_explore(&kernel, &id, jobs, stats, opts, &sink)
+        }
         Command::Witness { id, out, chrome } => {
             let Some(kernel) = registry::by_id(&id) else {
                 return RunOutput {
@@ -661,6 +720,82 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
         }
     };
     RunOutput { text, degraded }
+}
+
+/// The `explore` command: one [`ParExplorer`] run over the kernel's
+/// buggy variant — frontier sharded across `jobs` worker threads,
+/// merged deterministically — reporting the same fields as the serial
+/// explorer plus (with `--stats`) per-worker scheduling counters.
+fn run_explore(
+    kernel: &Kernel,
+    id: &str,
+    jobs: Option<usize>,
+    stats: bool,
+    opts: &RunOptions,
+    sink: &Arc<dyn Sink>,
+) -> String {
+    let jobs = jobs.unwrap_or_else(ParExplorer::auto_jobs);
+    let program = kernel.buggy();
+    let mut explorer = ParExplorer::new(&program)
+        .jobs(jobs)
+        .dedup_states()
+        .with_sink(Arc::clone(sink));
+    if let Some(seed) = opts.chaos {
+        explorer = explorer.chaos(FaultPlan::new(seed));
+    }
+    if let Some(deadline) = opts.deadline {
+        explorer = explorer.deadline(deadline);
+    }
+    let (report, par) = explorer.run_detailed();
+
+    let mut out = format!("{kernel}\n  {}\n\n", kernel.description);
+    if let Some(seed) = opts.chaos {
+        out.push_str(&format!("chaos seed: {seed}\n"));
+    }
+    if let Some(deadline) = opts.deadline {
+        out.push_str(&format!("deadline: {}\n", fmt_duration(deadline)));
+    }
+    out.push_str(&format!(
+        "workers: {}  (merged report is bit-identical to the serial explorer's)\n",
+        par.jobs
+    ));
+    out.push_str(&format!(
+        "buggy: {} interleavings, {} manifest ({})\n",
+        report.schedules_run,
+        report.counts.failures(),
+        report.counts
+    ));
+    if let Some((schedule, outcome)) = &report.first_failure {
+        out.push_str(&format!("witness: [{schedule}] -> {outcome}\n"));
+    }
+    if let Some(reason) = report.truncation {
+        out.push_str(&format!("truncated by: {reason}\n"));
+    }
+    out.push_str(&format!(
+        "wall: {}  ({:.1} schedules/sec)\n",
+        fmt_duration(report.stats.wall),
+        report.schedules_per_sec()
+    ));
+    if stats {
+        let mut table = StatsTable::new(format!("parallel stats ({id}, {} workers)", par.jobs));
+        table
+            .row("tasks spawned", par.tasks_spawned)
+            .row("wasted expansions", par.wasted_expansions)
+            .row("dedup hits (at merge)", report.states_deduped)
+            .row("sleep-set prunes", report.sleep_pruned);
+        for (i, w) in par.workers.iter().enumerate() {
+            table.row(
+                format!("worker {i}"),
+                format!(
+                    "{} claimed ({} stolen), {} filter hits, {} idle parks",
+                    w.claimed, w.steals, w.filter_hits, w.idle_spins
+                ),
+            );
+        }
+        out.push('\n');
+        out.push_str(&table.to_string());
+    }
+    out
 }
 
 /// The `kernel` command under `--chaos` / `--deadline`: every variant
@@ -981,6 +1116,74 @@ mod tests {
         assert!(parse(&args(&["show"])).is_err());
         assert!(parse(&args(&["kernel"])).is_err());
         assert!(parse(&args(&["kernel", "abba", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_explore() {
+        assert_eq!(
+            parse(&args(&["explore", "abba"])).unwrap(),
+            Command::Explore {
+                id: "abba".into(),
+                jobs: None,
+                stats: false
+            }
+        );
+        assert_eq!(
+            parse(&args(&["explore", "abba", "--jobs", "4", "--stats"])).unwrap(),
+            Command::Explore {
+                id: "abba".into(),
+                jobs: Some(4),
+                stats: true
+            }
+        );
+        assert!(parse(&args(&["explore"])).is_err());
+        assert!(parse(&args(&["explore", "abba", "--jobs"])).is_err());
+        assert!(parse(&args(&["explore", "abba", "--jobs", "zero"])).is_err());
+        assert!(parse(&args(&["explore", "abba", "--jobs", "0"])).is_err());
+        assert!(parse(&args(&["explore", "abba", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn run_explore_matches_serial_kernel_numbers() {
+        let out = run(Command::Explore {
+            id: "counter_rmw".into(),
+            jobs: Some(2),
+            stats: false,
+        });
+        assert!(out.contains("workers: 2"));
+        // Same counts the serial explorer reports for this kernel under
+        // dedup: the merged report is bit-identical by construction.
+        let program = registry::by_id("counter_rmw").unwrap().buggy();
+        let serial = Explorer::new(&program).dedup_states().run();
+        assert!(out.contains(&format!(
+            "buggy: {} interleavings, {} manifest",
+            serial.schedules_run,
+            serial.counts.failures()
+        )));
+    }
+
+    #[test]
+    fn run_explore_stats_lists_every_worker() {
+        let out = run(Command::Explore {
+            id: "counter_rmw".into(),
+            jobs: Some(3),
+            stats: true,
+        });
+        assert!(out.contains("parallel stats (counter_rmw, 3 workers)"));
+        for i in 0..3 {
+            assert!(out.contains(&format!("worker {i}")), "missing worker {i}");
+        }
+        assert!(out.contains("tasks spawned"));
+    }
+
+    #[test]
+    fn run_explore_unknown_kernel_reports_error() {
+        let out = run(Command::Explore {
+            id: "nope".into(),
+            jobs: None,
+            stats: false,
+        });
+        assert!(out.contains("no kernel `nope`"));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! The parallel explorer's determinism contract, differentially:
+//!
+//! for **every** kernel variant — all buggy programs and every fixed
+//! variant — the parallel explorer's merged report must equal the
+//! serial explorer's **field for field** (wall time excluded: a clock
+//! writes that field, not the search) at 1, 2 and 4 workers, with and
+//! without state deduplication, with sleep sets, and under a seeded
+//! fault plan. Work stealing may reorder *when* prefixes are expanded,
+//! never *what* the search reports.
+//!
+//! Budgets are capped so dedup-off searches of the big state spaces
+//! truncate rather than blow up; a truncated report is compared just
+//! the same — both explorers must give up at the identical point.
+
+use lfm_kernels::{registry, Variant};
+use lfm_sim::{ExploreLimits, ExploreReport, Explorer, FaultPlan, ParExplorer, Program};
+
+/// Worker counts the contract checks.
+const JOBS: [usize; 3] = [1, 2, 4];
+
+/// The chaos seed (same one the E-chaos experiment and CI smoke use).
+const CHAOS_SEED: u64 = 42;
+
+/// Shared caps: big enough that small kernels explore exhaustively,
+/// small enough that dedup-off searches of the livelock/transaction
+/// kernels truncate quickly instead of dominating the suite.
+fn limits(dedup: bool, sleep: bool) -> ExploreLimits {
+    ExploreLimits {
+        max_steps: 4_000,
+        max_schedules: 20_000,
+        dedup_states: dedup,
+        sleep_sets: sleep,
+        ..ExploreLimits::default()
+    }
+}
+
+fn serial(program: &Program, limits: ExploreLimits, chaos: Option<u64>) -> ExploreReport {
+    let mut explorer = Explorer::new(program).limits(limits);
+    if let Some(seed) = chaos {
+        explorer = explorer.chaos(FaultPlan::new(seed));
+    }
+    explorer.run()
+}
+
+fn parallel(
+    program: &Program,
+    limits: ExploreLimits,
+    chaos: Option<u64>,
+    jobs: usize,
+) -> ExploreReport {
+    let mut explorer = ParExplorer::new(program).limits(limits).jobs(jobs);
+    if let Some(seed) = chaos {
+        explorer = explorer.chaos(FaultPlan::new(seed));
+    }
+    explorer.run()
+}
+
+/// Field-for-field equality, wall time excluded.
+fn assert_identical(label: &str, a: &ExploreReport, b: &ExploreReport) {
+    assert_eq!(a.counts, b.counts, "{label}: counts");
+    assert_eq!(a.schedules_run, b.schedules_run, "{label}: schedules_run");
+    assert_eq!(a.steps_total, b.steps_total, "{label}: steps_total");
+    assert_eq!(a.truncated, b.truncated, "{label}: truncated");
+    assert_eq!(a.first_failure, b.first_failure, "{label}: first_failure");
+    assert_eq!(a.first_ok, b.first_ok, "{label}: first_ok");
+    assert_eq!(
+        a.states_deduped, b.states_deduped,
+        "{label}: states_deduped"
+    );
+    assert_eq!(a.sleep_pruned, b.sleep_pruned, "{label}: sleep_pruned");
+    assert_eq!(a.truncation, b.truncation, "{label}: truncation");
+    assert_eq!(
+        a.stats.branch_points, b.stats.branch_points,
+        "{label}: branch_points"
+    );
+    assert_eq!(a.stats.snapshots, b.stats.snapshots, "{label}: snapshots");
+    assert_eq!(a.stats.max_depth, b.stats.max_depth, "{label}: max_depth");
+    assert_eq!(
+        a.stats.preemption_limited, b.stats.preemption_limited,
+        "{label}: preemption_limited"
+    );
+}
+
+/// One variant against one configuration at every worker count.
+fn check(id: &str, variant: &str, program: &Program, config: &str, limits: ExploreLimits) {
+    let baseline = serial(program, limits.clone(), None);
+    for jobs in JOBS {
+        let merged = parallel(program, limits.clone(), None, jobs);
+        assert_identical(
+            &format!("{id}/{variant} [{config}, jobs={jobs}]"),
+            &baseline,
+            &merged,
+        );
+    }
+}
+
+#[test]
+fn buggy_variants_match_serial_with_and_without_dedup() {
+    for kernel in registry::all() {
+        let program = kernel.buggy();
+        check(kernel.id, "buggy", &program, "plain", limits(false, false));
+        check(kernel.id, "buggy", &program, "dedup", limits(true, false));
+    }
+}
+
+#[test]
+fn buggy_variants_match_serial_with_sleep_sets() {
+    for kernel in registry::all() {
+        let program = kernel.buggy();
+        check(
+            kernel.id,
+            "buggy",
+            &program,
+            "dedup+sleep",
+            limits(true, true),
+        );
+    }
+}
+
+#[test]
+fn fixed_variants_match_serial_with_and_without_dedup() {
+    for kernel in registry::all() {
+        for &fix in kernel.fixes {
+            let program = kernel.build(Variant::Fixed(fix));
+            let variant = format!("fixed:{fix}");
+            check(kernel.id, &variant, &program, "plain", limits(false, false));
+            check(kernel.id, &variant, &program, "dedup", limits(true, false));
+        }
+    }
+}
+
+#[test]
+fn every_variant_matches_serial_under_chaos() {
+    // Sleep sets are disabled automatically under chaos (step-keyed
+    // fault decisions break the commutativity argument) — both
+    // explorers apply the same rule, so the comparison is dedup-only.
+    for kernel in registry::all() {
+        let mut programs = vec![("buggy".to_string(), kernel.buggy())];
+        for &fix in kernel.fixes {
+            programs.push((format!("fixed:{fix}"), kernel.build(Variant::Fixed(fix))));
+        }
+        for (variant, program) in programs {
+            let baseline = serial(&program, limits(true, false), Some(CHAOS_SEED));
+            for jobs in JOBS {
+                let merged = parallel(&program, limits(true, false), Some(CHAOS_SEED), jobs);
+                assert_identical(
+                    &format!(
+                        "{}/{variant} [chaos seed {CHAOS_SEED}, jobs={jobs}]",
+                        kernel.id
+                    ),
+                    &baseline,
+                    &merged,
+                );
+            }
+        }
+    }
+}

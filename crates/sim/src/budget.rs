@@ -17,7 +17,8 @@ use std::time::Duration;
 
 use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
 
-use crate::explore::{ExploreLimits, Explorer, OutcomeCounts, Truncation};
+use crate::explore::{ExploreLimits, ExploreReport, Explorer, OutcomeCounts, Truncation};
+use crate::explore_par::ParExplorer;
 use crate::fault::FaultPlan;
 use crate::outcome::Outcome;
 use crate::program::Program;
@@ -159,17 +160,30 @@ pub struct BudgetedExplorer<'p> {
     budget: Budget,
     fault: Option<FaultPlan>,
     sink: Arc<dyn Sink>,
+    jobs: usize,
 }
 
 impl<'p> BudgetedExplorer<'p> {
-    /// Creates a budgeted explorer with the default (unbounded) budget.
+    /// Creates a budgeted explorer with the default (unbounded) budget
+    /// and a single worker thread.
     pub fn new(program: &'p Program) -> BudgetedExplorer<'p> {
         BudgetedExplorer {
             program,
             budget: Budget::default(),
             fault: None,
             sink: Arc::new(NoopSink),
+            jobs: 1,
         }
+    }
+
+    /// Runs the DFS rungs of the ladder on `jobs` worker threads via
+    /// [`ParExplorer`] (values ≤ 1 stay serial). Reports are identical
+    /// either way — parallel exploration commits results in the serial
+    /// order — so only wall time changes. The PCT rung stays serial:
+    /// sampling is already embarrassingly parallel across *kernels*.
+    pub fn jobs(mut self, jobs: usize) -> BudgetedExplorer<'p> {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Replaces the budget.
@@ -230,11 +244,21 @@ impl<'p> BudgetedExplorer<'p> {
                 sleep_sets: level == DegradeLevel::SleepSet,
                 deadline: slice,
             };
-            let mut explorer = Explorer::new(self.program).limits(limits);
-            if let Some(plan) = self.fault {
-                explorer = explorer.chaos(plan);
-            }
-            let report = explorer.run();
+            let report: ExploreReport = if self.jobs > 1 {
+                let mut explorer = ParExplorer::new(self.program)
+                    .limits(limits)
+                    .jobs(self.jobs);
+                if let Some(plan) = self.fault {
+                    explorer = explorer.chaos(plan);
+                }
+                explorer.run()
+            } else {
+                let mut explorer = Explorer::new(self.program).limits(limits);
+                if let Some(plan) = self.fault {
+                    explorer = explorer.chaos(plan);
+                }
+                explorer.run()
+            };
             levels_tried.push(level);
             let out_of_budget = matches!(
                 report.truncation,
@@ -333,7 +357,10 @@ impl<'p> BudgetedExplorer<'p> {
         if !self.sink.enabled() {
             return;
         }
-        let mut fields = vec![("program", Value::Str(self.program.name()))];
+        let mut fields = vec![
+            ("program", Value::Str(self.program.name())),
+            ("jobs", Value::U64(self.jobs as u64)),
+        ];
         if let Some(d) = self.budget.deadline {
             fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
         }
@@ -512,6 +539,114 @@ mod tests {
         let report = BudgetedExplorer::new(&p).run();
         assert!(report.found_failure());
         assert_eq!(report.level, DegradeLevel::Exhaustive);
+    }
+
+    /// A racy program whose interleaving space is far too large to
+    /// exhaust within a few milliseconds — forces a mid-run deadline.
+    fn wide_racy_counter() -> Program {
+        let mut b = ProgramBuilder::new("wide-racy");
+        let v = b.var("counter", 0);
+        for name in ["a", "b", "c"] {
+            let mut body = Vec::new();
+            for _ in 0..6 {
+                body.push(Stmt::read(v, "tmp"));
+                body.push(Stmt::write(v, Expr::local("tmp") + Expr::lit(1)));
+            }
+            b.thread(name, body);
+        }
+        b.final_assert(Expr::shared(v).eq(Expr::lit(18)), "no lost update");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_ladder_reports_match_serial() {
+        for p in [racy_counter(), locked_counter()] {
+            let serial = BudgetedExplorer::new(&p).run();
+            for jobs in [2, 4] {
+                let par = BudgetedExplorer::new(&p).jobs(jobs).run();
+                assert_eq!(serial.counts, par.counts, "{}: counts", p.name());
+                assert_eq!(
+                    serial.schedules_run,
+                    par.schedules_run,
+                    "{}: schedules",
+                    p.name()
+                );
+                assert_eq!(
+                    serial.first_failure,
+                    par.first_failure,
+                    "{}: witness",
+                    p.name()
+                );
+                assert_eq!(serial.level, par.level, "{}: level", p.name());
+                assert_eq!(
+                    serial.confidence,
+                    par.confidence,
+                    "{}: confidence",
+                    p.name()
+                );
+                assert_eq!(
+                    serial.truncation,
+                    par.truncation,
+                    "{}: truncation",
+                    p.name()
+                );
+                assert_eq!(
+                    serial.levels_tried,
+                    par.levels_tried,
+                    "{}: levels tried",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wall_deadline_mid_parallel_run_reports_wall_deadline() {
+        let p = wide_racy_counter();
+        let report = BudgetedExplorer::new(&p)
+            .budget(Budget::with_deadline(Duration::from_millis(10)))
+            .jobs(4)
+            .run();
+        // The racy space cannot be exhausted in 10ms, but failures fall
+        // out early, so the exhaustive rung is accepted with its
+        // deadline truncation and a degraded confidence grade.
+        assert_eq!(report.level, DegradeLevel::Exhaustive);
+        assert_eq!(report.confidence, Confidence::Partial);
+        assert_eq!(report.truncation, Some(Truncation::WallDeadline));
+        assert!(report.found_failure());
+    }
+
+    #[test]
+    fn stopped_workers_never_drop_partial_counts() {
+        // Whatever the stop flag interrupts, every schedule committed
+        // into the report is fully classified: the histogram total
+        // always equals the schedule count, with no partially-merged
+        // worker state.
+        let p = wide_racy_counter();
+        for jobs in [1, 2, 4] {
+            let report = BudgetedExplorer::new(&p)
+                .budget(Budget::with_deadline(Duration::from_millis(8)))
+                .jobs(jobs)
+                .run();
+            assert_eq!(
+                report.counts.total(),
+                report.schedules_run,
+                "jobs={jobs}: counts dropped on stop"
+            );
+            assert!(report.schedules_run > 0, "jobs={jobs}: no progress at all");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_with_jobs_still_lands_on_pct() {
+        let p = locked_counter();
+        let report = BudgetedExplorer::new(&p)
+            .budget(Budget::with_deadline(Duration::ZERO))
+            .jobs(4)
+            .run();
+        assert_eq!(report.level, DegradeLevel::PctSampling);
+        assert_eq!(report.truncation, Some(Truncation::WallDeadline));
+        assert!(report.schedules_run > 0);
     }
 
     #[test]

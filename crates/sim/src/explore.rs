@@ -24,7 +24,7 @@ use crate::trace::Trace;
 
 /// How often (in completed schedules) an enabled [`Sink`] receives an
 /// `explore`/`progress` event during long sweeps.
-const PROGRESS_EVERY: u64 = 25_000;
+pub(crate) const PROGRESS_EVERY: u64 = 25_000;
 
 /// Resource bounds for an exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,7 +110,7 @@ impl OutcomeCounts {
         self.assert_failed + self.deadlock + self.misuse
     }
 
-    fn add(&mut self, outcome: &Outcome) {
+    pub(crate) fn add(&mut self, outcome: &Outcome) {
         match outcome {
             Outcome::Ok => self.ok += 1,
             Outcome::AssertFailed { .. } => self.assert_failed += 1,

@@ -1,0 +1,1318 @@
+//! Parallel state-space exploration with a deterministic merge.
+//!
+//! [`ParExplorer`] shards the schedule frontier across N OS worker
+//! threads and still produces a report **bit-identical** to the serial
+//! [`Explorer`](crate::Explorer)'s (modulo `stats.wall`, which times the
+//! run). The trick is to split the search into a *speculative* half and
+//! a *canonical* half:
+//!
+//! - **Workers** pull *branch prefixes* (snapshots of the executor at a
+//!   state with more than one enabled thread) from work-stealing deques
+//!   and *expand* them: for every enabled choice they clone the
+//!   snapshot, take the step, and run forward to the next branch point
+//!   or terminal outcome — exactly the per-choice body of the serial
+//!   DFS loop. Expansion is a pure function of the prefix (sleep sets,
+//!   preemption accounting, and [`FaultPlan`] decisions are all
+//!   computed locally and deterministically), so it can happen on any
+//!   worker, in any order, without affecting the result.
+//! - The **coordinator** (the calling thread) walks the expansion
+//!   results in exactly the serial DFS's preorder and owns every
+//!   order-sensitive decision at *commit* time: state-dedup verdicts,
+//!   schedule/wall budgets, outcome classification, witness selection
+//!   (`first_failure` / `first_ok`), and all [`ExploreStats`] counters.
+//!
+//! Because only the commit walk mutates the report, and the walk
+//! visits records in the serial order, every field of the merged
+//! [`ExploreReport`] matches the serial explorer's for the same program
+//! and budget — the differential harness in
+//! `crates/kernels/tests/par_equivalence.rs` asserts this field for
+//! field over every kernel variant.
+//!
+//! The seen-state set is a sharded, lock-striped table over the same
+//! [`Executor::state_key`] hashing the serial explorer uses, mapping
+//! each key to the id of the prefix that committed it first. The
+//! coordinator is its only writer (inserts happen at commit, in
+//! preorder), which keeps dedup decisions canonical; workers read it as
+//! a *speculation filter* — a key already won by a *different* prefix
+//! is guaranteed to be deduped at commit, so the expansion can be
+//! skipped early. (The winner id matters: the committed prefix itself
+//! observes its own key in the table and must still be expanded.)
+//! Wall-clock deadlines and early stops propagate through a shared
+//! atomic stop flag that every worker polls between choices.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
+
+use crate::exec::{Executor, RecordMode};
+use crate::explore::{
+    ExploreLimits, ExploreReport, ExploreStats, OutcomeCounts, Truncation, PROGRESS_EVERY,
+};
+use crate::fault::FaultPlan;
+use crate::ids::ThreadId;
+use crate::outcome::Outcome;
+use crate::program::Program;
+use crate::schedule::Schedule;
+
+/// Number of independently locked shards in the seen-state set. Spreads
+/// worker-side filter reads and coordinator-side commit writes over
+/// distinct locks.
+const SEEN_STRIPES: usize = 16;
+
+/// How long an idle worker or a waiting coordinator parks before
+/// re-checking its condition. Bounds the lost-wakeup window of the
+/// cross-lock notify protocol.
+const PARK: Duration = Duration::from_micros(200);
+
+/// Sharded, lock-striped seen-state set keyed by
+/// [`Executor::state_key`], mapping each key to the id of the branch
+/// prefix that committed it first. The commit walk is the only writer,
+/// so an observed entry is a *stable* verdict — which is what makes the
+/// worker-side speculation filter sound: a prefix whose key is already
+/// owned by a different id can never survive its own commit.
+#[derive(Debug)]
+struct StripedSet {
+    stripes: Vec<RwLock<HashMap<u64, u64>>>,
+}
+
+impl StripedSet {
+    fn new() -> StripedSet {
+        StripedSet {
+            stripes: (0..SEEN_STRIPES).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    fn stripe(&self, key: u64) -> &RwLock<HashMap<u64, u64>> {
+        &self.stripes[(key as usize) % SEEN_STRIPES]
+    }
+
+    /// Coordinator-only: claims `key` for prefix `id` at commit time.
+    /// Returns `false` when the key was already won by an earlier
+    /// prefix (the dedup verdict).
+    fn insert(&self, key: u64, id: u64) -> bool {
+        match self.stripe(key).write().expect("seen stripe").entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(id);
+                true
+            }
+        }
+    }
+
+    /// Worker-side speculation filter: `true` when `key` was committed
+    /// by a prefix *other than* `id`, i.e. expanding `id` is dead work.
+    fn lost_race(&self, key: u64, id: u64) -> bool {
+        self.stripe(key)
+            .read()
+            .expect("seen stripe")
+            .get(&key)
+            .is_some_and(|&winner| winner != id)
+    }
+}
+
+/// An unexplored branch prefix: the unit of work a worker claims.
+#[derive(Debug)]
+struct Task {
+    id: u64,
+    /// `state_key` of the snapshot (0 when dedup is off).
+    key: u64,
+    exec: Executor,
+    enabled: Vec<ThreadId>,
+    preemptions: u32,
+    sleep: Vec<ThreadId>,
+    /// Set by the coordinator when this prefix is deduped at commit;
+    /// lets an in-flight expansion abort early.
+    cancel: Arc<AtomicBool>,
+}
+
+/// One child of an expanded branch prefix, in serial choice order.
+#[derive(Debug)]
+enum ChildRec {
+    /// Choice skipped by the parent's sleep set.
+    SleepPruned,
+    /// Choice skipped by the preemption bound.
+    PreemptionLimited,
+    /// Run-forward ended with every enabled thread asleep: the subtree
+    /// is covered by explored siblings.
+    Redundant,
+    /// A complete schedule. The witness schedule is carried only by the
+    /// first failing and first passing child of each expansion — the
+    /// only ones the commit walk can ever need.
+    Terminal {
+        outcome: Outcome,
+        steps: u64,
+        schedule: Option<Schedule>,
+    },
+    /// A deeper branch prefix; its [`Task`] is handed to the deques
+    /// when the parent commits.
+    Branch {
+        id: u64,
+        key: u64,
+        cancel: Arc<AtomicBool>,
+        task: Option<Box<Task>>,
+    },
+}
+
+/// Result of expanding one branch prefix. `Err` carries a panic payload
+/// out of a worker so the coordinator can re-raise it.
+type Expansion = Result<Vec<ChildRec>, String>;
+
+/// Per-worker activity counters, updated with relaxed atomics and
+/// snapshotted into [`WorkerStats`] after the run.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    claimed: AtomicU64,
+    steals: AtomicU64,
+    filter_hits: AtomicU64,
+    idle_spins: AtomicU64,
+}
+
+/// What one worker thread did during a parallel exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Branch prefixes this worker claimed (from its own deque, a
+    /// steal, or the injector).
+    pub claimed: u64,
+    /// Claims that came from another worker's deque.
+    pub steals: u64,
+    /// Claims skipped because the seen-state filter proved the prefix
+    /// would be deduped at commit.
+    pub filter_hits: u64,
+    /// Times the worker found every deque empty and parked.
+    pub idle_spins: u64,
+}
+
+/// Operational statistics of a [`ParExplorer`] run, alongside the
+/// deterministic [`ExploreReport`]. Everything here describes *how* the
+/// work was scheduled, never *what* was found, and so may vary from run
+/// to run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Number of worker threads used.
+    pub jobs: usize,
+    /// Per-worker activity counters.
+    pub workers: Vec<WorkerStats>,
+    /// Branch prefixes handed to the deques (including the root).
+    pub tasks_spawned: u64,
+    /// Expansions discarded because the prefix was deduped at commit
+    /// after the work had already been claimed.
+    pub wasted_expansions: u64,
+}
+
+impl ParStats {
+    /// Sum of `claimed` over all workers.
+    pub fn total_claimed(&self) -> u64 {
+        self.workers.iter().map(|w| w.claimed).sum()
+    }
+
+    /// Sum of `steals` over all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Sum of `filter_hits` over all workers.
+    pub fn total_filter_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.filter_hits).sum()
+    }
+}
+
+/// State shared between the coordinator and the worker pool.
+#[derive(Debug)]
+struct Shared {
+    /// One deque per worker; the owner pops the front, thieves steal
+    /// the back. The coordinator round-robins committed children across
+    /// deques, so every worker has a home queue to drain before it goes
+    /// stealing.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Parking lot for idle workers (paired mutex carries no data; the
+    /// queues themselves are the condition).
+    idle: Mutex<()>,
+    work_cv: Condvar,
+    /// Finished expansions keyed by task id, consumed by the commit
+    /// walk.
+    results: Mutex<HashMap<u64, Expansion>>,
+    result_cv: Condvar,
+    stop: AtomicBool,
+    seen: StripedSet,
+    next_id: AtomicU64,
+    counters: Vec<WorkerCounters>,
+}
+
+impl Shared {
+    fn new(jobs: usize) -> Shared {
+        Shared {
+            queues: (0..jobs).map(|_| Mutex::default()).collect(),
+            idle: Mutex::new(()),
+            work_cv: Condvar::new(),
+            results: Mutex::default(),
+            result_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            seen: StripedSet::new(),
+            next_id: AtomicU64::new(1),
+            counters: (0..jobs).map(|_| WorkerCounters::default()).collect(),
+        }
+    }
+
+    /// Sets the stop flag and wakes every parked worker. Called on
+    /// every coordinator exit path (including unwinds, via
+    /// [`StopGuard`]) so no worker outlives the walk.
+    fn halt(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _guard = self.idle.lock().expect("idle lock");
+        self.work_cv.notify_all();
+    }
+}
+
+/// Drop guard guaranteeing workers are released even if the commit walk
+/// panics; `std::thread::scope` would otherwise join forever.
+struct StopGuard<'a>(&'a Shared);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.halt();
+    }
+}
+
+/// Expands one branch prefix: the per-choice body of the serial DFS
+/// loop (sleep sets, preemption bounds, snapshot, run-forward), minus
+/// everything order-sensitive (dedup, budgets, classification), which
+/// the coordinator replays at commit time.
+fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) -> Vec<ChildRec> {
+    let mut children = Vec::with_capacity(task.enabled.len());
+    let mut sleep = task.sleep.clone();
+    let mut have_fail_witness = false;
+    let mut have_ok_witness = false;
+    for &choice in &task.enabled {
+        // A set stop flag means the coordinator has stopped walking; a
+        // set cancel flag means this prefix was deduped at commit.
+        // Either way the (partial) expansion will never be read.
+        if shared.stop.load(Ordering::Relaxed) || task.cancel.load(Ordering::Relaxed) {
+            break;
+        }
+        if sleep_on && sleep.contains(&choice) {
+            children.push(ChildRec::SleepPruned);
+            continue;
+        }
+
+        // Preemption accounting: switching away from a thread that is
+        // still enabled counts against the bound.
+        let mut preemptions = task.preemptions;
+        if let Some(bound) = limits.max_preemptions {
+            let last = task.exec.schedule_taken().choices().last().copied();
+            if let Some(last) = last {
+                if last != choice && task.enabled.contains(&last) {
+                    preemptions += 1;
+                    if preemptions > bound {
+                        children.push(ChildRec::PreemptionLimited);
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Sleep propagation: a sleeping sibling stays asleep in the
+        // child iff its pending op commutes with the chosen one.
+        let mut child_sleep: Vec<ThreadId> = Vec::new();
+        if sleep_on {
+            let choice_fp = task.exec.next_footprint(choice);
+            for &s in &sleep {
+                let keep = match (&choice_fp, task.exec.next_footprint(s)) {
+                    (Some(a), Some(b)) => a.independent(&b),
+                    _ => false,
+                };
+                if keep {
+                    child_sleep.push(s);
+                }
+            }
+            sleep.push(choice);
+        }
+
+        let mut child = task.exec.clone();
+        child
+            .step(choice)
+            .expect("explorer only chooses enabled threads");
+
+        enum Next {
+            Terminal(Executor, Outcome),
+            Branch(Executor, Vec<ThreadId>),
+            Redundant,
+        }
+        let next = loop {
+            if let Some(outcome) = child.outcome().cloned() {
+                break Next::Terminal(child, outcome);
+            }
+            if child.steps() >= limits.max_steps {
+                break Next::Terminal(child, Outcome::StepLimit);
+            }
+            let enabled = child.enabled();
+            if sleep_on {
+                child_sleep.retain(|t| enabled.contains(t));
+                if !enabled.is_empty() && enabled.iter().all(|t| child_sleep.contains(t)) {
+                    break Next::Redundant;
+                }
+            }
+            if enabled.len() == 1 {
+                if sleep_on && !child_sleep.is_empty() {
+                    // Wake sleepers whose op conflicts with the forced
+                    // step we are about to take.
+                    let fp = child.next_footprint(enabled[0]);
+                    child_sleep.retain(|&t| match (&fp, child.next_footprint(t)) {
+                        (Some(a), Some(b)) => a.independent(&b),
+                        _ => false,
+                    });
+                }
+                child.step(enabled[0]).expect("sole enabled thread");
+            } else {
+                break Next::Branch(child, enabled);
+            }
+        };
+        match next {
+            Next::Terminal(exec, outcome) => {
+                // Only the first failing / first passing child of an
+                // expansion can ever become the global witness, so only
+                // those carry their schedule.
+                let want_witness = (outcome.is_failure() && !have_fail_witness)
+                    || (outcome.is_ok() && !have_ok_witness);
+                let schedule = want_witness.then(|| exec.schedule_taken().clone());
+                have_fail_witness |= outcome.is_failure();
+                have_ok_witness |= outcome.is_ok();
+                children.push(ChildRec::Terminal {
+                    outcome,
+                    steps: exec.steps() as u64,
+                    schedule,
+                });
+            }
+            Next::Branch(exec, enabled) => {
+                let key = if limits.dedup_states {
+                    exec.state_key()
+                } else {
+                    0
+                };
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                let cancel = Arc::new(AtomicBool::new(false));
+                children.push(ChildRec::Branch {
+                    id,
+                    key,
+                    cancel: Arc::clone(&cancel),
+                    task: Some(Box::new(Task {
+                        id,
+                        key,
+                        exec,
+                        enabled,
+                        preemptions,
+                        sleep: child_sleep,
+                        cancel,
+                    })),
+                });
+            }
+            Next::Redundant => children.push(ChildRec::Redundant),
+        }
+    }
+    children
+}
+
+/// Claims a task: own deque first (front), then a sweep over the other
+/// workers' deques (back — classic work stealing).
+fn claim(me: usize, shared: &Shared) -> Option<(Task, bool)> {
+    if let Some(task) = shared.queues[me].lock().expect("queue lock").pop_front() {
+        return Some((task, false));
+    }
+    let n = shared.queues.len();
+    for d in 1..n {
+        let victim = (me + d) % n;
+        if let Some(task) = shared.queues[victim].lock().expect("queue lock").pop_back() {
+            return Some((task, true));
+        }
+    }
+    None
+}
+
+fn worker_loop(me: usize, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) {
+    let counters = &shared.counters[me];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match claim(me, shared) {
+            Some((task, stolen)) => {
+                counters.claimed.fetch_add(1, Ordering::Relaxed);
+                if stolen {
+                    counters.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                if task.cancel.load(Ordering::Relaxed) {
+                    continue;
+                }
+                // Speculation filter: the coordinator is the seen set's
+                // only writer, so a key owned by another prefix proves
+                // this one will be deduped at commit and the expansion
+                // is dead work. (The owner itself must still expand —
+                // its key lands in the set at its *own* commit, right
+                // before the coordinator waits on this expansion.)
+                if limits.dedup_states && shared.seen.lost_race(task.key, task.id) {
+                    counters.filter_hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let expansion =
+                    catch_unwind(AssertUnwindSafe(|| expand(&task, limits, sleep_on, shared)))
+                        .map_err(|payload| {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_owned())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "worker panicked".to_owned());
+                            msg
+                        });
+                let mut results = shared.results.lock().expect("results lock");
+                results.insert(task.id, expansion);
+                shared.result_cv.notify_one();
+            }
+            None => {
+                counters.idle_spins.fetch_add(1, Ordering::Relaxed);
+                let guard = shared.idle.lock().expect("idle lock");
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Timed park: a task can land between the failed claim
+                // sweep and this wait, so never sleep unbounded.
+                let _ = shared.work_cv.wait_timeout(guard, PARK).expect("idle wait");
+            }
+        }
+    }
+}
+
+/// One frame of the coordinator's commit walk; mirrors the serial DFS
+/// stack one-to-one.
+enum Frame {
+    /// Waiting for the expansion of a committed branch prefix.
+    Pending(u64),
+    /// Walking an expansion's children in serial choice order.
+    Open {
+        children: Vec<ChildRec>,
+        next: usize,
+    },
+}
+
+/// Parallel depth-first interleaving explorer over a [`Program`].
+///
+/// Produces reports bit-identical to [`Explorer`](crate::Explorer) for
+/// the same program and [`ExploreLimits`] (see the module docs for the
+/// determinism argument); `run_detailed` additionally returns
+/// [`ParStats`] describing worker activity.
+#[derive(Debug)]
+pub struct ParExplorer<'p> {
+    program: &'p Program,
+    limits: ExploreLimits,
+    jobs: usize,
+    sink: Arc<dyn Sink>,
+    fault: Option<FaultPlan>,
+}
+
+impl<'p> ParExplorer<'p> {
+    /// Creates a parallel explorer with default limits, the no-op sink,
+    /// and [`ParExplorer::auto_jobs`] worker threads.
+    pub fn new(program: &'p Program) -> ParExplorer<'p> {
+        ParExplorer {
+            program,
+            limits: ExploreLimits::default(),
+            jobs: ParExplorer::auto_jobs(),
+            sink: Arc::new(NoopSink),
+            fault: None,
+        }
+    }
+
+    /// Default worker count: the host's available parallelism, capped
+    /// at 8 (beyond that the commit walk is the bottleneck for the
+    /// kernel-scale programs this repo studies).
+    pub fn auto_jobs() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1). The
+    /// report is identical whatever the value; only wall time and
+    /// [`ParStats`] change.
+    pub fn jobs(mut self, jobs: usize) -> ParExplorer<'p> {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Streams `explore` scope events to `sink` (start, periodic
+    /// progress, per-worker activity, final report). Observation only.
+    pub fn with_sink(mut self, sink: Arc<dyn Sink>) -> ParExplorer<'p> {
+        self.sink = sink;
+        self
+    }
+
+    /// Replaces the resource bounds.
+    pub fn limits(mut self, limits: ExploreLimits) -> ParExplorer<'p> {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets a CHESS-style preemption bound.
+    pub fn preemption_bound(mut self, bound: u32) -> ParExplorer<'p> {
+        self.limits.max_preemptions = Some(bound);
+        self
+    }
+
+    /// Stops at the first failure.
+    pub fn stop_on_first_failure(mut self) -> ParExplorer<'p> {
+        self.limits.stop_on_first_failure = true;
+        self
+    }
+
+    /// Enables state deduplication (see [`ExploreLimits::dedup_states`]).
+    pub fn dedup_states(mut self) -> ParExplorer<'p> {
+        self.limits.dedup_states = true;
+        self
+    }
+
+    /// Enables the sleep-set partial-order reduction
+    /// (see [`ExploreLimits::sleep_sets`]).
+    pub fn sleep_sets(mut self) -> ParExplorer<'p> {
+        self.limits.sleep_sets = true;
+        self
+    }
+
+    /// Sets a wall-clock deadline for the exploration.
+    pub fn deadline(mut self, deadline: Duration) -> ParExplorer<'p> {
+        self.limits.deadline = Some(deadline);
+        self
+    }
+
+    /// Explores under a deterministic [`FaultPlan`]. Fault decisions
+    /// are pure per-(seed, step, thread) functions, so they are safe to
+    /// evaluate from any worker; like the serial explorer this strips
+    /// stall faults and disables sleep sets.
+    pub fn chaos(mut self, plan: FaultPlan) -> ParExplorer<'p> {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Runs the exploration and returns the merged report.
+    pub fn run(&self) -> ExploreReport {
+        self.run_detailed().0
+    }
+
+    /// Runs the exploration, returning the merged report plus worker
+    /// activity statistics.
+    pub fn run_detailed(&self) -> (ExploreReport, ParStats) {
+        let jobs = self.jobs.max(1);
+        let stopwatch = Stopwatch::start();
+        let sleep_on = self.limits.sleep_sets && self.fault.is_none();
+        let mut deadline_hit = false;
+        let mut report = ExploreReport {
+            counts: OutcomeCounts::default(),
+            schedules_run: 0,
+            steps_total: 0,
+            truncated: false,
+            first_failure: None,
+            first_ok: None,
+            states_deduped: 0,
+            sleep_pruned: 0,
+            truncation: None,
+            stats: ExploreStats::default(),
+        };
+        self.emit_start(sleep_on, jobs);
+
+        let mut root = Executor::with_record(self.program, RecordMode::Off);
+        if let Some(plan) = self.fault {
+            // Stall faults only bias samplers; a systematic search must
+            // strip them (see `FaultPlan::without_stalls`).
+            root.set_fault_plan(plan.without_stalls());
+        }
+        if let Some(outcome) = root.outcome().cloned() {
+            // Program terminates without any scheduling choice: no
+            // workers needed.
+            self.classify(&mut report, outcome, root.steps() as u64, || {
+                root.schedule_taken().clone()
+            });
+            let stats = ParStats {
+                jobs,
+                workers: vec![WorkerStats::default(); jobs],
+                tasks_spawned: 0,
+                wasted_expansions: 0,
+            };
+            self.finish(&mut report, stopwatch, false, &stats);
+            return (report, stats);
+        }
+
+        let shared = Shared::new(jobs);
+        if self.limits.dedup_states {
+            // Pre-claim the root key for the root prefix (id 0),
+            // mirroring the serial explorer's pre-loop insert.
+            shared.seen.insert(root.state_key(), 0);
+        }
+        let enabled = root.enabled();
+        report.stats.branch_points += 1;
+        report.stats.max_depth = 1;
+        let root_key = if self.limits.dedup_states {
+            root.state_key()
+        } else {
+            0
+        };
+        let root_task = Task {
+            id: 0,
+            key: root_key,
+            exec: root,
+            enabled,
+            preemptions: 0,
+            sleep: Vec::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        let mut tasks_spawned: u64 = 0;
+        let mut wasted_expansions: u64 = 0;
+
+        std::thread::scope(|scope| {
+            let guard = StopGuard(&shared);
+            for me in 0..jobs {
+                let shared = &shared;
+                let limits = &self.limits;
+                scope.spawn(move || worker_loop(me, limits, sleep_on, shared));
+            }
+
+            let mut rr = 0usize;
+            let mut enqueue = |task: Task, spawned: &mut u64| {
+                *spawned += 1;
+                shared.queues[rr % jobs]
+                    .lock()
+                    .expect("queue lock")
+                    .push_back(task);
+                rr += 1;
+                let _idle = shared.idle.lock().expect("idle lock");
+                shared.work_cv.notify_one();
+            };
+            enqueue(root_task, &mut tasks_spawned);
+
+            // The commit walk: a faithful replay of the serial DFS
+            // loop. Each iteration performs the serial loop-top budget
+            // checks, then processes exactly one record (or resolves a
+            // pending expansion / pops an exhausted frame).
+            let mut walk: Vec<Frame> = vec![Frame::Pending(0)];
+            'walk: while let Some(top) = walk.last_mut() {
+                if let Some(deadline) = self.limits.deadline {
+                    if stopwatch.elapsed() >= deadline {
+                        deadline_hit = true;
+                        report.truncated = true;
+                        break;
+                    }
+                }
+                if report.schedules_run >= self.limits.max_schedules {
+                    report.truncated = true;
+                    break;
+                }
+                match top {
+                    Frame::Pending(id) => {
+                        let id = *id;
+                        let Some(expansion) = self.wait_result(&shared, id, stopwatch) else {
+                            // Deadline elapsed while waiting.
+                            deadline_hit = true;
+                            report.truncated = true;
+                            break;
+                        };
+                        let mut children = match expansion {
+                            Ok(children) => children,
+                            Err(panic_msg) => {
+                                // Re-raise a worker panic on the caller
+                                // thread, like the serial explorer would.
+                                panic!("parallel exploration worker panicked: {panic_msg}");
+                            }
+                        };
+                        // Hand every child prefix to the pool *before*
+                        // walking the subtree: those expansions overlap
+                        // with the commits below.
+                        for rec in &mut children {
+                            if let ChildRec::Branch { task, .. } = rec {
+                                if let Some(task) = task.take() {
+                                    enqueue(*task, &mut tasks_spawned);
+                                }
+                            }
+                        }
+                        *top = Frame::Open { children, next: 0 };
+                    }
+                    Frame::Open { children, next } => {
+                        if *next >= children.len() {
+                            walk.pop();
+                            continue;
+                        }
+                        let rec = std::mem::replace(&mut children[*next], ChildRec::SleepPruned);
+                        *next += 1;
+                        match rec {
+                            ChildRec::SleepPruned => report.sleep_pruned += 1,
+                            ChildRec::PreemptionLimited => report.stats.preemption_limited += 1,
+                            ChildRec::Redundant => {
+                                report.stats.snapshots += 1;
+                                report.sleep_pruned += 1;
+                            }
+                            ChildRec::Terminal {
+                                outcome,
+                                steps,
+                                schedule,
+                            } => {
+                                report.stats.snapshots += 1;
+                                self.classify(&mut report, outcome, steps, || {
+                                    schedule
+                                        .expect("first failing/passing child carries its schedule")
+                                });
+                                if self.limits.stop_on_first_failure
+                                    && report.first_failure.is_some()
+                                {
+                                    break 'walk;
+                                }
+                            }
+                            ChildRec::Branch {
+                                id, key, cancel, ..
+                            } => {
+                                report.stats.snapshots += 1;
+                                if self.limits.dedup_states && !shared.seen.insert(key, id) {
+                                    report.states_deduped += 1;
+                                    cancel.store(true, Ordering::Relaxed);
+                                    // Drop any finished expansion of the
+                                    // duplicate; it will never be read.
+                                    if shared
+                                        .results
+                                        .lock()
+                                        .expect("results lock")
+                                        .remove(&id)
+                                        .is_some()
+                                    {
+                                        wasted_expansions += 1;
+                                    }
+                                    continue;
+                                }
+                                report.stats.branch_points += 1;
+                                walk.push(Frame::Pending(id));
+                                report.stats.max_depth =
+                                    report.stats.max_depth.max(walk.len() as u64);
+                            }
+                        }
+                    }
+                }
+            }
+            drop(guard); // halts the pool; scope joins the workers
+        });
+
+        let stats = ParStats {
+            jobs,
+            workers: shared
+                .counters
+                .iter()
+                .map(|c| WorkerStats {
+                    claimed: c.claimed.load(Ordering::Relaxed),
+                    steals: c.steals.load(Ordering::Relaxed),
+                    filter_hits: c.filter_hits.load(Ordering::Relaxed),
+                    idle_spins: c.idle_spins.load(Ordering::Relaxed),
+                })
+                .collect(),
+            tasks_spawned,
+            wasted_expansions,
+        };
+        self.finish(&mut report, stopwatch, deadline_hit, &stats);
+        (report, stats)
+    }
+
+    /// Blocks until the expansion of `id` is available, or the deadline
+    /// elapses (`None`). Never deadlocks: the coordinator only waits on
+    /// prefixes that survived its own dedup check, and workers only
+    /// skip prefixes the filter proves *cannot* survive it.
+    fn wait_result(&self, shared: &Shared, id: u64, stopwatch: Stopwatch) -> Option<Expansion> {
+        let mut results = shared.results.lock().expect("results lock");
+        loop {
+            if let Some(expansion) = results.remove(&id) {
+                return Some(expansion);
+            }
+            if let Some(deadline) = self.limits.deadline {
+                if stopwatch.elapsed() >= deadline {
+                    return None;
+                }
+            }
+            let (guard, _) = shared
+                .result_cv
+                .wait_timeout(results, PARK)
+                .expect("result wait");
+            results = guard;
+        }
+    }
+
+    /// Commit-side terminal classification; mirrors the serial
+    /// `Explorer::classify` (the schedule is produced lazily because
+    /// only the first failure / first ok ever need one).
+    fn classify(
+        &self,
+        report: &mut ExploreReport,
+        outcome: Outcome,
+        steps: u64,
+        schedule: impl FnOnce() -> Schedule,
+    ) {
+        report.schedules_run += 1;
+        report.steps_total += steps;
+        report.counts.add(&outcome);
+        if self.sink.enabled() && report.schedules_run.is_multiple_of(PROGRESS_EVERY) {
+            self.sink.emit(&Event {
+                scope: "explore",
+                name: "progress",
+                fields: &[
+                    ("program", Value::Str(self.program.name())),
+                    ("schedules", Value::U64(report.schedules_run)),
+                    ("steps", Value::U64(report.steps_total)),
+                    ("failures", Value::U64(report.counts.failures())),
+                ],
+            });
+        }
+        let need_fail = outcome.is_failure() && report.first_failure.is_none();
+        let need_ok = outcome.is_ok() && report.first_ok.is_none();
+        if need_fail || need_ok {
+            let schedule = schedule();
+            if need_fail {
+                report.first_failure = Some((schedule, outcome));
+            } else {
+                report.first_ok = Some(schedule);
+            }
+        }
+    }
+
+    fn emit_start(&self, sleep_on: bool, jobs: usize) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let mut fields = vec![
+            ("program", Value::Str(self.program.name())),
+            ("threads", Value::U64(self.program.n_threads() as u64)),
+            ("max_schedules", Value::U64(self.limits.max_schedules)),
+            ("sleep_sets", Value::Bool(sleep_on)),
+            ("dedup_states", Value::Bool(self.limits.dedup_states)),
+            ("jobs", Value::U64(jobs as u64)),
+        ];
+        if let Some(d) = self.limits.deadline {
+            fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
+        }
+        if let Some(plan) = &self.fault {
+            fields.push(("chaos_seed", Value::U64(plan.seed)));
+        }
+        self.sink.emit(&Event {
+            scope: "explore",
+            name: "start",
+            fields: &fields,
+        });
+    }
+
+    /// Derives the truncation reason (identical to the serial
+    /// explorer's priority order), stamps the wall time, and emits the
+    /// final report plus one activity event per worker.
+    fn finish(
+        &self,
+        report: &mut ExploreReport,
+        stopwatch: Stopwatch,
+        deadline_hit: bool,
+        stats: &ParStats,
+    ) {
+        report.truncation = if deadline_hit {
+            Some(Truncation::WallDeadline)
+        } else if report.truncated {
+            Some(Truncation::ScheduleBudget)
+        } else if report.counts.step_limit > 0 {
+            Some(Truncation::StepBudget)
+        } else if report.stats.preemption_limited > 0 {
+            Some(Truncation::PreemptionBound)
+        } else {
+            None
+        };
+        report.stats.wall = stopwatch.elapsed();
+        if !self.sink.enabled() {
+            return;
+        }
+        for (i, w) in stats.workers.iter().enumerate() {
+            self.sink.emit(&Event {
+                scope: "explore",
+                name: "worker",
+                fields: &[
+                    ("program", Value::Str(self.program.name())),
+                    ("worker", Value::U64(i as u64)),
+                    ("claimed", Value::U64(w.claimed)),
+                    ("steals", Value::U64(w.steals)),
+                    ("filter_hits", Value::U64(w.filter_hits)),
+                    ("idle_spins", Value::U64(w.idle_spins)),
+                ],
+            });
+        }
+        let truncation = report
+            .truncation
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "none".to_owned());
+        let mut fields = vec![
+            ("program", Value::Str(self.program.name())),
+            ("jobs", Value::U64(stats.jobs as u64)),
+            ("schedules", Value::U64(report.schedules_run)),
+            ("steps", Value::U64(report.steps_total)),
+            ("ok", Value::U64(report.counts.ok)),
+            ("assert_failed", Value::U64(report.counts.assert_failed)),
+            ("deadlock", Value::U64(report.counts.deadlock)),
+            ("step_limit", Value::U64(report.counts.step_limit)),
+            ("tx_retry_limit", Value::U64(report.counts.tx_retry_limit)),
+            ("misuse", Value::U64(report.counts.misuse)),
+            ("branch_points", Value::U64(report.stats.branch_points)),
+            ("snapshots", Value::U64(report.stats.snapshots)),
+            ("max_depth", Value::U64(report.stats.max_depth)),
+            ("sleep_pruned", Value::U64(report.sleep_pruned)),
+            ("states_deduped", Value::U64(report.states_deduped)),
+            (
+                "preemption_limited",
+                Value::U64(report.stats.preemption_limited),
+            ),
+            ("tasks_spawned", Value::U64(stats.tasks_spawned)),
+            ("steals", Value::U64(stats.total_steals())),
+            ("filter_hits", Value::U64(stats.total_filter_hits())),
+            ("wasted_expansions", Value::U64(stats.wasted_expansions)),
+            ("truncation", Value::Str(&truncation)),
+            ("schedules_per_sec", Value::F64(report.schedules_per_sec())),
+            ("wall_us", Value::U64(report.stats.wall.as_micros() as u64)),
+        ];
+        if let Some(d) = self.limits.deadline {
+            fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
+        }
+        if let Some(plan) = &self.fault {
+            fields.push(("chaos_seed", Value::U64(plan.seed)));
+        }
+        self.sink.emit(&Event {
+            scope: "explore",
+            name: "report",
+            fields: &fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use crate::expr::Expr;
+    use crate::generate::{generate, GenConfig};
+    use crate::program::ProgramBuilder;
+    use crate::stmt::Stmt;
+
+    fn racy_counter(threads: usize, rounds: usize) -> Program {
+        let mut b = ProgramBuilder::new("par-racy-counter");
+        let counter = b.var("counter", 0);
+        for t in 0..threads {
+            let name: &'static str = Box::leak(format!("t{t}").into_boxed_str());
+            let mut body = Vec::new();
+            for _ in 0..rounds {
+                body.push(Stmt::read(counter, "tmp"));
+                body.push(Stmt::write(counter, Expr::local("tmp") + Expr::lit(1)));
+            }
+            b.thread(name, body);
+        }
+        b.final_assert(
+            Expr::shared(counter).eq(Expr::lit((threads * rounds) as i64)),
+            "all increments kept",
+        );
+        b.build().expect("valid program")
+    }
+
+    fn locked_counter(threads: usize, rounds: usize) -> Program {
+        let mut b = ProgramBuilder::new("par-locked-counter");
+        let counter = b.var("counter", 0);
+        let lock = b.mutex();
+        for t in 0..threads {
+            let name: &'static str = Box::leak(format!("t{t}").into_boxed_str());
+            let mut body = Vec::new();
+            for _ in 0..rounds {
+                body.push(Stmt::Lock(lock));
+                body.push(Stmt::read(counter, "tmp"));
+                body.push(Stmt::write(counter, Expr::local("tmp") + Expr::lit(1)));
+                body.push(Stmt::Unlock(lock));
+            }
+            b.thread(name, body);
+        }
+        b.final_assert(
+            Expr::shared(counter).eq(Expr::lit((threads * rounds) as i64)),
+            "all increments kept",
+        );
+        b.build().expect("valid program")
+    }
+
+    /// Field-for-field equality, ignoring only the nondeterministic
+    /// wall time — the same comparison the differential harness in
+    /// `crates/kernels/tests/par_equivalence.rs` performs.
+    fn assert_reports_identical(serial: &ExploreReport, par: &ExploreReport, label: &str) {
+        assert_eq!(serial.counts, par.counts, "{label}: counts");
+        assert_eq!(
+            serial.schedules_run, par.schedules_run,
+            "{label}: schedules_run"
+        );
+        assert_eq!(serial.steps_total, par.steps_total, "{label}: steps_total");
+        assert_eq!(serial.truncated, par.truncated, "{label}: truncated");
+        assert_eq!(
+            serial.first_failure, par.first_failure,
+            "{label}: first_failure"
+        );
+        assert_eq!(serial.first_ok, par.first_ok, "{label}: first_ok");
+        assert_eq!(
+            serial.states_deduped, par.states_deduped,
+            "{label}: states_deduped"
+        );
+        assert_eq!(
+            serial.sleep_pruned, par.sleep_pruned,
+            "{label}: sleep_pruned"
+        );
+        assert_eq!(serial.truncation, par.truncation, "{label}: truncation");
+        assert_eq!(
+            serial.stats.branch_points, par.stats.branch_points,
+            "{label}: branch_points"
+        );
+        assert_eq!(
+            serial.stats.snapshots, par.stats.snapshots,
+            "{label}: snapshots"
+        );
+        assert_eq!(
+            serial.stats.max_depth, par.stats.max_depth,
+            "{label}: max_depth"
+        );
+        assert_eq!(
+            serial.stats.preemption_limited, par.stats.preemption_limited,
+            "{label}: preemption_limited"
+        );
+    }
+
+    fn configs() -> Vec<(&'static str, ExploreLimits)> {
+        let base = ExploreLimits::default();
+        vec![
+            ("plain", base.clone()),
+            (
+                "dedup",
+                ExploreLimits {
+                    dedup_states: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "sleep",
+                ExploreLimits {
+                    sleep_sets: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "dedup+sleep",
+                ExploreLimits {
+                    dedup_states: true,
+                    sleep_sets: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "preemption2",
+                ExploreLimits {
+                    max_preemptions: Some(2),
+                    ..base.clone()
+                },
+            ),
+            (
+                "budget7",
+                ExploreLimits {
+                    max_schedules: 7,
+                    ..base
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical_to_serial_across_configs() {
+        for program in [racy_counter(3, 2), locked_counter(2, 2)] {
+            for (label, limits) in configs() {
+                let serial = Explorer::new(&program).limits(limits.clone()).run();
+                for jobs in [1, 2, 4] {
+                    let par = ParExplorer::new(&program)
+                        .limits(limits.clone())
+                        .jobs(jobs)
+                        .run();
+                    let label = format!("{}/{label}/jobs={jobs}", program.name());
+                    assert_reports_identical(&serial, &par, &label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_generated_programs() {
+        // Deterministic sweep over generator seeds; the proptest suite
+        // in `tests/sim_properties.rs` widens this to random configs.
+        for seed in 0..6u64 {
+            let config = GenConfig {
+                threads: 3,
+                vars: 2,
+                mutexes: 1,
+                ops_per_thread: 4,
+                locked_pct: 40,
+                tx_pct: 0,
+            };
+            let program = generate(&config, seed);
+            for (label, limits) in configs() {
+                let serial = Explorer::new(&program).limits(limits.clone()).run();
+                let par = ParExplorer::new(&program)
+                    .limits(limits.clone())
+                    .jobs(3)
+                    .run();
+                assert_reports_identical(&serial, &par, &format!("seed={seed}/{label}"));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_under_chaos() {
+        let program = racy_counter(2, 2);
+        for seed in [3u64, 42] {
+            let plan = FaultPlan::new(seed);
+            let serial = Explorer::new(&program).chaos(plan).run();
+            for jobs in [1, 2, 4] {
+                let par = ParExplorer::new(&program).chaos(plan).jobs(jobs).run();
+                assert_reports_identical(&serial, &par, &format!("chaos={seed}/jobs={jobs}"));
+            }
+        }
+    }
+
+    #[test]
+    fn stop_on_first_failure_matches_serial() {
+        let program = racy_counter(3, 1);
+        let serial = Explorer::new(&program).stop_on_first_failure().run();
+        for jobs in [1, 2, 4] {
+            let par = ParExplorer::new(&program)
+                .stop_on_first_failure()
+                .jobs(jobs)
+                .run();
+            assert_reports_identical(&serial, &par, &format!("stop-first/jobs={jobs}"));
+        }
+        assert!(serial.found_failure());
+    }
+
+    #[test]
+    fn zero_schedule_budget_truncates_like_serial() {
+        let program = racy_counter(2, 1);
+        let limits = ExploreLimits {
+            max_schedules: 0,
+            ..ExploreLimits::default()
+        };
+        let serial = Explorer::new(&program).limits(limits.clone()).run();
+        let par = ParExplorer::new(&program).limits(limits).jobs(2).run();
+        assert_reports_identical(&serial, &par, "budget=0");
+        assert!(par.truncated);
+        assert_eq!(par.schedules_run, 0);
+        assert_eq!(par.truncation, Some(Truncation::ScheduleBudget));
+    }
+
+    #[test]
+    fn wall_deadline_trips_and_stops_all_workers() {
+        // Space far too large to exhaust in 5ms; the coordinator must
+        // stop, set WallDeadline, and drain the pool without hanging.
+        let program = racy_counter(3, 6);
+        let (report, stats) = ParExplorer::new(&program)
+            .deadline(Duration::from_millis(5))
+            .jobs(4)
+            .run_detailed();
+        assert!(report.truncated);
+        assert_eq!(report.truncation, Some(Truncation::WallDeadline));
+        // Partial counts survive the stop: everything committed before
+        // the deadline is in the report.
+        assert_eq!(report.counts.total(), report.schedules_run);
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.workers.len(), 4);
+    }
+
+    #[test]
+    fn terminal_root_needs_no_workers() {
+        let mut b = ProgramBuilder::new("single");
+        let v = b.var("v", 0);
+        b.thread("only", vec![Stmt::write(v, Expr::lit(1))]);
+        b.final_assert(Expr::shared(v).eq(Expr::lit(1)), "wrote");
+        let program = b.build().expect("valid");
+        let serial = Explorer::new(&program).run();
+        let (par, stats) = ParExplorer::new(&program).jobs(4).run_detailed();
+        assert_reports_identical(&serial, &par, "single-thread");
+        assert_eq!(par.schedules_run, 1);
+        assert_eq!(stats.tasks_spawned, 1); // just the root prefix
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_committed_branch() {
+        let program = racy_counter(3, 2);
+        let (report, stats) = ParExplorer::new(&program).jobs(2).run_detailed();
+        // Every branch point the walk committed was expanded by some
+        // worker (claims also cover prefixes later deduped/cancelled).
+        assert!(stats.total_claimed() >= report.stats.branch_points);
+        assert_eq!(stats.tasks_spawned, stats.total_claimed());
+        assert!(report.counts.total() > 0);
+    }
+
+    #[test]
+    fn jobs_builder_clamps_to_one() {
+        let program = racy_counter(2, 1);
+        let (report, stats) = ParExplorer::new(&program).jobs(0).run_detailed();
+        assert_eq!(stats.jobs, 1);
+        assert!(report.counts.total() > 0);
+    }
+
+    #[test]
+    fn striped_set_tracks_the_winning_prefix() {
+        let set = StripedSet::new();
+        for key in 0..256u64 {
+            assert!(set.insert(key, key + 1), "first claim of {key} wins");
+            assert!(!set.insert(key, key + 2), "second claim of {key} loses");
+            // The winner must still expand; everyone else is dead work.
+            assert!(!set.lost_race(key, key + 1));
+            assert!(set.lost_race(key, key + 2));
+        }
+        assert!(!set.lost_race(10_000, 1), "unclaimed keys block nobody");
+    }
+
+    /// Frontier split/steal round-trip at the queue level: tasks pushed
+    /// by one side are claimed exactly once across concurrent stealing
+    /// workers — no loss, no duplication.
+    #[test]
+    fn work_stealing_claims_each_task_exactly_once() {
+        let program = racy_counter(2, 1);
+        let jobs = 4;
+        let shared = Shared::new(jobs);
+        let total = 200u64;
+        let root = Executor::with_record(&program, RecordMode::Off);
+        for i in 0..total {
+            let task = Task {
+                id: i,
+                key: 0,
+                exec: root.clone(),
+                enabled: root.enabled(),
+                preemptions: 0,
+                sleep: Vec::new(),
+                cancel: Arc::new(AtomicBool::new(false)),
+            };
+            shared.queues[(i as usize) % jobs]
+                .lock()
+                .expect("queue")
+                .push_back(task);
+        }
+        let claimed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for me in 0..jobs {
+                let shared = &shared;
+                let claimed = &claimed;
+                scope.spawn(move || loop {
+                    match claim(me, shared) {
+                        Some((task, _stolen)) => claimed.lock().expect("claimed").push(task.id),
+                        None => return,
+                    }
+                });
+            }
+        });
+        let mut ids = claimed.into_inner().expect("claimed");
+        ids.sort_unstable();
+        assert_eq!(ids.len() as u64, total, "no task lost or claimed twice");
+        ids.dedup();
+        assert_eq!(ids.len() as u64, total, "no duplicate claims");
+    }
+}

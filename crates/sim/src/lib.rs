@@ -18,6 +18,10 @@
 //! - [`Explorer`] — a DFS model checker that enumerates interleavings
 //!   (optionally context-bounded, à la CHESS) and classifies every
 //!   terminal outcome.
+//! - [`ParExplorer`] — the same search sharded across N OS worker
+//!   threads (work-stealing frontier, lock-striped seen-state set)
+//!   with a deterministic merge: reports are bit-identical to
+//!   [`Explorer`]'s for the same program and budget.
 //! - [`RandomWalker`] / [`random::PctScheduler`] — seeded stress
 //!   schedulers for probabilistic manifestation experiments.
 //! - [`Trace`] — a vector-clock annotated event log consumed by the
@@ -76,6 +80,7 @@ mod txn;
 pub mod budget;
 pub mod coverage;
 pub mod explore;
+pub mod explore_par;
 pub mod fault;
 pub mod generate;
 pub mod minimize;
@@ -92,6 +97,7 @@ pub use exec::{Executor, RecordMode, StepResult};
 pub use explore::{
     ExploreLimits, ExploreReport, ExploreStats, Explorer, OutcomeCounts, Truncation,
 };
+pub use explore_par::{ParExplorer, ParStats, WorkerStats};
 pub use expr::Expr;
 pub use fault::{FaultKind, FaultPlan};
 pub use generate::{generate, GenConfig};

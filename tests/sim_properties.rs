@@ -3,7 +3,8 @@
 //! combinatorics, and transactional serializability.
 
 use learning_from_mistakes::sim::{
-    Executor, Explorer, Expr, Outcome, ProgramBuilder, RandomWalker, RecordMode, Schedule, Stmt,
+    generate, Executor, ExploreLimits, Explorer, Expr, GenConfig, Outcome, ParExplorer,
+    ProgramBuilder, RandomWalker, RecordMode, Schedule, Stmt,
 };
 use proptest::prelude::*;
 
@@ -154,6 +155,95 @@ proptest! {
             .map(|&i| learning_from_mistakes::sim::ThreadId::from_index(i))
             .collect();
         prop_assert!(schedule.context_switches() <= schedule.len().saturating_sub(1));
+    }
+
+    /// Splitting the frontier across workers covers exactly the serial
+    /// subtree: with dedup off, the parallel explorer runs the same
+    /// number of schedules (nothing explored twice, nothing dropped)
+    /// with identical outcome counts and step totals, whatever the
+    /// generated program or worker count.
+    #[test]
+    fn frontier_split_covers_exactly_the_serial_subtree(
+        seed in 0u64..2_000,
+        threads in 2usize..=3,
+        ops in 2usize..=4,
+        jobs in 1usize..=4,
+    ) {
+        let config = GenConfig {
+            threads,
+            vars: 2,
+            mutexes: 1,
+            ops_per_thread: ops,
+            locked_pct: 40,
+            tx_pct: 0,
+        };
+        let program = generate(&config, seed);
+        let limits = ExploreLimits {
+            max_schedules: 50_000,
+            ..ExploreLimits::default()
+        };
+        let serial = Explorer::new(&program).limits(limits.clone()).run();
+        let par = ParExplorer::new(&program).limits(limits).jobs(jobs).run();
+        prop_assert_eq!(par.schedules_run, serial.schedules_run);
+        prop_assert_eq!(par.steps_total, serial.steps_total);
+        prop_assert_eq!(&par.counts, &serial.counts);
+        prop_assert_eq!(par.truncated, serial.truncated);
+        prop_assert_eq!(&par.first_failure, &serial.first_failure);
+        prop_assert_eq!(par.stats.branch_points, serial.stats.branch_points);
+        prop_assert_eq!(par.stats.max_depth, serial.stats.max_depth);
+    }
+
+    /// With dedup on, the striped seen-state set must make exactly the
+    /// serial dedup decisions: same schedules, same dedup hits, same
+    /// first witnesses — at any worker count, locked or transactional.
+    #[test]
+    fn striped_dedup_matches_serial_decisions(
+        seed in 0u64..2_000,
+        locked_pct in 0u8..=100,
+        jobs in 1usize..=4,
+    ) {
+        let config = GenConfig {
+            threads: 3,
+            vars: 2,
+            mutexes: 1,
+            ops_per_thread: 3,
+            locked_pct,
+            tx_pct: 20,
+        };
+        let program = generate(&config, seed);
+        let limits = ExploreLimits {
+            max_schedules: 50_000,
+            dedup_states: true,
+            sleep_sets: true,
+            ..ExploreLimits::default()
+        };
+        let serial = Explorer::new(&program).limits(limits.clone()).run();
+        let par = ParExplorer::new(&program).limits(limits).jobs(jobs).run();
+        prop_assert_eq!(par.schedules_run, serial.schedules_run);
+        prop_assert_eq!(par.steps_total, serial.steps_total);
+        prop_assert_eq!(&par.counts, &serial.counts);
+        prop_assert_eq!(par.states_deduped, serial.states_deduped);
+        prop_assert_eq!(par.sleep_pruned, serial.sleep_pruned);
+        prop_assert_eq!(&par.first_failure, &serial.first_failure);
+        prop_assert_eq!(&par.first_ok, &serial.first_ok);
+        prop_assert_eq!(par.stats.snapshots, serial.stats.snapshots);
+    }
+}
+
+#[test]
+fn parallel_explorer_counts_are_multinomial_too() {
+    // The straight-line combinatorics of `explorer_counts_are_multinomial`
+    // survive frontier sharding: with dedup off every interleaving is
+    // enumerated exactly once, so the closed-form count must match at
+    // every worker count.
+    for threads in 2..=3usize {
+        let program = racy_counter(threads, 1);
+        let expected = multinomial(&vec![2; threads]);
+        for jobs in [1, 2, 4] {
+            let report = ParExplorer::new(&program).jobs(jobs).run();
+            assert_eq!(report.schedules_run, expected, "jobs={jobs}");
+            assert!(!report.truncated);
+        }
     }
 }
 
