@@ -5,10 +5,89 @@
 //! cargo run -p lfm-bench --bin tables -- --only t3 # one artifact
 //! cargo run -p lfm-bench --bin tables -- --markdown
 //! cargo run -p lfm-bench --bin tables -- --json obs.json # metrics snapshot
+//! cargo run -p lfm-bench --bin tables -- --bench-explore BENCH_explore.json
+//! cargo run -p lfm-bench --bin tables -- --check-explore BENCH_explore.json
 //! ```
+//!
+//! `--bench-explore` runs the E-perf measurement at its reference
+//! budget and writes the `lfm-bench-explore/v1` document; CI uploads it
+//! as an artifact. `--check-explore` reruns the measurement and exits
+//! non-zero when serial explorer throughput on the gate kernel regressed
+//! more than 30% against the committed baseline (skipped on single-core
+//! hosts, where the wall clock is too noisy to gate on). Both modes run
+//! instead of the table regeneration.
 
 use lfm_bench::Artifact;
 use lfm_corpus::Corpus;
+
+/// Fraction of the baseline's states/sec the gate kernel must still
+/// reach: generous, so only a structural regression of the hot path
+/// (not scheduler jitter) trips CI.
+const CHECK_FLOOR: f64 = 0.70;
+
+fn bench_explore(path: &str) -> ! {
+    let report = lfm_bench::perf_measure(lfm_bench::PERF_BUDGET);
+    let doc = lfm_bench::perf_json(&report);
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("cannot write explore benchmark to `{path}`: {e}");
+        std::process::exit(1);
+    }
+    for s in &report.speedups {
+        eprintln!(
+            "{}: {:.0} states/sec (legacy {:.0}, speedup {:.2}x, identical: {})",
+            s.kernel, s.cow_states_per_sec, s.legacy_states_per_sec, s.speedup, s.identical
+        );
+    }
+    eprintln!("explore benchmark written to {path}");
+    std::process::exit(if report.all_identical() { 0 } else { 1 });
+}
+
+fn check_explore(path: &str) -> ! {
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read explore baseline `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let kernel = lfm_bench::PERF_GATE_KERNEL;
+    let Some(expected) = lfm_bench::baseline_states_per_sec(&baseline, kernel) else {
+        eprintln!("baseline `{path}` has no states_per_sec for `{kernel}`");
+        std::process::exit(1);
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores < 2 {
+        eprintln!("single-core host: skipping the throughput gate (measured rates are noise here)");
+        std::process::exit(0);
+    }
+    let report = lfm_bench::perf_measure(lfm_bench::PERF_BUDGET);
+    // Best-of-N throughput from the deep-kernel comparison when the
+    // gate kernel is in it (it is, by construction — deepest space in
+    // the registry); the single-run sweep row is the fallback.
+    let measured = report
+        .speedups
+        .iter()
+        .find(|s| s.kernel == kernel)
+        .map(|s| s.cow_states_per_sec)
+        .or_else(|| report.row(kernel).map(|r| r.states_per_sec))
+        .unwrap_or(0.0);
+    let floor = expected * CHECK_FLOOR;
+    eprintln!(
+        "{kernel}: measured {measured:.0} states/sec, baseline {expected:.0}, floor {floor:.0}"
+    );
+    if !report.all_identical() {
+        eprintln!("legacy baseline diverged from the optimized report — correctness bug");
+        std::process::exit(1);
+    }
+    if measured < floor {
+        eprintln!("serial explorer throughput regressed more than 30% — investigate the hot path");
+        std::process::exit(1);
+    }
+    eprintln!("throughput gate passed");
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +100,20 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1));
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--bench-explore")
+        .and_then(|i| args.get(i + 1))
+    {
+        bench_explore(path);
+    }
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--check-explore")
+        .and_then(|i| args.get(i + 1))
+    {
+        check_explore(path);
+    }
 
     if let Some(path) = json_path {
         let snapshot = lfm_bench::obs_snapshot();
@@ -39,7 +132,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown artifact `{sel}`; expected t1..t9, f1..f5, \
-                     escope, edetect, etm, echaos, ewit, or findings"
+                     escope, edetect, etm, echaos, epar, eperf, ewit, or findings"
                 );
                 std::process::exit(2);
             }

@@ -4,8 +4,8 @@
 //!
 //! - the **`tables` binary** (`cargo run -p lfm-bench --bin tables`)
 //!   regenerates every table (T1–T9), figure demo (F1–F5) and implication
-//!   experiment (E-scope, E-detect, E-tm, E-chaos, E-par, E-wit) of the
-//!   study; pass
+//!   experiment (E-scope, E-detect, E-tm, E-chaos, E-par, E-perf, E-wit)
+//!   of the study; pass
 //!   `--only <id>` to print one artifact, `--markdown` for Markdown;
 //! - the **criterion benches** (`cargo bench -p lfm-bench`) measure the
 //!   substrates: exploration throughput per kernel family, detector
@@ -18,10 +18,15 @@
 
 pub mod chaos;
 pub mod par;
+pub mod perf;
 pub mod snapshot;
 
 pub use chaos::{chaos_comparison, chaos_table, ChaosRow};
 pub use par::{par_scaling, par_table, ParRow, ParScaling};
+pub use perf::{
+    baseline_states_per_sec, perf_json, perf_measure, perf_table, PerfReport, PerfRow, PerfSpeedup,
+    PERF_BUDGET, PERF_GATE_KERNEL,
+};
 pub use snapshot::{obs_snapshot, SNAPSHOT_SCHEMA};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +60,8 @@ pub enum Artifact {
     Chaos,
     /// E-par.
     Par,
+    /// E-perf.
+    Perf,
     /// E-wit.
     Witness,
     /// The findings checker.
@@ -73,6 +80,7 @@ impl Artifact {
             "etm" | "e-tm" => Some(Artifact::Tm),
             "echaos" | "e-chaos" => Some(Artifact::Chaos),
             "epar" | "e-par" => Some(Artifact::Par),
+            "eperf" | "e-perf" => Some(Artifact::Perf),
             "ewit" | "e-wit" => Some(Artifact::Witness),
             "findings" => Some(Artifact::Findings),
             _ if s.len() >= 2 => {
@@ -101,6 +109,7 @@ impl Artifact {
             Artifact::Tm,
             Artifact::Chaos,
             Artifact::Par,
+            Artifact::Perf,
             Artifact::Witness,
         ]);
         v
@@ -121,6 +130,7 @@ impl Artifact {
             Artifact::Tm => "etm".to_string(),
             Artifact::Chaos => "echaos".to_string(),
             Artifact::Par => "epar".to_string(),
+            Artifact::Perf => "eperf".to_string(),
             Artifact::Witness => "ewit".to_string(),
             Artifact::Findings => "findings".to_string(),
         }
@@ -169,6 +179,7 @@ impl Artifact {
             Artifact::Tm => table(tm_table(corpus)),
             Artifact::Chaos => table(chaos::chaos_table(200)),
             Artifact::Par => table(par::par_table(20_000)),
+            Artifact::Perf => table(perf::perf_table(perf::PERF_BUDGET)),
             Artifact::Witness => table(witness_table()),
             Artifact::Findings => {
                 let mut out = String::from("Findings (paper vs measured)\n");
@@ -223,6 +234,8 @@ mod tests {
         assert_eq!(Artifact::parse("e-chaos"), Some(Artifact::Chaos));
         assert_eq!(Artifact::parse("epar"), Some(Artifact::Par));
         assert_eq!(Artifact::parse("e-par"), Some(Artifact::Par));
+        assert_eq!(Artifact::parse("eperf"), Some(Artifact::Perf));
+        assert_eq!(Artifact::parse("e-perf"), Some(Artifact::Perf));
         assert_eq!(Artifact::parse("ewit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("e-wit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("findings"), Some(Artifact::Findings));
@@ -235,7 +248,7 @@ mod tests {
     #[test]
     fn all_lists_every_artifact() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 1 + 9 + 5 + 8);
+        assert_eq!(all.len(), 1 + 9 + 5 + 9);
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! E-perf: exploration hot-path throughput (COW snapshots + incremental
+//! hashing vs the legacy deep-copy representation).
+//!
+//! The serial explorer's inner loop clones the executor once per
+//! explored choice and probes the dedup set once per visited state.
+//! Both operations were rewritten: snapshots share heavy state through
+//! `Arc` (copy-on-write), and the dedup key is an incrementally
+//! maintained fingerprint instead of a from-scratch rehash. The legacy
+//! behaviour survives behind [`Explorer::legacy_snapshots`] purely as a
+//! baseline, and is observationally identical — same schedules, same
+//! dedup decisions, same report — so the only thing this experiment is
+//! allowed to show is *time*.
+//!
+//! Two measurements:
+//!
+//! 1. a **sweep** of every kernel's buggy variant under the optimized
+//!    explorer (dedup on, schedule budget capped): states/second, wall
+//!    time, snapshot bytes saved, and a peak-frontier-bytes estimate
+//!    per kernel;
+//! 2. a **speedup** comparison on the two deepest kernels from the
+//!    sweep (deepest DFS stack — where the pre-COW O(depth) clone and
+//!    O(state) rehash hurt most): the same exploration run back-to-back
+//!    in optimized and legacy mode, reports checked field-for-field.
+//!
+//! Throughput is a host property; like E-par, the numbers are recorded
+//! next to `host_parallelism` and the report-equality column is the
+//! part that must hold everywhere.
+
+use lfm_kernels::registry;
+use lfm_obs::json;
+use lfm_sim::{Executor, ExploreLimits, ExploreReport, Explorer};
+use lfm_study::Table;
+
+/// Schedule budget used for the committed `BENCH_explore.json`
+/// baseline and the CI regression check (kept in one place so the two
+/// always measure the same workload).
+pub const PERF_BUDGET: u64 = 2_000;
+
+/// The kernel the CI regression gate watches: the largest state space
+/// in the registry, so its exploration always exhausts the budget and
+/// every run does the same amount of work.
+pub const PERF_GATE_KERNEL: &str = "livelock_retry";
+
+/// Timed repetitions per explorer mode in the speedup comparison; each
+/// mode reports its fastest wall (see `perf_measure`).
+const SPEEDUP_REPS: usize = 3;
+
+/// One kernel's sweep measurement under the optimized explorer.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Kernel id.
+    pub kernel: &'static str,
+    /// The kernel's bug family.
+    pub family: String,
+    /// Schedules the exploration ran.
+    pub schedules: u64,
+    /// Total visible steps (states visited) across all executions.
+    pub steps: u64,
+    /// Wall-clock time of the exploration, microseconds.
+    pub wall_us: u64,
+    /// States visited per second (`steps / wall`).
+    pub states_per_sec: f64,
+    /// Deepest DFS stack observed.
+    pub max_depth: u64,
+    /// Heap bytes the COW representation avoided copying.
+    pub snapshot_bytes_saved: u64,
+    /// Estimated peak bytes held by the DFS frontier:
+    /// `(max_depth + 1) * shallow snapshot size` of the root executor.
+    /// An estimate — snapshots deeper in the tree carry slightly larger
+    /// chunk-pointer tables — but a deterministic one.
+    pub peak_frontier_bytes: u64,
+}
+
+/// One deep kernel's optimized-vs-legacy comparison.
+#[derive(Debug, Clone)]
+pub struct PerfSpeedup {
+    /// Kernel id.
+    pub kernel: &'static str,
+    /// Deepest DFS stack observed (why this kernel was picked).
+    pub max_depth: u64,
+    /// Optimized (COW + incremental hash) wall time, microseconds.
+    pub cow_wall_us: u64,
+    /// Legacy (deep clone + from-scratch hash) wall time, microseconds.
+    pub legacy_wall_us: u64,
+    /// Optimized states per second.
+    pub cow_states_per_sec: f64,
+    /// Legacy states per second.
+    pub legacy_states_per_sec: f64,
+    /// `legacy wall / optimized wall`.
+    pub speedup: f64,
+    /// Whether the two reports matched field-for-field (everything
+    /// except measured wall time). Must be `true` on every host.
+    pub identical: bool,
+}
+
+/// The full E-perf measurement.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Schedule budget each exploration was capped at.
+    pub budget: u64,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_parallelism: usize,
+    /// Per-kernel sweep, in registry order.
+    pub rows: Vec<PerfRow>,
+    /// Legacy comparison on the two deepest kernels.
+    pub speedups: Vec<PerfSpeedup>,
+}
+
+impl PerfReport {
+    /// The sweep row for `kernel`, if that kernel was measured.
+    pub fn row(&self, kernel: &str) -> Option<&PerfRow> {
+        self.rows.iter().find(|r| r.kernel == kernel)
+    }
+
+    /// `true` when every legacy run reproduced the optimized report.
+    pub fn all_identical(&self) -> bool {
+        self.speedups.iter().all(|s| s.identical)
+    }
+}
+
+/// Field-for-field report equality, ignoring only the measured wall
+/// time. Unlike E-par's serial-vs-parallel check this also compares
+/// the COW accounting: legacy mode reports the same
+/// `snapshot_bytes_saved` it *would* have saved, by construction.
+fn reports_identical(a: &ExploreReport, b: &ExploreReport) -> bool {
+    a.counts == b.counts
+        && a.schedules_run == b.schedules_run
+        && a.steps_total == b.steps_total
+        && a.truncated == b.truncated
+        && a.first_failure == b.first_failure
+        && a.first_ok == b.first_ok
+        && a.states_deduped == b.states_deduped
+        && a.sleep_pruned == b.sleep_pruned
+        && a.truncation == b.truncation
+        && a.stats.branch_points == b.stats.branch_points
+        && a.stats.snapshots == b.stats.snapshots
+        && a.stats.snapshot_bytes_saved == b.stats.snapshot_bytes_saved
+        && a.stats.max_depth == b.stats.max_depth
+        && a.stats.preemption_limited == b.stats.preemption_limited
+}
+
+fn explore_limits(max_schedules: u64) -> ExploreLimits {
+    ExploreLimits {
+        max_schedules,
+        dedup_states: true,
+        ..ExploreLimits::default()
+    }
+}
+
+/// Runs the full E-perf measurement: the per-kernel sweep, then the
+/// legacy comparison on the two deepest kernels.
+pub fn perf_measure(max_schedules: u64) -> PerfReport {
+    let limits = explore_limits(max_schedules);
+
+    let mut rows = Vec::new();
+    for kernel in registry::all() {
+        let program = kernel.buggy();
+        let shallow = Executor::new(&program).snapshot_shallow_bytes();
+        let report = Explorer::new(&program).limits(limits.clone()).run();
+        let wall_us = report.stats.wall.as_micros() as u64;
+        rows.push(PerfRow {
+            kernel: kernel.id,
+            family: kernel.family.to_string(),
+            schedules: report.schedules_run,
+            steps: report.steps_total,
+            wall_us,
+            states_per_sec: report.states_per_sec(),
+            max_depth: report.stats.max_depth,
+            snapshot_bytes_saved: report.stats.snapshot_bytes_saved,
+            peak_frontier_bytes: (report.stats.max_depth + 1) * shallow,
+        });
+    }
+
+    // The two deepest kernels (ties broken by id so the pick is
+    // deterministic): deepest DFS stack means the most snapshot state
+    // alive at once, which is exactly where the pre-COW representation
+    // paid its O(depth) clone per choice.
+    let mut by_depth: Vec<(u64, &'static str)> =
+        rows.iter().map(|r| (r.max_depth, r.kernel)).collect();
+    by_depth.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+
+    let speedups = by_depth
+        .iter()
+        .take(2)
+        .map(|&(max_depth, id)| {
+            let kernel = registry::by_id(id).expect("kernel came from the registry");
+            let program = kernel.buggy();
+            // Interleaved best-of-N: both modes run the identical
+            // workload SPEEDUP_REPS times and each keeps its fastest
+            // wall. Single runs on a busy host swing by 2x and more;
+            // the minimum is the standard way to estimate what the code
+            // costs rather than what the scheduler did that millisecond.
+            // The semantic reports are asserted identical across every
+            // repetition, not just the fastest pair.
+            let mut cow_runs = Vec::new();
+            let mut legacy_runs = Vec::new();
+            for _ in 0..SPEEDUP_REPS {
+                cow_runs.push(Explorer::new(&program).limits(limits.clone()).run());
+                legacy_runs.push(
+                    Explorer::new(&program)
+                        .limits(limits.clone())
+                        .legacy_snapshots()
+                        .run(),
+                );
+            }
+            let fastest = |runs: &[lfm_sim::explore::ExploreReport]| {
+                runs.iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| r.stats.wall)
+                    .map(|(i, _)| i)
+                    .expect("SPEEDUP_REPS > 0")
+            };
+            let identical = cow_runs
+                .iter()
+                .zip(legacy_runs.iter())
+                .all(|(c, l)| reports_identical(c, l));
+            let cow = cow_runs.swap_remove(fastest(&cow_runs));
+            let legacy = legacy_runs.swap_remove(fastest(&legacy_runs));
+            let cow_wall_us = cow.stats.wall.as_micros() as u64;
+            let legacy_wall_us = legacy.stats.wall.as_micros() as u64;
+            PerfSpeedup {
+                kernel: id,
+                max_depth,
+                cow_wall_us,
+                legacy_wall_us,
+                cow_states_per_sec: cow.states_per_sec(),
+                legacy_states_per_sec: legacy.states_per_sec(),
+                speedup: legacy_wall_us as f64 / cow_wall_us.max(1) as f64,
+                identical,
+            }
+        })
+        .collect();
+
+    PerfReport {
+        budget: max_schedules,
+        host_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        rows,
+        speedups,
+    }
+}
+
+/// Renders the measurement as the E-perf table: one sweep row per
+/// kernel, then the legacy-comparison rows.
+pub fn perf_table(max_schedules: u64) -> Table {
+    let report = perf_measure(max_schedules);
+    let mut t = Table::new(
+        "E-perf",
+        format!(
+            "Exploration hot-path throughput ({} kernels, budget {}, host parallelism {})",
+            report.rows.len(),
+            report.budget,
+            report.host_parallelism
+        ),
+        vec![
+            "kernel",
+            "family",
+            "schedules",
+            "states/sec",
+            "depth",
+            "bytes saved",
+            "peak frontier",
+        ],
+    );
+    for r in &report.rows {
+        t.row(vec![
+            r.kernel.to_string(),
+            r.family.clone(),
+            r.schedules.to_string(),
+            format!("{:.0}", r.states_per_sec),
+            r.max_depth.to_string(),
+            r.snapshot_bytes_saved.to_string(),
+            r.peak_frontier_bytes.to_string(),
+        ]);
+    }
+    for s in &report.speedups {
+        t.row(vec![
+            format!("{} (legacy)", s.kernel),
+            "deep-clone baseline".to_string(),
+            "same".to_string(),
+            format!("{:.0}", s.legacy_states_per_sec),
+            s.max_depth.to_string(),
+            format!("{:.2}x slower", 1.0 / s.speedup.max(f64::MIN_POSITIVE)),
+            if s.identical {
+                "identical".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ]);
+    }
+    t.note(
+        "states/sec = visible steps / wall; `peak frontier` is \
+         (max_depth + 1) x the root executor's shallow snapshot size, a \
+         deterministic estimate of DFS memory; legacy rows rerun the two \
+         deepest kernels with pre-COW deep clones + from-scratch hashing \
+         and must reproduce the optimized report field-for-field",
+    );
+    t.note(
+        "throughput and speedup are host properties (see \
+         BENCH_explore.json for the committed reference run); report \
+         equality is the correctness claim and must hold everywhere",
+    );
+    t
+}
+
+/// Serializes the measurement as the `BENCH_explore.json` document
+/// (`lfm-bench-explore/v1`).
+pub fn perf_json(report: &PerfReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"lfm-bench-explore/v1\",\"budget\":{},\"host_parallelism\":{}",
+        report.budget, report.host_parallelism
+    );
+    out.push_str(",\"kernels\":[");
+    for (i, r) in report.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"kernel\":{},\"family\":{},\"schedules\":{},\"steps\":{},\"wall_us\":{},\
+             \"states_per_sec\":{},\"max_depth\":{},\"snapshot_bytes_saved\":{},\
+             \"peak_frontier_bytes\":{}}}",
+            json::quote(r.kernel),
+            json::quote(&r.family),
+            r.schedules,
+            r.steps,
+            r.wall_us,
+            json::number_f64(r.states_per_sec),
+            r.max_depth,
+            r.snapshot_bytes_saved,
+            r.peak_frontier_bytes,
+        );
+    }
+    out.push_str("],\"deepest\":[");
+    for (i, s) in report.speedups.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"kernel\":{},\"max_depth\":{},\"cow_wall_us\":{},\"legacy_wall_us\":{},\
+             \"cow_states_per_sec\":{},\"legacy_states_per_sec\":{},\"speedup\":{},\
+             \"reports_identical\":{}}}",
+            json::quote(s.kernel),
+            s.max_depth,
+            s.cow_wall_us,
+            s.legacy_wall_us,
+            json::number_f64(s.cow_states_per_sec),
+            json::number_f64(s.legacy_states_per_sec),
+            json::number_f64(s.speedup),
+            s.identical,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Extracts the gate throughput for `kernel` from a
+/// `BENCH_explore.json` document without a JSON parser: prefers the
+/// best-of-N `"cow_states_per_sec"` from the `"deepest"` section (the
+/// stable measurement) and falls back to the kernel's single-run sweep
+/// row. Returns `None` when the kernel or field is missing or
+/// malformed.
+pub fn baseline_states_per_sec(doc: &str, kernel: &str) -> Option<f64> {
+    let marker = format!("\"kernel\":{}", json::quote(kernel));
+    if let Some(deepest) = doc.find("\"deepest\":") {
+        let tail = &doc[deepest..];
+        if let Some(v) = tail
+            .find(&marker)
+            .and_then(|at| object_field(&tail[at..], "cow_states_per_sec"))
+        {
+            return Some(v);
+        }
+    }
+    let at = doc.find(&marker)?;
+    object_field(&doc[at..], "states_per_sec")
+}
+
+/// Reads `"name":<number>` inside the object fragment starting at
+/// `rest` (everything up to the first `}`).
+fn object_field(rest: &str, name: &str) -> Option<f64> {
+    let obj = &rest[..rest.find('}')?];
+    let needle = format!("\"{name}\":");
+    let field = obj.find(&needle)?;
+    let val = &obj[field + needle.len()..];
+    let end = val
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(val.len());
+    val[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Timing columns vary with the host, so the stable assertions are
+    // the sweep coverage, the deterministic accounting columns, and the
+    // report-equality flags.
+    #[test]
+    fn sweep_covers_every_kernel_and_legacy_is_identical() {
+        let report = perf_measure(150);
+        assert_eq!(report.rows.len(), registry::all().len());
+        assert_eq!(report.speedups.len(), 2);
+        assert!(report.all_identical());
+        for r in &report.rows {
+            assert!(r.schedules > 0, "{}: no schedules", r.kernel);
+            assert!(r.steps > 0, "{}: no steps", r.kernel);
+            assert!(
+                r.peak_frontier_bytes >= r.max_depth,
+                "{}: frontier estimate below depth",
+                r.kernel
+            );
+        }
+        for s in &report.speedups {
+            assert!(s.speedup > 0.0);
+            assert!(s.max_depth > 0);
+        }
+        // The two deepest kernels are distinct.
+        assert_ne!(report.speedups[0].kernel, report.speedups[1].kernel);
+    }
+
+    #[test]
+    fn deep_kernels_save_snapshot_bytes() {
+        let report = perf_measure(150);
+        // Every kernel that snapshots at all must report savings: a
+        // deep clone always copies strictly more than a COW clone.
+        for s in &report.speedups {
+            let row = report.row(s.kernel).expect("deep kernel was swept");
+            assert!(
+                row.snapshot_bytes_saved > 0,
+                "{}: COW saved nothing",
+                s.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn perf_table_has_expected_shape() {
+        let t = perf_table(100);
+        assert_eq!(t.id, "E-perf");
+        assert_eq!(t.len(), registry::all().len() + 2, "sweep rows + 2 legacy");
+        let rendered = t.to_string();
+        assert!(rendered.contains("(legacy)"));
+        assert!(!rendered.contains("DIVERGED"));
+    }
+
+    #[test]
+    fn json_round_trips_the_gate_kernel() {
+        let report = perf_measure(100);
+        let doc = perf_json(&report);
+        assert!(doc.starts_with("{\"schema\":\"lfm-bench-explore/v1\""));
+        let opens = doc.matches('{').count() + doc.matches('[').count();
+        let closes = doc.matches('}').count() + doc.matches(']').count();
+        assert_eq!(opens, closes);
+        let expected = report
+            .speedups
+            .iter()
+            .find(|s| s.kernel == PERF_GATE_KERNEL)
+            .map(|s| s.cow_states_per_sec)
+            .or_else(|| report.row(PERF_GATE_KERNEL).map(|r| r.states_per_sec))
+            .expect("gate kernel measured");
+        let parsed = baseline_states_per_sec(&doc, PERF_GATE_KERNEL).expect("field extracted");
+        // number_f64 formats with finite precision; match loosely.
+        let rel = (parsed - expected).abs() / expected.max(1.0);
+        assert!(rel < 0.01, "parsed {parsed} vs measured {expected}");
+        assert_eq!(baseline_states_per_sec(&doc, "no_such_kernel"), None);
+        assert_eq!(baseline_states_per_sec("{}", PERF_GATE_KERNEL), None);
+    }
+}

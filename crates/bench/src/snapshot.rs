@@ -35,9 +35,11 @@ pub fn obs_snapshot() -> String {
     for (i, family) in Family::ALL.into_iter().enumerate() {
         let mut kernels = 0u64;
         let mut schedules = 0u64;
+        let mut steps = 0u64;
         let mut failures = 0u64;
         let mut branch_points = 0u64;
         let mut snapshots = 0u64;
+        let mut snapshot_bytes_saved = 0u64;
         let mut sleep_pruned = 0u64;
         let mut wall_us = 0u64;
         for kernel in registry::by_family(family) {
@@ -50,9 +52,11 @@ pub fn obs_snapshot() -> String {
                 .run();
             kernels += 1;
             schedules += report.schedules_run;
+            steps += report.steps_total;
             failures += report.counts.failures();
             branch_points += report.stats.branch_points;
             snapshots += report.stats.snapshots;
+            snapshot_bytes_saved += report.stats.snapshot_bytes_saved;
             sleep_pruned += report.sleep_pruned;
             wall_us += report.stats.wall.as_micros() as u64;
         }
@@ -72,9 +76,17 @@ pub fn obs_snapshot() -> String {
         out.push(',');
         push_field(&mut out, "snapshots", snapshots);
         out.push(',');
+        push_field(&mut out, "snapshot_bytes_saved", snapshot_bytes_saved);
+        out.push(',');
         push_field(&mut out, "sleep_pruned", sleep_pruned);
         out.push(',');
         push_field(&mut out, "wall_us", wall_us);
+        out.push(',');
+        push_field(
+            &mut out,
+            "states_per_sec",
+            json::number_f64(steps as f64 / (wall_us.max(1) as f64 / 1e6)),
+        );
         out.push('}');
     }
     out.push(']');
@@ -249,6 +261,53 @@ pub fn obs_snapshot() -> String {
     );
     out.push('}');
 
+    // Exploration hot-path throughput: the E-perf measurement, legacy
+    // deep-clone baseline vs the COW representation on the two deepest
+    // kernels. Like E-par, the rates are host properties; the
+    // `reports_identical` flag is the claim that must hold everywhere.
+    // (Smoke budget here; BENCH_explore.json carries the reference run
+    // at the full PERF_BUDGET.)
+    let perf = crate::perf::perf_measure(500);
+    out.push_str(",\"perf\":{");
+    push_field(&mut out, "budget", perf.budget);
+    out.push(',');
+    push_field(&mut out, "reports_identical", perf.all_identical());
+    out.push_str(",\"deepest\":[");
+    for (i, s) in perf.speedups.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_field(&mut out, "kernel", json::quote(s.kernel));
+        out.push(',');
+        push_field(&mut out, "max_depth", s.max_depth);
+        out.push(',');
+        push_field(
+            &mut out,
+            "cow_states_per_sec",
+            json::number_f64(s.cow_states_per_sec),
+        );
+        out.push(',');
+        push_field(
+            &mut out,
+            "legacy_states_per_sec",
+            json::number_f64(s.legacy_states_per_sec),
+        );
+        out.push(',');
+        push_field(&mut out, "speedup", json::number_f64(s.speedup));
+        out.push('}');
+    }
+    out.push_str("],");
+    push_field(
+        &mut out,
+        "snapshot_bytes_saved_total",
+        perf.rows
+            .iter()
+            .map(|r| r.snapshot_bytes_saved)
+            .sum::<u64>(),
+    );
+    out.push('}');
+
     // Table-generator timings over the full corpus.
     let corpus = lfm_corpus::Corpus::full();
     let (_, timings) = lfm_study::profile_tables(&corpus, &NoopSink);
@@ -294,6 +353,11 @@ mod tests {
             "\"reports_identical\":true",
             "\"host_parallelism\":",
             "\"speedup_at_4\":",
+            "\"perf\":{",
+            "\"cow_states_per_sec\":",
+            "\"snapshot_bytes_saved_total\":",
+            "\"snapshot_bytes_saved\":",
+            "\"states_per_sec\":",
             "\"study\":",
             "\"T9\"",
             "\"commits\":100",

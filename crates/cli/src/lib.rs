@@ -654,8 +654,10 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                         .row("schedules", buggy.schedules_run)
                         .row("schedules/sec", format!("{:.1}", buggy.schedules_per_sec()))
                         .row("steps", buggy.steps_total)
+                        .row("states/sec", format!("{:.1}", buggy.states_per_sec()))
                         .row("branch points", buggy.stats.branch_points)
                         .row("snapshots", buggy.stats.snapshots)
+                        .row("snapshot bytes saved", buggy.stats.snapshot_bytes_saved)
                         .row("max depth", buggy.stats.max_depth)
                         .row("sleep-set prunes", buggy.sleep_pruned)
                         .row("dedup hits", buggy.states_deduped)
@@ -781,6 +783,8 @@ fn run_explore(
         table
             .row("tasks spawned", par.tasks_spawned)
             .row("wasted expansions", par.wasted_expansions)
+            .row("states/sec", format!("{:.1}", report.states_per_sec()))
+            .row("snapshot bytes saved", report.stats.snapshot_bytes_saved)
             .row("dedup hits (at merge)", report.states_deduped)
             .row("sleep-set prunes", report.sleep_pruned);
         for (i, w) in par.workers.iter().enumerate() {

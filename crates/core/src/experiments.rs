@@ -372,7 +372,7 @@ pub fn coverage_growth() -> Vec<CoverageGrowthRow> {
             Explorer::new(&program)
                 .record_events()
                 .run_with_callback(|exec, _| {
-                    universe.observe_events(exec.events());
+                    universe.observe_events(&exec.events());
                 });
             // Random campaigns.
             let traces = RandomWalker::new(&program, 0xBEEF).collect_traces(25);

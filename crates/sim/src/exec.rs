@@ -1,17 +1,20 @@
 //! The executor: a deterministic interpreter advancing one visible
 //! operation at a time under external scheduling control.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::ExecError;
 use crate::expr::Expr;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::footprint::Footprint;
-use crate::ids::{CondId, MutexId, ThreadId, VarId};
+use crate::fxhash::Locals;
+use crate::ids::{CondId, MutexId, RwId, SemId, ThreadId, VarId};
 use crate::outcome::{BlockedOn, Outcome};
 use crate::program::{Instr, Program};
+use crate::pvec::PSeq;
 use crate::schedule::Schedule;
 use crate::state::{CondState, MutexState, RwState, SemState};
+use crate::statehash::{Comp, Fnv, StateHash};
 use crate::stmt::{RmwOp, Stmt};
 use crate::trace::{Event, EventKind, Trace, VectorClock};
 use crate::txn::TxState;
@@ -63,11 +66,35 @@ enum ThreadStatus {
 struct ThreadState {
     status: ThreadStatus,
     pc: usize,
-    locals: HashMap<&'static str, i64>,
+    locals: Locals,
     held: Vec<MutexId>,
     tx: Option<TxState>,
     tx_retries: u32,
     clock: VectorClock,
+}
+
+/// Feeds an `Option<ThreadId>` into a component hash without colliding
+/// `None` with any real thread.
+fn hash_opt_thread(f: Fnv, t: Option<ThreadId>) -> Fnv {
+    match t {
+        Some(t) => f.byte(1).usize(t.index()),
+        None => f.byte(0),
+    }
+}
+
+/// The sync-object tables and the I/O journal, grouped behind a single
+/// `Arc`: they mutate rarely compared to shared variables and thread
+/// states, and grouping them cuts four atomic reference bumps (and the
+/// matching decrements on drop) from every snapshot clone. The price is
+/// that unsharing any one table copies all five — they are small, and a
+/// branch child rarely touches more than one before its next snapshot.
+#[derive(Debug, Clone)]
+struct ColdTables {
+    mutexes: Vec<MutexState>,
+    conds: Vec<CondState>,
+    rws: Vec<RwState>,
+    sems: Vec<SemState>,
+    io_journal: Vec<(ThreadId, &'static str)>,
 }
 
 /// A deterministic interpreter for one execution of a [`Program`].
@@ -75,23 +102,30 @@ struct ThreadState {
 /// The executor is `Clone`; the model checker snapshots it at branch
 /// points. Drive it with [`Executor::step`] (choosing among
 /// [`Executor::enabled`] threads) or one of the `run_*` conveniences.
+///
+/// # Copy-on-write snapshots
+///
+/// A clone is O(pointers), not O(state): the program, the shared
+/// variables, every sync-object table, and each thread's state sit
+/// behind [`Arc`]s that the clone merely bumps, and the grow-only logs
+/// (schedule taken, recorded events) live in persistent chunked
+/// storage ([`PSeq`]). A mutation after a snapshot pays only for the
+/// component it touches, via `Arc::make_mut` — divergent futures of a
+/// branch point share everything they have not yet written.
 #[derive(Debug, Clone)]
 pub struct Executor {
-    program: Program,
-    vars: Vec<i64>,
-    mutexes: Vec<MutexState>,
-    conds: Vec<CondState>,
-    rws: Vec<RwState>,
-    sems: Vec<SemState>,
-    threads: Vec<ThreadState>,
+    program: Arc<Program>,
+    vars: Arc<Vec<i64>>,
+    cold: Arc<ColdTables>,
+    threads: Vec<Arc<ThreadState>>,
     steps: usize,
-    io_journal: Vec<(ThreadId, &'static str)>,
     outcome: Option<Outcome>,
     last_scheduled: Option<ThreadId>,
-    taken: Schedule,
+    taken: PSeq<ThreadId>,
     record: RecordMode,
-    events: Vec<Event>,
+    events: PSeq<Event>,
     fault: Option<FaultPlan>,
+    hash: StateHash,
 }
 
 impl Executor {
@@ -103,45 +137,50 @@ impl Executor {
     /// Creates an executor that records according to `record`.
     pub fn with_record(program: &Program, record: RecordMode) -> Executor {
         let n = program.n_threads();
-        let threads: Vec<ThreadState> = program
+        let threads: Vec<Arc<ThreadState>> = program
             .threads()
             .iter()
-            .map(|t| ThreadState {
-                status: if t.auto_start() {
-                    ThreadStatus::Ready
-                } else {
-                    ThreadStatus::NotStarted
-                },
-                pc: 0,
-                locals: HashMap::new(),
-                held: Vec::new(),
-                tx: None,
-                tx_retries: 0,
-                clock: VectorClock::new(n),
+            .map(|t| {
+                Arc::new(ThreadState {
+                    status: if t.auto_start() {
+                        ThreadStatus::Ready
+                    } else {
+                        ThreadStatus::NotStarted
+                    },
+                    pc: 0,
+                    locals: Locals::default(),
+                    held: Vec::new(),
+                    tx: None,
+                    tx_retries: 0,
+                    clock: VectorClock::new(n),
+                })
             })
             .collect();
         let mut exec = Executor {
-            vars: program.var_init().to_vec(),
-            mutexes: (0..program.n_mutexes())
-                .map(|_| MutexState::new(n))
-                .collect(),
-            conds: (0..program.n_conds()).map(|_| CondState::new(n)).collect(),
-            rws: (0..program.n_rws()).map(|_| RwState::new(n)).collect(),
-            sems: program
-                .sem_init()
-                .iter()
-                .map(|&c| SemState::new(n, c))
-                .collect(),
-            program: program.clone(),
+            vars: Arc::new(program.var_init().to_vec()),
+            cold: Arc::new(ColdTables {
+                mutexes: (0..program.n_mutexes())
+                    .map(|_| MutexState::new(n))
+                    .collect(),
+                conds: (0..program.n_conds()).map(|_| CondState::new(n)).collect(),
+                rws: (0..program.n_rws()).map(|_| RwState::new(n)).collect(),
+                sems: program
+                    .sem_init()
+                    .iter()
+                    .map(|&c| SemState::new(n, c))
+                    .collect(),
+                io_journal: Vec::new(),
+            }),
+            program: Arc::new(program.clone()),
             threads,
             steps: 0,
-            io_journal: Vec::new(),
             outcome: None,
             last_scheduled: None,
-            taken: Schedule::new(),
+            taken: PSeq::new(),
             record,
-            events: Vec::new(),
+            events: PSeq::new(),
             fault: None,
+            hash: StateHash::default(),
         };
         // Record starts and fast-forward local prefixes so every pc points
         // at a visible op.
@@ -154,6 +193,7 @@ impl Executor {
             }
         }
         exec.check_quiescence();
+        exec.init_hash();
         exec
     }
 
@@ -203,18 +243,27 @@ impl Executor {
 
     /// The I/O journal: `(thread, tag)` in execution order.
     pub fn io_journal(&self) -> &[(ThreadId, &'static str)] {
-        &self.io_journal
+        &self.cold.io_journal
     }
 
-    /// The schedule of choices taken so far.
-    pub fn schedule_taken(&self) -> &Schedule {
-        &self.taken
+    /// The schedule of choices taken so far, materialized from the
+    /// persistent log. O(steps) — use [`Executor::last_scheduled`] when
+    /// only the most recent choice matters.
+    pub fn schedule_taken(&self) -> Schedule {
+        Schedule::from(self.taken.to_vec())
     }
 
-    /// The events recorded so far ([`RecordMode::Full`] only; empty
-    /// otherwise). Use [`Executor::into_trace`] for the owned form.
-    pub fn events(&self) -> &[Event] {
-        &self.events
+    /// The thread scheduled by the most recent [`Executor::step`], if
+    /// any. O(1), unlike materializing [`Executor::schedule_taken`].
+    pub fn last_scheduled(&self) -> Option<ThreadId> {
+        self.last_scheduled
+    }
+
+    /// The events recorded so far, materialized from the persistent log
+    /// ([`RecordMode::Full`] only; empty otherwise). Use
+    /// [`Executor::into_trace`] for the [`Trace`] form.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.to_vec()
     }
 
     /// Extracts the recorded trace ([`RecordMode::Full`] only; an empty
@@ -224,7 +273,7 @@ impl Executor {
             program: self.program.name().to_string(),
             n_threads: self.program.n_threads(),
             n_vars: self.program.n_vars(),
-            events: self.events,
+            events: self.events.to_vec(),
         }
     }
 
@@ -258,24 +307,68 @@ impl Executor {
     /// exhaustion and preemption accounting (retry counters, vector
     /// clocks, and the schedule taken are deliberately excluded so that
     /// retry loops collapse).
+    ///
+    /// O(1): the key is an XOR fold of per-component FNV hashes that
+    /// [`Executor::step`] repairs incrementally as it mutates state.
+    /// [`Executor::state_key_recomputed`] is the from-scratch reference
+    /// this cache must always agree with.
     pub fn state_key(&self) -> u64 {
+        self.hash.key()
+    }
+
+    /// Recomputes [`Executor::state_key`] from scratch by hashing every
+    /// component. O(state); exists as the correctness oracle for the
+    /// incrementally maintained key (the property suite asserts both
+    /// agree after arbitrary step sequences) and as the per-probe cost
+    /// model of the pre-incremental implementation for benchmarks.
+    pub fn state_key_recomputed(&self) -> u64 {
+        let mut key = 0u64;
+        for i in 0..self.vars.len() {
+            key ^= self.component_hash(Comp::Var(i));
+        }
+        for i in 0..self.cold.mutexes.len() {
+            key ^= self.component_hash(Comp::Mutex(i));
+        }
+        for i in 0..self.cold.conds.len() {
+            key ^= self.component_hash(Comp::Cond(i));
+        }
+        for i in 0..self.cold.rws.len() {
+            key ^= self.component_hash(Comp::Rw(i));
+        }
+        for i in 0..self.cold.sems.len() {
+            key ^= self.component_hash(Comp::Sem(i));
+        }
+        for i in 0..self.threads.len() {
+            key ^= self.component_hash(Comp::Thread(i));
+        }
+        key
+    }
+
+    /// The pre-incremental dedup key, preserved verbatim for the legacy
+    /// benchmark baseline: one `DefaultHasher` (SipHash) pass over the
+    /// whole state with a sort-and-collect of every thread's locals per
+    /// probe. Makes the same distinctions as [`Executor::state_key`]
+    /// (so dedup verdicts coincide and legacy-mode reports stay
+    /// identical), but its values differ — it is a cost model, not an
+    /// oracle. [`Executor::state_key_recomputed`] is the oracle.
+    pub fn state_key_legacy(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.vars.hash(&mut h);
-        for m in &self.mutexes {
+        for m in self.cold.mutexes.iter() {
             m.owner.hash(&mut h);
         }
-        for c in &self.conds {
+        for c in self.cold.conds.iter() {
             c.waiters.hash(&mut h);
         }
-        for rw in &self.rws {
+        for rw in self.cold.rws.iter() {
             rw.writer.hash(&mut h);
             rw.readers.hash(&mut h);
         }
-        for s in &self.sems {
+        for s in self.cold.sems.iter() {
             s.count.hash(&mut h);
         }
-        for ts in &self.threads {
+        for ts in self.threads.iter() {
             std::mem::discriminant(&ts.status).hash(&mut h);
             match &ts.status {
                 ThreadStatus::WaitingCond { cond, mutex } => {
@@ -301,6 +394,257 @@ impl Executor {
             }
         }
         h.finish()
+    }
+
+    /// Hashes one component's current content. Makes exactly the
+    /// distinctions the pre-incremental whole-state hash made: vector
+    /// clocks, retry counters, and the schedule taken stay excluded;
+    /// waiter queues, reader lists, held sets, and transaction
+    /// read/write sets stay order-sensitive; thread locals are folded
+    /// order-independently (XOR over entry hashes) so the `HashMap`
+    /// iteration order never leaks into the key.
+    fn component_hash(&self, c: Comp) -> u64 {
+        match c {
+            Comp::Var(i) => Fnv::new().byte(1).usize(i).i64(self.vars[i]).finish(),
+            Comp::Mutex(i) => {
+                let f = Fnv::new().byte(2).usize(i);
+                hash_opt_thread(f, self.cold.mutexes[i].owner).finish()
+            }
+            Comp::Cond(i) => {
+                let cs = &self.cold.conds[i];
+                let mut f = Fnv::new().byte(3).usize(i).usize(cs.waiters.len());
+                for &w in &cs.waiters {
+                    f = f.usize(w.index());
+                }
+                f.finish()
+            }
+            Comp::Rw(i) => {
+                let rw = &self.cold.rws[i];
+                let mut f = hash_opt_thread(Fnv::new().byte(4).usize(i), rw.writer);
+                f = f.usize(rw.readers.len());
+                for &r in &rw.readers {
+                    f = f.usize(r.index());
+                }
+                f.finish()
+            }
+            Comp::Sem(i) => Fnv::new()
+                .byte(5)
+                .usize(i)
+                .i64(self.cold.sems[i].count)
+                .finish(),
+            Comp::Thread(i) => {
+                let ts = &self.threads[i];
+                let mut f = Fnv::new().byte(6).usize(i);
+                f = match &ts.status {
+                    ThreadStatus::NotStarted => f.byte(0),
+                    ThreadStatus::Ready => f.byte(1),
+                    ThreadStatus::WaitingCond { cond, mutex } => {
+                        f.byte(2).usize(cond.index()).usize(mutex.index())
+                    }
+                    ThreadStatus::Reacquire { mutex, signalled } => {
+                        f.byte(3).usize(mutex.index()).byte(u8::from(*signalled))
+                    }
+                    ThreadStatus::Finished => f.byte(4),
+                };
+                f = f.usize(ts.pc);
+                let mut locals_fold = 0u64;
+                for (name, value) in &ts.locals {
+                    locals_fold ^= Fnv::new()
+                        .bytes(name.as_bytes())
+                        .byte(0xff)
+                        .i64(*value)
+                        .finish();
+                }
+                f = f.usize(ts.locals.len()).u64(locals_fold);
+                f = f.usize(ts.held.len());
+                for m in &ts.held {
+                    f = f.usize(m.index());
+                }
+                match &ts.tx {
+                    None => f = f.byte(0),
+                    Some(tx) => {
+                        f = f.byte(1).usize(tx.start_pc);
+                        f = f.usize(tx.read_set.len());
+                        for (v, val) in &tx.read_set {
+                            f = f.usize(v.index()).i64(*val);
+                        }
+                        f = f.usize(tx.write_set.len());
+                        for (v, val) in &tx.write_set {
+                            f = f.usize(v.index()).i64(*val);
+                        }
+                        f = f.byte(u8::from(tx.io_performed));
+                    }
+                }
+                f.finish()
+            }
+        }
+    }
+
+    /// Computes every component hash from scratch and installs the
+    /// fold. Called once at construction; steps repair incrementally
+    /// from there.
+    fn init_hash(&mut self) {
+        self.hash = StateHash::with_sizes(
+            self.vars.len(),
+            self.cold.mutexes.len(),
+            self.cold.conds.len(),
+            self.cold.rws.len(),
+            self.cold.sems.len(),
+            self.threads.len(),
+        );
+        for i in 0..self.vars.len() {
+            let h = self.component_hash(Comp::Var(i));
+            self.hash.replace(Comp::Var(i), h);
+        }
+        for i in 0..self.cold.mutexes.len() {
+            let h = self.component_hash(Comp::Mutex(i));
+            self.hash.replace(Comp::Mutex(i), h);
+        }
+        for i in 0..self.cold.conds.len() {
+            let h = self.component_hash(Comp::Cond(i));
+            self.hash.replace(Comp::Cond(i), h);
+        }
+        for i in 0..self.cold.rws.len() {
+            let h = self.component_hash(Comp::Rw(i));
+            self.hash.replace(Comp::Rw(i), h);
+        }
+        for i in 0..self.cold.sems.len() {
+            let h = self.component_hash(Comp::Sem(i));
+            self.hash.replace(Comp::Sem(i), h);
+        }
+        for i in 0..self.threads.len() {
+            let h = self.component_hash(Comp::Thread(i));
+            self.hash.replace(Comp::Thread(i), h);
+        }
+    }
+
+    /// Rehashes every component the current step marked dirty,
+    /// repairing the XOR fold. Called at the end of [`Executor::step`];
+    /// cost is proportional to the components touched, not the state.
+    fn flush_hash(&mut self) {
+        while let Some(c) = self.hash.pop_dirty() {
+            let fresh = self.component_hash(c);
+            self.hash.replace(c, fresh);
+        }
+    }
+
+    // ---- copy-on-write accessors ---------------------------------------
+
+    /// Mutable view of one thread's state; lazily unshares it from any
+    /// snapshot and marks its hash component dirty.
+    fn thread_mut(&mut self, t: ThreadId) -> &mut ThreadState {
+        self.hash.touch(Comp::Thread(t.index()));
+        Arc::make_mut(&mut self.threads[t.index()])
+    }
+
+    fn mutex_mut(&mut self, m: MutexId) -> &mut MutexState {
+        self.hash.touch(Comp::Mutex(m.index()));
+        &mut Arc::make_mut(&mut self.cold).mutexes[m.index()]
+    }
+
+    fn cond_mut(&mut self, c: CondId) -> &mut CondState {
+        self.hash.touch(Comp::Cond(c.index()));
+        &mut Arc::make_mut(&mut self.cold).conds[c.index()]
+    }
+
+    fn rw_mut(&mut self, rw: RwId) -> &mut RwState {
+        self.hash.touch(Comp::Rw(rw.index()));
+        &mut Arc::make_mut(&mut self.cold).rws[rw.index()]
+    }
+
+    fn sem_mut(&mut self, s: SemId) -> &mut SemState {
+        self.hash.touch(Comp::Sem(s.index()));
+        &mut Arc::make_mut(&mut self.cold).sems[s.index()]
+    }
+
+    fn set_var(&mut self, var: VarId, value: i64) {
+        self.hash.touch(Comp::Var(var.index()));
+        Arc::make_mut(&mut self.vars)[var.index()] = value;
+    }
+
+    // ---- snapshot cost model -------------------------------------------
+
+    /// A fully materialized clone: every shared component is copied and
+    /// the logs are re-chunked, so nothing aliases `self`. This is the
+    /// benchmark baseline emulating the pre-COW snapshot cost; results
+    /// are identical to [`Clone::clone`], only slower.
+    pub fn deep_clone(&self) -> Executor {
+        let mut c = self.clone();
+        c.program = Arc::new((*self.program).clone());
+        Arc::make_mut(&mut c.vars);
+        Arc::make_mut(&mut c.cold);
+        for t in &mut c.threads {
+            Arc::make_mut(t);
+        }
+        c.taken.unshare();
+        c.events.unshare();
+        c
+    }
+
+    /// Estimated heap bytes a pre-COW deep snapshot of this state would
+    /// copy: variable values, sync-object tables (waiter queues and
+    /// clocks included), per-thread state (locals, held sets, clocks,
+    /// transaction logs), the program, and the full grow-only logs. A
+    /// deterministic size model, not an allocator measurement.
+    pub fn snapshot_deep_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let n = self.threads.len();
+        let clock_bytes = n * size_of::<u32>();
+        let mut bytes = size_of::<Executor>();
+        bytes += self.vars.len() * size_of::<i64>();
+        for m in self.cold.mutexes.iter() {
+            bytes +=
+                size_of::<MutexState>() + m.waiters.len() * size_of::<ThreadId>() + clock_bytes;
+        }
+        for c in self.cold.conds.iter() {
+            bytes += size_of::<CondState>() + c.waiters.len() * size_of::<ThreadId>() + clock_bytes;
+        }
+        for rw in self.cold.rws.iter() {
+            bytes += size_of::<RwState>() + rw.readers.len() * size_of::<ThreadId>() + clock_bytes;
+        }
+        bytes += self.cold.sems.len() * (size_of::<SemState>() + clock_bytes);
+        for ts in &self.threads {
+            bytes += size_of::<ThreadState>() + clock_bytes;
+            bytes += ts.locals.len() * size_of::<(&'static str, i64)>();
+            bytes += ts.held.len() * size_of::<MutexId>();
+            if let Some(tx) = &ts.tx {
+                bytes += (tx.read_set.len() + tx.write_set.len()) * size_of::<(VarId, i64)>();
+                bytes += tx.locals_snapshot.len() * size_of::<(&'static str, i64)>();
+            }
+        }
+        for t in self.program.threads() {
+            bytes += t.code().len() * size_of::<Instr>();
+        }
+        bytes += self.taken.len() * size_of::<ThreadId>();
+        for e in self.events.iter() {
+            bytes += size_of::<Event>() + e.clock.len() * size_of::<u32>();
+        }
+        bytes += self.cold.io_journal.len() * size_of::<(ThreadId, &'static str)>();
+        bytes as u64
+    }
+
+    /// Bytes a copy-on-write clone of this state actually copies: the
+    /// executor struct, the per-thread `Arc` table, and the logs'
+    /// chunk-pointer tables. Same deterministic size model as
+    /// [`Executor::snapshot_deep_bytes`].
+    pub fn snapshot_shallow_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let bytes = size_of::<Executor>()
+            + self.threads.len() * size_of::<Arc<ThreadState>>()
+            + self.taken.clone_cost_bytes()
+            + self.events.clone_cost_bytes();
+        bytes as u64
+    }
+
+    /// Bytes a snapshot of this state avoids copying thanks to the
+    /// copy-on-write representation
+    /// ([`snapshot_deep_bytes`](Executor::snapshot_deep_bytes) minus
+    /// [`snapshot_shallow_bytes`](Executor::snapshot_shallow_bytes)).
+    /// A pure function of the logical state — the serial and parallel
+    /// explorers accumulate identical totals.
+    pub fn snapshot_bytes_saved(&self) -> u64 {
+        self.snapshot_deep_bytes()
+            .saturating_sub(self.snapshot_shallow_bytes())
     }
 
     /// Threads that can take a step right now.
@@ -340,7 +684,9 @@ impl Executor {
             ThreadStatus::NotStarted
             | ThreadStatus::Finished
             | ThreadStatus::WaitingCond { .. } => false,
-            ThreadStatus::Reacquire { mutex, .. } => self.mutexes[mutex.index()].owner.is_none(),
+            ThreadStatus::Reacquire { mutex, .. } => {
+                self.cold.mutexes[mutex.index()].owner.is_none()
+            }
             ThreadStatus::Ready => match self.peek_op(thread) {
                 None => false,
                 Some(stmt) => self.op_enabled(thread, stmt),
@@ -360,10 +706,10 @@ impl Executor {
 
     fn op_enabled(&self, thread: ThreadId, stmt: &Stmt) -> bool {
         match stmt {
-            Stmt::Lock(m) => self.mutexes[m.index()].owner.is_none(),
-            Stmt::RwRead(rw) => self.rws[rw.index()].can_read(thread),
-            Stmt::RwWrite(rw) => self.rws[rw.index()].can_write(thread),
-            Stmt::SemAcquire(s) => self.sems[s.index()].count > 0,
+            Stmt::Lock(m) => self.cold.mutexes[m.index()].owner.is_none(),
+            Stmt::RwRead(rw) => self.cold.rws[rw.index()].can_read(thread),
+            Stmt::RwWrite(rw) => self.cold.rws[rw.index()].can_write(thread),
+            Stmt::SemAcquire(s) => self.cold.sems[s.index()].count > 0,
             Stmt::Join(t) => self.threads[t.index()].status == ThreadStatus::Finished,
             _ => true,
         }
@@ -382,18 +728,23 @@ impl Executor {
         self.steps += 1;
         self.taken.push(thread);
         self.last_scheduled = Some(thread);
-        self.threads[thread.index()].clock.tick(thread);
+        self.thread_mut(thread).clock.tick(thread);
 
         if let ThreadStatus::Reacquire { mutex, signalled } =
             self.threads[thread.index()].status.clone()
         {
             self.finish_wait(thread, mutex, signalled);
         } else {
-            let stmt = self
-                .peek_op(thread)
-                .expect("enabled Ready thread has a visible op")
-                .clone();
-            self.exec_op(thread, &stmt);
+            // Borrow the statement through a program handle instead of
+            // cloning it: `Stmt` owns `Expr` trees, and a deep clone per
+            // step shows up in the explorer's hot-path profile.
+            let program = Arc::clone(&self.program);
+            let code = program.threads()[thread.index()].code();
+            let stmt = match code.get(self.threads[thread.index()].pc) {
+                Some(Instr::Op(stmt)) => stmt,
+                _ => unreachable!("enabled Ready thread has a visible op"),
+            };
+            self.exec_op(thread, stmt);
         }
 
         if self.outcome.is_none() {
@@ -402,6 +753,7 @@ impl Executor {
             }
             self.check_quiescence();
         }
+        self.flush_hash();
         Ok(match &self.outcome {
             Some(o) => StepResult::Done(o.clone()),
             None => StepResult::Running,
@@ -455,7 +807,7 @@ impl Executor {
 
     // ---- internals -----------------------------------------------------
 
-    fn locals_eval(locals: &HashMap<&'static str, i64>, e: &Expr) -> i64 {
+    fn locals_eval(locals: &Locals, e: &Expr) -> i64 {
         e.eval(&|name| locals.get(name).copied().unwrap_or(0), &|_| {
             unreachable!("builder validation forbids Expr::Shared in thread bodies")
         })
@@ -468,10 +820,11 @@ impl Executor {
     /// Advances past purely-local instructions until the pc rests on a
     /// visible op or the script ends (then the thread finishes).
     fn fast_forward(&mut self, thread: ThreadId) {
-        let code = self.program.threads()[thread.index()].code().clone();
+        let program = Arc::clone(&self.program);
+        let code = program.threads()[thread.index()].code();
         let mut fuel = LOCAL_FUEL;
         loop {
-            let ts = &mut self.threads[thread.index()];
+            let ts = self.thread_mut(thread);
             match code.get(ts.pc) {
                 None => {
                     ts.status = ThreadStatus::Finished;
@@ -511,6 +864,12 @@ impl Executor {
     }
 
     fn record_event(&mut self, thread: ThreadId, kind: EventKind) {
+        // Check the mode before touching the clock: cloning a
+        // `VectorClock` allocates, and the explorer runs with recording
+        // off on every state except witness reconstruction.
+        if self.record != RecordMode::Full {
+            return;
+        }
         let clock = self.threads[thread.index()].clock.clone();
         self.record_event_with(&clock, thread, kind);
     }
@@ -527,7 +886,7 @@ impl Executor {
     }
 
     fn advance(&mut self, thread: ThreadId) {
-        self.threads[thread.index()].pc += 1;
+        self.thread_mut(thread).pc += 1;
     }
 
     /// Aborts the thread's transaction when its read set no longer
@@ -544,7 +903,7 @@ impl Executor {
             return false;
         }
         self.record_event(thread, EventKind::TxAbort);
-        let ts = &mut self.threads[thread.index()];
+        let ts = self.thread_mut(thread);
         let tx = ts.tx.take().expect("validated above");
         ts.locals = tx.locals_snapshot;
         ts.pc = tx.start_pc;
@@ -558,23 +917,23 @@ impl Executor {
     /// Transaction-aware shared read.
     fn shared_read(&mut self, thread: ThreadId, var: VarId) -> i64 {
         let global = self.vars[var.index()];
-        match &mut self.threads[thread.index()].tx {
-            Some(tx) => tx.read(var, global),
-            None => global,
+        if self.threads[thread.index()].tx.is_some() {
+            let tx = self.thread_mut(thread).tx.as_mut().expect("checked above");
+            tx.read(var, global)
+        } else {
+            global
         }
     }
 
     /// Transaction-aware shared write.
     fn shared_write(&mut self, thread: ThreadId, var: VarId, value: i64) -> bool {
-        match &mut self.threads[thread.index()].tx {
-            Some(tx) => {
-                tx.write(var, value);
-                false // buffered; event recorded at commit
-            }
-            None => {
-                self.vars[var.index()] = value;
-                true
-            }
+        if self.threads[thread.index()].tx.is_some() {
+            let tx = self.thread_mut(thread).tx.as_mut().expect("checked above");
+            tx.write(var, value);
+            false // buffered; event recorded at commit
+        } else {
+            self.set_var(var, value);
+            true
         }
     }
 
@@ -584,10 +943,10 @@ impl Executor {
             Some(Stmt::Wait { cond, .. }) => *cond,
             _ => unreachable!("Reacquire pc rests on the Wait stmt"),
         };
-        let mclock = self.mutexes[mutex.index()].clock.clone();
-        let cclock = self.conds[cond.index()].clock.clone();
+        let mclock = self.cold.mutexes[mutex.index()].clock.clone();
+        let cclock = self.cold.conds[cond.index()].clock.clone();
         {
-            let ts = &mut self.threads[thread.index()];
+            let ts = self.thread_mut(thread);
             ts.clock.join(&mclock);
             if signalled {
                 // A spurious wakeup synchronizes with no signaller: only a
@@ -597,7 +956,7 @@ impl Executor {
             ts.held.push(mutex);
             ts.status = ThreadStatus::Ready;
         }
-        self.mutexes[mutex.index()].owner = Some(thread);
+        self.mutex_mut(mutex).owner = Some(thread);
         self.record_event(thread, EventKind::WaitEnd { cond, mutex });
         self.advance(thread);
     }
@@ -609,7 +968,7 @@ impl Executor {
                     return;
                 }
                 let value = self.shared_read(thread, *var);
-                self.threads[thread.index()].locals.insert(into, value);
+                self.thread_mut(thread).locals.insert(into, value);
                 self.record_event(thread, EventKind::Read { var: *var, value });
                 self.advance(thread);
             }
@@ -646,7 +1005,7 @@ impl Executor {
                 };
                 let direct = self.shared_write(thread, *var, new);
                 if let Some(into) = into {
-                    self.threads[thread.index()].locals.insert(into, old);
+                    self.thread_mut(thread).locals.insert(into, old);
                 }
                 if direct {
                     self.record_event(
@@ -685,7 +1044,7 @@ impl Executor {
                 if success {
                     self.shared_write(thread, *var, new);
                 }
-                let ts = &mut self.threads[thread.index()];
+                let ts = self.thread_mut(thread);
                 ts.locals.insert(into, i64::from(success));
                 if let Some(oi) = observed_into {
                     ts.locals.insert(oi, observed);
@@ -701,24 +1060,24 @@ impl Executor {
                 self.advance(thread);
             }
             Stmt::Lock(m) => {
-                debug_assert!(self.mutexes[m.index()].owner.is_none());
-                let mclock = self.mutexes[m.index()].clock.clone();
-                let ts = &mut self.threads[thread.index()];
+                debug_assert!(self.cold.mutexes[m.index()].owner.is_none());
+                let mclock = self.cold.mutexes[m.index()].clock.clone();
+                let ts = self.thread_mut(thread);
                 ts.clock.join(&mclock);
                 ts.held.push(*m);
-                self.mutexes[m.index()].owner = Some(thread);
+                self.mutex_mut(*m).owner = Some(thread);
                 self.record_event(thread, EventKind::Lock(*m));
                 self.advance(thread);
             }
             Stmt::Unlock(m) => {
-                if self.mutexes[m.index()].owner != Some(thread) {
+                if self.cold.mutexes[m.index()].owner != Some(thread) {
                     self.misuse(thread, ExecError::UnlockNotHeld { mutex: *m });
                     return;
                 }
-                self.mutexes[m.index()].owner = None;
+                self.mutex_mut(*m).owner = None;
                 let clock = self.threads[thread.index()].clock.clone();
-                self.mutexes[m.index()].clock = clock;
-                self.threads[thread.index()].held.retain(|h| h != m);
+                self.mutex_mut(*m).clock = clock;
+                self.thread_mut(thread).held.retain(|h| h != m);
                 self.record_event(thread, EventKind::Unlock(*m));
                 self.advance(thread);
             }
@@ -726,16 +1085,16 @@ impl Executor {
                 // A forced failure models a contender winning and releasing
                 // the lock between the check and the acquisition — legal
                 // for any try-lock.
-                let success = self.mutexes[mutex.index()].owner.is_none()
+                let success = self.cold.mutexes[mutex.index()].owner.is_none()
                     && !self.fault_fires(FaultKind::TryLockFail, thread);
                 if success {
-                    let mclock = self.mutexes[mutex.index()].clock.clone();
-                    let ts = &mut self.threads[thread.index()];
+                    let mclock = self.cold.mutexes[mutex.index()].clock.clone();
+                    let ts = self.thread_mut(thread);
                     ts.clock.join(&mclock);
                     ts.held.push(*mutex);
-                    self.mutexes[mutex.index()].owner = Some(thread);
+                    self.mutex_mut(*mutex).owner = Some(thread);
                 }
-                self.threads[thread.index()]
+                self.thread_mut(thread)
                     .locals
                     .insert(into, i64::from(success));
                 self.record_event(
@@ -748,38 +1107,38 @@ impl Executor {
                 self.advance(thread);
             }
             Stmt::RwRead(rw) => {
-                debug_assert!(self.rws[rw.index()].can_read(thread));
-                let rclock = self.rws[rw.index()].clock.clone();
-                self.threads[thread.index()].clock.join(&rclock);
-                self.rws[rw.index()].readers.push(thread);
+                debug_assert!(self.cold.rws[rw.index()].can_read(thread));
+                let rclock = self.cold.rws[rw.index()].clock.clone();
+                self.thread_mut(thread).clock.join(&rclock);
+                self.rw_mut(*rw).readers.push(thread);
                 self.record_event(thread, EventKind::RwRead(*rw));
                 self.advance(thread);
             }
             Stmt::RwWrite(rw) => {
-                debug_assert!(self.rws[rw.index()].can_write(thread));
-                let rclock = self.rws[rw.index()].clock.clone();
-                self.threads[thread.index()].clock.join(&rclock);
-                self.rws[rw.index()].writer = Some(thread);
+                debug_assert!(self.cold.rws[rw.index()].can_write(thread));
+                let rclock = self.cold.rws[rw.index()].clock.clone();
+                self.thread_mut(thread).clock.join(&rclock);
+                self.rw_mut(*rw).writer = Some(thread);
                 self.record_event(thread, EventKind::RwWrite(*rw));
                 self.advance(thread);
             }
             Stmt::RwUnlock(rw) => {
-                let state = &mut self.rws[rw.index()];
+                let state = &self.cold.rws[rw.index()];
                 if state.writer == Some(thread) {
-                    state.writer = None;
+                    self.rw_mut(*rw).writer = None;
                 } else if let Some(pos) = state.readers.iter().position(|&r| r == thread) {
-                    state.readers.remove(pos);
+                    self.rw_mut(*rw).readers.remove(pos);
                 } else {
                     self.misuse(thread, ExecError::RwUnlockNotHeld { rw: *rw });
                     return;
                 }
                 let clock = self.threads[thread.index()].clock.clone();
-                self.rws[rw.index()].clock.join(&clock);
+                self.rw_mut(*rw).clock.join(&clock);
                 self.record_event(thread, EventKind::RwUnlock(*rw));
                 self.advance(thread);
             }
             Stmt::Wait { cond, mutex } => {
-                if self.mutexes[mutex.index()].owner != Some(thread) {
+                if self.cold.mutexes[mutex.index()].owner != Some(thread) {
                     self.misuse(thread, ExecError::WaitWithoutMutex { mutex: *mutex });
                     return;
                 }
@@ -788,11 +1147,11 @@ impl Executor {
                     // Release the mutex and go straight to re-acquisition
                     // without ever joining the waiters queue, so no signal
                     // is consumed and no happens-before edge is created.
-                    self.mutexes[mutex.index()].owner = None;
+                    self.mutex_mut(*mutex).owner = None;
                     let clock = self.threads[thread.index()].clock.clone();
-                    self.mutexes[mutex.index()].clock = clock;
+                    self.mutex_mut(*mutex).clock = clock;
                     {
-                        let ts = &mut self.threads[thread.index()];
+                        let ts = self.thread_mut(thread);
                         ts.held.retain(|h| h != mutex);
                         ts.status = ThreadStatus::Reacquire {
                             mutex: *mutex,
@@ -809,18 +1168,18 @@ impl Executor {
                     // pc stays on the Wait; finish_wait advances it.
                     return;
                 }
-                self.mutexes[mutex.index()].owner = None;
+                self.mutex_mut(*mutex).owner = None;
                 let clock = self.threads[thread.index()].clock.clone();
-                self.mutexes[mutex.index()].clock = clock;
+                self.mutex_mut(*mutex).clock = clock;
                 {
-                    let ts = &mut self.threads[thread.index()];
+                    let ts = self.thread_mut(thread);
                     ts.held.retain(|h| h != mutex);
                     ts.status = ThreadStatus::WaitingCond {
                         cond: *cond,
                         mutex: *mutex,
                     };
                 }
-                self.conds[cond.index()].waiters.push_back(thread);
+                self.cond_mut(*cond).waiters.push_back(thread);
                 self.record_event(
                     thread,
                     EventKind::WaitBegin {
@@ -832,13 +1191,14 @@ impl Executor {
             }
             Stmt::Signal(c) => {
                 let clock = self.threads[thread.index()].clock.clone();
-                self.conds[c.index()].clock.join(&clock);
-                if let Some(w) = self.conds[c.index()].waiters.pop_front() {
+                self.cond_mut(*c).clock.join(&clock);
+                let woken = self.cond_mut(*c).waiters.pop_front();
+                if let Some(w) = woken {
                     let mutex = match &self.threads[w.index()].status {
                         ThreadStatus::WaitingCond { mutex, .. } => *mutex,
                         other => unreachable!("cond waiter in status {other:?}"),
                     };
-                    self.threads[w.index()].status = ThreadStatus::Reacquire {
+                    self.thread_mut(w).status = ThreadStatus::Reacquire {
                         mutex,
                         signalled: true,
                     };
@@ -848,13 +1208,13 @@ impl Executor {
             }
             Stmt::Broadcast(c) => {
                 let clock = self.threads[thread.index()].clock.clone();
-                self.conds[c.index()].clock.join(&clock);
-                while let Some(w) = self.conds[c.index()].waiters.pop_front() {
+                self.cond_mut(*c).clock.join(&clock);
+                while let Some(w) = self.cond_mut(*c).waiters.pop_front() {
                     let mutex = match &self.threads[w.index()].status {
                         ThreadStatus::WaitingCond { mutex, .. } => *mutex,
                         other => unreachable!("cond waiter in status {other:?}"),
                     };
-                    self.threads[w.index()].status = ThreadStatus::Reacquire {
+                    self.thread_mut(w).status = ThreadStatus::Reacquire {
                         mutex,
                         signalled: true,
                     };
@@ -863,17 +1223,17 @@ impl Executor {
                 self.advance(thread);
             }
             Stmt::SemAcquire(s) => {
-                debug_assert!(self.sems[s.index()].count > 0);
-                self.sems[s.index()].count -= 1;
-                let sclock = self.sems[s.index()].clock.clone();
-                self.threads[thread.index()].clock.join(&sclock);
+                debug_assert!(self.cold.sems[s.index()].count > 0);
+                self.sem_mut(*s).count -= 1;
+                let sclock = self.cold.sems[s.index()].clock.clone();
+                self.thread_mut(thread).clock.join(&sclock);
                 self.record_event(thread, EventKind::SemAcquire(*s));
                 self.advance(thread);
             }
             Stmt::SemRelease(s) => {
-                self.sems[s.index()].count += 1;
+                self.sem_mut(*s).count += 1;
                 let clock = self.threads[thread.index()].clock.clone();
-                self.sems[s.index()].clock.join(&clock);
+                self.sem_mut(*s).clock.join(&clock);
                 self.record_event(thread, EventKind::SemRelease(*s));
                 self.advance(thread);
             }
@@ -884,7 +1244,7 @@ impl Executor {
                 }
                 let parent_clock = self.threads[thread.index()].clock.clone();
                 {
-                    let child = &mut self.threads[t.index()];
+                    let child = self.thread_mut(*t);
                     child.status = ThreadStatus::Ready;
                     child.clock.join(&parent_clock);
                 }
@@ -897,7 +1257,7 @@ impl Executor {
             Stmt::Join(t) => {
                 debug_assert_eq!(self.threads[t.index()].status, ThreadStatus::Finished);
                 let target_clock = self.threads[t.index()].clock.clone();
-                self.threads[thread.index()].clock.join(&target_clock);
+                self.thread_mut(thread).clock.join(&target_clock);
                 self.record_event(thread, EventKind::Join(*t));
                 self.advance(thread);
             }
@@ -917,15 +1277,16 @@ impl Executor {
                 self.advance(thread);
             }
             Stmt::Io { tag } => {
-                self.io_journal.push((thread, tag));
-                if let Some(tx) = &mut self.threads[thread.index()].tx {
+                Arc::make_mut(&mut self.cold).io_journal.push((thread, tag));
+                if self.threads[thread.index()].tx.is_some() {
+                    let tx = self.thread_mut(thread).tx.as_mut().expect("checked above");
                     tx.io_performed = true;
                 }
                 self.record_event(thread, EventKind::Io(tag));
                 self.advance(thread);
             }
             Stmt::TxBegin => {
-                let ts = &mut self.threads[thread.index()];
+                let ts = self.thread_mut(thread);
                 let tx = TxState::new(ts.pc, &ts.locals);
                 ts.tx = Some(tx);
                 self.record_event(thread, EventKind::TxBegin);
@@ -933,7 +1294,7 @@ impl Executor {
             }
             Stmt::TxRetry => {
                 self.record_event(thread, EventKind::TxAbort);
-                let ts = &mut self.threads[thread.index()];
+                let ts = self.thread_mut(thread);
                 let tx = ts
                     .tx
                     .take()
@@ -949,13 +1310,14 @@ impl Executor {
                 // TL2 permits conservative aborts: a forced abort at commit
                 // is indistinguishable from a lost version-lock race.
                 let forced = self.fault_fires(FaultKind::TxAbort, thread);
-                let tx = self.threads[thread.index()]
+                let tx = self
+                    .thread_mut(thread)
                     .tx
                     .take()
                     .expect("build validation pairs TxCommit with TxBegin");
                 if !forced && tx.validate(&self.vars) {
                     for (var, value) in &tx.write_set {
-                        self.vars[var.index()] = *value;
+                        self.set_var(*var, *value);
                         self.record_event(
                             thread,
                             EventKind::Write {
@@ -964,12 +1326,12 @@ impl Executor {
                             },
                         );
                     }
-                    self.threads[thread.index()].tx_retries = 0;
+                    self.thread_mut(thread).tx_retries = 0;
                     self.record_event(thread, EventKind::TxCommit);
                     self.advance(thread);
                 } else {
                     self.record_event(thread, EventKind::TxAbort);
-                    let ts = &mut self.threads[thread.index()];
+                    let ts = self.thread_mut(thread);
                     ts.locals = tx.locals_snapshot.clone();
                     ts.pc = tx.start_pc;
                     ts.tx = None;
@@ -1893,7 +2255,7 @@ mod fault_tests {
         let mut e2 = Executor::new(&p);
         e2.set_fault_plan(only(FaultKind::TryLockFail));
         e2.step(t(0)).unwrap();
-        assert!(e2.mutexes[m.index()].owner.is_none());
+        assert!(e2.cold.mutexes[m.index()].owner.is_none());
     }
 
     #[test]

@@ -179,6 +179,12 @@ pub struct ExploreStats {
     /// Enabled choices skipped because the preemption budget was
     /// exhausted.
     pub preemption_limited: u64,
+    /// Heap bytes the copy-on-write snapshot representation avoided
+    /// copying, summed over all snapshots: for each one, the size a
+    /// pre-COW deep clone would have copied minus what the `Arc`-sharing
+    /// clone actually copies. A pure function of the states snapshotted,
+    /// so the serial and parallel explorers report identical totals.
+    pub snapshot_bytes_saved: u64,
     /// Wall-clock time of the whole exploration.
     pub wall: Duration,
 }
@@ -227,6 +233,18 @@ impl ExploreReport {
         }
     }
 
+    /// Visible steps executed per second of wall time (0.0 when the
+    /// exploration was too fast to time) — the explorer's throughput
+    /// currency, independent of how long individual schedules are.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.stats.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.steps_total as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
     /// `true` when the space was exhausted with no failure — i.e. the
     /// program is correct within the explored bounds.
     pub fn proved_ok(&self) -> bool {
@@ -242,6 +260,7 @@ pub struct Explorer<'p> {
     record: RecordMode,
     sink: Arc<dyn Sink>,
     fault: Option<FaultPlan>,
+    legacy: bool,
 }
 
 impl<'p> Explorer<'p> {
@@ -253,6 +272,7 @@ impl<'p> Explorer<'p> {
             record: RecordMode::Off,
             sink: Arc::new(NoopSink),
             fault: None,
+            legacy: false,
         }
     }
 
@@ -311,6 +331,17 @@ impl<'p> Explorer<'p> {
         self
     }
 
+    /// Emulates the pre-copy-on-write snapshot costs: every branch
+    /// snapshot is a [`Executor::deep_clone`] (all shared components
+    /// materialized, logs re-chunked) and every dedup probe recomputes
+    /// the state key from scratch. Results are identical to the default
+    /// mode — only slower. Exists as the honest baseline for the E-perf
+    /// benchmark; not intended for regular use.
+    pub fn legacy_snapshots(mut self) -> Explorer<'p> {
+        self.legacy = true;
+        self
+    }
+
     /// Explores under a deterministic [`FaultPlan`]: spurious wakeups,
     /// forced try-lock failures, forced transaction aborts, and bounded
     /// stalls are injected into every execution. Identical plans yield
@@ -341,6 +372,16 @@ impl<'p> Explorer<'p> {
             /// Sleep set: threads whose next op is covered by an already
             /// explored sibling subtree.
             sleep: Vec<ThreadId>,
+            /// [`Executor::snapshot_bytes_saved`] of `exec`, computed
+            /// once at push: the value is identical for every child
+            /// cloned from this prefix (the prefix is never mutated
+            /// while it sits on the stack).
+            saved: u64,
+            /// Logical branch depth of this frame (root = 1). Kept
+            /// explicitly because the physical stack can be shorter:
+            /// an exhausted frame is popped when its last child moves
+            /// the snapshot out.
+            depth: u64,
         }
 
         let stopwatch = Stopwatch::start();
@@ -360,7 +401,7 @@ impl<'p> Explorer<'p> {
             truncation: None,
             stats: ExploreStats::default(),
         };
-        let mut seen_states: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut seen_states = crate::fxhash::FxHashSet::<u64>::default();
         if self.sink.enabled() {
             let mut fields = vec![
                 ("program", Value::Str(self.program.name())),
@@ -398,17 +439,20 @@ impl<'p> Explorer<'p> {
             return report;
         }
         if self.limits.dedup_states {
-            seen_states.insert(root.state_key());
+            seen_states.insert(self.branch_key(&root));
         }
         let enabled = root.enabled();
         report.stats.branch_points += 1;
         report.stats.max_depth = 1;
+        let root_saved = root.snapshot_bytes_saved();
         stack.push(Branch {
             exec: root,
             enabled,
             next: 0,
             preemptions: 0,
             sleep: Vec::new(),
+            saved: root_saved,
+            depth: 1,
         });
 
         while let Some(top) = stack.last_mut() {
@@ -438,8 +482,7 @@ impl<'p> Explorer<'p> {
             // still enabled counts against the bound.
             let mut preemptions = top.preemptions;
             if let Some(bound) = self.limits.max_preemptions {
-                let last = top.exec.schedule_taken().choices().last().copied();
-                if let Some(last) = last {
+                if let Some(last) = top.exec.last_scheduled() {
                     if last != choice && top.enabled.contains(&last) {
                         preemptions += 1;
                         if preemptions > bound {
@@ -469,8 +512,23 @@ impl<'p> Explorer<'p> {
                 top.sleep.push(choice);
             }
 
-            let mut child = top.exec.clone();
+            let saved = top.saved;
+            let depth = top.depth;
+            let mut child = if self.legacy {
+                top.exec.deep_clone()
+            } else if top.next >= top.enabled.len() {
+                // Last sibling: this frame pops on the next iteration
+                // without reading its state again, so move the snapshot
+                // out instead of cloning it. Safe because COW children
+                // share structure instead of borrowing from the parent;
+                // legacy mode keeps the faithful clone-per-child of the
+                // pre-COW implementation it emulates.
+                stack.pop().expect("current frame is on the stack").exec
+            } else {
+                top.exec.clone()
+            };
             report.stats.snapshots += 1;
+            report.stats.snapshot_bytes_saved += saved;
             child
                 .step(choice)
                 .expect("explorer only chooses enabled threads");
@@ -520,19 +578,22 @@ impl<'p> Explorer<'p> {
                     }
                 }
                 Next::Branch(exec, enabled) => {
-                    if self.limits.dedup_states && !seen_states.insert(exec.state_key()) {
+                    if self.limits.dedup_states && !seen_states.insert(self.branch_key(&exec)) {
                         report.states_deduped += 1;
                         continue;
                     }
                     report.stats.branch_points += 1;
+                    let saved = exec.snapshot_bytes_saved();
                     stack.push(Branch {
                         exec,
                         enabled,
                         next: 0,
                         preemptions,
                         sleep: child_sleep,
+                        saved,
+                        depth: depth + 1,
                     });
-                    report.stats.max_depth = report.stats.max_depth.max(stack.len() as u64);
+                    report.stats.max_depth = report.stats.max_depth.max(depth + 1);
                 }
                 Next::Redundant => {
                     report.sleep_pruned += 1;
@@ -540,8 +601,31 @@ impl<'p> Explorer<'p> {
             }
         }
 
+        // A search that spent its whole schedule budget counts as
+        // truncated even when the stack happened to drain exactly at the
+        // budget — eagerly popped frames must not make an exact-budget
+        // run look complete. (Stopping at the first failure keeps
+        // precedence, as it always has.)
+        if report.schedules_run >= self.limits.max_schedules
+            && !(self.limits.stop_on_first_failure && report.first_failure.is_some())
+        {
+            report.truncated = true;
+        }
         self.finish(&mut report, stopwatch, deadline_hit);
         report
+    }
+
+    /// Dedup key for a branch state: the cached incremental key, or the
+    /// preserved pre-incremental whole-state hash in legacy mode. The
+    /// two keys have different values but make the same distinctions,
+    /// so the dedup verdicts — and therefore the reports — coincide
+    /// (the property suite enforces it).
+    fn branch_key(&self, exec: &Executor) -> u64 {
+        if self.legacy {
+            exec.state_key_legacy()
+        } else {
+            exec.state_key()
+        }
     }
 
     /// Derives the truncation reason, stamps the wall time, and emits the
@@ -585,6 +669,11 @@ impl<'p> Explorer<'p> {
                 ),
                 ("truncation", Value::Str(&truncation)),
                 ("schedules_per_sec", Value::F64(report.schedules_per_sec())),
+                ("states_per_sec", Value::F64(report.states_per_sec())),
+                (
+                    "snapshot_bytes_saved",
+                    Value::U64(report.stats.snapshot_bytes_saved),
+                ),
                 ("wall_us", Value::U64(report.stats.wall.as_micros() as u64)),
             ];
             if let Some(d) = self.limits.deadline {
@@ -624,10 +713,10 @@ impl<'p> Explorer<'p> {
             });
         }
         if outcome.is_failure() && report.first_failure.is_none() {
-            report.first_failure = Some((exec.schedule_taken().clone(), outcome.clone()));
+            report.first_failure = Some((exec.schedule_taken(), outcome.clone()));
         }
         if outcome.is_ok() && report.first_ok.is_none() {
-            report.first_ok = Some(exec.schedule_taken().clone());
+            report.first_ok = Some(exec.schedule_taken());
         }
         on_terminal(exec, outcome);
     }

@@ -76,7 +76,7 @@ const PARK: Duration = Duration::from_micros(200);
 /// owned by a different id can never survive its own commit.
 #[derive(Debug)]
 struct StripedSet {
-    stripes: Vec<RwLock<HashMap<u64, u64>>>,
+    stripes: Vec<RwLock<HashMap<u64, u64, crate::fxhash::FxBuild>>>,
 }
 
 impl StripedSet {
@@ -86,7 +86,7 @@ impl StripedSet {
         }
     }
 
-    fn stripe(&self, key: u64) -> &RwLock<HashMap<u64, u64>> {
+    fn stripe(&self, key: u64) -> &RwLock<HashMap<u64, u64, crate::fxhash::FxBuild>> {
         &self.stripes[(key as usize) % SEEN_STRIPES]
     }
 
@@ -138,7 +138,12 @@ enum ChildRec {
     PreemptionLimited,
     /// Run-forward ended with every enabled thread asleep: the subtree
     /// is covered by explored siblings.
-    Redundant,
+    Redundant {
+        /// Snapshot bytes the COW clone avoided copying (see
+        /// [`Executor::snapshot_bytes_saved`]); carried to the commit
+        /// walk so serial and parallel totals match.
+        saved: u64,
+    },
     /// A complete schedule. The witness schedule is carried only by the
     /// first failing and first passing child of each expansion — the
     /// only ones the commit walk can ever need.
@@ -146,6 +151,7 @@ enum ChildRec {
         outcome: Outcome,
         steps: u64,
         schedule: Option<Schedule>,
+        saved: u64,
     },
     /// A deeper branch prefix; its [`Task`] is handed to the deques
     /// when the parent commits.
@@ -154,6 +160,7 @@ enum ChildRec {
         key: u64,
         cancel: Arc<AtomicBool>,
         task: Option<Box<Task>>,
+        saved: u64,
     },
 }
 
@@ -284,6 +291,10 @@ impl Drop for StopGuard<'_> {
 fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) -> Vec<ChildRec> {
     let mut children = Vec::with_capacity(task.enabled.len());
     let mut sleep = task.sleep.clone();
+    // Identical for every child of this prefix (the prefix executor is
+    // never mutated during expansion), matching what the serial
+    // explorer accumulates at its clone site.
+    let saved = task.exec.snapshot_bytes_saved();
     let mut have_fail_witness = false;
     let mut have_ok_witness = false;
     for &choice in &task.enabled {
@@ -302,8 +313,7 @@ fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) 
         // still enabled counts against the bound.
         let mut preemptions = task.preemptions;
         if let Some(bound) = limits.max_preemptions {
-            let last = task.exec.schedule_taken().choices().last().copied();
-            if let Some(last) = last {
+            if let Some(last) = task.exec.last_scheduled() {
                 if last != choice && task.enabled.contains(&last) {
                     preemptions += 1;
                     if preemptions > bound {
@@ -377,13 +387,14 @@ fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) 
                 // those carry their schedule.
                 let want_witness = (outcome.is_failure() && !have_fail_witness)
                     || (outcome.is_ok() && !have_ok_witness);
-                let schedule = want_witness.then(|| exec.schedule_taken().clone());
+                let schedule = want_witness.then(|| exec.schedule_taken());
                 have_fail_witness |= outcome.is_failure();
                 have_ok_witness |= outcome.is_ok();
                 children.push(ChildRec::Terminal {
                     outcome,
                     steps: exec.steps() as u64,
                     schedule,
+                    saved,
                 });
             }
             Next::Branch(exec, enabled) => {
@@ -407,9 +418,10 @@ fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) 
                         sleep: child_sleep,
                         cancel,
                     })),
+                    saved,
                 });
             }
-            Next::Redundant => children.push(ChildRec::Redundant),
+            Next::Redundant => children.push(ChildRec::Redundant { saved }),
         }
     }
     children
@@ -631,7 +643,7 @@ impl<'p> ParExplorer<'p> {
             // Program terminates without any scheduling choice: no
             // workers needed.
             self.classify(&mut report, outcome, root.steps() as u64, || {
-                root.schedule_taken().clone()
+                root.schedule_taken()
             });
             let stats = ParStats {
                 jobs,
@@ -746,16 +758,19 @@ impl<'p> ParExplorer<'p> {
                         match rec {
                             ChildRec::SleepPruned => report.sleep_pruned += 1,
                             ChildRec::PreemptionLimited => report.stats.preemption_limited += 1,
-                            ChildRec::Redundant => {
+                            ChildRec::Redundant { saved } => {
                                 report.stats.snapshots += 1;
+                                report.stats.snapshot_bytes_saved += saved;
                                 report.sleep_pruned += 1;
                             }
                             ChildRec::Terminal {
                                 outcome,
                                 steps,
                                 schedule,
+                                saved,
                             } => {
                                 report.stats.snapshots += 1;
+                                report.stats.snapshot_bytes_saved += saved;
                                 self.classify(&mut report, outcome, steps, || {
                                     schedule
                                         .expect("first failing/passing child carries its schedule")
@@ -767,9 +782,14 @@ impl<'p> ParExplorer<'p> {
                                 }
                             }
                             ChildRec::Branch {
-                                id, key, cancel, ..
+                                id,
+                                key,
+                                cancel,
+                                saved,
+                                ..
                             } => {
                                 report.stats.snapshots += 1;
+                                report.stats.snapshot_bytes_saved += saved;
                                 if self.limits.dedup_states && !shared.seen.insert(key, id) {
                                     report.states_deduped += 1;
                                     cancel.store(true, Ordering::Relaxed);
@@ -971,6 +991,11 @@ impl<'p> ParExplorer<'p> {
             ("wasted_expansions", Value::U64(stats.wasted_expansions)),
             ("truncation", Value::Str(&truncation)),
             ("schedules_per_sec", Value::F64(report.schedules_per_sec())),
+            ("states_per_sec", Value::F64(report.states_per_sec())),
+            (
+                "snapshot_bytes_saved",
+                Value::U64(report.stats.snapshot_bytes_saved),
+            ),
             ("wall_us", Value::U64(report.stats.wall.as_micros() as u64)),
         ];
         if let Some(d) = self.limits.deadline {
@@ -1069,6 +1094,10 @@ mod tests {
         assert_eq!(
             serial.stats.snapshots, par.stats.snapshots,
             "{label}: snapshots"
+        );
+        assert_eq!(
+            serial.stats.snapshot_bytes_saved, par.stats.snapshot_bytes_saved,
+            "{label}: snapshot_bytes_saved"
         );
         assert_eq!(
             serial.stats.max_depth, par.stats.max_depth,

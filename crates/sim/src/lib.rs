@@ -69,11 +69,14 @@ mod error;
 mod exec;
 mod expr;
 mod footprint;
+mod fxhash;
 mod ids;
 mod outcome;
 mod program;
+mod pvec;
 mod schedule;
 mod state;
+mod statehash;
 mod stmt;
 mod txn;
 

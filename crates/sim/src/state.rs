@@ -70,8 +70,11 @@ impl RwState {
         self.writer.is_none() && !self.readers.contains(&by)
     }
 
-    pub fn can_write(&self, by: ThreadId) -> bool {
-        self.writer.is_none() && self.readers.is_empty() && self.writer != Some(by)
+    /// Write admission is a property of the lock alone: free of any
+    /// writer and of all readers. (A `self.writer != Some(by)` clause
+    /// once rode along here; it was dead after `writer.is_none()`.)
+    pub fn can_write(&self, _by: ThreadId) -> bool {
+        self.writer.is_none() && self.readers.is_empty()
     }
 
     #[cfg_attr(not(test), allow(dead_code))]

@@ -1,0 +1,237 @@
+//! Incrementally maintained state fingerprint for the explorer's dedup.
+//!
+//! [`Executor::state_key`](crate::Executor::state_key) used to rehash
+//! the entire execution state (including a sort-and-allocate of every
+//! thread's locals) on every dedup probe. Instead, the executor now
+//! keeps one FNV-1a hash per *component* — each shared variable, each
+//! sync object, each thread — and folds them into a single key with
+//! XOR. XOR is order-independent and self-inverse, so when a step
+//! mutates a component the key is repaired by xoring out the stale
+//! component hash and xoring in the fresh one; a dedup probe then reads
+//! a cached `u64`.
+//!
+//! Every component hash is seeded with a kind tag and the component's
+//! index and finished with a `splitmix64`-style avalanche, so distinct
+//! components land in independent positions of the fold and structured
+//! patterns (two counters swapping values, say) do not cancel.
+//!
+//! This module owns the bookkeeping (slots, dirty list, fold); the
+//! executor owns the *content* hashing, which must keep making exactly
+//! the distinctions the old whole-state hash made (see
+//! `Executor::state_key_recomputed`, which the property suite compares
+//! against the incremental key after arbitrary step sequences).
+
+/// Streaming 64-bit FNV-1a hasher with a strong finisher.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    pub(crate) fn byte(mut self, b: u8) -> Fnv {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        self
+    }
+
+    pub(crate) fn bytes(mut self, bs: &[u8]) -> Fnv {
+        for &b in bs {
+            self = self.byte(b);
+        }
+        self
+    }
+
+    /// One multiply round per word instead of eight byte rounds: the
+    /// incremental fingerprint rehashes a component on every executor
+    /// step, so this is hot-path cost. The word is avalanched first so
+    /// a single round still diffuses it across the accumulator.
+    pub(crate) fn u64(mut self, v: u64) -> Fnv {
+        self.0 = (self.0 ^ mix(v)).wrapping_mul(Self::PRIME);
+        self
+    }
+
+    pub(crate) fn i64(self, v: i64) -> Fnv {
+        self.u64(v as u64)
+    }
+
+    pub(crate) fn usize(self, v: usize) -> Fnv {
+        self.u64(v as u64)
+    }
+
+    /// Finishes with an avalanche mix so component hashes are safe to
+    /// combine by XOR.
+    pub(crate) fn finish(self) -> u64 {
+        mix(self.0)
+    }
+}
+
+/// `splitmix64` finalizer.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// One hashed component of the execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Comp {
+    Var(usize),
+    Mutex(usize),
+    Cond(usize),
+    Rw(usize),
+    Sem(usize),
+    Thread(usize),
+}
+
+/// Cached per-component hashes plus their XOR fold, with a dirty list
+/// of components mutated since the fold was last repaired.
+///
+/// All slots live in one flat allocation (kind-segmented by offset):
+/// the explorer clones this structure once per snapshot, so the clone
+/// must be a single memcpy, not six vector clones.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StateHash {
+    slots: Box<[u64]>,
+    /// Start of each kind's segment in `slots`, in [`Comp`] kind order
+    /// (vars start at 0).
+    offsets: [u32; 5],
+    key: u64,
+    dirty: Vec<Comp>,
+}
+
+impl StateHash {
+    /// Zeroed slots for a state with the given component counts; the
+    /// executor fills them via [`StateHash::replace`] right after.
+    pub(crate) fn with_sizes(
+        vars: usize,
+        mutexes: usize,
+        conds: usize,
+        rws: usize,
+        sems: usize,
+        threads: usize,
+    ) -> StateHash {
+        let mutexes_at = vars;
+        let conds_at = mutexes_at + mutexes;
+        let rws_at = conds_at + conds;
+        let sems_at = rws_at + rws;
+        let threads_at = sems_at + sems;
+        StateHash {
+            slots: vec![0; threads_at + threads].into_boxed_slice(),
+            offsets: [
+                mutexes_at as u32,
+                conds_at as u32,
+                rws_at as u32,
+                sems_at as u32,
+                threads_at as u32,
+            ],
+            key: 0,
+            dirty: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, c: Comp) -> &mut u64 {
+        let at = match c {
+            Comp::Var(i) => i,
+            Comp::Mutex(i) => self.offsets[0] as usize + i,
+            Comp::Cond(i) => self.offsets[1] as usize + i,
+            Comp::Rw(i) => self.offsets[2] as usize + i,
+            Comp::Sem(i) => self.offsets[3] as usize + i,
+            Comp::Thread(i) => self.offsets[4] as usize + i,
+        };
+        &mut self.slots[at]
+    }
+
+    /// Marks a component as mutated. Idempotent within one repair
+    /// cycle; the list stays tiny (a step touches a handful of
+    /// components at most).
+    pub(crate) fn touch(&mut self, c: Comp) {
+        if !self.dirty.contains(&c) {
+            self.dirty.push(c);
+        }
+    }
+
+    /// Pops one component awaiting a rehash.
+    pub(crate) fn pop_dirty(&mut self) -> Option<Comp> {
+        self.dirty.pop()
+    }
+
+    /// Installs a fresh hash for `c`, repairing the fold: the stale
+    /// hash xors out, the fresh one xors in.
+    pub(crate) fn replace(&mut self, c: Comp, fresh: u64) {
+        let slot = self.slot(c);
+        let stale = *slot;
+        *slot = fresh;
+        self.key ^= stale ^ fresh;
+    }
+
+    /// `true` when no component awaits a rehash (the fold is valid).
+    pub(crate) fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// The XOR fold over all component hashes.
+    pub(crate) fn key(&self) -> u64 {
+        debug_assert!(self.is_clean(), "state key read with dirty components");
+        self.key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_repairs_the_fold() {
+        let mut h = StateHash::with_sizes(2, 1, 0, 0, 0, 1);
+        h.replace(Comp::Var(0), 10);
+        h.replace(Comp::Var(1), 20);
+        h.replace(Comp::Mutex(0), 40);
+        h.replace(Comp::Thread(0), 80);
+        assert_eq!(h.key(), 10 ^ 20 ^ 40 ^ 80);
+        // Updating one component swaps exactly its contribution.
+        h.replace(Comp::Var(1), 21);
+        assert_eq!(h.key(), 10 ^ 21 ^ 40 ^ 80);
+    }
+
+    #[test]
+    fn touch_is_idempotent_per_cycle() {
+        let mut h = StateHash::with_sizes(1, 0, 0, 0, 0, 1);
+        h.touch(Comp::Var(0));
+        h.touch(Comp::Var(0));
+        h.touch(Comp::Thread(0));
+        assert!(!h.is_clean());
+        assert!(h.pop_dirty().is_some());
+        assert!(h.pop_dirty().is_some());
+        assert!(h.pop_dirty().is_none());
+        assert!(h.is_clean());
+    }
+
+    #[test]
+    fn fnv_distinguishes_order_and_content() {
+        let a = Fnv::new().u64(1).u64(2).finish();
+        let b = Fnv::new().u64(2).u64(1).finish();
+        let c = Fnv::new().u64(1).u64(2).finish();
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(
+            Fnv::new().bytes(b"x").finish(),
+            Fnv::new().bytes(b"y").finish()
+        );
+    }
+
+    #[test]
+    fn mix_avalanches_low_bits() {
+        // Consecutive inputs must not produce correlated folds.
+        let h1 = mix(1);
+        let h2 = mix(2);
+        assert_ne!(h1 ^ h2, 3, "mix must break additive structure");
+        assert_ne!(h1, h2);
+    }
+}

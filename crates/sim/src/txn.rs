@@ -8,8 +8,7 @@
 //! closely enough for the study's TM-applicability experiments while
 //! staying deterministic under the model checker.
 
-use std::collections::HashMap;
-
+use crate::fxhash::Locals;
 use crate::ids::VarId;
 
 /// In-flight transaction bookkeeping (one per thread at most; nesting is
@@ -25,14 +24,14 @@ pub(crate) struct TxState {
     /// Redo log: last write per variable.
     pub write_set: Vec<(VarId, i64)>,
     /// Locals at `TxBegin`, restored on abort.
-    pub locals_snapshot: HashMap<&'static str, i64>,
+    pub locals_snapshot: Locals,
     /// Whether an irrevocable I/O effect was performed inside the
     /// transaction — the canonical "TM cannot help" obstacle in the study.
     pub io_performed: bool,
 }
 
 impl TxState {
-    pub fn new(start_pc: usize, locals: &HashMap<&'static str, i64>) -> TxState {
+    pub fn new(start_pc: usize, locals: &Locals) -> TxState {
         TxState {
             start_pc,
             read_set: Vec::new(),
@@ -82,7 +81,7 @@ mod tests {
 
     #[test]
     fn read_prefers_redo_log_then_read_set() {
-        let mut tx = TxState::new(0, &HashMap::new());
+        let mut tx = TxState::new(0, &Locals::default());
         assert_eq!(tx.read(v(0), 10), 10); // from global, recorded
         assert_eq!(tx.read(v(0), 999), 10); // snapshot, not fresh global
         tx.write(v(0), 42);
@@ -91,7 +90,7 @@ mod tests {
 
     #[test]
     fn write_overwrites_in_place() {
-        let mut tx = TxState::new(0, &HashMap::new());
+        let mut tx = TxState::new(0, &Locals::default());
         tx.write(v(1), 1);
         tx.write(v(1), 2);
         assert_eq!(tx.write_set, vec![(v(1), 2)]);
@@ -99,14 +98,14 @@ mod tests {
 
     #[test]
     fn validate_checks_read_set_against_globals() {
-        let mut tx = TxState::new(0, &HashMap::new());
+        let mut tx = TxState::new(0, &Locals::default());
         let globals = vec![5, 7];
         assert_eq!(tx.read(v(1), globals[1]), 7);
         assert!(tx.validate(&globals));
         let changed = vec![5, 8];
         assert!(!tx.validate(&changed));
         // Writes alone never invalidate.
-        let mut tx2 = TxState::new(0, &HashMap::new());
+        let mut tx2 = TxState::new(0, &Locals::default());
         tx2.write(v(0), 9);
         assert!(tx2.validate(&changed));
     }

@@ -72,7 +72,7 @@ fn main() {
     let mut universe = PairCoverage::new();
     Explorer::new(&program)
         .record_events()
-        .run_with_callback(|exec, _| universe.observe_events(exec.events()));
+        .run_with_callback(|exec, _| universe.observe_events(&exec.events()));
     let traces = RandomWalker::new(&program, 0xBEEF).collect_traces(25);
     let mut cov = PairCoverage::new();
     for (i, (trace, _)) in traces.iter().enumerate() {

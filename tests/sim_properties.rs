@@ -193,6 +193,119 @@ proptest! {
         prop_assert_eq!(par.stats.max_depth, serial.stats.max_depth);
     }
 
+    /// The incrementally maintained state fingerprint equals a
+    /// from-scratch recomputation after every step of any generated
+    /// program, including across a copy-on-write branch point where
+    /// parent and child diverge from shared history.
+    #[test]
+    fn incremental_state_key_matches_recomputation(
+        seed in 0u64..2_000,
+        threads in 2usize..=3,
+        ops in 2usize..=5,
+        locked_pct in 0u8..=100,
+        tx_pct in 0u8..=40,
+        fork_at in 1usize..=6,
+    ) {
+        let config = GenConfig {
+            threads,
+            vars: 2,
+            mutexes: 1,
+            ops_per_thread: ops,
+            locked_pct,
+            tx_pct,
+        };
+        let program = generate(&config, seed);
+        let mut exec = Executor::new(&program);
+        let mut forked: Option<Executor> = None;
+        let mut state = seed;
+        let mut next = |len: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize % len
+        };
+        for step in 0..10_000 {
+            prop_assert_eq!(
+                exec.state_key(),
+                exec.state_key_recomputed(),
+                "key drifted at step {}",
+                step
+            );
+            let enabled = exec.enabled();
+            if enabled.is_empty() {
+                break;
+            }
+            if step == fork_at {
+                // Branch point: the cheap clone shares history with the
+                // parent; both must keep exact fingerprints afterwards.
+                forked = Some(exec.clone());
+            }
+            let pick = enabled[next(enabled.len())];
+            exec.step(pick).expect("enabled thread steps");
+        }
+        if let Some(mut child) = forked {
+            for step in 0..10_000 {
+                prop_assert_eq!(
+                    child.state_key(),
+                    child.state_key_recomputed(),
+                    "forked key drifted at step {}",
+                    step
+                );
+                let enabled = child.enabled();
+                if enabled.is_empty() {
+                    break;
+                }
+                // Diverge from the parent's choices: pick the last
+                // enabled thread instead of a seeded one.
+                let pick = *enabled.last().unwrap();
+                child.step(pick).expect("enabled thread steps");
+            }
+        }
+    }
+
+    /// The legacy (pre-COW) snapshot/hash mode must be observationally
+    /// identical to the optimized explorer: it exists purely as the
+    /// E-perf baseline, so every report field except wall time matches.
+    #[test]
+    fn legacy_snapshot_mode_is_observationally_identical(
+        seed in 0u64..1_000,
+        locked_pct in 0u8..=100,
+    ) {
+        let config = GenConfig {
+            threads: 3,
+            vars: 2,
+            mutexes: 1,
+            ops_per_thread: 3,
+            locked_pct,
+            tx_pct: 20,
+        };
+        let program = generate(&config, seed);
+        let limits = ExploreLimits {
+            max_schedules: 50_000,
+            dedup_states: true,
+            sleep_sets: true,
+            ..ExploreLimits::default()
+        };
+        let cow = Explorer::new(&program).limits(limits.clone()).run();
+        let legacy = Explorer::new(&program)
+            .limits(limits)
+            .legacy_snapshots()
+            .run();
+        prop_assert_eq!(legacy.schedules_run, cow.schedules_run);
+        prop_assert_eq!(legacy.steps_total, cow.steps_total);
+        prop_assert_eq!(&legacy.counts, &cow.counts);
+        prop_assert_eq!(legacy.states_deduped, cow.states_deduped);
+        prop_assert_eq!(legacy.sleep_pruned, cow.sleep_pruned);
+        prop_assert_eq!(&legacy.first_failure, &cow.first_failure);
+        prop_assert_eq!(&legacy.first_ok, &cow.first_ok);
+        prop_assert_eq!(legacy.stats.snapshots, cow.stats.snapshots);
+        prop_assert_eq!(
+            legacy.stats.snapshot_bytes_saved,
+            cow.stats.snapshot_bytes_saved
+        );
+        prop_assert_eq!(legacy.stats.max_depth, cow.stats.max_depth);
+    }
+
     /// With dedup on, the striped seen-state set must make exactly the
     /// serial dedup decisions: same schedules, same dedup hits, same
     /// first witnesses — at any worker count, locked or transactional.
