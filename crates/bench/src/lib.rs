@@ -4,8 +4,8 @@
 //!
 //! - the **`tables` binary** (`cargo run -p lfm-bench --bin tables`)
 //!   regenerates every table (T1–T9), figure demo (F1–F5) and implication
-//!   experiment (E-scope, E-detect, E-tm, E-chaos, E-par, E-perf, E-wit)
-//!   of the study; pass
+//!   experiment (E-scope, E-detect, E-tm, E-chaos, E-par, E-perf, E-wit,
+//!   E-obs) of the study; pass
 //!   `--only <id>` to print one artifact, `--markdown` for Markdown;
 //! - the **criterion benches** (`cargo bench -p lfm-bench`) measure the
 //!   substrates: exploration throughput per kernel family, detector
@@ -17,15 +17,17 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod obs;
 pub mod par;
 pub mod perf;
 pub mod snapshot;
 
 pub use chaos::{chaos_comparison, chaos_table, ChaosRow};
+pub use obs::{obs_json, obs_measure, obs_table, ObsReport, ObsRow, OBS_BUDGET, OBS_TARGET_PCT};
 pub use par::{par_scaling, par_table, ParRow, ParScaling};
 pub use perf::{
     baseline_states_per_sec, perf_json, perf_measure, perf_table, PerfReport, PerfRow, PerfSpeedup,
-    PERF_BUDGET, PERF_GATE_KERNEL,
+    BENCH_EXPLORE_SCHEMA, PERF_BUDGET, PERF_GATE_KERNEL,
 };
 pub use snapshot::{obs_snapshot, SNAPSHOT_SCHEMA};
 
@@ -64,6 +66,8 @@ pub enum Artifact {
     Perf,
     /// E-wit.
     Witness,
+    /// E-obs.
+    Obs,
     /// The findings checker.
     Findings,
 }
@@ -82,6 +86,7 @@ impl Artifact {
             "epar" | "e-par" => Some(Artifact::Par),
             "eperf" | "e-perf" => Some(Artifact::Perf),
             "ewit" | "e-wit" => Some(Artifact::Witness),
+            "eobs" | "e-obs" => Some(Artifact::Obs),
             "findings" => Some(Artifact::Findings),
             _ if s.len() >= 2 => {
                 let (kind, num) = s.split_at(1);
@@ -111,6 +116,7 @@ impl Artifact {
             Artifact::Par,
             Artifact::Perf,
             Artifact::Witness,
+            Artifact::Obs,
         ]);
         v
     }
@@ -132,6 +138,7 @@ impl Artifact {
             Artifact::Par => "epar".to_string(),
             Artifact::Perf => "eperf".to_string(),
             Artifact::Witness => "ewit".to_string(),
+            Artifact::Obs => "eobs".to_string(),
             Artifact::Findings => "findings".to_string(),
         }
     }
@@ -181,6 +188,7 @@ impl Artifact {
             Artifact::Par => table(par::par_table(20_000)),
             Artifact::Perf => table(perf::perf_table(perf::PERF_BUDGET)),
             Artifact::Witness => table(witness_table()),
+            Artifact::Obs => table(obs::obs_table(obs::OBS_BUDGET)),
             Artifact::Findings => {
                 let mut out = String::from("Findings (paper vs measured)\n");
                 for f in lfm_study::check_all(corpus) {
@@ -238,6 +246,8 @@ mod tests {
         assert_eq!(Artifact::parse("e-perf"), Some(Artifact::Perf));
         assert_eq!(Artifact::parse("ewit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("e-wit"), Some(Artifact::Witness));
+        assert_eq!(Artifact::parse("eobs"), Some(Artifact::Obs));
+        assert_eq!(Artifact::parse("e-obs"), Some(Artifact::Obs));
         assert_eq!(Artifact::parse("findings"), Some(Artifact::Findings));
         assert_eq!(Artifact::parse("t0"), None);
         assert_eq!(Artifact::parse("t10"), None);
@@ -248,7 +258,7 @@ mod tests {
     #[test]
     fn all_lists_every_artifact() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 1 + 9 + 5 + 9);
+        assert_eq!(all.len(), 1 + 9 + 5 + 10);
     }
 
     #[test]

@@ -36,6 +36,9 @@ use lfm_study::Table;
 /// always measure the same workload).
 pub const PERF_BUDGET: u64 = 2_000;
 
+/// Schema identifier embedded in the `BENCH_explore.json` document.
+pub const BENCH_EXPLORE_SCHEMA: &str = "lfm-bench-explore/v1";
+
 /// The kernel the CI regression gate watches: the largest state space
 /// in the registry, so its exploration always exhausts the budget and
 /// every run does the same amount of work.
@@ -122,7 +125,7 @@ impl PerfReport {
 /// time. Unlike E-par's serial-vs-parallel check this also compares
 /// the COW accounting: legacy mode reports the same
 /// `snapshot_bytes_saved` it *would* have saved, by construction.
-fn reports_identical(a: &ExploreReport, b: &ExploreReport) -> bool {
+pub(crate) fn reports_identical(a: &ExploreReport, b: &ExploreReport) -> bool {
     a.counts == b.counts
         && a.schedules_run == b.schedules_run
         && a.steps_total == b.steps_total
@@ -137,6 +140,7 @@ fn reports_identical(a: &ExploreReport, b: &ExploreReport) -> bool {
         && a.stats.snapshot_bytes_saved == b.stats.snapshot_bytes_saved
         && a.stats.max_depth == b.stats.max_depth
         && a.stats.preemption_limited == b.stats.preemption_limited
+        && a.est_total_schedules.to_bits() == b.est_total_schedules.to_bits()
 }
 
 fn explore_limits(max_schedules: u64) -> ExploreLimits {
@@ -311,8 +315,10 @@ pub fn perf_json(report: &PerfReport) -> String {
     let mut out = String::with_capacity(4096);
     let _ = write!(
         out,
-        "{{\"schema\":\"lfm-bench-explore/v1\",\"budget\":{},\"host_parallelism\":{}",
-        report.budget, report.host_parallelism
+        "{{\"schema\":{},\"budget\":{},\"host_parallelism\":{}",
+        json::quote(BENCH_EXPLORE_SCHEMA),
+        report.budget,
+        report.host_parallelism
     );
     out.push_str(",\"kernels\":[");
     for (i, r) in report.rows.iter().enumerate() {

@@ -308,6 +308,15 @@ pub fn obs_snapshot() -> String {
     );
     out.push('}');
 
+    // Observability overhead: the E-obs measurement — profiler +
+    // progress estimation + flight recorder against observation-off on
+    // the two deepest kernels. The overhead percentage is a host
+    // property; `reports_identical` must be true everywhere. (Smoke
+    // budget, like the perf section above.)
+    let obs = crate::obs::obs_measure(300);
+    out.push_str(",\"obs\":");
+    out.push_str(&crate::obs::obs_json(&obs));
+
     // Table-generator timings over the full corpus.
     let corpus = lfm_corpus::Corpus::full();
     let (_, timings) = lfm_study::profile_tables(&corpus, &NoopSink);
@@ -355,6 +364,9 @@ mod tests {
             "\"speedup_at_4\":",
             "\"perf\":{",
             "\"cow_states_per_sec\":",
+            "\"obs\":{",
+            "\"target_overhead_pct\":",
+            "\"top_phase\":",
             "\"snapshot_bytes_saved_total\":",
             "\"snapshot_bytes_saved\":",
             "\"states_per_sec\":",

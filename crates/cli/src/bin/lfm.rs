@@ -2,18 +2,46 @@
 //!
 //! Exit status: 0 success; 1 degraded (a contained table-generator
 //! panic, or `--log-jsonl` lost events to write errors); 2 usage error.
+//!
+//! An always-on [`FlightRecorder`] tees every structured event into a
+//! bounded in-memory ring. On panic, on a degraded exit, or when a
+//! `--deadline` trip cut exploration short, the recorder's tail is
+//! dumped as `lfm-obs/v1` JSONL to `lfm-flight.jsonl` (override with
+//! `LFM_FLIGHT_DUMP=<path>`) so the last moments of the run survive for
+//! inspection. Clean exits leave no dump behind.
 
+use std::io::BufWriter;
 use std::sync::Arc;
 
-use lfm_obs::{JsonlSink, NoopSink, Sink};
+use lfm_obs::{FlightRecorder, JsonlSink, NoopSink, Sink, TeeSink};
+
+/// Where the flight-recorder tail goes when a run ends badly.
+fn dump_path() -> String {
+    std::env::var("LFM_FLIGHT_DUMP").unwrap_or_else(|_| "lfm-flight.jsonl".to_owned())
+}
+
+fn dump_flight(flight: &FlightRecorder, why: &str) {
+    let path = dump_path();
+    match flight.dump_to_path(&path) {
+        Ok(()) => eprintln!("flight recorder ({why}): {path}"),
+        Err(err) => eprintln!("flight recorder dump failed: {path}: {err}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match lfm_cli::parse_invocation(&args) {
         Ok(invocation) => {
-            let sink: Arc<dyn Sink> = match &invocation.log_jsonl {
+            // Concrete handle kept for the durability contract: fsync
+            // (not just flush) the log before deciding the exit code.
+            let mut jsonl: Option<Arc<JsonlSink<BufWriter<std::fs::File>>>> = None;
+            let user_sink: Arc<dyn Sink> = match &invocation.log_jsonl {
                 Some(path) => match JsonlSink::create(path) {
-                    Ok(sink) => Arc::new(sink),
+                    Ok(sink) => {
+                        let sink = Arc::new(sink);
+                        jsonl = Some(Arc::clone(&sink));
+                        sink
+                    }
                     Err(err) => {
                         eprintln!("error: cannot open log file `{path}`: {err}");
                         std::process::exit(2);
@@ -21,16 +49,43 @@ fn main() {
                 },
                 None => Arc::new(NoopSink),
             };
+            // The flight recorder sees every event the user sink sees;
+            // it never reports lost events (a ring overwrites, it does
+            // not fail), so teeing cannot degrade a clean run.
+            let flight = Arc::new(FlightRecorder::new());
+            let sink: Arc<dyn Sink> = Arc::new(TeeSink::new(vec![
+                Arc::clone(&user_sink),
+                Arc::clone(&flight) as Arc<dyn Sink>,
+            ]));
+            // A panic anywhere (contained or not) dumps the ring before
+            // the default hook prints the backtrace.
+            let panic_flight = Arc::clone(&flight);
+            let prior_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                dump_flight(&panic_flight, "panic");
+                prior_hook(info);
+            }));
+
             let opts = invocation.options();
             let out = lfm_cli::run_opts(invocation.command, Arc::clone(&sink), &opts);
+            let _ = std::panic::take_hook();
             print!("{}", out.text);
-            sink.flush();
-            let lost = sink.lost_events();
+            if let Some(jsonl) = &jsonl {
+                jsonl.sync();
+            }
+            let lost = user_sink.lost_events();
             if lost > 0 {
                 eprintln!("warning: {lost} structured event(s) lost to log write errors");
             }
-            if out.degraded || lost > 0 {
+            let degraded = out.degraded || lost > 0;
+            if degraded {
+                dump_flight(&flight, "degraded exit");
                 std::process::exit(1);
+            }
+            if out.deadline_tripped {
+                // Not an error — the budget worked as designed — but
+                // the truncated run's tail is worth keeping.
+                dump_flight(&flight, "deadline trip");
             }
         }
         Err(err) => {

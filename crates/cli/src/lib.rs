@@ -12,10 +12,13 @@
 //! lfm kernel <id> --chaos 42                       # seeded fault injection
 //! lfm kernel <id> --deadline 10                    # budgeted, may degrade
 //! lfm explore <id> --jobs 4                        # parallel exploration
+//! lfm explore <id> --progress                      # periodic progress estimates
 //! lfm witness <id> --out w.json --chrome t.json   # minimized portable witness
 //! lfm replay w.json                                # verify a saved witness
-//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|ewit|findings]
+//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|ewit|eobs|findings]
+//! lfm version                                      # binary + schema versions
 //! lfm --log-jsonl run.jsonl kernel <id>            # structured event log
+//! lfm --metrics m.txt explore <id>                 # OpenMetrics exposition
 //! ```
 //!
 //! The argument parser is hand-rolled (the offline dependency set has no
@@ -36,9 +39,13 @@ use std::time::Duration;
 use lfm_bench::Artifact;
 use lfm_corpus::{App, BugClass, Corpus};
 use lfm_kernels::{registry, Family, Kernel, Variant};
-use lfm_obs::{fmt_duration, ChromeTraceSink, NoopSink, Sink, StatsTable};
+use lfm_obs::{
+    fmt_duration, ChromeTraceSink, NoopSink, PhaseProfiler, ProgressLineSink, ProgressTracker,
+    Registry, Sink, StatsTable, Stopwatch, TeeSink,
+};
 use lfm_sim::{
-    minimize, pseudocode, Budget, BudgetedExplorer, Explorer, FaultPlan, ParExplorer, Witness,
+    minimize, pseudocode, Budget, BudgetedExplorer, Explorer, FaultPlan, ParExplorer, Truncation,
+    Witness,
 };
 
 /// A parsed CLI invocation.
@@ -73,15 +80,19 @@ pub enum Command {
         /// per-phase wall time) after the results.
         stats: bool,
     },
-    /// `lfm explore <id> [--jobs N] [--stats]`
+    /// `lfm explore <id> [--jobs N] [--stats] [--progress]`
     Explore {
         /// The kernel id.
         id: String,
         /// Worker threads (default: one per available core, capped
         /// at 8).
         jobs: Option<usize>,
-        /// Print per-worker scheduling counters after the report.
+        /// Print per-worker scheduling counters and phase-attributed
+        /// wall time after the report.
         stats: bool,
+        /// Emit periodic progress-estimate lines (tree-size estimate,
+        /// fraction explored, throughput trend, ETA) to stderr.
+        progress: bool,
     },
     /// `lfm witness <kernel-id> [--out <path>] [--chrome <path>]`
     Witness {
@@ -100,6 +111,8 @@ pub enum Command {
     },
     /// `lfm export`
     Export,
+    /// `lfm version`: binary version plus every artifact schema.
+    Version,
     /// `lfm tables [artifact]`
     Tables {
         /// Specific artifact, or everything.
@@ -169,6 +182,8 @@ pub struct Invocation {
     pub chaos: Option<u64>,
     /// `--deadline <secs>`: wall-clock budget for kernel exploration.
     pub deadline: Option<Duration>,
+    /// `--metrics <path>`: write an OpenMetrics text exposition.
+    pub metrics: Option<String>,
 }
 
 impl Invocation {
@@ -177,18 +192,21 @@ impl Invocation {
         RunOptions {
             chaos: self.chaos,
             deadline: self.deadline,
+            metrics: self.metrics.clone(),
         }
     }
 }
 
 /// Parses the argument vector (without the program name), extracting
 /// global options (`--log-jsonl <path>`, `--chaos <seed>`,
-/// `--deadline <secs>`, accepted anywhere) before the command grammar.
+/// `--deadline <secs>`, `--metrics <path>`, accepted anywhere) before
+/// the command grammar.
 pub fn parse_invocation(args: &[String]) -> Result<Invocation, UsageError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut log_jsonl = None;
     let mut chaos = None;
     let mut deadline = None;
+    let mut metrics = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--log-jsonl" {
@@ -217,6 +235,11 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, UsageError> {
                 )));
             }
             deadline = Some(Duration::from_secs_f64(secs));
+        } else if arg == "--metrics" {
+            let path = it
+                .next()
+                .ok_or_else(|| UsageError("--metrics needs a file path".into()))?;
+            metrics = Some(path.clone());
         } else {
             rest.push(arg.clone());
         }
@@ -226,6 +249,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, UsageError> {
         log_jsonl,
         chaos,
         deadline,
+        metrics,
     })
 }
 
@@ -309,11 +333,12 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             })
         }
         Some("explore") => {
-            let id = it
-                .next()
-                .ok_or_else(|| UsageError("usage: lfm explore <id> [--jobs N] [--stats]".into()))?;
+            let id = it.next().ok_or_else(|| {
+                UsageError("usage: lfm explore <id> [--jobs N] [--stats] [--progress]".into())
+            })?;
             let mut jobs = None;
             let mut stats = false;
+            let mut progress = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--jobs" => {
@@ -329,6 +354,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                         jobs = Some(n);
                     }
                     "--stats" => stats = true,
+                    "--progress" => progress = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -336,6 +362,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 id: id.to_owned(),
                 jobs,
                 stats,
+                progress,
             })
         }
         Some("witness") => {
@@ -379,6 +406,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             })
         }
         Some("export") => Ok(Command::Export),
+        Some("version") | Some("--version") | Some("-V") => Ok(Command::Version),
         Some("tables") => {
             let mut only = None;
             let mut markdown = false;
@@ -389,8 +417,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                         only = Some(Artifact::parse(sel).ok_or_else(|| {
                             UsageError(format!(
                                 "unknown artifact `{sel}` (t1..t9, f1..f5, escope, \
-                                 edetect, etest, ecov, etm, echaos, epar, ewit, \
-                                 findings)"
+                                 edetect, etest, ecov, etm, echaos, epar, eperf, \
+                                 ewit, eobs, findings)"
                             ))
                         })?);
                     }
@@ -416,12 +444,16 @@ USAGE:
   lfm kernel <id> --source          print the kernel as paper-figure pseudo-code
   lfm kernel <id> --witness         show the failure witness as a timeline
   lfm kernel <id> --stats           also print exploration metrics
-  lfm explore <id> [--jobs N] [--stats]
+  lfm explore <id> [--jobs N] [--stats] [--progress]
                                     model-check the buggy variant across N
                                     worker threads (default: all cores, max
                                     8); the merged report is bit-identical
                                     to the serial explorer's; --stats adds
-                                    per-worker scheduling counters
+                                    per-worker scheduling counters and
+                                    phase-attributed wall time; --progress
+                                    streams periodic tree-size estimates
+                                    (fraction explored, trend, ETA) to
+                                    stderr
   lfm witness <id> [--out <path>] [--chrome <path>]
                                     find, minimize and save a portable
                                     lfm-trace/v1 witness (default out:
@@ -433,8 +465,9 @@ USAGE:
   lfm tables [ARTIFACT] [--markdown]
                                     regenerate tables/figures/experiments
                                     (t1..t9, f1..f5, escope, edetect, etest,
-                                     ecov, etm, echaos, epar, ewit, findings;
-                                     default: everything)
+                                     ecov, etm, echaos, epar, eperf, ewit,
+                                     eobs, findings; default: everything)
+  lfm version                       binary version + artifact schema versions
   lfm help
 
 GLOBAL OPTIONS:
@@ -447,23 +480,34 @@ GLOBAL OPTIONS:
                                     degrades exhaustive -> sleep-set ->
                                     preemption-bounded -> PCT sampling and
                                     reports the level and confidence used
+  --metrics <path>                  write an OpenMetrics/Prometheus text
+                                    exposition describing the run (explore
+                                    and tables commands)
 
 EXIT STATUS:
   0  success
   1  degraded: a table generator panicked (contained, see FAILED lines)
      or --log-jsonl lost events to write errors
   2  usage error
+
+On panic or degraded exit the binary dumps its flight recorder (the
+last structured events, lfm-obs/v1 JSONL) to lfm-flight.jsonl or
+$LFM_FLIGHT_DUMP; a wall-deadline trip dumps too but still exits 0.
 ";
 
-/// Robustness options carried by the global `--chaos` / `--deadline`
-/// flags. They affect the `kernel` and `explore` commands only:
-/// `witness` and `source` renderings are deterministic and ignore them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Options carried by the global `--chaos` / `--deadline` /
+/// `--metrics` flags. Chaos and deadline affect the `kernel` and
+/// `explore` commands only: `witness` and `source` renderings are
+/// deterministic and ignore them. Metrics are honored by `explore`
+/// and `tables`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunOptions {
     /// Seed for a deterministic [`FaultPlan`] (`--chaos`).
     pub chaos: Option<u64>,
     /// Wall-clock budget across all variants of a kernel (`--deadline`).
     pub deadline: Option<Duration>,
+    /// Path for an OpenMetrics text exposition (`--metrics`).
+    pub metrics: Option<String>,
 }
 
 impl RunOptions {
@@ -478,8 +522,13 @@ pub struct RunOutput {
     /// The text to print.
     pub text: String,
     /// `true` when part of the work failed but was contained (a table
-    /// generator panicked); the binary exits 1.
+    /// generator panicked, or an artifact could not be written); the
+    /// binary exits 1.
     pub degraded: bool,
+    /// `true` when exploration was cut short by the `--deadline` wall
+    /// budget. Not an error (the binary still exits 0), but the binary
+    /// dumps its flight recorder so the truncated run can be inspected.
+    pub deadline_tripped: bool,
 }
 
 /// Executes a parsed command, returning the text to print.
@@ -574,6 +623,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                 return RunOutput {
                     text: format!("no kernel `{id}` (try `lfm list kernels`)\n"),
                     degraded: false,
+                    deadline_tripped: false,
                 };
             };
             if witness {
@@ -586,6 +636,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                     return RunOutput {
                         text: format!("kernel `{id}` produced no failure?!\n"),
                         degraded: false,
+                        deadline_tripped: false,
                     };
                 };
                 let (trace, _) = lfm_sim::explore::trace_of(&program, &schedule, 5_000);
@@ -594,6 +645,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                 return RunOutput {
                     text: out,
                     degraded: false,
+                    deadline_tripped: false,
                 };
             }
             if source {
@@ -606,7 +658,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                 }
                 out
             } else if opts.active() {
-                run_kernel_budgeted(&kernel, &id, stats, opts, &sink)
+                return run_kernel_budgeted(&kernel, &id, stats, opts, &sink);
             } else {
                 let mut out = format!("{kernel}\n  {}\n\n", kernel.description);
                 let buggy = Explorer::new(&kernel.buggy())
@@ -679,69 +731,150 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                 out
             }
         }
-        Command::Explore { id, jobs, stats } => {
+        Command::Explore {
+            id,
+            jobs,
+            stats,
+            progress,
+        } => {
             let Some(kernel) = registry::by_id(&id) else {
                 return RunOutput {
                     text: format!("no kernel `{id}` (try `lfm list kernels`)\n"),
                     degraded: false,
+                    deadline_tripped: false,
                 };
             };
-            run_explore(&kernel, &id, jobs, stats, opts, &sink)
+            return run_explore(&kernel, &id, jobs, stats, progress, opts, &sink);
         }
         Command::Witness { id, out, chrome } => {
             let Some(kernel) = registry::by_id(&id) else {
                 return RunOutput {
                     text: format!("no kernel `{id}` (try `lfm list kernels`)\n"),
                     degraded: false,
+                    deadline_tripped: false,
                 };
             };
             return run_witness(&kernel, &id, out.as_deref(), chrome.as_deref(), &sink);
         }
         Command::Replay { path } => return run_replay(&path),
         Command::Export => lfm_corpus::to_json(&Corpus::full()),
+        Command::Version => version_text(),
         Command::Tables { only, markdown } => {
             let corpus = Corpus::full();
             let artifacts = match only {
                 Some(a) => vec![a],
                 None => Artifact::all(),
             };
+            let stopwatch = Stopwatch::start();
+            let mut rendered_ok = 0u64;
+            let mut failed = 0u64;
             let mut out = String::new();
             for artifact in artifacts {
                 // Panic isolation: one broken generator marks the run
                 // degraded but every other artifact still renders.
                 match artifact.render_isolated(&corpus, markdown) {
-                    Ok(rendered) => out.push_str(&rendered),
+                    Ok(rendered) => {
+                        rendered_ok += 1;
+                        out.push_str(&rendered);
+                    }
                     Err(payload) => {
                         degraded = true;
+                        failed += 1;
                         out.push_str(&format!("FAILED {}: {payload}\n", artifact.id()));
                     }
                 }
                 out.push('\n');
             }
+            if let Some(path) = &opts.metrics {
+                let mut registry = Registry::new();
+                registry.counter(
+                    "lfm_tables_artifacts_rendered",
+                    "Artifacts rendered successfully.",
+                    rendered_ok,
+                );
+                registry.counter(
+                    "lfm_tables_artifacts_failed",
+                    "Artifacts whose generator panicked (contained).",
+                    failed,
+                );
+                registry.gauge(
+                    "lfm_tables_wall_seconds",
+                    "Wall-clock time regenerating the artifacts.",
+                    stopwatch.elapsed().as_secs_f64(),
+                );
+                if let Err(e) = registry.write_to(path) {
+                    degraded = true;
+                    out.push_str(&format!("METRICS FAILED: {path}: {e}\n"));
+                }
+            }
             out
         }
     };
-    RunOutput { text, degraded }
+    RunOutput {
+        text,
+        degraded,
+        deadline_tripped: false,
+    }
+}
+
+/// The `version` command: the binary version plus the schema version of
+/// every machine-readable artifact the toolchain writes, so a consumer
+/// can check compatibility without generating one of each.
+fn version_text() -> String {
+    format!(
+        "lfm {}\nschemas:\n  {:24}{}\n  {:24}{}\n  {:24}{}\n",
+        env!("CARGO_PKG_VERSION"),
+        "flight recorder/metrics",
+        lfm_obs::FLIGHT_SCHEMA,
+        "witness",
+        lfm_sim::WITNESS_SCHEMA,
+        "bench explore baseline",
+        lfm_bench::BENCH_EXPLORE_SCHEMA,
+    )
 }
 
 /// The `explore` command: one [`ParExplorer`] run over the kernel's
 /// buggy variant — frontier sharded across `jobs` worker threads,
 /// merged deterministically — reporting the same fields as the serial
-/// explorer plus (with `--stats`) per-worker scheduling counters.
+/// explorer plus (with `--stats`) per-worker scheduling counters and
+/// phase-attributed wall time. `--progress` tees periodic tree-size
+/// estimates to stderr; `--metrics` writes an OpenMetrics exposition.
+/// Observation never changes the report: profiling is write-only and
+/// sampling-gated, and the estimator runs unconditionally.
 fn run_explore(
     kernel: &Kernel,
     id: &str,
     jobs: Option<usize>,
     stats: bool,
+    progress: bool,
     opts: &RunOptions,
     sink: &Arc<dyn Sink>,
-) -> String {
+) -> RunOutput {
     let jobs = jobs.unwrap_or_else(ParExplorer::auto_jobs);
     let program = kernel.buggy();
+    // Phase attribution rides on --stats or --metrics (the two surfaces
+    // that show it); otherwise the profiler is a disabled no-op.
+    let profiler = if stats || opts.metrics.is_some() {
+        Arc::new(PhaseProfiler::sampling(PhaseProfiler::DEFAULT_SHIFT))
+    } else {
+        Arc::new(PhaseProfiler::disabled())
+    };
+    let run_sink: Arc<dyn Sink> = if progress {
+        Arc::new(TeeSink::new(vec![
+            Arc::clone(sink),
+            Arc::new(ProgressLineSink::stderr()),
+        ]))
+    } else {
+        Arc::clone(sink)
+    };
     let mut explorer = ParExplorer::new(&program)
         .jobs(jobs)
         .dedup_states()
-        .with_sink(Arc::clone(sink));
+        .with_sink(run_sink)
+        .profile(Arc::clone(&profiler));
+    if progress {
+        explorer = explorer.progress_every(ProgressTracker::DEFAULT_EVERY);
+    }
     if let Some(seed) = opts.chaos {
         explorer = explorer.chaos(FaultPlan::new(seed));
     }
@@ -749,6 +882,7 @@ fn run_explore(
         explorer = explorer.deadline(deadline);
     }
     let (report, par) = explorer.run_detailed();
+    let mut degraded = false;
 
     let mut out = format!("{kernel}\n  {}\n\n", kernel.description);
     if let Some(seed) = opts.chaos {
@@ -773,11 +907,24 @@ fn run_explore(
     if let Some(reason) = report.truncation {
         out.push_str(&format!("truncated by: {reason}\n"));
     }
+    if report.est_total_schedules > 0.0 {
+        out.push_str(&format!(
+            "est. total schedules: {:.0}\n",
+            report.est_total_schedules
+        ));
+    }
     out.push_str(&format!(
         "wall: {}  ({:.1} schedules/sec)\n",
         fmt_duration(report.stats.wall),
         report.schedules_per_sec()
     ));
+    // Coordinator phases (commit/hash/dedup) merged with every worker's
+    // (snapshot/step/hash/steal/idle): one profile answering "where did
+    // the wall time go" across the whole pool.
+    let mut profile = profiler.snapshot();
+    for worker in &par.profiles {
+        profile.merge(worker);
+    }
     if stats {
         let mut table = StatsTable::new(format!("parallel stats ({id}, {} workers)", par.jobs));
         table
@@ -796,10 +943,144 @@ fn run_explore(
                 ),
             );
         }
+        for (phase, attribution) in profile.rows() {
+            table.row(phase, attribution);
+        }
         out.push('\n');
         out.push_str(&table.to_string());
     }
-    out
+    if let Some(path) = &opts.metrics {
+        let registry = explore_metrics(id, &report, &par, &profile);
+        if let Err(e) = registry.write_to(path) {
+            degraded = true;
+            out.push_str(&format!("METRICS FAILED: {path}: {e}\n"));
+        }
+    }
+    RunOutput {
+        text: out,
+        degraded,
+        deadline_tripped: report.truncation == Some(Truncation::WallDeadline),
+    }
+}
+
+/// Builds the OpenMetrics registry describing one `explore` run:
+/// exploration counters, throughput and estimate gauges, per-worker
+/// scheduling counters, and per-phase attributed nanoseconds.
+fn explore_metrics(
+    id: &str,
+    report: &lfm_sim::ExploreReport,
+    par: &lfm_sim::ParStats,
+    profile: &lfm_obs::PhaseProfile,
+) -> Registry {
+    let mut r = Registry::new();
+    let kernel_label: &[(&str, &str)] = &[("kernel", id)];
+    r.counter_with(
+        "lfm_explore_schedules",
+        "Schedules the exploration ran.",
+        kernel_label,
+        report.schedules_run,
+    );
+    r.counter_with(
+        "lfm_explore_steps",
+        "Visible steps (states visited).",
+        kernel_label,
+        report.steps_total,
+    );
+    r.counter_with(
+        "lfm_explore_failures",
+        "Schedules that manifested the bug.",
+        kernel_label,
+        report.counts.failures(),
+    );
+    r.counter_with(
+        "lfm_explore_dedup_hits",
+        "States pruned by the seen-set.",
+        kernel_label,
+        report.states_deduped,
+    );
+    r.counter_with(
+        "lfm_explore_sleep_pruned",
+        "Schedules pruned by sleep sets.",
+        kernel_label,
+        report.sleep_pruned,
+    );
+    r.counter_with(
+        "lfm_explore_tasks_spawned",
+        "Parallel expansion tasks spawned.",
+        kernel_label,
+        par.tasks_spawned,
+    );
+    r.counter_with(
+        "lfm_explore_wasted_expansions",
+        "Expansions discarded at merge (speculation waste).",
+        kernel_label,
+        par.wasted_expansions,
+    );
+    r.gauge_with(
+        "lfm_explore_workers",
+        "Worker threads used.",
+        kernel_label,
+        par.jobs as f64,
+    );
+    r.gauge_with(
+        "lfm_explore_states_per_sec",
+        "Exploration throughput.",
+        kernel_label,
+        report.states_per_sec(),
+    );
+    r.gauge_with(
+        "lfm_explore_est_total_schedules",
+        "Knuth tree-size estimate of the full schedule space.",
+        kernel_label,
+        report.est_total_schedules,
+    );
+    r.gauge_with(
+        "lfm_explore_max_depth",
+        "Deepest DFS stack observed.",
+        kernel_label,
+        report.stats.max_depth as f64,
+    );
+    r.gauge_with(
+        "lfm_explore_wall_seconds",
+        "Wall-clock time of the exploration.",
+        kernel_label,
+        report.stats.wall.as_secs_f64(),
+    );
+    for (i, w) in par.workers.iter().enumerate() {
+        let worker = i.to_string();
+        let labels: &[(&str, &str)] = &[("kernel", id), ("worker", &worker)];
+        r.counter_with(
+            "lfm_explore_worker_claimed",
+            "Tasks a worker claimed.",
+            labels,
+            w.claimed,
+        );
+        r.counter_with(
+            "lfm_explore_worker_steals",
+            "Tasks a worker stole from siblings.",
+            labels,
+            w.steals,
+        );
+    }
+    for stat in profile.phases() {
+        if stat.entries == 0 {
+            continue;
+        }
+        let labels: &[(&str, &str)] = &[("kernel", id), ("phase", stat.phase.name())];
+        r.gauge_with(
+            "lfm_explore_phase_nanos",
+            "Estimated wall nanoseconds attributed to a hot-path phase.",
+            labels,
+            stat.est_total_nanos() as f64,
+        );
+        r.counter_with(
+            "lfm_explore_phase_entries",
+            "Times a hot-path phase was entered.",
+            labels,
+            stat.entries,
+        );
+    }
+    r
 }
 
 /// The `kernel` command under `--chaos` / `--deadline`: every variant
@@ -812,7 +1093,7 @@ fn run_kernel_budgeted(
     stats: bool,
     opts: &RunOptions,
     sink: &Arc<dyn Sink>,
-) -> String {
+) -> RunOutput {
     let variants = 1 + kernel.fixes.len() as u32;
     let budget = Budget {
         deadline: opts.deadline.map(|total| total / variants),
@@ -842,6 +1123,7 @@ fn run_kernel_budgeted(
     out.push('\n');
 
     let buggy = explore(&kernel.buggy());
+    let mut deadline_tripped = buggy.truncation == Some(Truncation::WallDeadline);
     out.push_str(&format!(
         "buggy: {} schedules, {} manifest ({})\n",
         buggy.schedules_run,
@@ -863,6 +1145,7 @@ fn run_kernel_budgeted(
     for &fix in kernel.fixes {
         let fixed = kernel.build(Variant::Fixed(fix));
         let report = explore(&fixed);
+        deadline_tripped |= report.truncation == Some(Truncation::WallDeadline);
         out.push_str(&format!(
             "fix {:20} -> {} failures over {} schedules  [{}/{}]{}{}\n",
             fix.to_string(),
@@ -902,7 +1185,11 @@ fn run_kernel_budgeted(
         out.push('\n');
         out.push_str(&table.to_string());
     }
-    out
+    RunOutput {
+        text: out,
+        degraded: false,
+        deadline_tripped,
+    }
 }
 
 /// The `witness` command: search for the kernel's first failing
@@ -925,6 +1212,7 @@ fn run_witness(
         return RunOutput {
             text: format!("kernel `{id}` produced no failure to witness\n"),
             degraded: false,
+            deadline_tripped: false,
         };
     };
     let min = minimize(&program, &schedule, 5_000);
@@ -991,6 +1279,7 @@ fn run_witness(
     RunOutput {
         text: out,
         degraded,
+        deadline_tripped: false,
     }
 }
 
@@ -1005,6 +1294,7 @@ fn run_replay(path: &str) -> RunOutput {
             return RunOutput {
                 text: format!("cannot load witness: {e}\n"),
                 degraded: true,
+                deadline_tripped: false,
             };
         }
     };
@@ -1015,6 +1305,7 @@ fn run_replay(path: &str) -> RunOutput {
                 witness.kernel
             ),
             degraded: true,
+            deadline_tripped: false,
         };
     };
     let program = kernel.buggy();
@@ -1025,10 +1316,12 @@ fn run_replay(path: &str) -> RunOutput {
                 witness.kernel, witness.stats.events, witness.stats.switches
             ),
             degraded: false,
+            deadline_tripped: false,
         },
         Err(e) => RunOutput {
             text: format!("replay FAILED: {e}\n"),
             degraded: true,
+            deadline_tripped: false,
         },
     }
 }
@@ -1129,7 +1422,8 @@ mod tests {
             Command::Explore {
                 id: "abba".into(),
                 jobs: None,
-                stats: false
+                stats: false,
+                progress: false
             }
         );
         assert_eq!(
@@ -1137,7 +1431,17 @@ mod tests {
             Command::Explore {
                 id: "abba".into(),
                 jobs: Some(4),
-                stats: true
+                stats: true,
+                progress: false
+            }
+        );
+        assert_eq!(
+            parse(&args(&["explore", "abba", "--progress"])).unwrap(),
+            Command::Explore {
+                id: "abba".into(),
+                jobs: None,
+                stats: false,
+                progress: true
             }
         );
         assert!(parse(&args(&["explore"])).is_err());
@@ -1148,11 +1452,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_version() {
+        assert_eq!(parse(&args(&["version"])).unwrap(), Command::Version);
+        assert_eq!(parse(&args(&["--version"])).unwrap(), Command::Version);
+        assert_eq!(parse(&args(&["-V"])).unwrap(), Command::Version);
+    }
+
+    #[test]
+    fn run_version_prints_binary_and_schema_versions() {
+        let out = run(Command::Version);
+        assert!(out.starts_with(&format!("lfm {}", env!("CARGO_PKG_VERSION"))));
+        assert!(out.contains("lfm-obs/v1"), "{out}");
+        assert!(out.contains("lfm-trace/v1"), "{out}");
+        assert!(out.contains("lfm-bench-explore/v1"), "{out}");
+    }
+
+    #[test]
     fn run_explore_matches_serial_kernel_numbers() {
         let out = run(Command::Explore {
             id: "counter_rmw".into(),
             jobs: Some(2),
             stats: false,
+            progress: false,
         });
         assert!(out.contains("workers: 2"));
         // Same counts the serial explorer reports for this kernel under
@@ -1172,12 +1493,92 @@ mod tests {
             id: "counter_rmw".into(),
             jobs: Some(3),
             stats: true,
+            progress: false,
         });
         assert!(out.contains("parallel stats (counter_rmw, 3 workers)"));
         for i in 0..3 {
             assert!(out.contains(&format!("worker {i}")), "missing worker {i}");
         }
         assert!(out.contains("tasks spawned"));
+        // Phase attribution: --stats enables the sampling profiler, so
+        // the hot-path phases show up with their estimated share.
+        assert!(out.contains("phase step"), "missing phase rows:\n{out}");
+        assert!(out.contains("phase commit"), "missing phase rows:\n{out}");
+        // And the progress estimator's prediction is always reported.
+        assert!(out.contains("est. total schedules:"), "{out}");
+    }
+
+    #[test]
+    fn run_explore_writes_openmetrics_exposition() {
+        let path = std::env::temp_dir().join("lfm_cli_explore_metrics.txt");
+        let opts = RunOptions {
+            metrics: Some(path.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        };
+        let out = run_opts(
+            Command::Explore {
+                id: "counter_rmw".into(),
+                jobs: Some(2),
+                stats: false,
+                progress: false,
+            },
+            Arc::new(NoopSink),
+            &opts,
+        );
+        assert!(!out.degraded, "{}", out.text);
+        assert!(!out.deadline_tripped);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let samples = lfm_obs::check_exposition(&text).expect("exposition parses");
+        assert!(samples > 10, "only {samples} samples:\n{text}");
+        for needle in [
+            "# TYPE lfm_explore_schedules counter",
+            "lfm_explore_schedules_total{kernel=\"counter_rmw\"}",
+            "lfm_explore_states_per_sec{kernel=\"counter_rmw\"}",
+            "lfm_explore_est_total_schedules{kernel=\"counter_rmw\"}",
+            "lfm_explore_worker_claimed_total{kernel=\"counter_rmw\",worker=\"0\"}",
+            "lfm_explore_phase_nanos{kernel=\"counter_rmw\",phase=\"step\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn run_explore_observed_output_matches_unobserved() {
+        // --progress and --metrics must not change the report the user
+        // sees: same schedules, failures, estimate — the whole stdout
+        // text is identical (progress lines go to stderr).
+        let base = run(Command::Explore {
+            id: "counter_rmw".into(),
+            jobs: Some(2),
+            stats: false,
+            progress: false,
+        });
+        let path = std::env::temp_dir().join("lfm_cli_observed_metrics.txt");
+        let opts = RunOptions {
+            metrics: Some(path.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        };
+        let observed = run_opts(
+            Command::Explore {
+                id: "counter_rmw".into(),
+                jobs: Some(2),
+                stats: false,
+                progress: true,
+            },
+            Arc::new(NoopSink),
+            &opts,
+        );
+        let _ = std::fs::remove_file(&path);
+        // Everything except the measured wall line (a clock writes
+        // that, not the search) must match byte for byte.
+        let semantic = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("wall:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(semantic(&base), semantic(&observed.text));
     }
 
     #[test]
@@ -1186,6 +1587,7 @@ mod tests {
             id: "nope".into(),
             jobs: None,
             stats: false,
+            progress: false,
         });
         assert!(out.contains("no kernel `nope`"));
     }
@@ -1503,6 +1905,46 @@ mod tests {
     }
 
     #[test]
+    fn parses_metrics_flag_anywhere() {
+        let inv = parse_invocation(&args(&["--metrics", "m.txt", "explore", "abba"])).unwrap();
+        assert_eq!(inv.metrics.as_deref(), Some("m.txt"));
+        assert_eq!(inv.options().metrics.as_deref(), Some("m.txt"));
+        let inv = parse_invocation(&args(&["tables", "t1", "--metrics", "m.txt"])).unwrap();
+        assert_eq!(inv.metrics.as_deref(), Some("m.txt"));
+        assert!(parse_invocation(&args(&["explore", "abba", "--metrics"])).is_err());
+    }
+
+    #[test]
+    fn run_opts_tables_writes_metrics() {
+        let path = std::env::temp_dir().join("lfm_cli_tables_metrics.txt");
+        let opts = RunOptions {
+            metrics: Some(path.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        };
+        let out = run_opts(
+            Command::Tables {
+                only: Some(Artifact::Table(2)),
+                markdown: false,
+            },
+            Arc::new(NoopSink),
+            &opts,
+        );
+        assert!(!out.degraded, "{}", out.text);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(lfm_obs::check_exposition(&text).is_ok(), "{text}");
+        assert!(
+            text.contains("lfm_tables_artifacts_rendered_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lfm_tables_artifacts_failed_total 0"),
+            "{text}"
+        );
+        assert!(text.contains("lfm_tables_wall_seconds"), "{text}");
+    }
+
+    #[test]
     fn rejects_malformed_chaos_and_deadline() {
         assert!(parse_invocation(&args(&["kernel", "abba", "--chaos"])).is_err());
         assert!(parse_invocation(&args(&["kernel", "abba", "--chaos", "banana"])).is_err());
@@ -1527,6 +1969,7 @@ mod tests {
         let opts = RunOptions {
             chaos: None,
             deadline: Some(Duration::from_secs(10)),
+            metrics: None,
         };
         let out = run_opts(kernel_cmd("abba", false), Arc::new(NoopSink), &opts);
         assert!(!out.degraded);
@@ -1543,6 +1986,7 @@ mod tests {
         let opts = RunOptions {
             chaos: Some(42),
             deadline: None,
+            metrics: None,
         };
         let out = run_opts(kernel_cmd("counter_rmw", false), Arc::new(NoopSink), &opts);
         assert!(!out.degraded);
@@ -1558,6 +2002,7 @@ mod tests {
         let opts = RunOptions {
             chaos: Some(7),
             deadline: Some(Duration::from_secs(5)),
+            metrics: None,
         };
         run_opts(
             kernel_cmd("counter_rmw", false),
@@ -1576,6 +2021,7 @@ mod tests {
         let opts = RunOptions {
             chaos: None,
             deadline: Some(Duration::from_secs(10)),
+            metrics: None,
         };
         let out = run_opts(kernel_cmd("counter_rmw", true), Arc::new(NoopSink), &opts);
         for needle in [
@@ -1616,7 +2062,17 @@ mod tests {
 
     #[test]
     fn help_documents_the_robustness_surface() {
-        for needle in ["--chaos", "--deadline", "echaos", "EXIT STATUS"] {
+        for needle in [
+            "--chaos",
+            "--deadline",
+            "--metrics",
+            "--progress",
+            "echaos",
+            "eobs",
+            "lfm version",
+            "EXIT STATUS",
+            "flight recorder",
+        ] {
             assert!(HELP.contains(needle), "missing {needle:?} in HELP");
         }
     }

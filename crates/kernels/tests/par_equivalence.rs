@@ -79,6 +79,13 @@ fn assert_identical(label: &str, a: &ExploreReport, b: &ExploreReport) {
         a.stats.preemption_limited, b.stats.preemption_limited,
         "{label}: preemption_limited"
     );
+    assert_eq!(
+        a.est_total_schedules.to_bits(),
+        b.est_total_schedules.to_bits(),
+        "{label}: est_total_schedules ({} vs {})",
+        a.est_total_schedules,
+        b.est_total_schedules
+    );
 }
 
 /// One variant against one configuration at every worker count.

@@ -201,6 +201,83 @@ mod tests {
     }
 
     #[test]
+    fn escapes_quotes_and_backslashes_in_names() {
+        let sink = ChromeTraceSink::new();
+        emit(
+            &sink,
+            "trace",
+            "write",
+            &[
+                ("ts", Value::U64(1)),
+                ("name", Value::Str("say \"hi\" via C:\\path")),
+                ("detail", Value::Str("arg with \"quotes\"")),
+            ],
+        );
+        let rendered = sink.render();
+        let doc = Json::parse(&rendered).expect("escaped output still parses");
+        let e = &doc.get("traceEvents").and_then(Json::as_array).unwrap()[0];
+        // The round-tripped strings match the originals exactly.
+        assert_eq!(
+            e.get("name").and_then(Json::as_str),
+            Some("say \"hi\" via C:\\path")
+        );
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("detail"))
+                .and_then(Json::as_str),
+            Some("arg with \"quotes\"")
+        );
+    }
+
+    #[test]
+    fn escapes_control_chars_in_thread_and_kernel_names() {
+        let sink = ChromeTraceSink::new();
+        // A hostile kernel/thread name: newline, tab, NUL, bell.
+        let hostile = "thread\n\tname\u{0}\u{7}";
+        emit(
+            &sink,
+            "trace",
+            "thread_name",
+            &[
+                ("ph", Value::Str("M")),
+                ("pid", Value::U64(1)),
+                ("tid", Value::U64(2)),
+                ("name", Value::Str(hostile)),
+            ],
+        );
+        let rendered = sink.render();
+        // Raw control characters never reach the document; they are
+        // escaped (\n, \t, \u0000, \u0007).
+        assert!(!rendered
+            .chars()
+            .any(|c| c.is_control() && c != '\n' && c != '\r'));
+        assert!(rendered.contains("\\u0000"), "{rendered}");
+        let doc = Json::parse(&rendered).expect("escaped output still parses");
+        let e = &doc.get("traceEvents").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some(hostile)
+        );
+    }
+
+    #[test]
+    fn escapes_hostile_event_names_and_phase_strings() {
+        let sink = ChromeTraceSink::new();
+        sink.emit(&Event {
+            scope: "trace",
+            name: "op \"x\"\\\n",
+            fields: &[("ph", Value::Str("weird\"ph"))],
+        });
+        let rendered = sink.render();
+        let doc = Json::parse(&rendered).expect("escaped output still parses");
+        let e = &doc.get("traceEvents").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(e.get("name").and_then(Json::as_str), Some("op \"x\"\\\n"));
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("weird\"ph"));
+    }
+
+    #[test]
     fn ignores_other_scopes() {
         let sink = ChromeTraceSink::new();
         emit(&sink, "explore", "report", &[("n", Value::U64(1))]);

@@ -127,6 +127,23 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Cumulative `(upper_bound, count_le_upper_bound)` pairs for
+    /// rendering the distribution (e.g. OpenMetrics `le` buckets).
+    /// Stops after the bucket that reaches the total count, so empty
+    /// trailing buckets are omitted.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            out.push((bucket_upper(i), cum));
+            if cum >= self.count {
+                break;
+            }
+        }
+        out
+    }
+
     /// The median ([`HistogramSnapshot::quantile`] at 0.50).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -230,6 +247,81 @@ mod tests {
         assert_eq!(s.quantile(0.5), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.to_string(), "count=0");
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse_to_the_value() {
+        let h = Histogram::new();
+        h.record(7);
+        let s = h.snapshot();
+        // Every quantile of a one-sample distribution is that sample
+        // (the bucket upper bound 7 happens to be exact here).
+        assert_eq!(s.quantile(0.0), 7);
+        assert_eq!(s.p50(), 7);
+        assert_eq!(s.p99(), 7);
+        assert_eq!(s.quantile(1.0), 7);
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 7);
+        // A single sample off a bucket boundary is still capped to max.
+        let h2 = Histogram::new();
+        h2.record(5);
+        let s2 = h2.snapshot();
+        assert_eq!(s2.p50(), 5);
+        assert_eq!(s2.p99(), 5);
+    }
+
+    #[test]
+    fn all_equal_samples_have_flat_percentiles() {
+        let h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(42);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 42);
+        assert_eq!(s.p90(), 42);
+        assert_eq!(s.p99(), 42);
+        assert_eq!(s.quantile(1.0), 42);
+        assert_eq!(s.min, s.max);
+        assert!((s.mean() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_samples_stay_in_the_zero_bucket() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_the_distribution() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 8] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let cum = s.cumulative_buckets();
+        // Buckets: 0 → [0,0], 1 → [1,1], 2 → [2,3], ... 4 → [8,15].
+        assert_eq!(cum[0], (0, 1));
+        assert_eq!(cum[1], (1, 2));
+        assert_eq!(cum[2], (3, 4));
+        // The last entry reaches the full count at the max's bucket.
+        let &(last_ub, last_cum) = cum.last().unwrap();
+        assert_eq!(last_cum, s.count);
+        assert!(last_ub >= s.max);
+        // Cumulative counts are monotone.
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn cumulative_buckets_of_empty_histogram() {
+        let cum = Histogram::new().snapshot().cumulative_buckets();
+        assert_eq!(cum, vec![(0, 0)]);
     }
 
     #[test]

@@ -20,7 +20,16 @@
 //!   [`ChromeTraceSink`] (Chrome trace-event JSON for Perfetto);
 //! - [`StatsTable`] — aligned key/value rendering for `--stats` output;
 //! - [`json`] — hand-rolled JSON writing plus the minimal [`json::Json`]
-//!   reader used to load witness artifacts back.
+//!   reader used to load witness artifacts back;
+//! - [`PhaseProfiler`] — sampling-gated phase-attributed profiling of
+//!   the explorer hot path ("where did the wall time go");
+//! - [`FlightRecorder`] — a bounded ring of recent events dumped as an
+//!   `lfm-obs/v1` JSONL black box on panic or degraded exit;
+//! - [`KnuthEstimator`] / [`ProgressTracker`] — online tree-size and
+//!   throughput estimation behind `lfm explore --progress`;
+//! - [`Registry`] — OpenMetrics/Prometheus text exposition for
+//!   `--metrics <path>` (validated by [`check_exposition`]);
+//! - [`TeeSink`] — broadcast one event stream to several sinks.
 //!
 //! # Determinism contract
 //!
@@ -59,6 +68,10 @@ mod chrome;
 mod counter;
 mod histogram;
 pub mod json;
+mod openmetrics;
+mod profile;
+mod progress;
+mod ring;
 mod sink;
 mod span;
 mod stats;
@@ -66,6 +79,14 @@ mod stats;
 pub use chrome::ChromeTraceSink;
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use sink::{Event, JsonlSink, MemorySink, NoopSink, OwnedEvent, OwnedValue, Sink, Value};
+pub use openmetrics::{check_exposition, MetricKind, Registry};
+pub use profile::{Phase, PhaseGuard, PhaseProfile, PhaseProfiler, PhaseStat, PHASES};
+pub use progress::{
+    eta_ms, render_progress_line, KnuthEstimator, ProgressLineSink, ProgressTracker,
+};
+pub use ring::{FlightRecorder, DEFAULT_CAPACITY, FLIGHT_SCHEMA};
+pub use sink::{
+    Event, JsonlSink, MemorySink, NoopSink, OwnedEvent, OwnedValue, Sink, TeeSink, Value,
+};
 pub use span::{fmt_duration, Span, Stopwatch, Timing};
 pub use stats::StatsTable;

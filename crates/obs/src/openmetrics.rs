@@ -1,0 +1,593 @@
+//! OpenMetrics / Prometheus text exposition, std-only.
+//!
+//! A [`Registry`] collects metric families (counters, gauges, and
+//! histograms built from [`HistogramSnapshot`]s) and renders them in
+//! the [OpenMetrics text format](https://prometheus.io/docs/specs/om/open_metrics_spec/):
+//! `# HELP`/`# TYPE` metadata, `_total`-suffixed counter samples,
+//! `_bucket{le=...}`/`_sum`/`_count` histogram series, and a
+//! terminating `# EOF`. The CLI writes one exposition per run behind
+//! `--metrics <path>`; the future `lfm serve` layer will serve the
+//! same bytes over HTTP for scraping.
+//!
+//! [`check_exposition`] is a line-format validator used by the unit
+//! tests and the CI smoke job, so "the output parses" is asserted by
+//! code rather than eyeballs.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::histogram::HistogramSnapshot;
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count; rendered with a `_total` suffix.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Distribution rendered as cumulative `le` buckets + sum + count.
+    Histogram,
+}
+
+impl MetricKind {
+    fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SampleValue {
+    U64(u64),
+    F64(f64),
+    Histogram(Vec<(u64, u64)>, u64, u64),
+}
+
+#[derive(Debug, Clone)]
+struct Sample {
+    labels: Vec<(String, String)>,
+    value: SampleValue,
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    name: String,
+    kind: MetricKind,
+    help: String,
+    samples: Vec<Sample>,
+}
+
+/// A collection of metric families rendered as one text exposition.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // Non-finite values have no place in a scrape; render 0.
+        return "0".to_owned();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn family(&mut self, name: &str, kind: MetricKind, help: &str) -> &mut Family {
+        debug_assert!(valid_metric_name(name), "bad metric name {name:?}");
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            debug_assert!(
+                self.families[i].kind == kind,
+                "metric {name} re-registered with a different kind"
+            );
+            &mut self.families[i]
+        } else {
+            self.families.push(Family {
+                name: name.to_owned(),
+                kind,
+                help: help.to_owned(),
+                samples: Vec::new(),
+            });
+            self.families.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Registers an unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.counter_with(name, help, &[], value);
+    }
+
+    /// Registers a counter sample with labels.
+    pub fn counter_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.family(name, MetricKind::Counter, help)
+            .samples
+            .push(Sample {
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                    .collect(),
+                value: SampleValue::U64(value),
+            });
+    }
+
+    /// Registers an unlabeled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.gauge_with(name, help, &[], value);
+    }
+
+    /// Registers a gauge sample with labels.
+    pub fn gauge_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.family(name, MetricKind::Gauge, help)
+            .samples
+            .push(Sample {
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                    .collect(),
+                value: SampleValue::F64(value),
+            });
+    }
+
+    /// Registers a histogram from a snapshot (cumulative `le` buckets,
+    /// `_sum`, `_count`), with labels.
+    pub fn histogram_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.family(name, MetricKind::Histogram, help)
+            .samples
+            .push(Sample {
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                    .collect(),
+                value: SampleValue::Histogram(snap.cumulative_buckets(), snap.sum, snap.count),
+            });
+    }
+
+    /// Registers an unlabeled histogram from a snapshot.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.histogram_with(name, help, &[], snap);
+    }
+
+    /// `true` when no families are registered.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Renders the full text exposition, ending in `# EOF`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!("# TYPE {} {}\n", family.name, family.kind.name()));
+            for sample in &family.samples {
+                match &sample.value {
+                    SampleValue::U64(v) => {
+                        // Counter samples carry the `_total` suffix.
+                        let suffix = match family.kind {
+                            MetricKind::Counter => "_total",
+                            _ => "",
+                        };
+                        out.push_str(&render_sample(
+                            &family.name,
+                            suffix,
+                            &sample.labels,
+                            None,
+                            &v.to_string(),
+                        ));
+                    }
+                    SampleValue::F64(v) => {
+                        out.push_str(&render_sample(
+                            &family.name,
+                            "",
+                            &sample.labels,
+                            None,
+                            &format_f64(*v),
+                        ));
+                    }
+                    SampleValue::Histogram(cum, sum, count) => {
+                        for (upper, le_count) in cum {
+                            out.push_str(&render_sample(
+                                &family.name,
+                                "_bucket",
+                                &sample.labels,
+                                Some(&upper.to_string()),
+                                &le_count.to_string(),
+                            ));
+                        }
+                        out.push_str(&render_sample(
+                            &family.name,
+                            "_bucket",
+                            &sample.labels,
+                            Some("+Inf"),
+                            &count.to_string(),
+                        ));
+                        out.push_str(&render_sample(
+                            &family.name,
+                            "_sum",
+                            &sample.labels,
+                            None,
+                            &sum.to_string(),
+                        ));
+                        out.push_str(&render_sample(
+                            &family.name,
+                            "_count",
+                            &sample.labels,
+                            None,
+                            &count.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+
+    /// Writes the exposition to a file at `path` (truncating).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and write failures.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.render().as_bytes())
+    }
+}
+
+fn render_sample(
+    name: &str,
+    suffix: &str,
+    labels: &[(String, String)],
+    le: Option<&str>,
+    value: &str,
+) -> String {
+    let mut line = format!("{name}{suffix}");
+    let has_labels = !labels.is_empty() || le.is_some();
+    if has_labels {
+        line.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+        }
+        if let Some(le) = le {
+            if !first {
+                line.push(',');
+            }
+            line.push_str(&format!("le=\"{le}\""));
+        }
+        line.push('}');
+    }
+    line.push(' ');
+    line.push_str(value);
+    line.push('\n');
+    line
+}
+
+/// Validates an exposition's line format; returns the number of sample
+/// lines on success.
+///
+/// Checks: every `#` line is a well-formed `HELP`/`TYPE`/`EOF` record;
+/// every sample line is `name[{labels}] value` with a valid metric
+/// name, balanced quoted labels, and a parseable value; every sample's
+/// base name was `TYPE`-declared first; the exposition ends with
+/// `# EOF` and nothing after it.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_exposition(text: &str) -> Result<usize, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.last() != Some(&"# EOF") {
+        return Err("exposition must end with '# EOF'".to_owned());
+    }
+    let mut declared: Vec<(String, &str)> = Vec::new();
+    let mut samples = 0usize;
+    for (i, line) in lines[..lines.len() - 1].iter().enumerate() {
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", i + 1));
+        if line.is_empty() {
+            return err("empty line");
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            match parts.next() {
+                Some("HELP") => {
+                    let name = parts.next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        return err("HELP with invalid metric name");
+                    }
+                    match parts.next() {
+                        Some(text) if !text.is_empty() => {}
+                        _ => return err("HELP without text"),
+                    }
+                }
+                Some("TYPE") => {
+                    let name = parts.next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        return err("TYPE with invalid metric name");
+                    }
+                    match parts.next() {
+                        Some(kind @ ("counter" | "gauge" | "histogram")) => {
+                            declared.push((name.to_owned(), kind));
+                        }
+                        _ => return err("TYPE with unknown kind"),
+                    }
+                }
+                Some("EOF") => return err("'# EOF' before the last line"),
+                _ => return err("unknown comment record"),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {}: sample without value: {line:?}", i + 1))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return err("sample with invalid metric name");
+        }
+        let base_ok = declared.iter().any(|(declared_name, kind)| {
+            if name == declared_name.as_str() {
+                return matches!(*kind, "gauge" | "counter");
+            }
+            match name.strip_prefix(declared_name.as_str()) {
+                Some("_total") => *kind == "counter",
+                Some("_bucket") | Some("_sum") | Some("_count") => *kind == "histogram",
+                _ => false,
+            }
+        });
+        if !base_ok {
+            return err("sample without a preceding TYPE declaration");
+        }
+        let rest = &line[name_end..];
+        let value_str = if let Some(labels_rest) = rest.strip_prefix('{') {
+            let close = find_label_close(labels_rest)
+                .ok_or_else(|| format!("line {}: unterminated labels: {line:?}", i + 1))?;
+            let labels = &labels_rest[..close];
+            check_labels(labels).map_err(|msg| format!("line {}: {msg}: {line:?}", i + 1))?;
+            labels_rest[close + 1..].trim_start()
+        } else {
+            rest.trim_start()
+        };
+        let numeric_ok =
+            value_str == "+Inf" || value_str == "-Inf" || value_str.parse::<f64>().is_ok();
+        if value_str.is_empty() || !numeric_ok {
+            return err("sample with unparseable value");
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Finds the index of the closing `}` of a label set, honoring quoted
+/// strings and backslash escapes.
+fn find_label_close(s: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Validates `k="v",k="v"` label syntax.
+fn check_labels(labels: &str) -> Result<(), String> {
+    if labels.is_empty() {
+        return Ok(());
+    }
+    let mut rest = labels;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without '='".to_owned())?;
+        let key = &rest[..eq];
+        if key.is_empty()
+            || !key
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit()))
+        {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| "label value not quoted".to_owned())?;
+        // Scan past the escaped string body.
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_owned())?;
+        rest = &rest[end + 1..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| "labels not comma-separated".to_owned())?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn renders_counters_gauges_and_eof() {
+        let mut r = Registry::new();
+        r.counter("lfm_schedules", "Schedules explored.", 1234);
+        r.counter_with(
+            "lfm_outcomes",
+            "Outcomes by class.",
+            &[("outcome", "ok")],
+            1200,
+        );
+        r.counter_with(
+            "lfm_outcomes",
+            "Outcomes by class.",
+            &[("outcome", "failed")],
+            34,
+        );
+        r.gauge("lfm_states_per_sec", "Throughput.", 48_300.5);
+        let text = r.render();
+        assert!(text.contains("# TYPE lfm_schedules counter\n"), "{text}");
+        assert!(text.contains("lfm_schedules_total 1234\n"), "{text}");
+        assert!(
+            text.contains("lfm_outcomes_total{outcome=\"ok\"} 1200\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE lfm_states_per_sec gauge\n"), "{text}");
+        assert!(text.contains("lfm_states_per_sec 48300.5\n"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        // One TYPE per family even with several samples.
+        assert_eq!(text.matches("# TYPE lfm_outcomes counter").count(), 1);
+        assert_eq!(check_exposition(&text), Ok(4));
+    }
+
+    #[test]
+    fn renders_histograms_with_cumulative_buckets() {
+        let h = Histogram::new();
+        for v in [1, 2, 3, 8] {
+            h.record(v);
+        }
+        let mut r = Registry::new();
+        r.histogram("lfm_depth", "Schedule depth.", &h.snapshot());
+        let text = r.render();
+        assert!(text.contains("# TYPE lfm_depth histogram\n"), "{text}");
+        assert!(text.contains("lfm_depth_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("lfm_depth_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("lfm_depth_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("lfm_depth_sum 14\n"), "{text}");
+        assert!(text.contains("lfm_depth_count 4\n"), "{text}");
+        assert!(check_exposition(&text).unwrap() > 4);
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let mut r = Registry::new();
+        r.gauge_with(
+            "lfm_kernel_info",
+            "Kernel metadata.",
+            &[("kernel", "a\"b\\c\nd")],
+            1.0,
+        );
+        let text = r.render();
+        assert!(
+            text.contains("lfm_kernel_info{kernel=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            "{text}"
+        );
+        assert_eq!(check_exposition(&text), Ok(1));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_zero() {
+        let mut r = Registry::new();
+        r.gauge("lfm_bad", "A non-finite value.", f64::NAN);
+        let text = r.render();
+        assert!(text.contains("lfm_bad 0\n"), "{text}");
+        assert!(check_exposition(&text).is_ok());
+    }
+
+    #[test]
+    fn empty_registry_is_just_eof() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.render(), "# EOF\n");
+        assert_eq!(check_exposition(&r.render()), Ok(0));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_expositions() {
+        // Missing EOF.
+        assert!(check_exposition("a 1\n").is_err());
+        // Sample without a TYPE declaration.
+        assert!(check_exposition("a 1\n# EOF\n").is_err());
+        // Unknown TYPE kind.
+        assert!(check_exposition("# TYPE a summary\n# EOF\n").is_err());
+        // HELP without text.
+        assert!(check_exposition("# HELP a\n# EOF\n").is_err());
+        // Unparseable sample value.
+        assert!(check_exposition("# TYPE a gauge\na xyz\n# EOF\n").is_err());
+        // Counter sample missing its _total suffix... is permitted as a
+        // bare name only for gauges; histograms need a suffix.
+        assert!(check_exposition("# TYPE a histogram\na 1\n# EOF\n").is_err());
+        // Unterminated label value.
+        assert!(check_exposition("# TYPE a gauge\na{k=\"v} 1\n# EOF\n").is_err());
+        // Invalid metric name.
+        assert!(check_exposition("# TYPE 9a gauge\n# EOF\n").is_err());
+        // Valid minimal exposition.
+        assert_eq!(
+            check_exposition("# TYPE a gauge\na{k=\"v\"} 1\n# EOF\n"),
+            Ok(1)
+        );
+    }
+
+    #[test]
+    fn checker_honors_escapes_inside_label_values() {
+        let text = "# TYPE a gauge\na{k=\"close \\\"}\\\" brace\"} 2.5\n# EOF\n";
+        assert_eq!(check_exposition(text), Ok(1));
+    }
+}

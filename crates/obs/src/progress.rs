@@ -1,0 +1,422 @@
+//! Online progress estimation for tree exploration.
+//!
+//! "How far along is this sweep?" is unanswerable from a schedule
+//! counter alone — the interleaving tree's size is the quantity the
+//! explorer exists to discover. This module provides the two halves of
+//! an honest answer:
+//!
+//! - [`KnuthEstimator`] — Knuth's classic backtrack-tree size
+//!   estimator (Knuth, *Estimating the efficiency of backtrack
+//!   programs*, 1974). Each enumerated leaf contributes one sample:
+//!   the product of branching degrees along its root-to-leaf path. The
+//!   mean of those samples is an unbiased estimate of the number of
+//!   leaves **when the leaf is reached by random descent**; DFS
+//!   enumeration visits leaves in tree order instead, so mid-run the
+//!   running mean is biased toward the shape of the left subtrees
+//!   already explored. It converges to the exact leaf count when the
+//!   sweep completes un-truncated, and in practice stabilizes quickly
+//!   on the roughly self-similar trees our kernels induce. The
+//!   estimate is a pure function of the tree (no clocks, no
+//!   randomness), so it is identical across serial/parallel runs and
+//!   across observation-on/off runs — it can live in `ExploreReport`
+//!   without weakening the determinism contract.
+//! - [`ProgressTracker`] — wall-clock pacing and states/sec trend for
+//!   the periodic `--progress` stderr lines. Everything it produces is
+//!   time-dependent and therefore lives only in *events*, never in
+//!   reports.
+//!
+//! [`render_progress_line`] turns the explorer's `progress_est` events
+//! into the human-readable stderr line; [`ProgressLineSink`] is the
+//! sink the CLI tees in when `--progress` is set.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::sink::{Event, Sink, Value};
+
+/// Knuth-style running estimate of the total number of schedules
+/// (leaves) in the exploration tree.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KnuthEstimator {
+    sum: f64,
+    leaves: u64,
+}
+
+impl KnuthEstimator {
+    /// An empty estimator.
+    pub fn new() -> KnuthEstimator {
+        KnuthEstimator::default()
+    }
+
+    /// Records one enumerated leaf whose root-to-leaf branching-degree
+    /// product is `path_degree` (1.0 for a leaf at the root).
+    pub fn record_leaf(&mut self, path_degree: f64) {
+        if path_degree.is_finite() && path_degree >= 0.0 {
+            self.sum += path_degree;
+        }
+        self.leaves += 1;
+    }
+
+    /// Number of leaves recorded so far.
+    pub fn leaves(&self) -> u64 {
+        self.leaves
+    }
+
+    /// Current estimate of the total leaf count (0.0 before any leaf).
+    pub fn estimate(&self) -> f64 {
+        if self.leaves == 0 {
+            return 0.0;
+        }
+        let est = self.sum / self.leaves as f64;
+        if est.is_finite() {
+            est
+        } else {
+            f64::MAX
+        }
+    }
+
+    /// Estimated fraction of the tree already enumerated, clamped to
+    /// `[0, 1]` (an estimate can undershoot the schedules already run).
+    pub fn fraction_done(&self) -> f64 {
+        let est = self.estimate();
+        if est <= 0.0 {
+            return 0.0;
+        }
+        (self.leaves as f64 / est).clamp(0.0, 1.0)
+    }
+}
+
+/// Wall-clock pacing and rate trend for periodic progress emission.
+///
+/// The explorer consults [`ProgressTracker::due`] on a cheap counter
+/// gate (every few dozen schedules) and, when due, calls
+/// [`ProgressTracker::sample`] to get the recent-window states/sec.
+#[derive(Debug)]
+pub struct ProgressTracker {
+    every: Duration,
+    last_emit: Duration,
+    prev: Option<(u64, Duration)>,
+}
+
+impl ProgressTracker {
+    /// A tracker emitting roughly every `every` of wall time.
+    pub fn new(every: Duration) -> ProgressTracker {
+        ProgressTracker {
+            every,
+            last_emit: Duration::ZERO,
+            prev: None,
+        }
+    }
+
+    /// Default cadence for `--progress` lines.
+    pub const DEFAULT_EVERY: Duration = Duration::from_millis(250);
+
+    /// `true` when at least the configured interval has elapsed since
+    /// the last sample (or since the start). `elapsed` is total run
+    /// wall time so far.
+    pub fn due(&self, elapsed: Duration) -> bool {
+        elapsed.saturating_sub(self.last_emit) >= self.every
+    }
+
+    /// Records a sample and returns the states/sec rate over the
+    /// window since the previous sample (falling back to the overall
+    /// rate for the first sample).
+    pub fn sample(&mut self, schedules: u64, elapsed: Duration) -> f64 {
+        let rate = match self.prev {
+            Some((prev_n, prev_at)) => {
+                let dn = schedules.saturating_sub(prev_n) as f64;
+                let dt = elapsed.saturating_sub(prev_at).as_secs_f64();
+                if dt > 0.0 {
+                    dn / dt
+                } else {
+                    0.0
+                }
+            }
+            None => {
+                let dt = elapsed.as_secs_f64();
+                if dt > 0.0 {
+                    schedules as f64 / dt
+                } else {
+                    0.0
+                }
+            }
+        };
+        self.prev = Some((schedules, elapsed));
+        self.last_emit = elapsed;
+        rate
+    }
+}
+
+/// Estimated milliseconds to finish `remaining` schedules at `rate`
+/// states/sec; `None` when the rate or remainder gives no signal.
+pub fn eta_ms(remaining: f64, rate: f64) -> Option<u64> {
+    if rate <= 0.0 || !remaining.is_finite() || remaining <= 0.0 {
+        return None;
+    }
+    let ms = remaining / rate * 1_000.0;
+    if ms.is_finite() {
+        Some(ms.min(u64::MAX as f64) as u64)
+    } else {
+        None
+    }
+}
+
+fn field<'a>(event: &'a Event<'_>, key: &str) -> Option<&'a Value<'a>> {
+    event.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+fn field_u64(event: &Event<'_>, key: &str) -> u64 {
+    match field(event, key) {
+        Some(Value::U64(v)) => *v,
+        _ => 0,
+    }
+}
+
+fn field_f64(event: &Event<'_>, key: &str) -> f64 {
+    match field(event, key) {
+        Some(Value::F64(v)) => *v,
+        Some(Value::U64(v)) => *v as f64,
+        _ => 0.0,
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        format!("{:.1}M", v / 1_000_000.0)
+    } else if v >= 1_000.0 {
+        format!("{:.1}k", v / 1_000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Renders an `explore`/`progress_est` event as the one-line human
+/// progress report; other events render as `None`.
+pub fn render_progress_line(event: &Event<'_>) -> Option<String> {
+    if event.scope != "explore" || event.name != "progress_est" {
+        return None;
+    }
+    let program = match field(event, "program") {
+        Some(Value::Str(s)) => s,
+        _ => "?",
+    };
+    let schedules = field_u64(event, "schedules");
+    let est_total = field_f64(event, "est_total");
+    let fraction = field_f64(event, "fraction");
+    let rate = field_f64(event, "schedules_per_sec");
+    let frontier = field_u64(event, "frontier_depth");
+    let max_depth = field_u64(event, "max_depth");
+    let mut line = format!(
+        "[progress] {program}: {} schedules (~{:.1}% of est {}), depth {frontier}/{max_depth}, {}/s",
+        fmt_count(schedules as f64),
+        fraction * 100.0,
+        fmt_count(est_total),
+        fmt_count(rate),
+    );
+    match field(event, "eta_ms") {
+        Some(Value::U64(ms)) => {
+            line.push_str(&format!(
+                ", eta {}",
+                crate::span::fmt_duration(Duration::from_millis(*ms))
+            ));
+        }
+        _ => line.push_str(", eta ?"),
+    }
+    Some(line)
+}
+
+/// A [`Sink`] that renders `progress_est` events as human-readable
+/// lines on a writer (stderr in the CLI); all other events pass
+/// through silently.
+pub struct ProgressLineSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> std::fmt::Debug for ProgressLineSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressLineSink").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> ProgressLineSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> ProgressLineSink<W> {
+        ProgressLineSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl ProgressLineSink<std::io::Stderr> {
+    /// A sink writing progress lines to stderr.
+    pub fn stderr() -> ProgressLineSink<std::io::Stderr> {
+        ProgressLineSink::new(std::io::stderr())
+    }
+}
+
+impl<W: Write + Send> Sink for ProgressLineSink<W> {
+    fn emit(&self, event: &Event<'_>) {
+        if let Some(line) = render_progress_line(event) {
+            let mut out = self.out.lock().expect("progress sink poisoned");
+            // Progress lines are advisory; a failing stderr must not
+            // perturb the run (and loses nothing durable).
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("progress sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_enumeration_recovers_exact_leaf_count() {
+        // A uniform binary tree of depth 3 has 8 leaves, each with
+        // path degree 2*2*2 = 8; the mean is exactly 8.
+        let mut est = KnuthEstimator::new();
+        for _ in 0..8 {
+            est.record_leaf(8.0);
+        }
+        assert_eq!(est.leaves(), 8);
+        assert_eq!(est.estimate(), 8.0);
+        assert_eq!(est.fraction_done(), 1.0);
+    }
+
+    #[test]
+    fn irregular_tree_estimate_is_mean_of_path_degrees() {
+        // Root with degree 2: left child is a leaf (degree product 2),
+        // right child branches 3 ways to leaves (product 6 each).
+        let mut est = KnuthEstimator::new();
+        est.record_leaf(2.0);
+        for _ in 0..3 {
+            est.record_leaf(6.0);
+        }
+        assert_eq!(est.estimate(), 5.0);
+        // 4 actual leaves vs estimate 5 → 80% done.
+        assert!((est.fraction_done() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_estimators_are_benign() {
+        let est = KnuthEstimator::new();
+        assert_eq!(est.estimate(), 0.0);
+        assert_eq!(est.fraction_done(), 0.0);
+        let mut single = KnuthEstimator::new();
+        single.record_leaf(1.0);
+        assert_eq!(single.estimate(), 1.0);
+        assert_eq!(single.fraction_done(), 1.0);
+        // Non-finite samples are ignored rather than poisoning the sum.
+        let mut poisoned = KnuthEstimator::new();
+        poisoned.record_leaf(f64::INFINITY);
+        poisoned.record_leaf(4.0);
+        assert_eq!(poisoned.estimate(), 2.0);
+    }
+
+    #[test]
+    fn fraction_clamps_when_estimate_undershoots() {
+        let mut est = KnuthEstimator::new();
+        // Left-heavy descent: degrees seen so far say "2 leaves" but we
+        // have already enumerated 4.
+        for _ in 0..4 {
+            est.record_leaf(2.0);
+        }
+        assert_eq!(est.fraction_done(), 1.0);
+    }
+
+    #[test]
+    fn tracker_paces_by_wall_time() {
+        let mut t = ProgressTracker::new(Duration::from_millis(100));
+        assert!(!t.due(Duration::from_millis(50)));
+        assert!(t.due(Duration::from_millis(100)));
+        let first = t.sample(1_000, Duration::from_millis(100));
+        assert!((first - 10_000.0).abs() < 1e-6);
+        assert!(!t.due(Duration::from_millis(150)));
+        assert!(t.due(Duration::from_millis(200)));
+        // Window rate: 500 more schedules in 100ms = 5k/s.
+        let second = t.sample(1_500, Duration::from_millis(200));
+        assert!((second - 5_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tracker_zero_elapsed_rate_is_zero() {
+        let mut t = ProgressTracker::new(Duration::from_millis(100));
+        assert_eq!(t.sample(10, Duration::ZERO), 0.0);
+        assert_eq!(t.sample(20, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn eta_handles_edge_cases() {
+        assert_eq!(eta_ms(1_000.0, 500.0), Some(2_000));
+        assert_eq!(eta_ms(0.0, 500.0), None);
+        assert_eq!(eta_ms(-5.0, 500.0), None);
+        assert_eq!(eta_ms(1_000.0, 0.0), None);
+        assert_eq!(eta_ms(f64::INFINITY, 10.0), None);
+    }
+
+    fn progress_event<'a>(fields: &'a [(&'a str, Value<'a>)]) -> Event<'a> {
+        Event {
+            scope: "explore",
+            name: "progress_est",
+            fields,
+        }
+    }
+
+    #[test]
+    fn renders_progress_line_from_event() {
+        let fields = [
+            ("program", Value::Str("abba")),
+            ("schedules", Value::U64(12_500)),
+            ("est_total", Value::F64(390_625.0)),
+            ("fraction", Value::F64(0.032)),
+            ("schedules_per_sec", Value::F64(48_300.0)),
+            ("frontier_depth", Value::U64(7)),
+            ("max_depth", Value::U64(12)),
+            ("eta_ms", Value::U64(7_800)),
+        ];
+        let line = render_progress_line(&progress_event(&fields)).unwrap();
+        assert!(line.contains("abba"), "{line}");
+        assert!(line.contains("12.5k schedules"), "{line}");
+        assert!(line.contains("3.2%"), "{line}");
+        assert!(line.contains("390.6k"), "{line}");
+        assert!(line.contains("depth 7/12"), "{line}");
+        assert!(line.contains("48.3k/s"), "{line}");
+        assert!(line.contains("eta 7.80s"), "{line}");
+    }
+
+    #[test]
+    fn missing_eta_renders_placeholder_and_other_events_skip() {
+        let fields = [("program", Value::Str("x")), ("schedules", Value::U64(1))];
+        let line = render_progress_line(&progress_event(&fields)).unwrap();
+        assert!(line.contains("eta ?"), "{line}");
+        assert!(render_progress_line(&Event {
+            scope: "explore",
+            name: "report",
+            fields: &[],
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn progress_sink_writes_only_progress_lines() {
+        let sink = ProgressLineSink::new(Vec::new());
+        sink.emit(&progress_event(&[
+            ("program", Value::Str("p")),
+            ("schedules", Value::U64(10)),
+        ]));
+        sink.emit(&Event {
+            scope: "explore",
+            name: "report",
+            fields: &[],
+        });
+        sink.flush();
+        let bytes = sink.out.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("[progress] p:"));
+    }
+}

@@ -36,7 +36,7 @@ impl Value<'_> {
         }
     }
 
-    fn to_owned_value(self) -> OwnedValue {
+    pub(crate) fn to_owned_value(self) -> OwnedValue {
         match self {
             Value::U64(v) => OwnedValue::U64(v),
             Value::I64(v) => OwnedValue::I64(v),
@@ -125,6 +125,17 @@ pub enum OwnedValue {
 }
 
 impl OwnedValue {
+    /// Renders the value as JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            OwnedValue::U64(v) => v.to_string(),
+            OwnedValue::I64(v) => v.to_string(),
+            OwnedValue::F64(v) => json::number_f64(*v),
+            OwnedValue::Bool(v) => v.to_string(),
+            OwnedValue::Str(s) => json::quote(s),
+        }
+    }
+
     /// The value as `u64`, when it is one.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
@@ -157,6 +168,24 @@ impl OwnedEvent {
     /// Looks up a field by key.
     pub fn field(&self, key: &str) -> Option<&OwnedValue> {
         self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Renders the event as one JSON object, matching
+    /// [`Event::to_json`] field for field.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        out.push_str("{\"scope\":");
+        out.push_str(&json::quote(&self.scope));
+        out.push_str(",\"event\":");
+        out.push_str(&json::quote(&self.name));
+        for (key, value) in &self.fields {
+            out.push(',');
+            out.push_str(&json::quote(key));
+            out.push(':');
+            out.push_str(&value.to_json());
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -287,6 +316,23 @@ impl JsonlSink<BufWriter<File>> {
     pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink<BufWriter<File>>> {
         Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
     }
+
+    /// Flushes buffered lines and fsyncs the file to stable storage.
+    ///
+    /// The lost-events exit contract counts *every* way the log can
+    /// silently lose data, so a failing final flush or a failing
+    /// `fsync` both land in [`write_errors`](JsonlSink::write_errors)
+    /// — the same counter the CLI consults before choosing its exit
+    /// status.
+    pub fn sync(&self) {
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        if out.flush().is_err() {
+            self.write_errors.inc();
+        }
+        if out.get_ref().sync_all().is_err() {
+            self.write_errors.inc();
+        }
+    }
 }
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
@@ -319,6 +365,46 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
 
     fn lost_events(&self) -> u64 {
         self.write_errors.get()
+    }
+}
+
+/// Broadcasts every event to a list of sinks.
+///
+/// `enabled` is the OR of the children (event assembly is skipped only
+/// when *no* child wants events); `flush` flushes all; `lost_events`
+/// sums the children. The CLI uses this to tee the user's log sink
+/// with the always-on [`FlightRecorder`](crate::FlightRecorder).
+#[derive(Debug, Default)]
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// A tee over `sinks` (empty behaves like [`NoopSink`]).
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn emit(&self, event: &Event<'_>) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+
+    fn lost_events(&self) -> u64 {
+        self.sinks.iter().map(|s| s.lost_events()).sum()
     }
 }
 
@@ -420,6 +506,84 @@ mod tests {
         // The trait default reports zero for sinks that cannot lose.
         assert_eq!(Sink::lost_events(&MemorySink::new()), 0);
         assert_eq!(Sink::lost_events(&NoopSink), 0);
+    }
+
+    #[test]
+    fn sync_counts_flush_and_fsync_failures() {
+        let dir = std::env::temp_dir().join("lfm-obs-sync-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sync-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&sample(&[("n", Value::U64(1))]));
+        sink.sync();
+        // A healthy file flushes and fsyncs without loss, and the line
+        // is durable on disk afterwards.
+        assert_eq!(sink.lost_events(), 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"sample\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sync_on_full_device_counts_losses() {
+        // /dev/full accepts opens but fails writes; flushing buffered
+        // bytes through it must land in the lost-events counter rather
+        // than panic.
+        if !std::path::Path::new("/dev/full").exists() {
+            return;
+        }
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open("/dev/full")
+            .unwrap();
+        let sink = JsonlSink::new(BufWriter::new(file));
+        sink.emit(&sample(&[("n", Value::U64(1))]));
+        sink.sync();
+        assert!(sink.lost_events() >= 1);
+    }
+
+    #[test]
+    fn tee_broadcasts_and_aggregates() {
+        use std::sync::Arc;
+        let memory = Arc::new(MemorySink::new());
+        let failing = Arc::new(JsonlSink::new(FullDisk));
+        let tee = TeeSink::new(vec![
+            memory.clone() as Arc<dyn Sink>,
+            failing.clone() as Arc<dyn Sink>,
+        ]);
+        assert!(tee.enabled());
+        tee.emit(&sample(&[("n", Value::U64(7))]));
+        tee.flush();
+        assert_eq!(memory.len(), 1);
+        // One failed write + one failed flush, summed through the tee.
+        assert_eq!(tee.lost_events(), 2);
+    }
+
+    #[test]
+    fn tee_of_disabled_sinks_is_disabled() {
+        let tee = TeeSink::new(vec![std::sync::Arc::new(NoopSink)]);
+        assert!(!tee.enabled());
+        assert_eq!(tee.lost_events(), 0);
+        let empty = TeeSink::default();
+        assert!(!empty.enabled());
+        empty.emit(&sample(&[]));
+        empty.flush();
+    }
+
+    #[test]
+    fn owned_event_json_matches_borrowed_event_json() {
+        let fields = [
+            ("n", Value::U64(3)),
+            ("f", Value::F64(0.5)),
+            ("b", Value::Bool(true)),
+            ("s", Value::Str("x \"y\"")),
+            ("i", Value::I64(-9)),
+        ];
+        let event = sample(&fields);
+        let memory = MemorySink::new();
+        memory.emit(&event);
+        assert_eq!(memory.events()[0].to_json(), event.to_json());
     }
 
     #[test]

@@ -12,7 +12,10 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
+use lfm_obs::{
+    eta_ms, Event, KnuthEstimator, NoopSink, Phase, PhaseProfiler, ProgressTracker, Sink,
+    Stopwatch, Value,
+};
 
 use crate::exec::{Executor, RecordMode};
 use crate::fault::FaultPlan;
@@ -25,6 +28,11 @@ use crate::trace::Trace;
 /// How often (in completed schedules) an enabled [`Sink`] receives an
 /// `explore`/`progress` event during long sweeps.
 pub(crate) const PROGRESS_EVERY: u64 = 25_000;
+
+/// How often (in completed schedules) a progress-tracking run reads the
+/// wall clock to decide whether a `progress_est` event is due. The
+/// counter gate keeps clock reads off the per-schedule fast path.
+pub(crate) const PROGRESS_CHECK_EVERY: u64 = 64;
 
 /// Resource bounds for an exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,6 +220,13 @@ pub struct ExploreReport {
     /// the per-execution step budget, or the preemption bound. `None`
     /// means the explored space was exhausted.
     pub truncation: Option<Truncation>,
+    /// Knuth-style estimate of the total number of schedules in the
+    /// exploration tree (mean over enumerated leaves of the product of
+    /// branching degrees along each root-to-leaf path). A pure function
+    /// of the tree — identical across serial/parallel and
+    /// observation-on/off runs; exact when the sweep completed
+    /// un-truncated without pruning. 0.0 when no schedule ran.
+    pub est_total_schedules: f64,
     /// Operational metrics (branch points, snapshots, depth, wall time).
     pub stats: ExploreStats,
 }
@@ -261,6 +276,8 @@ pub struct Explorer<'p> {
     sink: Arc<dyn Sink>,
     fault: Option<FaultPlan>,
     legacy: bool,
+    profile: Arc<PhaseProfiler>,
+    progress_every: Option<Duration>,
 }
 
 impl<'p> Explorer<'p> {
@@ -273,6 +290,8 @@ impl<'p> Explorer<'p> {
             sink: Arc::new(NoopSink),
             fault: None,
             legacy: false,
+            profile: Arc::new(PhaseProfiler::disabled()),
+            progress_every: None,
         }
     }
 
@@ -342,6 +361,26 @@ impl<'p> Explorer<'p> {
         self
     }
 
+    /// Attributes hot-path wall time to phases (snapshot, step, hash,
+    /// dedup) on `profiler`. Write-only observation: the profiler is
+    /// never read during the run, so reports stay bit-identical with
+    /// profiling on, off, or sampling at any rate (the determinism
+    /// suite pins this). Pass [`PhaseProfiler::sampling`] to enable.
+    pub fn profile(mut self, profiler: Arc<PhaseProfiler>) -> Explorer<'p> {
+        self.profile = profiler;
+        self
+    }
+
+    /// Emits periodic `explore`/`progress_est` events (frontier depth,
+    /// estimated fraction explored, throughput trend, ETA) roughly
+    /// every `every` of wall time. The wall clock is consulted only on
+    /// a schedule-counter gate, and everything time-dependent lives in
+    /// the events — never in the report.
+    pub fn progress_every(mut self, every: Duration) -> Explorer<'p> {
+        self.progress_every = Some(every);
+        self
+    }
+
     /// Explores under a deterministic [`FaultPlan`]: spurious wakeups,
     /// forced try-lock failures, forced transaction aborts, and bounded
     /// stalls are injected into every execution. Identical plans yield
@@ -382,6 +421,11 @@ impl<'p> Explorer<'p> {
             /// an exhausted frame is popped when its last child moves
             /// the snapshot out.
             depth: u64,
+            /// Product of branching degrees along the root-to-this-frame
+            /// path (root = its own degree). Every terminal reached from
+            /// this frame contributes this value as one Knuth tree-size
+            /// sample.
+            path_degree: f64,
         }
 
         let stopwatch = Stopwatch::start();
@@ -399,8 +443,11 @@ impl<'p> Explorer<'p> {
             states_deduped: 0,
             sleep_pruned: 0,
             truncation: None,
+            est_total_schedules: 0.0,
             stats: ExploreStats::default(),
         };
+        let mut estimator = KnuthEstimator::new();
+        let mut progress = self.progress_every.map(ProgressTracker::new);
         let mut seen_states = crate::fxhash::FxHashSet::<u64>::default();
         if self.sink.enabled() {
             let mut fields = vec![
@@ -433,18 +480,23 @@ impl<'p> Explorer<'p> {
         let root = root;
         let mut stack = Vec::new();
         if let Some(outcome) = root.outcome().cloned() {
-            // Program terminates without any scheduling choice.
+            // Program terminates without any scheduling choice: the
+            // tree is a single leaf with an empty degree product.
+            estimator.record_leaf(1.0);
             self.classify(&mut report, &root, &outcome, &mut on_terminal);
-            self.finish(&mut report, stopwatch, false);
+            self.progress_tick(&report, &estimator, &mut progress, &stopwatch, 0);
+            self.finish(&mut report, stopwatch, false, &estimator);
             return report;
         }
         if self.limits.dedup_states {
-            seen_states.insert(self.branch_key(&root));
+            let key = self.profile.time(Phase::Hash, || self.branch_key(&root));
+            self.profile.time(Phase::Dedup, || seen_states.insert(key));
         }
         let enabled = root.enabled();
         report.stats.branch_points += 1;
         report.stats.max_depth = 1;
         let root_saved = root.snapshot_bytes_saved();
+        let root_degree = enabled.len() as f64;
         stack.push(Branch {
             exec: root,
             enabled,
@@ -453,6 +505,7 @@ impl<'p> Explorer<'p> {
             sleep: Vec::new(),
             saved: root_saved,
             depth: 1,
+            path_degree: root_degree,
         });
 
         while let Some(top) = stack.last_mut() {
@@ -514,6 +567,8 @@ impl<'p> Explorer<'p> {
 
             let saved = top.saved;
             let depth = top.depth;
+            let path_degree = top.path_degree;
+            let snap_guard = self.profile.enter(Phase::Snapshot);
             let mut child = if self.legacy {
                 top.exec.deep_clone()
             } else if top.next >= top.enabled.len() {
@@ -527,8 +582,10 @@ impl<'p> Explorer<'p> {
             } else {
                 top.exec.clone()
             };
+            drop(snap_guard);
             report.stats.snapshots += 1;
             report.stats.snapshot_bytes_saved += saved;
+            let step_guard = self.profile.enter(Phase::Step);
             child
                 .step(choice)
                 .expect("explorer only chooses enabled threads");
@@ -570,20 +627,34 @@ impl<'p> Explorer<'p> {
                     break Next::Branch(child, enabled);
                 }
             };
+            drop(step_guard);
             match next {
                 Next::Terminal(exec, outcome) => {
+                    estimator.record_leaf(path_degree);
                     self.classify(&mut report, &exec, &outcome, &mut on_terminal);
+                    self.progress_tick(
+                        &report,
+                        &estimator,
+                        &mut progress,
+                        &stopwatch,
+                        stack.len() as u64,
+                    );
                     if self.limits.stop_on_first_failure && report.first_failure.is_some() {
                         break;
                     }
                 }
                 Next::Branch(exec, enabled) => {
-                    if self.limits.dedup_states && !seen_states.insert(self.branch_key(&exec)) {
-                        report.states_deduped += 1;
-                        continue;
+                    if self.limits.dedup_states {
+                        let key = self.profile.time(Phase::Hash, || self.branch_key(&exec));
+                        let fresh = self.profile.time(Phase::Dedup, || seen_states.insert(key));
+                        if !fresh {
+                            report.states_deduped += 1;
+                            continue;
+                        }
                     }
                     report.stats.branch_points += 1;
                     let saved = exec.snapshot_bytes_saved();
+                    let child_degree = path_degree * enabled.len() as f64;
                     stack.push(Branch {
                         exec,
                         enabled,
@@ -592,6 +663,7 @@ impl<'p> Explorer<'p> {
                         sleep: child_sleep,
                         saved,
                         depth: depth + 1,
+                        path_degree: child_degree,
                     });
                     report.stats.max_depth = report.stats.max_depth.max(depth + 1);
                 }
@@ -611,7 +683,7 @@ impl<'p> Explorer<'p> {
         {
             report.truncated = true;
         }
-        self.finish(&mut report, stopwatch, deadline_hit);
+        self.finish(&mut report, stopwatch, deadline_hit, &estimator);
         report
     }
 
@@ -628,9 +700,72 @@ impl<'p> Explorer<'p> {
         }
     }
 
-    /// Derives the truncation reason, stamps the wall time, and emits the
-    /// final `explore`/`report` event.
-    fn finish(&self, report: &mut ExploreReport, stopwatch: Stopwatch, deadline_hit: bool) {
+    /// Emits a periodic `explore`/`progress_est` event when progress
+    /// tracking is on and the configured interval has elapsed. Called
+    /// after every classified schedule behind a counter gate, so the
+    /// wall clock is read at most once per [`PROGRESS_CHECK_EVERY`]
+    /// schedules.
+    fn progress_tick(
+        &self,
+        report: &ExploreReport,
+        estimator: &KnuthEstimator,
+        progress: &mut Option<ProgressTracker>,
+        stopwatch: &Stopwatch,
+        frontier_depth: u64,
+    ) {
+        let Some(tracker) = progress.as_mut() else {
+            return;
+        };
+        if !report.schedules_run.is_multiple_of(PROGRESS_CHECK_EVERY) {
+            return;
+        }
+        let elapsed = stopwatch.elapsed();
+        if !tracker.due(elapsed) {
+            return;
+        }
+        let rate = tracker.sample(report.schedules_run, elapsed);
+        if !self.sink.enabled() {
+            return;
+        }
+        let est_total = estimator.estimate();
+        let overall_secs = elapsed.as_secs_f64();
+        let states_per_sec = if overall_secs > 0.0 {
+            report.steps_total as f64 / overall_secs
+        } else {
+            0.0
+        };
+        let mut fields = vec![
+            ("program", Value::Str(self.program.name())),
+            ("schedules", Value::U64(report.schedules_run)),
+            ("steps", Value::U64(report.steps_total)),
+            ("failures", Value::U64(report.counts.failures())),
+            ("frontier_depth", Value::U64(frontier_depth)),
+            ("max_depth", Value::U64(report.stats.max_depth)),
+            ("est_total", Value::F64(est_total)),
+            ("fraction", Value::F64(estimator.fraction_done())),
+            ("schedules_per_sec", Value::F64(rate)),
+            ("states_per_sec", Value::F64(states_per_sec)),
+        ];
+        if let Some(ms) = eta_ms(est_total - report.schedules_run as f64, rate) {
+            fields.push(("eta_ms", Value::U64(ms)));
+        }
+        self.sink.emit(&Event {
+            scope: "explore",
+            name: "progress_est",
+            fields: &fields,
+        });
+    }
+
+    /// Derives the truncation reason, stamps the wall time and tree-size
+    /// estimate, and emits the final `explore`/`report` event.
+    fn finish(
+        &self,
+        report: &mut ExploreReport,
+        stopwatch: Stopwatch,
+        deadline_hit: bool,
+        estimator: &KnuthEstimator,
+    ) {
+        report.est_total_schedules = estimator.estimate();
         report.truncation = if deadline_hit {
             Some(Truncation::WallDeadline)
         } else if report.truncated {
@@ -673,6 +808,10 @@ impl<'p> Explorer<'p> {
                 (
                     "snapshot_bytes_saved",
                     Value::U64(report.stats.snapshot_bytes_saved),
+                ),
+                (
+                    "est_total_schedules",
+                    Value::F64(report.est_total_schedules),
                 ),
                 ("wall_us", Value::U64(report.stats.wall.as_micros() as u64)),
             ];

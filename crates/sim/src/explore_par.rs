@@ -46,11 +46,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
-use lfm_obs::{Event, NoopSink, Sink, Stopwatch, Value};
+use lfm_obs::{
+    eta_ms, Event, KnuthEstimator, NoopSink, Phase, PhaseProfile, PhaseProfiler, ProgressTracker,
+    Sink, Stopwatch, Value,
+};
 
 use crate::exec::{Executor, RecordMode};
 use crate::explore::{
-    ExploreLimits, ExploreReport, ExploreStats, OutcomeCounts, Truncation, PROGRESS_EVERY,
+    ExploreLimits, ExploreReport, ExploreStats, OutcomeCounts, Truncation, PROGRESS_CHECK_EVERY,
+    PROGRESS_EVERY,
 };
 use crate::fault::FaultPlan;
 use crate::ids::ThreadId;
@@ -208,6 +212,11 @@ pub struct ParStats {
     /// Expansions discarded because the prefix was deduped at commit
     /// after the work had already been claimed.
     pub wasted_expansions: u64,
+    /// Per-worker phase profiles (all-zero unless the explorer was
+    /// given an enabled [`PhaseProfiler`]); the coordinator's own
+    /// commit/dedup/hash time lands on the profiler handed to
+    /// [`ParExplorer::profile`].
+    pub profiles: Vec<PhaseProfile>,
 }
 
 impl ParStats {
@@ -288,7 +297,13 @@ impl Drop for StopGuard<'_> {
 /// loop (sleep sets, preemption bounds, snapshot, run-forward), minus
 /// everything order-sensitive (dedup, budgets, classification), which
 /// the coordinator replays at commit time.
-fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) -> Vec<ChildRec> {
+fn expand(
+    task: &Task,
+    limits: &ExploreLimits,
+    sleep_on: bool,
+    shared: &Shared,
+    profiler: &PhaseProfiler,
+) -> Vec<ChildRec> {
     let mut children = Vec::with_capacity(task.enabled.len());
     let mut sleep = task.sleep.clone();
     // Identical for every child of this prefix (the prefix executor is
@@ -341,7 +356,10 @@ fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) 
             sleep.push(choice);
         }
 
+        let snap_guard = profiler.enter(Phase::Snapshot);
         let mut child = task.exec.clone();
+        drop(snap_guard);
+        let step_guard = profiler.enter(Phase::Step);
         child
             .step(choice)
             .expect("explorer only chooses enabled threads");
@@ -380,6 +398,7 @@ fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) 
                 break Next::Branch(child, enabled);
             }
         };
+        drop(step_guard);
         match next {
             Next::Terminal(exec, outcome) => {
                 // Only the first failing / first passing child of an
@@ -399,7 +418,7 @@ fn expand(task: &Task, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) 
             }
             Next::Branch(exec, enabled) => {
                 let key = if limits.dedup_states {
-                    exec.state_key()
+                    profiler.time(Phase::Hash, || exec.state_key())
                 } else {
                     0
                 };
@@ -443,13 +462,19 @@ fn claim(me: usize, shared: &Shared) -> Option<(Task, bool)> {
     None
 }
 
-fn worker_loop(me: usize, limits: &ExploreLimits, sleep_on: bool, shared: &Shared) {
+fn worker_loop(
+    me: usize,
+    limits: &ExploreLimits,
+    sleep_on: bool,
+    shared: &Shared,
+    profiler: &PhaseProfiler,
+) {
     let counters = &shared.counters[me];
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        match claim(me, shared) {
+        match profiler.time(Phase::Steal, || claim(me, shared)) {
             Some((task, stolen)) => {
                 counters.claimed.fetch_add(1, Ordering::Relaxed);
                 if stolen {
@@ -468,22 +493,24 @@ fn worker_loop(me: usize, limits: &ExploreLimits, sleep_on: bool, shared: &Share
                     counters.filter_hits.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                let expansion =
-                    catch_unwind(AssertUnwindSafe(|| expand(&task, limits, sleep_on, shared)))
-                        .map_err(|payload| {
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| (*s).to_owned())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "worker panicked".to_owned());
-                            msg
-                        });
+                let expansion = catch_unwind(AssertUnwindSafe(|| {
+                    expand(&task, limits, sleep_on, shared, profiler)
+                }))
+                .map_err(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_owned());
+                    msg
+                });
                 let mut results = shared.results.lock().expect("results lock");
                 results.insert(task.id, expansion);
                 shared.result_cv.notify_one();
             }
             None => {
                 counters.idle_spins.fetch_add(1, Ordering::Relaxed);
+                let idle_guard = profiler.enter(Phase::Idle);
                 let guard = shared.idle.lock().expect("idle lock");
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
@@ -491,6 +518,7 @@ fn worker_loop(me: usize, limits: &ExploreLimits, sleep_on: bool, shared: &Share
                 // Timed park: a task can land between the failed claim
                 // sweep and this wait, so never sleep unbounded.
                 let _ = shared.work_cv.wait_timeout(guard, PARK).expect("idle wait");
+                drop(idle_guard);
             }
         }
     }
@@ -499,12 +527,19 @@ fn worker_loop(me: usize, limits: &ExploreLimits, sleep_on: bool, shared: &Share
 /// One frame of the coordinator's commit walk; mirrors the serial DFS
 /// stack one-to-one.
 enum Frame {
-    /// Waiting for the expansion of a committed branch prefix.
-    Pending(u64),
+    /// Waiting for the expansion of a committed branch prefix. The
+    /// `f64` is the product of branching degrees along the path *above*
+    /// this prefix (1.0 at the root); the prefix's own degree is folded
+    /// in once the expansion arrives.
+    Pending(u64, f64),
     /// Walking an expansion's children in serial choice order.
+    /// `path_degree` is the Knuth estimator's degree product including
+    /// this prefix's own branching degree — exactly the serial
+    /// explorer's per-branch `path_degree`.
     Open {
         children: Vec<ChildRec>,
         next: usize,
+        path_degree: f64,
     },
 }
 
@@ -521,6 +556,8 @@ pub struct ParExplorer<'p> {
     jobs: usize,
     sink: Arc<dyn Sink>,
     fault: Option<FaultPlan>,
+    profile: Arc<PhaseProfiler>,
+    progress_every: Option<Duration>,
 }
 
 impl<'p> ParExplorer<'p> {
@@ -533,6 +570,8 @@ impl<'p> ParExplorer<'p> {
             jobs: ParExplorer::auto_jobs(),
             sink: Arc::new(NoopSink),
             fault: None,
+            profile: Arc::new(PhaseProfiler::disabled()),
+            progress_every: None,
         }
     }
 
@@ -558,6 +597,25 @@ impl<'p> ParExplorer<'p> {
     /// progress, per-worker activity, final report). Observation only.
     pub fn with_sink(mut self, sink: Arc<dyn Sink>) -> ParExplorer<'p> {
         self.sink = sink;
+        self
+    }
+
+    /// Attributes hot-path wall time to `profiler`. The coordinator's
+    /// commit/hash/dedup phases land on this handle directly; each
+    /// worker gets a fresh profiler with the same configuration (see
+    /// [`PhaseProfiler::like`]) whose snapshot is returned in
+    /// [`ParStats::profiles`]. Observation only: reports are identical
+    /// with profiling on or off.
+    pub fn profile(mut self, profiler: Arc<PhaseProfiler>) -> ParExplorer<'p> {
+        self.profile = profiler;
+        self
+    }
+
+    /// Emits periodic `explore`/`progress_est` events (tree-size
+    /// estimate, schedule rate, ETA) at most once per `every`.
+    /// Observation only.
+    pub fn progress_every(mut self, every: Duration) -> ParExplorer<'p> {
+        self.progress_every = Some(every);
         self
     }
 
@@ -629,8 +687,11 @@ impl<'p> ParExplorer<'p> {
             states_deduped: 0,
             sleep_pruned: 0,
             truncation: None,
+            est_total_schedules: 0.0,
             stats: ExploreStats::default(),
         };
+        let mut estimator = KnuthEstimator::new();
+        let mut progress = self.progress_every.map(ProgressTracker::new);
         self.emit_start(sleep_on, jobs);
 
         let mut root = Executor::with_record(self.program, RecordMode::Off);
@@ -641,25 +702,34 @@ impl<'p> ParExplorer<'p> {
         }
         if let Some(outcome) = root.outcome().cloned() {
             // Program terminates without any scheduling choice: no
-            // workers needed.
+            // workers needed. The schedule tree is a single leaf with
+            // an empty degree product, like the serial explorer's.
+            estimator.record_leaf(1.0);
             self.classify(&mut report, outcome, root.steps() as u64, || {
                 root.schedule_taken()
             });
+            self.progress_tick(&report, &estimator, &mut progress, &stopwatch, 0);
             let stats = ParStats {
                 jobs,
                 workers: vec![WorkerStats::default(); jobs],
                 tasks_spawned: 0,
                 wasted_expansions: 0,
+                profiles: vec![PhaseProfile::empty(); jobs],
             };
-            self.finish(&mut report, stopwatch, false, &stats);
+            self.finish(&mut report, stopwatch, false, &stats, &estimator);
             return (report, stats);
         }
 
         let shared = Shared::new(jobs);
+        // Per-worker profilers matching the coordinator's configuration;
+        // snapshots land in `ParStats::profiles`.
+        let worker_profiles: Vec<PhaseProfiler> = (0..jobs).map(|_| self.profile.like()).collect();
         if self.limits.dedup_states {
             // Pre-claim the root key for the root prefix (id 0),
             // mirroring the serial explorer's pre-loop insert.
-            shared.seen.insert(root.state_key(), 0);
+            let key = self.profile.time(Phase::Hash, || root.state_key());
+            self.profile
+                .time(Phase::Dedup, || shared.seen.insert(key, 0));
         }
         let enabled = root.enabled();
         report.stats.branch_points += 1;
@@ -683,10 +753,10 @@ impl<'p> ParExplorer<'p> {
 
         std::thread::scope(|scope| {
             let guard = StopGuard(&shared);
-            for me in 0..jobs {
+            for (me, profiler) in worker_profiles.iter().enumerate() {
                 let shared = &shared;
                 let limits = &self.limits;
-                scope.spawn(move || worker_loop(me, limits, sleep_on, shared));
+                scope.spawn(move || worker_loop(me, limits, sleep_on, shared, profiler));
             }
 
             let mut rr = 0usize;
@@ -706,8 +776,10 @@ impl<'p> ParExplorer<'p> {
             // loop. Each iteration performs the serial loop-top budget
             // checks, then processes exactly one record (or resolves a
             // pending expansion / pops an exhausted frame).
-            let mut walk: Vec<Frame> = vec![Frame::Pending(0)];
-            'walk: while let Some(top) = walk.last_mut() {
+            let mut walk: Vec<Frame> = vec![Frame::Pending(0, 1.0)];
+            'walk: loop {
+                let walk_depth = walk.len() as u64;
+                let Some(top) = walk.last_mut() else { break };
                 if let Some(deadline) = self.limits.deadline {
                     if stopwatch.elapsed() >= deadline {
                         deadline_hit = true;
@@ -720,8 +792,9 @@ impl<'p> ParExplorer<'p> {
                     break;
                 }
                 match top {
-                    Frame::Pending(id) => {
+                    Frame::Pending(id, parent_degree) => {
                         let id = *id;
+                        let parent_degree = *parent_degree;
                         let Some(expansion) = self.wait_result(&shared, id, stopwatch) else {
                             // Deadline elapsed while waiting.
                             deadline_hit = true;
@@ -746,13 +819,29 @@ impl<'p> ParExplorer<'p> {
                                 }
                             }
                         }
-                        *top = Frame::Open { children, next: 0 };
+                        // A walked expansion is never truncated (stop
+                        // and cancel only hit prefixes the walk has
+                        // abandoned), so `children.len()` is this
+                        // prefix's branching degree — the serial
+                        // explorer's `enabled.len()`.
+                        let path_degree = parent_degree * children.len() as f64;
+                        *top = Frame::Open {
+                            children,
+                            next: 0,
+                            path_degree,
+                        };
                     }
-                    Frame::Open { children, next } => {
+                    Frame::Open {
+                        children,
+                        next,
+                        path_degree,
+                    } => {
                         if *next >= children.len() {
                             walk.pop();
                             continue;
                         }
+                        let path_degree = *path_degree;
+                        let _commit = self.profile.enter(Phase::Commit);
                         let rec = std::mem::replace(&mut children[*next], ChildRec::SleepPruned);
                         *next += 1;
                         match rec {
@@ -771,10 +860,18 @@ impl<'p> ParExplorer<'p> {
                             } => {
                                 report.stats.snapshots += 1;
                                 report.stats.snapshot_bytes_saved += saved;
+                                estimator.record_leaf(path_degree);
                                 self.classify(&mut report, outcome, steps, || {
                                     schedule
                                         .expect("first failing/passing child carries its schedule")
                                 });
+                                self.progress_tick(
+                                    &report,
+                                    &estimator,
+                                    &mut progress,
+                                    &stopwatch,
+                                    walk_depth,
+                                );
                                 if self.limits.stop_on_first_failure
                                     && report.first_failure.is_some()
                                 {
@@ -790,7 +887,11 @@ impl<'p> ParExplorer<'p> {
                             } => {
                                 report.stats.snapshots += 1;
                                 report.stats.snapshot_bytes_saved += saved;
-                                if self.limits.dedup_states && !shared.seen.insert(key, id) {
+                                let fresh = !self.limits.dedup_states
+                                    || self
+                                        .profile
+                                        .time(Phase::Dedup, || shared.seen.insert(key, id));
+                                if !fresh {
                                     report.states_deduped += 1;
                                     cancel.store(true, Ordering::Relaxed);
                                     // Drop any finished expansion of the
@@ -807,7 +908,7 @@ impl<'p> ParExplorer<'p> {
                                     continue;
                                 }
                                 report.stats.branch_points += 1;
-                                walk.push(Frame::Pending(id));
+                                walk.push(Frame::Pending(id, path_degree));
                                 report.stats.max_depth =
                                     report.stats.max_depth.max(walk.len() as u64);
                             }
@@ -832,8 +933,12 @@ impl<'p> ParExplorer<'p> {
                 .collect(),
             tasks_spawned,
             wasted_expansions,
+            profiles: worker_profiles
+                .iter()
+                .map(PhaseProfiler::snapshot)
+                .collect(),
         };
-        self.finish(&mut report, stopwatch, deadline_hit, &stats);
+        self.finish(&mut report, stopwatch, deadline_hit, &stats, &estimator);
         (report, stats)
     }
 
@@ -922,16 +1027,75 @@ impl<'p> ParExplorer<'p> {
         });
     }
 
+    /// Emits a periodic `explore`/`progress_est` event from the commit
+    /// walk; field-for-field the serial explorer's. Estimator state at
+    /// each commit is identical to the serial run (the walk replays the
+    /// serial preorder), so only the wall-clock-derived fields (rate,
+    /// ETA, emission times) can differ.
+    fn progress_tick(
+        &self,
+        report: &ExploreReport,
+        estimator: &KnuthEstimator,
+        progress: &mut Option<ProgressTracker>,
+        stopwatch: &Stopwatch,
+        frontier_depth: u64,
+    ) {
+        let Some(tracker) = progress.as_mut() else {
+            return;
+        };
+        if !report.schedules_run.is_multiple_of(PROGRESS_CHECK_EVERY) {
+            return;
+        }
+        let elapsed = stopwatch.elapsed();
+        if !tracker.due(elapsed) {
+            return;
+        }
+        let rate = tracker.sample(report.schedules_run, elapsed);
+        if !self.sink.enabled() {
+            return;
+        }
+        let est_total = estimator.estimate();
+        let overall_secs = elapsed.as_secs_f64();
+        let states_per_sec = if overall_secs > 0.0 {
+            report.steps_total as f64 / overall_secs
+        } else {
+            0.0
+        };
+        let mut fields = vec![
+            ("program", Value::Str(self.program.name())),
+            ("schedules", Value::U64(report.schedules_run)),
+            ("steps", Value::U64(report.steps_total)),
+            ("failures", Value::U64(report.counts.failures())),
+            ("frontier_depth", Value::U64(frontier_depth)),
+            ("max_depth", Value::U64(report.stats.max_depth)),
+            ("est_total", Value::F64(est_total)),
+            ("fraction", Value::F64(estimator.fraction_done())),
+            ("schedules_per_sec", Value::F64(rate)),
+            ("states_per_sec", Value::F64(states_per_sec)),
+        ];
+        if let Some(ms) = eta_ms(est_total - report.schedules_run as f64, rate) {
+            fields.push(("eta_ms", Value::U64(ms)));
+        }
+        self.sink.emit(&Event {
+            scope: "explore",
+            name: "progress_est",
+            fields: &fields,
+        });
+    }
+
     /// Derives the truncation reason (identical to the serial
-    /// explorer's priority order), stamps the wall time, and emits the
-    /// final report plus one activity event per worker.
+    /// explorer's priority order), stamps the wall time and tree-size
+    /// estimate, and emits the final report plus one activity event per
+    /// worker.
     fn finish(
         &self,
         report: &mut ExploreReport,
         stopwatch: Stopwatch,
         deadline_hit: bool,
         stats: &ParStats,
+        estimator: &KnuthEstimator,
     ) {
+        report.est_total_schedules = estimator.estimate();
         report.truncation = if deadline_hit {
             Some(Truncation::WallDeadline)
         } else if report.truncated {
@@ -995,6 +1159,10 @@ impl<'p> ParExplorer<'p> {
             (
                 "snapshot_bytes_saved",
                 Value::U64(report.stats.snapshot_bytes_saved),
+            ),
+            (
+                "est_total_schedules",
+                Value::F64(report.est_total_schedules),
             ),
             ("wall_us", Value::U64(report.stats.wall.as_micros() as u64)),
         ];
@@ -1107,6 +1275,16 @@ mod tests {
             serial.stats.preemption_limited, par.stats.preemption_limited,
             "{label}: preemption_limited"
         );
+        // Bit-identical, not approximately equal: the parallel walk
+        // replays the serial leaf order, so the degree-product sums
+        // match exactly in IEEE-754.
+        assert_eq!(
+            serial.est_total_schedules.to_bits(),
+            par.est_total_schedules.to_bits(),
+            "{label}: est_total_schedules ({} vs {})",
+            serial.est_total_schedules,
+            par.est_total_schedules
+        );
     }
 
     fn configs() -> Vec<(&'static str, ExploreLimits)> {
@@ -1167,6 +1345,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn observation_on_report_is_identical_to_observation_off() {
+        let program = racy_counter(3, 2);
+        let baseline = ParExplorer::new(&program).jobs(2).dedup_states().run();
+        let profiler = Arc::new(PhaseProfiler::sampling(0));
+        let (report, stats) = ParExplorer::new(&program)
+            .jobs(2)
+            .dedup_states()
+            .profile(Arc::clone(&profiler))
+            .progress_every(Duration::from_millis(0))
+            .run_detailed();
+        assert_reports_identical(&baseline, &report, "obs-on");
+        assert_eq!(stats.profiles.len(), 2);
+        // The workers expanded something, so their profilers saw
+        // snapshot/step entries.
+        let mut merged = PhaseProfile::empty();
+        for p in &stats.profiles {
+            merged.merge(p);
+        }
+        assert!(merged.get(Phase::Step).entries > 0, "worker step entries");
+        // Coordinator phases land on the caller's handle.
+        assert!(
+            profiler.snapshot().get(Phase::Commit).entries > 0,
+            "commit entries"
+        );
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! readings (which live in `ExploreStats::wall`) may differ.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use lfm_obs::{JsonlSink, MemorySink, NoopSink, Sink};
+use lfm_obs::{FlightRecorder, JsonlSink, MemorySink, NoopSink, PhaseProfiler, Sink, TeeSink};
 use lfm_sim::{ExploreLimits, ExploreReport, Explorer, Expr, ProgramBuilder, Stmt};
 
 fn racy_counter(n_threads: usize) -> lfm_sim::Program {
@@ -40,6 +41,8 @@ fn semantic_view(r: &ExploreReport) -> impl PartialEq + std::fmt::Debug {
         r.truncation,
         r.sleep_pruned,
         r.states_deduped,
+        // f64 compared bit-for-bit: the estimator must not wobble.
+        r.est_total_schedules.to_bits(),
         (
             r.stats.branch_points,
             r.stats.snapshots,
@@ -103,4 +106,45 @@ fn repeated_instrumented_runs_are_bit_identical() {
     let a = explore(&p, Arc::new(MemorySink::new()));
     let b = explore(&p, Arc::new(MemorySink::new()));
     assert_eq!(semantic_view(&a), semantic_view(&b));
+}
+
+/// Everything on at once — phase profiler sampling every entry, flight
+/// recorder teed in, progress tracking at its tightest cadence — still
+/// changes nothing the report can see.
+#[test]
+fn full_observation_does_not_perturb_exploration() {
+    let p = racy_counter(3);
+    // Enough schedules to cross the explorer's progress-check stride
+    // (every 64th schedule) so the estimator genuinely emits.
+    let limits = ExploreLimits {
+        max_schedules: 200,
+        ..ExploreLimits::default()
+    };
+    let baseline = Explorer::new(&p).limits(limits.clone()).run();
+
+    let profiler = Arc::new(PhaseProfiler::sampling(0)); // sample everything
+    let recorder = Arc::new(FlightRecorder::new());
+    let memory = Arc::new(MemorySink::new());
+    let sink: Arc<dyn Sink> = Arc::new(TeeSink::new(vec![
+        Arc::clone(&memory) as Arc<dyn Sink>,
+        Arc::clone(&recorder) as Arc<dyn Sink>,
+    ]));
+    let observed = Explorer::new(&p)
+        .limits(limits.clone())
+        .with_sink(sink)
+        .profile(Arc::clone(&profiler))
+        .progress_every(Duration::from_nanos(1))
+        .run();
+
+    assert_eq!(semantic_view(&baseline), semantic_view(&observed));
+    // And the instruments genuinely ran: phases were timed, events
+    // reached the ring, progress ticks were emitted.
+    let profile = profiler.snapshot();
+    assert!(!profile.is_empty(), "profiler saw no phases");
+    assert!(profile.est_grand_total_nanos() > 0);
+    assert!(recorder.recorded() > 0, "flight recorder saw no events");
+    assert!(
+        !memory.events_named("explore", "progress_est").is_empty(),
+        "no progress_est events at a 1ns cadence"
+    );
 }
