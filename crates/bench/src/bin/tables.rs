@@ -7,6 +7,8 @@
 //! cargo run -p lfm-bench --bin tables -- --json obs.json # metrics snapshot
 //! cargo run -p lfm-bench --bin tables -- --bench-explore BENCH_explore.json
 //! cargo run -p lfm-bench --bin tables -- --check-explore BENCH_explore.json
+//! cargo run -p lfm-bench --bin tables -- --bench-serve BENCH_serve.json
+//! cargo run -p lfm-bench --bin tables -- --check-serve BENCH_serve.json
 //! ```
 //!
 //! `--bench-explore` runs the E-perf measurement at its reference
@@ -14,8 +16,13 @@
 //! as an artifact. `--check-explore` reruns the measurement and exits
 //! non-zero when serial explorer throughput on the gate kernel regressed
 //! more than 30% against the committed baseline (skipped on single-core
-//! hosts, where the wall clock is too noisy to gate on). Both modes run
-//! instead of the table regeneration.
+//! hosts, where the wall clock is too noisy to gate on).
+//! `--bench-serve` / `--check-serve` do the same for the E-serve load
+//! harness (`lfm-bench-serve/v1`): the check always enforces zero wrong
+//! answers and clean drains, and additionally gates the chaos-free
+//! scenario's requests/sec against the committed baseline on
+//! multi-core hosts. All four modes run instead of the table
+//! regeneration.
 
 use lfm_bench::Artifact;
 use lfm_corpus::Corpus;
@@ -89,6 +96,96 @@ fn check_explore(path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// Fraction of the baseline's requests/sec the chaos-free load
+/// scenario must still reach. Service throughput swings with the host
+/// far more than the serial hot path (thread scheduling, loopback
+/// latency), so the floor is very generous: only a structural
+/// regression — an accidental serialization, an unbounded queue, a
+/// cache that stopped hitting — trips it.
+const SERVE_CHECK_FLOOR: f64 = 0.50;
+
+fn bench_serve(path: &str) -> ! {
+    let report = lfm_bench::serve_measure();
+    let doc = lfm_bench::serve_json(&report);
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("cannot write serve benchmark to `{path}`: {e}");
+        std::process::exit(1);
+    }
+    for r in &report.rows {
+        eprintln!(
+            "{}: {}/{} ok, {} wrong, hit rate {:.2}, shed rate {:.2}, \
+             p50 {} us, p99 {} us, {:.0} req/sec, drain {}",
+            r.scenario,
+            r.ok,
+            r.requests,
+            r.wrong,
+            r.hit_rate,
+            r.shed_rate,
+            r.p50_us,
+            r.p99_us,
+            r.requests_per_sec,
+            if r.clean_drain { "clean" } else { "UNCLEAN" }
+        );
+    }
+    eprintln!("serve benchmark written to {path}");
+    std::process::exit(if report.all_correct() { 0 } else { 1 });
+}
+
+fn check_serve(path: &str) -> ! {
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read serve baseline `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let scenario = lfm_bench::SERVE_GATE_SCENARIO;
+    let Some(expected) = lfm_bench::baseline_requests_per_sec(&baseline, scenario) else {
+        eprintln!("baseline `{path}` has no requests_per_sec for `{scenario}`");
+        std::process::exit(1);
+    };
+    let report = lfm_bench::serve_measure();
+    // The correctness half of the gate holds on every host, single-core
+    // included: no wrong answers, no unclean drains, under load and
+    // under chaos.
+    for r in &report.rows {
+        eprintln!(
+            "{}: {}/{} ok, {} wrong, {:.0} req/sec, drain {}",
+            r.scenario,
+            r.ok,
+            r.requests,
+            r.wrong,
+            r.requests_per_sec,
+            if r.clean_drain { "clean" } else { "UNCLEAN" }
+        );
+    }
+    if !report.all_correct() {
+        eprintln!("serve correctness gate failed: wrong answers or an unclean drain");
+        std::process::exit(1);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores < 2 {
+        eprintln!("single-core host: skipping the serve throughput gate (rates are noise here)");
+        std::process::exit(0);
+    }
+    let measured = report
+        .row(scenario)
+        .map(|r| r.requests_per_sec)
+        .unwrap_or(0.0);
+    let floor = expected * SERVE_CHECK_FLOOR;
+    eprintln!(
+        "{scenario}: measured {measured:.0} req/sec, baseline {expected:.0}, floor {floor:.0}"
+    );
+    if measured < floor {
+        eprintln!("serve throughput regressed more than 50% — investigate the service path");
+        std::process::exit(1);
+    }
+    eprintln!("serve gate passed");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
@@ -114,6 +211,20 @@ fn main() {
     {
         check_explore(path);
     }
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--bench-serve")
+        .and_then(|i| args.get(i + 1))
+    {
+        bench_serve(path);
+    }
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--check-serve")
+        .and_then(|i| args.get(i + 1))
+    {
+        check_serve(path);
+    }
 
     if let Some(path) = json_path {
         let snapshot = lfm_bench::obs_snapshot();
@@ -132,7 +243,8 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown artifact `{sel}`; expected t1..t9, f1..f5, \
-                     escope, edetect, etm, echaos, epar, eperf, ewit, or findings"
+                     escope, edetect, etm, echaos, epar, eperf, ewit, eobs, \
+                     eserve, or findings"
                 );
                 std::process::exit(2);
             }

@@ -20,6 +20,7 @@ pub mod chaos;
 pub mod obs;
 pub mod par;
 pub mod perf;
+pub mod serve;
 pub mod snapshot;
 
 pub use chaos::{chaos_comparison, chaos_table, ChaosRow};
@@ -28,6 +29,10 @@ pub use par::{par_scaling, par_table, ParRow, ParScaling};
 pub use perf::{
     baseline_states_per_sec, perf_json, perf_measure, perf_table, PerfReport, PerfRow, PerfSpeedup,
     BENCH_EXPLORE_SCHEMA, PERF_BUDGET, PERF_GATE_KERNEL,
+};
+pub use serve::{
+    baseline_requests_per_sec, serve_json, serve_measure, serve_table, ServeReport, ServeRow,
+    BENCH_SERVE_SCHEMA, SERVE_GATE_SCENARIO, SERVE_SEED,
 };
 pub use snapshot::{obs_snapshot, SNAPSHOT_SCHEMA};
 
@@ -68,6 +73,8 @@ pub enum Artifact {
     Witness,
     /// E-obs.
     Obs,
+    /// E-serve.
+    Serve,
     /// The findings checker.
     Findings,
 }
@@ -87,6 +94,7 @@ impl Artifact {
             "eperf" | "e-perf" => Some(Artifact::Perf),
             "ewit" | "e-wit" => Some(Artifact::Witness),
             "eobs" | "e-obs" => Some(Artifact::Obs),
+            "eserve" | "e-serve" => Some(Artifact::Serve),
             "findings" => Some(Artifact::Findings),
             _ if s.len() >= 2 => {
                 let (kind, num) = s.split_at(1);
@@ -117,6 +125,7 @@ impl Artifact {
             Artifact::Perf,
             Artifact::Witness,
             Artifact::Obs,
+            Artifact::Serve,
         ]);
         v
     }
@@ -139,6 +148,7 @@ impl Artifact {
             Artifact::Perf => "eperf".to_string(),
             Artifact::Witness => "ewit".to_string(),
             Artifact::Obs => "eobs".to_string(),
+            Artifact::Serve => "eserve".to_string(),
             Artifact::Findings => "findings".to_string(),
         }
     }
@@ -189,6 +199,7 @@ impl Artifact {
             Artifact::Perf => table(perf::perf_table(perf::PERF_BUDGET)),
             Artifact::Witness => table(witness_table()),
             Artifact::Obs => table(obs::obs_table(obs::OBS_BUDGET)),
+            Artifact::Serve => table(serve::serve_table()),
             Artifact::Findings => {
                 let mut out = String::from("Findings (paper vs measured)\n");
                 for f in lfm_study::check_all(corpus) {
@@ -248,6 +259,8 @@ mod tests {
         assert_eq!(Artifact::parse("e-wit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("eobs"), Some(Artifact::Obs));
         assert_eq!(Artifact::parse("e-obs"), Some(Artifact::Obs));
+        assert_eq!(Artifact::parse("eserve"), Some(Artifact::Serve));
+        assert_eq!(Artifact::parse("e-serve"), Some(Artifact::Serve));
         assert_eq!(Artifact::parse("findings"), Some(Artifact::Findings));
         assert_eq!(Artifact::parse("t0"), None);
         assert_eq!(Artifact::parse("t10"), None);
@@ -258,7 +271,7 @@ mod tests {
     #[test]
     fn all_lists_every_artifact() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 1 + 9 + 5 + 10);
+        assert_eq!(all.len(), 1 + 9 + 5 + 11);
     }
 
     #[test]

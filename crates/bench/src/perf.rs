@@ -387,8 +387,9 @@ pub fn baseline_states_per_sec(doc: &str, kernel: &str) -> Option<f64> {
 }
 
 /// Reads `"name":<number>` inside the object fragment starting at
-/// `rest` (everything up to the first `}`).
-fn object_field(rest: &str, name: &str) -> Option<f64> {
+/// `rest` (everything up to the first `}`). Shared with the E-serve
+/// baseline extractor, which reads the same committed-JSON shape.
+pub(crate) fn object_field(rest: &str, name: &str) -> Option<f64> {
     let obj = &rest[..rest.find('}')?];
     let needle = format!("\"{name}\":");
     let field = obj.find(&needle)?;

@@ -15,7 +15,9 @@
 //! lfm explore <id> --progress                      # periodic progress estimates
 //! lfm witness <id> --out w.json --chrome t.json   # minimized portable witness
 //! lfm replay w.json                                # verify a saved witness
-//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|ewit|eobs|findings]
+//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|ewit|eobs|eserve|findings]
+//! lfm serve --addr 127.0.0.1:0 --workers 4         # model-checking service
+//! lfm bench-serve --chaos-net 42 --shutdown        # closed-loop load run
 //! lfm version                                      # binary + schema versions
 //! lfm --log-jsonl run.jsonl kernel <id>            # structured event log
 //! lfm --metrics m.txt explore <id>                 # OpenMetrics exposition
@@ -47,6 +49,10 @@ use lfm_sim::{
     minimize, pseudocode, Budget, BudgetedExplorer, Explorer, FaultPlan, ParExplorer, Truncation,
     Witness,
 };
+
+// `lfm_serve` items are used through their crate path in the serve
+// runners — the service surface is small enough that qualified names
+// read better than another import block.
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +125,35 @@ pub enum Command {
         only: Option<Artifact>,
         /// Markdown output.
         markdown: bool,
+    },
+    /// `lfm serve [--addr A] [--workers N] [--queue N] [--max-conns N]`
+    Serve {
+        /// Bind address (default `127.0.0.1:0`, a free port).
+        addr: Option<String>,
+        /// Explorer worker pool size.
+        workers: Option<usize>,
+        /// Job queue bound (also the admission ladder's shed point).
+        queue: Option<usize>,
+        /// Maximum simultaneously open connections.
+        max_conns: Option<usize>,
+    },
+    /// `lfm bench-serve [--addr A] [--clients N] [--requests N]
+    /// [--seed S] [--chaos-net S] [--out path] [--shutdown]`
+    BenchServe {
+        /// Target server; when absent an in-process server is started.
+        addr: Option<String>,
+        /// Concurrent client threads.
+        clients: Option<usize>,
+        /// Requests per client.
+        requests: Option<usize>,
+        /// Seed for the zipf mix and retry jitter.
+        seed: Option<u64>,
+        /// Put a seeded chaos proxy between clients and server.
+        chaos_net: Option<u64>,
+        /// Write the `lfm-bench-serve/v1` report here.
+        out: Option<String>,
+        /// Send the server a graceful wire shutdown after the run.
+        shutdown: bool,
     },
     /// `lfm help`
     Help,
@@ -418,7 +453,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             UsageError(format!(
                                 "unknown artifact `{sel}` (t1..t9, f1..f5, escope, \
                                  edetect, etest, ecov, etm, echaos, epar, eperf, \
-                                 ewit, eobs, findings)"
+                                 ewit, eobs, eserve, findings)"
                             ))
                         })?);
                     }
@@ -426,10 +461,114 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             }
             Ok(Command::Tables { only, markdown })
         }
+        Some("serve") => {
+            let mut addr = None;
+            let mut workers = None;
+            let mut queue = None;
+            let mut max_conns = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--addr needs a bind address".into()))?;
+                        addr = Some(v.to_owned());
+                    }
+                    "--workers" => {
+                        workers = Some(parse_count(it.next(), "--workers", "a worker count")?);
+                    }
+                    "--queue" => {
+                        queue = Some(parse_count(it.next(), "--queue", "a queue bound")?);
+                    }
+                    "--max-conns" => {
+                        max_conns =
+                            Some(parse_count(it.next(), "--max-conns", "a connection cap")?);
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                queue,
+                max_conns,
+            })
+        }
+        Some("bench-serve") => {
+            let mut addr = None;
+            let mut clients = None;
+            let mut requests = None;
+            let mut seed = None;
+            let mut chaos_net = None;
+            let mut out = None;
+            let mut shutdown = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--addr needs a server address".into()))?;
+                        addr = Some(v.to_owned());
+                    }
+                    "--clients" => {
+                        clients = Some(parse_count(it.next(), "--clients", "a client count")?);
+                    }
+                    "--requests" => {
+                        requests = Some(parse_count(it.next(), "--requests", "a request count")?);
+                    }
+                    "--seed" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--seed needs a u64 seed".into()))?;
+                        seed = Some(
+                            v.parse()
+                                .map_err(|_| UsageError(format!("--seed `{v}` is not a u64")))?,
+                        );
+                    }
+                    "--chaos-net" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--chaos-net needs a u64 seed".into()))?;
+                        chaos_net = Some(v.parse().map_err(|_| {
+                            UsageError(format!("--chaos-net seed `{v}` is not a u64"))
+                        })?);
+                    }
+                    "--out" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--out needs a file path".into()))?;
+                        out = Some(v.to_owned());
+                    }
+                    "--shutdown" => shutdown = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::BenchServe {
+                addr,
+                clients,
+                requests,
+                seed,
+                chaos_net,
+                out,
+                shutdown,
+            })
+        }
         Some(other) => Err(UsageError(format!(
             "unknown command `{other}`; try `lfm help`"
         ))),
     }
+}
+
+/// Parses a required positive-count flag value.
+fn parse_count(value: Option<&str>, flag: &str, what: &str) -> Result<usize, UsageError> {
+    let v = value.ok_or_else(|| UsageError(format!("{flag} needs {what}")))?;
+    let n: usize = v
+        .parse()
+        .map_err(|_| UsageError(format!("{flag} `{v}` is not {what}")))?;
+    if n == 0 {
+        return Err(UsageError(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
 }
 
 /// The help text.
@@ -466,7 +605,30 @@ USAGE:
                                     regenerate tables/figures/experiments
                                     (t1..t9, f1..f5, escope, edetect, etest,
                                      ecov, etm, echaos, epar, eperf, ewit,
-                                     eobs, findings; default: everything)
+                                     eobs, eserve, findings; default:
+                                     everything)
+  lfm serve [--addr A] [--workers N] [--queue N] [--max-conns N]
+                                    run the fingerprint-keyed model-checking
+                                    service (lfm-serve/v1 JSONL over TCP):
+                                    caches reports by program fingerprint,
+                                    degrades down the budget ladder under
+                                    queue pressure, sheds past capacity;
+                                    stops on a wire shutdown request and
+                                    drains in-flight work; --chaos seeds
+                                    sim-level faults into every exploration,
+                                    --deadline sets the default per-request
+                                    wall budget, --metrics writes a final
+                                    exposition at drain
+  lfm bench-serve [--addr A] [--clients N] [--requests N] [--seed S]
+                  [--chaos-net S] [--out path] [--shutdown]
+                                    closed-loop zipf load against a server
+                                    (an in-process one when --addr is
+                                    absent): p50/p99 latency, cache hit
+                                    rate, shed rate, degrade histogram,
+                                    wrong-answer count; --chaos-net puts a
+                                    seeded fault-injecting proxy on the
+                                    wire; --out writes lfm-bench-serve/v1;
+                                    --shutdown drains the server afterwards
   lfm version                       binary version + artifact schema versions
   lfm help
 
@@ -757,6 +919,35 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
             return run_witness(&kernel, &id, out.as_deref(), chrome.as_deref(), &sink);
         }
         Command::Replay { path } => return run_replay(&path),
+        Command::Serve {
+            addr,
+            workers,
+            queue,
+            max_conns,
+        } => return run_serve(addr, workers, queue, max_conns, opts, &sink),
+        Command::BenchServe {
+            addr,
+            clients,
+            requests,
+            seed,
+            chaos_net,
+            out,
+            shutdown,
+        } => {
+            return run_bench_serve(
+                &BenchServeArgs {
+                    addr,
+                    clients,
+                    requests,
+                    seed,
+                    chaos_net,
+                    out,
+                    shutdown,
+                },
+                opts,
+                &sink,
+            )
+        }
         Command::Export => lfm_corpus::to_json(&Corpus::full()),
         Command::Version => version_text(),
         Command::Tables { only, markdown } => {
@@ -822,7 +1013,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
 /// can check compatibility without generating one of each.
 fn version_text() -> String {
     format!(
-        "lfm {}\nschemas:\n  {:24}{}\n  {:24}{}\n  {:24}{}\n",
+        "lfm {}\nschemas:\n  {:24}{}\n  {:24}{}\n  {:24}{}\n  {:24}{}\n  {:24}{}\n",
         env!("CARGO_PKG_VERSION"),
         "flight recorder/metrics",
         lfm_obs::FLIGHT_SCHEMA,
@@ -830,6 +1021,10 @@ fn version_text() -> String {
         lfm_sim::WITNESS_SCHEMA,
         "bench explore baseline",
         lfm_bench::BENCH_EXPLORE_SCHEMA,
+        "serve protocol",
+        lfm_serve::SERVE_SCHEMA,
+        "bench serve baseline",
+        lfm_bench::BENCH_SERVE_SCHEMA,
     )
 }
 
@@ -1326,6 +1521,311 @@ fn run_replay(path: &str) -> RunOutput {
     }
 }
 
+/// The `serve` command: start the fingerprint-keyed model-checking
+/// service and block until a wire shutdown request drains it. The
+/// listening address is printed (and flushed) *before* blocking so a
+/// caller can scrape it; the drain summary is the command's output.
+/// `--chaos` seeds sim-level faults into every exploration (and the
+/// cache key), `--deadline` becomes the default per-request wall
+/// budget, and `--metrics` writes a final OpenMetrics exposition at
+/// drain — so a crashed or drained server always leaves its counters
+/// behind, next to the flight-recorder tail the binary dumps on panic.
+fn run_serve(
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    max_conns: Option<usize>,
+    opts: &RunOptions,
+    sink: &Arc<dyn Sink>,
+) -> RunOutput {
+    let mut config = lfm_serve::ServerConfig::default();
+    if let Some(addr) = addr {
+        config.addr = addr;
+    }
+    if let Some(workers) = workers {
+        config.workers = workers;
+    }
+    if let Some(queue) = queue {
+        config.queue_cap = queue;
+    }
+    if let Some(max_conns) = max_conns {
+        config.max_conns = max_conns;
+    }
+    config.chaos = opts.chaos;
+    config.default_deadline = opts.deadline;
+    let handle = match lfm_serve::Server::start(config, Arc::clone(sink)) {
+        Ok(handle) => handle,
+        Err(e) => {
+            return RunOutput {
+                text: format!("cannot start server: {e}\n"),
+                degraded: true,
+                deadline_tripped: false,
+            };
+        }
+    };
+    // Printed eagerly: run_opts returns its text only after the server
+    // exits, and anyone scripting this (CI included) needs the port now.
+    println!("lfm serve listening on {}", handle.addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+
+    let stats = handle.stats();
+    let cache = handle.cache();
+    let summary = handle.wait();
+
+    let mut degraded = !summary.clean;
+    let mut out = format!(
+        "drained: requests={} checks={} hits={} misses={} shed={} errors={} \
+         write_errors={} worker_panics={} cache_entries={} clean={}\n",
+        summary.requests,
+        summary.checks,
+        summary.hits,
+        summary.misses,
+        summary.shed,
+        summary.errors,
+        summary.write_errors,
+        summary.worker_panics,
+        summary.cache_entries,
+        summary.clean,
+    );
+    out.push_str(&format!(
+        "degrade histogram: exhaustive={} sleep-set={} preemption-bounded={} pct-sampling={}\n",
+        summary.degrade[0], summary.degrade[1], summary.degrade[2], summary.degrade[3],
+    ));
+    if let Some(path) = &opts.metrics {
+        let mut registry = Registry::new();
+        stats.fill_registry(&mut registry, &cache);
+        match registry.write_to(path) {
+            Ok(()) => out.push_str(&format!("metrics: {path}\n")),
+            Err(e) => {
+                degraded = true;
+                out.push_str(&format!("METRICS FAILED: {path}: {e}\n"));
+            }
+        }
+    }
+    RunOutput {
+        text: out,
+        degraded,
+        deadline_tripped: false,
+    }
+}
+
+/// `bench-serve` parameters (one struct so the runner's signature stays
+/// readable).
+struct BenchServeArgs {
+    addr: Option<String>,
+    clients: Option<usize>,
+    requests: Option<usize>,
+    seed: Option<u64>,
+    chaos_net: Option<u64>,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+/// The `bench-serve` command: a closed-loop zipf load run against a
+/// server — an in-process one unless `--addr` points elsewhere —
+/// optionally behind a seeded chaos proxy. Wrong answers or an unclean
+/// drain degrade the exit; `--out` writes the `lfm-bench-serve/v1`
+/// document the CI gate compares against.
+fn run_bench_serve(args: &BenchServeArgs, opts: &RunOptions, sink: &Arc<dyn Sink>) -> RunOutput {
+    use std::net::ToSocketAddrs;
+
+    let mut degraded = false;
+    let mut out = String::new();
+
+    // Target resolution: an external server by address, or a fresh
+    // in-process one (whose drain we then own).
+    let mut handle = None;
+    let server_addr = match &args.addr {
+        Some(addr) => match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+            Some(resolved) => resolved,
+            None => {
+                return RunOutput {
+                    text: format!("cannot resolve server address `{addr}`\n"),
+                    degraded: true,
+                    deadline_tripped: false,
+                };
+            }
+        },
+        None => {
+            let config = lfm_serve::ServerConfig {
+                chaos: opts.chaos,
+                default_deadline: opts.deadline,
+                ..lfm_serve::ServerConfig::default()
+            };
+            match lfm_serve::Server::start(config, Arc::clone(sink)) {
+                Ok(h) => {
+                    let addr = h.addr();
+                    handle = Some(h);
+                    addr
+                }
+                Err(e) => {
+                    return RunOutput {
+                        text: format!("cannot start in-process server: {e}\n"),
+                        degraded: true,
+                        deadline_tripped: false,
+                    };
+                }
+            }
+        }
+    };
+
+    let proxy = match args.chaos_net {
+        Some(seed) => {
+            match lfm_serve::ChaosProxy::start(lfm_serve::NetFaultPlan::new(seed), server_addr) {
+                Ok(proxy) => Some(proxy),
+                Err(e) => {
+                    return RunOutput {
+                        text: format!("cannot start chaos proxy: {e}\n"),
+                        degraded: true,
+                        deadline_tripped: false,
+                    };
+                }
+            }
+        }
+        None => None,
+    };
+    let load_target = proxy.as_ref().map_or(server_addr, |p| p.addr());
+
+    let seed = args.seed.unwrap_or(lfm_bench::SERVE_SEED);
+    let config = lfm_serve::LoadConfig {
+        clients: args.clients.unwrap_or(8),
+        requests_per_client: args.requests.unwrap_or(15),
+        seed,
+        deadline_ms: opts.deadline.map(|d| d.as_millis() as u64),
+        ..lfm_serve::LoadConfig::default()
+    };
+    let scenario = match args.chaos_net {
+        Some(chaos_seed) => format!("chaos-{chaos_seed}"),
+        None => lfm_bench::SERVE_GATE_SCENARIO.to_owned(),
+    };
+    out.push_str(&format!(
+        "bench-serve: {} clients x {} requests, seed {seed}, scenario {scenario}, target {}\n",
+        config.clients, config.requests_per_client, load_target,
+    ));
+    let report = lfm_serve::run_load(load_target, &config);
+
+    let faults_injected = match proxy {
+        Some(proxy) => {
+            let stats = proxy.stats();
+            proxy.stop();
+            stats.total_injected()
+        }
+        None => 0,
+    };
+
+    out.push_str(&format!(
+        "requests: {} ({} ok, {} failed, {} wrong)\n",
+        report.requests, report.ok, report.failed, report.wrong
+    ));
+    out.push_str(&format!(
+        "cache hit rate: {:.2}   shed rate: {:.2}   transport errors: {}   faults injected: {}\n",
+        report.hit_rate(),
+        report.shed_rate(),
+        report.transport_errors,
+        faults_injected,
+    ));
+    out.push_str(&format!(
+        "latency: p50 {} us, p99 {} us   throughput: {:.0} req/sec\n",
+        report.latency.p50(),
+        report.latency.p99(),
+        report.requests_per_sec(),
+    ));
+    out.push_str(&format!(
+        "degrade histogram: exhaustive={} sleep-set={} preemption-bounded={} pct-sampling={}\n",
+        report.degrade[0], report.degrade[1], report.degrade[2], report.degrade[3],
+    ));
+    if report.wrong > 0 {
+        degraded = true;
+        out.push_str(&format!(
+            "WRONG ANSWERS: {} — the service broke the correctness contract\n",
+            report.wrong
+        ));
+    }
+
+    // Graceful shutdown: request it over the wire for an external
+    // server; an in-process server is always drained before we return.
+    if args.shutdown && handle.is_none() {
+        match lfm_serve::Client::new(server_addr).shutdown() {
+            Ok(()) => out.push_str("shutdown: requested, server acknowledged\n"),
+            Err(e) => {
+                degraded = true;
+                out.push_str(&format!("SHUTDOWN FAILED: {e}\n"));
+            }
+        }
+    }
+    let mut clean_drain = true;
+    if let Some(handle) = handle {
+        let stats = handle.stats();
+        let cache = handle.cache();
+        let server_degrade = stats.degrade_histogram();
+        handle.request_shutdown();
+        let summary = handle.wait();
+        clean_drain = summary.clean;
+        if !summary.clean {
+            degraded = true;
+        }
+        out.push_str(&format!(
+            "drained: requests={} hits={} misses={} shed={} worker_panics={} clean={}\n",
+            summary.requests,
+            summary.hits,
+            summary.misses,
+            summary.shed,
+            summary.worker_panics,
+            summary.clean,
+        ));
+        let _ = server_degrade;
+        if let Some(path) = &opts.metrics {
+            let mut registry = Registry::new();
+            stats.fill_registry(&mut registry, &cache);
+            match registry.write_to(path) {
+                Ok(()) => out.push_str(&format!("metrics: {path}\n")),
+                Err(e) => {
+                    degraded = true;
+                    out.push_str(&format!("METRICS FAILED: {path}: {e}\n"));
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let row = lfm_bench::ServeRow {
+            scenario,
+            requests: report.requests,
+            ok: report.ok,
+            failed: report.failed,
+            wrong: report.wrong,
+            hit_rate: report.hit_rate(),
+            shed_rate: report.shed_rate(),
+            p50_us: report.latency.p50(),
+            p99_us: report.latency.p99(),
+            requests_per_sec: report.requests_per_sec(),
+            degrade: report.degrade,
+            faults_injected,
+            clean_drain,
+        };
+        let doc = lfm_bench::serve_json(&lfm_bench::ServeReport {
+            seed,
+            host_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            rows: vec![row],
+        });
+        match std::fs::write(path, &doc) {
+            Ok(()) => out.push_str(&format!("report: {path}\n")),
+            Err(e) => {
+                degraded = true;
+                out.push_str(&format!("REPORT FAILED: {path}: {e}\n"));
+            }
+        }
+    }
+
+    RunOutput {
+        text: out,
+        degraded,
+        deadline_tripped: false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1459,12 +1959,104 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&args(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: None,
+                workers: None,
+                queue: None,
+                max_conns: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:7777",
+                "--workers",
+                "3",
+                "--queue",
+                "8",
+                "--max-conns",
+                "64"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: Some("127.0.0.1:7777".into()),
+                workers: Some(3),
+                queue: Some(8),
+                max_conns: Some(64),
+            }
+        );
+        assert!(parse(&args(&["serve", "--addr"])).is_err());
+        assert!(parse(&args(&["serve", "--workers"])).is_err());
+        assert!(parse(&args(&["serve", "--workers", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--workers", "many"])).is_err());
+        assert!(parse(&args(&["serve", "--queue", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--bogus"])).is_err());
+        assert!(parse(&args(&["serve", "extra"])).is_err());
+    }
+
+    #[test]
+    fn parses_bench_serve() {
+        assert_eq!(
+            parse(&args(&["bench-serve"])).unwrap(),
+            Command::BenchServe {
+                addr: None,
+                clients: None,
+                requests: None,
+                seed: None,
+                chaos_net: None,
+                out: None,
+                shutdown: false,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "bench-serve",
+                "--addr",
+                "127.0.0.1:7777",
+                "--clients",
+                "4",
+                "--requests",
+                "10",
+                "--seed",
+                "9",
+                "--chaos-net",
+                "42",
+                "--out",
+                "b.json",
+                "--shutdown"
+            ]))
+            .unwrap(),
+            Command::BenchServe {
+                addr: Some("127.0.0.1:7777".into()),
+                clients: Some(4),
+                requests: Some(10),
+                seed: Some(9),
+                chaos_net: Some(42),
+                out: Some("b.json".into()),
+                shutdown: true,
+            }
+        );
+        assert!(parse(&args(&["bench-serve", "--clients"])).is_err());
+        assert!(parse(&args(&["bench-serve", "--clients", "0"])).is_err());
+        assert!(parse(&args(&["bench-serve", "--seed", "pi"])).is_err());
+        assert!(parse(&args(&["bench-serve", "--chaos-net"])).is_err());
+        assert!(parse(&args(&["bench-serve", "--bogus"])).is_err());
+        assert!(parse(&args(&["bench-serve", "extra"])).is_err());
+    }
+
+    #[test]
     fn run_version_prints_binary_and_schema_versions() {
         let out = run(Command::Version);
         assert!(out.starts_with(&format!("lfm {}", env!("CARGO_PKG_VERSION"))));
         assert!(out.contains("lfm-obs/v1"), "{out}");
         assert!(out.contains("lfm-trace/v1"), "{out}");
         assert!(out.contains("lfm-bench-explore/v1"), "{out}");
+        assert!(out.contains("lfm-serve/v1"), "{out}");
+        assert!(out.contains("lfm-bench-serve/v1"), "{out}");
     }
 
     #[test]
@@ -2069,11 +2661,80 @@ mod tests {
             "--progress",
             "echaos",
             "eobs",
+            "eserve",
+            "lfm serve",
+            "lfm bench-serve",
+            "--chaos-net",
+            "--shutdown",
             "lfm version",
             "EXIT STATUS",
             "flight recorder",
         ] {
             assert!(HELP.contains(needle), "missing {needle:?} in HELP");
         }
+    }
+
+    #[test]
+    fn run_bench_serve_in_process_round_trip() {
+        let dir = std::env::temp_dir().join(format!("lfm-cli-bench-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("bench_serve.json");
+        let sink: Arc<dyn Sink> = Arc::new(NoopSink);
+        let out = run_bench_serve(
+            &BenchServeArgs {
+                addr: None,
+                clients: Some(2),
+                requests: Some(4),
+                seed: Some(7),
+                chaos_net: None,
+                out: Some(out_path.to_string_lossy().into_owned()),
+                shutdown: false,
+            },
+            &RunOptions::default(),
+            &sink,
+        );
+        assert!(!out.degraded, "{}", out.text);
+        for needle in [
+            "bench-serve: 2 clients x 4 requests",
+            "requests: 8 (",
+            "cache hit rate:",
+            "latency: p50",
+            "degrade histogram:",
+            "drained:",
+            "clean=true",
+            "report: ",
+        ] {
+            assert!(
+                out.text.contains(needle),
+                "missing {needle:?}:\n{}",
+                out.text
+            );
+        }
+        assert!(!out.text.contains("WRONG"), "{}", out.text);
+        let doc = std::fs::read_to_string(&out_path).unwrap();
+        assert!(doc.contains("\"schema\":\"lfm-bench-serve/v1\""), "{doc}");
+        assert!(doc.contains("\"scenario\":\"no-chaos\""), "{doc}");
+        assert!(doc.contains("\"clean_drain\":true"), "{doc}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_bench_serve_unresolvable_addr_degrades() {
+        let sink: Arc<dyn Sink> = Arc::new(NoopSink);
+        let out = run_bench_serve(
+            &BenchServeArgs {
+                addr: Some("definitely-not-a-host^^:0".into()),
+                clients: Some(1),
+                requests: Some(1),
+                seed: None,
+                chaos_net: None,
+                out: None,
+                shutdown: false,
+            },
+            &RunOptions::default(),
+            &sink,
+        );
+        assert!(out.degraded);
+        assert!(out.text.contains("cannot resolve"), "{}", out.text);
     }
 }

@@ -13,7 +13,10 @@
 //! thread and classifies the result as completed, timed out, or
 //! panicked, and [`stress_with`] applies a per-trial timeout with a
 //! bounded retry/backoff policy so one wedged trial cannot wedge a
-//! whole campaign. All timeouts pass through [`scaled`], which applies
+//! whole campaign — the pause can be seeded decorrelated jitter
+//! (see [`StressConfig::jitter`]) so retrying campaigns don't
+//! re-synchronize into the very contention spike that spoiled the
+//! trial. All timeouts pass through [`scaled`], which applies
 //! the `LFM_TIMEOUT_SCALE` environment variable — slow CI runners set
 //! it above `1.0` instead of patching constants.
 
@@ -103,6 +106,16 @@ pub fn run_with_deadline<T: Send + 'static>(
     }
 }
 
+/// SplitMix64: the same tiny generator the simulator's fault plans use,
+/// duplicated locally because this crate deliberately has no simulator
+/// dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Policy for a [`stress_with`] campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StressConfig {
@@ -115,7 +128,16 @@ pub struct StressConfig {
     /// before being recorded as lost.
     pub retries: usize,
     /// Pause before each re-attempt (transient contention dissipates).
+    /// With [`jitter`](StressConfig::jitter) set this is the *floor* of
+    /// a decorrelated-jitter schedule instead of a fixed pause.
     pub backoff: Duration,
+    /// Seed for decorrelated-jitter backoff; `None` keeps the fixed
+    /// pause. Seeded campaigns are deterministic: the same seed yields
+    /// the same delay sequence, so a flaky retry schedule can be
+    /// replayed exactly.
+    pub jitter_seed: Option<u64>,
+    /// Upper bound on any single jittered pause.
+    pub backoff_cap: Duration,
 }
 
 impl StressConfig {
@@ -126,6 +148,8 @@ impl StressConfig {
             per_trial_timeout: None,
             retries: 0,
             backoff: Duration::from_millis(10),
+            jitter_seed: None,
+            backoff_cap: Duration::from_millis(250),
         }
     }
 
@@ -139,6 +163,42 @@ impl StressConfig {
     pub fn retries(mut self, retries: usize) -> StressConfig {
         self.retries = retries;
         self
+    }
+
+    /// Switches the retry pause to seeded decorrelated jitter. When
+    /// many campaigns retry in lockstep (the usual cause: a shared
+    /// machine-wide contention spike timing out every trial at once), a
+    /// fixed pause re-synchronizes the herd; decorrelation spreads it.
+    pub fn jitter(mut self, seed: u64) -> StressConfig {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// Caps any single jittered pause.
+    pub fn backoff_cap(mut self, cap: Duration) -> StressConfig {
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// The pause before re-attempt `attempt` (1-based), given the
+    /// previous pause. Unseeded, this is the fixed [`backoff`]; seeded,
+    /// it is decorrelated jitter — uniform in
+    /// `[backoff, 3 * prev)`, capped at [`backoff_cap`] — which keeps
+    /// every delay within `[backoff, backoff_cap]` while growing the
+    /// spread with each attempt.
+    ///
+    /// [`backoff`]: StressConfig::backoff
+    /// [`backoff_cap`]: StressConfig::backoff_cap
+    pub fn retry_delay(&self, attempt: usize, prev: Duration) -> Duration {
+        let Some(seed) = self.jitter_seed else {
+            return self.backoff;
+        };
+        let base = self.backoff.as_micros() as u64;
+        let cap = self.backoff_cap.as_micros() as u64;
+        let prev_us = (prev.as_micros() as u64).max(base);
+        let span = prev_us.saturating_mul(3).saturating_sub(base).max(1);
+        let draw = splitmix64(seed ^ ((attempt as u64) << 32) ^ prev_us);
+        Duration::from_micros((base + draw % span).min(cap))
     }
 }
 
@@ -219,10 +279,12 @@ pub fn stress_with(
     let mut report = empty_report(config.trials);
     for _ in 0..config.trials {
         let mut last_failure = None;
+        let mut prev_delay = config.backoff;
         for attempt in 0..=config.retries {
             if attempt > 0 {
                 report.retries += 1;
-                std::thread::sleep(config.backoff);
+                prev_delay = config.retry_delay(attempt, prev_delay);
+                std::thread::sleep(prev_delay);
             }
             match run_with_deadline(deadline, kernel.clone()) {
                 TrialResult::Completed(outcome) if outcome.panics.is_empty() => {
@@ -260,10 +322,12 @@ fn stress_inline(config: &StressConfig, mut kernel: impl FnMut() -> NativeOutcom
     let mut report = empty_report(config.trials);
     for _ in 0..config.trials {
         let mut failed = false;
+        let mut prev_delay = config.backoff;
         for attempt in 0..=config.retries {
             if attempt > 0 {
                 report.retries += 1;
-                std::thread::sleep(config.backoff);
+                prev_delay = config.retry_delay(attempt, prev_delay);
+                std::thread::sleep(prev_delay);
             }
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut kernel)).ok();
             match outcome {
@@ -416,6 +480,75 @@ mod tests {
         });
         assert_eq!(report.panics, 2);
         assert_eq!(report.manifested, 0, "a spoiled trial never counts");
+    }
+
+    #[test]
+    fn unseeded_retry_delay_is_the_fixed_backoff() {
+        let config = StressConfig::new(1).retries(3);
+        let mut prev = config.backoff;
+        for attempt in 1..=3 {
+            prev = config.retry_delay(attempt, prev);
+            assert_eq!(prev, config.backoff);
+        }
+    }
+
+    #[test]
+    fn jittered_retry_delay_is_deterministic_per_seed() {
+        let config = StressConfig::new(1).retries(8).jitter(0xDECAF);
+        let sequence = |config: &StressConfig| -> Vec<Duration> {
+            let mut prev = config.backoff;
+            (1..=8)
+                .map(|attempt| {
+                    prev = config.retry_delay(attempt, prev);
+                    prev
+                })
+                .collect()
+        };
+        assert_eq!(sequence(&config), sequence(&config.clone()));
+        let other = StressConfig::new(1).retries(8).jitter(0xC0FFEE);
+        assert_ne!(
+            sequence(&config),
+            sequence(&other),
+            "different seeds must decorrelate"
+        );
+    }
+
+    #[test]
+    fn jittered_retry_delay_stays_within_floor_and_cap() {
+        let config = StressConfig::new(1)
+            .retries(50)
+            .jitter(7)
+            .backoff_cap(Duration::from_millis(40));
+        let mut prev = config.backoff;
+        let mut saw_growth = false;
+        for attempt in 1..=50 {
+            prev = config.retry_delay(attempt, prev);
+            assert!(
+                prev >= config.backoff,
+                "attempt {attempt}: {prev:?} under floor"
+            );
+            assert!(
+                prev <= config.backoff_cap,
+                "attempt {attempt}: {prev:?} over cap"
+            );
+            saw_growth |= prev > config.backoff;
+        }
+        assert!(saw_growth, "jitter never spread beyond the floor");
+    }
+
+    #[test]
+    fn jittered_campaign_still_retries_and_contains_panics() {
+        // End to end through stress_with: jitter changes the pauses,
+        // never the accounting.
+        let config = StressConfig::new(3)
+            .per_trial_timeout(Duration::from_secs(5))
+            .retries(1)
+            .jitter(42)
+            .backoff_cap(Duration::from_millis(5));
+        let report = stress_with(&config, || -> NativeOutcome { panic!("kernel exploded") });
+        assert_eq!(report.trials, 3);
+        assert_eq!(report.panics, 3);
+        assert_eq!(report.retries, 3);
     }
 
     #[test]

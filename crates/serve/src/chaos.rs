@@ -1,0 +1,345 @@
+//! The seeded deterministic chaos proxy: `sim/fault.rs` for the wire.
+//!
+//! A TCP proxy in front of the server that injects the message-level
+//! failure modes catalogued by the actor-bugs literature — lost
+//! (dropped), delayed (stalled), duplicated, and corrupted-in-transit
+//! (truncated / mid-frame reset) messages. Every decision is a pure
+//! `splitmix64` function of `(seed, fault kind, connection index)`,
+//! exactly the `FaultPlan::fires` discipline: same seed, same faults,
+//! forever — which is what makes chaos runs replayable and the
+//! contract tests meaningful.
+//!
+//! The proxy is transparent to correctness by construction: it never
+//! rewrites bytes, it only drops, delays, duplicates, or cuts them.
+//! A client behind it sees transport failures; what it must **never**
+//! see is a wrong answer.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lfm_obs::Counter;
+use lfm_sim::splitmix64;
+
+/// The network fault kinds the proxy can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Close the client connection immediately; the request is lost.
+    DropConn,
+    /// Hold the request for `stall_ms` before forwarding.
+    StallConn,
+    /// Forward the request twice on two upstream connections
+    /// (a duplicated message; the server must stay idempotent).
+    DupRequest,
+    /// Forward the response but cut it at half its bytes.
+    TruncateResponse,
+    /// Cut the response inside its first few bytes (a reset mid-frame).
+    MidFrameReset,
+}
+
+impl NetFault {
+    /// All kinds, in salt order.
+    pub const ALL: [NetFault; 5] = [
+        NetFault::DropConn,
+        NetFault::StallConn,
+        NetFault::DupRequest,
+        NetFault::TruncateResponse,
+        NetFault::MidFrameReset,
+    ];
+
+    fn salt(self) -> u64 {
+        match self {
+            NetFault::DropConn => 0x11,
+            NetFault::StallConn => 0x22,
+            NetFault::DupRequest => 0x33,
+            NetFault::TruncateResponse => 0x44,
+            NetFault::MidFrameReset => 0x55,
+        }
+    }
+}
+
+/// Seeded per-connection fault probabilities (percent, like
+/// `FaultPlan`).
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultPlan {
+    /// Seed for every decision.
+    pub seed: u64,
+    /// Probability of dropping a connection outright.
+    pub drop_pct: u8,
+    /// Probability of stalling a request.
+    pub stall_pct: u8,
+    /// Probability of duplicating a request.
+    pub dup_pct: u8,
+    /// Probability of truncating a response at half its bytes.
+    pub truncate_pct: u8,
+    /// Probability of resetting inside the response's first bytes.
+    pub reset_pct: u8,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+}
+
+impl NetFaultPlan {
+    /// Moderate defaults: roughly one connection in two experiences
+    /// some fault.
+    pub fn new(seed: u64) -> NetFaultPlan {
+        NetFaultPlan {
+            seed,
+            drop_pct: 10,
+            stall_pct: 15,
+            dup_pct: 10,
+            truncate_pct: 10,
+            reset_pct: 5,
+            stall_ms: 20,
+        }
+    }
+
+    /// Whether `kind` fires for proxy connection number `conn`.
+    /// Pure: same inputs, same answer, forever.
+    pub fn fires(&self, kind: NetFault, conn: u64) -> bool {
+        let pct = match kind {
+            NetFault::DropConn => self.drop_pct,
+            NetFault::StallConn => self.stall_pct,
+            NetFault::DupRequest => self.dup_pct,
+            NetFault::TruncateResponse => self.truncate_pct,
+            NetFault::MidFrameReset => self.reset_pct,
+        };
+        if pct == 0 {
+            return false;
+        }
+        let mut h = splitmix64(self.seed ^ kind.salt());
+        h = splitmix64(h ^ conn);
+        (h % 100) < u64::from(pct)
+    }
+}
+
+/// Counters of injected faults, in [`NetFault::ALL`] order.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Injections per fault kind.
+    pub injected: [Counter; 5],
+    /// Connections proxied (faulted or not).
+    pub connections: Counter,
+}
+
+impl ProxyStats {
+    /// Total faults injected.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().map(Counter::get).sum()
+    }
+}
+
+/// The running proxy.
+#[derive(Debug)]
+pub struct ProxyHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ProxyStats>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ProxyHandle {
+    /// The proxy's listen address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fault counters.
+    pub fn stats(&self) -> Arc<ProxyStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops accepting and joins the accept loop. In-flight proxied
+    /// connections finish on their own detached threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Constructor namespace for the proxy.
+#[derive(Debug)]
+pub struct ChaosProxy;
+
+impl ChaosProxy {
+    /// Binds a fresh local port and proxies every connection to
+    /// `upstream`, injecting `plan`'s faults.
+    pub fn start(plan: NetFaultPlan, upstream: SocketAddr) -> std::io::Result<ProxyHandle> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ProxyStats::default());
+        let accept_stop = Arc::clone(&stop);
+        let accept_stats = Arc::clone(&stats);
+        let conn_index = Arc::new(AtomicU64::new(0));
+        let accept = std::thread::Builder::new()
+            .name("lfm-chaos-proxy".to_owned())
+            .spawn(move || loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => {
+                        if accept_stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                if accept_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let conn = conn_index.fetch_add(1, Ordering::SeqCst);
+                let stats = Arc::clone(&accept_stats);
+                let _ = std::thread::Builder::new()
+                    .name("lfm-chaos-conn".to_owned())
+                    .spawn(move || proxy_conn(stream, upstream, plan, conn, &stats));
+            })
+            .expect("spawn proxy accept thread");
+        Ok(ProxyHandle {
+            addr,
+            stop,
+            stats,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Proxies one client connection: one request line in, one response
+/// line out, with the connection's deterministic faults applied.
+fn proxy_conn(
+    client: TcpStream,
+    upstream: SocketAddr,
+    plan: NetFaultPlan,
+    conn: u64,
+    stats: &ProxyStats,
+) {
+    stats.connections.inc();
+    let _ = client.set_read_timeout(Some(Duration::from_secs(30)));
+    if plan.fires(NetFault::DropConn, conn) {
+        stats.injected[0].inc();
+        return; // Dropped: the client sees an immediate close.
+    }
+    let mut writer = match client.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(client);
+    let mut request = String::new();
+    match reader.read_line(&mut request) {
+        Ok(0) | Err(_) => return,
+        Ok(_) => {}
+    }
+    if plan.fires(NetFault::StallConn, conn) {
+        stats.injected[1].inc();
+        std::thread::sleep(Duration::from_millis(plan.stall_ms));
+    }
+    if plan.fires(NetFault::DupRequest, conn) {
+        stats.injected[2].inc();
+        // The duplicate rides its own upstream connection; its
+        // response is read and discarded. The server must treat the
+        // repeat as just another (cache-absorbed) request.
+        if let Ok(response) = forward(&request, upstream) {
+            let _ = response;
+        }
+    }
+    let response = match forward(&request, upstream) {
+        Ok(response) => response,
+        Err(_) => return, // Upstream gone: client sees a close.
+    };
+    let bytes = response.as_bytes();
+    if plan.fires(NetFault::MidFrameReset, conn) {
+        stats.injected[4].inc();
+        let cut = bytes.len().min(3);
+        let _ = writer.write_all(&bytes[..cut]);
+        return; // Closed inside the frame header.
+    }
+    if plan.fires(NetFault::TruncateResponse, conn) {
+        stats.injected[3].inc();
+        let cut = bytes.len() / 2;
+        let _ = writer.write_all(&bytes[..cut]);
+        return; // Closed mid-frame, newline never sent.
+    }
+    let _ = writer
+        .write_all(bytes)
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush());
+}
+
+/// One upstream round trip: send the request line, read one response
+/// line (without its newline).
+fn forward(request: &str, upstream: SocketAddr) -> std::io::Result<String> {
+    let stream = TcpStream::connect_timeout(&upstream, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(request.as_bytes())?;
+    if !request.ends_with('\n') {
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "upstream closed",
+        ));
+    }
+    Ok(response.trim_end_matches('\n').to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let plan = NetFaultPlan::new(42);
+        let again = NetFaultPlan::new(42);
+        let other = NetFaultPlan::new(43);
+        let mut diverged = false;
+        for conn in 0..512 {
+            for kind in NetFault::ALL {
+                assert_eq!(plan.fires(kind, conn), again.fires(kind, conn));
+                diverged |= plan.fires(kind, conn) != other.fires(kind, conn);
+            }
+        }
+        assert!(diverged, "seeds 42 and 43 never diverged in 512 conns");
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_calibrated() {
+        let plan = NetFaultPlan::new(7);
+        let conns = 2_000u64;
+        let drops = (0..conns)
+            .filter(|&c| plan.fires(NetFault::DropConn, c))
+            .count() as f64;
+        let rate = drops / conns as f64;
+        assert!(
+            (0.05..=0.15).contains(&rate),
+            "drop rate {rate} far from 10%"
+        );
+    }
+
+    #[test]
+    fn zero_percent_never_fires() {
+        let plan = NetFaultPlan {
+            drop_pct: 0,
+            stall_pct: 0,
+            dup_pct: 0,
+            truncate_pct: 0,
+            reset_pct: 0,
+            ..NetFaultPlan::new(3)
+        };
+        for conn in 0..256 {
+            for kind in NetFault::ALL {
+                assert!(!plan.fires(kind, conn));
+            }
+        }
+    }
+}

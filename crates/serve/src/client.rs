@@ -1,0 +1,394 @@
+//! The retrying client: capped, seeded, decorrelated-jitter backoff.
+//!
+//! Transport failures (connect refused, reset, truncated or garbled
+//! response — everything the chaos proxy injects) and explicit `shed`
+//! responses are retried up to a cap. Semantic `error` responses are
+//! **never** retried: the server said no, and asking again will not
+//! change its mind.
+//!
+//! The backoff schedule is *decorrelated jitter*:
+//! `delay = clamp(base, uniform(base, prev * 3), cap)`, with the
+//! uniform draw derived from `splitmix64(seed ^ attempt)` — fully
+//! deterministic for a given seed (testable), while a fleet of clients
+//! with different seeds spreads retries instead of thundering back in
+//! lockstep.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use lfm_obs::json::Json;
+use lfm_sim::splitmix64;
+
+use crate::protocol::{parse_response, render_request, Request, Response};
+
+/// Retry schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub attempts: u32,
+    /// Minimum delay between attempts, and the first retry's delay.
+    pub base: Duration,
+    /// Hard cap on any single delay.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            seed: 0x00C1_1E27,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based), given the
+    /// previous delay. Deterministic in `(seed, attempt, prev)`, and
+    /// always within `[base, cap]`.
+    pub fn delay(&self, attempt: u32, prev: Duration) -> Duration {
+        decorrelated_jitter(self.base, self.cap, self.seed, attempt, prev)
+    }
+
+    /// The full delay sequence for `n` retries — what the tests assert
+    /// determinism and boundedness over.
+    pub fn delays(&self, n: u32) -> Vec<Duration> {
+        let mut prev = self.base;
+        (1..=n)
+            .map(|attempt| {
+                prev = self.delay(attempt, prev);
+                prev
+            })
+            .collect()
+    }
+}
+
+/// `clamp(base, uniform(base, prev * 3), cap)` with the uniform draw
+/// taken from a splitmix64 stream — the AWS-described "decorrelated
+/// jitter" schedule, made reproducible.
+pub fn decorrelated_jitter(
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    attempt: u32,
+    prev: Duration,
+) -> Duration {
+    let base_us = base.as_micros().max(1) as u64;
+    let cap_us = cap.as_micros().max(u128::from(base_us)) as u64;
+    let prev_us = prev.as_micros().max(u128::from(base_us)) as u64;
+    let hi = prev_us.saturating_mul(3).max(base_us + 1);
+    let span = hi - base_us;
+    let draw = splitmix64(seed ^ (u64::from(attempt) << 32) ^ prev_us);
+    let delay_us = (base_us + draw % span).min(cap_us);
+    Duration::from_micros(delay_us)
+}
+
+/// Why a check ultimately failed.
+#[derive(Debug, Clone)]
+pub enum ClientError {
+    /// Every attempt failed on transport or shed; `last` describes the
+    /// final failure.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Description of the last failure.
+        last: String,
+    },
+    /// The server answered `error` — a semantic refusal, not retried.
+    Fatal(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            ClientError::Fatal(reason) => write!(f, "server error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A successful check, with the fields the load harness tallies.
+#[derive(Debug, Clone)]
+pub struct CheckReply {
+    /// `true` when served from the fingerprint cache.
+    pub cache_hit: bool,
+    /// Raw bytes of the canonical report object.
+    pub report: String,
+    /// Degrade level recorded in the report.
+    pub level: String,
+    /// Confidence recorded in the report.
+    pub confidence: String,
+    /// Failure count recorded in the report.
+    pub failures: u64,
+    /// Program fingerprint recorded in the report (hex).
+    pub fingerprint: String,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: u32,
+    /// Shed responses absorbed along the way.
+    pub sheds: u32,
+    /// Transport failures absorbed along the way.
+    pub transport_errors: u32,
+}
+
+/// A one-request-per-connection JSONL client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` with default policy and a 10 s I/O timeout.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            policy: RetryPolicy::default(),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Client {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the per-attempt I/O timeout (connect, read, write).
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Checks one kernel variant, retrying per the policy.
+    pub fn check(
+        &self,
+        kernel: &str,
+        variant: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<CheckReply, ClientError> {
+        let request = Request::Check {
+            kernel: kernel.to_owned(),
+            variant: variant.to_owned(),
+            deadline_ms,
+        };
+        let line = render_request(&request);
+        let mut sheds = 0u32;
+        let mut transport_errors = 0u32;
+        let mut prev = self.policy.base;
+        let mut last = String::from("no attempt made");
+        let attempts = self.policy.attempts.max(1);
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                let delay = self.policy.delay(attempt - 1, prev);
+                prev = delay;
+                std::thread::sleep(delay);
+            }
+            match self.roundtrip(&line) {
+                Err(reason) => {
+                    transport_errors += 1;
+                    last = reason;
+                }
+                Ok(Response::Shed {
+                    reason,
+                    retry_after_ms,
+                }) => {
+                    sheds += 1;
+                    last = format!("shed: {reason}");
+                    // Honor the server's hint when it is longer than
+                    // our own schedule would wait.
+                    prev = prev.max(Duration::from_millis(retry_after_ms));
+                }
+                Ok(Response::Error { reason }) => return Err(ClientError::Fatal(reason)),
+                Ok(Response::Ok { cache_hit, report }) => {
+                    return Ok(finish_reply(
+                        cache_hit,
+                        report,
+                        attempt,
+                        sheds,
+                        transport_errors,
+                    ));
+                }
+                Ok(other) => {
+                    transport_errors += 1;
+                    last = format!("unexpected response {other:?}");
+                }
+            }
+        }
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    /// Liveness probe; `true` on a pong.
+    pub fn ping(&self) -> bool {
+        matches!(
+            self.roundtrip(&render_request(&Request::Ping)),
+            Ok(Response::Pong)
+        )
+    }
+
+    /// Requests a graceful shutdown; `Ok` on the `bye` ack.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.roundtrip(&render_request(&Request::Shutdown)) {
+            Ok(Response::Bye) => Ok(()),
+            Ok(other) => Err(ClientError::Fatal(format!("expected bye, got {other:?}"))),
+            Err(reason) => Err(ClientError::Exhausted {
+                attempts: 1,
+                last: reason,
+            }),
+        }
+    }
+
+    /// One connection, one request line, one response line.
+    fn roundtrip(&self, line: &str) -> Result<Response, String> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) => Err("connection closed before a response".to_owned()),
+            Err(e) => Err(format!("recv: {e}")),
+            Ok(_) => {
+                if !response.ends_with('\n') {
+                    // A frame without its terminator is a truncated
+                    // response (chaos mid-frame cut) — never trust it.
+                    return Err("truncated response frame".to_owned());
+                }
+                parse_response(response.trim_end()).map_err(|e| format!("parse: {e}"))
+            }
+        }
+    }
+}
+
+fn finish_reply(
+    cache_hit: bool,
+    report: String,
+    attempts: u32,
+    sheds: u32,
+    transport_errors: u32,
+) -> CheckReply {
+    // The report was schema-checked by parse_response; pull the tally
+    // fields out of it.
+    let doc = Json::parse(&report).unwrap_or(Json::Null);
+    CheckReply {
+        cache_hit,
+        level: doc
+            .get("level")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned(),
+        confidence: doc
+            .get("confidence")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned(),
+        failures: doc.get("failures").and_then(Json::as_u64).unwrap_or(0),
+        fingerprint: doc
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned(),
+        report,
+        attempts,
+        sheds,
+        transport_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.delays(8), policy.delays(8));
+        let other = RetryPolicy {
+            seed: policy.seed ^ 1,
+            ..policy
+        };
+        assert_ne!(
+            policy.delays(8),
+            other.delays(8),
+            "different seeds must spread differently"
+        );
+    }
+
+    #[test]
+    fn jitter_is_bounded_by_base_and_cap() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let policy = RetryPolicy {
+                attempts: 16,
+                base: Duration::from_millis(2),
+                cap: Duration::from_millis(50),
+                seed,
+            };
+            for (i, delay) in policy.delays(16).iter().enumerate() {
+                assert!(
+                    *delay >= policy.base && *delay <= policy.cap,
+                    "seed {seed}, retry {i}: {delay:?} outside [{:?}, {:?}]",
+                    policy.base,
+                    policy.cap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let policy = RetryPolicy {
+            attempts: 16,
+            base: Duration::from_millis(1),
+            cap: Duration::from_secs(1),
+            seed: 7,
+        };
+        let delays = policy.delays(12);
+        let distinct: std::collections::HashSet<_> = delays.iter().collect();
+        assert!(
+            distinct.len() > 3,
+            "expected jittered spread, got {delays:?}"
+        );
+    }
+
+    #[test]
+    fn connect_refused_exhausts_with_transport_errors() {
+        // Bind-then-drop to get a port that refuses connections.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let client = Client::new(addr).with_policy(RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(5),
+            seed: 9,
+        });
+        match client.check("toctou_flag", "buggy", None) {
+            Err(ClientError::Exhausted { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert!(last.contains("connect"), "{last}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+}

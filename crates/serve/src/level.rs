@@ -1,0 +1,283 @@
+//! Running one exploration at one degrade level.
+//!
+//! The admission controller picks a [`DegradeLevel`]; this module runs
+//! exactly that rung with the same limits the PR 2 `BudgetedExplorer`
+//! ladder would use for it, so a served report means the same thing a
+//! budgeted one does. Unlike the ladder, a service worker never climbs
+//! back up — the level was chosen from queue pressure, and the point is
+//! bounded per-request work.
+
+use std::time::Duration;
+
+use lfm_sim::random::PctScheduler;
+use lfm_sim::{
+    Confidence, DegradeLevel, ExploreLimits, Explorer, FaultPlan, OutcomeCounts, ParExplorer,
+    Program, Truncation,
+};
+
+/// Preemption bound of the `preemption-bounded` rung (mirrors the
+/// budget ladder).
+pub const PREEMPTION_BOUND: u32 = 2;
+/// PCT priority-change depth (mirrors the budget ladder).
+pub const PCT_DEPTH: u32 = 3;
+/// PCT trials per deadline re-check batch.
+pub const PCT_BATCH: u64 = 32;
+/// PCT trial cap when no deadline bounds the rung.
+pub const PCT_DEFAULT_TRIALS: u64 = 512;
+
+/// Exploration size caps shared by every rung of one server.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelCaps {
+    /// Per-execution step cap.
+    pub max_steps: usize,
+    /// Schedule cap per exploration.
+    pub max_schedules: u64,
+    /// Worker threads *inside* one exploration (`ParExplorer` when
+    /// above 1). Service throughput usually wants pool-level
+    /// parallelism instead, so the default is 1.
+    pub explore_jobs: usize,
+}
+
+impl Default for LevelCaps {
+    fn default() -> LevelCaps {
+        LevelCaps {
+            max_steps: 4_000,
+            max_schedules: 50_000,
+            explore_jobs: 1,
+        }
+    }
+}
+
+/// The deterministic result of one rung run — everything the canonical
+/// report renders, and nothing wall-clock-dependent.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Rung that produced the result.
+    pub level: DegradeLevel,
+    /// Coverage meaning of the result at this rung.
+    pub confidence: Confidence,
+    /// Outcome histogram.
+    pub counts: OutcomeCounts,
+    /// Schedules (or PCT trials) executed.
+    pub schedules: u64,
+    /// Why the run stopped early, if it did. `WallDeadline` here is the
+    /// per-request deadline doing its job, not an error.
+    pub truncation: Option<Truncation>,
+    /// Display form of the first failing outcome, when one manifested.
+    pub first_failure: Option<String>,
+}
+
+/// Runs `program` at exactly `level`.
+///
+/// `deadline` is the *remaining* per-request wall budget (measured by
+/// the caller from admission time); expiry surfaces as
+/// `Truncation::WallDeadline` in the outcome, reusing the explorer's
+/// truncation contract rather than inventing a service-side timeout.
+///
+/// Chaos note: the sleep-set reduction is unsound under fault
+/// injection (`Explorer::chaos` documents why), so with a `FaultPlan`
+/// the sleep-set rung falls back to plain dedup — same pruning the
+/// budget ladder applies when it skips that rung.
+pub fn check_at_level(
+    program: &Program,
+    level: DegradeLevel,
+    caps: LevelCaps,
+    chaos: Option<FaultPlan>,
+    deadline: Option<Duration>,
+) -> CheckOutcome {
+    if level == DegradeLevel::PctSampling {
+        return run_pct(program, caps, chaos, deadline);
+    }
+    let limits = ExploreLimits {
+        max_steps: caps.max_steps,
+        max_schedules: caps.max_schedules,
+        max_preemptions: (level == DegradeLevel::PreemptionBounded).then_some(PREEMPTION_BOUND),
+        stop_on_first_failure: false,
+        dedup_states: true,
+        sleep_sets: level == DegradeLevel::SleepSet && chaos.is_none(),
+        deadline,
+    };
+    let report = if caps.explore_jobs > 1 {
+        let mut explorer = ParExplorer::new(program)
+            .limits(limits)
+            .jobs(caps.explore_jobs);
+        if let Some(plan) = chaos {
+            explorer = explorer.chaos(plan);
+        }
+        explorer.run()
+    } else {
+        let mut explorer = Explorer::new(program).limits(limits);
+        if let Some(plan) = chaos {
+            explorer = explorer.chaos(plan);
+        }
+        explorer.run()
+    };
+    let confidence = match level {
+        DegradeLevel::Exhaustive | DegradeLevel::SleepSet => {
+            if report.truncation.is_none() {
+                Confidence::Proved
+            } else {
+                Confidence::Partial
+            }
+        }
+        DegradeLevel::PreemptionBounded => {
+            if matches!(report.truncation, None | Some(Truncation::PreemptionBound)) {
+                Confidence::Bounded
+            } else {
+                Confidence::Partial
+            }
+        }
+        DegradeLevel::PctSampling => Confidence::Sampled,
+    };
+    CheckOutcome {
+        level,
+        confidence,
+        counts: report.counts,
+        schedules: report.schedules_run,
+        truncation: report.truncation,
+        first_failure: report.first_failure.as_ref().map(|(_, o)| o.to_string()),
+    }
+}
+
+/// The PCT rung: seeded sampling in small batches, re-checking the
+/// deadline between batches so a deadline can only overshoot by one
+/// batch. At least one batch always runs.
+fn run_pct(
+    program: &Program,
+    caps: LevelCaps,
+    chaos: Option<FaultPlan>,
+    deadline: Option<Duration>,
+) -> CheckOutcome {
+    let stopwatch = lfm_obs::Stopwatch::start();
+    let seed_base = chaos.map_or(0x5EED, |p| p.seed);
+    let trial_cap = match deadline {
+        Some(_) => caps.max_schedules,
+        None => PCT_DEFAULT_TRIALS.min(caps.max_schedules),
+    };
+    let mut counts = OutcomeCounts::default();
+    let mut first_failure = None;
+    let mut trials = 0u64;
+    let mut batch = 0u64;
+    let mut truncation = None;
+    loop {
+        let batch_trials = PCT_BATCH.min(trial_cap.saturating_sub(trials)).max(1);
+        let seed = seed_base ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut scheduler = PctScheduler::new(program, seed, PCT_DEPTH).max_steps(caps.max_steps);
+        if let Some(plan) = chaos {
+            scheduler = scheduler.with_faults(plan);
+        }
+        let r = scheduler.run_trials(batch_trials);
+        counts.ok += r.counts.ok;
+        counts.assert_failed += r.counts.assert_failed;
+        counts.deadlock += r.counts.deadlock;
+        counts.step_limit += r.counts.step_limit;
+        counts.tx_retry_limit += r.counts.tx_retry_limit;
+        counts.misuse += r.counts.misuse;
+        trials += r.trials;
+        if first_failure.is_none() {
+            first_failure = r.first_failure.map(|(_, o)| o.to_string());
+        }
+        batch += 1;
+        if trials >= trial_cap {
+            break;
+        }
+        if deadline.is_some_and(|d| stopwatch.elapsed() >= d) {
+            truncation = Some(Truncation::WallDeadline);
+            break;
+        }
+    }
+    CheckOutcome {
+        level: DegradeLevel::PctSampling,
+        confidence: Confidence::Sampled,
+        counts,
+        schedules: trials,
+        truncation,
+        first_failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_kernels::registry;
+
+    #[test]
+    fn exhaustive_proves_a_fixed_kernel() {
+        let kernel = registry::by_id("toctou_flag").expect("kernel exists");
+        let fix = kernel.fixes[0];
+        let program = kernel.build(lfm_kernels::Variant::Fixed(fix));
+        let out = check_at_level(
+            &program,
+            DegradeLevel::Exhaustive,
+            LevelCaps::default(),
+            None,
+            None,
+        );
+        assert_eq!(out.confidence, Confidence::Proved);
+        assert_eq!(out.counts.failures(), 0);
+        assert!(out.first_failure.is_none());
+    }
+
+    #[test]
+    fn every_level_finds_the_toctou_bug() {
+        let kernel = registry::by_id("toctou_flag").expect("kernel exists");
+        let program = kernel.buggy();
+        for level in [
+            DegradeLevel::Exhaustive,
+            DegradeLevel::SleepSet,
+            DegradeLevel::PreemptionBounded,
+            DegradeLevel::PctSampling,
+        ] {
+            let out = check_at_level(&program, level, LevelCaps::default(), None, None);
+            assert_eq!(out.level, level);
+            assert!(
+                out.counts.failures() > 0,
+                "{level} missed the bug: {}",
+                out.counts
+            );
+            assert!(out.first_failure.is_some());
+        }
+    }
+
+    #[test]
+    fn outcome_is_deterministic_per_level() {
+        let kernel = registry::by_id("abba").expect("kernel exists");
+        let program = kernel.buggy();
+        for level in [DegradeLevel::Exhaustive, DegradeLevel::PctSampling] {
+            let a = check_at_level(&program, level, LevelCaps::default(), None, None);
+            let b = check_at_level(&program, level, LevelCaps::default(), None, None);
+            assert_eq!(a.counts, b.counts);
+            assert_eq!(a.schedules, b.schedules);
+            assert_eq!(a.first_failure, b.first_failure);
+        }
+    }
+
+    #[test]
+    fn tight_deadline_truncates_with_wall_deadline() {
+        let kernel = registry::by_id("livelock_retry").expect("kernel exists");
+        let program = kernel.buggy();
+        let caps = LevelCaps {
+            max_schedules: u64::MAX / 2,
+            ..LevelCaps::default()
+        };
+        let out = check_at_level(
+            &program,
+            DegradeLevel::Exhaustive,
+            caps,
+            None,
+            Some(Duration::from_millis(1)),
+        );
+        // The deepest kernel cannot be exhausted in a millisecond: the
+        // run must be truncated (the wall deadline, unless the step
+        // budget happened to trip first) and downgraded to partial.
+        assert!(
+            matches!(
+                out.truncation,
+                Some(Truncation::WallDeadline) | Some(Truncation::StepBudget)
+            ),
+            "expected a truncated run, got {:?}",
+            out.truncation
+        );
+        assert_eq!(out.confidence, Confidence::Partial);
+    }
+}

@@ -1,0 +1,438 @@
+//! The lfm-serve/v1 wire protocol: one JSON object per line, both ways.
+//!
+//! Requests name a kernel and variant; the server answers with a
+//! `status` of `ok` (carrying a canonical report object), `shed`
+//! (explicit load-shedding with a retry hint), `error` (semantic
+//! failure — never retried), `pong`, or `bye`.
+//!
+//! Determinism contract: the `report` object is rendered once, by the
+//! worker that explored the miss, from deterministic report fields only
+//! (no wall times, no host state) and cached verbatim. A cache hit
+//! replays those exact bytes, so hit and originating miss are
+//! byte-identical — [`report_raw`] exists so tests can assert that
+//! without re-parsing. The `cache` marker lives *outside* the report
+//! object for the same reason.
+
+use lfm_obs::json::{self, Json};
+use lfm_sim::Truncation;
+
+use crate::level::CheckOutcome;
+
+/// Schema tag carried by every request and response line.
+pub const SERVE_SCHEMA: &str = "lfm-serve/v1";
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Model-check one kernel variant.
+    Check {
+        /// Kernel id from the registry (e.g. `ww_double_free`).
+        kernel: String,
+        /// Variant selector: `buggy` or a fix slug (see
+        /// [`parse_variant`]).
+        variant: String,
+        /// Optional per-request wall deadline in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown: stop accepting, drain, exit.
+    Shutdown,
+}
+
+/// Renders a [`Request`] as its wire line (no trailing newline).
+pub fn render_request(request: &Request) -> String {
+    match request {
+        Request::Check {
+            kernel,
+            variant,
+            deadline_ms,
+        } => {
+            let mut line = format!(
+                "{{\"schema\":{},\"op\":\"check\",\"kernel\":{},\"variant\":{}",
+                json::quote(SERVE_SCHEMA),
+                json::quote(kernel),
+                json::quote(variant)
+            );
+            if let Some(ms) = deadline_ms {
+                line.push_str(&format!(",\"deadline_ms\":{ms}"));
+            }
+            line.push('}');
+            line
+        }
+        Request::Ping => format!(
+            "{{\"schema\":{},\"op\":\"ping\"}}",
+            json::quote(SERVE_SCHEMA)
+        ),
+        Request::Shutdown => format!(
+            "{{\"schema\":{},\"op\":\"shutdown\"}}",
+            json::quote(SERVE_SCHEMA)
+        ),
+    }
+}
+
+/// Parses one request line. Unknown ops, missing fields, or a foreign
+/// schema tag are errors — the server answers them with `status:error`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != SERVE_SCHEMA {
+        return Err(format!("schema must be {SERVE_SCHEMA:?}, got {schema:?}"));
+    }
+    match doc.get("op").and_then(Json::as_str) {
+        Some("check") => {
+            let kernel = doc
+                .get("kernel")
+                .and_then(Json::as_str)
+                .ok_or("check needs a string `kernel`")?
+                .to_owned();
+            let variant = doc
+                .get("variant")
+                .and_then(Json::as_str)
+                .unwrap_or("buggy")
+                .to_owned();
+            let deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
+            Ok(Request::Check {
+                kernel,
+                variant,
+                deadline_ms,
+            })
+        }
+        Some("ping") => Ok(Request::Ping),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some(op) => Err(format!("unknown op {op:?}")),
+        None => Err("missing `op`".to_owned()),
+    }
+}
+
+/// A parsed server response (the client-side view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A completed check; `report` holds the canonical report object's
+    /// raw bytes exactly as sent.
+    Ok {
+        /// `true` when the report came from the fingerprint cache.
+        cache_hit: bool,
+        /// Raw bytes of the `report` JSON object.
+        report: String,
+    },
+    /// The server refused the request under load; retry later.
+    Shed {
+        /// Why: `admission`, `queue-full`, `busy`, `connections`, or
+        /// `draining`.
+        reason: String,
+        /// Client backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Semantic failure (unknown kernel, bad request). Not retryable.
+    Error {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// Answer to `shutdown`: the server is draining.
+    Bye,
+}
+
+/// Renders the `ok` response line around pre-rendered report bytes.
+/// The report object is the **last** field so that [`report_raw`] can
+/// recover its exact bytes without a parser.
+pub fn render_ok(cache_hit: bool, report: &str) -> String {
+    format!(
+        "{{\"schema\":{},\"status\":\"ok\",\"cache\":\"{}\",\"report\":{}}}",
+        json::quote(SERVE_SCHEMA),
+        if cache_hit { "hit" } else { "miss" },
+        report
+    )
+}
+
+/// Renders a `shed` response line.
+pub fn render_shed(reason: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"schema\":{},\"status\":\"shed\",\"reason\":{},\"retry_after_ms\":{}}}",
+        json::quote(SERVE_SCHEMA),
+        json::quote(reason),
+        retry_after_ms
+    )
+}
+
+/// Renders an `error` response line.
+pub fn render_error(reason: &str) -> String {
+    format!(
+        "{{\"schema\":{},\"status\":\"error\",\"reason\":{}}}",
+        json::quote(SERVE_SCHEMA),
+        json::quote(reason)
+    )
+}
+
+/// Renders the `pong` response line.
+pub fn render_pong() -> String {
+    format!(
+        "{{\"schema\":{},\"status\":\"pong\"}}",
+        json::quote(SERVE_SCHEMA)
+    )
+}
+
+/// Renders the `bye` response line.
+pub fn render_bye() -> String {
+    format!(
+        "{{\"schema\":{},\"status\":\"bye\"}}",
+        json::quote(SERVE_SCHEMA)
+    )
+}
+
+/// Extracts the raw bytes of the `report` object from an `ok` response
+/// line, without parsing. Relies on [`render_ok`] placing the report
+/// last; used by the chaos contract tests to assert hit/miss
+/// byte-identity.
+pub fn report_raw(line: &str) -> Option<&str> {
+    let start = line.find("\"report\":")? + "\"report\":".len();
+    let line = line.trim_end();
+    if !line.ends_with('}') || start >= line.len() {
+        return None;
+    }
+    Some(&line[start..line.len() - 1])
+}
+
+/// Parses one response line into a [`Response`].
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let doc = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != SERVE_SCHEMA {
+        return Err(format!("schema must be {SERVE_SCHEMA:?}, got {schema:?}"));
+    }
+    match doc.get("status").and_then(Json::as_str) {
+        Some("ok") => {
+            let cache_hit = match doc.get("cache").and_then(Json::as_str) {
+                Some("hit") => true,
+                Some("miss") => false,
+                other => return Err(format!("bad cache marker {other:?}")),
+            };
+            let report = report_raw(line).ok_or("ok response without report bytes")?;
+            // Cross-check that the raw slice is well-formed JSON.
+            Json::parse(report).map_err(|e| format!("bad report object: {e}"))?;
+            Ok(Response::Ok {
+                cache_hit,
+                report: report.to_owned(),
+            })
+        }
+        Some("shed") => Ok(Response::Shed {
+            reason: doc
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_owned(),
+            retry_after_ms: doc
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(25),
+        }),
+        Some("error") => Ok(Response::Error {
+            reason: doc
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_owned(),
+        }),
+        Some("pong") => Ok(Response::Pong),
+        Some("bye") => Ok(Response::Bye),
+        other => Err(format!("unknown status {other:?}")),
+    }
+}
+
+/// Renders the canonical report object for one completed check.
+///
+/// Every field is a deterministic function of the program and the
+/// exploration parameters — counts, level, confidence, truncation —
+/// and **never** wall-clock time, so the bytes are stable across runs
+/// and safe to cache and replay as hits.
+pub fn render_report(kernel: &str, variant: &str, fingerprint: u64, out: &CheckOutcome) -> String {
+    let truncation = match out.truncation {
+        None => "null".to_owned(),
+        Some(t) => json::quote(&truncation_tag(t)),
+    };
+    let first_failure = match &out.first_failure {
+        None => "null".to_owned(),
+        Some(text) => json::quote(text),
+    };
+    format!(
+        concat!(
+            "{{\"kernel\":{},\"variant\":{},\"fingerprint\":\"{:016x}\",",
+            "\"level\":\"{}\",\"confidence\":\"{}\",\"truncation\":{},",
+            "\"schedules\":{},\"counts\":{{\"ok\":{},\"assert\":{},\"deadlock\":{},",
+            "\"step_limit\":{},\"tx_retry\":{},\"misuse\":{}}},\"failures\":{},",
+            "\"first_failure\":{}}}"
+        ),
+        json::quote(kernel),
+        json::quote(variant),
+        fingerprint,
+        out.level,
+        out.confidence,
+        truncation,
+        out.schedules,
+        out.counts.ok,
+        out.counts.assert_failed,
+        out.counts.deadlock,
+        out.counts.step_limit,
+        out.counts.tx_retry_limit,
+        out.counts.misuse,
+        out.counts.failures(),
+        first_failure
+    )
+}
+
+fn truncation_tag(t: Truncation) -> String {
+    match t {
+        Truncation::ScheduleBudget => "schedule-budget",
+        Truncation::StepBudget => "step-budget",
+        Truncation::PreemptionBound => "preemption-bound",
+        Truncation::WallDeadline => "wall-deadline",
+    }
+    .to_owned()
+}
+
+/// Stable wire slug for a kernel variant.
+pub fn variant_slug(variant: lfm_kernels::Variant) -> &'static str {
+    use lfm_kernels::{FixKind, Variant};
+    match variant {
+        Variant::Buggy => "buggy",
+        Variant::Fixed(FixKind::Lock) => "lock",
+        Variant::Fixed(FixKind::Atomic) => "atomic",
+        Variant::Fixed(FixKind::CondCheck) => "cond-check",
+        Variant::Fixed(FixKind::CodeSwitch) => "code-switch",
+        Variant::Fixed(FixKind::Design) => "design",
+        Variant::Fixed(FixKind::AddSync) => "add-sync",
+        Variant::Fixed(FixKind::Transaction) => "transaction",
+        Variant::Fixed(FixKind::GiveUp) => "give-up",
+        Variant::Fixed(FixKind::AcquireInOrder) => "acquire-in-order",
+        Variant::Fixed(FixKind::Split) => "split",
+    }
+}
+
+/// Parses a wire slug back into a kernel variant.
+pub fn parse_variant(slug: &str) -> Option<lfm_kernels::Variant> {
+    use lfm_kernels::{FixKind, Variant};
+    Some(match slug {
+        "buggy" => Variant::Buggy,
+        "lock" => Variant::Fixed(FixKind::Lock),
+        "atomic" => Variant::Fixed(FixKind::Atomic),
+        "cond-check" => Variant::Fixed(FixKind::CondCheck),
+        "code-switch" => Variant::Fixed(FixKind::CodeSwitch),
+        "design" => Variant::Fixed(FixKind::Design),
+        "add-sync" => Variant::Fixed(FixKind::AddSync),
+        "transaction" => Variant::Fixed(FixKind::Transaction),
+        "give-up" => Variant::Fixed(FixKind::GiveUp),
+        "acquire-in-order" => Variant::Fixed(FixKind::AcquireInOrder),
+        "split" => Variant::Fixed(FixKind::Split),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for request in [
+            Request::Check {
+                kernel: "abba".to_owned(),
+                variant: "acquire-in-order".to_owned(),
+                deadline_ms: Some(250),
+            },
+            Request::Check {
+                kernel: "toctou_flag".to_owned(),
+                variant: "buggy".to_owned(),
+                deadline_ms: None,
+            },
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let line = render_request(&request);
+            assert_eq!(parse_request(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn foreign_schema_and_bad_ops_are_rejected() {
+        assert!(parse_request("{\"schema\":\"lfm-serve/v2\",\"op\":\"ping\"}").is_err());
+        assert!(parse_request("{\"schema\":\"lfm-serve/v1\",\"op\":\"fry\"}").is_err());
+        assert!(parse_request("{\"schema\":\"lfm-serve/v1\"}").is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"schema\":\"lfm-serve/v1\",\"op\":\"check\"}").is_err());
+    }
+
+    #[test]
+    fn report_raw_recovers_exact_bytes() {
+        let report = "{\"kernel\":\"x\",\"nested\":{\"a\":1}}";
+        let hit = render_ok(true, report);
+        let miss = render_ok(false, report);
+        assert_eq!(report_raw(&hit), Some(report));
+        assert_eq!(report_raw(&miss), Some(report));
+        assert_ne!(hit, miss, "cache marker must differ outside the report");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let ok = render_ok(false, "{\"kernel\":\"abba\"}");
+        match parse_response(&ok).unwrap() {
+            Response::Ok { cache_hit, report } => {
+                assert!(!cache_hit);
+                assert_eq!(report, "{\"kernel\":\"abba\"}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match parse_response(&render_shed("queue-full", 40)).unwrap() {
+            Response::Shed {
+                reason,
+                retry_after_ms,
+            } => {
+                assert_eq!(reason, "queue-full");
+                assert_eq!(retry_after_ms, 40);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(parse_response(&render_pong()).unwrap(), Response::Pong);
+        assert_eq!(parse_response(&render_bye()).unwrap(), Response::Bye);
+        match parse_response(&render_error("unknown kernel")).unwrap() {
+            Response::Error { reason } => assert_eq!(reason, "unknown kernel"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_ok_lines_fail_to_parse() {
+        let line = render_ok(false, "{\"kernel\":\"abba\",\"counts\":{\"ok\":3}}");
+        // Every strict prefix must be rejected, not half-understood —
+        // this is what makes chaos truncation safe for the client.
+        for cut in 1..line.len() {
+            assert!(
+                parse_response(&line[..cut]).is_err(),
+                "prefix of len {cut} parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn variant_slugs_round_trip() {
+        use lfm_kernels::{FixKind, Variant};
+        let all = [
+            Variant::Buggy,
+            Variant::Fixed(FixKind::Lock),
+            Variant::Fixed(FixKind::Atomic),
+            Variant::Fixed(FixKind::CondCheck),
+            Variant::Fixed(FixKind::CodeSwitch),
+            Variant::Fixed(FixKind::Design),
+            Variant::Fixed(FixKind::AddSync),
+            Variant::Fixed(FixKind::Transaction),
+            Variant::Fixed(FixKind::GiveUp),
+            Variant::Fixed(FixKind::AcquireInOrder),
+            Variant::Fixed(FixKind::Split),
+        ];
+        for v in all {
+            assert_eq!(parse_variant(variant_slug(v)), Some(v));
+        }
+        assert_eq!(parse_variant("nope"), None);
+    }
+}

@@ -1,0 +1,887 @@
+//! The TCP server: accept loop, connection handlers, drain choreography.
+//!
+//! Thread model: one accept thread, one detached handler thread per
+//! connection (capped by `max_conns`), and a persistent worker pool
+//! ([`crate::pool`]). Handlers never explore — they parse, consult the
+//! cache, get an admission verdict, enqueue, and wait for the worker's
+//! reply; the exploration capacity of the server is exactly the pool.
+//!
+//! Graceful shutdown (`shutdown` op on the wire, or
+//! [`ServerHandle::request_shutdown`] — the SIGTERM equivalent): stop
+//! accepting, let open connections finish their in-flight request,
+//! drain the queued jobs through the pool, join the workers, flush the
+//! sink. [`ServerHandle::wait`] blocks through all of it and reports a
+//! [`DrainSummary`].
+//!
+//! Response writing reuses the `JsonlSink` accounting discipline: a
+//! client that disconnects mid-response is a counted, logged
+//! `write_errors` increment — never a panic, never a wedged worker
+//! (the worker already replied through the channel; only the handler's
+//! final write fails).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lfm_obs::{Counter, Event, Histogram, Registry, Sink, Value};
+use lfm_sim::{fingerprint, splitmix64, FaultPlan};
+
+use crate::admission::{level_index, Admission, AdmissionLadder, LEVELS};
+use crate::cache::{Lookup, ReportCache};
+use crate::level::LevelCaps;
+use crate::pool::{Job, JobQueue, WorkerPool};
+use crate::protocol::{
+    self, parse_request, render_bye, render_error, render_ok, render_pong, render_shed, Request,
+};
+
+/// How long a coalesced probe waits on another request's in-flight
+/// exploration when the request carries no deadline.
+const COALESCE_WAIT: Duration = Duration::from_secs(10);
+/// Slack added to the reply wait beyond the request deadline: the
+/// worker truncates at the deadline itself, this only covers queue
+/// hand-off and rendering.
+const REPLY_GRACE: Duration = Duration::from_secs(60);
+/// How long the drain waits for open connections before giving up and
+/// reporting an unclean drain.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Job queue bound; also the shed threshold of the admission
+    /// ladder.
+    pub queue_cap: usize,
+    /// Maximum simultaneously open connections; excess connections get
+    /// an immediate shed response.
+    pub max_conns: usize,
+    /// Exploration size caps per rung.
+    pub caps: LevelCaps,
+    /// Seeded sim-level fault plan injected into every exploration
+    /// (the `--chaos` flag), part of the cache key.
+    pub chaos: Option<u64>,
+    /// Default per-request wall deadline when the request carries none.
+    pub default_deadline: Option<Duration>,
+    /// Per-connection read timeout (idle connections are closed).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1).clamp(1, 4))
+                .unwrap_or(1),
+            queue_cap: 32,
+            max_conns: 256,
+            caps: LevelCaps::default(),
+            chaos: None,
+            default_deadline: None,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotonic service counters, rendered into OpenMetrics on demand.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Request lines parsed (any op).
+    pub requests: Counter,
+    /// `check` requests.
+    pub checks: Counter,
+    /// Requests refused with a `shed` response (admission, queue-full,
+    /// busy, draining, or connection cap).
+    pub shed: Counter,
+    /// `error` responses (bad request, unknown kernel, worker failure).
+    pub errors: Counter,
+    /// Response lines that failed to write (client gone mid-response).
+    /// The `JsonlSink::write_errors` discipline at the service edge.
+    pub write_errors: Counter,
+    /// Explorations that panicked and were contained.
+    pub worker_panics: Counter,
+    /// Results served but not cached (deadline-truncated).
+    pub uncacheable: Counter,
+    /// Jobs executed by the pool.
+    pub jobs_executed: Counter,
+    /// Connections accepted.
+    pub conns_opened: Counter,
+    /// Connections refused at the cap.
+    pub conns_rejected: Counter,
+    /// Admissions per degrade level (histogram order:
+    /// exhaustive, sleep-set, preemption-bounded, pct-sampling).
+    pub degrade: [Counter; 4],
+    /// Per-check service latency in microseconds (cache hits and
+    /// completed misses).
+    pub latency_us: Histogram,
+}
+
+impl ServeStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// Renders every family into `registry` (the `--metrics` surface).
+    pub fn fill_registry(&self, registry: &mut Registry, cache: &ReportCache) {
+        registry.counter(
+            "lfm_serve_requests_total",
+            "Request lines parsed",
+            self.requests.get(),
+        );
+        registry.counter(
+            "lfm_serve_checks_total",
+            "check requests",
+            self.checks.get(),
+        );
+        registry.counter(
+            "lfm_serve_cache_hits_total",
+            "Checks answered from the fingerprint cache",
+            cache.hits.get(),
+        );
+        registry.counter(
+            "lfm_serve_cache_misses_total",
+            "Checks that led a fresh exploration",
+            cache.misses.get(),
+        );
+        registry.counter(
+            "lfm_serve_coalesced_total",
+            "Checks that waited on another request's exploration",
+            cache.coalesced.get(),
+        );
+        registry.counter(
+            "lfm_serve_shed_total",
+            "Requests refused under load",
+            self.shed.get(),
+        );
+        registry.counter(
+            "lfm_serve_errors_total",
+            "error responses",
+            self.errors.get(),
+        );
+        registry.counter(
+            "lfm_serve_write_errors_total",
+            "Responses lost to client disconnects",
+            self.write_errors.get(),
+        );
+        registry.counter(
+            "lfm_serve_worker_panics_total",
+            "Contained exploration panics",
+            self.worker_panics.get(),
+        );
+        registry.counter(
+            "lfm_serve_uncacheable_total",
+            "Deadline-truncated results served but not cached",
+            self.uncacheable.get(),
+        );
+        registry.counter(
+            "lfm_serve_jobs_total",
+            "Explorations executed by the pool",
+            self.jobs_executed.get(),
+        );
+        registry.counter(
+            "lfm_serve_connections_total",
+            "Connections accepted",
+            self.conns_opened.get(),
+        );
+        registry.counter(
+            "lfm_serve_connections_rejected_total",
+            "Connections refused at the cap",
+            self.conns_rejected.get(),
+        );
+        for (i, level) in LEVELS.iter().enumerate() {
+            registry.counter_with(
+                "lfm_serve_degrade_total",
+                "Admissions per degrade level",
+                &[("level", &level.to_string())],
+                self.degrade[i].get(),
+            );
+        }
+        registry.gauge(
+            "lfm_serve_cache_entries",
+            "Filled fingerprint-cache entries",
+            cache.len() as f64,
+        );
+        if self.latency_us.count() > 0 {
+            registry.histogram(
+                "lfm_serve_latency_us",
+                "Per-check service latency (microseconds)",
+                &self.latency_us.snapshot(),
+            );
+        }
+    }
+
+    /// Degrade counters as a plain array.
+    pub fn degrade_histogram(&self) -> [u64; 4] {
+        [
+            self.degrade[0].get(),
+            self.degrade[1].get(),
+            self.degrade[2].get(),
+            self.degrade[3].get(),
+        ]
+    }
+}
+
+/// What the drain observed, returned by [`ServerHandle::wait`].
+#[derive(Debug, Clone)]
+pub struct DrainSummary {
+    /// Total request lines served.
+    pub requests: u64,
+    /// `check` requests.
+    pub checks: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (explorations led).
+    pub misses: u64,
+    /// Shed responses.
+    pub shed: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Responses lost to client disconnects.
+    pub write_errors: u64,
+    /// Contained exploration panics.
+    pub worker_panics: u64,
+    /// Admissions per degrade level.
+    pub degrade: [u64; 4],
+    /// Filled cache entries at shutdown.
+    pub cache_entries: usize,
+    /// `true` when every connection closed and every queued job
+    /// drained within the drain timeout.
+    pub clean: bool,
+}
+
+struct Shared {
+    config: ServerConfig,
+    ladder: AdmissionLadder,
+    queue: Arc<JobQueue>,
+    cache: Arc<ReportCache>,
+    stats: Arc<ServeStats>,
+    sink: Arc<dyn Sink>,
+    chaos: Option<FaultPlan>,
+    addr: SocketAddr,
+    /// Accept loop exit + new-check refusal flag.
+    shutting_down: AtomicBool,
+    /// Set once a shutdown was *requested* (op or handle), waking
+    /// [`ServerHandle::wait`].
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    /// Open connection count, for the drain barrier.
+    conns: Mutex<usize>,
+    conns_cv: Condvar,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("addr", &self.addr).finish()
+    }
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let mut requested = self.shutdown_requested.lock().unwrap();
+            *requested = true;
+        }
+        self.shutdown_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// The running server (see [`Server::start`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+/// Constructor namespace for the server.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the pool and the accept loop, returns immediately.
+    pub fn start(config: ServerConfig, sink: Arc<dyn Sink>) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(JobQueue::new(config.queue_cap));
+        let cache = Arc::new(ReportCache::new());
+        let stats = Arc::new(ServeStats::new());
+        let chaos = config.chaos.map(FaultPlan::new);
+        let ladder = AdmissionLadder::for_queue(config.queue_cap);
+        let pool = WorkerPool::start(
+            config.workers,
+            Arc::clone(&queue),
+            Arc::clone(&cache),
+            Arc::clone(&stats),
+            Arc::clone(&sink),
+            chaos,
+            config.caps,
+        );
+        let shared = Arc::new(Shared {
+            config,
+            ladder,
+            queue,
+            cache,
+            stats,
+            sink,
+            chaos,
+            addr,
+            shutting_down: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            conns: Mutex::new(0),
+            conns_cv: Condvar::new(),
+        });
+        if shared.sink.enabled() {
+            shared.sink.emit(&Event {
+                scope: "serve",
+                name: "start",
+                fields: &[
+                    ("addr", Value::Str(&addr.to_string())),
+                    ("workers", Value::U64(shared.config.workers as u64)),
+                    ("queue_cap", Value::U64(shared.config.queue_cap as u64)),
+                ],
+            });
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("lfm-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// The report cache (for metrics and tests).
+    pub fn cache(&self) -> Arc<ReportCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Renders the full metrics exposition for this server.
+    pub fn metrics(&self) -> Registry {
+        let mut registry = Registry::new();
+        self.shared
+            .stats
+            .fill_registry(&mut registry, &self.shared.cache);
+        registry
+    }
+
+    /// Triggers a graceful shutdown (the in-process SIGTERM
+    /// equivalent; the wire equivalent is the `shutdown` op).
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until a shutdown is requested, then drains: joins the
+    /// accept loop, waits for open connections, drains the job queue
+    /// through the pool, joins the workers, flushes the sink.
+    pub fn wait(mut self) -> DrainSummary {
+        {
+            let mut requested = self.shared.shutdown_requested.lock().unwrap();
+            while !*requested {
+                requested = self.shared.shutdown_cv.wait(requested).unwrap();
+            }
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Open connections finish their in-flight request; the read
+        // timeout bounds idle ones, the drain timeout bounds us.
+        let mut clean = true;
+        {
+            let deadline = Instant::now() + DRAIN_TIMEOUT;
+            let mut conns = self.shared.conns.lock().unwrap();
+            while *conns > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    clean = false;
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .conns_cv
+                    .wait_timeout(conns, deadline - now)
+                    .unwrap();
+                conns = guard;
+            }
+        }
+        // Queued jobs still drain through the pool before the workers
+        // see the close.
+        self.shared.queue.close();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        let stats = &self.shared.stats;
+        let summary = DrainSummary {
+            requests: stats.requests.get(),
+            checks: stats.checks.get(),
+            hits: self.shared.cache.hits.get(),
+            misses: self.shared.cache.misses.get(),
+            shed: stats.shed.get(),
+            errors: stats.errors.get(),
+            write_errors: stats.write_errors.get(),
+            worker_panics: stats.worker_panics.get(),
+            degrade: stats.degrade_histogram(),
+            cache_entries: self.shared.cache.len(),
+            clean,
+        };
+        if self.shared.sink.enabled() {
+            self.shared.sink.emit(&Event {
+                scope: "serve",
+                name: "drain",
+                fields: &[
+                    ("requests", Value::U64(summary.requests)),
+                    ("hits", Value::U64(summary.hits)),
+                    ("misses", Value::U64(summary.misses)),
+                    ("shed", Value::U64(summary.shed)),
+                    ("write_errors", Value::U64(summary.write_errors)),
+                    ("clean", Value::Bool(summary.clean)),
+                ],
+            });
+        }
+        self.shared.sink.flush();
+        summary
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. fd exhaustion): back
+                // off instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client); either way we
+            // are done accepting.
+            return;
+        }
+        let admit = {
+            let mut conns = shared.conns.lock().unwrap();
+            if *conns >= shared.config.max_conns {
+                false
+            } else {
+                *conns += 1;
+                true
+            }
+        };
+        if !admit {
+            shared.stats.conns_rejected.inc();
+            shared.stats.shed.inc();
+            let mut stream = stream;
+            write_line(
+                &mut stream,
+                &render_shed("connections", crate::admission::RETRY_AFTER_MS),
+                &shared.stats,
+                &shared.sink,
+            );
+            continue;
+        }
+        shared.stats.conns_opened.inc();
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("lfm-serve-conn".to_owned())
+            .spawn(move || {
+                handle_conn(stream, &conn_shared);
+                let mut conns = conn_shared.conns.lock().unwrap();
+                *conns -= 1;
+                conn_shared.conns_cv.notify_all();
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: undo the count and shed implicitly by
+            // dropping the connection.
+            let mut conns = shared.conns.lock().unwrap();
+            *conns -= 1;
+            shared.conns_cv.notify_all();
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,  // EOF: client closed.
+            Err(_) => return, // Read timeout or reset.
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (response, close_after) = respond(line, shared);
+        if !write_line(&mut writer, &response, &shared.stats, &shared.sink) || close_after {
+            return;
+        }
+    }
+}
+
+/// Produces the response line for one request line, plus whether the
+/// connection should close afterwards.
+fn respond(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+    shared.stats.requests.inc();
+    match parse_request(line) {
+        Err(reason) => {
+            shared.stats.errors.inc();
+            (render_error(&reason), false)
+        }
+        Ok(Request::Ping) => (render_pong(), false),
+        Ok(Request::Shutdown) => {
+            shared.request_shutdown();
+            (render_bye(), true)
+        }
+        Ok(Request::Check {
+            kernel,
+            variant,
+            deadline_ms,
+        }) => (handle_check(&kernel, &variant, deadline_ms, shared), false),
+    }
+}
+
+/// The cache key: program fingerprint mixed with the chaos seed (the
+/// same program under a different fault plan is a different result).
+fn cache_key(fp: u64, chaos: Option<FaultPlan>) -> u64 {
+    match chaos {
+        None => fp,
+        Some(plan) => splitmix64(fp ^ splitmix64(plan.seed ^ 0xC4A0_5EED)),
+    }
+}
+
+fn handle_check(
+    kernel_id: &str,
+    variant_slug: &str,
+    deadline_ms: Option<u64>,
+    shared: &Arc<Shared>,
+) -> String {
+    shared.stats.checks.inc();
+    let started = Instant::now();
+    let Some(kernel) = lfm_kernels::registry::by_id(kernel_id) else {
+        shared.stats.errors.inc();
+        return render_error(&format!("unknown kernel {kernel_id:?}"));
+    };
+    let Some(variant) = protocol::parse_variant(variant_slug) else {
+        shared.stats.errors.inc();
+        return render_error(&format!("unknown variant {variant_slug:?}"));
+    };
+    let Some(program) = kernel.try_build(variant) else {
+        shared.stats.errors.inc();
+        return render_error(&format!(
+            "kernel {kernel_id:?} does not implement fix {variant_slug:?}"
+        ));
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        shared.stats.shed.inc();
+        return render_shed("draining", crate::admission::RETRY_AFTER_MS);
+    }
+    let fp = fingerprint(&program);
+    let key = cache_key(fp, shared.chaos);
+    let deadline = deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.config.default_deadline);
+    let wait = deadline.unwrap_or(COALESCE_WAIT);
+    match shared.cache.lookup_or_claim(key, wait) {
+        Lookup::Hit(body) => {
+            record_latency(shared, started);
+            render_ok(true, &body)
+        }
+        Lookup::Busy => {
+            shared.stats.shed.inc();
+            render_shed("busy", crate::admission::RETRY_AFTER_MS)
+        }
+        Lookup::Claimed => {
+            match shared.ladder.admit(shared.queue.len()) {
+                Admission::Shed { retry_after_ms } => {
+                    shared.cache.abandon(key);
+                    shared.stats.shed.inc();
+                    emit_shed(shared, kernel_id, "admission");
+                    render_shed("admission", retry_after_ms)
+                }
+                Admission::Accept(level) => {
+                    shared.stats.degrade[level_index(level)].inc();
+                    let (reply, result) = sync_channel(1);
+                    let job = Job {
+                        key,
+                        kernel: kernel_id.to_owned(),
+                        variant: variant_slug.to_owned(),
+                        fingerprint: fp,
+                        program,
+                        level,
+                        deadline,
+                        accepted_at: Instant::now(),
+                        reply,
+                    };
+                    if shared.queue.push(job).is_err() {
+                        shared.cache.abandon(key);
+                        shared.stats.shed.inc();
+                        emit_shed(shared, kernel_id, "queue-full");
+                        return render_shed("queue-full", crate::admission::RETRY_AFTER_MS);
+                    }
+                    let grace = deadline.unwrap_or(Duration::ZERO) + REPLY_GRACE;
+                    match result.recv_timeout(grace) {
+                        Ok(Ok(body)) => {
+                            record_latency(shared, started);
+                            render_ok(false, &body)
+                        }
+                        Ok(Err(reason)) => {
+                            shared.stats.errors.inc();
+                            render_error(&reason)
+                        }
+                        Err(_) => {
+                            // The worker outlived even the grace
+                            // period; release the claim so the key is
+                            // not wedged (a late fill still wins).
+                            shared.cache.abandon(key);
+                            shared.stats.errors.inc();
+                            render_error("exploration timed out past its grace period")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn record_latency(shared: &Arc<Shared>, started: Instant) {
+    shared
+        .stats
+        .latency_us
+        .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+}
+
+fn emit_shed(shared: &Arc<Shared>, kernel: &str, reason: &str) {
+    if shared.sink.enabled() {
+        shared.sink.emit(&Event {
+            scope: "serve",
+            name: "shed",
+            fields: &[
+                ("kernel", Value::Str(kernel)),
+                ("reason", Value::Str(reason)),
+            ],
+        });
+    }
+}
+
+/// Writes one response line. A failure (client disconnected
+/// mid-response) is counted in `write_errors` and logged — never a
+/// panic. Returns `false` when the connection is dead.
+fn write_line(
+    stream: &mut TcpStream,
+    line: &str,
+    stats: &ServeStats,
+    sink: &Arc<dyn Sink>,
+) -> bool {
+    let outcome = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+    match outcome {
+        Ok(()) => true,
+        Err(err) => {
+            stats.write_errors.inc();
+            if sink.enabled() {
+                sink.emit(&Event {
+                    scope: "serve",
+                    name: "write_error",
+                    fields: &[("reason", Value::Str(&err.to_string()))],
+                });
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, RetryPolicy};
+    use crate::level::LevelCaps;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            caps: LevelCaps {
+                max_steps: 2_000,
+                max_schedules: 4_000,
+                explore_jobs: 1,
+            },
+            ..ServerConfig::default()
+        }
+    }
+
+    fn start() -> ServerHandle {
+        Server::start(test_config(), Arc::new(lfm_obs::NoopSink)).expect("server starts")
+    }
+
+    #[test]
+    fn check_miss_then_hit_are_byte_identical() {
+        let handle = start();
+        let client = Client::new(handle.addr());
+        let first = client
+            .check("toctou_flag", "buggy", None)
+            .expect("first check");
+        assert!(!first.cache_hit);
+        let second = client
+            .check("toctou_flag", "buggy", None)
+            .expect("second check");
+        assert!(second.cache_hit);
+        assert_eq!(
+            first.report, second.report,
+            "hit must replay the fill bytes"
+        );
+        assert!(first.failures > 0, "buggy kernel manifests");
+        handle.request_shutdown();
+        let summary = handle.wait();
+        assert!(summary.clean);
+        assert_eq!(summary.misses, 1);
+        assert_eq!(summary.hits, 1);
+    }
+
+    #[test]
+    fn semantic_errors_are_not_retried() {
+        let handle = start();
+        let client = Client::new(handle.addr());
+        let err = client.check("no_such_kernel", "buggy", None).unwrap_err();
+        match err {
+            crate::client::ClientError::Fatal(reason) => {
+                assert!(reason.contains("unknown kernel"), "{reason}")
+            }
+            other => panic!("expected fatal, got {other:?}"),
+        }
+        let err = client.check("toctou_flag", "warp-drive", None).unwrap_err();
+        assert!(matches!(err, crate::client::ClientError::Fatal(_)));
+        handle.request_shutdown();
+        assert!(handle.wait().clean);
+    }
+
+    #[test]
+    fn ping_and_wire_shutdown_drain_cleanly() {
+        let handle = start();
+        let client = Client::new(handle.addr());
+        assert!(client.ping());
+        client.shutdown().expect("shutdown acked");
+        let summary = handle.wait();
+        assert!(summary.clean);
+    }
+
+    #[test]
+    fn mid_response_disconnect_is_counted_never_fatal() {
+        let handle = start();
+        // A rude client: send a check, close without reading. The
+        // server's response write fails; the error must be counted and
+        // the server must keep serving.
+        {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            let line = protocol::render_request(&Request::Check {
+                kernel: "toctou_flag".to_owned(),
+                variant: "buggy".to_owned(),
+                deadline_ms: None,
+            });
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            drop(stream);
+        }
+        // The server is still healthy for well-behaved clients.
+        let client = Client::new(handle.addr());
+        let reply = client
+            .check("toctou_flag", "buggy", None)
+            .expect("still serving");
+        assert!(reply.failures > 0);
+        handle.request_shutdown();
+        let summary = handle.wait();
+        assert_eq!(summary.worker_panics, 0);
+        // The rude client's write may have failed (counted) or raced
+        // the close successfully; either way nothing panicked and the
+        // drain is clean.
+        assert!(summary.clean);
+    }
+
+    #[test]
+    fn dead_connection_write_is_counted_not_fatal() {
+        // Deterministic version of the disconnect story: a stream
+        // whose write half is shut down fails the very first write,
+        // and write_line must absorb it into `write_errors` — no
+        // panic, no wedge, just accounting (the JsonlSink discipline).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (_peer, _) = listener.accept().unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let stats = ServeStats::new();
+        let sink: Arc<dyn Sink> = Arc::new(lfm_obs::MemorySink::new());
+        assert!(!write_line(&mut stream, "{\"x\":1}", &stats, &sink));
+        assert_eq!(stats.write_errors.get(), 1);
+    }
+
+    #[test]
+    fn draining_server_sheds_new_checks() {
+        let handle = start();
+        handle.request_shutdown();
+        // The accept loop is closed now, but a connection opened
+        // before the drain barrier may still sneak a request in; what
+        // matters is that no *new* connection is served.
+        let client = Client::new(handle.addr()).with_policy(RetryPolicy {
+            attempts: 2,
+            ..RetryPolicy::default()
+        });
+        let outcome = client.check("toctou_flag", "buggy", None);
+        assert!(
+            outcome.is_err(),
+            "draining server must not serve: {outcome:?}"
+        );
+        assert!(handle.wait().clean);
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_and_named() {
+        let handle = start();
+        let client = Client::new(handle.addr());
+        client.check("toctou_flag", "buggy", None).expect("check");
+        client.check("toctou_flag", "buggy", None).expect("hit");
+        let text = handle.metrics().render();
+        lfm_obs::check_exposition(&text).expect("valid exposition");
+        assert!(text.contains("lfm_serve_requests_total"), "{text}");
+        assert!(text.contains("lfm_serve_cache_hits_total"), "{text}");
+        assert!(text.contains("lfm_serve_degrade_total"), "{text}");
+        handle.request_shutdown();
+        assert!(handle.wait().clean);
+    }
+}

@@ -125,7 +125,12 @@ impl FaultPlan {
 }
 
 /// SplitMix64 finalizer: a cheap, well-avalanched 64-bit mixer.
-fn splitmix64(x: u64) -> u64 {
+///
+/// Public because every seeded-deterministic decision in the tree —
+/// fault plans here, the serve chaos proxy's network faults, client
+/// retry jitter — derives from this one function, so "same seed, same
+/// behavior" holds across layers.
+pub fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

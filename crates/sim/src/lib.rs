@@ -102,7 +102,7 @@ pub use explore::{
 };
 pub use explore_par::{ParExplorer, ParStats, WorkerStats};
 pub use expr::Expr;
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{splitmix64, FaultKind, FaultPlan};
 pub use generate::{generate, GenConfig};
 pub use ids::{CondId, MutexId, RwId, SemId, ThreadId, VarId};
 pub use minimize::{minimize, MinimizeReport};

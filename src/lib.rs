@@ -13,6 +13,8 @@
 //! - observe any of the above with metrics, spans and structured run
 //!   logs ([`obs`]),
 //! - reproduce the bug shapes on **real threads** ([`native`]),
+//! - serve model-checking requests over the network with caching,
+//!   admission control and chaos fault injection ([`serve`]),
 //! - evaluate **transactional-memory** applicability ([`stm`]),
 //! - and regenerate every table and figure of the paper ([`study`]).
 //!
@@ -33,6 +35,7 @@ pub use lfm_detect as detect;
 pub use lfm_kernels as kernels;
 pub use lfm_native as native;
 pub use lfm_obs as obs;
+pub use lfm_serve as serve;
 pub use lfm_sim as sim;
 pub use lfm_stm as stm;
 pub use lfm_study as study;
