@@ -19,10 +19,11 @@
 //! hosts, where the wall clock is too noisy to gate on).
 //! `--bench-serve` / `--check-serve` do the same for the E-serve load
 //! harness (`lfm-bench-serve/v1`): the check always enforces zero wrong
-//! answers and clean drains, and additionally gates the chaos-free
-//! scenario's requests/sec against the committed baseline on
-//! multi-core hosts. All four modes run instead of the table
-//! regeneration.
+//! answers and clean drains, and on multi-core hosts additionally gates
+//! the chaos-free scenario's requests/sec against the committed
+//! baseline plus the tracing overhead — full tracing must keep at
+//! least 90% of untraced throughput (best-of-2 each, same host). All
+//! four modes run instead of the table regeneration.
 
 use lfm_bench::Artifact;
 use lfm_corpus::Corpus;
@@ -104,6 +105,12 @@ fn check_explore(path: &str) -> ! {
 /// cache that stopped hitting — trips it.
 const SERVE_CHECK_FLOOR: f64 = 0.50;
 
+/// Fraction of untraced requests/sec the fully-traced service must
+/// keep (best-of-2 each, same host, same run). Tracing sells itself as
+/// a strict observer; more than 10% throughput tax means it has grown
+/// a lock, an allocation, or a syscall on the hot path.
+const SERVE_TRACE_FLOOR: f64 = 0.90;
+
 fn bench_serve(path: &str) -> ! {
     let report = lfm_bench::serve_measure();
     let doc = lfm_bench::serve_json(&report);
@@ -180,6 +187,24 @@ fn check_serve(path: &str) -> ! {
     );
     if measured < floor {
         eprintln!("serve throughput regressed more than 50% — investigate the service path");
+        std::process::exit(1);
+    }
+    // The tracing-overhead half: full tracing (span capture, ring,
+    // slow gate at 0 ms) must keep >= SERVE_TRACE_FLOOR of the
+    // untraced requests/sec. Both sides are measured best-of-2 in this
+    // run on this host, so the ratio cancels the host out.
+    let (traced, untraced) = lfm_bench::trace_overhead_measure();
+    let ratio = if untraced > 0.0 {
+        traced / untraced
+    } else {
+        0.0
+    };
+    eprintln!(
+        "tracing overhead: traced {traced:.0} req/sec vs untraced {untraced:.0} \
+         ({ratio:.2}x, floor {SERVE_TRACE_FLOOR:.2}x)"
+    );
+    if ratio < SERVE_TRACE_FLOOR {
+        eprintln!("full tracing taxes throughput more than 10% — the observer is no longer cheap");
         std::process::exit(1);
     }
     eprintln!("serve gate passed");

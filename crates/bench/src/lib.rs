@@ -31,8 +31,9 @@ pub use perf::{
     BENCH_EXPLORE_SCHEMA, PERF_BUDGET, PERF_GATE_KERNEL,
 };
 pub use serve::{
-    baseline_requests_per_sec, serve_json, serve_measure, serve_table, ServeReport, ServeRow,
-    BENCH_SERVE_SCHEMA, SERVE_GATE_SCENARIO, SERVE_SEED,
+    baseline_requests_per_sec, serve_json, serve_measure, serve_table, trace_overhead_measure,
+    ServeReport, ServeRow, BENCH_SERVE_SCHEMA, SERVE_GATE_SCENARIO, SERVE_SEED,
+    SERVE_TRACE_SCENARIO,
 };
 pub use snapshot::{obs_snapshot, SNAPSHOT_SCHEMA};
 

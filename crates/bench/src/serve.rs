@@ -40,6 +40,12 @@ const SERVE_REQUESTS_PER_CLIENT: usize = 15;
 /// the injected faults.
 pub const SERVE_GATE_SCENARIO: &str = "no-chaos";
 
+/// The chaos-free run with every tracing knob on (`trace` plus a
+/// zero-threshold slow gate): the numerator of the tracing-overhead
+/// gate. Tracing claims to be a strict observer; this row is where the
+/// claim is priced.
+pub const SERVE_TRACE_SCENARIO: &str = "traced";
+
 /// One load scenario's measurement.
 #[derive(Debug, Clone)]
 pub struct ServeRow {
@@ -63,6 +69,11 @@ pub struct ServeRow {
     pub p99_us: u64,
     /// Completed requests per wall second.
     pub requests_per_sec: f64,
+    /// Client-side retries across all requests (attempts beyond each
+    /// request's first try).
+    pub retries_total: u64,
+    /// The worst single request's retry count.
+    pub max_retries: u64,
     /// Server-side admissions per degrade level (exhaustive,
     /// sleep-set, preemption-bounded, pct-sampling).
     pub degrade: [u64; 4],
@@ -99,7 +110,7 @@ impl ServeReport {
 /// A bench-sized server: small pool, small queue, small exploration
 /// caps — enough to engage the cache, the ladder, and the shed path
 /// without turning the measurement into an exploration benchmark.
-fn bench_server_config() -> ServerConfig {
+fn bench_server_config(traced: bool) -> ServerConfig {
     ServerConfig {
         workers: 2,
         queue_cap: 16,
@@ -108,14 +119,16 @@ fn bench_server_config() -> ServerConfig {
             max_schedules: 2_000,
             explore_jobs: 1,
         },
+        trace: traced,
+        trace_slow_ms: if traced { Some(0) } else { None },
         ..ServerConfig::default()
     }
 }
 
-/// Runs one scenario: in-process server, optional chaos proxy, closed
-/// load loop, graceful drain.
-fn run_scenario(chaos_net: Option<u64>, seed: u64) -> std::io::Result<ServeRow> {
-    let handle = Server::start(bench_server_config(), Arc::new(NoopSink))?;
+/// Runs one scenario: in-process server (fully traced when `traced`),
+/// optional chaos proxy, closed load loop, graceful drain.
+fn run_scenario(chaos_net: Option<u64>, seed: u64, traced: bool) -> std::io::Result<ServeRow> {
+    let handle = Server::start(bench_server_config(traced), Arc::new(NoopSink))?;
     let proxy = match chaos_net {
         Some(chaos_seed) => Some(ChaosProxy::start(
             NetFaultPlan::new(chaos_seed),
@@ -145,9 +158,10 @@ fn run_scenario(chaos_net: Option<u64>, seed: u64) -> std::io::Result<ServeRow> 
     handle.request_shutdown();
     let summary = handle.wait();
     Ok(ServeRow {
-        scenario: match chaos_net {
-            Some(chaos_seed) => format!("chaos-{chaos_seed}"),
-            None => SERVE_GATE_SCENARIO.to_owned(),
+        scenario: match (chaos_net, traced) {
+            (Some(chaos_seed), _) => format!("chaos-{chaos_seed}"),
+            (None, true) => SERVE_TRACE_SCENARIO.to_owned(),
+            (None, false) => SERVE_GATE_SCENARIO.to_owned(),
         },
         requests: report.requests,
         ok: report.ok,
@@ -158,18 +172,21 @@ fn run_scenario(chaos_net: Option<u64>, seed: u64) -> std::io::Result<ServeRow> 
         p50_us: report.latency.p50(),
         p99_us: report.latency.p99(),
         requests_per_sec: report.requests_per_sec(),
+        retries_total: report.retries_total,
+        max_retries: report.max_retries,
         degrade,
         faults_injected,
         clean_drain: summary.clean,
     })
 }
 
-/// Runs the full E-serve measurement: the chaos-free reference, then
-/// the chaos scenario at the shared seed.
+/// Runs the full E-serve measurement: the chaos-free reference, the
+/// same load with full tracing on, then the chaos scenario at the
+/// shared seed.
 pub fn serve_measure() -> ServeReport {
     let mut rows = Vec::new();
-    for chaos_net in [None, Some(SERVE_SEED)] {
-        match run_scenario(chaos_net, SERVE_SEED) {
+    for (chaos_net, traced) in [(None, false), (None, true), (Some(SERVE_SEED), false)] {
+        match run_scenario(chaos_net, SERVE_SEED, traced) {
             Ok(row) => rows.push(row),
             Err(e) => panic!("E-serve scenario failed to start: {e}"),
         }
@@ -181,6 +198,26 @@ pub fn serve_measure() -> ServeReport {
             .unwrap_or(1),
         rows,
     }
+}
+
+/// Best-of-2 chaos-free requests/sec with full tracing on vs off —
+/// the inputs of the `--check-serve` tracing-overhead gate. Best-of
+/// rather than mean because the gate hunts a structural cost (a lock
+/// on the hot path, an allocation per span), not scheduler weather.
+pub fn trace_overhead_measure() -> (f64, f64) {
+    let best = |traced: bool| -> f64 {
+        (0..2)
+            .map(|_| match run_scenario(None, SERVE_SEED, traced) {
+                Ok(row) => row.requests_per_sec,
+                Err(e) => panic!("E-serve overhead scenario failed to start: {e}"),
+            })
+            .fold(0.0, f64::max)
+    };
+    // Interleaving would be fairer under thermal drift, but the runs
+    // are short; keep the order deterministic and obvious.
+    let traced = best(true);
+    let untraced = best(false);
+    (traced, untraced)
 }
 
 /// Renders the measurement as the E-serve table.
@@ -202,6 +239,7 @@ pub fn serve_table() -> Table {
             "p50 us",
             "p99 us",
             "req/sec",
+            "retries",
             "faults",
             "drain",
         ],
@@ -216,6 +254,7 @@ pub fn serve_table() -> Table {
             r.p50_us.to_string(),
             r.p99_us.to_string(),
             format!("{:.0}", r.requests_per_sec),
+            format!("{} (max {})", r.retries_total, r.max_retries),
             r.faults_injected.to_string(),
             if r.clean_drain { "clean" } else { "UNCLEAN" }.to_string(),
         ]);
@@ -259,7 +298,8 @@ pub fn serve_json(report: &ServeReport) -> String {
             out,
             "{{\"scenario\":{},\"requests\":{},\"ok\":{},\"failed\":{},\"wrong\":{},\
              \"hit_rate\":{},\"shed_rate\":{},\"p50_us\":{},\"p99_us\":{},\
-             \"requests_per_sec\":{},\"degrade\":[{},{},{},{}],\"faults_injected\":{},\
+             \"requests_per_sec\":{},\"retries_total\":{},\"max_retries\":{},\
+             \"degrade\":[{},{},{},{}],\"faults_injected\":{},\
              \"clean_drain\":{}}}",
             json::quote(&r.scenario),
             r.requests,
@@ -271,6 +311,8 @@ pub fn serve_json(report: &ServeReport) -> String {
             r.p50_us,
             r.p99_us,
             json::number_f64(r.requests_per_sec),
+            r.retries_total,
+            r.max_retries,
             r.degrade[0],
             r.degrade[1],
             r.degrade[2],
@@ -302,7 +344,7 @@ mod tests {
 
     #[test]
     fn single_scenario_upholds_the_contract() {
-        let row = run_scenario(None, 7).expect("scenario runs");
+        let row = run_scenario(None, 7, false).expect("scenario runs");
         assert_eq!(row.scenario, SERVE_GATE_SCENARIO);
         assert_eq!(
             row.requests,
@@ -313,6 +355,19 @@ mod tests {
         assert_eq!(row.ok + row.failed, row.requests);
         assert!(row.ok > 0);
         assert_eq!(row.faults_injected, 0);
+        assert!(
+            row.retries_total >= row.max_retries,
+            "worst request outran the total: {row:?}"
+        );
+    }
+
+    #[test]
+    fn traced_scenario_is_named_and_upholds_the_contract() {
+        let row = run_scenario(None, 7, true).expect("scenario runs");
+        assert_eq!(row.scenario, SERVE_TRACE_SCENARIO);
+        assert_eq!(row.wrong, 0, "tracing produced wrong answers: {row:?}");
+        assert!(row.clean_drain, "unclean drain under tracing: {row:?}");
+        assert!(row.ok > 0);
     }
 
     #[test]
@@ -332,6 +387,8 @@ mod tests {
                     p50_us: 900,
                     p99_us: 42_000,
                     requests_per_sec: 812.5,
+                    retries_total: 3,
+                    max_retries: 2,
                     degrade: [30, 0, 5, 2],
                     faults_injected: 0,
                     clean_drain: true,
@@ -347,6 +404,8 @@ mod tests {
                     p50_us: 1_400,
                     p99_us: 90_000,
                     requests_per_sec: 410.0,
+                    retries_total: 41,
+                    max_retries: 6,
                     degrade: [28, 0, 4, 1],
                     faults_injected: 77,
                     clean_drain: true,
@@ -355,6 +414,8 @@ mod tests {
         };
         let doc = serve_json(&report);
         assert!(doc.starts_with("{\"schema\":\"lfm-bench-serve/v1\""));
+        assert!(doc.contains("\"retries_total\":3"), "{doc}");
+        assert!(doc.contains("\"max_retries\":6"), "{doc}");
         let opens = doc.matches('{').count() + doc.matches('[').count();
         let closes = doc.matches('}').count() + doc.matches(']').count();
         assert_eq!(opens, closes);
@@ -382,6 +443,8 @@ mod tests {
                 p50_us: 1,
                 p99_us: 1,
                 requests_per_sec: 1.0,
+                retries_total: 0,
+                max_retries: 0,
                 degrade: [1, 0, 0, 0],
                 faults_injected: 0,
                 clean_drain: true,

@@ -6,12 +6,15 @@
 //! event per visible operation with the conventional field names below;
 //! everything else becomes the event's `args` payload:
 //!
-//! - `ph` — the trace-event phase (`"i"` instant by default, `"M"` for
-//!   metadata records such as `process_name` / `thread_name`);
+//! - `ph` — the trace-event phase (`"i"` instant by default, `"X"` for
+//!   complete spans with a duration, `"M"` for metadata records such as
+//!   `process_name` / `thread_name`);
 //! - `pid` / `tid` — process and thread ids (one pid per kernel, one tid
-//!   per simulated thread);
+//!   per simulated thread; the serve tracer uses one pid per worker and
+//!   one tid per request);
 //! - `ts` — timestamp in microseconds (the witness exporter uses the
 //!   event sequence number: one visible op = 1µs);
+//! - `dur` — span duration in microseconds (`"X"` events only);
 //! - `name` — overrides the event name shown on the track.
 
 use std::io::Write as _;
@@ -82,6 +85,7 @@ impl Sink for ChromeTraceSink {
         let mut pid = 0u64;
         let mut tid = 0u64;
         let mut ts = 0u64;
+        let mut dur = 0u64;
         let mut name_field = None;
         let mut args = String::new();
         let push_arg = |args: &mut String, key: &str, rendered: &str| {
@@ -98,6 +102,7 @@ impl Sink for ChromeTraceSink {
                 ("pid", Value::U64(v)) => pid = *v,
                 ("tid", Value::U64(v)) => tid = *v,
                 ("ts", Value::U64(v)) => ts = *v,
+                ("dur", Value::U64(v)) => dur = *v,
                 ("name", Value::Str(s)) => name_field = Some((*s).to_owned()),
                 _ => push_arg(&mut args, key, &value.to_json()),
             }
@@ -120,6 +125,10 @@ impl Sink for ChromeTraceSink {
         if ph == "i" {
             // Instant events carry a timestamp and a scope ("t" = thread).
             record.push_str(&format!(",\"ts\":{ts},\"s\":\"t\""));
+        } else if ph == "X" {
+            // Complete events carry the span's start and duration at the
+            // top level — viewers ignore durations hidden in args.
+            record.push_str(&format!(",\"ts\":{ts},\"dur\":{dur}"));
         }
         record.push_str(&format!(",\"args\":{{{args}}}}}"));
         self.records
@@ -169,6 +178,37 @@ mod tests {
         assert_eq!(e.get("ts").and_then(Json::as_u64), Some(7));
         let args = e.get("args").unwrap();
         assert_eq!(args.get("op").and_then(Json::as_str), Some("write"));
+    }
+
+    #[test]
+    fn complete_events_carry_ts_and_dur_at_top_level() {
+        let sink = ChromeTraceSink::new();
+        emit(
+            &sink,
+            "trace",
+            "explore",
+            &[
+                ("ph", Value::Str("X")),
+                ("pid", Value::U64(2)),
+                ("tid", Value::U64(9)),
+                ("ts", Value::U64(1_500)),
+                ("dur", Value::U64(250)),
+                ("trace_id", Value::Str("00000000000000ff")),
+            ],
+        );
+        let doc = Json::parse(&sink.render()).unwrap();
+        let e = &doc.get("traceEvents").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(e.get("ts").and_then(Json::as_u64), Some(1_500));
+        assert_eq!(e.get("dur").and_then(Json::as_u64), Some(250));
+        // No instant-scope marker on spans.
+        assert!(e.get("s").is_none());
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(Json::as_str),
+            Some("00000000000000ff")
+        );
     }
 
     #[test]

@@ -79,6 +79,14 @@ impl ReportCache {
     /// Probes `key`, claiming it on a cold miss. Waits at most `wait`
     /// for another caller's in-flight fill.
     pub fn lookup_or_claim(&self, key: u64, wait: Duration) -> Lookup {
+        self.lookup_or_claim_observed(key, wait).0
+    }
+
+    /// Like [`ReportCache::lookup_or_claim`], also reporting whether
+    /// the probe waited on another caller's in-flight fill — the serve
+    /// tracer uses the flag to attribute the probe's duration to the
+    /// coalesce-wait stage instead of the plain lookup.
+    pub fn lookup_or_claim_observed(&self, key: u64, wait: Duration) -> (Lookup, bool) {
         let deadline = Instant::now() + wait;
         let mut slots = self.slots.lock().unwrap();
         let mut waited = false;
@@ -87,12 +95,12 @@ impl ReportCache {
                 None => {
                     slots.insert(key, Slot::Pending);
                     self.misses.inc();
-                    return Lookup::Claimed;
+                    return (Lookup::Claimed, waited);
                 }
                 Some(Slot::Ready(body)) => {
                     let body = Arc::clone(body);
                     self.hits.inc();
-                    return Lookup::Hit(body);
+                    return (Lookup::Hit(body), waited);
                 }
                 Some(Slot::Pending) => {
                     if !waited {
@@ -102,7 +110,7 @@ impl ReportCache {
                     let now = Instant::now();
                     if now >= deadline {
                         self.busy.inc();
-                        return Lookup::Busy;
+                        return (Lookup::Busy, waited);
                     }
                     let (guard, _timeout) =
                         self.changed.wait_timeout(slots, deadline - now).unwrap();
@@ -203,6 +211,25 @@ mod tests {
         let verdict = cache.lookup_or_claim(1, Duration::from_millis(20));
         assert!(matches!(verdict, Lookup::Busy), "got {verdict:?}");
         assert_eq!(cache.busy.get(), 1);
+    }
+
+    #[test]
+    fn observed_flag_distinguishes_coalesced_probes() {
+        let cache = Arc::new(ReportCache::new());
+        let (lookup, waited) = cache.lookup_or_claim_observed(11, WAIT);
+        assert!(matches!(lookup, Lookup::Claimed));
+        assert!(!waited, "cold claim never waits");
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.lookup_or_claim_observed(11, WAIT))
+        };
+        thread::sleep(Duration::from_millis(30));
+        cache.fill(11, "body".to_owned());
+        let (lookup, waited) = waiter.join().unwrap();
+        assert!(matches!(lookup, Lookup::Hit(_)));
+        assert!(waited, "probe parked on the pending fill");
+        let (_, waited) = cache.lookup_or_claim_observed(11, WAIT);
+        assert!(!waited, "warm hit answers immediately");
     }
 
     #[test]

@@ -15,12 +15,15 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use lfm_obs::json::Json;
 use lfm_sim::splitmix64;
 
-use crate::protocol::{parse_response, render_request, Request, Response};
+use crate::protocol::{parse_response, render_request, Request, Response, TraceContext};
+use crate::server::StatsSnapshot;
 
 /// Retry schedule parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,12 +141,21 @@ pub struct CheckReply {
     pub transport_errors: u32,
 }
 
+impl CheckReply {
+    /// Retries this request needed: attempts minus the first try.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
 /// A one-request-per-connection JSONL client.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
     policy: RetryPolicy,
     timeout: Duration,
+    trace_seed: Option<u64>,
+    trace_seq: Arc<AtomicU64>,
 }
 
 impl Client {
@@ -153,6 +165,8 @@ impl Client {
             addr,
             policy: RetryPolicy::default(),
             timeout: Duration::from_secs(10),
+            trace_seed: None,
+            trace_seq: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -168,6 +182,15 @@ impl Client {
         self
     }
 
+    /// Mints a deterministic trace context for every subsequent check
+    /// (seeded — request N of seed S always gets the same ids). The
+    /// context is rendered once per request, so retries of one request
+    /// share one `trace_id`.
+    pub fn with_trace(mut self, seed: u64) -> Client {
+        self.trace_seed = Some(seed);
+        self
+    }
+
     /// Checks one kernel variant, retrying per the policy.
     pub fn check(
         &self,
@@ -175,10 +198,14 @@ impl Client {
         variant: &str,
         deadline_ms: Option<u64>,
     ) -> Result<CheckReply, ClientError> {
+        let trace = self
+            .trace_seed
+            .map(|seed| TraceContext::mint(seed, self.trace_seq.fetch_add(1, Ordering::Relaxed)));
         let request = Request::Check {
             kernel: kernel.to_owned(),
             variant: variant.to_owned(),
             deadline_ms,
+            trace,
         };
         let line = render_request(&request);
         let mut sheds = 0u32;
@@ -234,6 +261,17 @@ impl Client {
         )
     }
 
+    /// Fetches the server's rolling stats snapshot (one attempt; the
+    /// caller polls, so the next tick is the retry).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed replies, described.
+    pub fn stats(&self) -> Result<StatsSnapshot, String> {
+        let line = self.raw_roundtrip(&render_request(&Request::Stats))?;
+        StatsSnapshot::parse(&line)
+    }
+
     /// Requests a graceful shutdown; `Ok` on the `bye` ack.
     pub fn shutdown(&self) -> Result<(), ClientError> {
         match self.roundtrip(&render_request(&Request::Shutdown)) {
@@ -246,8 +284,14 @@ impl Client {
         }
     }
 
-    /// One connection, one request line, one response line.
+    /// One connection, one request line, one parsed response line.
     fn roundtrip(&self, line: &str) -> Result<Response, String> {
+        let response = self.raw_roundtrip(line)?;
+        parse_response(&response).map_err(|e| format!("parse: {e}"))
+    }
+
+    /// One connection, one request line, one raw response line.
+    fn raw_roundtrip(&self, line: &str) -> Result<String, String> {
         let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
             .map_err(|e| format!("connect: {e}"))?;
         stream
@@ -274,7 +318,7 @@ impl Client {
                     // response (chaos mid-frame cut) — never trust it.
                     return Err("truncated response frame".to_owned());
                 }
-                parse_response(response.trim_end()).map_err(|e| format!("parse: {e}"))
+                Ok(response.trim_end().to_owned())
             }
         }
     }

@@ -48,6 +48,7 @@ pub mod load;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod trace;
 
 pub use admission::{Admission, AdmissionLadder};
 pub use cache::{Lookup, ReportCache};
@@ -55,5 +56,10 @@ pub use chaos::{ChaosProxy, NetFault, NetFaultPlan, ProxyHandle, ProxyStats};
 pub use client::{decorrelated_jitter, CheckReply, Client, ClientError, RetryPolicy};
 pub use level::{check_at_level, CheckOutcome, LevelCaps};
 pub use load::{run_load, LoadConfig, LoadReport};
-pub use protocol::{parse_request, report_raw, Request, Response, SERVE_SCHEMA};
-pub use server::{DrainSummary, ServeStats, Server, ServerConfig, ServerHandle};
+pub use protocol::{
+    parse_request, report_raw, Request, Response, TraceContext, SERVE_SCHEMA, STATS_SCHEMA,
+};
+pub use server::{
+    DrainSummary, QuantileRow, ServeStats, Server, ServerConfig, ServerHandle, StatsSnapshot,
+};
+pub use trace::{SpanRec, Stage, Tracer, STAGES, TRACE_DUMP_SCHEMA};

@@ -75,6 +75,11 @@ pub struct LoadReport {
     pub transport_errors: u64,
     /// Total attempts across all requests.
     pub attempts: u64,
+    /// Retries across all requests (attempts beyond each request's
+    /// first try, exhausted requests included).
+    pub retries_total: u64,
+    /// The worst single request's retry count.
+    pub max_retries: u64,
     /// Answers per degrade level (from the reports' `level` field).
     pub degrade: [u64; 4],
     /// Per-request latency (microseconds), retries included — the
@@ -198,7 +203,12 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             };
             let client = Client::new(addr)
                 .with_policy(policy)
-                .with_timeout(config.timeout);
+                .with_timeout(config.timeout)
+                // Every bench request carries a deterministic trace
+                // context end to end (client → proxy → server).
+                .with_trace(splitmix64(
+                    config.seed ^ ((client_index as u64) << 16) ^ 0x7ACE,
+                ));
             let mut tally = Tally::default();
             for request_index in 0..config.requests_per_client {
                 let state = config.seed
@@ -212,6 +222,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                         latency.record(request_watch.elapsed().as_micros() as u64);
                         tally.ok += 1;
                         tally.attempts += u64::from(reply.attempts);
+                        tally.note_retries(u64::from(reply.retries()));
                         tally.sheds += u64::from(reply.sheds);
                         tally.transport_errors += u64::from(reply.transport_errors);
                         if reply.cache_hit {
@@ -234,6 +245,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                     Err(ClientError::Exhausted { attempts, .. }) => {
                         tally.failed += 1;
                         tally.attempts += u64::from(attempts);
+                        tally.note_retries(u64::from(attempts.saturating_sub(1)));
                     }
                 }
             }
@@ -255,6 +267,8 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         sheds: total.sheds,
         transport_errors: total.transport_errors,
         attempts: total.attempts,
+        retries_total: total.retries_total,
+        max_retries: total.max_retries,
         degrade: total.degrade,
         latency: latency.snapshot(),
         wall: stopwatch.elapsed(),
@@ -280,10 +294,17 @@ struct Tally {
     sheds: u64,
     transport_errors: u64,
     attempts: u64,
+    retries_total: u64,
+    max_retries: u64,
     degrade: [u64; 4],
 }
 
 impl Tally {
+    fn note_retries(&mut self, retries: u64) {
+        self.retries_total += retries;
+        self.max_retries = self.max_retries.max(retries);
+    }
+
     fn merge(&mut self, other: &Tally) {
         self.ok += other.ok;
         self.failed += other.failed;
@@ -292,6 +313,8 @@ impl Tally {
         self.sheds += other.sheds;
         self.transport_errors += other.transport_errors;
         self.attempts += other.attempts;
+        self.retries_total += other.retries_total;
+        self.max_retries = self.max_retries.max(other.max_retries);
         for (mine, theirs) in self.degrade.iter_mut().zip(other.degrade.iter()) {
             *mine += theirs;
         }

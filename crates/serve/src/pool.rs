@@ -25,6 +25,7 @@ use crate::cache::ReportCache;
 use crate::level::{check_at_level, LevelCaps};
 use crate::protocol;
 use crate::server::ServeStats;
+use crate::trace::{push_span, SpanRec, Stage, Tracer};
 
 /// One admitted check, queued for a worker.
 #[derive(Debug)]
@@ -47,7 +48,20 @@ pub struct Job {
     /// deadline — a deadline is a promise to the client, not to us).
     pub accepted_at: Instant,
     /// Where the connection handler waits for the outcome.
-    pub reply: SyncSender<Result<Arc<str>, String>>,
+    pub reply: SyncSender<JobReply>,
+}
+
+/// What a worker hands back to the waiting connection handler: the
+/// outcome plus the worker-side stage spans (queue wait, claim,
+/// explore), so the handler can assemble one full request timeline
+/// and decide — knowing the final total — whether to capture it.
+#[derive(Debug)]
+pub struct JobReply {
+    /// The canonical report bytes, or the failure text.
+    pub result: Result<Arc<str>, String>,
+    /// Worker-side spans, `pid = 1 + worker index`. Empty when the
+    /// tracer is fully inactive.
+    pub spans: Vec<SpanRec>,
 }
 
 /// A bounded MPMC job queue with explicit close.
@@ -134,6 +148,25 @@ impl JobQueue {
     }
 }
 
+/// Everything a worker thread needs, bundled once at pool start.
+#[derive(Debug)]
+pub struct WorkerCtx {
+    /// The bounded job queue workers consume.
+    pub queue: Arc<JobQueue>,
+    /// The single-flight report cache workers fill.
+    pub cache: Arc<ReportCache>,
+    /// Shared serve counters and stage histograms.
+    pub stats: Arc<ServeStats>,
+    /// Session event sink (job / worker_panic events).
+    pub sink: Arc<dyn Sink>,
+    /// Sim-layer fault plan applied to every exploration.
+    pub chaos: Option<FaultPlan>,
+    /// Per-rung exploration budgets.
+    pub caps: LevelCaps,
+    /// Request tracer (worker-side spans share its epoch).
+    pub tracer: Arc<Tracer>,
+}
+
 /// The worker threads.
 #[derive(Debug)]
 pub struct WorkerPool {
@@ -141,25 +174,15 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` persistent threads consuming `queue`.
-    pub fn start(
-        workers: usize,
-        queue: Arc<JobQueue>,
-        cache: Arc<ReportCache>,
-        stats: Arc<ServeStats>,
-        sink: Arc<dyn Sink>,
-        chaos: Option<FaultPlan>,
-        caps: LevelCaps,
-    ) -> WorkerPool {
+    /// Spawns `workers` persistent threads consuming `ctx.queue`.
+    pub fn start(workers: usize, ctx: WorkerCtx) -> WorkerPool {
+        let ctx = Arc::new(ctx);
         let handles = (0..workers.max(1))
             .map(|index| {
-                let queue = Arc::clone(&queue);
-                let cache = Arc::clone(&cache);
-                let stats = Arc::clone(&stats);
-                let sink = Arc::clone(&sink);
+                let ctx = Arc::clone(&ctx);
                 std::thread::Builder::new()
                     .name(format!("lfm-serve-worker-{index}"))
-                    .spawn(move || worker_loop(&queue, &cache, &stats, &sink, chaos, caps))
+                    .spawn(move || worker_loop(index, &ctx))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -174,36 +197,64 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(
-    queue: &JobQueue,
-    cache: &ReportCache,
-    stats: &ServeStats,
-    sink: &Arc<dyn Sink>,
-    chaos: Option<FaultPlan>,
-    caps: LevelCaps,
-) {
-    while let Some(job) = queue.pop() {
-        run_job(job, cache, stats, sink, chaos, caps);
+fn worker_loop(index: usize, ctx: &WorkerCtx) {
+    // Trace track 0 belongs to the connection handlers.
+    let pid = index as u64 + 1;
+    while let Some(job) = ctx.queue.pop() {
+        run_job(job, pid, ctx);
     }
 }
 
 /// Executes one job end to end. Never panics outward.
-fn run_job(
-    job: Job,
-    cache: &ReportCache,
-    stats: &ServeStats,
-    sink: &Arc<dyn Sink>,
-    chaos: Option<FaultPlan>,
-    caps: LevelCaps,
-) {
+fn run_job(job: Job, pid: u64, ctx: &WorkerCtx) {
+    let WorkerCtx {
+        cache,
+        stats,
+        sink,
+        chaos,
+        caps,
+        tracer,
+        ..
+    } = ctx;
+    let (chaos, caps) = (*chaos, *caps);
     stats.jobs_executed.inc();
+    let claimed = Instant::now();
+    let mut spans = Vec::new();
+    push_span(
+        stats,
+        tracer,
+        &mut spans,
+        Stage::QueueWait,
+        pid,
+        job.accepted_at,
+        claimed,
+    );
     // Time spent queued counts against the request's wall budget.
     let remaining = job
         .deadline
         .map(|d| d.saturating_sub(job.accepted_at.elapsed()));
+    let explore_start = Instant::now();
+    push_span(
+        stats,
+        tracer,
+        &mut spans,
+        Stage::WorkerClaim,
+        pid,
+        claimed,
+        explore_start,
+    );
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         check_at_level(&job.program, job.level, caps, chaos, remaining)
     }));
+    push_span(
+        stats,
+        tracer,
+        &mut spans,
+        Stage::Explore,
+        pid,
+        explore_start,
+        Instant::now(),
+    );
     match outcome {
         Ok(out) => {
             let body = protocol::render_report(&job.kernel, &job.variant, job.fingerprint, &out);
@@ -234,7 +285,10 @@ fn run_job(
             } else {
                 cache.fill(job.key, body)
             };
-            let _ = job.reply.send(Ok(body));
+            let _ = job.reply.send(JobReply {
+                result: Ok(body),
+                spans,
+            });
         }
         Err(payload) => {
             stats.worker_panics.inc();
@@ -251,9 +305,10 @@ fn run_job(
                     ],
                 });
             }
-            let _ = job
-                .reply
-                .send(Err(format!("exploration panicked: {reason}")));
+            let _ = job.reply.send(JobReply {
+                result: Err(format!("exploration panicked: {reason}")),
+                spans,
+            });
         }
     }
 }
@@ -273,7 +328,7 @@ mod tests {
     use super::*;
     use std::sync::mpsc::sync_channel;
 
-    fn dummy_job(key: u64, reply: SyncSender<Result<Arc<str>, String>>) -> Job {
+    fn dummy_job(key: u64, reply: SyncSender<JobReply>) -> Job {
         let kernel = lfm_kernels::registry::by_id("toctou_flag").expect("kernel exists");
         let program = kernel.buggy();
         let fingerprint = lfm_sim::fingerprint(&program);
@@ -310,14 +365,18 @@ mod tests {
         let cache = Arc::new(ReportCache::new());
         let stats = Arc::new(ServeStats::new());
         let sink: Arc<dyn Sink> = Arc::new(lfm_obs::NoopSink);
+        let tracer = Arc::new(Tracer::new(true, None, Arc::clone(&sink)));
         let pool = WorkerPool::start(
             2,
-            Arc::clone(&queue),
-            Arc::clone(&cache),
-            Arc::clone(&stats),
-            sink,
-            None,
-            LevelCaps::default(),
+            WorkerCtx {
+                queue: Arc::clone(&queue),
+                cache: Arc::clone(&cache),
+                stats: Arc::clone(&stats),
+                sink,
+                chaos: None,
+                caps: LevelCaps::default(),
+                tracer,
+            },
         );
         let (tx, rx) = sync_channel(1);
         // Claim like a handler would, then enqueue.
@@ -326,10 +385,18 @@ mod tests {
             crate::cache::Lookup::Claimed
         ));
         queue.push(dummy_job(77, tx)).unwrap();
-        let body = rx
+        let reply = rx
             .recv_timeout(Duration::from_secs(60))
-            .expect("worker replies")
-            .expect("no panic");
+            .expect("worker replies");
+        let body = reply.result.expect("no panic");
+        // The worker attributed its side of the timeline.
+        let worker_stages: Vec<Stage> = reply.spans.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            worker_stages,
+            vec![Stage::QueueWait, Stage::WorkerClaim, Stage::Explore]
+        );
+        assert!(reply.spans.iter().all(|s| s.pid >= 1), "worker track");
+        assert!(stats.stages[Stage::Explore.index()].count() >= 1);
         assert!(body.contains("\"kernel\":\"toctou_flag\""), "{body}");
         assert!(body.contains("\"failures\":"), "{body}");
         // The same bytes are now cached.

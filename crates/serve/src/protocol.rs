@@ -14,12 +14,66 @@
 //! object for the same reason.
 
 use lfm_obs::json::{self, Json};
-use lfm_sim::Truncation;
+use lfm_sim::{splitmix64, Truncation};
 
 use crate::level::CheckOutcome;
 
 /// Schema tag carried by every request and response line.
 pub const SERVE_SCHEMA: &str = "lfm-serve/v1";
+
+/// Schema tag of the `stats` snapshot reply (see
+/// [`StatsSnapshot`](crate::server::StatsSnapshot)).
+pub const STATS_SCHEMA: &str = "lfm-serve-stats/v1";
+
+/// A request-scoped trace identity, minted by the client and echoed
+/// verbatim by the server on every reply to that request.
+///
+/// Both ids are deterministic `splitmix64` mixes of a client seed and
+/// a per-client request sequence number — no wall clock, no host
+/// entropy — so chaos contract runs reproduce the same ids forever.
+/// On the wire they ride as *optional* `trace_id`/`span_id` fields
+/// (16-hex-digit strings, like fingerprints); servers and clients that
+/// predate them ignore unknown fields, which is the whole
+/// backward-compatibility story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identity of the whole request (stable across transport retries).
+    pub trace_id: u64,
+    /// Identity of this attempt's root span.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Mints the deterministic context for request number `seq` of the
+    /// client seeded with `seed`.
+    pub fn mint(seed: u64, seq: u64) -> TraceContext {
+        let trace_id = splitmix64(seed ^ splitmix64(seq ^ 0x007A_CE1D));
+        TraceContext {
+            trace_id,
+            span_id: splitmix64(trace_id),
+        }
+    }
+
+    fn render_fields(self, line: &mut String) {
+        line.push_str(&format!(
+            ",\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\"",
+            self.trace_id, self.span_id
+        ));
+    }
+}
+
+fn parse_hex_u64(doc: &Json, key: &str) -> Option<u64> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+}
+
+/// Extracts the optional trace context from a parsed frame.
+fn parse_trace(doc: &Json) -> Option<TraceContext> {
+    let trace_id = parse_hex_u64(doc, "trace_id")?;
+    let span_id = parse_hex_u64(doc, "span_id")?;
+    Some(TraceContext { trace_id, span_id })
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +87,11 @@ pub enum Request {
         variant: String,
         /// Optional per-request wall deadline in milliseconds.
         deadline_ms: Option<u64>,
+        /// Optional client-minted trace identity, echoed on the reply.
+        trace: Option<TraceContext>,
     },
+    /// Rolling-window service snapshot (`lfm-serve-stats/v1` reply).
+    Stats,
     /// Liveness probe.
     Ping,
     /// Graceful shutdown: stop accepting, drain, exit.
@@ -47,6 +105,7 @@ pub fn render_request(request: &Request) -> String {
             kernel,
             variant,
             deadline_ms,
+            trace,
         } => {
             let mut line = format!(
                 "{{\"schema\":{},\"op\":\"check\",\"kernel\":{},\"variant\":{}",
@@ -57,9 +116,16 @@ pub fn render_request(request: &Request) -> String {
             if let Some(ms) = deadline_ms {
                 line.push_str(&format!(",\"deadline_ms\":{ms}"));
             }
+            if let Some(trace) = trace {
+                trace.render_fields(&mut line);
+            }
             line.push('}');
             line
         }
+        Request::Stats => format!(
+            "{{\"schema\":{},\"op\":\"stats\"}}",
+            json::quote(SERVE_SCHEMA)
+        ),
         Request::Ping => format!(
             "{{\"schema\":{},\"op\":\"ping\"}}",
             json::quote(SERVE_SCHEMA)
@@ -96,8 +162,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 kernel,
                 variant,
                 deadline_ms,
+                trace: parse_trace(&doc),
             })
         }
+        Some("stats") => Ok(Request::Stats),
         Some("ping") => Ok(Request::Ping),
         Some("shutdown") => Ok(Request::Shutdown),
         Some(op) => Err(format!("unknown op {op:?}")),
@@ -137,33 +205,50 @@ pub enum Response {
 
 /// Renders the `ok` response line around pre-rendered report bytes.
 /// The report object is the **last** field so that [`report_raw`] can
-/// recover its exact bytes without a parser.
-pub fn render_ok(cache_hit: bool, report: &str) -> String {
-    format!(
-        "{{\"schema\":{},\"status\":\"ok\",\"cache\":\"{}\",\"report\":{}}}",
+/// recover its exact bytes without a parser; the trace echo (when the
+/// *request* carried one) therefore renders before it. The echo is a
+/// pure function of the request — never of server tracing config —
+/// which is what keeps replies byte-identical with tracing on or off.
+pub fn render_ok(cache_hit: bool, trace: Option<TraceContext>, report: &str) -> String {
+    let mut line = format!(
+        "{{\"schema\":{},\"status\":\"ok\",\"cache\":\"{}\"",
         json::quote(SERVE_SCHEMA),
         if cache_hit { "hit" } else { "miss" },
-        report
-    )
+    );
+    if let Some(trace) = trace {
+        trace.render_fields(&mut line);
+    }
+    line.push_str(&format!(",\"report\":{report}}}"));
+    line
 }
 
-/// Renders a `shed` response line.
-pub fn render_shed(reason: &str, retry_after_ms: u64) -> String {
-    format!(
-        "{{\"schema\":{},\"status\":\"shed\",\"reason\":{},\"retry_after_ms\":{}}}",
+/// Renders a `shed` response line (trace echo rules as [`render_ok`]).
+pub fn render_shed(reason: &str, retry_after_ms: u64, trace: Option<TraceContext>) -> String {
+    let mut line = format!(
+        "{{\"schema\":{},\"status\":\"shed\",\"reason\":{},\"retry_after_ms\":{}",
         json::quote(SERVE_SCHEMA),
         json::quote(reason),
         retry_after_ms
-    )
+    );
+    if let Some(trace) = trace {
+        trace.render_fields(&mut line);
+    }
+    line.push('}');
+    line
 }
 
-/// Renders an `error` response line.
-pub fn render_error(reason: &str) -> String {
-    format!(
-        "{{\"schema\":{},\"status\":\"error\",\"reason\":{}}}",
+/// Renders an `error` response line (trace echo rules as [`render_ok`]).
+pub fn render_error(reason: &str, trace: Option<TraceContext>) -> String {
+    let mut line = format!(
+        "{{\"schema\":{},\"status\":\"error\",\"reason\":{}",
         json::quote(SERVE_SCHEMA),
         json::quote(reason)
-    )
+    );
+    if let Some(trace) = trace {
+        trace.render_fields(&mut line);
+    }
+    line.push('}');
+    line
 }
 
 /// Renders the `pong` response line.
@@ -340,18 +425,69 @@ mod tests {
                 kernel: "abba".to_owned(),
                 variant: "acquire-in-order".to_owned(),
                 deadline_ms: Some(250),
+                trace: None,
             },
             Request::Check {
                 kernel: "toctou_flag".to_owned(),
                 variant: "buggy".to_owned(),
                 deadline_ms: None,
+                trace: Some(TraceContext::mint(42, 7)),
             },
+            Request::Stats,
             Request::Ping,
             Request::Shutdown,
         ] {
             let line = render_request(&request);
             assert_eq!(parse_request(&line).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        assert_eq!(TraceContext::mint(42, 0), TraceContext::mint(42, 0));
+        assert_ne!(TraceContext::mint(42, 0), TraceContext::mint(42, 1));
+        assert_ne!(TraceContext::mint(42, 0), TraceContext::mint(43, 0));
+        let t = TraceContext::mint(1, 2);
+        assert_ne!(t.trace_id, t.span_id);
+    }
+
+    #[test]
+    fn trace_fields_are_optional_and_ignored_by_old_parsers() {
+        // A frame with trace fields parses on a server that knows them…
+        let line = "{\"schema\":\"lfm-serve/v1\",\"op\":\"check\",\"kernel\":\"abba\",\
+                    \"variant\":\"buggy\",\"trace_id\":\"00000000000000ff\",\
+                    \"span_id\":\"0000000000000001\"}";
+        match parse_request(line).unwrap() {
+            Request::Check { trace, .. } => {
+                let trace = trace.expect("trace parsed");
+                assert_eq!(trace.trace_id, 0xff);
+                assert_eq!(trace.span_id, 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // …and a malformed/absent trace degrades to None, never an error.
+        let line = "{\"schema\":\"lfm-serve/v1\",\"op\":\"check\",\"kernel\":\"abba\",\
+                    \"trace_id\":\"not-hex\",\"span_id\":\"1\"}";
+        match parse_request(line).unwrap() {
+            Request::Check { trace, .. } => assert_eq!(trace, None),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_echo_renders_before_the_report() {
+        let trace = TraceContext::mint(3, 9);
+        let line = render_ok(false, Some(trace), "{\"kernel\":\"abba\"}");
+        let echo = format!("\"trace_id\":\"{:016x}\"", trace.trace_id);
+        assert!(line.contains(&echo), "{line}");
+        assert!(
+            line.find(&echo).unwrap() < line.find("\"report\":").unwrap(),
+            "echo must precede the report so report_raw stays exact: {line}"
+        );
+        assert_eq!(report_raw(&line), Some("{\"kernel\":\"abba\"}"));
+        // Shed and error replies echo too.
+        assert!(render_shed("busy", 25, Some(trace)).contains(&echo));
+        assert!(render_error("bad", Some(trace)).contains(&echo));
     }
 
     #[test]
@@ -366,8 +502,8 @@ mod tests {
     #[test]
     fn report_raw_recovers_exact_bytes() {
         let report = "{\"kernel\":\"x\",\"nested\":{\"a\":1}}";
-        let hit = render_ok(true, report);
-        let miss = render_ok(false, report);
+        let hit = render_ok(true, None, report);
+        let miss = render_ok(false, None, report);
         assert_eq!(report_raw(&hit), Some(report));
         assert_eq!(report_raw(&miss), Some(report));
         assert_ne!(hit, miss, "cache marker must differ outside the report");
@@ -375,7 +511,7 @@ mod tests {
 
     #[test]
     fn response_round_trips() {
-        let ok = render_ok(false, "{\"kernel\":\"abba\"}");
+        let ok = render_ok(false, None, "{\"kernel\":\"abba\"}");
         match parse_response(&ok).unwrap() {
             Response::Ok { cache_hit, report } => {
                 assert!(!cache_hit);
@@ -383,7 +519,7 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
-        match parse_response(&render_shed("queue-full", 40)).unwrap() {
+        match parse_response(&render_shed("queue-full", 40, None)).unwrap() {
             Response::Shed {
                 reason,
                 retry_after_ms,
@@ -395,7 +531,7 @@ mod tests {
         }
         assert_eq!(parse_response(&render_pong()).unwrap(), Response::Pong);
         assert_eq!(parse_response(&render_bye()).unwrap(), Response::Bye);
-        match parse_response(&render_error("unknown kernel")).unwrap() {
+        match parse_response(&render_error("unknown kernel", None)).unwrap() {
             Response::Error { reason } => assert_eq!(reason, "unknown kernel"),
             other => panic!("unexpected: {other:?}"),
         }
@@ -403,7 +539,7 @@ mod tests {
 
     #[test]
     fn truncated_ok_lines_fail_to_parse() {
-        let line = render_ok(false, "{\"kernel\":\"abba\",\"counts\":{\"ok\":3}}");
+        let line = render_ok(false, None, "{\"kernel\":\"abba\",\"counts\":{\"ok\":3}}");
         // Every strict prefix must be rejected, not half-understood —
         // this is what makes chaos truncation safe for the client.
         for cut in 1..line.len() {

@@ -21,22 +21,25 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lfm_obs::{Counter, Event, Histogram, Registry, Sink, Value};
+use lfm_obs::json::{self, Json};
+use lfm_obs::{Counter, Event, Histogram, HistogramSnapshot, Registry, Sink, Value};
 use lfm_sim::{fingerprint, splitmix64, FaultPlan};
 
 use crate::admission::{level_index, Admission, AdmissionLadder, LEVELS};
 use crate::cache::{Lookup, ReportCache};
 use crate::level::LevelCaps;
-use crate::pool::{Job, JobQueue, WorkerPool};
+use crate::pool::{Job, JobQueue, WorkerCtx, WorkerPool};
 use crate::protocol::{
     self, parse_request, render_bye, render_error, render_ok, render_pong, render_shed, Request,
+    TraceContext, STATS_SCHEMA,
 };
+use crate::trace::{push_span, SpanRec, Stage, Tracer, STAGES};
 
 /// How long a coalesced probe waits on another request's in-flight
 /// exploration when the request carries no deadline.
@@ -71,6 +74,11 @@ pub struct ServerConfig {
     pub default_deadline: Option<Duration>,
     /// Per-connection read timeout (idle connections are closed).
     pub read_timeout: Duration,
+    /// Capture every request's stage timeline into the trace ring.
+    pub trace: bool,
+    /// Always capture requests at or above this total latency, even
+    /// when `trace` is off (the slow-request flight recorder).
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +94,8 @@ impl Default for ServerConfig {
             chaos: None,
             default_deadline: None,
             read_timeout: Duration::from_secs(30),
+            trace: false,
+            trace_slow_ms: None,
         }
     }
 }
@@ -121,6 +131,12 @@ pub struct ServeStats {
     /// Per-check service latency in microseconds (cache hits and
     /// completed misses).
     pub latency_us: Histogram,
+    /// Stage-attributed durations in microseconds, indexed by
+    /// [`Stage::index`] (pipeline order, see [`STAGES`]).
+    pub stages: [Histogram; 9],
+    /// Completed-miss latency per admitted degrade level (histogram
+    /// order: exhaustive, sleep-set, preemption-bounded, pct-sampling).
+    pub latency_by_level: [Histogram; 4],
 }
 
 impl ServeStats {
@@ -209,11 +225,28 @@ impl ServeStats {
             "Filled fingerprint-cache entries",
             cache.len() as f64,
         );
-        if self.latency_us.count() > 0 {
-            registry.histogram(
-                "lfm_serve_latency_us",
-                "Per-check service latency (microseconds)",
-                &self.latency_us.snapshot(),
+        // Histogram families are exported unconditionally — a scrape
+        // must see them exist from startup, not only after the first
+        // check populates them.
+        registry.histogram(
+            "lfm_serve_latency_us",
+            "Per-check service latency (microseconds)",
+            &self.latency_us.snapshot(),
+        );
+        for stage in STAGES {
+            registry.histogram_with(
+                "lfm_serve_stage_us",
+                "Stage-attributed request time (microseconds)",
+                &[("stage", stage.name())],
+                &self.stages[stage.index()].snapshot(),
+            );
+        }
+        for (i, level) in LEVELS.iter().enumerate() {
+            registry.histogram_with(
+                "lfm_serve_latency_by_level_us",
+                "Completed-miss latency per admitted degrade level (microseconds)",
+                &[("level", &level.to_string())],
+                &self.latency_by_level[i].snapshot(),
             );
         }
     }
@@ -226,6 +259,232 @@ impl ServeStats {
             self.degrade[2].get(),
             self.degrade[3].get(),
         ]
+    }
+}
+
+/// A count/p50/p99 triple for one histogram in the stats reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantileRow {
+    /// Values recorded.
+    pub count: u64,
+    /// Median, microseconds (0 when empty).
+    pub p50_us: u64,
+    /// 99th percentile, microseconds (0 when empty).
+    pub p99_us: u64,
+}
+
+impl QuantileRow {
+    fn of(snap: &HistogramSnapshot) -> QuantileRow {
+        QuantileRow {
+            count: snap.count,
+            p50_us: snap.p50(),
+            p99_us: snap.p99(),
+        }
+    }
+
+    fn render_fields(&self) -> String {
+        format!(
+            "\"count\":{},\"p50_us\":{},\"p99_us\":{}",
+            self.count, self.p50_us, self.p99_us
+        )
+    }
+
+    fn parse(doc: &Json) -> QuantileRow {
+        let field = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+        QuantileRow {
+            count: field("count"),
+            p50_us: field("p50_us"),
+            p99_us: field("p99_us"),
+        }
+    }
+}
+
+/// The rolling service snapshot answered to a `stats` wire request
+/// (`lfm-serve-stats/v1`): counters, rates, queue/connection gauges,
+/// and p50/p99 per stage and per degrade level. Quantiles come from
+/// the lifetime histograms — cheap, lock-free, and monotone, which is
+/// what a polling `lfm top` wants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// `check` requests currently inside the handler.
+    pub in_flight: u64,
+    /// Jobs queued right now.
+    pub queue_depth: u64,
+    /// Queue bound.
+    pub queue_cap: u64,
+    /// Open connections.
+    pub conns: u64,
+    /// Request lines parsed (any op).
+    pub requests: u64,
+    /// `check` requests.
+    pub checks: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (explorations led).
+    pub misses: u64,
+    /// Probes that waited on another request's exploration.
+    pub coalesced: u64,
+    /// Shed responses.
+    pub shed: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Responses lost to client disconnects.
+    pub write_errors: u64,
+    /// Contained exploration panics.
+    pub worker_panics: u64,
+    /// Filled cache entries.
+    pub cache_entries: u64,
+    /// `hits / checks` (0 when no checks yet).
+    pub hit_rate: f64,
+    /// `shed / requests` (0 when no requests yet).
+    pub shed_rate: f64,
+    /// Admissions per degrade level.
+    pub degrade: [u64; 4],
+    /// End-to-end check latency.
+    pub latency: QuantileRow,
+    /// Per-stage durations, `(stage name, row)` in pipeline order.
+    pub stages: Vec<(String, QuantileRow)>,
+    /// Per-level completed-miss latency, `(level name, row)`.
+    pub levels: Vec<(String, QuantileRow)>,
+}
+
+impl StatsSnapshot {
+    /// Renders the one-line wire reply.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            concat!(
+                "{{\"schema\":{},\"status\":\"stats\",\"uptime_ms\":{},",
+                "\"in_flight\":{},\"queue_depth\":{},\"queue_cap\":{},\"conns\":{},",
+                "\"requests\":{},\"checks\":{},\"hits\":{},\"misses\":{},\"coalesced\":{},",
+                "\"shed\":{},\"errors\":{},\"write_errors\":{},\"worker_panics\":{},",
+                "\"cache_entries\":{},\"hit_rate\":{},\"shed_rate\":{},",
+                "\"degrade\":[{},{},{},{}]"
+            ),
+            json::quote(STATS_SCHEMA),
+            self.uptime_ms,
+            self.in_flight,
+            self.queue_depth,
+            self.queue_cap,
+            self.conns,
+            self.requests,
+            self.checks,
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.shed,
+            self.errors,
+            self.write_errors,
+            self.worker_panics,
+            self.cache_entries,
+            json::number_f64(self.hit_rate),
+            json::number_f64(self.shed_rate),
+            self.degrade[0],
+            self.degrade[1],
+            self.degrade[2],
+            self.degrade[3],
+        );
+        line.push_str(&format!(
+            ",\"latency\":{{{}}}",
+            self.latency.render_fields()
+        ));
+        line.push_str(",\"stages\":[");
+        for (i, (stage, row)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!(
+                "{{\"stage\":{},{}}}",
+                json::quote(stage),
+                row.render_fields()
+            ));
+        }
+        line.push_str("],\"levels\":[");
+        for (i, (level, row)) in self.levels.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!(
+                "{{\"level\":{},{}}}",
+                json::quote(level),
+                row.render_fields()
+            ));
+        }
+        line.push_str("]}");
+        line
+    }
+
+    /// Parses a wire reply line.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-JSON lines, foreign schema tags, and non-`stats`
+    /// statuses with a description.
+    pub fn parse(line: &str) -> Result<StatsSnapshot, String> {
+        let doc = Json::parse(line).map_err(|e| format!("stats reply: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(STATS_SCHEMA) => {}
+            other => return Err(format!("stats reply: schema {other:?}")),
+        }
+        match doc.get("status").and_then(Json::as_str) {
+            Some("stats") => {}
+            other => return Err(format!("stats reply: status {other:?}")),
+        }
+        let num = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let rate = |key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let mut degrade = [0u64; 4];
+        if let Some(values) = doc.get("degrade").and_then(Json::as_array) {
+            for (slot, value) in degrade.iter_mut().zip(values) {
+                *slot = value.as_u64().unwrap_or(0);
+            }
+        }
+        let rows = |key: &str, tag: &str| -> Vec<(String, QuantileRow)> {
+            doc.get(key)
+                .and_then(Json::as_array)
+                .map(|entries| {
+                    entries
+                        .iter()
+                        .map(|entry| {
+                            (
+                                entry
+                                    .get(tag)
+                                    .and_then(Json::as_str)
+                                    .unwrap_or("")
+                                    .to_owned(),
+                                QuantileRow::parse(entry),
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        Ok(StatsSnapshot {
+            uptime_ms: num("uptime_ms"),
+            in_flight: num("in_flight"),
+            queue_depth: num("queue_depth"),
+            queue_cap: num("queue_cap"),
+            conns: num("conns"),
+            requests: num("requests"),
+            checks: num("checks"),
+            hits: num("hits"),
+            misses: num("misses"),
+            coalesced: num("coalesced"),
+            shed: num("shed"),
+            errors: num("errors"),
+            write_errors: num("write_errors"),
+            worker_panics: num("worker_panics"),
+            cache_entries: num("cache_entries"),
+            hit_rate: rate("hit_rate"),
+            shed_rate: rate("shed_rate"),
+            degrade,
+            latency: doc
+                .get("latency")
+                .map(QuantileRow::parse)
+                .unwrap_or_default(),
+            stages: rows("stages", "stage"),
+            levels: rows("levels", "level"),
+        })
     }
 }
 
@@ -266,6 +525,12 @@ struct Shared {
     sink: Arc<dyn Sink>,
     chaos: Option<FaultPlan>,
     addr: SocketAddr,
+    /// Request tracer; its epoch doubles as the server start time.
+    tracer: Arc<Tracer>,
+    /// `check` requests currently inside a handler.
+    in_flight: AtomicU64,
+    /// Request sequence numbers (trace `tid`s).
+    req_seq: AtomicU64,
     /// Accept loop exit + new-check refusal flag.
     shutting_down: AtomicBool,
     /// Set once a shutdown was *requested* (op or handle), waking
@@ -284,6 +549,64 @@ impl std::fmt::Debug for Shared {
 }
 
 impl Shared {
+    /// Assembles the `stats` reply from the live counters.
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        let stats = &self.stats;
+        let cache = &self.cache;
+        let checks = stats.checks.get();
+        let requests = stats.requests.get();
+        let hits = cache.hits.get();
+        let shed = stats.shed.get();
+        StatsSnapshot {
+            uptime_ms: self.tracer.epoch().elapsed().as_millis() as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            queue_cap: self.queue.cap() as u64,
+            conns: *self.conns.lock().unwrap() as u64,
+            requests,
+            checks,
+            hits,
+            misses: cache.misses.get(),
+            coalesced: cache.coalesced.get(),
+            shed,
+            errors: stats.errors.get(),
+            write_errors: stats.write_errors.get(),
+            worker_panics: stats.worker_panics.get(),
+            cache_entries: cache.len() as u64,
+            hit_rate: if checks == 0 {
+                0.0
+            } else {
+                hits as f64 / checks as f64
+            },
+            shed_rate: if requests == 0 {
+                0.0
+            } else {
+                shed as f64 / requests as f64
+            },
+            degrade: stats.degrade_histogram(),
+            latency: QuantileRow::of(&stats.latency_us.snapshot()),
+            stages: STAGES
+                .iter()
+                .map(|stage| {
+                    (
+                        stage.name().to_owned(),
+                        QuantileRow::of(&stats.stages[stage.index()].snapshot()),
+                    )
+                })
+                .collect(),
+            levels: LEVELS
+                .iter()
+                .enumerate()
+                .map(|(i, level)| {
+                    (
+                        level.to_string(),
+                        QuantileRow::of(&stats.latency_by_level[i].snapshot()),
+                    )
+                })
+                .collect(),
+        }
+    }
+
     fn request_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         {
@@ -318,14 +641,22 @@ impl Server {
         let stats = Arc::new(ServeStats::new());
         let chaos = config.chaos.map(FaultPlan::new);
         let ladder = AdmissionLadder::for_queue(config.queue_cap);
+        let tracer = Arc::new(Tracer::new(
+            config.trace,
+            config.trace_slow_ms,
+            Arc::clone(&sink),
+        ));
         let pool = WorkerPool::start(
             config.workers,
-            Arc::clone(&queue),
-            Arc::clone(&cache),
-            Arc::clone(&stats),
-            Arc::clone(&sink),
-            chaos,
-            config.caps,
+            WorkerCtx {
+                queue: Arc::clone(&queue),
+                cache: Arc::clone(&cache),
+                stats: Arc::clone(&stats),
+                sink: Arc::clone(&sink),
+                chaos,
+                caps: config.caps,
+                tracer: Arc::clone(&tracer),
+            },
         );
         let shared = Arc::new(Shared {
             config,
@@ -336,6 +667,9 @@ impl Server {
             sink,
             chaos,
             addr,
+            tracer,
+            in_flight: AtomicU64::new(0),
+            req_seq: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
@@ -380,6 +714,16 @@ impl ServerHandle {
     /// The report cache (for metrics and tests).
     pub fn cache(&self) -> Arc<ReportCache> {
         Arc::clone(&self.shared.cache)
+    }
+
+    /// The request tracer (for `--trace` dumps after the drain).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.shared.tracer)
+    }
+
+    /// The stats reply a wire `stats` request would get right now.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.shared.stats_snapshot()
     }
 
     /// Renders the full metrics exposition for this server.
@@ -503,7 +847,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             let mut stream = stream;
             write_line(
                 &mut stream,
-                &render_shed("connections", crate::admission::RETRY_AFTER_MS),
+                &render_shed("connections", crate::admission::RETRY_AFTER_MS, None),
                 &shared.stats,
                 &shared.sink,
             );
@@ -538,6 +882,7 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let mut reader = BufReader::new(stream);
     loop {
+        let read_start = Instant::now();
         let mut line = String::new();
         match reader.read_line(&mut line) {
             Ok(0) => return,  // EOF: client closed.
@@ -548,32 +893,84 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
         if line.is_empty() {
             continue;
         }
-        let (response, close_after) = respond(line, shared);
-        if !write_line(&mut writer, &response, &shared.stats, &shared.sink) || close_after {
+        // One request timeline: the handler's spans live on track 0,
+        // worker spans arrive through the job reply.
+        let tracer = &shared.tracer;
+        let mut spans: Vec<SpanRec> = Vec::new();
+        push_span(
+            &shared.stats,
+            tracer,
+            &mut spans,
+            Stage::Accept,
+            0,
+            read_start,
+            Instant::now(),
+        );
+        let (response, close_after, trace) = respond(line, shared, &mut spans);
+        let write_start = Instant::now();
+        let wrote = write_line(&mut writer, &response, &shared.stats, &shared.sink);
+        push_span(
+            &shared.stats,
+            tracer,
+            &mut spans,
+            Stage::ReplyWrite,
+            0,
+            write_start,
+            Instant::now(),
+        );
+        // The capture decision sees the final end-to-end total, which
+        // is what makes "slow requests are always captured" exact.
+        if tracer.should_capture(read_start.elapsed()) {
+            let seq = shared.req_seq.fetch_add(1, Ordering::Relaxed);
+            tracer.record(trace, seq, &spans);
+        }
+        if !wrote || close_after {
             return;
         }
     }
 }
 
 /// Produces the response line for one request line, plus whether the
-/// connection should close afterwards.
-fn respond(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+/// connection should close afterwards and the request's trace context
+/// (already echoed into the response; returned for span capture).
+fn respond(
+    line: &str,
+    shared: &Arc<Shared>,
+    spans: &mut Vec<SpanRec>,
+) -> (String, bool, Option<TraceContext>) {
     shared.stats.requests.inc();
-    match parse_request(line) {
+    let parse_start = Instant::now();
+    let parsed = parse_request(line);
+    push_span(
+        &shared.stats,
+        &shared.tracer,
+        spans,
+        Stage::Parse,
+        0,
+        parse_start,
+        Instant::now(),
+    );
+    match parsed {
         Err(reason) => {
             shared.stats.errors.inc();
-            (render_error(&reason), false)
+            (render_error(&reason, None), false, None)
         }
-        Ok(Request::Ping) => (render_pong(), false),
+        Ok(Request::Ping) => (render_pong(), false, None),
+        Ok(Request::Stats) => (shared.stats_snapshot().render(), false, None),
         Ok(Request::Shutdown) => {
             shared.request_shutdown();
-            (render_bye(), true)
+            (render_bye(), true, None)
         }
         Ok(Request::Check {
             kernel,
             variant,
             deadline_ms,
-        }) => (handle_check(&kernel, &variant, deadline_ms, shared), false),
+            trace,
+        }) => (
+            handle_check(&kernel, &variant, deadline_ms, trace, shared, spans),
+            false,
+            trace,
+        ),
     }
 }
 
@@ -586,31 +983,46 @@ fn cache_key(fp: u64, chaos: Option<FaultPlan>) -> u64 {
     }
 }
 
+/// Decrements the in-flight gauge on scope exit, early returns and
+/// all — the gauge must never drift.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 fn handle_check(
     kernel_id: &str,
     variant_slug: &str,
     deadline_ms: Option<u64>,
+    trace: Option<TraceContext>,
     shared: &Arc<Shared>,
+    spans: &mut Vec<SpanRec>,
 ) -> String {
     shared.stats.checks.inc();
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    let _in_flight = InFlightGuard(&shared.in_flight);
     let started = Instant::now();
     let Some(kernel) = lfm_kernels::registry::by_id(kernel_id) else {
         shared.stats.errors.inc();
-        return render_error(&format!("unknown kernel {kernel_id:?}"));
+        return render_error(&format!("unknown kernel {kernel_id:?}"), trace);
     };
     let Some(variant) = protocol::parse_variant(variant_slug) else {
         shared.stats.errors.inc();
-        return render_error(&format!("unknown variant {variant_slug:?}"));
+        return render_error(&format!("unknown variant {variant_slug:?}"), trace);
     };
     let Some(program) = kernel.try_build(variant) else {
         shared.stats.errors.inc();
-        return render_error(&format!(
-            "kernel {kernel_id:?} does not implement fix {variant_slug:?}"
-        ));
+        return render_error(
+            &format!("kernel {kernel_id:?} does not implement fix {variant_slug:?}"),
+            trace,
+        );
     };
     if shared.shutting_down.load(Ordering::SeqCst) {
         shared.stats.shed.inc();
-        return render_shed("draining", crate::admission::RETRY_AFTER_MS);
+        return render_shed("draining", crate::admission::RETRY_AFTER_MS, trace);
     }
     let fp = fingerprint(&program);
     let key = cache_key(fp, shared.chaos);
@@ -618,22 +1030,51 @@ fn handle_check(
         .map(Duration::from_millis)
         .or(shared.config.default_deadline);
     let wait = deadline.unwrap_or(COALESCE_WAIT);
-    match shared.cache.lookup_or_claim(key, wait) {
+    let probe_start = Instant::now();
+    let (lookup, waited) = shared.cache.lookup_or_claim_observed(key, wait);
+    push_span(
+        &shared.stats,
+        &shared.tracer,
+        spans,
+        // A probe that parked on another caller's in-flight fill is a
+        // coalesce wait, not a lookup — the distinction is exactly
+        // what the timeline exists to show.
+        if waited {
+            Stage::CoalesceWait
+        } else {
+            Stage::CacheLookup
+        },
+        0,
+        probe_start,
+        Instant::now(),
+    );
+    match lookup {
         Lookup::Hit(body) => {
             record_latency(shared, started);
-            render_ok(true, &body)
+            render_ok(true, trace, &body)
         }
         Lookup::Busy => {
             shared.stats.shed.inc();
-            render_shed("busy", crate::admission::RETRY_AFTER_MS)
+            render_shed("busy", crate::admission::RETRY_AFTER_MS, trace)
         }
         Lookup::Claimed => {
-            match shared.ladder.admit(shared.queue.len()) {
+            let admit_start = Instant::now();
+            let verdict = shared.ladder.admit(shared.queue.len());
+            push_span(
+                &shared.stats,
+                &shared.tracer,
+                spans,
+                Stage::Admission,
+                0,
+                admit_start,
+                Instant::now(),
+            );
+            match verdict {
                 Admission::Shed { retry_after_ms } => {
                     shared.cache.abandon(key);
                     shared.stats.shed.inc();
                     emit_shed(shared, kernel_id, "admission");
-                    render_shed("admission", retry_after_ms)
+                    render_shed("admission", retry_after_ms, trace)
                 }
                 Admission::Accept(level) => {
                     shared.stats.degrade[level_index(level)].inc();
@@ -653,17 +1094,23 @@ fn handle_check(
                         shared.cache.abandon(key);
                         shared.stats.shed.inc();
                         emit_shed(shared, kernel_id, "queue-full");
-                        return render_shed("queue-full", crate::admission::RETRY_AFTER_MS);
+                        return render_shed("queue-full", crate::admission::RETRY_AFTER_MS, trace);
                     }
                     let grace = deadline.unwrap_or(Duration::ZERO) + REPLY_GRACE;
                     match result.recv_timeout(grace) {
-                        Ok(Ok(body)) => {
-                            record_latency(shared, started);
-                            render_ok(false, &body)
-                        }
-                        Ok(Err(reason)) => {
-                            shared.stats.errors.inc();
-                            render_error(&reason)
+                        Ok(job_reply) => {
+                            spans.extend(job_reply.spans);
+                            match job_reply.result {
+                                Ok(body) => {
+                                    let us = record_latency(shared, started);
+                                    shared.stats.latency_by_level[level_index(level)].record(us);
+                                    render_ok(false, trace, &body)
+                                }
+                                Err(reason) => {
+                                    shared.stats.errors.inc();
+                                    render_error(&reason, trace)
+                                }
+                            }
                         }
                         Err(_) => {
                             // The worker outlived even the grace
@@ -671,7 +1118,7 @@ fn handle_check(
                             // not wedged (a late fill still wins).
                             shared.cache.abandon(key);
                             shared.stats.errors.inc();
-                            render_error("exploration timed out past its grace period")
+                            render_error("exploration timed out past its grace period", trace)
                         }
                     }
                 }
@@ -680,11 +1127,10 @@ fn handle_check(
     }
 }
 
-fn record_latency(shared: &Arc<Shared>, started: Instant) {
-    shared
-        .stats
-        .latency_us
-        .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+fn record_latency(shared: &Arc<Shared>, started: Instant) -> u64 {
+    let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    shared.stats.latency_us.record(us);
+    us
 }
 
 fn emit_shed(shared: &Arc<Shared>, kernel: &str, reason: &str) {
@@ -814,6 +1260,7 @@ mod tests {
                 kernel: "toctou_flag".to_owned(),
                 variant: "buggy".to_owned(),
                 deadline_ms: None,
+                trace: None,
             });
             stream.write_all(line.as_bytes()).unwrap();
             stream.write_all(b"\n").unwrap();
@@ -881,7 +1328,77 @@ mod tests {
         assert!(text.contains("lfm_serve_requests_total"), "{text}");
         assert!(text.contains("lfm_serve_cache_hits_total"), "{text}");
         assert!(text.contains("lfm_serve_degrade_total"), "{text}");
+        assert!(text.contains("lfm_serve_stage_us"), "{text}");
+        assert!(text.contains("stage=\"queue_wait\""), "{text}");
+        assert!(text.contains("lfm_serve_latency_by_level_us"), "{text}");
         handle.request_shutdown();
         assert!(handle.wait().clean);
+    }
+
+    #[test]
+    fn histogram_families_exist_before_the_first_check() {
+        // A scrape right after startup must already see every
+        // histogram family, or dashboards start with holes.
+        let handle = start();
+        let text = handle.metrics().render();
+        lfm_obs::check_exposition(&text).expect("valid exposition");
+        assert!(text.contains("lfm_serve_latency_us"), "{text}");
+        assert!(text.contains("lfm_serve_stage_us"), "{text}");
+        assert!(text.contains("lfm_serve_latency_by_level_us"), "{text}");
+        handle.request_shutdown();
+        assert!(handle.wait().clean);
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips_and_counts_requests() {
+        let handle = start();
+        let client = Client::new(handle.addr());
+        client.check("toctou_flag", "buggy", None).expect("miss");
+        client.check("toctou_flag", "buggy", None).expect("hit");
+        let snapshot = client.stats().expect("stats reply");
+        assert_eq!(snapshot.checks, 2);
+        assert_eq!(snapshot.hits, 1);
+        assert_eq!(snapshot.misses, 1);
+        assert!((snapshot.hit_rate - 0.5).abs() < 1e-9, "{snapshot:?}");
+        assert_eq!(snapshot.queue_cap, ServerConfig::default().queue_cap as u64);
+        assert_eq!(snapshot.stages.len(), STAGES.len());
+        assert_eq!(snapshot.levels.len(), LEVELS.len());
+        let explore = snapshot
+            .stages
+            .iter()
+            .find(|(name, _)| name == "explore")
+            .expect("explore stage row");
+        assert!(explore.1.count >= 1, "{snapshot:?}");
+        // The wire line round-trips exactly through render/parse.
+        let line = snapshot.render();
+        assert_eq!(StatsSnapshot::parse(&line).expect("parses"), snapshot);
+        handle.request_shutdown();
+        assert!(handle.wait().clean);
+    }
+
+    #[test]
+    fn tracing_captures_timelines_and_slow_gate_filters() {
+        let mut config = test_config();
+        config.trace = true;
+        let handle = Server::start(config, Arc::new(lfm_obs::NoopSink)).expect("server starts");
+        let client = Client::new(handle.addr());
+        client.check("toctou_flag", "buggy", None).expect("check");
+        let tracer = handle.tracer();
+        assert!(
+            tracer.captured() >= STAGES.len() as u64 - 1,
+            "a full miss covers most stages, got {}",
+            tracer.captured()
+        );
+        // An absurd slow threshold with tracing off captures nothing.
+        let mut config = test_config();
+        config.trace_slow_ms = Some(3_600_000);
+        let quiet = Server::start(config, Arc::new(lfm_obs::NoopSink)).expect("server starts");
+        let client = Client::new(quiet.addr());
+        client.check("toctou_flag", "buggy", None).expect("check");
+        assert_eq!(quiet.tracer().captured(), 0, "fast requests not captured");
+        handle.request_shutdown();
+        assert!(handle.wait().clean);
+        quiet.request_shutdown();
+        assert!(quiet.wait().clean);
     }
 }
