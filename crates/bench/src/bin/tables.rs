@@ -11,12 +11,15 @@
 //! cargo run -p lfm-bench --bin tables -- --check-serve BENCH_serve.json
 //! ```
 //!
-//! `--bench-explore` runs the E-perf measurement at its reference
-//! budget and writes the `lfm-bench-explore/v1` document; CI uploads it
-//! as an artifact. `--check-explore` reruns the measurement and exits
-//! non-zero when serial explorer throughput on the gate kernel regressed
-//! more than 30% against the committed baseline (skipped on single-core
-//! hosts, where the wall clock is too noisy to gate on).
+//! `--bench-explore` runs the E-perf and E-dpor measurements at their
+//! reference budgets and writes the `lfm-bench-explore/v1` document; CI
+//! uploads it as an artifact. `--check-explore` reruns both and exits
+//! non-zero when the DPOR gate fails (outcome-set divergence from full
+//! enumeration, or less than the 2x schedule-reduction floor on the two
+//! deepest kernels — deterministic, enforced on every host) or when
+//! serial explorer throughput on the gate kernel regressed more than
+//! 30% against the committed baseline (skipped on single-core hosts,
+//! where the wall clock is too noisy to gate on).
 //! `--bench-serve` / `--check-serve` do the same for the E-serve load
 //! harness (`lfm-bench-serve/v1`): the check always enforces zero wrong
 //! answers and clean drains, and on multi-core hosts additionally gates
@@ -35,7 +38,8 @@ const CHECK_FLOOR: f64 = 0.70;
 
 fn bench_explore(path: &str) -> ! {
     let report = lfm_bench::perf_measure(lfm_bench::PERF_BUDGET);
-    let doc = lfm_bench::perf_json(&report);
+    let dpor = lfm_bench::dpor_measure(lfm_bench::DPOR_BUDGET);
+    let doc = lfm_bench::perf_json(&report, &dpor);
     if let Err(e) = std::fs::write(path, &doc) {
         eprintln!("cannot write explore benchmark to `{path}`: {e}");
         std::process::exit(1);
@@ -46,8 +50,24 @@ fn bench_explore(path: &str) -> ! {
             s.kernel, s.cow_states_per_sec, s.legacy_states_per_sec, s.speedup, s.identical
         );
     }
+    for r in dpor.deepest() {
+        eprintln!(
+            "{}: {} full vs {} dpor schedules (reduction {}{:.2}x, outcomes {})",
+            r.kernel,
+            r.full_schedules,
+            r.dpor_schedules,
+            if r.full_complete { "" } else { ">=" },
+            r.reduction,
+            if r.compared { "compared" } else { "truncated" }
+        );
+    }
+    let dpor_failures = dpor.gate_failures();
+    for f in &dpor_failures {
+        eprintln!("dpor gate: {f}");
+    }
     eprintln!("explore benchmark written to {path}");
-    std::process::exit(if report.all_identical() { 0 } else { 1 });
+    let ok = report.all_identical() && dpor_failures.is_empty();
+    std::process::exit(if ok { 0 } else { 1 });
 }
 
 fn check_explore(path: &str) -> ! {
@@ -63,6 +83,36 @@ fn check_explore(path: &str) -> ! {
         eprintln!("baseline `{path}` has no states_per_sec for `{kernel}`");
         std::process::exit(1);
     };
+    // The DPOR half of the gate first: schedule counts and outcome
+    // sets are deterministic, so unlike the throughput floor below it
+    // holds on every host, single-core included.
+    let dpor = lfm_bench::dpor_measure(lfm_bench::DPOR_BUDGET);
+    for r in dpor.deepest() {
+        let drift = match lfm_bench::baseline_dpor_schedules(&baseline, r.kernel) {
+            Some(expected) if expected != r.dpor_schedules => format!(
+                " (baseline ran {expected} — search semantics drifted; \
+                 regenerate with --bench-explore if intentional)"
+            ),
+            Some(_) => String::new(),
+            None => " (no dpor baseline committed)".to_string(),
+        };
+        eprintln!(
+            "{}: {} full vs {} dpor schedules, reduction {}{:.2}x{drift}",
+            r.kernel,
+            r.full_schedules,
+            r.dpor_schedules,
+            if r.full_complete { "" } else { ">=" },
+            r.reduction,
+        );
+    }
+    let dpor_failures = dpor.gate_failures();
+    if !dpor_failures.is_empty() {
+        for f in &dpor_failures {
+            eprintln!("dpor gate: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("dpor gate passed");
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -268,8 +318,8 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown artifact `{sel}`; expected t1..t9, f1..f5, \
-                     escope, edetect, etm, echaos, epar, eperf, ewit, eobs, \
-                     eserve, or findings"
+                     escope, edetect, etm, echaos, epar, eperf, edpor, ewit, \
+                     eobs, eserve, or findings"
                 );
                 std::process::exit(2);
             }

@@ -4,8 +4,8 @@
 //!
 //! - the **`tables` binary** (`cargo run -p lfm-bench --bin tables`)
 //!   regenerates every table (T1–T9), figure demo (F1–F5) and implication
-//!   experiment (E-scope, E-detect, E-tm, E-chaos, E-par, E-perf, E-wit,
-//!   E-obs) of the study; pass
+//!   experiment (E-scope, E-detect, E-tm, E-chaos, E-par, E-perf, E-dpor,
+//!   E-wit, E-obs) of the study; pass
 //!   `--only <id>` to print one artifact, `--markdown` for Markdown;
 //! - the **criterion benches** (`cargo bench -p lfm-bench`) measure the
 //!   substrates: exploration throughput per kernel family, detector
@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod dpor;
 pub mod obs;
 pub mod par;
 pub mod perf;
@@ -24,11 +25,12 @@ pub mod serve;
 pub mod snapshot;
 
 pub use chaos::{chaos_comparison, chaos_table, ChaosRow};
+pub use dpor::{dpor_measure, dpor_table, DporReport, DporRow, DPOR_BUDGET, DPOR_FLOOR};
 pub use obs::{obs_json, obs_measure, obs_table, ObsReport, ObsRow, OBS_BUDGET, OBS_TARGET_PCT};
 pub use par::{par_scaling, par_table, ParRow, ParScaling};
 pub use perf::{
-    baseline_states_per_sec, perf_json, perf_measure, perf_table, PerfReport, PerfRow, PerfSpeedup,
-    BENCH_EXPLORE_SCHEMA, PERF_BUDGET, PERF_GATE_KERNEL,
+    baseline_dpor_schedules, baseline_states_per_sec, perf_json, perf_measure, perf_table,
+    PerfReport, PerfRow, PerfSpeedup, BENCH_EXPLORE_SCHEMA, PERF_BUDGET, PERF_GATE_KERNEL,
 };
 pub use serve::{
     baseline_requests_per_sec, serve_json, serve_measure, serve_table, trace_overhead_measure,
@@ -70,6 +72,8 @@ pub enum Artifact {
     Par,
     /// E-perf.
     Perf,
+    /// E-dpor.
+    Dpor,
     /// E-wit.
     Witness,
     /// E-obs.
@@ -93,6 +97,7 @@ impl Artifact {
             "echaos" | "e-chaos" => Some(Artifact::Chaos),
             "epar" | "e-par" => Some(Artifact::Par),
             "eperf" | "e-perf" => Some(Artifact::Perf),
+            "edpor" | "e-dpor" => Some(Artifact::Dpor),
             "ewit" | "e-wit" => Some(Artifact::Witness),
             "eobs" | "e-obs" => Some(Artifact::Obs),
             "eserve" | "e-serve" => Some(Artifact::Serve),
@@ -124,6 +129,7 @@ impl Artifact {
             Artifact::Chaos,
             Artifact::Par,
             Artifact::Perf,
+            Artifact::Dpor,
             Artifact::Witness,
             Artifact::Obs,
             Artifact::Serve,
@@ -147,6 +153,7 @@ impl Artifact {
             Artifact::Chaos => "echaos".to_string(),
             Artifact::Par => "epar".to_string(),
             Artifact::Perf => "eperf".to_string(),
+            Artifact::Dpor => "edpor".to_string(),
             Artifact::Witness => "ewit".to_string(),
             Artifact::Obs => "eobs".to_string(),
             Artifact::Serve => "eserve".to_string(),
@@ -198,6 +205,7 @@ impl Artifact {
             Artifact::Chaos => table(chaos::chaos_table(200)),
             Artifact::Par => table(par::par_table(20_000)),
             Artifact::Perf => table(perf::perf_table(perf::PERF_BUDGET)),
+            Artifact::Dpor => table(dpor::dpor_table(dpor::DPOR_BUDGET)),
             Artifact::Witness => table(witness_table()),
             Artifact::Obs => table(obs::obs_table(obs::OBS_BUDGET)),
             Artifact::Serve => table(serve::serve_table()),
@@ -256,6 +264,8 @@ mod tests {
         assert_eq!(Artifact::parse("e-par"), Some(Artifact::Par));
         assert_eq!(Artifact::parse("eperf"), Some(Artifact::Perf));
         assert_eq!(Artifact::parse("e-perf"), Some(Artifact::Perf));
+        assert_eq!(Artifact::parse("edpor"), Some(Artifact::Dpor));
+        assert_eq!(Artifact::parse("e-dpor"), Some(Artifact::Dpor));
         assert_eq!(Artifact::parse("ewit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("e-wit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("eobs"), Some(Artifact::Obs));
@@ -272,7 +282,7 @@ mod tests {
     #[test]
     fn all_lists_every_artifact() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 1 + 9 + 5 + 11);
+        assert_eq!(all.len(), 1 + 9 + 5 + 12);
     }
 
     #[test]

@@ -309,8 +309,10 @@ pub fn perf_table(max_schedules: u64) -> Table {
 }
 
 /// Serializes the measurement as the `BENCH_explore.json` document
-/// (`lfm-bench-explore/v1`).
-pub fn perf_json(report: &PerfReport) -> String {
+/// (`lfm-bench-explore/v1`). The `dpor` section is additive to the
+/// schema: older documents simply lack it, and
+/// [`baseline_dpor_schedules`] returns `None` on them.
+pub fn perf_json(report: &PerfReport, dpor: &crate::dpor::DporReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(4096);
     let _ = write!(
@@ -361,8 +363,50 @@ pub fn perf_json(report: &PerfReport) -> String {
             s.identical,
         );
     }
-    out.push_str("]}");
+    out.push_str("],\"dpor\":{");
+    let _ = write!(
+        out,
+        "\"budget\":{},\"floor\":{},\"rows\":[",
+        dpor.budget,
+        json::number_f64(crate::dpor::DPOR_FLOOR),
+    );
+    for (i, r) in dpor.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"kernel\":{},\"family\":{},\"max_depth\":{},\"full_schedules\":{},\
+             \"full_complete\":{},\"dpor_schedules\":{},\"dpor_complete\":{},\
+             \"reduction\":{},\"compared\":{},\"outcomes_match\":{}}}",
+            json::quote(r.kernel),
+            json::quote(&r.family),
+            r.max_depth,
+            r.full_schedules,
+            r.full_complete,
+            r.dpor_schedules,
+            r.dpor_complete,
+            json::number_f64(r.reduction),
+            r.compared,
+            r.outcomes_match,
+        );
+    }
+    out.push_str("]}}");
     out
+}
+
+/// Extracts the committed DPOR schedule count for `kernel` from a
+/// `BENCH_explore.json` document. Schedule counts are deterministic,
+/// so `--check-explore` can flag drift against the baseline exactly —
+/// drift means the search semantics changed, which is fine only when
+/// it is intentional (regenerate with `--bench-explore`). Returns
+/// `None` for documents predating the `dpor` section.
+pub fn baseline_dpor_schedules(doc: &str, kernel: &str) -> Option<u64> {
+    let dpor = doc.find("\"dpor\":")?;
+    let tail = &doc[dpor..];
+    let marker = format!("\"kernel\":{}", json::quote(kernel));
+    let at = tail.find(&marker)?;
+    object_field(&tail[at..], "dpor_schedules").map(|v| v as u64)
 }
 
 /// Extracts the gate throughput for `kernel` from a
@@ -458,7 +502,8 @@ mod tests {
     #[test]
     fn json_round_trips_the_gate_kernel() {
         let report = perf_measure(100);
-        let doc = perf_json(&report);
+        let dpor = crate::dpor::dpor_measure(500);
+        let doc = perf_json(&report, &dpor);
         assert!(doc.starts_with("{\"schema\":\"lfm-bench-explore/v1\""));
         let opens = doc.matches('{').count() + doc.matches('[').count();
         let closes = doc.matches('}').count() + doc.matches(']').count();
@@ -476,5 +521,16 @@ mod tests {
         assert!(rel < 0.01, "parsed {parsed} vs measured {expected}");
         assert_eq!(baseline_states_per_sec(&doc, "no_such_kernel"), None);
         assert_eq!(baseline_states_per_sec("{}", PERF_GATE_KERNEL), None);
+        // The dpor section round-trips exactly (counts are integers).
+        let gate = dpor.row(PERF_GATE_KERNEL).expect("gate kernel measured");
+        assert_eq!(
+            baseline_dpor_schedules(&doc, PERF_GATE_KERNEL),
+            Some(gate.dpor_schedules)
+        );
+        assert_eq!(baseline_dpor_schedules(&doc, "no_such_kernel"), None);
+        assert_eq!(baseline_dpor_schedules("{}", PERF_GATE_KERNEL), None);
+        // The sweep extractor must not be confused by the dpor rows
+        // that mention the same kernel ids further down the document.
+        assert!(baseline_states_per_sec(&doc, PERF_GATE_KERNEL).is_some());
     }
 }

@@ -118,6 +118,7 @@ fn bench_server_config(traced: bool) -> ServerConfig {
             max_steps: 2_000,
             max_schedules: 2_000,
             explore_jobs: 1,
+            dpor: false,
         },
         trace: traced,
         trace_slow_ms: if traced { Some(0) } else { None },

@@ -15,7 +15,7 @@
 //! lfm explore <id> --progress                      # periodic progress estimates
 //! lfm witness <id> --out w.json --chrome t.json   # minimized portable witness
 //! lfm replay w.json                                # verify a saved witness
-//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|ewit|eobs|eserve|findings]
+//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|edpor|ewit|eobs|eserve|findings]
 //! lfm serve --addr 127.0.0.1:0 --workers 4         # model-checking service
 //! lfm bench-serve --chaos-net 42 --shutdown        # closed-loop load run
 //! lfm version                                      # binary + schema versions
@@ -86,13 +86,18 @@ pub enum Command {
         /// per-phase wall time) after the results.
         stats: bool,
     },
-    /// `lfm explore <id> [--jobs N] [--stats] [--progress]`
+    /// `lfm explore <id> [--jobs N] [--dpor] [--stats] [--progress]`
     Explore {
         /// The kernel id.
         id: String,
         /// Worker threads (default: one per available core, capped
         /// at 8).
         jobs: Option<usize>,
+        /// Source-set dynamic partial-order reduction: prune
+        /// interleavings that only reorder independent steps. Outcome
+        /// kinds are preserved; schedule counts shrink. Ignored under
+        /// `--chaos` (step-indexed faults break trace equivalence).
+        dpor: bool,
         /// Print per-worker scheduling counters and phase-attributed
         /// wall time after the report.
         stats: bool,
@@ -127,10 +132,14 @@ pub enum Command {
         markdown: bool,
     },
     /// `lfm serve [--addr A] [--workers N] [--queue N] [--max-conns N]
-    /// [--trace <path>] [--trace-slow-ms N]`
+    /// [--dpor] [--trace <path>] [--trace-slow-ms N]`
     Serve {
         /// Bind address (default `127.0.0.1:0`, a free port).
         addr: Option<String>,
+        /// Run every DFS rung with source-set DPOR (chaos requests and
+        /// the preemption-bounded rung fall back to the classic
+        /// search).
+        dpor: bool,
         /// Explorer worker pool size.
         workers: Option<usize>,
         /// Job queue bound (also the admission ladder's shed point).
@@ -385,9 +394,12 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         }
         Some("explore") => {
             let id = it.next().ok_or_else(|| {
-                UsageError("usage: lfm explore <id> [--jobs N] [--stats] [--progress]".into())
+                UsageError(
+                    "usage: lfm explore <id> [--jobs N] [--dpor] [--stats] [--progress]".into(),
+                )
             })?;
             let mut jobs = None;
+            let mut dpor = false;
             let mut stats = false;
             let mut progress = false;
             while let Some(flag) = it.next() {
@@ -404,6 +416,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                         }
                         jobs = Some(n);
                     }
+                    "--dpor" => dpor = true,
                     "--stats" => stats = true,
                     "--progress" => progress = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
@@ -412,6 +425,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             Ok(Command::Explore {
                 id: id.to_owned(),
                 jobs,
+                dpor,
                 stats,
                 progress,
             })
@@ -469,7 +483,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             UsageError(format!(
                                 "unknown artifact `{sel}` (t1..t9, f1..f5, escope, \
                                  edetect, etest, ecov, etm, echaos, epar, eperf, \
-                                 ewit, eobs, eserve, findings)"
+                                 edpor, ewit, eobs, eserve, findings)"
                             ))
                         })?);
                     }
@@ -479,6 +493,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         }
         Some("serve") => {
             let mut addr = None;
+            let mut dpor = false;
             let mut workers = None;
             let mut queue = None;
             let mut max_conns = None;
@@ -516,11 +531,13 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             UsageError(format!("--trace-slow-ms `{v}` is not a millisecond count"))
                         })?);
                     }
+                    "--dpor" => dpor = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
             Ok(Command::Serve {
                 addr,
+                dpor,
                 workers,
                 queue,
                 max_conns,
@@ -652,11 +669,14 @@ USAGE:
   lfm kernel <id> --source          print the kernel as paper-figure pseudo-code
   lfm kernel <id> --witness         show the failure witness as a timeline
   lfm kernel <id> --stats           also print exploration metrics
-  lfm explore <id> [--jobs N] [--stats] [--progress]
+  lfm explore <id> [--jobs N] [--dpor] [--stats] [--progress]
                                     model-check the buggy variant across N
                                     worker threads (default: all cores, max
                                     8); the merged report is bit-identical
-                                    to the serial explorer's; --stats adds
+                                    to the serial explorer's; --dpor prunes
+                                    interleavings that only reorder
+                                    independent steps (source-set dynamic
+                                    partial-order reduction); --stats adds
                                     per-worker scheduling counters and
                                     phase-attributed wall time; --progress
                                     streams periodic tree-size estimates
@@ -673,11 +693,11 @@ USAGE:
   lfm tables [ARTIFACT] [--markdown]
                                     regenerate tables/figures/experiments
                                     (t1..t9, f1..f5, escope, edetect, etest,
-                                     ecov, etm, echaos, epar, eperf, ewit,
-                                     eobs, eserve, findings; default:
+                                     ecov, etm, echaos, epar, eperf, edpor,
+                                     ewit, eobs, eserve, findings; default:
                                      everything)
   lfm serve [--addr A] [--workers N] [--queue N] [--max-conns N]
-            [--trace <path>] [--trace-slow-ms N]
+            [--dpor] [--trace <path>] [--trace-slow-ms N]
                                     run the fingerprint-keyed model-checking
                                     service (lfm-serve/v1 JSONL over TCP):
                                     caches reports by program fingerprint,
@@ -980,6 +1000,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
         Command::Explore {
             id,
             jobs,
+            dpor,
             stats,
             progress,
         } => {
@@ -990,7 +1011,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                     deadline_tripped: false,
                 };
             };
-            return run_explore(&kernel, &id, jobs, stats, progress, opts, &sink);
+            return run_explore(&kernel, &id, jobs, dpor, stats, progress, opts, &sink);
         }
         Command::Witness { id, out, chrome } => {
             let Some(kernel) = registry::by_id(&id) else {
@@ -1005,6 +1026,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
         Command::Replay { path } => return run_replay(&path),
         Command::Serve {
             addr,
+            dpor,
             workers,
             queue,
             max_conns,
@@ -1014,6 +1036,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
             return run_serve(
                 ServeArgs {
                     addr,
+                    dpor,
                     workers,
                     queue,
                     max_conns,
@@ -1145,10 +1168,12 @@ fn version_text() -> String {
 /// estimates to stderr; `--metrics` writes an OpenMetrics exposition.
 /// Observation never changes the report: profiling is write-only and
 /// sampling-gated, and the estimator runs unconditionally.
+#[allow(clippy::too_many_arguments)]
 fn run_explore(
     kernel: &Kernel,
     id: &str,
     jobs: Option<usize>,
+    dpor: bool,
     stats: bool,
     progress: bool,
     opts: &RunOptions,
@@ -1176,6 +1201,9 @@ fn run_explore(
         .dedup_states()
         .with_sink(run_sink)
         .profile(Arc::clone(&profiler));
+    if dpor {
+        explorer = explorer.dpor();
+    }
     if progress {
         explorer = explorer.progress_every(ProgressTracker::DEFAULT_EVERY);
     }
@@ -1191,6 +1219,13 @@ fn run_explore(
     let mut out = format!("{kernel}\n  {}\n\n", kernel.description);
     if let Some(seed) = opts.chaos {
         out.push_str(&format!("chaos seed: {seed}\n"));
+    }
+    if dpor {
+        out.push_str(if opts.chaos.is_some() {
+            "dpor: requested, disabled by --chaos (fault injection breaks trace equivalence)\n"
+        } else {
+            "dpor: on (source-set partial-order reduction)\n"
+        });
     }
     if let Some(deadline) = opts.deadline {
         out.push_str(&format!("deadline: {}\n", fmt_duration(deadline)));
@@ -1237,7 +1272,8 @@ fn run_explore(
             .row("states/sec", format!("{:.1}", report.states_per_sec()))
             .row("snapshot bytes saved", report.stats.snapshot_bytes_saved)
             .row("dedup hits (at merge)", report.states_deduped)
-            .row("sleep-set prunes", report.sleep_pruned);
+            .row("sleep-set prunes", report.sleep_pruned)
+            .row("dpor prunes", report.dpor_pruned);
         for (i, w) in par.workers.iter().enumerate() {
             table.row(
                 format!("worker {i}"),
@@ -1307,6 +1343,12 @@ fn explore_metrics(
         "Schedules pruned by sleep sets.",
         kernel_label,
         report.sleep_pruned,
+    );
+    r.counter_with(
+        "lfm_explore_dpor_pruned",
+        "Schedules proved redundant by source-set DPOR.",
+        kernel_label,
+        report.dpor_pruned,
     );
     r.counter_with(
         "lfm_explore_tasks_spawned",
@@ -1643,6 +1685,7 @@ fn run_replay(path: &str) -> RunOutput {
 /// readable).
 struct ServeArgs {
     addr: Option<String>,
+    dpor: bool,
     workers: Option<usize>,
     queue: Option<usize>,
     max_conns: Option<usize>,
@@ -1669,6 +1712,7 @@ fn run_serve(args: ServeArgs, opts: &RunOptions, sink: &Arc<dyn Sink>) -> RunOut
     // drains at shutdown.
     config.trace = args.trace.is_some();
     config.trace_slow_ms = args.trace_slow_ms;
+    config.caps.dpor = args.dpor;
     config.chaos = opts.chaos;
     config.default_deadline = opts.deadline;
     let handle = match lfm_serve::Server::start(config, Arc::clone(sink)) {
@@ -2153,6 +2197,7 @@ mod tests {
             Command::Explore {
                 id: "abba".into(),
                 jobs: None,
+                dpor: false,
                 stats: false,
                 progress: false
             }
@@ -2162,6 +2207,7 @@ mod tests {
             Command::Explore {
                 id: "abba".into(),
                 jobs: Some(4),
+                dpor: false,
                 stats: true,
                 progress: false
             }
@@ -2171,8 +2217,19 @@ mod tests {
             Command::Explore {
                 id: "abba".into(),
                 jobs: None,
+                dpor: false,
                 stats: false,
                 progress: true
+            }
+        );
+        assert_eq!(
+            parse(&args(&["explore", "abba", "--dpor"])).unwrap(),
+            Command::Explore {
+                id: "abba".into(),
+                jobs: None,
+                dpor: true,
+                stats: false,
+                progress: false
             }
         );
         assert!(parse(&args(&["explore"])).is_err());
@@ -2195,6 +2252,7 @@ mod tests {
             parse(&args(&["serve"])).unwrap(),
             Command::Serve {
                 addr: None,
+                dpor: false,
                 workers: None,
                 queue: None,
                 max_conns: None,
@@ -2213,6 +2271,7 @@ mod tests {
                 "8",
                 "--max-conns",
                 "64",
+                "--dpor",
                 "--trace",
                 "spans.json",
                 "--trace-slow-ms",
@@ -2221,6 +2280,7 @@ mod tests {
             .unwrap(),
             Command::Serve {
                 addr: Some("127.0.0.1:7777".into()),
+                dpor: true,
                 workers: Some(3),
                 queue: Some(8),
                 max_conns: Some(64),
@@ -2341,6 +2401,7 @@ mod tests {
         let out = run(Command::Explore {
             id: "counter_rmw".into(),
             jobs: Some(2),
+            dpor: false,
             stats: false,
             progress: false,
         });
@@ -2357,10 +2418,35 @@ mod tests {
     }
 
     #[test]
+    fn run_explore_dpor_reports_the_reduction() {
+        let out = run(Command::Explore {
+            id: "counter_rmw".into(),
+            jobs: Some(2),
+            dpor: true,
+            stats: true,
+            progress: false,
+        });
+        assert!(out.contains("dpor: on"), "{out}");
+        assert!(out.contains("dpor prunes"), "{out}");
+        // The DPOR run is bit-identical to the serial DPOR explorer's.
+        let program = registry::by_id("counter_rmw").unwrap().buggy();
+        let serial = Explorer::new(&program).dpor().run();
+        assert!(
+            out.contains(&format!(
+                "buggy: {} interleavings, {} manifest",
+                serial.schedules_run,
+                serial.counts.failures()
+            )),
+            "{out}"
+        );
+    }
+
+    #[test]
     fn run_explore_stats_lists_every_worker() {
         let out = run(Command::Explore {
             id: "counter_rmw".into(),
             jobs: Some(3),
+            dpor: false,
             stats: true,
             progress: false,
         });
@@ -2388,6 +2474,7 @@ mod tests {
             Command::Explore {
                 id: "counter_rmw".into(),
                 jobs: Some(2),
+                dpor: false,
                 stats: false,
                 progress: false,
             },
@@ -2420,6 +2507,7 @@ mod tests {
         let base = run(Command::Explore {
             id: "counter_rmw".into(),
             jobs: Some(2),
+            dpor: false,
             stats: false,
             progress: false,
         });
@@ -2432,6 +2520,7 @@ mod tests {
             Command::Explore {
                 id: "counter_rmw".into(),
                 jobs: Some(2),
+                dpor: false,
                 stats: false,
                 progress: true,
             },
@@ -2455,6 +2544,7 @@ mod tests {
         let out = run(Command::Explore {
             id: "nope".into(),
             jobs: None,
+            dpor: false,
             stats: false,
             progress: false,
         });
@@ -2937,6 +3027,7 @@ mod tests {
             "--metrics",
             "--progress",
             "echaos",
+            "edpor",
             "eobs",
             "eserve",
             "lfm serve",
@@ -3077,6 +3168,7 @@ mod tests {
         let out = run_serve(
             ServeArgs {
                 addr: Some(addr),
+                dpor: false,
                 workers: Some(2),
                 queue: None,
                 max_conns: None,

@@ -1,0 +1,232 @@
+//! Source-set DPOR's soundness contract, differentially:
+//!
+//! DPOR promises to visit at least one representative of every
+//! Mazurkiewicz trace class, so the **set of reachable terminal
+//! outcomes and final states** must equal full enumeration's — while
+//! running no more (and usually far fewer) schedules. This harness
+//! checks that promise on **every** kernel variant — all buggy
+//! programs and every fixed variant — for plain DPOR and for DPOR
+//! composed with sleep sets.
+//!
+//! Two more contracts ride along:
+//!
+//! * the parallel explorer under DPOR must reproduce the serial DPOR
+//!   report **field for field** at 2 and 4 workers (the same
+//!   serial-preorder commit contract `par_equivalence.rs` checks for
+//!   the classic search), and
+//! * under a seeded fault plan DPOR is unsound and must silently
+//!   disable itself — a DPOR-requested chaos run must be bit-identical
+//!   to a plain chaos run, with zero schedules claimed as pruned.
+//!
+//! Outcome sets are only compared when both searches ran to
+//! completion: a truncated or step-capped search is not closed under
+//! trace equivalence, so set equality is not owed there. The suite
+//! asserts that the strong comparison actually covered most variants,
+//! so cap creep cannot quietly hollow the test out.
+
+use std::collections::BTreeSet;
+
+use lfm_kernels::{registry, Variant};
+use lfm_sim::{ExploreLimits, ExploreReport, Explorer, FaultPlan, Outcome, ParExplorer, Program};
+
+/// Worker counts for the parallel bit-identity contract.
+const JOBS: [usize; 2] = [2, 4];
+
+/// The chaos seed (same one the E-chaos experiment and CI smoke use).
+const CHAOS_SEED: u64 = 42;
+
+/// Shared caps, mirroring `par_equivalence.rs`: big enough that small
+/// kernels explore exhaustively, small enough that dedup-off full
+/// enumerations of the livelock/transaction kernels truncate quickly.
+fn limits(dpor: bool, sleep: bool) -> ExploreLimits {
+    ExploreLimits {
+        max_steps: 4_000,
+        max_schedules: 20_000,
+        dedup_states: false,
+        sleep_sets: sleep,
+        dpor,
+        ..ExploreLimits::default()
+    }
+}
+
+/// Every variant of one kernel: the buggy build plus each fix.
+fn variants(kernel: &lfm_kernels::Kernel) -> Vec<(String, Program)> {
+    let mut out = vec![("buggy".to_string(), kernel.buggy())];
+    for &fix in kernel.fixes {
+        out.push((format!("fixed:{fix}"), kernel.build(Variant::Fixed(fix))));
+    }
+    out
+}
+
+/// Terminal fingerprints of one serial run: the outcome's display form
+/// (kind plus participants) and, for executions that run to their
+/// natural end, the final state key. Ok and deadlock states are
+/// invariants of the Mazurkiewicz class (every equivalent interleaving
+/// ends in the same state), so DPOR owes us each one. Aborting outcomes
+/// (assert failure, misuse, retry-limit) cut the execution mid-class —
+/// the machine state at the cut depends on how far *independent* ops in
+/// other threads happened to get, which is exactly the order DPOR
+/// prunes — so for those only the outcome itself is owed.
+type OutcomeSet = BTreeSet<(String, u64)>;
+
+fn outcome_set(program: &Program, limits: ExploreLimits) -> (ExploreReport, OutcomeSet) {
+    let mut set = OutcomeSet::new();
+    let report = Explorer::new(program)
+        .limits(limits)
+        .run_with_callback(|exec, outcome| {
+            let keyed = matches!(outcome, Outcome::Ok | Outcome::Deadlock { .. });
+            set.insert((
+                outcome.to_string(),
+                if keyed { exec.state_key() } else { 0 },
+            ));
+        });
+    (report, set)
+}
+
+/// Field-for-field report equality, wall time excluded (a clock writes
+/// that field, not the search).
+fn assert_identical(label: &str, a: &ExploreReport, b: &ExploreReport) {
+    assert_eq!(a.counts, b.counts, "{label}: counts");
+    assert_eq!(a.schedules_run, b.schedules_run, "{label}: schedules_run");
+    assert_eq!(a.steps_total, b.steps_total, "{label}: steps_total");
+    assert_eq!(a.truncated, b.truncated, "{label}: truncated");
+    assert_eq!(a.first_failure, b.first_failure, "{label}: first_failure");
+    assert_eq!(a.first_ok, b.first_ok, "{label}: first_ok");
+    assert_eq!(
+        a.states_deduped, b.states_deduped,
+        "{label}: states_deduped"
+    );
+    assert_eq!(a.sleep_pruned, b.sleep_pruned, "{label}: sleep_pruned");
+    assert_eq!(a.dpor_pruned, b.dpor_pruned, "{label}: dpor_pruned");
+    assert_eq!(a.truncation, b.truncation, "{label}: truncation");
+    assert_eq!(
+        a.stats.branch_points, b.stats.branch_points,
+        "{label}: branch_points"
+    );
+    assert_eq!(a.stats.max_depth, b.stats.max_depth, "{label}: max_depth");
+    assert_eq!(
+        a.est_total_schedules.to_bits(),
+        b.est_total_schedules.to_bits(),
+        "{label}: est_total_schedules ({} vs {})",
+        a.est_total_schedules,
+        b.est_total_schedules
+    );
+}
+
+/// `true` when a serial run exhausted its space: nothing truncated and
+/// no execution hit the step cap (a step-capped path is a prefix, and
+/// prefixes are not closed under trace equivalence).
+fn complete(report: &ExploreReport) -> bool {
+    !report.truncated && report.counts.step_limit == 0
+}
+
+/// Compares DPOR's outcome set against full enumeration's for one
+/// variant. Returns `true` when the strong comparison ran.
+fn check_outcome_sets(label: &str, program: &Program, dpor_limits: ExploreLimits) -> bool {
+    let (full, full_set) = outcome_set(program, limits(false, false));
+    let (reduced, reduced_set) = outcome_set(program, dpor_limits);
+    if !complete(&full) || !complete(&reduced) {
+        return false;
+    }
+    assert_eq!(
+        full_set, reduced_set,
+        "{label}: DPOR outcome set diverged from full enumeration"
+    );
+    // DPOR explores a subset of the full tree's schedules; with the
+    // all-enabled fallback it can match the count, never exceed it.
+    assert!(
+        reduced.schedules_run <= full.schedules_run,
+        "{label}: DPOR ran {} schedules, full enumeration {}",
+        reduced.schedules_run,
+        full.schedules_run
+    );
+    true
+}
+
+/// Runs the outcome-set comparison over every variant and config,
+/// asserting the strong check was not hollowed out by budget caps.
+fn check_all_outcome_sets(sleep: bool) {
+    let config = if sleep { "dpor+sleep" } else { "dpor" };
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    for kernel in registry::all() {
+        for (variant, program) in variants(&kernel) {
+            let label = format!("{}/{variant} [{config}]", kernel.id);
+            if check_outcome_sets(&label, &program, limits(true, sleep)) {
+                compared += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+    }
+    assert!(
+        compared > skipped,
+        "[{config}] only {compared} variants compared strongly, {skipped} skipped: \
+         caps too small for the harness to mean anything"
+    );
+}
+
+#[test]
+fn dpor_outcome_sets_match_full_enumeration() {
+    check_all_outcome_sets(false);
+}
+
+#[test]
+fn dpor_with_sleep_sets_outcome_sets_match_full_enumeration() {
+    check_all_outcome_sets(true);
+}
+
+#[test]
+fn parallel_dpor_matches_serial_dpor_field_for_field() {
+    for kernel in registry::all() {
+        for (variant, program) in variants(&kernel) {
+            for sleep in [false, true] {
+                let config = if sleep { "dpor+sleep" } else { "dpor" };
+                let baseline = Explorer::new(&program).limits(limits(true, sleep)).run();
+                for jobs in JOBS {
+                    let merged = ParExplorer::new(&program)
+                        .limits(limits(true, sleep))
+                        .jobs(jobs)
+                        .run();
+                    assert_identical(
+                        &format!("{}/{variant} [{config}, jobs={jobs}]", kernel.id),
+                        &baseline,
+                        &merged,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_silently_disables_dpor_everywhere() {
+    // Step-indexed fault decisions break the trace-equivalence argument,
+    // so under a fault plan a DPOR request must resolve to the classic
+    // search — bit-identical to never having asked, nothing "pruned".
+    // Dedup stays on (it only yields to DPOR when DPOR actually runs),
+    // keeping the big kernels cheap, same as par_equivalence's chaos leg.
+    let chaos_limits = |dpor: bool| ExploreLimits {
+        max_steps: 4_000,
+        max_schedules: 20_000,
+        dedup_states: true,
+        sleep_sets: false,
+        dpor,
+        ..ExploreLimits::default()
+    };
+    for kernel in registry::all() {
+        for (variant, program) in variants(&kernel) {
+            let plain = Explorer::new(&program)
+                .limits(chaos_limits(false))
+                .chaos(FaultPlan::new(CHAOS_SEED))
+                .run();
+            let requested = Explorer::new(&program)
+                .limits(chaos_limits(true))
+                .chaos(FaultPlan::new(CHAOS_SEED))
+                .run();
+            let label = format!("{}/{variant} [chaos seed {CHAOS_SEED}]", kernel.id);
+            assert_identical(&label, &plain, &requested);
+            assert_eq!(requested.dpor_pruned, 0, "{label}: claimed DPOR prunes");
+        }
+    }
+}

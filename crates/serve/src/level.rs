@@ -36,6 +36,10 @@ pub struct LevelCaps {
     /// above 1). Service throughput usually wants pool-level
     /// parallelism instead, so the default is 1.
     pub explore_jobs: usize,
+    /// Source-set DPOR on the DFS rungs. The explorer resolves the
+    /// unsound combinations itself: chaos requests and the
+    /// preemption-bounded rung fall back to the classic search.
+    pub dpor: bool,
 }
 
 impl Default for LevelCaps {
@@ -44,6 +48,7 @@ impl Default for LevelCaps {
             max_steps: 4_000,
             max_schedules: 50_000,
             explore_jobs: 1,
+            dpor: false,
         }
     }
 }
@@ -95,6 +100,7 @@ pub fn check_at_level(
         stop_on_first_failure: false,
         dedup_states: true,
         sleep_sets: level == DegradeLevel::SleepSet && chaos.is_none(),
+        dpor: caps.dpor,
         deadline,
     };
     let report = if caps.explore_jobs > 1 {
@@ -249,6 +255,31 @@ mod tests {
             assert_eq!(a.counts, b.counts);
             assert_eq!(a.schedules, b.schedules);
             assert_eq!(a.first_failure, b.first_failure);
+        }
+    }
+
+    #[test]
+    fn dpor_caps_preserve_verdicts_on_every_dfs_rung() {
+        let kernel = registry::by_id("toctou_flag").expect("kernel exists");
+        let caps = LevelCaps {
+            dpor: true,
+            ..LevelCaps::default()
+        };
+        for level in [
+            DegradeLevel::Exhaustive,
+            DegradeLevel::SleepSet,
+            DegradeLevel::PreemptionBounded,
+        ] {
+            let buggy = check_at_level(&kernel.buggy(), level, caps, None, None);
+            assert!(
+                buggy.counts.failures() > 0,
+                "{level} with DPOR missed the bug: {}",
+                buggy.counts
+            );
+            let fix = kernel.fixes[0];
+            let fixed = kernel.build(lfm_kernels::Variant::Fixed(fix));
+            let ok = check_at_level(&fixed, level, caps, None, None);
+            assert_eq!(ok.counts.failures(), 0, "{level} with DPOR false positive");
         }
     }
 

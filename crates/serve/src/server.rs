@@ -1188,6 +1188,7 @@ mod tests {
                 max_steps: 2_000,
                 max_schedules: 4_000,
                 explore_jobs: 1,
+                dpor: false,
             },
             ..ServerConfig::default()
         }

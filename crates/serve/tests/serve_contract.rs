@@ -31,6 +31,7 @@ fn small_config() -> ServerConfig {
             max_steps: 2_000,
             max_schedules: 2_000,
             explore_jobs: 1,
+            dpor: false,
         },
         ..ServerConfig::default()
     }
@@ -193,6 +194,7 @@ fn overload_sheds_explicitly_instead_of_queueing() {
             max_steps: 2_000,
             max_schedules: 2_000,
             explore_jobs: 1,
+            dpor: false,
         },
         ..ServerConfig::default()
     };

@@ -32,6 +32,7 @@ fn config(trace: bool, chaos: Option<u64>) -> ServerConfig {
             max_steps: 2_000,
             max_schedules: 2_000,
             explore_jobs: 1,
+            dpor: false,
         },
         chaos,
         trace,

@@ -161,6 +161,7 @@ pub struct BudgetedExplorer<'p> {
     fault: Option<FaultPlan>,
     sink: Arc<dyn Sink>,
     jobs: usize,
+    dpor: bool,
 }
 
 impl<'p> BudgetedExplorer<'p> {
@@ -173,6 +174,7 @@ impl<'p> BudgetedExplorer<'p> {
             fault: None,
             sink: Arc::new(NoopSink),
             jobs: 1,
+            dpor: false,
         }
     }
 
@@ -189,6 +191,16 @@ impl<'p> BudgetedExplorer<'p> {
     /// Replaces the budget.
     pub fn budget(mut self, budget: Budget) -> BudgetedExplorer<'p> {
         self.budget = budget;
+        self
+    }
+
+    /// Requests source-set DPOR on the DFS rungs. The exhaustive and
+    /// sleep-set rungs run it (dedup yields to the race log, sleep sets
+    /// compose on the second rung); the preemption-bounded rung and any
+    /// chaos run silently fall back to the classic search, exactly as
+    /// [`ExploreLimits::dpor`] resolves everywhere else.
+    pub fn dpor(mut self, on: bool) -> BudgetedExplorer<'p> {
+        self.dpor = on;
         self
     }
 
@@ -242,6 +254,7 @@ impl<'p> BudgetedExplorer<'p> {
                 stop_on_first_failure: false,
                 dedup_states: true,
                 sleep_sets: level == DegradeLevel::SleepSet,
+                dpor: self.dpor,
                 deadline: slice,
             };
             let report: ExploreReport = if self.jobs > 1 {
@@ -647,6 +660,48 @@ mod tests {
         assert_eq!(report.level, DegradeLevel::PctSampling);
         assert_eq!(report.truncation, Some(Truncation::WallDeadline));
         assert!(report.schedules_run > 0);
+    }
+
+    #[test]
+    fn dpor_ladder_agrees_with_classic_on_verdicts() {
+        for p in [racy_counter(), locked_counter()] {
+            let classic = BudgetedExplorer::new(&p).run();
+            let dpor = BudgetedExplorer::new(&p).dpor(true).run();
+            assert_eq!(classic.level, dpor.level, "{}: level", p.name());
+            assert_eq!(
+                classic.confidence,
+                dpor.confidence,
+                "{}: confidence",
+                p.name()
+            );
+            assert_eq!(
+                classic.found_failure(),
+                dpor.found_failure(),
+                "{}: verdict",
+                p.name()
+            );
+            // No schedule-count comparison: the classic ladder runs
+            // with state dedup, which DPOR soundly disables, so either
+            // side can be smaller depending on the program's shape.
+        }
+    }
+
+    #[test]
+    fn dpor_ladder_parallel_matches_serial() {
+        let p = racy_counter();
+        let serial = BudgetedExplorer::new(&p).dpor(true).run();
+        for jobs in [2, 4] {
+            let par = BudgetedExplorer::new(&p).dpor(true).jobs(jobs).run();
+            assert_eq!(serial.counts, par.counts, "jobs={jobs}: counts");
+            assert_eq!(
+                serial.schedules_run, par.schedules_run,
+                "jobs={jobs}: schedules"
+            );
+            assert_eq!(
+                serial.first_failure, par.first_failure,
+                "jobs={jobs}: witness"
+            );
+        }
     }
 
     #[test]

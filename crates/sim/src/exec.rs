@@ -46,6 +46,29 @@ pub enum StepResult {
     Done(Outcome),
 }
 
+/// How far a replayed schedule deviated from what the program could
+/// actually do, as accounted by [`Executor::replay_checked`]. All
+/// counters zero means the schedule was taken verbatim and completely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayDeviation {
+    /// Entries naming a thread the program does not have. Always a
+    /// schedule/program mismatch (wrong program version, corrupt file).
+    pub out_of_range: u64,
+    /// Entries naming a real thread that was not enabled when its turn
+    /// came (skipped in favour of the next usable entry).
+    pub not_enabled: u64,
+    /// Steps taken after the schedule ran out, filled in with the
+    /// lowest-id enabled thread.
+    pub filled_in: u64,
+}
+
+impl ReplayDeviation {
+    /// `true` when the schedule drove the whole execution verbatim.
+    pub fn is_exact(&self) -> bool {
+        *self == ReplayDeviation::default()
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum ThreadStatus {
     /// Declared with `thread_deferred` and not yet spawned.
@@ -786,17 +809,40 @@ impl Executor {
     /// (always the lowest-id enabled thread). Choices that are not enabled
     /// at replay time are skipped in favour of the lowest-id enabled
     /// thread, so a schedule from a different program version degrades
-    /// gracefully instead of panicking.
+    /// gracefully instead of panicking. Use [`Executor::replay_checked`]
+    /// when the caller needs to know whether that grace was needed.
     pub fn replay(&mut self, schedule: &Schedule, max_steps: usize) -> Outcome {
+        self.replay_checked(schedule, max_steps).0
+    }
+
+    /// [`Executor::replay`] plus an account of every place the schedule
+    /// and the program disagreed. All replay paths — trace
+    /// reconstruction, witness verification, ddmin candidate validation
+    /// — run through this one helper, so an out-of-range or
+    /// not-enabled choice degrades identically everywhere instead of
+    /// silently diverging between them.
+    pub fn replay_checked(
+        &mut self,
+        schedule: &Schedule,
+        max_steps: usize,
+    ) -> (Outcome, ReplayDeviation) {
+        let n_threads = self.program.threads().len();
         let mut it = schedule.iter();
-        self.run_with(max_steps, |enabled| {
+        let mut deviation = ReplayDeviation::default();
+        let outcome = self.run_with(max_steps, |enabled| {
             for choice in it.by_ref() {
-                if enabled.contains(&choice) {
+                if choice.index() >= n_threads {
+                    deviation.out_of_range += 1;
+                } else if enabled.contains(&choice) {
                     return choice;
+                } else {
+                    deviation.not_enabled += 1;
                 }
             }
+            deviation.filled_in += 1;
             enabled[0]
-        })
+        });
+        (outcome, deviation)
     }
 
     /// Runs to termination always choosing the lowest-id enabled thread —
@@ -1442,6 +1488,63 @@ mod tests {
         let out = e.replay(&sched, 100);
         assert!(matches!(out, Outcome::AssertFailed { thread: None, .. }));
         assert_eq!(e.vars(), &[1]);
+    }
+
+    #[test]
+    fn exact_replay_reports_no_deviation() {
+        let p = racy_counter();
+        let mut e = Executor::new(&p);
+        let sched: Schedule = vec![t(0), t(1), t(0), t(1)].into();
+        let (out, dev) = e.replay_checked(&sched, 100);
+        assert!(matches!(out, Outcome::AssertFailed { .. }));
+        assert!(dev.is_exact(), "verbatim schedule must be exact: {dev:?}");
+        assert_eq!(e.schedule_taken(), sched);
+    }
+
+    #[test]
+    fn out_of_range_choices_are_counted_not_followed() {
+        let p = racy_counter(); // two threads: index 99 cannot exist
+        let mut e = Executor::new(&p);
+        let sched: Schedule = vec![t(99), t(0), t(99), t(1), t(0), t(1)].into();
+        let (out, dev) = e.replay_checked(&sched, 100);
+        // The real entries drive the same lost-update interleaving.
+        assert!(matches!(out, Outcome::AssertFailed { .. }));
+        assert_eq!(dev.out_of_range, 2);
+        assert_eq!(dev.not_enabled, 0);
+        assert_eq!(dev.filled_in, 0);
+        assert!(!dev.is_exact());
+        // And the replay wrapper degrades by the exact same rule.
+        let mut e2 = Executor::new(&p);
+        assert_eq!(e2.replay(&sched, 100), out);
+        assert_eq!(e2.schedule_taken(), e.schedule_taken());
+    }
+
+    #[test]
+    fn finished_thread_choices_count_as_not_enabled() {
+        let p = racy_counter();
+        let mut e = Executor::new(&p);
+        // t(0) finishes after two ops; the third t(0) entry is skipped
+        // in favour of the next usable entry.
+        let sched: Schedule = vec![t(0), t(0), t(0), t(1), t(1)].into();
+        let (out, dev) = e.replay_checked(&sched, 100);
+        assert_eq!(out, Outcome::Ok);
+        assert_eq!(dev.not_enabled, 1);
+        assert_eq!(dev.out_of_range, 0);
+        assert_eq!(dev.filled_in, 0);
+    }
+
+    #[test]
+    fn exhausted_schedule_counts_filled_in_steps() {
+        let p = racy_counter();
+        let mut e = Executor::new(&p);
+        let sched: Schedule = vec![t(1)].into();
+        let (out, dev) = e.replay_checked(&sched, 100);
+        // t(1) reads, then lowest-id fill-in runs t(0) to completion
+        // before t(1)'s write lands — the classic lost update.
+        assert!(matches!(out, Outcome::AssertFailed { .. }));
+        assert_eq!(dev.filled_in, 3);
+        assert_eq!(dev.out_of_range, 0);
+        assert_eq!(dev.not_enabled, 0);
     }
 
     #[test]

@@ -17,8 +17,10 @@ use lfm_obs::{
     Stopwatch, Value,
 };
 
-use crate::exec::{Executor, RecordMode};
+use crate::dpor::Dpor;
+use crate::exec::{Executor, RecordMode, ReplayDeviation};
 use crate::fault::FaultPlan;
+use crate::frontier::{self, Advance, Mode};
 use crate::ids::ThreadId;
 use crate::outcome::Outcome;
 use crate::program::Program;
@@ -65,6 +67,20 @@ pub struct ExploreLimits {
     /// is installed: fault decisions are step-indexed, which breaks the
     /// commutativity argument the reduction relies on.
     pub sleep_sets: bool,
+    /// Source-set dynamic partial-order reduction (Flanagan &
+    /// Godefroid 2005; Abdulla et al. 2014): explore one schedule,
+    /// detect races between dependent concurrent steps on the executed
+    /// path, and add only the schedules that reverse them. Visits at
+    /// least one representative of every Mazurkiewicz trace class, so
+    /// outcome kinds and reachable final states match full enumeration
+    /// while the schedule count drops by the degree of independence in
+    /// the program. Composes with `sleep_sets` (backtrack candidates an
+    /// ancestor sibling covers are skipped). Silently disabled when a
+    /// fault plan is installed or a preemption bound is set — both
+    /// break the equivalence-class argument — and silently disables
+    /// `dedup_states`, which is unsound under DPOR (a state reached
+    /// along a different prefix carries a different race log).
+    pub dpor: bool,
     /// Wall-clock budget for the whole exploration; the search stops with
     /// [`Truncation::WallDeadline`] once it elapses. `None` (the default)
     /// runs unbounded.
@@ -80,6 +96,7 @@ impl Default for ExploreLimits {
             stop_on_first_failure: false,
             dedup_states: false,
             sleep_sets: false,
+            dpor: false,
             deadline: None,
         }
     }
@@ -216,6 +233,11 @@ pub struct ExploreReport {
     pub states_deduped: u64,
     /// Sibling choices skipped by the sleep-set reduction.
     pub sleep_pruned: u64,
+    /// Branch children DPOR proved redundant without running them:
+    /// enabled threads that never entered their branch point's
+    /// backtrack set before it was exhausted. Always 0 outside DPOR
+    /// mode.
+    pub dpor_pruned: u64,
     /// Why the search was cut short, when it was: the schedule budget,
     /// the per-execution step budget, or the preemption bound. `None`
     /// means the explored space was exhausted.
@@ -343,6 +365,13 @@ impl<'p> Explorer<'p> {
         self
     }
 
+    /// Enables source-set dynamic partial-order reduction
+    /// (see [`ExploreLimits::dpor`]).
+    pub fn dpor(mut self) -> Explorer<'p> {
+        self.limits.dpor = true;
+        self
+    }
+
     /// Sets a wall-clock deadline for the exploration
     /// (see [`ExploreLimits::deadline`]).
     pub fn deadline(mut self, deadline: Duration) -> Explorer<'p> {
@@ -428,10 +457,17 @@ impl<'p> Explorer<'p> {
             path_degree: f64,
         }
 
+        // Resolve the effective reductions once; the DPOR driver is a
+        // separate walk (backtrack sets instead of a sibling cursor)
+        // over the same frontier primitives.
+        let mode = Mode::resolve(&self.limits, self.fault.is_some());
+        if mode.dpor {
+            return self.run_dpor(mode, &mut on_terminal);
+        }
         let stopwatch = Stopwatch::start();
         // Sleep sets assume sibling operations commute; step-indexed fault
         // decisions break that, so the reduction is off under chaos.
-        let sleep_on = self.limits.sleep_sets && self.fault.is_none();
+        let sleep_on = mode.sleep;
         let mut deadline_hit = false;
         let mut report = ExploreReport {
             counts: OutcomeCounts::default(),
@@ -442,6 +478,7 @@ impl<'p> Explorer<'p> {
             first_ok: None,
             states_deduped: 0,
             sleep_pruned: 0,
+            dpor_pruned: 0,
             truncation: None,
             est_total_schedules: 0.0,
             stats: ExploreStats::default(),
@@ -488,7 +525,7 @@ impl<'p> Explorer<'p> {
             self.finish(&mut report, stopwatch, false, &estimator);
             return report;
         }
-        if self.limits.dedup_states {
+        if mode.dedup {
             let key = self.profile.time(Phase::Hash, || self.branch_key(&root));
             self.profile.time(Phase::Dedup, || seen_states.insert(key));
         }
@@ -509,16 +546,17 @@ impl<'p> Explorer<'p> {
         });
 
         while let Some(top) = stack.last_mut() {
-            if let Some(deadline) = self.limits.deadline {
-                if stopwatch.elapsed() >= deadline {
+            match frontier::budget_stop(&self.limits, &stopwatch, report.schedules_run) {
+                Some(frontier::Stop::Deadline) => {
                     deadline_hit = true;
                     report.truncated = true;
                     break;
                 }
-            }
-            if report.schedules_run >= self.limits.max_schedules {
-                report.truncated = true;
-                break;
+                Some(frontier::Stop::Budget) => {
+                    report.truncated = true;
+                    break;
+                }
+                None => {}
             }
             if top.next >= top.enabled.len() {
                 stack.pop();
@@ -569,7 +607,7 @@ impl<'p> Explorer<'p> {
             let depth = top.depth;
             let path_degree = top.path_degree;
             let snap_guard = self.profile.enter(Phase::Snapshot);
-            let mut child = if self.legacy {
+            let child = if self.legacy {
                 top.exec.deep_clone()
             } else if top.next >= top.enabled.len() {
                 // Last sibling: this frame pops on the next iteration
@@ -585,51 +623,19 @@ impl<'p> Explorer<'p> {
             drop(snap_guard);
             report.stats.snapshots += 1;
             report.stats.snapshot_bytes_saved += saved;
-            let step_guard = self.profile.enter(Phase::Step);
-            child
-                .step(choice)
-                .expect("explorer only chooses enabled threads");
-
             // Run forward while there is no real choice to make, then
             // either classify the terminal state or push a new branch.
-            enum Next {
-                Terminal(Executor, Outcome),
-                Branch(Executor, Vec<ThreadId>),
-                /// The whole subtree is covered by explored siblings.
-                Redundant,
-            }
-            let next = loop {
-                if let Some(outcome) = child.outcome().cloned() {
-                    break Next::Terminal(child, outcome);
-                }
-                if child.steps() >= self.limits.max_steps {
-                    break Next::Terminal(child, Outcome::StepLimit);
-                }
-                let enabled = child.enabled();
-                if sleep_on {
-                    child_sleep.retain(|t| enabled.contains(t));
-                    if !enabled.is_empty() && enabled.iter().all(|t| child_sleep.contains(t)) {
-                        break Next::Redundant;
-                    }
-                }
-                if enabled.len() == 1 {
-                    if sleep_on && !child_sleep.is_empty() {
-                        // Wake sleepers whose op conflicts with the forced
-                        // step we are about to take.
-                        let fp = child.next_footprint(enabled[0]);
-                        child_sleep.retain(|&t| match (&fp, child.next_footprint(t)) {
-                            (Some(a), Some(b)) => a.independent(&b),
-                            _ => false,
-                        });
-                    }
-                    child.step(enabled[0]).expect("sole enabled thread");
-                } else {
-                    break Next::Branch(child, enabled);
-                }
-            };
+            let step_guard = self.profile.enter(Phase::Step);
+            let next = frontier::advance(
+                child,
+                choice,
+                self.limits.max_steps,
+                sleep_on,
+                &mut child_sleep,
+            );
             drop(step_guard);
             match next {
-                Next::Terminal(exec, outcome) => {
+                Advance::Terminal(exec, outcome) => {
                     estimator.record_leaf(path_degree);
                     self.classify(&mut report, &exec, &outcome, &mut on_terminal);
                     self.progress_tick(
@@ -643,8 +649,8 @@ impl<'p> Explorer<'p> {
                         break;
                     }
                 }
-                Next::Branch(exec, enabled) => {
-                    if self.limits.dedup_states {
+                Advance::Branch(exec, enabled) => {
+                    if mode.dedup {
                         let key = self.profile.time(Phase::Hash, || self.branch_key(&exec));
                         let fresh = self.profile.time(Phase::Dedup, || seen_states.insert(key));
                         if !fresh {
@@ -667,7 +673,7 @@ impl<'p> Explorer<'p> {
                     });
                     report.stats.max_depth = report.stats.max_depth.max(depth + 1);
                 }
-                Next::Redundant => {
+                Advance::Redundant => {
                     report.sleep_pruned += 1;
                 }
             }
@@ -678,6 +684,215 @@ impl<'p> Explorer<'p> {
         // budget — eagerly popped frames must not make an exact-budget
         // run look complete. (Stopping at the first failure keeps
         // precedence, as it always has.)
+        if report.schedules_run >= self.limits.max_schedules
+            && !(self.limits.stop_on_first_failure && report.first_failure.is_some())
+        {
+            report.truncated = true;
+        }
+        self.finish(&mut report, stopwatch, deadline_hit, &estimator);
+        report
+    }
+
+    /// The DPOR walk: the same frontier primitives as the classic DFS,
+    /// but siblings come from per-frame backtrack sets grown by race
+    /// detection ([`crate::dpor`]) instead of a cursor over every
+    /// enabled thread. Snapshots always clone — a frame's backtrack set
+    /// can grow after its latest sibling started, so the classic walk's
+    /// last-sibling snapshot move is unsound here.
+    fn run_dpor(
+        &self,
+        mode: Mode,
+        on_terminal: &mut impl FnMut(&Executor, &Outcome),
+    ) -> ExploreReport {
+        struct DporBranch {
+            exec: Executor,
+            /// Frame index in the [`Dpor`] engine (== stack position).
+            frame: usize,
+            /// [`Executor::snapshot_bytes_saved`] of `exec`, computed
+            /// once at push (the prefix is never mutated on the stack).
+            saved: u64,
+            /// Logical branch depth of this frame (root = 1).
+            depth: u64,
+            /// Product of *full* branching degrees along the path, so
+            /// the tree-size estimate keeps estimating the full space
+            /// and the reduction stays visible against it.
+            path_degree: f64,
+        }
+
+        let stopwatch = Stopwatch::start();
+        let mut deadline_hit = false;
+        let mut report = ExploreReport {
+            counts: OutcomeCounts::default(),
+            schedules_run: 0,
+            steps_total: 0,
+            truncated: false,
+            first_failure: None,
+            first_ok: None,
+            states_deduped: 0,
+            sleep_pruned: 0,
+            dpor_pruned: 0,
+            truncation: None,
+            est_total_schedules: 0.0,
+            stats: ExploreStats::default(),
+        };
+        let mut estimator = KnuthEstimator::new();
+        let mut progress = self.progress_every.map(ProgressTracker::new);
+        if self.sink.enabled() {
+            let mut fields = vec![
+                ("program", Value::Str(self.program.name())),
+                ("threads", Value::U64(self.program.n_threads() as u64)),
+                ("max_schedules", Value::U64(self.limits.max_schedules)),
+                ("sleep_sets", Value::Bool(mode.sleep)),
+                ("dedup_states", Value::Bool(mode.dedup)),
+                ("dpor", Value::Bool(true)),
+            ];
+            if let Some(d) = self.limits.deadline {
+                fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
+            }
+            self.sink.emit(&Event {
+                scope: "explore",
+                name: "start",
+                fields: &fields,
+            });
+        }
+
+        let root = Executor::with_record(self.program, self.record);
+        if let Some(outcome) = root.outcome().cloned() {
+            estimator.record_leaf(1.0);
+            self.classify(&mut report, &root, &outcome, on_terminal);
+            self.progress_tick(&report, &estimator, &mut progress, &stopwatch, 0);
+            self.finish(&mut report, stopwatch, false, &estimator);
+            return report;
+        }
+        let mut dpor = Dpor::new(self.program.n_threads());
+        let enabled = root.enabled();
+        let fps = enabled
+            .iter()
+            .map(|&t| root.next_footprint(t).unwrap_or_default())
+            .collect();
+        report.stats.branch_points += 1;
+        report.stats.max_depth = 1;
+        let root_saved = root.snapshot_bytes_saved();
+        let root_degree = enabled.len() as f64;
+        let frame = dpor.push_frame(enabled, fps, Vec::new());
+        let mut stack = vec![DporBranch {
+            exec: root,
+            frame,
+            saved: root_saved,
+            depth: 1,
+            path_degree: root_degree,
+        }];
+
+        while let Some(top) = stack.last() {
+            match frontier::budget_stop(&self.limits, &stopwatch, report.schedules_run) {
+                Some(frontier::Stop::Deadline) => {
+                    deadline_hit = true;
+                    report.truncated = true;
+                    break;
+                }
+                Some(frontier::Stop::Budget) => {
+                    report.truncated = true;
+                    break;
+                }
+                None => {}
+            }
+            let frame = top.frame;
+            let (skipped, choice) = dpor.select(frame);
+            report.sleep_pruned += skipped;
+            let Some(choice) = choice else {
+                report.dpor_pruned += dpor.pop_frame();
+                stack.pop();
+                continue;
+            };
+            if mode.sleep {
+                // Siblings selected after this one must not redo this
+                // choice's equivalence class.
+                dpor.sleep_after(frame, choice);
+            }
+            let saved = top.saved;
+            let depth = top.depth;
+            let path_degree = top.path_degree;
+            let snap_guard = self.profile.enter(Phase::Snapshot);
+            let child = if self.legacy {
+                top.exec.deep_clone()
+            } else {
+                top.exec.clone()
+            };
+            drop(snap_guard);
+            report.stats.snapshots += 1;
+            report.stats.snapshot_bytes_saved += saved;
+            let choice_fp = dpor.fp_of(frame, choice).clone();
+            let step_guard = self.profile.enter(Phase::Step);
+            let mut forced = Vec::new();
+            let next = frontier::advance_dpor(child, choice, self.limits.max_steps, &mut forced);
+            drop(step_guard);
+            // Commit the edge to the race log in execution order; races
+            // it closes grow backtrack sets of the frames still below.
+            dpor.commit_step(choice, choice_fp, Some(frame));
+            for (t, fp) in &forced {
+                dpor.commit_step(*t, fp.clone(), None);
+            }
+            match next {
+                Advance::Terminal(exec, outcome) => {
+                    // Ops the terminal cut off before they could run
+                    // (blocked in a deadlock, or preempted by an abort)
+                    // still race with the executed path — without this
+                    // an op that always deadlocks first on the explored
+                    // order would never grow a backtrack set.
+                    for (t, fp) in frontier::pending_ops(&exec) {
+                        dpor.pending_race(t, &fp);
+                    }
+                    estimator.record_leaf(path_degree);
+                    self.classify(&mut report, &exec, &outcome, on_terminal);
+                    self.progress_tick(
+                        &report,
+                        &estimator,
+                        &mut progress,
+                        &stopwatch,
+                        stack.len() as u64,
+                    );
+                    if self.limits.stop_on_first_failure && report.first_failure.is_some() {
+                        break;
+                    }
+                }
+                Advance::Branch(exec, enabled) => {
+                    if enabled.is_empty() {
+                        // Unreachable in practice: a state with no
+                        // enabled thread carries a terminal outcome.
+                        continue;
+                    }
+                    let child_sleep = if mode.sleep {
+                        dpor.child_sleep(frame, choice, &forced, &enabled)
+                    } else {
+                        Vec::new()
+                    };
+                    if enabled.iter().all(|t| child_sleep.contains(t)) {
+                        // Every enabled thread is asleep: the whole
+                        // subtree is covered by explored siblings.
+                        report.sleep_pruned += 1;
+                        continue;
+                    }
+                    let fps = enabled
+                        .iter()
+                        .map(|&t| exec.next_footprint(t).unwrap_or_default())
+                        .collect();
+                    report.stats.branch_points += 1;
+                    let saved = exec.snapshot_bytes_saved();
+                    let child_degree = path_degree * enabled.len() as f64;
+                    let fi = dpor.push_frame(enabled, fps, child_sleep);
+                    stack.push(DporBranch {
+                        exec,
+                        frame: fi,
+                        saved,
+                        depth: depth + 1,
+                        path_degree: child_degree,
+                    });
+                    report.stats.max_depth = report.stats.max_depth.max(depth + 1);
+                }
+                Advance::Redundant => unreachable!("the DPOR forward run never prunes"),
+            }
+        }
+
         if report.schedules_run >= self.limits.max_schedules
             && !(self.limits.stop_on_first_failure && report.first_failure.is_some())
         {
@@ -766,17 +981,12 @@ impl<'p> Explorer<'p> {
         estimator: &KnuthEstimator,
     ) {
         report.est_total_schedules = estimator.estimate();
-        report.truncation = if deadline_hit {
-            Some(Truncation::WallDeadline)
-        } else if report.truncated {
-            Some(Truncation::ScheduleBudget)
-        } else if report.counts.step_limit > 0 {
-            Some(Truncation::StepBudget)
-        } else if report.stats.preemption_limited > 0 {
-            Some(Truncation::PreemptionBound)
-        } else {
-            None
-        };
+        report.truncation = frontier::derive_truncation(
+            deadline_hit,
+            report.truncated,
+            report.counts.step_limit,
+            report.stats.preemption_limited,
+        );
         report.stats.wall = stopwatch.elapsed();
         if self.sink.enabled() {
             let truncation = report
@@ -797,6 +1007,7 @@ impl<'p> Explorer<'p> {
                 ("snapshots", Value::U64(report.stats.snapshots)),
                 ("max_depth", Value::U64(report.stats.max_depth)),
                 ("sleep_pruned", Value::U64(report.sleep_pruned)),
+                ("dpor_pruned", Value::U64(report.dpor_pruned)),
                 ("states_deduped", Value::U64(report.states_deduped)),
                 (
                     "preemption_limited",
@@ -863,9 +1074,22 @@ impl<'p> Explorer<'p> {
 
 /// Re-executes one schedule with full recording and returns its trace.
 pub fn trace_of(program: &Program, schedule: &Schedule, max_steps: usize) -> (Trace, Outcome) {
+    let (trace, outcome, _) = trace_of_checked(program, schedule, max_steps);
+    (trace, outcome)
+}
+
+/// [`trace_of`] plus the [`ReplayDeviation`] account: a trace rebuilt
+/// from a schedule that named out-of-range or not-enabled threads is
+/// not evidence about the schedule's original program, and this
+/// variant lets the caller tell.
+pub fn trace_of_checked(
+    program: &Program,
+    schedule: &Schedule,
+    max_steps: usize,
+) -> (Trace, Outcome, ReplayDeviation) {
     let mut exec = Executor::with_record(program, RecordMode::Full);
-    let outcome = exec.replay(schedule, max_steps);
-    (exec.into_trace(), outcome)
+    let (outcome, deviation) = exec.replay_checked(schedule, max_steps);
+    (exec.into_trace(), outcome, deviation)
 }
 
 #[cfg(test)]

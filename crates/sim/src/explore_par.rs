@@ -39,6 +39,17 @@
 //! observes its own key in the table and must still be expanded.)
 //! Wall-clock deadlines and early stops propagate through a shared
 //! atomic stop flag that every worker polls between choices.
+//!
+//! Under [`ExploreLimits::dpor`] the same split applies, but the
+//! speculative half widens and the canonical half narrows: workers
+//! expand *every* enabled child of a prefix (recording the footprints
+//! executed along each edge), while the coordinator replays the serial
+//! DPOR walk through its own [`Dpor`] engine — same enabled orders,
+//! same footprints, same race log, hence the same backtrack sets and
+//! selection sequence, and a bit-identical report. A child's expansion
+//! is handed to the pool the moment the child enters a backtrack set;
+//! children that never do are dropped unread and counted as
+//! `dpor_pruned`, exactly like the serial explorer's.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,12 +62,14 @@ use lfm_obs::{
     Sink, Stopwatch, Value,
 };
 
+use crate::dpor::Dpor;
 use crate::exec::{Executor, RecordMode};
 use crate::explore::{
-    ExploreLimits, ExploreReport, ExploreStats, OutcomeCounts, Truncation, PROGRESS_CHECK_EVERY,
-    PROGRESS_EVERY,
+    ExploreLimits, ExploreReport, ExploreStats, OutcomeCounts, PROGRESS_CHECK_EVERY, PROGRESS_EVERY,
 };
 use crate::fault::FaultPlan;
+use crate::footprint::Footprint;
+use crate::frontier::{self, Advance, Mode};
 use crate::ids::ThreadId;
 use crate::outcome::Outcome;
 use crate::program::Program;
@@ -168,9 +181,66 @@ enum ChildRec {
     },
 }
 
+/// One child of a branch prefix expanded in DPOR mode, in enabled
+/// order. Unlike [`ChildRec`], *every* enabled choice is expanded — the
+/// coordinator's DPOR walk decides afterwards which children it needs;
+/// the rest are dropped unread (`dpor_pruned`).
+#[derive(Debug)]
+struct DporRec {
+    /// Forced steps the run-forward took after the chosen step, with
+    /// the footprints they had at execution time — the coordinator
+    /// replays them into its race log at commit.
+    forced: Vec<(ThreadId, Footprint)>,
+    /// Prefix snapshot bytes the COW clone avoided copying (identical
+    /// for every child; see [`ChildRec::Redundant::saved`]).
+    saved: u64,
+    end: DporEnd,
+}
+
+/// Where a DPOR-mode child edge ended.
+#[derive(Debug)]
+enum DporEnd {
+    /// The run-forward reached a terminal outcome. Every DPOR terminal
+    /// carries its schedule: which child becomes the witness depends on
+    /// backtrack-set evolution the worker cannot see.
+    Terminal {
+        outcome: Outcome,
+        steps: u64,
+        schedule: Schedule,
+        /// Next-op footprints of the threads the terminal cut off
+        /// before they ran ([`frontier::pending_ops`]) — the
+        /// coordinator feeds them to [`Dpor::pending_race`] exactly as
+        /// the serial driver does.
+        pending: Vec<(ThreadId, Footprint)>,
+    },
+    /// A deeper branch prefix. Its [`Task`] is handed to the deques
+    /// only if the child ever enters the parent frame's backtrack set;
+    /// `cancel` lets the coordinator scrub a dispatched expansion whose
+    /// subtree sleep sets later prove redundant.
+    Branch {
+        id: u64,
+        /// Enabled threads at the child state, in scheduler order.
+        enabled: Vec<ThreadId>,
+        /// Next-op footprints, parallel to `enabled` — the child
+        /// frame's [`Dpor::push_frame`] input.
+        fps: Vec<Footprint>,
+        cancel: Arc<AtomicBool>,
+        task: Option<Box<Task>>,
+    },
+}
+
+/// What one worker produced for one claimed task: the classic
+/// sleep/preemption-aware child records, or the DPOR-mode all-children
+/// records.
+#[derive(Debug)]
+enum Expanded {
+    Classic(Vec<ChildRec>),
+    Dpor(Vec<DporRec>),
+}
+
 /// Result of expanding one branch prefix. `Err` carries a panic payload
 /// out of a worker so the coordinator can re-raise it.
-type Expansion = Result<Vec<ChildRec>, String>;
+type Expansion = Result<Expanded, String>;
 
 /// Per-worker activity counters, updated with relaxed atomics and
 /// snapshotted into [`WorkerStats`] after the run.
@@ -357,50 +427,13 @@ fn expand(
         }
 
         let snap_guard = profiler.enter(Phase::Snapshot);
-        let mut child = task.exec.clone();
+        let child = task.exec.clone();
         drop(snap_guard);
         let step_guard = profiler.enter(Phase::Step);
-        child
-            .step(choice)
-            .expect("explorer only chooses enabled threads");
-
-        enum Next {
-            Terminal(Executor, Outcome),
-            Branch(Executor, Vec<ThreadId>),
-            Redundant,
-        }
-        let next = loop {
-            if let Some(outcome) = child.outcome().cloned() {
-                break Next::Terminal(child, outcome);
-            }
-            if child.steps() >= limits.max_steps {
-                break Next::Terminal(child, Outcome::StepLimit);
-            }
-            let enabled = child.enabled();
-            if sleep_on {
-                child_sleep.retain(|t| enabled.contains(t));
-                if !enabled.is_empty() && enabled.iter().all(|t| child_sleep.contains(t)) {
-                    break Next::Redundant;
-                }
-            }
-            if enabled.len() == 1 {
-                if sleep_on && !child_sleep.is_empty() {
-                    // Wake sleepers whose op conflicts with the forced
-                    // step we are about to take.
-                    let fp = child.next_footprint(enabled[0]);
-                    child_sleep.retain(|&t| match (&fp, child.next_footprint(t)) {
-                        (Some(a), Some(b)) => a.independent(&b),
-                        _ => false,
-                    });
-                }
-                child.step(enabled[0]).expect("sole enabled thread");
-            } else {
-                break Next::Branch(child, enabled);
-            }
-        };
+        let next = frontier::advance(child, choice, limits.max_steps, sleep_on, &mut child_sleep);
         drop(step_guard);
         match next {
-            Next::Terminal(exec, outcome) => {
+            Advance::Terminal(exec, outcome) => {
                 // Only the first failing / first passing child of an
                 // expansion can ever become the global witness, so only
                 // those carry their schedule.
@@ -416,7 +449,7 @@ fn expand(
                     saved,
                 });
             }
-            Next::Branch(exec, enabled) => {
+            Advance::Branch(exec, enabled) => {
                 let key = if limits.dedup_states {
                     profiler.time(Phase::Hash, || exec.state_key())
                 } else {
@@ -440,10 +473,71 @@ fn expand(
                     saved,
                 });
             }
-            Next::Redundant => children.push(ChildRec::Redundant { saved }),
+            Advance::Redundant => children.push(ChildRec::Redundant { saved }),
         }
     }
     children
+}
+
+/// Expands one branch prefix in DPOR mode: every enabled choice is
+/// cloned, stepped, and run forward with [`frontier::advance_dpor`].
+/// No sleep or preemption logic runs here — DPOR redundancy verdicts
+/// belong to the coordinator's race log, which needs the footprints
+/// recorded along every edge.
+fn expand_dpor(
+    task: &Task,
+    limits: &ExploreLimits,
+    shared: &Shared,
+    profiler: &PhaseProfiler,
+) -> Vec<DporRec> {
+    let mut recs = Vec::with_capacity(task.enabled.len());
+    let saved = task.exec.snapshot_bytes_saved();
+    for &choice in &task.enabled {
+        if shared.stop.load(Ordering::Relaxed) || task.cancel.load(Ordering::Relaxed) {
+            break;
+        }
+        let snap_guard = profiler.enter(Phase::Snapshot);
+        let child = task.exec.clone();
+        drop(snap_guard);
+        let step_guard = profiler.enter(Phase::Step);
+        let mut forced = Vec::new();
+        let next = frontier::advance_dpor(child, choice, limits.max_steps, &mut forced);
+        drop(step_guard);
+        let end = match next {
+            Advance::Terminal(exec, outcome) => DporEnd::Terminal {
+                outcome,
+                steps: exec.steps() as u64,
+                schedule: exec.schedule_taken(),
+                pending: frontier::pending_ops(&exec),
+            },
+            Advance::Branch(exec, enabled) => {
+                let fps = enabled
+                    .iter()
+                    .map(|&t| exec.next_footprint(t).unwrap_or_default())
+                    .collect();
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                let cancel = Arc::new(AtomicBool::new(false));
+                DporEnd::Branch {
+                    id,
+                    enabled: enabled.clone(),
+                    fps,
+                    cancel: Arc::clone(&cancel),
+                    task: Some(Box::new(Task {
+                        id,
+                        key: 0,
+                        exec,
+                        enabled,
+                        preemptions: 0,
+                        sleep: Vec::new(),
+                        cancel,
+                    })),
+                }
+            }
+            Advance::Redundant => unreachable!("the DPOR forward run never prunes"),
+        };
+        recs.push(DporRec { forced, saved, end });
+    }
+    recs
 }
 
 /// Claims a task: own deque first (front), then a sweep over the other
@@ -465,7 +559,7 @@ fn claim(me: usize, shared: &Shared) -> Option<(Task, bool)> {
 fn worker_loop(
     me: usize,
     limits: &ExploreLimits,
-    sleep_on: bool,
+    mode: Mode,
     shared: &Shared,
     profiler: &PhaseProfiler,
 ) {
@@ -489,12 +583,16 @@ fn worker_loop(
                 // is dead work. (The owner itself must still expand —
                 // its key lands in the set at its *own* commit, right
                 // before the coordinator waits on this expansion.)
-                if limits.dedup_states && shared.seen.lost_race(task.key, task.id) {
+                if mode.dedup && shared.seen.lost_race(task.key, task.id) {
                     counters.filter_hits.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 let expansion = catch_unwind(AssertUnwindSafe(|| {
-                    expand(&task, limits, sleep_on, shared, profiler)
+                    if mode.dpor {
+                        Expanded::Dpor(expand_dpor(&task, limits, shared, profiler))
+                    } else {
+                        Expanded::Classic(expand(&task, limits, mode.sleep, shared, profiler))
+                    }
                 }))
                 .map_err(|payload| {
                     let msg = payload
@@ -541,6 +639,28 @@ enum Frame {
         next: usize,
         path_degree: f64,
     },
+}
+
+/// One frame of the coordinator's DPOR commit walk; mirrors the serial
+/// `run_dpor` stack (and the [`Dpor`] frame stack) one-to-one.
+#[derive(Debug)]
+struct DporWalk {
+    /// Expansion id of this frame's branch prefix; waited on lazily the
+    /// first time the walk visits the frame.
+    id: u64,
+    /// Enabled threads at the branch state — the order the expansion's
+    /// records arrive in.
+    enabled: Vec<ThreadId>,
+    /// Product of *full* branching degrees along the path including
+    /// this frame's own degree, so the tree-size estimate keeps
+    /// estimating the full space and the reduction stays visible.
+    path_degree: f64,
+    /// `None` until the expansion is resolved; `recs[i]` is taken when
+    /// child `enabled[i]` is committed.
+    recs: Option<Vec<Option<DporRec>>>,
+    /// Whether each child's speculative expansion was handed to the
+    /// pool (set when the child enters the backtrack set awake).
+    enqueued: Vec<bool>,
 }
 
 /// Parallel depth-first interleaving explorer over a [`Program`].
@@ -650,6 +770,14 @@ impl<'p> ParExplorer<'p> {
         self
     }
 
+    /// Enables source-set dynamic partial-order reduction
+    /// (see [`ExploreLimits::dpor`]). The report stays bit-identical to
+    /// the serial [`Explorer`](crate::Explorer) with the same flag.
+    pub fn dpor(mut self) -> ParExplorer<'p> {
+        self.limits.dpor = true;
+        self
+    }
+
     /// Sets a wall-clock deadline for the exploration.
     pub fn deadline(mut self, deadline: Duration) -> ParExplorer<'p> {
         self.limits.deadline = Some(deadline);
@@ -674,8 +802,11 @@ impl<'p> ParExplorer<'p> {
     /// activity statistics.
     pub fn run_detailed(&self) -> (ExploreReport, ParStats) {
         let jobs = self.jobs.max(1);
+        let mode = Mode::resolve(&self.limits, self.fault.is_some());
+        if mode.dpor {
+            return self.run_dpor(mode, jobs);
+        }
         let stopwatch = Stopwatch::start();
-        let sleep_on = self.limits.sleep_sets && self.fault.is_none();
         let mut deadline_hit = false;
         let mut report = ExploreReport {
             counts: OutcomeCounts::default(),
@@ -686,13 +817,14 @@ impl<'p> ParExplorer<'p> {
             first_ok: None,
             states_deduped: 0,
             sleep_pruned: 0,
+            dpor_pruned: 0,
             truncation: None,
             est_total_schedules: 0.0,
             stats: ExploreStats::default(),
         };
         let mut estimator = KnuthEstimator::new();
         let mut progress = self.progress_every.map(ProgressTracker::new);
-        self.emit_start(sleep_on, jobs);
+        self.emit_start(mode, jobs);
 
         let mut root = Executor::with_record(self.program, RecordMode::Off);
         if let Some(plan) = self.fault {
@@ -756,7 +888,7 @@ impl<'p> ParExplorer<'p> {
             for (me, profiler) in worker_profiles.iter().enumerate() {
                 let shared = &shared;
                 let limits = &self.limits;
-                scope.spawn(move || worker_loop(me, limits, sleep_on, shared, profiler));
+                scope.spawn(move || worker_loop(me, limits, mode, shared, profiler));
             }
 
             let mut rr = 0usize;
@@ -780,16 +912,17 @@ impl<'p> ParExplorer<'p> {
             'walk: loop {
                 let walk_depth = walk.len() as u64;
                 let Some(top) = walk.last_mut() else { break };
-                if let Some(deadline) = self.limits.deadline {
-                    if stopwatch.elapsed() >= deadline {
+                match frontier::budget_stop(&self.limits, &stopwatch, report.schedules_run) {
+                    Some(frontier::Stop::Deadline) => {
                         deadline_hit = true;
                         report.truncated = true;
                         break;
                     }
-                }
-                if report.schedules_run >= self.limits.max_schedules {
-                    report.truncated = true;
-                    break;
+                    Some(frontier::Stop::Budget) => {
+                        report.truncated = true;
+                        break;
+                    }
+                    None => {}
                 }
                 match top {
                     Frame::Pending(id, parent_degree) => {
@@ -802,7 +935,10 @@ impl<'p> ParExplorer<'p> {
                             break;
                         };
                         let mut children = match expansion {
-                            Ok(children) => children,
+                            Ok(Expanded::Classic(children)) => children,
+                            Ok(Expanded::Dpor(_)) => {
+                                unreachable!("classic workers produce classic expansions")
+                            }
                             Err(panic_msg) => {
                                 // Re-raise a worker panic on the caller
                                 // thread, like the serial explorer would.
@@ -942,6 +1078,340 @@ impl<'p> ParExplorer<'p> {
         (report, stats)
     }
 
+    /// The DPOR-mode run (see the module docs): the classic worker
+    /// pool, but expansions cover every enabled child ([`expand_dpor`])
+    /// and the commit walk replays the serial `run_dpor` selection
+    /// sequence through its own [`Dpor`] engine — same enabled orders,
+    /// same footprints, same race log, hence the same backtrack sets
+    /// and a bit-identical report. A child's expansion is handed to
+    /// the pool the moment it enters a backtrack set awake; sleeping
+    /// entrants are never dispatched (`select` will skip them), and
+    /// children that never enter any backtrack set are dropped unread.
+    fn run_dpor(&self, mode: Mode, jobs: usize) -> (ExploreReport, ParStats) {
+        let stopwatch = Stopwatch::start();
+        let mut deadline_hit = false;
+        let mut report = ExploreReport {
+            counts: OutcomeCounts::default(),
+            schedules_run: 0,
+            steps_total: 0,
+            truncated: false,
+            first_failure: None,
+            first_ok: None,
+            states_deduped: 0,
+            sleep_pruned: 0,
+            dpor_pruned: 0,
+            truncation: None,
+            est_total_schedules: 0.0,
+            stats: ExploreStats::default(),
+        };
+        let mut estimator = KnuthEstimator::new();
+        let mut progress = self.progress_every.map(ProgressTracker::new);
+        self.emit_start(mode, jobs);
+
+        // No fault plan to install: DPOR is resolved away under chaos
+        // (see `Mode::resolve`).
+        let root = Executor::with_record(self.program, RecordMode::Off);
+        if let Some(outcome) = root.outcome().cloned() {
+            estimator.record_leaf(1.0);
+            let steps = root.steps() as u64;
+            self.classify(&mut report, outcome, steps, || root.schedule_taken());
+            self.progress_tick(&report, &estimator, &mut progress, &stopwatch, 0);
+            let stats = ParStats {
+                jobs,
+                workers: vec![WorkerStats::default(); jobs],
+                tasks_spawned: 0,
+                wasted_expansions: 0,
+                profiles: vec![PhaseProfile::empty(); jobs],
+            };
+            self.finish(&mut report, stopwatch, false, &stats, &estimator);
+            return (report, stats);
+        }
+
+        let shared = Shared::new(jobs);
+        let worker_profiles: Vec<PhaseProfiler> = (0..jobs).map(|_| self.profile.like()).collect();
+        let mut dpor = Dpor::new(self.program.n_threads());
+        let root_enabled = root.enabled();
+        let fps = root_enabled
+            .iter()
+            .map(|&t| root.next_footprint(t).unwrap_or_default())
+            .collect();
+        report.stats.branch_points += 1;
+        report.stats.max_depth = 1;
+        let root_degree = root_enabled.len() as f64;
+        dpor.push_frame(root_enabled.clone(), fps, Vec::new());
+        let root_task = Task {
+            id: 0,
+            key: 0,
+            exec: root,
+            enabled: root_enabled.clone(),
+            preemptions: 0,
+            sleep: Vec::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        let mut tasks_spawned: u64 = 0;
+        let mut wasted_expansions: u64 = 0;
+
+        std::thread::scope(|scope| {
+            let guard = StopGuard(&shared);
+            for (me, profiler) in worker_profiles.iter().enumerate() {
+                let shared = &shared;
+                let limits = &self.limits;
+                scope.spawn(move || worker_loop(me, limits, mode, shared, profiler));
+            }
+
+            let mut rr = 0usize;
+            let mut enqueue = |task: Task, spawned: &mut u64| {
+                *spawned += 1;
+                shared.queues[rr % jobs]
+                    .lock()
+                    .expect("queue lock")
+                    .push_back(task);
+                rr += 1;
+                let _idle = shared.idle.lock().expect("idle lock");
+                shared.work_cv.notify_one();
+            };
+            enqueue(root_task, &mut tasks_spawned);
+
+            // Hands the speculative expansion of child `t` of frame
+            // `fi` to the pool, at most once per child.
+            let mut dispatch =
+                |walk: &mut [DporWalk], fi: usize, t: ThreadId, spawned: &mut u64| {
+                    let node = &mut walk[fi];
+                    let pos = node
+                        .enabled
+                        .iter()
+                        .position(|&x| x == t)
+                        .expect("backtrack members are enabled");
+                    if node.enqueued[pos] {
+                        return;
+                    }
+                    node.enqueued[pos] = true;
+                    let recs = node.recs.as_mut().expect("dispatch on a resolved frame");
+                    if let Some(DporRec {
+                        end: DporEnd::Branch { task, .. },
+                        ..
+                    }) = recs[pos].as_mut()
+                    {
+                        if let Some(task) = task.take() {
+                            enqueue(*task, spawned);
+                        }
+                    }
+                };
+
+            // The DPOR commit walk: a faithful replay of the serial
+            // `run_dpor` loop, with the forward runs already done by
+            // the pool.
+            let mut walk: Vec<DporWalk> = vec![DporWalk {
+                id: 0,
+                enabled: root_enabled,
+                path_degree: root_degree,
+                recs: None,
+                enqueued: Vec::new(),
+            }];
+            'walk: while !walk.is_empty() {
+                match frontier::budget_stop(&self.limits, &stopwatch, report.schedules_run) {
+                    Some(frontier::Stop::Deadline) => {
+                        deadline_hit = true;
+                        report.truncated = true;
+                        break;
+                    }
+                    Some(frontier::Stop::Budget) => {
+                        report.truncated = true;
+                        break;
+                    }
+                    None => {}
+                }
+                let frame = walk.len() - 1;
+                if walk[frame].recs.is_none() {
+                    // Resolve the pending expansion, then dispatch the
+                    // frame's current backtrack members (the seed).
+                    let Some(expansion) = self.wait_result(&shared, walk[frame].id, stopwatch)
+                    else {
+                        deadline_hit = true;
+                        report.truncated = true;
+                        break;
+                    };
+                    let recs = match expansion {
+                        Ok(Expanded::Dpor(recs)) => recs,
+                        Ok(Expanded::Classic(_)) => {
+                            unreachable!("DPOR workers produce DPOR expansions")
+                        }
+                        Err(panic_msg) => {
+                            // Re-raise a worker panic on the caller
+                            // thread, like the serial explorer would.
+                            panic!("parallel exploration worker panicked: {panic_msg}");
+                        }
+                    };
+                    let node = &mut walk[frame];
+                    debug_assert_eq!(recs.len(), node.enabled.len());
+                    node.enqueued = vec![false; recs.len()];
+                    node.recs = Some(recs.into_iter().map(Some).collect());
+                    let members: Vec<ThreadId> = node
+                        .enabled
+                        .iter()
+                        .copied()
+                        .filter(|&t| dpor.in_backtrack(frame, t) && !dpor.sleeping(frame, t))
+                        .collect();
+                    for t in members {
+                        dispatch(&mut walk, frame, t, &mut tasks_spawned);
+                    }
+                }
+                let (skipped, choice) = dpor.select(frame);
+                report.sleep_pruned += skipped;
+                let Some(choice) = choice else {
+                    report.dpor_pruned += dpor.pop_frame();
+                    walk.pop();
+                    continue;
+                };
+                if mode.sleep {
+                    // Siblings selected after this one must not redo
+                    // this choice's equivalence class.
+                    dpor.sleep_after(frame, choice);
+                }
+                let path_degree = walk[frame].path_degree;
+                let DporRec { forced, saved, end } = {
+                    let node = &mut walk[frame];
+                    let pos = node
+                        .enabled
+                        .iter()
+                        .position(|&t| t == choice)
+                        .expect("selected children are enabled");
+                    node.recs.as_mut().expect("resolved frame")[pos]
+                        .take()
+                        .expect("children are committed once")
+                };
+                let _commit = self.profile.enter(Phase::Commit);
+                report.stats.snapshots += 1;
+                report.stats.snapshot_bytes_saved += saved;
+                // Commit the edge to the race log in execution order;
+                // backtrack additions make new children reachable, so
+                // dispatch them to the pool right away.
+                let choice_fp = dpor.fp_of(frame, choice).clone();
+                for (fi, t) in dpor.commit_step(choice, choice_fp, Some(frame)) {
+                    if !dpor.sleeping(fi, t) {
+                        dispatch(&mut walk, fi, t, &mut tasks_spawned);
+                    }
+                }
+                for (t, fp) in &forced {
+                    for (fi, q) in dpor.commit_step(*t, fp.clone(), None) {
+                        if !dpor.sleeping(fi, q) {
+                            dispatch(&mut walk, fi, q, &mut tasks_spawned);
+                        }
+                    }
+                }
+                match end {
+                    DporEnd::Terminal {
+                        outcome,
+                        steps,
+                        schedule,
+                        pending,
+                    } => {
+                        // Ops the terminal cut off still race with the
+                        // executed path (see the serial driver); their
+                        // backtrack additions can make new children
+                        // reachable, so dispatch those right away.
+                        for (t, fp) in &pending {
+                            for (fi, q) in dpor.pending_race(*t, fp) {
+                                if !dpor.sleeping(fi, q) {
+                                    dispatch(&mut walk, fi, q, &mut tasks_spawned);
+                                }
+                            }
+                        }
+                        estimator.record_leaf(path_degree);
+                        self.classify(&mut report, outcome, steps, || schedule);
+                        self.progress_tick(
+                            &report,
+                            &estimator,
+                            &mut progress,
+                            &stopwatch,
+                            walk.len() as u64,
+                        );
+                        if self.limits.stop_on_first_failure && report.first_failure.is_some() {
+                            break 'walk;
+                        }
+                    }
+                    DporEnd::Branch {
+                        id,
+                        enabled,
+                        fps,
+                        cancel,
+                        task,
+                    } => {
+                        debug_assert!(task.is_none(), "selected children were dispatched");
+                        drop(task);
+                        if enabled.is_empty() {
+                            // Unreachable in practice: a state with no
+                            // enabled thread carries a terminal outcome.
+                            continue;
+                        }
+                        let child_sleep = if mode.sleep {
+                            dpor.child_sleep(frame, choice, &forced, &enabled)
+                        } else {
+                            Vec::new()
+                        };
+                        if enabled.iter().all(|t| child_sleep.contains(t)) {
+                            // Every enabled thread is asleep: the
+                            // subtree is covered by explored siblings.
+                            // Scrub the speculative expansion.
+                            report.sleep_pruned += 1;
+                            cancel.store(true, Ordering::Relaxed);
+                            if shared
+                                .results
+                                .lock()
+                                .expect("results lock")
+                                .remove(&id)
+                                .is_some()
+                            {
+                                wasted_expansions += 1;
+                            }
+                            continue;
+                        }
+                        report.stats.branch_points += 1;
+                        let child_degree = path_degree * enabled.len() as f64;
+                        let fi = dpor.push_frame(enabled.clone(), fps, child_sleep);
+                        debug_assert_eq!(fi, walk.len());
+                        walk.push(DporWalk {
+                            id,
+                            enabled,
+                            path_degree: child_degree,
+                            recs: None,
+                            enqueued: Vec::new(),
+                        });
+                        report.stats.max_depth = report.stats.max_depth.max(walk.len() as u64);
+                    }
+                }
+            }
+            drop(guard); // halts the pool; scope joins the workers
+        });
+
+        if report.schedules_run >= self.limits.max_schedules
+            && !(self.limits.stop_on_first_failure && report.first_failure.is_some())
+        {
+            report.truncated = true;
+        }
+        let stats = ParStats {
+            jobs,
+            workers: shared
+                .counters
+                .iter()
+                .map(|c| WorkerStats {
+                    claimed: c.claimed.load(Ordering::Relaxed),
+                    steals: c.steals.load(Ordering::Relaxed),
+                    filter_hits: c.filter_hits.load(Ordering::Relaxed),
+                    idle_spins: c.idle_spins.load(Ordering::Relaxed),
+                })
+                .collect(),
+            tasks_spawned,
+            wasted_expansions,
+            profiles: worker_profiles
+                .iter()
+                .map(PhaseProfiler::snapshot)
+                .collect(),
+        };
+        self.finish(&mut report, stopwatch, deadline_hit, &stats, &estimator);
+        (report, stats)
+    }
+
     /// Blocks until the expansion of `id` is available, or the deadline
     /// elapses (`None`). Never deadlocks: the coordinator only waits on
     /// prefixes that survived its own dedup check, and workers only
@@ -1002,7 +1472,7 @@ impl<'p> ParExplorer<'p> {
         }
     }
 
-    fn emit_start(&self, sleep_on: bool, jobs: usize) {
+    fn emit_start(&self, mode: Mode, jobs: usize) {
         if !self.sink.enabled() {
             return;
         }
@@ -1010,10 +1480,13 @@ impl<'p> ParExplorer<'p> {
             ("program", Value::Str(self.program.name())),
             ("threads", Value::U64(self.program.n_threads() as u64)),
             ("max_schedules", Value::U64(self.limits.max_schedules)),
-            ("sleep_sets", Value::Bool(sleep_on)),
-            ("dedup_states", Value::Bool(self.limits.dedup_states)),
-            ("jobs", Value::U64(jobs as u64)),
+            ("sleep_sets", Value::Bool(mode.sleep)),
+            ("dedup_states", Value::Bool(mode.dedup)),
         ];
+        if mode.dpor {
+            fields.push(("dpor", Value::Bool(true)));
+        }
+        fields.push(("jobs", Value::U64(jobs as u64)));
         if let Some(d) = self.limits.deadline {
             fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
         }
@@ -1096,17 +1569,12 @@ impl<'p> ParExplorer<'p> {
         estimator: &KnuthEstimator,
     ) {
         report.est_total_schedules = estimator.estimate();
-        report.truncation = if deadline_hit {
-            Some(Truncation::WallDeadline)
-        } else if report.truncated {
-            Some(Truncation::ScheduleBudget)
-        } else if report.counts.step_limit > 0 {
-            Some(Truncation::StepBudget)
-        } else if report.stats.preemption_limited > 0 {
-            Some(Truncation::PreemptionBound)
-        } else {
-            None
-        };
+        report.truncation = frontier::derive_truncation(
+            deadline_hit,
+            report.truncated,
+            report.counts.step_limit,
+            report.stats.preemption_limited,
+        );
         report.stats.wall = stopwatch.elapsed();
         if !self.sink.enabled() {
             return;
@@ -1144,6 +1612,7 @@ impl<'p> ParExplorer<'p> {
             ("snapshots", Value::U64(report.stats.snapshots)),
             ("max_depth", Value::U64(report.stats.max_depth)),
             ("sleep_pruned", Value::U64(report.sleep_pruned)),
+            ("dpor_pruned", Value::U64(report.dpor_pruned)),
             ("states_deduped", Value::U64(report.states_deduped)),
             (
                 "preemption_limited",
@@ -1183,7 +1652,7 @@ impl<'p> ParExplorer<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::Explorer;
+    use crate::explore::{Explorer, Truncation};
     use crate::expr::Expr;
     use crate::generate::{generate, GenConfig};
     use crate::program::ProgramBuilder;
@@ -1254,6 +1723,7 @@ mod tests {
             serial.sleep_pruned, par.sleep_pruned,
             "{label}: sleep_pruned"
         );
+        assert_eq!(serial.dpor_pruned, par.dpor_pruned, "{label}: dpor_pruned");
         assert_eq!(serial.truncation, par.truncation, "{label}: truncation");
         assert_eq!(
             serial.stats.branch_points, par.stats.branch_points,
@@ -1317,6 +1787,21 @@ mod tests {
                 "preemption2",
                 ExploreLimits {
                     max_preemptions: Some(2),
+                    ..base.clone()
+                },
+            ),
+            (
+                "dpor",
+                ExploreLimits {
+                    dpor: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "dpor+sleep",
+                ExploreLimits {
+                    dpor: true,
+                    sleep_sets: true,
                     ..base.clone()
                 },
             ),
@@ -1482,6 +1967,73 @@ mod tests {
         assert!(stats.total_claimed() >= report.stats.branch_points);
         assert_eq!(stats.tasks_spawned, stats.total_claimed());
         assert!(report.counts.total() > 0);
+    }
+
+    /// Two threads race on `x` while a third works on an unrelated
+    /// `y`. The third thread's steps commute with everything, which is
+    /// exactly the independence DPOR prunes — on an all-conflicting
+    /// program (every op on one variable) the persistent set is every
+    /// thread and no reduction is possible.
+    fn racy_plus_independent() -> Program {
+        let mut b = ProgramBuilder::new("racy-plus-independent");
+        let x = b.var("x", 0);
+        let y = b.var("y", 0);
+        for name in ["a", "b"] {
+            b.thread(
+                name,
+                vec![
+                    Stmt::read(x, "tmp"),
+                    Stmt::write(x, Expr::local("tmp") + Expr::lit(1)),
+                ],
+            );
+        }
+        b.thread(
+            "c",
+            vec![
+                Stmt::read(y, "tmp"),
+                Stmt::write(y, Expr::local("tmp") + Expr::lit(1)),
+                Stmt::read(y, "tmp"),
+                Stmt::write(y, Expr::local("tmp") + Expr::lit(1)),
+            ],
+        );
+        b.final_assert(Expr::shared(x).eq(Expr::lit(2)), "no lost update");
+        b.build().expect("valid program")
+    }
+
+    #[test]
+    fn dpor_prunes_but_finds_both_outcomes() {
+        let program = racy_plus_independent();
+        let limits = ExploreLimits {
+            dedup_states: false,
+            ..ExploreLimits::default()
+        };
+        let full = Explorer::new(&program).limits(limits).run();
+        let dpor = ParExplorer::new(&program).dpor().jobs(2).run();
+        assert!(
+            dpor.schedules_run * 2 <= full.schedules_run,
+            "DPOR must prune at least 2x: {} vs {}",
+            dpor.schedules_run,
+            full.schedules_run
+        );
+        assert!(dpor.dpor_pruned > 0);
+        // The outcome *kinds* survive the reduction.
+        assert!(dpor.counts.ok > 0 && dpor.counts.assert_failed > 0);
+        assert!(full.counts.ok > 0 && full.counts.assert_failed > 0);
+    }
+
+    #[test]
+    fn dpor_with_stop_on_first_failure_matches_serial() {
+        let program = racy_counter(3, 1);
+        let serial = Explorer::new(&program).dpor().stop_on_first_failure().run();
+        for jobs in [1, 2, 4] {
+            let par = ParExplorer::new(&program)
+                .dpor()
+                .stop_on_first_failure()
+                .jobs(jobs)
+                .run();
+            assert_reports_identical(&serial, &par, &format!("dpor-stop-first/jobs={jobs}"));
+        }
+        assert!(serial.found_failure());
     }
 
     #[test]

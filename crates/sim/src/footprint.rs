@@ -26,12 +26,31 @@ pub(crate) enum ObjKind {
     Io,
 }
 
+/// Blocking discipline of one access, for DPOR's co-enabledness
+/// refinement. A release and a blocking acquire of the same object are
+/// dependent but can never be *co-enabled* — the acquire is blocked
+/// exactly while the release is runnable — so their ordering is forced
+/// by the semantics and must not be treated as a reversible race (nor
+/// allowed to hide the acquire↔acquire race behind it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Role {
+    /// Never blocks (plain accesses, try-lock, signal): races normally.
+    Plain,
+    /// May block until the object is released (lock, rwlock, sem-acquire,
+    /// a condvar wakeup's mutex re-acquisition).
+    Acquire,
+    /// Unblocks pending acquirers (unlock, rw-unlock, sem-release, the
+    /// mutex half of a condvar wait).
+    Release,
+}
+
 /// One footprint entry: object + access mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Access {
     pub kind: ObjKind,
     pub index: u32,
     pub write: bool,
+    pub role: Role,
 }
 
 /// The set of objects a visible operation may touch.
@@ -42,10 +61,15 @@ pub(crate) struct Footprint {
 
 impl Footprint {
     fn push(&mut self, kind: ObjKind, index: usize, write: bool) {
+        self.push_role(kind, index, write, Role::Plain);
+    }
+
+    fn push_role(&mut self, kind: ObjKind, index: usize, write: bool, role: Role) {
         self.accesses.push(Access {
             kind,
             index: index as u32,
             write,
+            role,
         });
     }
 
@@ -59,16 +83,25 @@ impl Footprint {
             Stmt::Rmw { var, .. } | Stmt::Cas { var, .. } => {
                 fp.push(ObjKind::Var, var.index(), true)
             }
-            Stmt::Lock(m) | Stmt::Unlock(m) => fp.push(ObjKind::Mutex, m.index(), true),
+            Stmt::Lock(m) => fp.push_role(ObjKind::Mutex, m.index(), true, Role::Acquire),
+            Stmt::Unlock(m) => fp.push_role(ObjKind::Mutex, m.index(), true, Role::Release),
+            // Try-lock never blocks: whether it sees the mutex held is an
+            // observable outcome, so it races with lock/unlock normally.
             Stmt::TryLock { mutex, .. } => fp.push(ObjKind::Mutex, mutex.index(), true),
-            Stmt::RwRead(rw) => fp.push(ObjKind::Rw, rw.index(), false),
-            Stmt::RwWrite(rw) | Stmt::RwUnlock(rw) => fp.push(ObjKind::Rw, rw.index(), true),
+            Stmt::RwRead(rw) => fp.push_role(ObjKind::Rw, rw.index(), false, Role::Acquire),
+            Stmt::RwWrite(rw) => fp.push_role(ObjKind::Rw, rw.index(), true, Role::Acquire),
+            Stmt::RwUnlock(rw) => fp.push_role(ObjKind::Rw, rw.index(), true, Role::Release),
             Stmt::Wait { cond, mutex } => {
+                // The wait statement itself never blocks (it atomically
+                // releases the mutex and parks), so the cond access races
+                // with signals normally — signal-before-wait is the lost
+                // wakeup the ordering must be able to express.
                 fp.push(ObjKind::Cond, cond.index(), true);
-                fp.push(ObjKind::Mutex, mutex.index(), true);
+                fp.push_role(ObjKind::Mutex, mutex.index(), true, Role::Release);
             }
             Stmt::Signal(c) | Stmt::Broadcast(c) => fp.push(ObjKind::Cond, c.index(), true),
-            Stmt::SemAcquire(s) | Stmt::SemRelease(s) => fp.push(ObjKind::Sem, s.index(), true),
+            Stmt::SemAcquire(s) => fp.push_role(ObjKind::Sem, s.index(), true, Role::Acquire),
+            Stmt::SemRelease(s) => fp.push_role(ObjKind::Sem, s.index(), true, Role::Release),
             Stmt::Spawn(t) | Stmt::Join(t) => fp.push(ObjKind::Thread, t.index(), true),
             Stmt::Io { .. } => fp.push(ObjKind::Io, 0, true),
             Stmt::TxBegin | Stmt::TxRetry | Stmt::Yield | Stmt::Assert { .. } => {}
@@ -89,7 +122,7 @@ impl Footprint {
     /// Footprint of a condvar-wakeup mutex re-acquisition.
     pub fn of_reacquire(mutex: crate::ids::MutexId) -> Footprint {
         let mut fp = Footprint::default();
-        fp.push(ObjKind::Mutex, mutex.index(), true);
+        fp.push_role(ObjKind::Mutex, mutex.index(), true, Role::Acquire);
         fp
     }
 
@@ -102,13 +135,13 @@ impl Footprint {
         let mut fp = Footprint::default();
         match on {
             BlockedOn::Mutex(m) | BlockedOn::CondReacquire(m) => {
-                fp.push(ObjKind::Mutex, m.index(), true)
+                fp.push_role(ObjKind::Mutex, m.index(), true, Role::Acquire)
             }
-            BlockedOn::Cond(c) => fp.push(ObjKind::Cond, c.index(), true),
-            BlockedOn::RwRead(rw) => fp.push(ObjKind::Rw, rw.index(), false),
-            BlockedOn::RwWrite(rw) => fp.push(ObjKind::Rw, rw.index(), true),
-            BlockedOn::Semaphore(s) => fp.push(ObjKind::Sem, s.index(), true),
-            BlockedOn::Join(t) => fp.push(ObjKind::Thread, t.index(), true),
+            BlockedOn::Cond(c) => fp.push_role(ObjKind::Cond, c.index(), true, Role::Acquire),
+            BlockedOn::RwRead(rw) => fp.push_role(ObjKind::Rw, rw.index(), false, Role::Acquire),
+            BlockedOn::RwWrite(rw) => fp.push_role(ObjKind::Rw, rw.index(), true, Role::Acquire),
+            BlockedOn::Semaphore(s) => fp.push_role(ObjKind::Sem, s.index(), true, Role::Acquire),
+            BlockedOn::Join(t) => fp.push_role(ObjKind::Thread, t.index(), true, Role::Acquire),
         }
         fp
     }
@@ -130,12 +163,30 @@ impl Footprint {
         }
         true
     }
+
+    /// `true` when `self` (the earlier step) hands an object off to
+    /// `other`: `self` releases something `other` may block acquiring.
+    /// Such a pair is dependent but never co-enabled — while the release
+    /// is runnable the acquire is blocked — so its order is forced by
+    /// the semantics: it contributes happens-before but is never a
+    /// reversible race, and it must not hide the acquire↔acquire race
+    /// sitting behind it (DPOR keeps scanning past it with an unmasked
+    /// clock).
+    pub fn hands_off_to(&self, other: &Footprint) -> bool {
+        self.accesses.iter().any(|a| {
+            a.role == Role::Release
+                && other
+                    .accesses
+                    .iter()
+                    .any(|b| b.role == Role::Acquire && b.kind == a.kind && b.index == a.index)
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{MutexId, VarId};
+    use crate::ids::{CondId, MutexId, RwId, SemId, VarId};
     use crate::stmt::Stmt;
 
     fn fp(s: &Stmt) -> Footprint {
@@ -192,5 +243,160 @@ mod tests {
         let w1 = fp(&Stmt::write(VarId::from_index(1), 1));
         assert!(!commit.independent(&w0));
         assert!(commit.independent(&w1));
+    }
+
+    /// Every visible statement kind, over a shared pool of objects.
+    fn catalog() -> Vec<Stmt> {
+        let m = MutexId::from_index(0);
+        let c = CondId::from_index(0);
+        let rw = RwId::from_index(0);
+        let s = SemId::from_index(0);
+        let t = crate::ids::ThreadId::from_index(1);
+        vec![
+            Stmt::read(VarId::from_index(0), "x"),
+            Stmt::write(VarId::from_index(0), 1),
+            Stmt::write(VarId::from_index(1), 2),
+            Stmt::Lock(m),
+            Stmt::Unlock(m),
+            Stmt::TryLock {
+                mutex: m,
+                into: "ok",
+            },
+            Stmt::RwRead(rw),
+            Stmt::RwWrite(rw),
+            Stmt::RwUnlock(rw),
+            Stmt::Wait { cond: c, mutex: m },
+            Stmt::Signal(c),
+            Stmt::Broadcast(c),
+            Stmt::SemAcquire(s),
+            Stmt::SemRelease(s),
+            Stmt::Spawn(t),
+            Stmt::Join(t),
+            Stmt::io("log"),
+            Stmt::Yield,
+        ]
+    }
+
+    #[test]
+    fn dependence_is_symmetric_across_the_stmt_catalog() {
+        // DPOR's race scan only ever asks one direction of the relation;
+        // soundness needs the answer to be the same from either side.
+        for a in catalog() {
+            for b in catalog() {
+                assert_eq!(
+                    fp(&a).independent(&fp(&b)),
+                    fp(&b).independent(&fp(&a)),
+                    "independence must be symmetric for ({a:?}, {b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hand_off_pairs_are_directional_and_blocking_only() {
+        let m = MutexId::from_index(0);
+        let lock = fp(&Stmt::Lock(m));
+        let unlock = fp(&Stmt::Unlock(m));
+        let try_lock = fp(&Stmt::TryLock {
+            mutex: m,
+            into: "ok",
+        });
+        assert!(unlock.hands_off_to(&lock));
+        assert!(!lock.hands_off_to(&unlock), "acquire side never releases");
+        assert!(
+            !unlock.hands_off_to(&try_lock),
+            "try-lock never blocks: held-vs-free is observable, a normal race"
+        );
+        let s = SemId::from_index(0);
+        assert!(fp(&Stmt::SemRelease(s)).hands_off_to(&fp(&Stmt::SemAcquire(s))));
+        let rw = RwId::from_index(0);
+        assert!(fp(&Stmt::RwUnlock(rw)).hands_off_to(&fp(&Stmt::RwRead(rw))));
+        assert!(fp(&Stmt::RwUnlock(rw)).hands_off_to(&fp(&Stmt::RwWrite(rw))));
+        // A wait's mutex-release half hands off to a competing lock (and
+        // to a wakeup's re-acquisition), but never to a signal: signals
+        // don't block, so signal↔wait stays a reversible race — that is
+        // the lost-wakeup ordering DPOR must keep exploring.
+        let c = CondId::from_index(0);
+        let wait = fp(&Stmt::Wait { cond: c, mutex: m });
+        assert!(wait.hands_off_to(&lock));
+        assert!(!wait.hands_off_to(&fp(&Stmt::Signal(c))));
+        assert!(unlock.hands_off_to(&Footprint::of_reacquire(m)));
+        assert!(!unlock.hands_off_to(&fp(&Stmt::Lock(MutexId::from_index(1)))));
+    }
+
+    #[test]
+    fn independent_enabled_pairs_commute() {
+        // Executor-level witness for the relation's contract: wherever two
+        // enabled ops have independent footprints, stepping them in either
+        // order reaches the same state. Walks the full state space of a
+        // program mixing plain accesses with mutex traffic.
+        use crate::{Executor, Expr, ProgramBuilder};
+
+        let mut b = ProgramBuilder::new("commute");
+        let x = b.var("x", 0);
+        let y = b.var("y", 0);
+        let m = b.mutex();
+        b.thread(
+            "a",
+            vec![
+                Stmt::Lock(m),
+                Stmt::read(x, "t"),
+                Stmt::write(x, Expr::local("t") + Expr::lit(1)),
+                Stmt::Unlock(m),
+            ],
+        );
+        b.thread(
+            "b",
+            vec![Stmt::write(y, 1), Stmt::read(y, "u"), Stmt::write(x, 5)],
+        );
+        b.thread(
+            "c",
+            vec![Stmt::read(y, "v"), Stmt::Lock(m), Stmt::Unlock(m)],
+        );
+        let program = b.build().expect("builds");
+
+        let mut stack = vec![Executor::new(&program)];
+        let mut seen = std::collections::BTreeSet::new();
+        let mut pairs_checked = 0usize;
+        while let Some(exec) = stack.pop() {
+            if exec.outcome().is_some() || !seen.insert(exec.state_key()) {
+                continue;
+            }
+            let enabled = exec.enabled();
+            for (i, &p) in enabled.iter().enumerate() {
+                for &q in &enabled[i + 1..] {
+                    let (Some(fa), Some(fb)) = (exec.next_footprint(p), exec.next_footprint(q))
+                    else {
+                        continue;
+                    };
+                    if !fa.independent(&fb) {
+                        continue;
+                    }
+                    let mut pq = exec.clone();
+                    pq.step(p).expect("enabled");
+                    pq.step(q)
+                        .expect("independent step cannot disable its partner");
+                    let mut qp = exec.clone();
+                    qp.step(q).expect("enabled");
+                    qp.step(p)
+                        .expect("independent step cannot disable its partner");
+                    assert_eq!(
+                        pq.state_key(),
+                        qp.state_key(),
+                        "independent ops must commute"
+                    );
+                    pairs_checked += 1;
+                }
+            }
+            for &t in &enabled {
+                let mut child = exec.clone();
+                child.step(t).expect("enabled");
+                stack.push(child);
+            }
+        }
+        assert!(
+            pairs_checked > 50,
+            "the walk must exercise independent pairs, saw {pairs_checked}"
+        );
     }
 }

@@ -1,0 +1,258 @@
+//! The unified frontier engine.
+//!
+//! The serial [`crate::Explorer`], the workers of the parallel
+//! [`crate::ParExplorer`], and — through both — every rung of the
+//! [`crate::BudgetedExplorer`] degradation ladder drive the same DFS
+//! core. This module holds the pieces they share, so search semantics
+//! live in exactly one place:
+//!
+//! - [`Mode`]: how the requested limits resolve into the effective
+//!   reductions (dedup / sleep sets / DPOR), including which
+//!   combinations are unsound and silently disable each other.
+//! - [`advance`] / [`advance_dpor`]: the per-child forward run — step
+//!   the chosen thread, then keep stepping while there is no real
+//!   scheduling choice, classifying the edge as a terminal, a new
+//!   branch point, or (classic sleep sets) a redundant subtree.
+//! - [`budget_stop`]: the loop-top wall-deadline / schedule-budget
+//!   check, in the one order both drivers must agree on.
+//! - [`derive_truncation`]: the truncation-reason priority.
+//!
+//! Because the serial DFS stack and the parallel coordinator's commit
+//! walk both call these helpers with the same inputs in the same
+//! order, their reports are bit-identical — the serial-preorder
+//! contract the `par_equivalence` and `dpor_equivalence` suites pin.
+
+use lfm_obs::Stopwatch;
+
+use crate::exec::Executor;
+use crate::explore::{ExploreLimits, Truncation};
+use crate::footprint::Footprint;
+use crate::ids::ThreadId;
+use crate::outcome::Outcome;
+
+/// The effective reductions for a run, resolved from the requested
+/// [`ExploreLimits`] and whether a fault plan is installed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Mode {
+    /// State deduplication by [`Executor::state_key`].
+    pub dedup: bool,
+    /// Sleep-set reduction (classic, or composed with DPOR).
+    pub sleep: bool,
+    /// Source-set dynamic partial-order reduction.
+    pub dpor: bool,
+}
+
+impl Mode {
+    /// Resolves the limits. DPOR's backtracking argument assumes every
+    /// schedule in a step's equivalence class behaves identically —
+    /// step-indexed chaos decisions break that — and that no enabled
+    /// child is pruned for non-commutativity reasons — the preemption
+    /// bound does exactly that — so either silently disables it, the
+    /// same contract sleep sets already have with chaos. State dedup is
+    /// unsound *under* DPOR: a state reached along a different prefix
+    /// carries a different race log, and skipping its subtree would
+    /// skip the backtrack points only that prefix discovers.
+    pub fn resolve(limits: &ExploreLimits, chaos: bool) -> Mode {
+        let dpor = limits.dpor && !chaos && limits.max_preemptions.is_none();
+        Mode {
+            dedup: limits.dedup_states && !dpor,
+            sleep: limits.sleep_sets && !chaos,
+            dpor,
+        }
+    }
+}
+
+/// Where one child edge of the search tree ends.
+pub(crate) enum Advance {
+    /// The execution finished (or hit the step budget) with `Outcome`.
+    Terminal(Executor, Outcome),
+    /// A state with more than one enabled thread was reached.
+    Branch(Executor, Vec<ThreadId>),
+    /// Classic sleep sets proved the whole subtree redundant.
+    Redundant,
+}
+
+/// Steps `choice` on `child`, then runs forward while there is no real
+/// scheduling choice, maintaining the classic sleep set in
+/// `child_sleep`: sleepers that stop being enabled are dropped, a state
+/// whose every enabled thread is asleep ends the edge as
+/// [`Advance::Redundant`], and a forced step wakes the sleepers it
+/// conflicts with.
+pub(crate) fn advance(
+    mut child: Executor,
+    choice: ThreadId,
+    max_steps: usize,
+    sleep_on: bool,
+    child_sleep: &mut Vec<ThreadId>,
+) -> Advance {
+    child
+        .step(choice)
+        .expect("explorer only chooses enabled threads");
+    loop {
+        if let Some(outcome) = child.outcome().cloned() {
+            return Advance::Terminal(child, outcome);
+        }
+        if child.steps() >= max_steps {
+            return Advance::Terminal(child, Outcome::StepLimit);
+        }
+        let enabled = child.enabled();
+        if sleep_on {
+            child_sleep.retain(|t| enabled.contains(t));
+            if !enabled.is_empty() && enabled.iter().all(|t| child_sleep.contains(t)) {
+                return Advance::Redundant;
+            }
+        }
+        if enabled.len() == 1 {
+            if sleep_on && !child_sleep.is_empty() {
+                // Wake sleepers whose op conflicts with the forced
+                // step we are about to take.
+                let fp = child.next_footprint(enabled[0]);
+                child_sleep.retain(|&t| match (&fp, child.next_footprint(t)) {
+                    (Some(a), Some(b)) => a.independent(&b),
+                    _ => false,
+                });
+            }
+            child.step(enabled[0]).expect("sole enabled thread");
+        } else {
+            return Advance::Branch(child, enabled);
+        }
+    }
+}
+
+/// The DPOR-mode forward run: like [`advance`], but instead of sleep
+/// bookkeeping it records every forced step's `(thread, footprint)`
+/// into `forced` — the driver commits them to the race log, and the
+/// frame-side sleep sets are filtered against them. Footprints are
+/// captured *before* stepping (a step consumes the op it describes).
+pub(crate) fn advance_dpor(
+    mut child: Executor,
+    choice: ThreadId,
+    max_steps: usize,
+    forced: &mut Vec<(ThreadId, Footprint)>,
+) -> Advance {
+    child
+        .step(choice)
+        .expect("explorer only chooses enabled threads");
+    loop {
+        if let Some(outcome) = child.outcome().cloned() {
+            return Advance::Terminal(child, outcome);
+        }
+        if child.steps() >= max_steps {
+            return Advance::Terminal(child, Outcome::StepLimit);
+        }
+        let enabled = child.enabled();
+        if enabled.len() == 1 {
+            let fp = child.next_footprint(enabled[0]).unwrap_or_default();
+            forced.push((enabled[0], fp));
+            child.step(enabled[0]).expect("sole enabled thread");
+        } else {
+            return Advance::Branch(child, enabled);
+        }
+    }
+}
+
+/// Pending next-op footprints of every thread a terminal state cut off
+/// before it could run, in thread order. Both DPOR drivers feed these
+/// to [`crate::dpor::Dpor::pending_race`] when an edge ends in a
+/// terminal: a deadlocked or aborted execution leaves ops that never
+/// commit a step yet still race with the executed path, and the fixed
+/// thread order keeps the serial and parallel walks bit-identical.
+pub(crate) fn pending_ops(exec: &Executor) -> Vec<(ThreadId, Footprint)> {
+    (0..exec.program().n_threads())
+        .map(ThreadId::from_index)
+        .filter_map(|t| exec.next_footprint(t).map(|fp| (t, fp)))
+        .collect()
+}
+
+/// Why the loop-top budget check stopped the search.
+pub(crate) enum Stop {
+    /// The wall-clock deadline elapsed.
+    Deadline,
+    /// The schedule budget is exhausted.
+    Budget,
+}
+
+/// The loop-top stop check, in the one order every driver agrees on:
+/// the wall deadline first, then the schedule budget.
+pub(crate) fn budget_stop(
+    limits: &ExploreLimits,
+    stopwatch: &Stopwatch,
+    schedules_run: u64,
+) -> Option<Stop> {
+    if let Some(deadline) = limits.deadline {
+        if stopwatch.elapsed() >= deadline {
+            return Some(Stop::Deadline);
+        }
+    }
+    if schedules_run >= limits.max_schedules {
+        return Some(Stop::Budget);
+    }
+    None
+}
+
+/// The truncation-reason priority every driver reports with: a wall
+/// deadline outranks the schedule budget, which outranks the
+/// per-execution step budget, which outranks the preemption bound.
+pub(crate) fn derive_truncation(
+    deadline_hit: bool,
+    truncated: bool,
+    step_limit: u64,
+    preemption_limited: u64,
+) -> Option<Truncation> {
+    if deadline_hit {
+        Some(Truncation::WallDeadline)
+    } else if truncated {
+        Some(Truncation::ScheduleBudget)
+    } else if step_limit > 0 {
+        Some(Truncation::StepBudget)
+    } else if preemption_limited > 0 {
+        Some(Truncation::PreemptionBound)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits(dpor: bool, chaos_like: Option<u32>) -> ExploreLimits {
+        ExploreLimits {
+            dpor,
+            dedup_states: true,
+            sleep_sets: true,
+            max_preemptions: chaos_like,
+            ..ExploreLimits::default()
+        }
+    }
+
+    #[test]
+    fn dpor_disables_dedup_and_survives_sleep() {
+        let m = Mode::resolve(&limits(true, None), false);
+        assert!(m.dpor && m.sleep && !m.dedup);
+    }
+
+    #[test]
+    fn chaos_and_preemption_bounds_disable_dpor() {
+        let m = Mode::resolve(&limits(true, None), true);
+        assert!(!m.dpor && !m.sleep && m.dedup);
+        let m = Mode::resolve(&limits(true, Some(2)), false);
+        assert!(!m.dpor && m.sleep && m.dedup);
+    }
+
+    #[test]
+    fn classic_mode_passes_limits_through() {
+        let m = Mode::resolve(&limits(false, None), false);
+        assert!(!m.dpor && m.sleep && m.dedup);
+    }
+
+    #[test]
+    fn truncation_priority_is_stable() {
+        use Truncation::*;
+        assert_eq!(derive_truncation(true, true, 1, 1), Some(WallDeadline));
+        assert_eq!(derive_truncation(false, true, 1, 1), Some(ScheduleBudget));
+        assert_eq!(derive_truncation(false, false, 1, 1), Some(StepBudget));
+        assert_eq!(derive_truncation(false, false, 0, 1), Some(PreemptionBound));
+        assert_eq!(derive_truncation(false, false, 0, 0), None);
+    }
+}

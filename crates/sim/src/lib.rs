@@ -65,10 +65,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod dpor;
 mod error;
 mod exec;
 mod expr;
 mod footprint;
+mod frontier;
 mod fxhash;
 mod ids;
 mod outcome;
@@ -96,7 +98,7 @@ pub mod witness;
 pub use budget::{Budget, BudgetReport, BudgetedExplorer, Confidence, DegradeLevel};
 pub use coverage::{PairCoverage, PairKey};
 pub use error::{BuildError, ExecError};
-pub use exec::{Executor, RecordMode, StepResult};
+pub use exec::{Executor, RecordMode, ReplayDeviation, StepResult};
 pub use explore::{
     ExploreLimits, ExploreReport, ExploreStats, Explorer, OutcomeCounts, Truncation,
 };

@@ -114,7 +114,11 @@ pub fn minimize(program: &Program, schedule: &Schedule, max_steps: usize) -> Min
     let mut replays = 0usize;
     let mut check = |candidate: &Schedule, target: &Outcome| -> Option<Schedule> {
         let mut exec = Executor::new(program);
-        let outcome = exec.replay(candidate, max_steps);
+        // Same checked-replay helper as trace reconstruction and
+        // witness verification: candidates with skipped or filled-in
+        // choices are fine (that grace is what makes subset removal
+        // sound), but they must degrade by the one shared rule.
+        let (outcome, _) = exec.replay_checked(candidate, max_steps);
         replays += 1;
         steps_hist.record(exec.steps() as u64);
         (outcome == *target).then(|| exec.schedule_taken().clone())
@@ -122,7 +126,11 @@ pub fn minimize(program: &Program, schedule: &Schedule, max_steps: usize) -> Min
 
     // Resolve the target outcome and the explicit baseline schedule.
     let mut exec = Executor::new(program);
-    let target = exec.replay(schedule, max_steps);
+    let (target, baseline_deviation) = exec.replay_checked(schedule, max_steps);
+    debug_assert_eq!(
+        baseline_deviation.out_of_range, 0,
+        "minimizing a schedule from a different program"
+    );
     let baseline = exec.schedule_taken().clone();
     let switches_before = baseline.context_switches();
 

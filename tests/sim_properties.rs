@@ -341,6 +341,98 @@ proptest! {
         prop_assert_eq!(&par.first_ok, &serial.first_ok);
         prop_assert_eq!(par.stats.snapshots, serial.stats.snapshots);
     }
+
+    /// Source-set DPOR visits at least one representative of every
+    /// Mazurkiewicz trace class: on any generated program the outcome
+    /// kinds — and, for executions that run to their natural end, the
+    /// final states — match full enumeration exactly, while never
+    /// running *more* schedules. Aborting outcomes (assert failures)
+    /// cut executions mid-class, so only their display form is owed,
+    /// not the machine state at the cut.
+    #[test]
+    fn dpor_outcome_set_equals_full_enumeration(
+        seed in 0u64..2_000,
+        threads in 2usize..=3,
+        ops in 2usize..=4,
+        locked_pct in 0u8..=100,
+        sleep in any::<bool>(),
+    ) {
+        let config = GenConfig {
+            threads,
+            vars: 2,
+            mutexes: 1,
+            ops_per_thread: ops,
+            locked_pct,
+            tx_pct: 0,
+        };
+        let program = generate(&config, seed);
+        let limits = |dpor: bool| ExploreLimits {
+            max_schedules: 100_000,
+            dedup_states: false,
+            sleep_sets: dpor && sleep,
+            dpor,
+            ..ExploreLimits::default()
+        };
+        let terminals = |limits: ExploreLimits| {
+            let mut set = std::collections::BTreeSet::new();
+            let report = Explorer::new(&program)
+                .limits(limits)
+                .run_with_callback(|exec, outcome| {
+                    let keyed = matches!(outcome, Outcome::Ok | Outcome::Deadlock { .. });
+                    set.insert((outcome.to_string(), if keyed { exec.state_key() } else { 0 }));
+                });
+            (report, set)
+        };
+        let (full, full_set) = terminals(limits(false));
+        let (reduced, dpor_set) = terminals(limits(true));
+        prop_assert!(!full.truncated && full.counts.step_limit == 0,
+            "generated straight-line programs explore exhaustively");
+        prop_assert!(!reduced.truncated);
+        prop_assert_eq!(&dpor_set, &full_set);
+        prop_assert!(reduced.schedules_run <= full.schedules_run,
+            "DPOR ran {} schedules, full enumeration {}",
+            reduced.schedules_run, full.schedules_run);
+    }
+
+    /// The parallel DPOR walk commits in serial preorder: whatever the
+    /// generated program, worker count, or sleep-set composition, its
+    /// merged report equals the serial DPOR explorer's field for field.
+    #[test]
+    fn parallel_dpor_is_bit_identical_to_serial(
+        seed in 0u64..2_000,
+        locked_pct in 0u8..=100,
+        jobs in 1usize..=4,
+        sleep in any::<bool>(),
+    ) {
+        let config = GenConfig {
+            threads: 3,
+            vars: 2,
+            mutexes: 1,
+            ops_per_thread: 3,
+            locked_pct,
+            tx_pct: 0,
+        };
+        let program = generate(&config, seed);
+        let limits = ExploreLimits {
+            max_schedules: 100_000,
+            dedup_states: false,
+            sleep_sets: sleep,
+            dpor: true,
+            ..ExploreLimits::default()
+        };
+        let serial = Explorer::new(&program).limits(limits.clone()).run();
+        let par = ParExplorer::new(&program).limits(limits).jobs(jobs).run();
+        prop_assert_eq!(par.schedules_run, serial.schedules_run);
+        prop_assert_eq!(par.steps_total, serial.steps_total);
+        prop_assert_eq!(&par.counts, &serial.counts);
+        prop_assert_eq!(par.sleep_pruned, serial.sleep_pruned);
+        prop_assert_eq!(par.dpor_pruned, serial.dpor_pruned);
+        prop_assert_eq!(&par.first_failure, &serial.first_failure);
+        prop_assert_eq!(&par.first_ok, &serial.first_ok);
+        prop_assert_eq!(par.truncated, serial.truncated);
+        prop_assert_eq!(par.stats.branch_points, serial.stats.branch_points);
+        prop_assert_eq!(par.stats.max_depth, serial.stats.max_depth);
+    }
 }
 
 #[test]
