@@ -11,14 +11,18 @@
 //! cargo run -p lfm-bench --bin tables -- --check-serve BENCH_serve.json
 //! ```
 //!
-//! `--bench-explore` runs the E-perf and E-dpor measurements at their
-//! reference budgets and writes the `lfm-bench-explore/v1` document; CI
-//! uploads it as an artifact. `--check-explore` reruns both and exits
-//! non-zero when the DPOR gate fails (outcome-set divergence from full
-//! enumeration, or less than the 2x schedule-reduction floor on the two
-//! deepest kernels — deterministic, enforced on every host) or when
-//! serial explorer throughput on the gate kernel regressed more than
-//! 30% against the committed baseline (skipped on single-core hosts,
+//! `--bench-explore` runs the E-perf, E-dpor and E-fuse measurements
+//! at their reference budgets and writes the `lfm-bench-explore/v1`
+//! document; CI uploads it as an artifact. `--check-explore` reruns
+//! them and exits non-zero when the DPOR gate fails (outcome-set
+//! divergence from full enumeration, or less than the 2x
+//! schedule-reduction floor on the two deepest kernels), when the fuse
+//! gate fails (fused outcome sets diverging from unfused ones, fusion
+//! increasing any schedule count, or less than the 1.5x
+//! fusion-alone reduction floor on `livelock_retry` / `toctou_flag`)
+//! — both deterministic, enforced on every host — or when serial
+//! explorer throughput on the gate kernel regressed more than 30%
+//! against the committed baseline (skipped on single-core hosts,
 //! where the wall clock is too noisy to gate on).
 //! `--bench-serve` / `--check-serve` do the same for the E-serve load
 //! harness (`lfm-bench-serve/v1`): the check always enforces zero wrong
@@ -39,7 +43,8 @@ const CHECK_FLOOR: f64 = 0.70;
 fn bench_explore(path: &str) -> ! {
     let report = lfm_bench::perf_measure(lfm_bench::PERF_BUDGET);
     let dpor = lfm_bench::dpor_measure(lfm_bench::DPOR_BUDGET);
-    let doc = lfm_bench::perf_json(&report, &dpor);
+    let fuse = lfm_bench::fuse_measure(lfm_bench::FUSE_BUDGET);
+    let doc = lfm_bench::perf_json(&report, &dpor, &fuse);
     if let Err(e) = std::fs::write(path, &doc) {
         eprintln!("cannot write explore benchmark to `{path}`: {e}");
         std::process::exit(1);
@@ -65,8 +70,26 @@ fn bench_explore(path: &str) -> ! {
     for f in &dpor_failures {
         eprintln!("dpor gate: {f}");
     }
+    for kernel in lfm_bench::FUSE_GATE_KERNELS {
+        if let Some(r) = fuse.row(kernel) {
+            eprintln!(
+                "{}: {} unfused vs {} fused schedules (reduction {}{:.2}x, \
+                 dpor composition {:.2}x)",
+                r.kernel,
+                r.base_schedules,
+                r.fused_schedules,
+                if r.base_complete { "" } else { ">=" },
+                r.reduction,
+                r.composed_reduction,
+            );
+        }
+    }
+    let fuse_failures = fuse.gate_failures();
+    for f in &fuse_failures {
+        eprintln!("fuse gate: {f}");
+    }
     eprintln!("explore benchmark written to {path}");
-    let ok = report.all_identical() && dpor_failures.is_empty();
+    let ok = report.all_identical() && dpor_failures.is_empty() && fuse_failures.is_empty();
     std::process::exit(if ok { 0 } else { 1 });
 }
 
@@ -113,6 +136,40 @@ fn check_explore(path: &str) -> ! {
         std::process::exit(1);
     }
     eprintln!("dpor gate passed");
+    // The fuse half: equally deterministic — fused outcome sets must
+    // equal unfused ones mode-for-mode, fusion must never increase a
+    // schedule count, and the gate kernels must clear the
+    // fusion-alone reduction floor.
+    let fuse = lfm_bench::fuse_measure(lfm_bench::FUSE_BUDGET);
+    for kernel in lfm_bench::FUSE_GATE_KERNELS {
+        let Some(r) = fuse.row(kernel) else { continue };
+        let drift = match lfm_bench::baseline_fused_schedules(&baseline, r.kernel) {
+            Some(expected) if expected != r.fused_schedules => format!(
+                " (baseline ran {expected} — search semantics drifted; \
+                 regenerate with --bench-explore if intentional)"
+            ),
+            Some(_) => String::new(),
+            None => " (no fuse baseline committed)".to_string(),
+        };
+        eprintln!(
+            "{}: {} unfused vs {} fused schedules, reduction {}{:.2}x, \
+             dpor composition {:.2}x{drift}",
+            r.kernel,
+            r.base_schedules,
+            r.fused_schedules,
+            if r.base_complete { "" } else { ">=" },
+            r.reduction,
+            r.composed_reduction,
+        );
+    }
+    let fuse_failures = fuse.gate_failures();
+    if !fuse_failures.is_empty() {
+        for f in &fuse_failures {
+            eprintln!("fuse gate: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("fuse gate passed");
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -318,8 +375,8 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown artifact `{sel}`; expected t1..t9, f1..f5, \
-                     escope, edetect, etm, echaos, epar, eperf, edpor, ewit, \
-                     eobs, eserve, or findings"
+                     escope, edetect, etm, echaos, epar, eperf, edpor, efuse, \
+                     ewit, eobs, eserve, or findings"
                 );
                 std::process::exit(2);
             }

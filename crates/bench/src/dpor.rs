@@ -135,6 +135,13 @@ fn limits(dpor: bool, max_schedules: u64) -> ExploreLimits {
         dedup_states: false,
         sleep_sets: false,
         dpor,
+        // Step fusion off on both sides: E-dpor isolates DPOR's own
+        // reduction against the seed's full-enumeration baseline, and
+        // E-fuse measures fusion separately. (Fusion would also let
+        // full enumeration *complete* `livelock_retry` inside the
+        // budget, firing the outcome oracle on a known pre-existing
+        // source-set DPOR gap there — see ROADMAP.)
+        fuse: false,
         ..ExploreLimits::default()
     }
 }

@@ -5,7 +5,7 @@
 //! - the **`tables` binary** (`cargo run -p lfm-bench --bin tables`)
 //!   regenerates every table (T1–T9), figure demo (F1–F5) and implication
 //!   experiment (E-scope, E-detect, E-tm, E-chaos, E-par, E-perf, E-dpor,
-//!   E-wit, E-obs) of the study; pass
+//!   E-fuse, E-wit, E-obs) of the study; pass
 //!   `--only <id>` to print one artifact, `--markdown` for Markdown;
 //! - the **criterion benches** (`cargo bench -p lfm-bench`) measure the
 //!   substrates: exploration throughput per kernel family, detector
@@ -18,6 +18,7 @@
 
 pub mod chaos;
 pub mod dpor;
+pub mod fuse;
 pub mod obs;
 pub mod par;
 pub mod perf;
@@ -26,11 +27,15 @@ pub mod snapshot;
 
 pub use chaos::{chaos_comparison, chaos_table, ChaosRow};
 pub use dpor::{dpor_measure, dpor_table, DporReport, DporRow, DPOR_BUDGET, DPOR_FLOOR};
+pub use fuse::{
+    fuse_measure, fuse_table, FuseReport, FuseRow, FUSE_BUDGET, FUSE_FLOOR, FUSE_GATE_KERNELS,
+};
 pub use obs::{obs_json, obs_measure, obs_table, ObsReport, ObsRow, OBS_BUDGET, OBS_TARGET_PCT};
 pub use par::{par_scaling, par_table, ParRow, ParScaling};
 pub use perf::{
-    baseline_dpor_schedules, baseline_states_per_sec, perf_json, perf_measure, perf_table,
-    PerfReport, PerfRow, PerfSpeedup, BENCH_EXPLORE_SCHEMA, PERF_BUDGET, PERF_GATE_KERNEL,
+    baseline_dpor_schedules, baseline_fused_schedules, baseline_states_per_sec, perf_json,
+    perf_measure, perf_table, PerfReport, PerfRow, PerfSpeedup, BENCH_EXPLORE_SCHEMA, PERF_BUDGET,
+    PERF_GATE_KERNEL,
 };
 pub use serve::{
     baseline_requests_per_sec, serve_json, serve_measure, serve_table, trace_overhead_measure,
@@ -74,6 +79,8 @@ pub enum Artifact {
     Perf,
     /// E-dpor.
     Dpor,
+    /// E-fuse.
+    Fuse,
     /// E-wit.
     Witness,
     /// E-obs.
@@ -98,6 +105,7 @@ impl Artifact {
             "epar" | "e-par" => Some(Artifact::Par),
             "eperf" | "e-perf" => Some(Artifact::Perf),
             "edpor" | "e-dpor" => Some(Artifact::Dpor),
+            "efuse" | "e-fuse" => Some(Artifact::Fuse),
             "ewit" | "e-wit" => Some(Artifact::Witness),
             "eobs" | "e-obs" => Some(Artifact::Obs),
             "eserve" | "e-serve" => Some(Artifact::Serve),
@@ -130,6 +138,7 @@ impl Artifact {
             Artifact::Par,
             Artifact::Perf,
             Artifact::Dpor,
+            Artifact::Fuse,
             Artifact::Witness,
             Artifact::Obs,
             Artifact::Serve,
@@ -154,6 +163,7 @@ impl Artifact {
             Artifact::Par => "epar".to_string(),
             Artifact::Perf => "eperf".to_string(),
             Artifact::Dpor => "edpor".to_string(),
+            Artifact::Fuse => "efuse".to_string(),
             Artifact::Witness => "ewit".to_string(),
             Artifact::Obs => "eobs".to_string(),
             Artifact::Serve => "eserve".to_string(),
@@ -206,6 +216,7 @@ impl Artifact {
             Artifact::Par => table(par::par_table(20_000)),
             Artifact::Perf => table(perf::perf_table(perf::PERF_BUDGET)),
             Artifact::Dpor => table(dpor::dpor_table(dpor::DPOR_BUDGET)),
+            Artifact::Fuse => table(fuse::fuse_table(fuse::FUSE_BUDGET)),
             Artifact::Witness => table(witness_table()),
             Artifact::Obs => table(obs::obs_table(obs::OBS_BUDGET)),
             Artifact::Serve => table(serve::serve_table()),
@@ -266,6 +277,8 @@ mod tests {
         assert_eq!(Artifact::parse("e-perf"), Some(Artifact::Perf));
         assert_eq!(Artifact::parse("edpor"), Some(Artifact::Dpor));
         assert_eq!(Artifact::parse("e-dpor"), Some(Artifact::Dpor));
+        assert_eq!(Artifact::parse("efuse"), Some(Artifact::Fuse));
+        assert_eq!(Artifact::parse("e-fuse"), Some(Artifact::Fuse));
         assert_eq!(Artifact::parse("ewit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("e-wit"), Some(Artifact::Witness));
         assert_eq!(Artifact::parse("eobs"), Some(Artifact::Obs));
@@ -282,7 +295,7 @@ mod tests {
     #[test]
     fn all_lists_every_artifact() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 1 + 9 + 5 + 12);
+        assert_eq!(all.len(), 1 + 9 + 5 + 13);
     }
 
     #[test]

@@ -309,10 +309,15 @@ pub fn perf_table(max_schedules: u64) -> Table {
 }
 
 /// Serializes the measurement as the `BENCH_explore.json` document
-/// (`lfm-bench-explore/v1`). The `dpor` section is additive to the
-/// schema: older documents simply lack it, and
-/// [`baseline_dpor_schedules`] returns `None` on them.
-pub fn perf_json(report: &PerfReport, dpor: &crate::dpor::DporReport) -> String {
+/// (`lfm-bench-explore/v1`). The `dpor` and `fuse` sections are
+/// additive to the schema: older documents simply lack them, and
+/// [`baseline_dpor_schedules`] / [`baseline_fused_schedules`] return
+/// `None` on them.
+pub fn perf_json(
+    report: &PerfReport,
+    dpor: &crate::dpor::DporReport,
+    fuse: &crate::fuse::FuseReport,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(4096);
     let _ = write!(
@@ -391,6 +396,44 @@ pub fn perf_json(report: &PerfReport, dpor: &crate::dpor::DporReport) -> String 
             r.outcomes_match,
         );
     }
+    out.push_str("]},\"fuse\":{");
+    let _ = write!(
+        out,
+        "\"budget\":{},\"floor\":{},\"rows\":[",
+        fuse.budget,
+        json::number_f64(crate::fuse::FUSE_FLOOR),
+    );
+    for (i, r) in fuse.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"kernel\":{},\"family\":{},\"base_schedules\":{},\"base_complete\":{},\
+             \"fused_schedules\":{},\"fused_complete\":{},\"fused_steps\":{},\
+             \"reduction\":{},\"dpor_schedules\":{},\"dpor_complete\":{},\
+             \"dpor_fused_schedules\":{},\"dpor_fused_complete\":{},\
+             \"composed_reduction\":{},\"compared\":{},\"outcomes_match\":{},\
+             \"dpor_compared\":{},\"dpor_outcomes_match\":{}}}",
+            json::quote(r.kernel),
+            json::quote(&r.family),
+            r.base_schedules,
+            r.base_complete,
+            r.fused_schedules,
+            r.fused_complete,
+            r.fused_steps,
+            json::number_f64(r.reduction),
+            r.dpor_schedules,
+            r.dpor_complete,
+            r.dpor_fused_schedules,
+            r.dpor_fused_complete,
+            json::number_f64(r.composed_reduction),
+            r.compared,
+            r.outcomes_match,
+            r.dpor_compared,
+            r.dpor_outcomes_match,
+        );
+    }
     out.push_str("]}}");
     out
 }
@@ -407,6 +450,18 @@ pub fn baseline_dpor_schedules(doc: &str, kernel: &str) -> Option<u64> {
     let marker = format!("\"kernel\":{}", json::quote(kernel));
     let at = tail.find(&marker)?;
     object_field(&tail[at..], "dpor_schedules").map(|v| v as u64)
+}
+
+/// Extracts the committed fused schedule count for `kernel` from a
+/// `BENCH_explore.json` document, for the same deterministic drift
+/// check [`baseline_dpor_schedules`] gives DPOR. Returns `None` for
+/// documents predating the `fuse` section.
+pub fn baseline_fused_schedules(doc: &str, kernel: &str) -> Option<u64> {
+    let fuse = doc.find("\"fuse\":")?;
+    let tail = &doc[fuse..];
+    let marker = format!("\"kernel\":{}", json::quote(kernel));
+    let at = tail.find(&marker)?;
+    object_field(&tail[at..], "fused_schedules").map(|v| v as u64)
 }
 
 /// Extracts the gate throughput for `kernel` from a
@@ -503,7 +558,8 @@ mod tests {
     fn json_round_trips_the_gate_kernel() {
         let report = perf_measure(100);
         let dpor = crate::dpor::dpor_measure(500);
-        let doc = perf_json(&report, &dpor);
+        let fuse = crate::fuse::fuse_measure(500);
+        let doc = perf_json(&report, &dpor, &fuse);
         assert!(doc.starts_with("{\"schema\":\"lfm-bench-explore/v1\""));
         let opens = doc.matches('{').count() + doc.matches('[').count();
         let closes = doc.matches('}').count() + doc.matches(']').count();
@@ -529,8 +585,17 @@ mod tests {
         );
         assert_eq!(baseline_dpor_schedules(&doc, "no_such_kernel"), None);
         assert_eq!(baseline_dpor_schedules("{}", PERF_GATE_KERNEL), None);
-        // The sweep extractor must not be confused by the dpor rows
-        // that mention the same kernel ids further down the document.
+        // The fuse section round-trips exactly too.
+        let fuse_gate = fuse.row(PERF_GATE_KERNEL).expect("gate kernel measured");
+        assert_eq!(
+            baseline_fused_schedules(&doc, PERF_GATE_KERNEL),
+            Some(fuse_gate.fused_schedules)
+        );
+        assert_eq!(baseline_fused_schedules(&doc, "no_such_kernel"), None);
+        assert_eq!(baseline_fused_schedules("{}", PERF_GATE_KERNEL), None);
+        // The sweep extractor must not be confused by the dpor or fuse
+        // rows that mention the same kernel ids further down the
+        // document.
         assert!(baseline_states_per_sec(&doc, PERF_GATE_KERNEL).is_some());
     }
 }

@@ -15,7 +15,7 @@
 //! lfm explore <id> --progress                      # periodic progress estimates
 //! lfm witness <id> --out w.json --chrome t.json   # minimized portable witness
 //! lfm replay w.json                                # verify a saved witness
-//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|edpor|ewit|eobs|eserve|findings]
+//! lfm tables [t1..t9|f1..f5|escope|edetect|etest|ecov|etm|echaos|epar|edpor|efuse|ewit|eobs|eserve|findings]
 //! lfm serve --addr 127.0.0.1:0 --workers 4         # model-checking service
 //! lfm bench-serve --chaos-net 42 --shutdown        # closed-loop load run
 //! lfm version                                      # binary + schema versions
@@ -86,7 +86,8 @@ pub enum Command {
         /// per-phase wall time) after the results.
         stats: bool,
     },
-    /// `lfm explore <id> [--jobs N] [--dpor] [--stats] [--progress]`
+    /// `lfm explore <id> [--jobs N] [--dpor] [--no-fuse] [--stats]
+    /// [--progress]`
     Explore {
         /// The kernel id.
         id: String,
@@ -98,6 +99,11 @@ pub enum Command {
         /// kinds are preserved; schedule counts shrink. Ignored under
         /// `--chaos` (step-indexed faults break trace equivalence).
         dpor: bool,
+        /// Disable invisible-step fusion, restoring a branch point at
+        /// every multi-enabled state. Fusion is on by default (it
+        /// preserves outcome sets and shrinks schedule counts); the
+        /// flag exists as the differential baseline and escape hatch.
+        no_fuse: bool,
         /// Print per-worker scheduling counters and phase-attributed
         /// wall time after the report.
         stats: bool,
@@ -395,11 +401,14 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         Some("explore") => {
             let id = it.next().ok_or_else(|| {
                 UsageError(
-                    "usage: lfm explore <id> [--jobs N] [--dpor] [--stats] [--progress]".into(),
+                    "usage: lfm explore <id> [--jobs N] [--dpor] [--no-fuse] [--stats] \
+                     [--progress]"
+                        .into(),
                 )
             })?;
             let mut jobs = None;
             let mut dpor = false;
+            let mut no_fuse = false;
             let mut stats = false;
             let mut progress = false;
             while let Some(flag) = it.next() {
@@ -417,6 +426,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                         jobs = Some(n);
                     }
                     "--dpor" => dpor = true,
+                    "--no-fuse" => no_fuse = true,
                     "--stats" => stats = true,
                     "--progress" => progress = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
@@ -426,6 +436,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 id: id.to_owned(),
                 jobs,
                 dpor,
+                no_fuse,
                 stats,
                 progress,
             })
@@ -483,7 +494,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             UsageError(format!(
                                 "unknown artifact `{sel}` (t1..t9, f1..f5, escope, \
                                  edetect, etest, ecov, etm, echaos, epar, eperf, \
-                                 edpor, ewit, eobs, eserve, findings)"
+                                 edpor, efuse, ewit, eobs, eserve, findings)"
                             ))
                         })?);
                     }
@@ -669,14 +680,18 @@ USAGE:
   lfm kernel <id> --source          print the kernel as paper-figure pseudo-code
   lfm kernel <id> --witness         show the failure witness as a timeline
   lfm kernel <id> --stats           also print exploration metrics
-  lfm explore <id> [--jobs N] [--dpor] [--stats] [--progress]
+  lfm explore <id> [--jobs N] [--dpor] [--no-fuse] [--stats] [--progress]
                                     model-check the buggy variant across N
                                     worker threads (default: all cores, max
                                     8); the merged report is bit-identical
                                     to the serial explorer's; --dpor prunes
                                     interleavings that only reorder
                                     independent steps (source-set dynamic
-                                    partial-order reduction); --stats adds
+                                    partial-order reduction); --no-fuse
+                                    disables invisible-step fusion (on by
+                                    default: ops that touch nothing shared
+                                    run inside their parent edge instead of
+                                    branching); --stats adds
                                     per-worker scheduling counters and
                                     phase-attributed wall time; --progress
                                     streams periodic tree-size estimates
@@ -694,8 +709,8 @@ USAGE:
                                     regenerate tables/figures/experiments
                                     (t1..t9, f1..f5, escope, edetect, etest,
                                      ecov, etm, echaos, epar, eperf, edpor,
-                                     ewit, eobs, eserve, findings; default:
-                                     everything)
+                                     efuse, ewit, eobs, eserve, findings;
+                                     default: everything)
   lfm serve [--addr A] [--workers N] [--queue N] [--max-conns N]
             [--dpor] [--trace <path>] [--trace-slow-ms N]
                                     run the fingerprint-keyed model-checking
@@ -1001,6 +1016,7 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
             id,
             jobs,
             dpor,
+            no_fuse,
             stats,
             progress,
         } => {
@@ -1011,7 +1027,9 @@ pub fn run_opts(command: Command, sink: Arc<dyn Sink>, opts: &RunOptions) -> Run
                     deadline_tripped: false,
                 };
             };
-            return run_explore(&kernel, &id, jobs, dpor, stats, progress, opts, &sink);
+            return run_explore(
+                &kernel, &id, jobs, dpor, no_fuse, stats, progress, opts, &sink,
+            );
         }
         Command::Witness { id, out, chrome } => {
             let Some(kernel) = registry::by_id(&id) else {
@@ -1174,6 +1192,7 @@ fn run_explore(
     id: &str,
     jobs: Option<usize>,
     dpor: bool,
+    no_fuse: bool,
     stats: bool,
     progress: bool,
     opts: &RunOptions,
@@ -1204,6 +1223,9 @@ fn run_explore(
     if dpor {
         explorer = explorer.dpor();
     }
+    if no_fuse {
+        explorer = explorer.no_fuse();
+    }
     if progress {
         explorer = explorer.progress_every(ProgressTracker::DEFAULT_EVERY);
     }
@@ -1226,6 +1248,11 @@ fn run_explore(
         } else {
             "dpor: on (source-set partial-order reduction)\n"
         });
+    }
+    if no_fuse {
+        out.push_str("fuse: off (every multi-enabled state branches)\n");
+    } else if opts.chaos.is_some() {
+        out.push_str("fuse: disabled by --chaos (fault decisions are step-indexed)\n");
     }
     if let Some(deadline) = opts.deadline {
         out.push_str(&format!("deadline: {}\n", fmt_duration(deadline)));
@@ -1273,7 +1300,10 @@ fn run_explore(
             .row("snapshot bytes saved", report.stats.snapshot_bytes_saved)
             .row("dedup hits (at merge)", report.states_deduped)
             .row("sleep-set prunes", report.sleep_pruned)
-            .row("dpor prunes", report.dpor_pruned);
+            .row("dpor prunes", report.dpor_pruned)
+            .row("branch points", report.stats.branch_points)
+            .row("fused steps", report.stats.fused_steps)
+            .row("snapshots elided", report.stats.snapshots_elided);
         for (i, w) in par.workers.iter().enumerate() {
             table.row(
                 format!("worker {i}"),
@@ -1349,6 +1379,24 @@ fn explore_metrics(
         "Schedules proved redundant by source-set DPOR.",
         kernel_label,
         report.dpor_pruned,
+    );
+    r.counter_with(
+        "lfm_explore_branch_points",
+        "States with more than one enabled thread that were expanded.",
+        kernel_label,
+        report.stats.branch_points,
+    );
+    r.counter_with(
+        "lfm_explore_fused_steps",
+        "Invisible steps fused into their parent edge instead of branching.",
+        kernel_label,
+        report.stats.fused_steps,
+    );
+    r.counter_with(
+        "lfm_explore_snapshots_elided",
+        "Branch-point children whose snapshot clone was elided (final survivor).",
+        kernel_label,
+        report.stats.snapshots_elided,
     );
     r.counter_with(
         "lfm_explore_tasks_spawned",
@@ -2198,6 +2246,7 @@ mod tests {
                 id: "abba".into(),
                 jobs: None,
                 dpor: false,
+                no_fuse: false,
                 stats: false,
                 progress: false
             }
@@ -2208,6 +2257,7 @@ mod tests {
                 id: "abba".into(),
                 jobs: Some(4),
                 dpor: false,
+                no_fuse: false,
                 stats: true,
                 progress: false
             }
@@ -2218,6 +2268,7 @@ mod tests {
                 id: "abba".into(),
                 jobs: None,
                 dpor: false,
+                no_fuse: false,
                 stats: false,
                 progress: true
             }
@@ -2228,6 +2279,18 @@ mod tests {
                 id: "abba".into(),
                 jobs: None,
                 dpor: true,
+                no_fuse: false,
+                stats: false,
+                progress: false
+            }
+        );
+        assert_eq!(
+            parse(&args(&["explore", "abba", "--no-fuse"])).unwrap(),
+            Command::Explore {
+                id: "abba".into(),
+                jobs: None,
+                dpor: false,
+                no_fuse: true,
                 stats: false,
                 progress: false
             }
@@ -2402,6 +2465,7 @@ mod tests {
             id: "counter_rmw".into(),
             jobs: Some(2),
             dpor: false,
+            no_fuse: false,
             stats: false,
             progress: false,
         });
@@ -2423,6 +2487,7 @@ mod tests {
             id: "counter_rmw".into(),
             jobs: Some(2),
             dpor: true,
+            no_fuse: false,
             stats: true,
             progress: false,
         });
@@ -2442,11 +2507,52 @@ mod tests {
     }
 
     #[test]
+    fn run_explore_no_fuse_matches_fused_verdicts_and_prints_counters() {
+        // livelock_retry is full of yields: fused and unfused runs must
+        // agree on the verdict while the fused one runs fewer
+        // schedules, and --stats surfaces all three fusion counters.
+        let fused = run(Command::Explore {
+            id: "livelock_retry".into(),
+            jobs: Some(2),
+            dpor: false,
+            no_fuse: false,
+            stats: true,
+            progress: false,
+        });
+        assert!(fused.contains("fused steps"), "{fused}");
+        assert!(fused.contains("branch points"), "{fused}");
+        assert!(fused.contains("snapshots elided"), "{fused}");
+        let unfused = run(Command::Explore {
+            id: "livelock_retry".into(),
+            jobs: Some(2),
+            dpor: false,
+            no_fuse: true,
+            stats: true,
+            progress: false,
+        });
+        assert!(unfused.contains("fuse: off"), "{unfused}");
+        assert!(!fused.contains("fuse: off"), "{fused}");
+        let schedules = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("buggy: "))
+                .and_then(|l| l.strip_prefix("buggy: "))
+                .and_then(|l| l.split(' ').next())
+                .and_then(|n| n.parse::<u64>().ok())
+                .expect("report line present")
+        };
+        assert!(
+            schedules(&fused) < schedules(&unfused),
+            "fusion did not shrink the schedule count:\n{fused}\n{unfused}"
+        );
+    }
+
+    #[test]
     fn run_explore_stats_lists_every_worker() {
         let out = run(Command::Explore {
             id: "counter_rmw".into(),
             jobs: Some(3),
             dpor: false,
+            no_fuse: false,
             stats: true,
             progress: false,
         });
@@ -2475,6 +2581,7 @@ mod tests {
                 id: "counter_rmw".into(),
                 jobs: Some(2),
                 dpor: false,
+                no_fuse: false,
                 stats: false,
                 progress: false,
             },
@@ -2490,6 +2597,9 @@ mod tests {
         for needle in [
             "# TYPE lfm_explore_schedules counter",
             "lfm_explore_schedules_total{kernel=\"counter_rmw\"}",
+            "lfm_explore_branch_points_total{kernel=\"counter_rmw\"}",
+            "lfm_explore_fused_steps_total{kernel=\"counter_rmw\"}",
+            "lfm_explore_snapshots_elided_total{kernel=\"counter_rmw\"}",
             "lfm_explore_states_per_sec{kernel=\"counter_rmw\"}",
             "lfm_explore_est_total_schedules{kernel=\"counter_rmw\"}",
             "lfm_explore_worker_claimed_total{kernel=\"counter_rmw\",worker=\"0\"}",
@@ -2508,6 +2618,7 @@ mod tests {
             id: "counter_rmw".into(),
             jobs: Some(2),
             dpor: false,
+            no_fuse: false,
             stats: false,
             progress: false,
         });
@@ -2521,6 +2632,7 @@ mod tests {
                 id: "counter_rmw".into(),
                 jobs: Some(2),
                 dpor: false,
+                no_fuse: false,
                 stats: false,
                 progress: true,
             },
@@ -2545,6 +2657,7 @@ mod tests {
             id: "nope".into(),
             jobs: None,
             dpor: false,
+            no_fuse: false,
             stats: false,
             progress: false,
         });
@@ -3028,6 +3141,8 @@ mod tests {
             "--progress",
             "echaos",
             "edpor",
+            "efuse",
+            "--no-fuse",
             "eobs",
             "eserve",
             "lfm serve",

@@ -1,0 +1,135 @@
+//! Witness and minimization contracts over *fused* schedules.
+//!
+//! With invisible-step fusion on (the default), the explorer's first
+//! failing schedule contains steps the search never branched on — the
+//! fused invisible ops are executed eagerly and recorded into the
+//! schedule like any other step. That makes two downstream promises
+//! worth pinning across the whole kernel registry:
+//!
+//! * **Witness round-trip**: a witness captured from a fused run is an
+//!   ordinary explicit schedule. Serializing, parsing, and replaying it
+//!   must be bit-identical — every recorded choice taken verbatim, no
+//!   grace needed, same outcome, same final state key.
+//! * **Minimization**: ddmin over a fused-run schedule must never
+//!   "unfuse" into an invalid schedule. Candidates may need replay's
+//!   degradation rules mid-search, but the *returned* schedule is owed
+//!   explicit: replaying it verbatim takes every entry and reproduces
+//!   the outcome bit-for-bit.
+
+use lfm_kernels::registry;
+use lfm_sim::{minimize, Executor, Explorer, Outcome, Schedule, Witness};
+
+const MAX_STEPS: usize = 5_000;
+
+/// First failing schedule of a *fused* search (fusion is on by
+/// default), plus the fused-step count so the suite can prove it
+/// actually exercised fusion somewhere.
+fn fused_failure(
+    kernel: &lfm_kernels::Kernel,
+) -> Option<(lfm_sim::Program, Schedule, Outcome, u64)> {
+    let program = kernel.buggy();
+    let report = Explorer::new(&program).stop_on_first_failure().run();
+    let (schedule, outcome) = report.first_failure?;
+    Some((program, schedule, outcome, report.stats.fused_steps))
+}
+
+#[test]
+fn fused_run_witness_replays_bit_identically() {
+    let mut checked = 0usize;
+    let mut fused_total = 0u64;
+    for kernel in registry::all() {
+        let Some((program, schedule, outcome, fused)) = fused_failure(&kernel) else {
+            continue;
+        };
+        fused_total += fused;
+        let witness = Witness::capture(&program, kernel.id, &schedule, MAX_STEPS);
+        let parsed = Witness::from_json(&witness.to_json())
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", kernel.id));
+        assert_eq!(
+            witness.to_json(),
+            parsed.to_json(),
+            "{}: round trip drifted",
+            kernel.id
+        );
+
+        // Bit-identical replay: every recorded entry is taken verbatim
+        // (no skipped, filled-in, or out-of-range grace), the outcome
+        // matches the exploration's, and two independent replays agree
+        // on the final state key.
+        let mut a = Executor::new(&program);
+        let (replayed, deviation) = a.replay_checked(&parsed.schedule, MAX_STEPS);
+        assert!(
+            deviation.is_exact(),
+            "{}: fused-run schedule needed replay grace: {deviation:?}",
+            kernel.id
+        );
+        assert_eq!(replayed, outcome, "{}: replay outcome drifted", kernel.id);
+        assert_eq!(
+            a.schedule_taken(),
+            parsed.schedule,
+            "{}: taken schedule drifted",
+            kernel.id
+        );
+        let mut b = Executor::new(&program);
+        b.replay_checked(&parsed.schedule, MAX_STEPS);
+        assert_eq!(
+            a.state_key(),
+            b.state_key(),
+            "{}: replay is not deterministic",
+            kernel.id
+        );
+        checked += 1;
+    }
+    // Every buggy kernel in the registry has a reachable failure, and
+    // fusion must have fired somewhere or this suite proves nothing.
+    assert_eq!(checked, registry::all().len());
+    assert!(
+        fused_total > 0,
+        "no fused steps across any kernel: the fused-witness suite is vacuous"
+    );
+}
+
+#[test]
+fn minimizer_never_unfuses_into_an_invalid_schedule() {
+    for kernel in registry::all() {
+        let Some((program, schedule, outcome, _)) = fused_failure(&kernel) else {
+            continue;
+        };
+        let report = minimize(&program, &schedule, MAX_STEPS);
+        assert_eq!(
+            report.outcome, outcome,
+            "{}: minimization changed the outcome",
+            kernel.id
+        );
+        assert!(
+            report.switches_after <= report.switches_before,
+            "{}: minimization added context switches",
+            kernel.id
+        );
+        // The minimized schedule is owed *explicit*: a verbatim replay
+        // takes every entry — nothing skipped because a fused step was
+        // dropped while a step depending on it survived.
+        let mut exec = Executor::new(&program);
+        let (replayed, deviation) = exec.replay_checked(&report.schedule, MAX_STEPS);
+        assert!(
+            deviation.is_exact(),
+            "{}: minimized schedule is not explicit: {deviation:?}",
+            kernel.id
+        );
+        assert_eq!(
+            replayed, outcome,
+            "{}: minimized schedule lost the failure",
+            kernel.id
+        );
+        assert_eq!(
+            exec.schedule_taken(),
+            report.schedule,
+            "{}: minimized schedule not taken verbatim",
+            kernel.id
+        );
+        // And it still feeds witness capture cleanly.
+        let w = Witness::capture(&program, kernel.id, &report.schedule, MAX_STEPS);
+        assert_eq!(w.outcome_display, outcome.to_string(), "{}", kernel.id);
+        assert_eq!(w.stats.switches, report.switches_after, "{}", kernel.id);
+    }
+}

@@ -101,6 +101,7 @@ pub fn check_at_level(
         dedup_states: true,
         sleep_sets: level == DegradeLevel::SleepSet && chaos.is_none(),
         dpor: caps.dpor,
+        fuse: true,
         deadline,
     };
     let report = if caps.explore_jobs > 1 {

@@ -255,6 +255,7 @@ impl<'p> BudgetedExplorer<'p> {
                 dedup_states: true,
                 sleep_sets: level == DegradeLevel::SleepSet,
                 dpor: self.dpor,
+                fuse: true,
                 deadline: slice,
             };
             let report: ExploreReport = if self.jobs > 1 {

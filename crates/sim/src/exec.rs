@@ -318,7 +318,20 @@ impl Executor {
                         .collect(),
                     None => Vec::new(),
                 };
-                Footprint::of_stmt(stmt, &touched)
+                let fp = Footprint::of_stmt(stmt, &touched);
+                // Dynamic refinement: an assert condition reads only the
+                // owner's locals (the builder rejects `Expr::Shared` in
+                // thread bodies), so its verdict cannot change until this
+                // thread runs again. A currently-passing assert therefore
+                // cannot abort and is invisible; a failing one stays
+                // visible so the explorer still branches before the abort
+                // cuts off sibling outcomes.
+                if let Stmt::Assert { cond, .. } = stmt {
+                    if Self::locals_eval(&ts.locals, cond) != 0 {
+                        return fp.without_effect();
+                    }
+                }
+                fp
             }),
             ThreadStatus::NotStarted | ThreadStatus::Finished => None,
         }

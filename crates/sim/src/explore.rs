@@ -81,6 +81,18 @@ pub struct ExploreLimits {
     /// `dedup_states`, which is unsound under DPOR (a state reached
     /// along a different prefix carries a different race log).
     pub dpor: bool,
+    /// Invisible-step fusion (on by default): when a branch state's
+    /// running thread has an *invisible* next op
+    /// ([`crate::footprint::Footprint::is_invisible`] — touches no
+    /// shared variable, no sync object, and cannot produce an
+    /// outcome-relevant effect), execute it immediately instead of
+    /// creating a branch point. Invisible ops are global both-movers,
+    /// so every outcome reachable by delaying them is reached through
+    /// an equivalent trace; sound under plain DFS, dedup, sleep sets,
+    /// and DPOR. Silently disabled when a fault plan is installed:
+    /// fault decisions are step-indexed, which breaks the commutation
+    /// argument (the same contract sleep sets and DPOR have).
+    pub fuse: bool,
     /// Wall-clock budget for the whole exploration; the search stops with
     /// [`Truncation::WallDeadline`] once it elapses. `None` (the default)
     /// runs unbounded.
@@ -97,6 +109,7 @@ impl Default for ExploreLimits {
             dedup_states: false,
             sleep_sets: false,
             dpor: false,
+            fuse: true,
             deadline: None,
         }
     }
@@ -210,6 +223,18 @@ pub struct ExploreStats {
     /// clone actually copies. A pure function of the states snapshotted,
     /// so the serial and parallel explorers report identical totals.
     pub snapshot_bytes_saved: u64,
+    /// Invisible steps fused into their parent edge instead of opening
+    /// a branch point (see [`ExploreLimits::fuse`]). Always 0 with
+    /// fusion off or under chaos.
+    pub fused_steps: u64,
+    /// Branch-point children that were their frame's *final survivor*
+    /// (every remaining sibling provably pruned by the sleep set or
+    /// the preemption bound), so the parent's executor was moved into
+    /// the child and no snapshot clone was taken. In legacy-snapshots
+    /// emulation mode the deep clone still happens — the counter then
+    /// records what the copy-on-write mode elides, keeping legacy and
+    /// COW reports identical.
+    pub snapshots_elided: u64,
     /// Wall-clock time of the whole exploration.
     pub wall: Duration,
 }
@@ -379,6 +404,15 @@ impl<'p> Explorer<'p> {
         self
     }
 
+    /// Disables invisible-step fusion (see [`ExploreLimits::fuse`]):
+    /// every state with ≥2 enabled threads becomes a branch point, as
+    /// before fusion existed. The escape hatch behind `--no-fuse` and
+    /// the baseline side of the `fuse_equivalence` differential suite.
+    pub fn no_fuse(mut self) -> Explorer<'p> {
+        self.limits.fuse = false;
+        self
+    }
+
     /// Emulates the pre-copy-on-write snapshot costs: every branch
     /// snapshot is a [`Executor::deep_clone`] (all shared components
     /// materialized, logs re-chunked) and every dedup probe recomputes
@@ -493,6 +527,7 @@ impl<'p> Explorer<'p> {
                 ("max_schedules", Value::U64(self.limits.max_schedules)),
                 ("sleep_sets", Value::Bool(sleep_on)),
                 ("dedup_states", Value::Bool(self.limits.dedup_states)),
+                ("fuse", Value::Bool(mode.fuse)),
             ];
             if let Some(d) = self.limits.deadline {
                 fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
@@ -606,16 +641,51 @@ impl<'p> Explorer<'p> {
             let saved = top.saved;
             let depth = top.depth;
             let path_degree = top.path_degree;
+            // Lazy snapshot elision: scan the remaining siblings; when
+            // every one is provably doomed — asleep now, or pruned by
+            // the preemption bound, both verdicts pure functions of
+            // this frame's frozen state (the sleep set only grows via
+            // the push above, and pruned siblings never push) — this
+            // child is the frame's *final survivor*. Consume the
+            // doomed tail's accounting eagerly, in sibling order, and
+            // move the parent's executor into the child instead of
+            // cloning it. An empty tail is the classic last-sibling
+            // move, now also counted as an elided snapshot.
+            let mut final_survivor = true;
+            let mut tail_sleep = 0u64;
+            let mut tail_preempt = 0u64;
+            for j in top.next..top.enabled.len() {
+                let s = top.enabled[j];
+                if sleep_on && top.sleep.contains(&s) {
+                    tail_sleep += 1;
+                } else if self.limits.max_preemptions.is_some_and(|bound| {
+                    top.exec.last_scheduled().is_some_and(|last| {
+                        last != s && top.enabled.contains(&last) && top.preemptions + 1 > bound
+                    })
+                }) {
+                    tail_preempt += 1;
+                } else {
+                    final_survivor = false;
+                    break;
+                }
+            }
+            if final_survivor {
+                report.sleep_pruned += tail_sleep;
+                report.stats.preemption_limited += tail_preempt;
+                report.stats.snapshots_elided += 1;
+                top.next = top.enabled.len();
+            }
             let snap_guard = self.profile.enter(Phase::Snapshot);
             let child = if self.legacy {
+                // Legacy mode keeps the faithful clone-per-child of the
+                // pre-COW implementation it emulates (the exhausted
+                // frame pops naturally at the loop top); the doomed
+                // tail was still consumed above, so legacy and COW
+                // reports stay identical.
                 top.exec.deep_clone()
-            } else if top.next >= top.enabled.len() {
-                // Last sibling: this frame pops on the next iteration
-                // without reading its state again, so move the snapshot
-                // out instead of cloning it. Safe because COW children
-                // share structure instead of borrowing from the parent;
-                // legacy mode keeps the faithful clone-per-child of the
-                // pre-COW implementation it emulates.
+            } else if final_survivor {
+                // Safe because COW children share structure instead of
+                // borrowing from the parent.
                 stack.pop().expect("current frame is on the stack").exec
             } else {
                 top.exec.clone()
@@ -632,6 +702,8 @@ impl<'p> Explorer<'p> {
                 self.limits.max_steps,
                 sleep_on,
                 &mut child_sleep,
+                mode.fuse,
+                &mut report.stats.fused_steps,
             );
             drop(step_guard);
             match next {
@@ -745,6 +817,7 @@ impl<'p> Explorer<'p> {
                 ("sleep_sets", Value::Bool(mode.sleep)),
                 ("dedup_states", Value::Bool(mode.dedup)),
                 ("dpor", Value::Bool(true)),
+                ("fuse", Value::Bool(mode.fuse)),
             ];
             if let Some(d) = self.limits.deadline {
                 fields.push(("deadline_ms", Value::U64(d.as_millis() as u64)));
@@ -768,7 +841,10 @@ impl<'p> Explorer<'p> {
         let enabled = root.enabled();
         let fps = enabled
             .iter()
-            .map(|&t| root.next_footprint(t).unwrap_or_default())
+            .map(|&t| {
+                root.next_footprint(t)
+                    .expect("an enabled thread has a next op")
+            })
             .collect();
         report.stats.branch_points += 1;
         report.stats.max_depth = 1;
@@ -824,7 +900,14 @@ impl<'p> Explorer<'p> {
             let choice_fp = dpor.fp_of(frame, choice).clone();
             let step_guard = self.profile.enter(Phase::Step);
             let mut forced = Vec::new();
-            let next = frontier::advance_dpor(child, choice, self.limits.max_steps, &mut forced);
+            let next = frontier::advance_dpor(
+                child,
+                choice,
+                self.limits.max_steps,
+                mode.fuse,
+                &mut forced,
+                &mut report.stats.fused_steps,
+            );
             drop(step_guard);
             // Commit the edge to the race log in execution order; races
             // it closes grow backtrack sets of the frames still below.
@@ -874,7 +957,10 @@ impl<'p> Explorer<'p> {
                     }
                     let fps = enabled
                         .iter()
-                        .map(|&t| exec.next_footprint(t).unwrap_or_default())
+                        .map(|&t| {
+                            exec.next_footprint(t)
+                                .expect("an enabled thread has a next op")
+                        })
                         .collect();
                     report.stats.branch_points += 1;
                     let saved = exec.snapshot_bytes_saved();
@@ -1019,6 +1105,11 @@ impl<'p> Explorer<'p> {
                 (
                     "snapshot_bytes_saved",
                     Value::U64(report.stats.snapshot_bytes_saved),
+                ),
+                ("fused_steps", Value::U64(report.stats.fused_steps)),
+                (
+                    "snapshots_elided",
+                    Value::U64(report.stats.snapshots_elided),
                 ),
                 (
                     "est_total_schedules",

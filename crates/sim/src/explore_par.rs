@@ -160,6 +160,9 @@ enum ChildRec {
         /// [`Executor::snapshot_bytes_saved`]); carried to the commit
         /// walk so serial and parallel totals match.
         saved: u64,
+        /// Invisible steps fused into this edge's run-forward; carried
+        /// to the commit walk so serial and parallel totals match.
+        fused: u64,
     },
     /// A complete schedule. The witness schedule is carried only by the
     /// first failing and first passing child of each expansion — the
@@ -169,6 +172,7 @@ enum ChildRec {
         steps: u64,
         schedule: Option<Schedule>,
         saved: u64,
+        fused: u64,
     },
     /// A deeper branch prefix; its [`Task`] is handed to the deques
     /// when the parent commits.
@@ -178,6 +182,7 @@ enum ChildRec {
         cancel: Arc<AtomicBool>,
         task: Option<Box<Task>>,
         saved: u64,
+        fused: u64,
     },
 }
 
@@ -194,6 +199,10 @@ struct DporRec {
     /// Prefix snapshot bytes the COW clone avoided copying (identical
     /// for every child; see [`ChildRec::Redundant::saved`]).
     saved: u64,
+    /// Invisible steps fused into this edge's run-forward (they are
+    /// also in `forced`, with their footprints); carried to the commit
+    /// walk so serial and parallel totals match.
+    fused: u64,
     end: DporEnd,
 }
 
@@ -371,6 +380,7 @@ fn expand(
     task: &Task,
     limits: &ExploreLimits,
     sleep_on: bool,
+    fuse: bool,
     shared: &Shared,
     profiler: &PhaseProfiler,
 ) -> Vec<ChildRec> {
@@ -430,7 +440,16 @@ fn expand(
         let child = task.exec.clone();
         drop(snap_guard);
         let step_guard = profiler.enter(Phase::Step);
-        let next = frontier::advance(child, choice, limits.max_steps, sleep_on, &mut child_sleep);
+        let mut fused = 0u64;
+        let next = frontier::advance(
+            child,
+            choice,
+            limits.max_steps,
+            sleep_on,
+            &mut child_sleep,
+            fuse,
+            &mut fused,
+        );
         drop(step_guard);
         match next {
             Advance::Terminal(exec, outcome) => {
@@ -447,6 +466,7 @@ fn expand(
                     steps: exec.steps() as u64,
                     schedule,
                     saved,
+                    fused,
                 });
             }
             Advance::Branch(exec, enabled) => {
@@ -471,9 +491,10 @@ fn expand(
                         cancel,
                     })),
                     saved,
+                    fused,
                 });
             }
-            Advance::Redundant => children.push(ChildRec::Redundant { saved }),
+            Advance::Redundant => children.push(ChildRec::Redundant { saved, fused }),
         }
     }
     children
@@ -487,6 +508,7 @@ fn expand(
 fn expand_dpor(
     task: &Task,
     limits: &ExploreLimits,
+    fuse: bool,
     shared: &Shared,
     profiler: &PhaseProfiler,
 ) -> Vec<DporRec> {
@@ -501,7 +523,15 @@ fn expand_dpor(
         drop(snap_guard);
         let step_guard = profiler.enter(Phase::Step);
         let mut forced = Vec::new();
-        let next = frontier::advance_dpor(child, choice, limits.max_steps, &mut forced);
+        let mut fused = 0u64;
+        let next = frontier::advance_dpor(
+            child,
+            choice,
+            limits.max_steps,
+            fuse,
+            &mut forced,
+            &mut fused,
+        );
         drop(step_guard);
         let end = match next {
             Advance::Terminal(exec, outcome) => DporEnd::Terminal {
@@ -513,7 +543,10 @@ fn expand_dpor(
             Advance::Branch(exec, enabled) => {
                 let fps = enabled
                     .iter()
-                    .map(|&t| exec.next_footprint(t).unwrap_or_default())
+                    .map(|&t| {
+                        exec.next_footprint(t)
+                            .expect("an enabled thread has a next op")
+                    })
                     .collect();
                 let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
                 let cancel = Arc::new(AtomicBool::new(false));
@@ -535,7 +568,12 @@ fn expand_dpor(
             }
             Advance::Redundant => unreachable!("the DPOR forward run never prunes"),
         };
-        recs.push(DporRec { forced, saved, end });
+        recs.push(DporRec {
+            forced,
+            saved,
+            fused,
+            end,
+        });
     }
     recs
 }
@@ -589,9 +627,11 @@ fn worker_loop(
                 }
                 let expansion = catch_unwind(AssertUnwindSafe(|| {
                     if mode.dpor {
-                        Expanded::Dpor(expand_dpor(&task, limits, shared, profiler))
+                        Expanded::Dpor(expand_dpor(&task, limits, mode.fuse, shared, profiler))
                     } else {
-                        Expanded::Classic(expand(&task, limits, mode.sleep, shared, profiler))
+                        Expanded::Classic(expand(
+                            &task, limits, mode.sleep, mode.fuse, shared, profiler,
+                        ))
                     }
                 }))
                 .map_err(|payload| {
@@ -775,6 +815,16 @@ impl<'p> ParExplorer<'p> {
     /// the serial [`Explorer`](crate::Explorer) with the same flag.
     pub fn dpor(mut self) -> ParExplorer<'p> {
         self.limits.dpor = true;
+        self
+    }
+
+    /// Disables invisible-step fusion (see [`ExploreLimits::fuse`]);
+    /// the parallel counterpart of
+    /// [`Explorer::no_fuse`](crate::Explorer::no_fuse), and like every
+    /// other mode flag it leaves the merged report bit-identical to the
+    /// serial explorer's.
+    pub fn no_fuse(mut self) -> ParExplorer<'p> {
+        self.limits.fuse = false;
         self
     }
 
@@ -980,12 +1030,40 @@ impl<'p> ParExplorer<'p> {
                         let _commit = self.profile.enter(Phase::Commit);
                         let rec = std::mem::replace(&mut children[*next], ChildRec::SleepPruned);
                         *next += 1;
+                        // Replicate the serial walk's lazy snapshot
+                        // elision: when an expanded child's remaining
+                        // siblings are all pruned records, the serial
+                        // explorer consumed their accounting eagerly
+                        // (same iteration, sibling order) and counted
+                        // the child as a final-survivor move. The
+                        // worker-side prune verdicts coincide with the
+                        // serial tail scan because pruned siblings
+                        // never extend the sleep set — both sides
+                        // judge the tail against the same frozen frame
+                        // state.
+                        if !matches!(rec, ChildRec::SleepPruned | ChildRec::PreemptionLimited)
+                            && children[*next..].iter().all(|c| {
+                                matches!(c, ChildRec::SleepPruned | ChildRec::PreemptionLimited)
+                            })
+                        {
+                            for doomed in children.drain(*next..) {
+                                match doomed {
+                                    ChildRec::SleepPruned => report.sleep_pruned += 1,
+                                    ChildRec::PreemptionLimited => {
+                                        report.stats.preemption_limited += 1
+                                    }
+                                    _ => unreachable!("tail contains only pruned records"),
+                                }
+                            }
+                            report.stats.snapshots_elided += 1;
+                        }
                         match rec {
                             ChildRec::SleepPruned => report.sleep_pruned += 1,
                             ChildRec::PreemptionLimited => report.stats.preemption_limited += 1,
-                            ChildRec::Redundant { saved } => {
+                            ChildRec::Redundant { saved, fused } => {
                                 report.stats.snapshots += 1;
                                 report.stats.snapshot_bytes_saved += saved;
+                                report.stats.fused_steps += fused;
                                 report.sleep_pruned += 1;
                             }
                             ChildRec::Terminal {
@@ -993,9 +1071,11 @@ impl<'p> ParExplorer<'p> {
                                 steps,
                                 schedule,
                                 saved,
+                                fused,
                             } => {
                                 report.stats.snapshots += 1;
                                 report.stats.snapshot_bytes_saved += saved;
+                                report.stats.fused_steps += fused;
                                 estimator.record_leaf(path_degree);
                                 self.classify(&mut report, outcome, steps, || {
                                     schedule
@@ -1019,10 +1099,17 @@ impl<'p> ParExplorer<'p> {
                                 key,
                                 cancel,
                                 saved,
+                                fused,
                                 ..
                             } => {
                                 report.stats.snapshots += 1;
                                 report.stats.snapshot_bytes_saved += saved;
+                                // Counted before the dedup verdict:
+                                // the serial explorer accumulates an
+                                // edge's fused steps during the
+                                // run-forward, before it ever hashes
+                                // the child state.
+                                report.stats.fused_steps += fused;
                                 let fresh = !self.limits.dedup_states
                                     || self
                                         .profile
@@ -1133,7 +1220,10 @@ impl<'p> ParExplorer<'p> {
         let root_enabled = root.enabled();
         let fps = root_enabled
             .iter()
-            .map(|&t| root.next_footprint(t).unwrap_or_default())
+            .map(|&t| {
+                root.next_footprint(t)
+                    .expect("an enabled thread has a next op")
+            })
             .collect();
         report.stats.branch_points += 1;
         report.stats.max_depth = 1;
@@ -1269,7 +1359,12 @@ impl<'p> ParExplorer<'p> {
                     dpor.sleep_after(frame, choice);
                 }
                 let path_degree = walk[frame].path_degree;
-                let DporRec { forced, saved, end } = {
+                let DporRec {
+                    forced,
+                    saved,
+                    fused,
+                    end,
+                } = {
                     let node = &mut walk[frame];
                     let pos = node
                         .enabled
@@ -1283,6 +1378,7 @@ impl<'p> ParExplorer<'p> {
                 let _commit = self.profile.enter(Phase::Commit);
                 report.stats.snapshots += 1;
                 report.stats.snapshot_bytes_saved += saved;
+                report.stats.fused_steps += fused;
                 // Commit the edge to the race log in execution order;
                 // backtrack additions make new children reachable, so
                 // dispatch them to the pool right away.
@@ -1482,6 +1578,7 @@ impl<'p> ParExplorer<'p> {
             ("max_schedules", Value::U64(self.limits.max_schedules)),
             ("sleep_sets", Value::Bool(mode.sleep)),
             ("dedup_states", Value::Bool(mode.dedup)),
+            ("fuse", Value::Bool(mode.fuse)),
         ];
         if mode.dpor {
             fields.push(("dpor", Value::Bool(true)));
@@ -1629,6 +1726,11 @@ impl<'p> ParExplorer<'p> {
                 "snapshot_bytes_saved",
                 Value::U64(report.stats.snapshot_bytes_saved),
             ),
+            ("fused_steps", Value::U64(report.stats.fused_steps)),
+            (
+                "snapshots_elided",
+                Value::U64(report.stats.snapshots_elided),
+            ),
             (
                 "est_total_schedules",
                 Value::F64(report.est_total_schedules),
@@ -1745,6 +1847,14 @@ mod tests {
             serial.stats.preemption_limited, par.stats.preemption_limited,
             "{label}: preemption_limited"
         );
+        assert_eq!(
+            serial.stats.fused_steps, par.stats.fused_steps,
+            "{label}: fused_steps"
+        );
+        assert_eq!(
+            serial.stats.snapshots_elided, par.stats.snapshots_elided,
+            "{label}: snapshots_elided"
+        );
         // Bit-identical, not approximately equal: the parallel walk
         // replays the serial leaf order, so the degree-product sums
         // match exactly in IEEE-754.
@@ -1801,6 +1911,21 @@ mod tests {
                 "dpor+sleep",
                 ExploreLimits {
                     dpor: true,
+                    sleep_sets: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "nofuse",
+                ExploreLimits {
+                    fuse: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "nofuse+sleep",
+                ExploreLimits {
+                    fuse: false,
                     sleep_sets: true,
                     ..base.clone()
                 },

@@ -57,6 +57,12 @@ pub(crate) struct Access {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct Footprint {
     accesses: Vec<Access>,
+    /// `true` when the op can produce an outcome-relevant effect even
+    /// though it touches no object: a failing assert aborts the run, a
+    /// transactional boundary changes commit/retry behaviour. Such ops
+    /// still commute with everything for the dependence relation, but
+    /// the step-fusion optimization must not execute them eagerly.
+    effect: bool,
 }
 
 impl Footprint {
@@ -104,7 +110,16 @@ impl Footprint {
             Stmt::SemRelease(s) => fp.push_role(ObjKind::Sem, s.index(), true, Role::Release),
             Stmt::Spawn(t) | Stmt::Join(t) => fp.push(ObjKind::Thread, t.index(), true),
             Stmt::Io { .. } => fp.push(ObjKind::Io, 0, true),
-            Stmt::TxBegin | Stmt::TxRetry | Stmt::Yield | Stmt::Assert { .. } => {}
+            // A yield touches nothing and decides nothing: globally
+            // invisible (the one statement fusion can always swallow).
+            Stmt::Yield => {}
+            // Object-free but outcome-relevant: transactional boundaries
+            // steer commit/retry control flow, and an assert may abort.
+            // (`Executor::next_footprint` clears the flag for an assert
+            // whose condition currently evaluates true — a verdict that
+            // depends only on the owner's locals and so cannot change
+            // under other threads' steps.)
+            Stmt::TxBegin | Stmt::TxRetry | Stmt::Assert { .. } => fp.effect = true,
             Stmt::TxCommit => {
                 // Commit validates the read set and publishes the write
                 // set; conservatively a write on every touched variable.
@@ -149,6 +164,26 @@ impl Footprint {
     /// The individual accesses in this footprint.
     pub fn accesses(&self) -> &[Access] {
         &self.accesses
+    }
+
+    /// `true` when the op is *invisible*: it touches no shared variable
+    /// and no sync object, and cannot produce an outcome-relevant
+    /// effect. An invisible op is a global both-mover — it commutes
+    /// with every other thread's ops — so the explorer may execute it
+    /// immediately after the step that exposed it without creating a
+    /// branch point (step fusion), and the race scan may log it with
+    /// this (empty) footprint without adding edges.
+    pub fn is_invisible(&self) -> bool {
+        self.accesses.is_empty() && !self.effect
+    }
+
+    /// Clears the outcome-relevance flag. Used by the executor when a
+    /// dynamic check proves the op cannot abort (an assert whose
+    /// condition — a function of the owner's locals only — currently
+    /// holds), making it invisible after all.
+    pub fn without_effect(mut self) -> Footprint {
+        self.effect = false;
+        self
     }
 
     /// `true` when the two footprints commute (no shared object with a
@@ -233,6 +268,28 @@ mod tests {
         let w = fp(&Stmt::write(VarId::from_index(0), 1));
         assert!(y.independent(&w));
         assert!(y.independent(&y));
+    }
+
+    #[test]
+    fn only_yields_and_defused_asserts_are_invisible() {
+        use crate::Expr;
+        assert!(fp(&Stmt::Yield).is_invisible());
+        // Every object-touching op is visible.
+        for s in catalog() {
+            if !matches!(s, Stmt::Yield) {
+                assert!(!fp(&s).is_invisible(), "{s:?} must be visible");
+            }
+        }
+        // Outcome-relevant object-free ops stay visible until a dynamic
+        // check clears the effect flag.
+        let assert_stmt = Stmt::assert(Expr::lit(1).eq(Expr::lit(1)), "holds");
+        assert!(!fp(&assert_stmt).is_invisible());
+        assert!(fp(&assert_stmt).without_effect().is_invisible());
+        assert!(!fp(&Stmt::TxBegin).is_invisible());
+        assert!(!fp(&Stmt::TxRetry).is_invisible());
+        // Clearing the effect flag never hides real accesses.
+        let w = fp(&Stmt::write(VarId::from_index(0), 1));
+        assert!(!w.without_effect().is_invisible());
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub(crate) struct Mode {
     pub sleep: bool,
     /// Source-set dynamic partial-order reduction.
     pub dpor: bool,
+    /// Invisible-step fusion: run the chosen thread through consecutive
+    /// invisible ops without creating branch points.
+    pub fuse: bool,
 }
 
 impl Mode {
@@ -52,12 +55,21 @@ impl Mode {
     /// unsound *under* DPOR: a state reached along a different prefix
     /// carries a different race log, and skipping its subtree would
     /// skip the backtrack points only that prefix discovers.
+    ///
+    /// Step fusion is likewise silently disabled under chaos: fault
+    /// decisions are step-indexed, so inserting an invisible step at a
+    /// different position changes which later ops draw which faults,
+    /// breaking the commutation argument. Fusion *stays on* under a
+    /// preemption bound — bounded search is already an approximation
+    /// (it enumerates schedules, not classes), and fusing only forces
+    /// free (non-preemptive) continuations of the running thread.
     pub fn resolve(limits: &ExploreLimits, chaos: bool) -> Mode {
         let dpor = limits.dpor && !chaos && limits.max_preemptions.is_none();
         Mode {
             dedup: limits.dedup_states && !dpor,
             sleep: limits.sleep_sets && !chaos,
             dpor,
+            fuse: limits.fuse && !chaos,
         }
     }
 }
@@ -78,16 +90,29 @@ pub(crate) enum Advance {
 /// whose every enabled thread is asleep ends the edge as
 /// [`Advance::Redundant`], and a forced step wakes the sleepers it
 /// conflicts with.
+///
+/// With `fuse` on, "no real scheduling choice" extends past sole-enabled
+/// states: while the *last-stepped* thread's next op is invisible
+/// ([`Footprint::is_invisible`] — touches nothing, cannot abort), the
+/// edge keeps stepping that thread instead of branching. An invisible op
+/// is a global both-mover, so every interleaving that delays it reaches
+/// the same states through an equivalent trace; executing it eagerly
+/// prunes whole subtrees without losing a single outcome. Fused steps
+/// are counted into `fused`; sleepers never wake on them (an empty
+/// footprint conflicts with nothing).
 pub(crate) fn advance(
     mut child: Executor,
     choice: ThreadId,
     max_steps: usize,
     sleep_on: bool,
     child_sleep: &mut Vec<ThreadId>,
+    fuse: bool,
+    fused: &mut u64,
 ) -> Advance {
     child
         .step(choice)
         .expect("explorer only chooses enabled threads");
+    let mut cur = choice;
     loop {
         if let Some(outcome) = child.outcome().cloned() {
             return Advance::Terminal(child, outcome);
@@ -103,16 +128,27 @@ pub(crate) fn advance(
             }
         }
         if enabled.len() == 1 {
+            cur = enabled[0];
             if sleep_on && !child_sleep.is_empty() {
                 // Wake sleepers whose op conflicts with the forced
                 // step we are about to take.
-                let fp = child.next_footprint(enabled[0]);
+                let fp = child.next_footprint(cur);
                 child_sleep.retain(|&t| match (&fp, child.next_footprint(t)) {
                     (Some(a), Some(b)) => a.independent(&b),
                     _ => false,
                 });
             }
-            child.step(enabled[0]).expect("sole enabled thread");
+            child.step(cur).expect("sole enabled thread");
+        } else if fuse
+            && child
+                .next_footprint(cur)
+                .is_some_and(|fp| fp.is_invisible())
+        {
+            // Invisible next op on the running thread: fuse it into
+            // this edge. The op touches nothing and cannot block or
+            // abort, so the thread is enabled and the step succeeds.
+            *fused += 1;
+            child.step(cur).expect("an invisible op never blocks");
         } else {
             return Advance::Branch(child, enabled);
         }
@@ -120,19 +156,27 @@ pub(crate) fn advance(
 }
 
 /// The DPOR-mode forward run: like [`advance`], but instead of sleep
-/// bookkeeping it records every forced step's `(thread, footprint)`
-/// into `forced` — the driver commits them to the race log, and the
-/// frame-side sleep sets are filtered against them. Footprints are
-/// captured *before* stepping (a step consumes the op it describes).
+/// bookkeeping it records every forced *and fused* step's
+/// `(thread, footprint)` into `forced` — the driver commits them to the
+/// race log, and the frame-side sleep sets are filtered against them.
+/// Footprints are captured *before* stepping (a step consumes the op it
+/// describes), and they are the real next-op footprints, never a
+/// fabricated default: an enabled thread always has a next op, and the
+/// race scan's exactness depends on logging what that op touches. A
+/// fused step enters the log with its (empty) invisible footprint, so
+/// it contributes a program-order clock edge and no races.
 pub(crate) fn advance_dpor(
     mut child: Executor,
     choice: ThreadId,
     max_steps: usize,
+    fuse: bool,
     forced: &mut Vec<(ThreadId, Footprint)>,
+    fused: &mut u64,
 ) -> Advance {
     child
         .step(choice)
         .expect("explorer only chooses enabled threads");
+    let mut cur = choice;
     loop {
         if let Some(outcome) = child.outcome().cloned() {
             return Advance::Terminal(child, outcome);
@@ -142,9 +186,21 @@ pub(crate) fn advance_dpor(
         }
         let enabled = child.enabled();
         if enabled.len() == 1 {
-            let fp = child.next_footprint(enabled[0]).unwrap_or_default();
-            forced.push((enabled[0], fp));
-            child.step(enabled[0]).expect("sole enabled thread");
+            cur = enabled[0];
+            let fp = child
+                .next_footprint(cur)
+                .expect("an enabled thread has a next op");
+            forced.push((cur, fp));
+            child.step(cur).expect("sole enabled thread");
+        } else if fuse {
+            match child.next_footprint(cur) {
+                Some(fp) if fp.is_invisible() => {
+                    forced.push((cur, fp));
+                    *fused += 1;
+                    child.step(cur).expect("an invisible op never blocks");
+                }
+                _ => return Advance::Branch(child, enabled),
+            }
         } else {
             return Advance::Branch(child, enabled);
         }

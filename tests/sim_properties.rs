@@ -433,6 +433,61 @@ proptest! {
         prop_assert_eq!(par.stats.branch_points, serial.stats.branch_points);
         prop_assert_eq!(par.stats.max_depth, serial.stats.max_depth);
     }
+
+    /// Invisible-step fusion never changes what is reachable: on racy
+    /// counters interleaved with yields (the invisible op), the fused
+    /// search reaches exactly the unfused outcome set — same outcome
+    /// kinds, same final states — while running no more (and, with
+    /// yields present, strictly fewer) schedules. Holds with and
+    /// without DPOR underneath, and the yields guarantee fusion
+    /// actually fired, so the property cannot pass vacuously.
+    #[test]
+    fn fused_outcome_set_equals_unfused(
+        threads in 2usize..=3,
+        yields in 1usize..=2,
+        dpor in any::<bool>(),
+    ) {
+        static NAMES: [&str; 3] = ["w0", "w1", "w2"];
+        let mut b = ProgramBuilder::new("yielding");
+        let v = b.var("counter", 0);
+        for name in NAMES.iter().take(threads) {
+            let mut body = vec![Stmt::read(v, "tmp")];
+            for _ in 0..yields {
+                body.push(Stmt::Yield);
+            }
+            body.push(Stmt::write(v, Expr::local("tmp") + Expr::lit(1)));
+            b.thread(name, body);
+        }
+        b.final_assert(
+            Expr::shared(v).eq(Expr::lit(threads as i64)),
+            "all increments kept",
+        );
+        let program = b.build().expect("builds");
+        let limits = |fuse: bool| ExploreLimits {
+            dpor,
+            fuse,
+            ..ExploreLimits::default()
+        };
+        let terminals = |limits: ExploreLimits| {
+            let mut set = std::collections::BTreeSet::new();
+            let report = Explorer::new(&program)
+                .limits(limits)
+                .run_with_callback(|exec, outcome| {
+                    let keyed = matches!(outcome, Outcome::Ok | Outcome::Deadlock { .. });
+                    set.insert((outcome.to_string(), if keyed { exec.state_key() } else { 0 }));
+                });
+            (report, set)
+        };
+        let (base, base_set) = terminals(limits(false));
+        let (fused, fused_set) = terminals(limits(true));
+        prop_assert!(!base.truncated && base.counts.step_limit == 0);
+        prop_assert!(!fused.truncated && fused.counts.step_limit == 0);
+        prop_assert_eq!(&fused_set, &base_set);
+        prop_assert!(fused.schedules_run < base.schedules_run,
+            "fusion left the schedule count at {} despite {} yields per thread",
+            fused.schedules_run, yields);
+        prop_assert!(fused.stats.fused_steps > 0, "no steps fused: vacuous run");
+    }
 }
 
 #[test]
